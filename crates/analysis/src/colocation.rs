@@ -1,0 +1,126 @@
+//! eNB/gNB co-location detection (§6.3).
+//!
+//! The paper's heuristic: "when the NSA-4C eNB and 5G-NR gNB are co-located
+//! at the same physical tower, their 4G and 5G PCIs are the same", verified
+//! by building convex hulls over the sample positions of each 4G and 5G PCI
+//! and checking hull overlap. Both steps are reproduced here on trace data.
+
+use fiveg_geo::{convex_hull, Point};
+use fiveg_sim::Trace;
+use std::collections::HashMap;
+
+/// Fraction of NSA samples (with both LTE and NR serving cells) whose 4G
+/// and 5G PCIs are equal — the paper finds 5%–36% across carriers.
+pub fn colocated_sample_fraction(trace: &Trace) -> f64 {
+    let mut both = 0usize;
+    let mut same = 0usize;
+    for s in &trace.samples {
+        if let (Some(l), Some(n)) = (s.lte_cell, s.nr_cell) {
+            both += 1;
+            if trace.cell(l).pci == trace.cell(n).pci {
+                same += 1;
+            }
+        }
+    }
+    if both == 0 {
+        0.0
+    } else {
+        same as f64 / both as f64
+    }
+}
+
+/// Verifies the same-PCI heuristic with convex hulls: for every 4G/5G PCI
+/// pair with equal PCI values, builds the hulls of the UE positions observed
+/// while served by each and tests overlap. Returns `(verified, total)` —
+/// pairs whose hulls overlap / same-PCI pairs with enough samples.
+pub fn same_pci_pairs_overlap(trace: &Trace) -> (usize, usize) {
+    let mut lte_positions: HashMap<u16, Vec<Point>> = HashMap::new();
+    let mut nr_positions: HashMap<u16, Vec<Point>> = HashMap::new();
+    for s in &trace.samples {
+        if let Some(l) = s.lte_cell {
+            lte_positions
+                .entry(trace.cell(l).pci)
+                .or_default()
+                .push(Point::new(s.pos.0, s.pos.1));
+        }
+        if let Some(n) = s.nr_cell {
+            nr_positions
+                .entry(trace.cell(n).pci)
+                .or_default()
+                .push(Point::new(s.pos.0, s.pos.1));
+        }
+    }
+    let mut total = 0;
+    let mut verified = 0;
+    for (pci, lpos) in &lte_positions {
+        if let Some(npos) = nr_positions.get(pci) {
+            if lpos.len() < 3 || npos.len() < 3 {
+                continue;
+            }
+            let lh = convex_hull(lpos);
+            let nh = convex_hull(npos);
+            if lh.len() < 3 || nh.len() < 3 {
+                continue;
+            }
+            total += 1;
+            if lh.overlaps(&nh) {
+                verified += 1;
+            }
+        }
+    }
+    (verified, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::{Arch, Carrier};
+    use fiveg_sim::ScenarioBuilder;
+
+    fn urban(carrier: Carrier, seed: u64) -> Trace {
+        ScenarioBuilder::city_loop(carrier, seed)
+            .duration_s(500.0)
+            .sample_hz(10.0)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn fraction_is_in_unit_interval() {
+        let t = urban(Carrier::OpX, 41);
+        let f = colocated_sample_fraction(&t);
+        assert!((0.0..=1.0).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn opx_shows_more_colocation_than_opz() {
+        // deployment profiles: OpX 36% co-location, OpZ 5%
+        let fx: f64 = (0..3).map(|i| colocated_sample_fraction(&urban(Carrier::OpX, 42 + i))).sum::<f64>() / 3.0;
+        let fz: f64 = (0..3).map(|i| colocated_sample_fraction(&urban(Carrier::OpZ, 42 + i))).sum::<f64>() / 3.0;
+        assert!(fx > fz, "OpX {fx} should exceed OpZ {fz}");
+    }
+
+    #[test]
+    fn same_pci_hulls_mostly_overlap() {
+        // co-located cells serve the same area, so their hulls must overlap
+        let t = urban(Carrier::OpX, 45);
+        let (verified, total) = same_pci_pairs_overlap(&t);
+        if total > 0 {
+            assert!(
+                verified * 10 >= total * 6,
+                "expected most same-PCI hulls to overlap: {verified}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn lte_only_trace_has_no_colocation() {
+        let t = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 5.0, 46)
+            .duration_s(120.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        assert_eq!(colocated_sample_fraction(&t), 0.0);
+        assert_eq!(same_pci_pairs_overlap(&t).1, 0);
+    }
+}

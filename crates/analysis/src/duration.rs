@@ -1,0 +1,124 @@
+//! Handover duration analysis (§5.2, Figs. 8/9/13).
+
+use crate::stats;
+use fiveg_ran::HandoverRecord;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a duration sample set, ms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationStats {
+    /// Number of HOs aggregated.
+    pub count: usize,
+    /// Mean, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub median_ms: f64,
+    /// 25th percentile, ms.
+    pub p25_ms: f64,
+    /// 75th percentile, ms.
+    pub p75_ms: f64,
+    /// Standard deviation, ms.
+    pub std_ms: f64,
+}
+
+impl DurationStats {
+    /// Builds stats from raw millisecond values.
+    pub fn from_values(values: &[f64]) -> Self {
+        Self {
+            count: values.len(),
+            mean_ms: stats::mean(values),
+            median_ms: stats::median(values),
+            p25_ms: stats::percentile(values, 25.0),
+            p75_ms: stats::percentile(values, 75.0),
+            std_ms: stats::stddev(values),
+        }
+    }
+
+    /// T1 (preparation) stats over the matching HOs.
+    pub fn t1(hos: &[HandoverRecord], filter: impl Fn(&HandoverRecord) -> bool) -> Self {
+        let v: Vec<f64> = hos.iter().filter(|h| filter(h)).map(|h| h.stages.t1_ms).collect();
+        Self::from_values(&v)
+    }
+
+    /// T2 (execution) stats over the matching HOs.
+    pub fn t2(hos: &[HandoverRecord], filter: impl Fn(&HandoverRecord) -> bool) -> Self {
+        let v: Vec<f64> = hos.iter().filter(|h| filter(h)).map(|h| h.stages.t2_ms).collect();
+        Self::from_values(&v)
+    }
+
+    /// Total-duration stats over the matching HOs.
+    pub fn total(hos: &[HandoverRecord], filter: impl Fn(&HandoverRecord) -> bool) -> Self {
+        let v: Vec<f64> = hos.iter().filter(|h| filter(h)).map(|h| h.duration_ms()).collect();
+        Self::from_values(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_radio::BandClass;
+    use fiveg_ran::{Arch, HoType, StageSample};
+
+    fn rec(ho_type: HoType, t1: f64, t2: f64, same_pci: bool) -> HandoverRecord {
+        HandoverRecord {
+            ho_type,
+            arch: Arch::Nsa,
+            nr_band: Some(BandClass::Low),
+            t_decision: 0.0,
+            t_command: t1 / 1000.0,
+            t_complete: (t1 + t2) / 1000.0,
+            stages: StageSample { t1_ms: t1, t2_ms: t2 },
+            source_lte: None,
+            source_nr: None,
+            target: None,
+            co_located: same_pci,
+            same_pci,
+            trigger_phase: vec![],
+            interrupts: ho_type.interrupts(),
+        }
+    }
+
+    #[test]
+    fn stats_over_filtered_set() {
+        let hos = vec![
+            rec(HoType::Scga, 60.0, 90.0, false),
+            rec(HoType::Scga, 80.0, 110.0, false),
+            rec(HoType::Scgr, 40.0, 70.0, false),
+        ];
+        let s = DurationStats::t1(&hos, |h| h.ho_type == HoType::Scga);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_ms, 70.0);
+        let tot = DurationStats::total(&hos, |_| true);
+        assert_eq!(tot.count, 3);
+        assert!((tot.mean_ms - (150.0 + 190.0 + 110.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_filter_yields_zero_stats() {
+        let hos = vec![rec(HoType::Scga, 60.0, 90.0, false)];
+        let s = DurationStats::t2(&hos, |h| h.ho_type == HoType::Mcgh);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn colocation_split_shows_difference() {
+        // synthetic: co-located shorter, as the stage model produces
+        let hos = vec![
+            rec(HoType::Scgm, 60.0, 90.0, true),
+            rec(HoType::Scgm, 75.0, 90.0, false),
+        ];
+        let same = DurationStats::total(&hos, |h| h.same_pci);
+        let diff = DurationStats::total(&hos, |h| !h.same_pci);
+        assert!(diff.mean_ms > same.mean_ms);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let hos: Vec<HandoverRecord> =
+            (0..50).map(|i| rec(HoType::Scga, 50.0 + i as f64, 80.0, false)).collect();
+        let s = DurationStats::t1(&hos, |_| true);
+        assert!(s.p25_ms <= s.median_ms);
+        assert!(s.median_ms <= s.p75_ms);
+    }
+}

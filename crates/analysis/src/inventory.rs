@@ -1,0 +1,121 @@
+//! Dataset inventory: the Table 1 statistics over a set of traces.
+
+use crate::frequency::{is_4g_ho, is_nsa_5g_procedure};
+use fiveg_radio::BandClass;
+use fiveg_ran::{Arch, HoType};
+use fiveg_sim::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Table 1-style statistics for one carrier's traces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetInventory {
+    /// Unique towers observed (the paper's "# of unique cells (i.e. towers)").
+    pub unique_towers: usize,
+    /// Unique NR bands observed.
+    pub nr_bands: usize,
+    /// Unique LTE bands observed.
+    pub lte_bands: usize,
+    /// Distance in city environments, km.
+    pub city_km: f64,
+    /// Distance on freeways, km.
+    pub freeway_km: f64,
+    /// 4G/LTE handovers (LTEH + MNBH).
+    pub lte_hos: usize,
+    /// 5G-NSA mobility procedures (SCGA/SCGR/SCGM/SCGC).
+    pub nsa_procedures: usize,
+    /// 5G-SA handovers (MCGH).
+    pub sa_hos: usize,
+    /// Minutes with an active NR leg in each band class (low/mid/mmWave).
+    pub nr_minutes: [f64; 3],
+    /// Minutes under each architecture (LTE / NSA / SA).
+    pub arch_minutes: [f64; 3],
+}
+
+impl DatasetInventory {
+    /// Aggregates the inventory over traces (all assumed same carrier).
+    pub fn over(traces: &[&Trace]) -> Self {
+        let mut inv = DatasetInventory::default();
+        let mut towers: HashSet<(u64, u32)> = HashSet::new();
+        let mut nr_bands: HashSet<String> = HashSet::new();
+        let mut lte_bands: HashSet<String> = HashSet::new();
+        for (ti, t) in traces.iter().enumerate() {
+            let dt_min = 1.0 / t.meta.sample_hz / 60.0;
+            // observed cells: serving appearances
+            for s in &t.samples {
+                for c in s.lte_cell.iter().chain(s.nr_cell.iter()) {
+                    let e = t.cell(*c);
+                    towers.insert((ti as u64 ^ (t.meta.seed << 8), e.tower));
+                    if e.is_nr {
+                        nr_bands.insert(e.band.clone());
+                    } else {
+                        lte_bands.insert(e.band.clone());
+                    }
+                }
+                if let Some(n) = s.nr_cell {
+                    let idx = match t.cell(n).class {
+                        BandClass::Low => 0,
+                        BandClass::Mid => 1,
+                        BandClass::MmWave => 2,
+                    };
+                    inv.nr_minutes[idx] += dt_min;
+                }
+                let a = match t.meta.arch {
+                    Arch::Lte => 0,
+                    Arch::Nsa => 1,
+                    Arch::Sa => 2,
+                };
+                inv.arch_minutes[a] += dt_min;
+            }
+            match t.meta.env {
+                fiveg_ran::Environment::Freeway => inv.freeway_km += t.meta.traveled_m / 1000.0,
+                _ => inv.city_km += t.meta.traveled_m / 1000.0,
+            }
+            inv.lte_hos += t.handovers.iter().filter(|h| is_4g_ho(h)).count();
+            inv.nsa_procedures += t.handovers.iter().filter(|h| is_nsa_5g_procedure(h)).count();
+            inv.sa_hos += t.handovers.iter().filter(|h| h.ho_type == HoType::Mcgh).count();
+        }
+        inv.unique_towers = towers.len();
+        inv.nr_bands = nr_bands.len();
+        inv.lte_bands = lte_bands.len();
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::Carrier;
+    use fiveg_sim::ScenarioBuilder;
+
+    #[test]
+    fn inventory_aggregates_across_traces() {
+        let a = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 71)
+            .duration_s(170.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        let b = ScenarioBuilder::city_loop(Carrier::OpY, 72)
+            .duration_s(170.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        let inv = DatasetInventory::over(&[&a, &b]);
+        assert!(inv.unique_towers > 0);
+        assert!(inv.freeway_km > 0.0);
+        assert!(inv.city_km > 0.0);
+        assert!(inv.lte_hos + inv.nsa_procedures > 0);
+        assert!(inv.nr_bands >= 1);
+        assert!(inv.lte_bands >= 1);
+        // NSA-only traces: all minutes in arch index 1
+        assert_eq!(inv.arch_minutes[0], 0.0);
+        assert!(inv.arch_minutes[1] > 0.0);
+        assert_eq!(inv.arch_minutes[2], 0.0);
+    }
+
+    #[test]
+    fn empty_inventory() {
+        let inv = DatasetInventory::over(&[]);
+        assert_eq!(inv, DatasetInventory::default());
+    }
+}

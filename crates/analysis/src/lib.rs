@@ -1,0 +1,36 @@
+//! Measurement analysis toolkit: every §4–§6 analysis as a library function.
+//!
+//! The paper's findings are statistics over the drive dataset; this crate
+//! computes the same statistics over [`fiveg_sim::Trace`]s:
+//!
+//! * [`stats`] — percentiles, CDFs, Gaussian KDE (Fig. 11's density plots);
+//! * [`metrics`] — precision/recall/F1/accuracy for the prediction work
+//!   (§7.3's class-imbalance-aware evaluation);
+//! * [`frequency`] — HO-per-km and signaling-overhead comparisons (§5.1);
+//! * [`duration`] — T1/T2 stage statistics (§5.2, Figs. 8/9/13);
+//! * [`coverage`] — PCI dwell-distance coverage estimation (§6.1, Fig. 11);
+//! * [`colocation`] — the same-PCI + convex-hull co-location heuristic
+//!   (§6.3);
+//! * [`energy`] — HO energy accounting over traces (§5.3, Fig. 10);
+//! * [`tput_phases`] — pre/during/post-HO throughput (§6.2, Figs. 12/16);
+//! * [`inventory`] — Table 1-style dataset statistics.
+
+pub mod colocation;
+pub mod coverage;
+pub mod duration;
+pub mod energy;
+pub mod frequency;
+pub mod inventory;
+pub mod metrics;
+pub mod stats;
+pub mod tput_phases;
+
+pub use colocation::{colocated_sample_fraction, same_pci_pairs_overlap};
+pub use coverage::{dwell_distances, CoverageKind};
+pub use duration::DurationStats;
+pub use energy::EnergyReport;
+pub use frequency::{hos_per_km, km_per_ho};
+pub use inventory::DatasetInventory;
+pub use metrics::ClassMetrics;
+pub use stats::{cdf_points, kde_density, mean, median, percentile, stddev};
+pub use tput_phases::{ho_phase_throughput, PhaseTput};

@@ -1,0 +1,139 @@
+//! Classification metrics for HO prediction (§7.3).
+//!
+//! "The data has imbalanced classes (HOs only cover 0.4% of the total data
+//! points). We therefore evaluate the performance on metrics oblivious to
+//! class imbalance such as F1-Score, precision, and recall." Metrics are
+//! computed over the *HO classes* (micro-averaged across everything except
+//! the designated "no HO" label), plus plain accuracy for completeness.
+
+use serde::{Deserialize, Serialize};
+
+/// Micro-averaged precision/recall/F1 over non-background classes plus
+/// overall accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Micro precision over HO classes.
+    pub precision: f64,
+    /// Micro recall over HO classes.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of all points classified correctly (incl. background).
+    pub accuracy: f64,
+}
+
+impl ClassMetrics {
+    /// Computes metrics from parallel label sequences.
+    ///
+    /// `background` is the "no HO" label excluded from precision/recall. A
+    /// prediction counts as a true positive only when the exact HO class
+    /// matches.
+    pub fn from_labels<L: PartialEq + Copy>(truth: &[L], pred: &[L], background: L) -> Self {
+        assert_eq!(truth.len(), pred.len(), "label sequences must align");
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        let mut correct = 0usize;
+        for (&t, &p) in truth.iter().zip(pred) {
+            if t == p {
+                correct += 1;
+            }
+            let t_ho = t != background;
+            let p_ho = p != background;
+            match (t_ho, p_ho) {
+                (true, true) => {
+                    if t == p {
+                        tp += 1;
+                    } else {
+                        // wrong HO class: both a miss and a false alarm
+                        fp += 1;
+                        fn_ += 1;
+                    }
+                }
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let accuracy = if truth.is_empty() { 0.0 } else { correct as f64 / truth.len() as f64 };
+        ClassMetrics { precision, recall, f1, accuracy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO: u8 = 0;
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = [NO, NO, 1, NO, 2, NO];
+        let m = ClassMetrics::from_labels(&truth, &truth, NO);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_background_prediction_has_zero_recall() {
+        let truth = [NO, 1, NO, 2];
+        let pred = [NO, NO, NO, NO];
+        let m = ClassMetrics::from_labels(&truth, &pred, NO);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // accuracy is still high — the class-imbalance trap the paper calls out
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn majority_class_accuracy_trap() {
+        // 99% background: predicting "never HO" gets 99% accuracy, 0 F1.
+        let mut truth = vec![NO; 99];
+        truth.push(1);
+        let pred = vec![NO; 100];
+        let m = ClassMetrics::from_labels(&truth, &pred, NO);
+        assert!(m.accuracy > 0.98);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn wrong_class_counts_as_fp_and_fn() {
+        let truth = [1u8];
+        let pred = [2u8];
+        let m = ClassMetrics::from_labels(&truth, &pred, NO);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn false_alarms_hurt_precision_only() {
+        let truth = [NO, NO, NO, 1];
+        let pred = [1, NO, NO, 1];
+        let m = ClassMetrics::from_labels(&truth, &pred, NO);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 0.5);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = ClassMetrics::from_labels(&[NO], &[NO, NO], NO);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = ClassMetrics::from_labels::<u8>(&[], &[], NO);
+        assert_eq!(m.accuracy, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Basic statistics: percentiles, CDFs, Gaussian kernel density estimation.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation; 0 for empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (rank - lo as f64)
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Empirical CDF sampled at `n` evenly spaced quantiles: returns
+/// `(value, cumulative_probability)` pairs suitable for plotting.
+pub fn cdf_points(xs: &[f64], n: usize) -> Vec<(f64, f64)> {
+    if xs.is_empty() || n == 0 {
+        return vec![];
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (0..=n)
+        .map(|i| {
+            let q = i as f64 / n as f64;
+            let idx = ((v.len() - 1) as f64 * q).round() as usize;
+            (v[idx], q)
+        })
+        .collect()
+}
+
+/// Gaussian kernel density estimate evaluated at `grid` points.
+///
+/// Bandwidth defaults to Silverman's rule of thumb when `bandwidth` is
+/// `None`. This reproduces the density plots of Fig. 11.
+pub fn kde_density(xs: &[f64], grid: &[f64], bandwidth: Option<f64>) -> Vec<f64> {
+    if xs.is_empty() {
+        return vec![0.0; grid.len()];
+    }
+    let h = bandwidth.unwrap_or_else(|| {
+        let sd = stddev(xs);
+        let n = xs.len() as f64;
+        (1.06 * sd * n.powf(-0.2)).max(1e-6)
+    });
+    let norm = 1.0 / (xs.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+    grid.iter()
+        .map(|&g| {
+            xs.iter()
+                .map(|&x| {
+                    let z = (g - x) / h;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f64>()
+                * norm
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(cdf_points(&[], 10).is_empty());
+        assert_eq!(kde_density(&[], &[0.0, 1.0], None), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 100) as f64).collect();
+        let c = cdf_points(&xs, 20);
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(c.first().unwrap().1, 0.0);
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn kde_peaks_near_data_mass() {
+        let xs = vec![10.0; 50];
+        let grid = [0.0, 5.0, 10.0, 15.0, 20.0];
+        let d = kde_density(&xs, &grid, Some(1.0));
+        let max_i = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(grid[max_i], 10.0);
+    }
+
+    #[test]
+    fn kde_integrates_to_one_roughly() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        let grid: Vec<f64> = (-50..100).map(|i| i as f64).collect();
+        let d = kde_density(&xs, &grid, None);
+        let integral: f64 = d.iter().sum::<f64>() * 1.0; // dx = 1
+        assert!((integral - 1.0).abs() < 0.05, "{integral}");
+    }
+
+    #[test]
+    fn kde_bimodal_shape() {
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![100.0; 100]);
+        let grid = [0.0, 50.0, 100.0];
+        let d = kde_density(&xs, &grid, Some(5.0));
+        assert!(d[0] > d[1] * 5.0);
+        assert!(d[2] > d[1] * 5.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Adaptive-bitrate algorithms (§7.4).
+//!
+//! RB, fastMPC and robustMPC follow the Pensieve/MPC formulation [48, 67];
+//! FESTIVE follows Jiang et al. [41]. Each algorithm consumes a throughput
+//! prediction; the paper's modification is one line: "we scale up or down
+//! the predicted throughput by multiplying it with the ho_score received
+//! from Prognos" — the [`TputCorrector`] hook.
+
+use serde::{Deserialize, Serialize};
+
+/// Correction applied to the throughput prediction at decision time
+/// (time-indexed; 1.0 = leave unchanged). `-PR` variants install Prognos's
+/// `ho_score`, `-GT` variants the ground-truth capacity ratio.
+pub type TputCorrector = Box<dyn Fn(f64) -> f64 + Send + Sync>;
+
+/// The ABR algorithms under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbrAlgorithm {
+    /// Rate-based: highest level whose bitrate fits the prediction.
+    RateBased,
+    /// MPC with the nominal prediction over a short horizon.
+    FastMpc,
+    /// MPC with the prediction discounted by the recent max error.
+    RobustMpc,
+    /// FESTIVE: harmonic-mean bandwidth + stability-limited switching.
+    Festive,
+}
+
+impl AbrAlgorithm {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AbrAlgorithm::RateBased => "RB",
+            AbrAlgorithm::FastMpc => "fastMPC",
+            AbrAlgorithm::RobustMpc => "robustMPC",
+            AbrAlgorithm::Festive => "FESTIVE",
+        }
+    }
+}
+
+/// Decision input for one chunk.
+#[derive(Debug, Clone)]
+pub struct AbrState<'a> {
+    /// Current buffer occupancy, s.
+    pub buffer_s: f64,
+    /// Level selected for the previous chunk.
+    pub last_level: usize,
+    /// (Corrected) predicted throughput, Mbps.
+    pub predicted_mbps: f64,
+    /// Level bitrates, Mbps, ascending.
+    pub levels: &'a [f64],
+    /// Chunk duration, s.
+    pub chunk_s: f64,
+}
+
+/// MPC smoothness weight (Pensieve uses 1 × |quality difference|).
+const SMOOTH_PENALTY: f64 = 1.0;
+/// MPC lookahead depth (chunks).
+const MPC_HORIZON: usize = 4;
+
+/// Stateful ABR controller.
+pub struct Abr {
+    algorithm: AbrAlgorithm,
+    /// Relative prediction errors observed (for robustMPC's discount).
+    errors: Vec<f64>,
+    /// FESTIVE: consecutive chunks the candidate switch has been stable.
+    festive_stable: usize,
+    festive_candidate: Option<usize>,
+}
+
+impl Abr {
+    /// Creates a controller.
+    pub fn new(algorithm: AbrAlgorithm) -> Self {
+        Self { algorithm, errors: Vec::new(), festive_stable: 0, festive_candidate: None }
+    }
+
+    /// The algorithm this controller runs.
+    pub fn algorithm(&self) -> AbrAlgorithm {
+        self.algorithm
+    }
+
+    /// Records the realized throughput for the last prediction so
+    /// robustMPC can bound its optimism.
+    pub fn observe(&mut self, predicted_mbps: f64, actual_mbps: f64) {
+        if actual_mbps > 1e-6 {
+            let err = ((predicted_mbps - actual_mbps) / actual_mbps).abs();
+            self.errors.push(err);
+            if self.errors.len() > 5 {
+                self.errors.remove(0);
+            }
+        }
+    }
+
+    /// Selects the quality level for the next chunk.
+    pub fn select(&mut self, s: &AbrState<'_>) -> usize {
+        match self.algorithm {
+            AbrAlgorithm::RateBased => Self::rate_based(s, s.predicted_mbps),
+            AbrAlgorithm::FastMpc => self.mpc(s, s.predicted_mbps),
+            AbrAlgorithm::RobustMpc => {
+                let max_err = self.errors.iter().cloned().fold(0.0, f64::max);
+                self.mpc(s, s.predicted_mbps / (1.0 + max_err))
+            }
+            AbrAlgorithm::Festive => self.festive(s),
+        }
+    }
+
+    fn rate_based(s: &AbrState<'_>, tput: f64) -> usize {
+        s.levels
+            .iter()
+            .rposition(|&b| b <= tput)
+            .unwrap_or(0)
+    }
+
+    /// Exhaustive MPC over [`MPC_HORIZON`] chunks with a constant predicted
+    /// throughput, maximizing bitrate − rebuffer − smoothness.
+    fn mpc(&self, s: &AbrState<'_>, tput: f64) -> usize {
+        let k = s.levels.len();
+        // Pensieve scales the rebuffer penalty to the top quality: one
+        // second of stall cancels one chunk at the highest level.
+        let rebuf_penalty = *s.levels.last().unwrap();
+        let mut best_first = s.last_level.min(k - 1);
+        let mut best_qoe = f64::NEG_INFINITY;
+        // enumerate level sequences via counting in base k
+        let seqs = k.pow(MPC_HORIZON as u32);
+        for code in 0..seqs {
+            let mut c = code;
+            let mut buffer = s.buffer_s;
+            let mut prev = s.last_level;
+            let mut qoe = 0.0;
+            let mut first = 0;
+            for step in 0..MPC_HORIZON {
+                let level = c % k;
+                c /= k;
+                if step == 0 {
+                    first = level;
+                }
+                let dl_time = s.levels[level] * s.chunk_s / tput.max(0.01);
+                let rebuf = (dl_time - buffer).max(0.0);
+                buffer = (buffer - dl_time).max(0.0) + s.chunk_s;
+                qoe += s.levels[level] - rebuf_penalty * rebuf
+                    - SMOOTH_PENALTY * (s.levels[level] - s.levels[prev]).abs();
+                prev = level;
+            }
+            if qoe > best_qoe {
+                best_qoe = qoe;
+                best_first = first;
+            }
+        }
+        best_first
+    }
+
+    /// FESTIVE-flavoured: efficiency target 85% of predicted bandwidth,
+    /// one-level switches only, and only after the target has been stable
+    /// for a few chunks.
+    fn festive(&mut self, s: &AbrState<'_>) -> usize {
+        let target = Self::rate_based(s, 0.85 * s.predicted_mbps);
+        let cur = s.last_level;
+        if target == cur {
+            self.festive_candidate = None;
+            self.festive_stable = 0;
+            return cur;
+        }
+        // downswitches are immediate (avoid stalls); upswitches need stability
+        if target < cur {
+            self.festive_candidate = None;
+            self.festive_stable = 0;
+            return cur - 1;
+        }
+        if self.festive_candidate == Some(target) {
+            self.festive_stable += 1;
+        } else {
+            self.festive_candidate = Some(target);
+            self.festive_stable = 1;
+        }
+        if self.festive_stable >= 3 {
+            self.festive_stable = 0;
+            self.festive_candidate = None;
+            cur + 1
+        } else {
+            cur
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEVELS: [f64; 6] = [8.0, 20.0, 45.0, 90.0, 180.0, 320.0];
+
+    fn state(buffer: f64, last: usize, pred: f64) -> AbrState<'static> {
+        AbrState { buffer_s: buffer, last_level: last, predicted_mbps: pred, levels: &LEVELS, chunk_s: 2.0 }
+    }
+
+    #[test]
+    fn rate_based_picks_highest_fitting() {
+        let mut abr = Abr::new(AbrAlgorithm::RateBased);
+        assert_eq!(abr.select(&state(10.0, 0, 100.0)), 3); // 90 <= 100 < 180
+        assert_eq!(abr.select(&state(10.0, 0, 7.0)), 0); // nothing fits: lowest
+        assert_eq!(abr.select(&state(10.0, 0, 1000.0)), 5);
+    }
+
+    #[test]
+    fn mpc_upgrades_with_ample_bandwidth_and_buffer() {
+        let mut abr = Abr::new(AbrAlgorithm::FastMpc);
+        let l = abr.select(&state(20.0, 2, 400.0));
+        assert!(l >= 4, "expected high level, got {l}");
+    }
+
+    #[test]
+    fn mpc_defends_buffer_when_bandwidth_collapses() {
+        let mut abr = Abr::new(AbrAlgorithm::FastMpc);
+        let l = abr.select(&state(2.0, 5, 15.0));
+        assert!(l <= 1, "expected defensive level, got {l}");
+    }
+
+    #[test]
+    fn robust_mpc_is_more_conservative_after_errors() {
+        let mut fast = Abr::new(AbrAlgorithm::FastMpc);
+        let mut robust = Abr::new(AbrAlgorithm::RobustMpc);
+        // teach robustMPC that predictions overestimate 2×
+        robust.observe(200.0, 100.0);
+        let s = state(6.0, 3, 180.0);
+        let lf = fast.select(&s);
+        let lr = robust.select(&s);
+        assert!(lr <= lf, "robust {lr} must not exceed fast {lf}");
+        assert!(lr < 4);
+    }
+
+    #[test]
+    fn festive_upswitch_requires_stability() {
+        let mut abr = Abr::new(AbrAlgorithm::Festive);
+        let s = state(15.0, 1, 300.0);
+        // needs 3 consecutive stable targets before stepping up one level
+        assert_eq!(abr.select(&s), 1);
+        assert_eq!(abr.select(&s), 1);
+        assert_eq!(abr.select(&s), 2);
+    }
+
+    #[test]
+    fn festive_downswitch_is_immediate() {
+        let mut abr = Abr::new(AbrAlgorithm::Festive);
+        let s = state(4.0, 4, 20.0);
+        assert_eq!(abr.select(&s), 3);
+    }
+
+    #[test]
+    fn observe_window_is_bounded() {
+        let mut abr = Abr::new(AbrAlgorithm::RobustMpc);
+        for i in 0..20 {
+            abr.observe(100.0 + i as f64, 100.0);
+        }
+        assert!(abr.errors.len() <= 5);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(AbrAlgorithm::RateBased.name(), "RB");
+        assert_eq!(AbrAlgorithm::FastMpc.name(), "fastMPC");
+        assert_eq!(AbrAlgorithm::RobustMpc.name(), "robustMPC");
+        assert_eq!(AbrAlgorithm::Festive.name(), "FESTIVE");
+    }
+}

@@ -1,0 +1,152 @@
+//! Live video-conferencing QoE around handovers (§4.1, Fig. 4).
+//!
+//! The paper extracts a ±1 s window around each HO timestamp from a Zoom
+//! drive and compares latency/loss inside and outside those windows:
+//! "the average latency is 2.26× higher compared to no-handover periods
+//! (up to 14.5× in the worst case). Likewise, the average packet loss rate
+//! increases by 2.24×."
+
+use fiveg_sim::{FlowLog, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Conferencing QoE split into HO and no-HO periods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConferencingReport {
+    /// Mean latency inside HO windows, ms.
+    pub latency_ho_ms: f64,
+    /// Mean latency outside HO windows, ms.
+    pub latency_no_ho_ms: f64,
+    /// Worst-case single-sample latency inside HO windows, ms.
+    pub latency_worst_ms: f64,
+    /// Mean loss fraction inside HO windows.
+    pub loss_ho: f64,
+    /// Mean loss fraction outside HO windows.
+    pub loss_no_ho: f64,
+    /// Number of HOs covered.
+    pub ho_count: usize,
+}
+
+impl ConferencingReport {
+    /// Latency inflation factor during HOs.
+    pub fn latency_factor(&self) -> f64 {
+        if self.latency_no_ho_ms <= 0.0 {
+            0.0
+        } else {
+            self.latency_ho_ms / self.latency_no_ho_ms
+        }
+    }
+
+    /// Worst-case latency inflation factor.
+    pub fn worst_latency_factor(&self) -> f64 {
+        if self.latency_no_ho_ms <= 0.0 {
+            0.0
+        } else {
+            self.latency_worst_ms / self.latency_no_ho_ms
+        }
+    }
+
+    /// Loss inflation factor during HOs.
+    pub fn loss_factor(&self) -> f64 {
+        if self.loss_no_ho <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.loss_ho / self.loss_no_ho
+        }
+    }
+}
+
+/// Splits a CBR-workload trace's samples into ±`window_s` around HOs vs the
+/// rest and aggregates latency/loss.
+pub fn conferencing_report(trace: &Trace, window_s: f64) -> Option<ConferencingReport> {
+    let samples = match &trace.flow {
+        FlowLog::Cbr(v) => v,
+        _ => return None,
+    };
+    let in_ho_window = |t: f64| {
+        trace
+            .handovers
+            .iter()
+            .any(|h| t >= h.t_decision - window_s && t <= h.t_complete + window_s)
+    };
+    let mut ho_lat = Vec::new();
+    let mut no_lat = Vec::new();
+    let mut ho_loss = Vec::new();
+    let mut no_loss = Vec::new();
+    for s in samples {
+        if in_ho_window(s.t) {
+            ho_lat.push(s.latency_ms);
+            ho_loss.push(s.loss);
+        } else {
+            no_lat.push(s.latency_ms);
+            no_loss.push(s.loss);
+        }
+    }
+    if ho_lat.is_empty() || no_lat.is_empty() {
+        return None;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Some(ConferencingReport {
+        latency_ho_ms: mean(&ho_lat),
+        latency_no_ho_ms: mean(&no_lat),
+        latency_worst_ms: ho_lat.iter().cloned().fold(0.0, f64::max),
+        loss_ho: mean(&ho_loss),
+        loss_no_ho: mean(&no_loss),
+        ho_count: trace.handovers.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::{Arch, Carrier};
+    use fiveg_sim::{ScenarioBuilder, Workload};
+
+    fn zoom_trace(seed: u64) -> Trace {
+        // Zoom one-on-one: ~1 Mbps, 150 ms deadline (paper cites 0.6–0.95
+        // Mbps requirement)
+        ScenarioBuilder::city_loop(Carrier::OpX, seed)
+            .duration_s(500.0)
+            .sample_hz(20.0)
+            .workload(Workload::Cbr { rate_mbps: 1.0, deadline_ms: 150.0 })
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn report_extracted_and_latency_inflates_during_hos() {
+        let t = zoom_trace(81);
+        let r = conferencing_report(&t, 1.0).expect("report");
+        assert!(r.ho_count > 0);
+        assert!(
+            r.latency_factor() > 1.1,
+            "HO latency {} should exceed no-HO {}",
+            r.latency_ho_ms,
+            r.latency_no_ho_ms
+        );
+        assert!(r.worst_latency_factor() >= r.latency_factor());
+    }
+
+    #[test]
+    fn no_cbr_flow_yields_none() {
+        let t = ScenarioBuilder::city_loop(Carrier::OpX, 82)
+            .duration_s(60.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        assert!(conferencing_report(&t, 1.0).is_none());
+    }
+
+    #[test]
+    fn lte_only_also_reports() {
+        let t = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 8.0, 83)
+            .duration_s(240.0)
+            .sample_hz(20.0)
+            .workload(Workload::Cbr { rate_mbps: 1.0, deadline_ms: 150.0 })
+            .build()
+            .run();
+        // LTE drives also have HOs; the report should exist
+        if !t.handovers.is_empty() {
+            assert!(conferencing_report(&t, 1.0).is_some());
+        }
+    }
+}

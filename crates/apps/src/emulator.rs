@@ -1,0 +1,228 @@
+//! Trace-driven bandwidth emulation (the Mahimahi role, §7.4).
+//!
+//! "We collect bandwidth traces by saturating the downlink channel of a
+//! mobile device while driving. We feed these traces into Mahimahi ... We
+//! post-process the collected logs to generate 40+ traces (each spanning
+//! 240 seconds) using a sliding window across the data ... we only consider
+//! traces with an average bandwidth less than 400 Mbps (and minimum
+//! bandwidth above 2 Mbps)."
+
+use serde::{Deserialize, Serialize};
+
+/// A replayable bandwidth trace: time-ordered (t, Mbps) samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    points: Vec<(f64, f64)>,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from (t, Mbps) points (must be time-ordered).
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        assert!(
+            points.windows(2).all(|w| w[1].0 > w[0].0),
+            "points must be strictly time-ordered"
+        );
+        Self { points }
+    }
+
+    /// Trace duration, s.
+    pub fn duration_s(&self) -> f64 {
+        self.points.last().unwrap().0 - self.points[0].0
+    }
+
+    /// Capacity at `t` (step interpolation; clamped to the ends).
+    pub fn capacity_at(&self, t: f64) -> f64 {
+        let t = t + self.points[0].0; // trace-relative time
+        match self.points.binary_search_by(|p| p.0.partial_cmp(&t).unwrap()) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Mean capacity, Mbps.
+    pub fn mean_mbps(&self) -> f64 {
+        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Minimum capacity, Mbps.
+    pub fn min_mbps(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Simulates downloading `megabits` starting at trace-time `t0`;
+    /// returns the completion time (trace-relative, s). Time beyond the
+    /// trace end reuses the final capacity.
+    pub fn download_time(&self, megabits: f64, t0: f64) -> f64 {
+        const DT: f64 = 0.02;
+        let mut remaining = megabits;
+        let mut t = t0;
+        // hard cap to avoid infinite loops on zero-capacity tails
+        let cap_end = t0 + 4.0 * self.duration_s() + 600.0;
+        while remaining > 0.0 && t < cap_end {
+            let rate = self.capacity_at(t.min(self.duration_s()));
+            remaining -= rate * DT;
+            t += DT;
+        }
+        t - t0
+    }
+
+    /// Mean capacity over `[a, b)` (trace-relative), Mbps.
+    pub fn mean_over(&self, a: f64, b: f64) -> f64 {
+        const DT: f64 = 0.05;
+        let mut acc = 0.0;
+        let mut n = 0;
+        let mut t = a;
+        while t < b {
+            acc += self.capacity_at(t);
+            n += 1;
+            t += DT;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+
+    /// Slices a long capacity series into overlapping `window_s` traces
+    /// every `stride_s`, keeping only those passing the paper's filter
+    /// (mean < 400 Mbps, min > 2 Mbps).
+    pub fn slice_windows(series: &[(f64, f64)], window_s: f64, stride_s: f64) -> Vec<BandwidthTrace> {
+        if series.len() < 2 {
+            return vec![];
+        }
+        let t_start = series[0].0;
+        let t_end = series.last().unwrap().0;
+        let mut out = Vec::new();
+        let mut a = t_start;
+        while a + window_s <= t_end {
+            let pts: Vec<(f64, f64)> = series
+                .iter()
+                .filter(|p| p.0 >= a && p.0 < a + window_s)
+                .map(|&(t, c)| (t - a, c))
+                .collect();
+            if pts.len() >= 2 {
+                let tr = BandwidthTrace::new(pts);
+                if tr.mean_mbps() < 400.0 && tr.min_mbps() > 2.0 {
+                    out.push(tr);
+                }
+            }
+            a += stride_s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(mbps: f64, secs: usize) -> BandwidthTrace {
+        BandwidthTrace::new((0..=secs).map(|i| (i as f64, mbps)).collect())
+    }
+
+    #[test]
+    fn capacity_step_interpolation() {
+        let t = BandwidthTrace::new(vec![(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]);
+        assert_eq!(t.capacity_at(0.0), 10.0);
+        assert_eq!(t.capacity_at(0.5), 10.0);
+        assert_eq!(t.capacity_at(1.0), 20.0);
+        assert_eq!(t.capacity_at(1.9), 20.0);
+        assert_eq!(t.capacity_at(5.0), 30.0);
+    }
+
+    #[test]
+    fn download_time_inverse_to_rate() {
+        let t = flat(100.0, 60);
+        // 100 Mb at 100 Mbps = 1 s
+        let d = t.download_time(100.0, 0.0);
+        assert!((d - 1.0).abs() < 0.05, "{d}");
+        let t2 = flat(50.0, 60);
+        let d2 = t2.download_time(100.0, 0.0);
+        assert!((d2 - 2.0).abs() < 0.05, "{d2}");
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let t = BandwidthTrace::new(vec![(0.0, 10.0), (10.0, 30.0), (20.0, 30.0)]);
+        let m = t.mean_over(0.0, 20.0);
+        assert!((m - 20.0).abs() < 1.0, "{m}");
+    }
+
+    #[test]
+    fn slice_windows_filters_paper_criteria() {
+        // build a 1000 s series: mostly 100 Mbps, one dead zone, one 1 Gbps zone
+        let series: Vec<(f64, f64)> = (0..1000)
+            .map(|i| {
+                let c = if (300..320).contains(&i) {
+                    0.5 // fails min > 2
+                } else if (600..700).contains(&i) {
+                    900.0 // fails mean < 400 when dominant
+                } else {
+                    100.0
+                };
+                (i as f64, c)
+            })
+            .collect();
+        let traces = BandwidthTrace::slice_windows(&series, 240.0, 60.0);
+        assert!(!traces.is_empty());
+        for tr in &traces {
+            assert!(tr.mean_mbps() < 400.0);
+            assert!(tr.min_mbps() > 2.0);
+            assert!((tr.duration_s() - 239.0).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_unordered_points() {
+        let _ = BandwidthTrace::new(vec![(0.0, 1.0), (0.0, 2.0)]);
+    }
+
+    #[test]
+    fn zero_capacity_tail_terminates() {
+        let t = BandwidthTrace::new(vec![(0.0, 0.0), (10.0, 0.0)]);
+        let d = t.download_time(10.0, 0.0);
+        assert!(d.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_trace() -> impl Strategy<Value = BandwidthTrace> {
+        proptest::collection::vec(2.0..400.0f64, 2..60).prop_map(|caps| {
+            BandwidthTrace::new(caps.into_iter().enumerate().map(|(i, c)| (i as f64, c)).collect())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn download_time_monotone_in_size(tr in arb_trace(), mb in 1.0..200.0f64) {
+            let small = tr.download_time(mb, 0.0);
+            let big = tr.download_time(mb * 2.0, 0.0);
+            prop_assert!(big >= small);
+        }
+
+        #[test]
+        fn download_respects_capacity_bounds(tr in arb_trace(), mb in 1.0..200.0f64) {
+            let t = tr.download_time(mb, 0.0);
+            let max_rate = tr.mean_mbps().max(400.0);
+            let min_rate = tr.min_mbps();
+            prop_assert!(t >= mb / 400.0 - 0.05, "faster than the peak: {t}");
+            prop_assert!(t <= mb / min_rate + 0.1, "slower than the floor allows: {t}");
+            let _ = max_rate;
+        }
+
+        #[test]
+        fn capacity_at_always_within_observed_range(tr in arb_trace(), t in 0.0..120.0f64) {
+            let c = tr.capacity_at(t);
+            prop_assert!(c >= tr.min_mbps() - 1e-9);
+            prop_assert!(c <= 400.0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Application QoE layer: the workloads of §4 and the Prognos use cases of
+//! §7.4.
+//!
+//! * [`emulator`] — trace-driven bandwidth playback (the Mahimahi role):
+//!   slice recorded capacity series into 240 s traces, filter them the way
+//!   the paper does (< 400 Mbps average, > 2 Mbps minimum), and integrate
+//!   downloads over them;
+//! * [`abr`] — adaptive-bitrate algorithms: rate-based (RB), fastMPC,
+//!   robustMPC, FESTIVE, each with optional HO-aware throughput correction
+//!   (`-PR` = Prognos `ho_score`, `-GT` = ground truth);
+//! * [`vod`] — the 16K panoramic video-on-demand player (60 chunks, 6
+//!   quality levels, buffer dynamics, stall accounting);
+//! * [`volumetric`] — ViVo-style real-time volumetric streaming at 5
+//!   point-cloud density levels ({43..170} Mbps);
+//! * [`conferencing`] — Zoom-like call QoE around HOs (Fig. 4);
+//! * [`gaming`] — 4K@60FPS cloud-gaming QoE around HOs (Fig. 5).
+
+pub mod abr;
+pub mod conferencing;
+pub mod emulator;
+pub mod gaming;
+pub mod vod;
+pub mod volumetric;
+
+pub use abr::{Abr, AbrAlgorithm, AbrState, TputCorrector};
+pub use conferencing::{conferencing_report, ConferencingReport};
+pub use emulator::BandwidthTrace;
+pub use gaming::{gaming_report, GamingReport};
+pub use vod::{VodConfig, VodResult, VodSession};
+pub use volumetric::{VolumetricConfig, VolumetricResult, VolumetricSession};

@@ -1,0 +1,242 @@
+//! 16K panoramic video-on-demand over a bandwidth trace (§7.4).
+//!
+//! "Our evaluation uses a custom 16K panoramic video encoded with
+//! H.264/MPEG-4 at 6 quality levels (720p, 1080p, 2K, 4K, 8K, 16K) ... the
+//! video is divided into 60 chunks and has a total length of 120 seconds."
+//! The session downloads chunks over a [`BandwidthTrace`], maintains the
+//! playout buffer, and accounts stalls; the ABR's throughput predictor is
+//! the classic harmonic mean of the last 5 chunk throughputs, optionally
+//! corrected by a [`TputCorrector`].
+
+use crate::abr::{Abr, AbrAlgorithm, AbrState, TputCorrector};
+use crate::emulator::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+
+/// VoD session configuration.
+pub struct VodConfig {
+    /// Level bitrates, Mbps, ascending (defaults: 720p→16K).
+    pub levels: Vec<f64>,
+    /// Number of chunks.
+    pub chunks: usize,
+    /// Chunk duration, s.
+    pub chunk_s: f64,
+    /// The ABR algorithm.
+    pub algorithm: AbrAlgorithm,
+    /// Optional prediction correction (the `-PR` / `-GT` variants).
+    pub corrector: Option<TputCorrector>,
+    /// Marks times that lie inside a HO window, for the Fig. 14b
+    /// prediction-error bucketing (independent of whether a corrector is
+    /// installed).
+    pub ho_window: Option<Box<dyn Fn(f64) -> bool + Send + Sync>>,
+    /// Startup buffer target before playback begins, s.
+    pub startup_s: f64,
+}
+
+impl Default for VodConfig {
+    fn default() -> Self {
+        Self {
+            levels: vec![8.0, 20.0, 45.0, 90.0, 180.0, 320.0],
+            chunks: 60,
+            chunk_s: 2.0,
+            algorithm: AbrAlgorithm::FastMpc,
+            corrector: None,
+            ho_window: None,
+            startup_s: 4.0,
+        }
+    }
+}
+
+/// Session outcome metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VodResult {
+    /// Mean selected bitrate normalized by the top level (0..=1).
+    pub normalized_bitrate: f64,
+    /// Total stall time, s (excluding startup).
+    pub stall_s: f64,
+    /// Stall time as a fraction of video duration.
+    pub stall_frac: f64,
+    /// Mean absolute throughput prediction error, Mbps.
+    pub pred_mae_mbps: f64,
+    /// Mean absolute prediction error over chunks whose download window
+    /// overlapped a correction (HO) period, Mbps.
+    pub pred_mae_ho_mbps: f64,
+    /// Number of level switches.
+    pub switches: usize,
+}
+
+/// A runnable VoD session.
+pub struct VodSession {
+    cfg: VodConfig,
+}
+
+impl VodSession {
+    /// Creates a session.
+    pub fn new(cfg: VodConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Plays the whole video over `trace` and reports QoE.
+    pub fn run(&mut self, trace: &BandwidthTrace) -> VodResult {
+        let cfg = &self.cfg;
+        let mut abr = Abr::new(cfg.algorithm);
+        let mut t = 0.0; // wall time on the trace
+        let mut buffer = 0.0;
+        let mut last_level = 0usize;
+        let mut history: Vec<f64> = Vec::new(); // realized chunk tputs
+        let mut stall = 0.0;
+        let mut switches = 0usize;
+        let mut bitrate_acc = 0.0;
+        let mut mae_acc = 0.0;
+        let mut mae_n = 0usize;
+        let mut mae_ho_acc = 0.0;
+        let mut mae_ho_n = 0usize;
+        let mut started = false;
+
+        for _chunk in 0..cfg.chunks {
+            // harmonic-mean predictor over the last 5 chunk throughputs
+            let base_pred = if history.is_empty() {
+                cfg.levels[0] * 2.0
+            } else {
+                let tail = &history[history.len().saturating_sub(5)..];
+                tail.len() as f64 / tail.iter().map(|x| 1.0 / x.max(0.01)).sum::<f64>()
+            };
+            let correction = cfg.corrector.as_ref().map(|c| c(t)).unwrap_or(1.0);
+            let pred = base_pred * correction;
+
+            let level = abr.select(&AbrState {
+                buffer_s: buffer,
+                last_level,
+                predicted_mbps: pred,
+                levels: &cfg.levels,
+                chunk_s: cfg.chunk_s,
+            });
+            if started && level != last_level {
+                switches += 1;
+            }
+            let megabits = cfg.levels[level] * cfg.chunk_s;
+            let dl = trace.download_time(megabits, t);
+            let actual_tput = megabits / dl.max(1e-6);
+
+            // buffer dynamics: playback drains while downloading
+            if started {
+                let drained = buffer.min(dl);
+                if dl > buffer {
+                    stall += dl - buffer;
+                }
+                buffer = buffer - drained + cfg.chunk_s;
+            } else {
+                buffer += cfg.chunk_s;
+                if buffer >= cfg.startup_s {
+                    started = true;
+                }
+            }
+            t += dl;
+
+            // prediction-error accounting (Fig. 14b)
+            let err = (pred - actual_tput).abs();
+            mae_acc += err;
+            mae_n += 1;
+            let in_ho = cfg
+                .ho_window
+                .as_ref()
+                .map(|f| f(t))
+                .unwrap_or(correction != 1.0);
+            if in_ho {
+                mae_ho_acc += err;
+                mae_ho_n += 1;
+            }
+
+            abr.observe(pred, actual_tput);
+            history.push(actual_tput);
+            bitrate_acc += cfg.levels[level];
+            last_level = level;
+        }
+
+        let video_s = cfg.chunks as f64 * cfg.chunk_s;
+        VodResult {
+            normalized_bitrate: bitrate_acc / (cfg.chunks as f64 * cfg.levels.last().unwrap()),
+            stall_s: stall,
+            stall_frac: stall / video_s,
+            pred_mae_mbps: if mae_n > 0 { mae_acc / mae_n as f64 } else { 0.0 },
+            pred_mae_ho_mbps: if mae_ho_n > 0 { mae_ho_acc / mae_ho_n as f64 } else { 0.0 },
+            switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(mbps: f64) -> BandwidthTrace {
+        BandwidthTrace::new((0..=600).map(|i| (i as f64, mbps)).collect())
+    }
+
+    fn run(algorithm: AbrAlgorithm, trace: &BandwidthTrace) -> VodResult {
+        VodSession::new(VodConfig { algorithm, ..Default::default() }).run(trace)
+    }
+
+    #[test]
+    fn ample_bandwidth_no_stall_high_quality() {
+        let r = run(AbrAlgorithm::FastMpc, &flat(500.0));
+        assert_eq!(r.stall_s, 0.0);
+        assert!(r.normalized_bitrate > 0.7, "{}", r.normalized_bitrate);
+    }
+
+    #[test]
+    fn scarce_bandwidth_drops_quality() {
+        let r = run(AbrAlgorithm::FastMpc, &flat(25.0));
+        assert!(r.normalized_bitrate < 0.15, "{}", r.normalized_bitrate);
+    }
+
+    #[test]
+    fn sudden_drop_causes_stalls_for_naive_rb() {
+        // 300 Mbps for 30 s, then 10 Mbps: RB follows the harmonic mean into
+        // the cliff and stalls
+        let pts: Vec<(f64, f64)> =
+            (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 10.0 })).collect();
+        let tr = BandwidthTrace::new(pts);
+        let r = run(AbrAlgorithm::RateBased, &tr);
+        assert!(r.stall_s > 0.0, "expected stalls, got {r:?}");
+    }
+
+    #[test]
+    fn gt_corrector_reduces_stalls_on_cliff() {
+        let pts: Vec<(f64, f64)> =
+            (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 12.0 })).collect();
+        let tr = BandwidthTrace::new(pts);
+        let plain = run(AbrAlgorithm::RateBased, &tr);
+        // a "ground truth" corrector that knows about the cliff at t=30
+        let c: TputCorrector = Box::new(|t| if t > 27.0 && t < 33.0 { 0.05 } else { 1.0 });
+        let corrected = VodSession::new(VodConfig {
+            algorithm: AbrAlgorithm::RateBased,
+            corrector: Some(c),
+            ..Default::default()
+        })
+        .run(&tr);
+        assert!(
+            corrected.stall_s < plain.stall_s,
+            "corrected {} vs plain {}",
+            corrected.stall_s,
+            plain.stall_s
+        );
+    }
+
+    #[test]
+    fn stall_frac_consistent() {
+        let r = run(AbrAlgorithm::RobustMpc, &flat(60.0));
+        assert!((r.stall_frac - r.stall_s / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn festive_switches_less_than_rb() {
+        // oscillating bandwidth provokes switching
+        let pts: Vec<(f64, f64)> = (0..=600)
+            .map(|i| (i as f64, if (i / 8) % 2 == 0 { 150.0 } else { 40.0 }))
+            .collect();
+        let tr = BandwidthTrace::new(pts);
+        let rb = run(AbrAlgorithm::RateBased, &tr);
+        let fe = run(AbrAlgorithm::Festive, &tr);
+        assert!(fe.switches <= rb.switches, "festive {} vs rb {}", fe.switches, rb.switches);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tabular/sequence datasets for the baseline models.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: one feature row (or one sequence of rows for the
+/// LSTM) per window, with an integer class label (0 = "no HO").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows; all rows must share a length.
+    pub features: Vec<Vec<f64>>,
+    /// Class labels aligned with `features`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one example.
+    pub fn push(&mut self, row: Vec<f64>, label: usize) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), row.len(), "inconsistent feature width");
+        }
+        self.features.push(row);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per row (0 when empty).
+    pub fn width(&self) -> usize {
+        self.features.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+    }
+
+    /// Chronological train/test split at `train_frac` (the paper uses 60%
+    /// for training, 40% for testing — chronological, not shuffled, since
+    /// these are time series).
+    pub fn split(&self, train_frac: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * train_frac.clamp(0.0, 1.0)).round() as usize;
+        let train = Dataset {
+            features: self.features[..cut].to_vec(),
+            labels: self.labels[..cut].to_vec(),
+        };
+        let test = Dataset {
+            features: self.features[cut..].to_vec(),
+            labels: self.labels[cut..].to_vec(),
+        };
+        (train, test)
+    }
+
+    /// Per-feature z-normalization parameters from this dataset.
+    pub fn norm_params(&self) -> Vec<(f64, f64)> {
+        let w = self.width();
+        let n = self.len().max(1) as f64;
+        (0..w)
+            .map(|j| {
+                let mean = self.features.iter().map(|r| r[j]).sum::<f64>() / n;
+                let var = self.features.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+                (mean, var.sqrt().max(1e-9))
+            })
+            .collect()
+    }
+
+    /// Applies z-normalization in place.
+    pub fn normalize(&mut self, params: &[(f64, f64)]) {
+        for row in &mut self.features {
+            for (x, &(m, s)) in row.iter_mut().zip(params) {
+                *x = (*x - m) / s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64, 2.0 * i as f64], usize::from(i % 3 == 0));
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_shape() {
+        let d = sample();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn rejects_ragged_rows() {
+        let mut d = sample();
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    fn chronological_split() {
+        let d = sample();
+        let (tr, te) = d.split(0.6);
+        assert_eq!(tr.len(), 6);
+        assert_eq!(te.len(), 4);
+        assert_eq!(tr.features[5][0], 5.0);
+        assert_eq!(te.features[0][0], 6.0);
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_var() {
+        let mut d = sample();
+        let p = d.norm_params();
+        d.normalize(&p);
+        for j in 0..2 {
+            let mean = d.features.iter().map(|r| r[j]).sum::<f64>() / 10.0;
+            let var = d.features.iter().map(|r| r[j] * r[j]).sum::<f64>() / 10.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new();
+        assert!(d.is_empty());
+        assert_eq!(d.num_classes(), 0);
+        assert_eq!(d.width(), 0);
+    }
+}

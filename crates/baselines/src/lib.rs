@@ -1,0 +1,24 @@
+//! Comparative HO prediction approaches (§7.3), implemented from scratch.
+//!
+//! The paper compares Prognos against two recent techniques:
+//!
+//! * a **Gradient Boosting Classifier** (Mei et al. [49]) over lower-layer
+//!   features (serving/neighbor signal qualities) — [`gbc`], built on the
+//!   CART regression trees of [`tree`];
+//! * a **stacked LSTM** (Ozturk et al. [57]) over UE location sequences —
+//!   [`lstm`], two LSTM layers plus a softmax head, trained with Adam/BPTT.
+//!
+//! Both are *offline-trained* (the paper uses a 60/40 split) — the very
+//! property Prognos's online design criticizes. No external ML crate is
+//! available offline, so the math lives here; both models are deliberately
+//! faithful-but-small (the paper's baselines are modest models too).
+
+pub mod data;
+pub mod gbc;
+pub mod lstm;
+pub mod tree;
+
+pub use data::Dataset;
+pub use gbc::{Gbc, GbcConfig};
+pub use lstm::{LstmConfig, StackedLstm};
+pub use tree::RegressionTree;

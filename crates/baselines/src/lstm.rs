@@ -1,0 +1,481 @@
+//! Stacked LSTM classifier (the Ozturk et al. baseline).
+//!
+//! Two LSTM layers over a feature sequence (the paper feeds UE location
+//! sequences), a softmax head on the last hidden state, cross-entropy loss,
+//! full backpropagation-through-time, Adam optimizer. Written from scratch
+//! because no ML crate is available offline; kept small (hidden size ~24)
+//! like the original.
+
+use fiveg_radio::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    fn glorot(rows: usize, cols: usize, rng: &mut DetRng) -> Self {
+        let scale = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols).map(|_| rng.range(-scale, scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// y += self * x
+    fn mv_add(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] += acc;
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One LSTM layer's parameters (gate order: i, f, g, o).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LstmLayer {
+    w: Mat, // 4H x I
+    u: Mat, // 4H x H
+    b: Vec<f64>,
+    hidden: usize,
+}
+
+/// Per-timestep cache for BPTT.
+struct StepCache {
+    x: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c_prev: Vec<f64>,
+    h_prev: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+impl LstmLayer {
+    fn new(input: usize, hidden: usize, rng: &mut DetRng) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // forget-gate bias init at 1.0 (standard trick for gradient flow)
+        for x in b[hidden..2 * hidden].iter_mut() {
+            *x = 1.0;
+        }
+        Self {
+            w: Mat::glorot(4 * hidden, input, rng),
+            u: Mat::glorot(4 * hidden, hidden, rng),
+            b,
+            hidden,
+        }
+    }
+
+    fn forward(&self, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<StepCache>) {
+        let h = self.hidden;
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut caches = Vec::with_capacity(xs.len());
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for x in xs {
+            let mut z = self.b.clone();
+            self.w.mv_add(x, &mut z);
+            self.u.mv_add(&h_prev, &mut z);
+            let mut i = vec![0.0; h];
+            let mut f = vec![0.0; h];
+            let mut g = vec![0.0; h];
+            let mut o = vec![0.0; h];
+            let mut c = vec![0.0; h];
+            let mut tanh_c = vec![0.0; h];
+            let mut h_new = vec![0.0; h];
+            for k in 0..h {
+                i[k] = sigmoid(z[k]);
+                f[k] = sigmoid(z[h + k]);
+                g[k] = z[2 * h + k].tanh();
+                o[k] = sigmoid(z[3 * h + k]);
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+                tanh_c[k] = c[k].tanh();
+                h_new[k] = o[k] * tanh_c[k];
+            }
+            caches.push(StepCache {
+                x: x.clone(),
+                i,
+                f,
+                g,
+                o,
+                c_prev: c_prev.clone(),
+                h_prev: h_prev.clone(),
+                tanh_c,
+            });
+            hs.push(h_new.clone());
+            h_prev = h_new;
+            c_prev = c;
+        }
+        (hs, caches)
+    }
+
+    /// BPTT. `dhs[t]` is dL/dh_t coming from above (head and/or next layer).
+    /// Returns dL/dx per timestep; accumulates parameter grads in `grads`.
+    fn backward(&self, caches: &[StepCache], dhs: &[Vec<f64>], grads: &mut LayerGrads) -> Vec<Vec<f64>> {
+        let h = self.hidden;
+        let t_len = caches.len();
+        let input = self.w.cols;
+        let mut dxs = vec![vec![0.0; input]; t_len];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let mut dh = dhs[t].clone();
+            for k in 0..h {
+                dh[k] += dh_next[k];
+            }
+            let mut dz = vec![0.0; 4 * h];
+            let mut dc = dc_next.clone();
+            for k in 0..h {
+                let do_ = dh[k] * cache.tanh_c[k];
+                dc[k] += dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                let di = dc[k] * cache.g[k];
+                let df = dc[k] * cache.c_prev[k];
+                let dg = dc[k] * cache.i[k];
+                dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+                dc_next[k] = dc[k] * cache.f[k];
+            }
+            // parameter grads and downstream deltas
+            for r in 0..4 * h {
+                grads.b[r] += dz[r];
+                for c_ in 0..input {
+                    *grads.w.at_mut(r, c_) += dz[r] * cache.x[c_];
+                }
+                for c_ in 0..h {
+                    *grads.u.at_mut(r, c_) += dz[r] * cache.h_prev[c_];
+                }
+            }
+            for c_ in 0..input {
+                let mut acc = 0.0;
+                for r in 0..4 * h {
+                    acc += self.w.at(r, c_) * dz[r];
+                }
+                dxs[t][c_] = acc;
+            }
+            for c_ in 0..h {
+                let mut acc = 0.0;
+                for r in 0..4 * h {
+                    acc += self.u.at(r, c_) * dz[r];
+                }
+                dh_next[c_] = acc;
+            }
+        }
+        dxs
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LayerGrads {
+    w: Mat,
+    u: Mat,
+    b: Vec<f64>,
+}
+
+impl LayerGrads {
+    fn zeros_like(l: &LstmLayer) -> Self {
+        Self { w: Mat::zeros(l.w.rows, l.w.cols), u: Mat::zeros(l.u.rows, l.u.cols), b: vec![0.0; l.b.len()] }
+    }
+}
+
+/// Network hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmConfig {
+    /// Hidden units per LSTM layer.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// PRNG seed for initialization.
+    pub seed: u64,
+    /// Weight the loss by softened inverse class frequency (HO windows are
+    /// rare; without this the net collapses to the background class).
+    pub balanced: bool,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self { hidden: 24, epochs: 12, learning_rate: 0.01, seed: 7, balanced: true }
+    }
+}
+
+/// The stacked (2-layer) LSTM classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackedLstm {
+    l1: LstmLayer,
+    l2: LstmLayer,
+    w_out: Mat, // K x H
+    b_out: Vec<f64>,
+    num_classes: usize,
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+/// Adam state for one flat parameter vector.
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: i32,
+    lr: f64,
+}
+
+impl Adam {
+    fn new(n: usize, lr: f64) -> Self {
+        Self { m: vec![0.0; n], v: vec![0.0; n], t: 0, lr }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let b1t = 1.0 - B1.powi(self.t);
+        let b2t = 1.0 - B2.powi(self.t);
+        for k in 0..params.len() {
+            // clip to keep BPTT stable
+            let g = grads[k].clamp(-5.0, 5.0);
+            self.m[k] = B1 * self.m[k] + (1.0 - B1) * g;
+            self.v[k] = B2 * self.v[k] + (1.0 - B2) * g * g;
+            params[k] -= self.lr * (self.m[k] / b1t) / ((self.v[k] / b2t).sqrt() + EPS);
+        }
+    }
+}
+
+impl StackedLstm {
+    /// Trains on sequences: `xs[i]` is a `T × input` sequence with label
+    /// `ys[i]` in `0..num_classes`.
+    pub fn train(xs: &[Vec<Vec<f64>>], ys: &[usize], cfg: &LstmConfig) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty training set");
+        let input = xs[0][0].len();
+        let k = ys.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = DetRng::new(cfg.seed);
+        let mut net = StackedLstm {
+            l1: LstmLayer::new(input, cfg.hidden, &mut rng),
+            l2: LstmLayer::new(cfg.hidden, cfg.hidden, &mut rng),
+            w_out: Mat::glorot(k, cfg.hidden, &mut rng),
+            b_out: vec![0.0; k],
+            num_classes: k,
+        };
+        // softened inverse-frequency class weights
+        let weights: Vec<f64> = if cfg.balanced {
+            let mut counts = vec![1.0f64; k];
+            for &y in ys {
+                counts[y] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            counts.iter().map(|&c| (total / (k as f64 * c)).sqrt().min(30.0)).collect()
+        } else {
+            vec![1.0; k]
+        };
+        let n_params = |l: &LstmLayer| l.w.data.len() + l.u.data.len() + l.b.len();
+        let mut adam = Adam::new(
+            n_params(&net.l1) + n_params(&net.l2) + net.w_out.data.len() + net.b_out.len(),
+            cfg.learning_rate,
+        );
+        let order: Vec<usize> = (0..xs.len()).collect();
+        for _epoch in 0..cfg.epochs {
+            // accumulate gradients over the (small) dataset in minibatches
+            for chunk in order.chunks(16) {
+                let mut g1 = LayerGrads::zeros_like(&net.l1);
+                let mut g2 = LayerGrads::zeros_like(&net.l2);
+                let mut gw = Mat::zeros(net.w_out.rows, net.w_out.cols);
+                let mut gb = vec![0.0; net.b_out.len()];
+                for &i in chunk {
+                    let (h1, c1) = net.l1.forward(&xs[i]);
+                    let (h2, c2) = net.l2.forward(&h1);
+                    let last = h2.last().unwrap();
+                    let mut logits = net.b_out.clone();
+                    net.w_out.mv_add(last, &mut logits);
+                    let probs = softmax(&logits);
+                    // dL/dlogit = (p - onehot), weighted by the class weight
+                    let w = weights[ys[i]];
+                    let mut dlast = vec![0.0; net.l2.hidden];
+                    for c in 0..net.num_classes {
+                        let d = w * (probs[c] - if ys[i] == c { 1.0 } else { 0.0 });
+                        gb[c] += d;
+                        for j in 0..net.l2.hidden {
+                            *gw.at_mut(c, j) += d * last[j];
+                            dlast[j] += d * net.w_out.at(c, j);
+                        }
+                    }
+                    let mut dh2 = vec![vec![0.0; net.l2.hidden]; h2.len()];
+                    *dh2.last_mut().unwrap() = dlast;
+                    let dx2 = net.l2.backward(&c2, &dh2, &mut g2);
+                    net.l1.backward(&c1, &dx2, &mut g1);
+                }
+                // flatten params + grads and take an Adam step
+                let scale = 1.0 / chunk.len() as f64;
+                let mut params: Vec<f64> = Vec::new();
+                let mut grads: Vec<f64> = Vec::new();
+                for (p, g) in [
+                    (&mut net.l1.w.data, &g1.w.data),
+                    (&mut net.l1.u.data, &g1.u.data),
+                    (&mut net.l1.b, &g1.b),
+                    (&mut net.l2.w.data, &g2.w.data),
+                    (&mut net.l2.u.data, &g2.u.data),
+                    (&mut net.l2.b, &g2.b),
+                    (&mut net.w_out.data, &gw.data),
+                    (&mut net.b_out, &gb),
+                ] {
+                    params.extend(p.iter());
+                    grads.extend(g.iter().map(|x| x * scale));
+                }
+                adam.step(&mut params, &grads);
+                // write back
+                let mut off = 0;
+                for p in [
+                    &mut net.l1.w.data,
+                    &mut net.l1.u.data,
+                    &mut net.l1.b,
+                    &mut net.l2.w.data,
+                    &mut net.l2.u.data,
+                    &mut net.l2.b,
+                    &mut net.w_out.data,
+                    &mut net.b_out,
+                ] {
+                    let len = p.len();
+                    p.copy_from_slice(&params[off..off + len]);
+                    off += len;
+                }
+            }
+        }
+        net
+    }
+
+    /// Class probabilities for one sequence.
+    pub fn predict_proba(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let (h1, _) = self.l1.forward(xs);
+        let (h2, _) = self.l2.forward(&h1);
+        let last = h2.last().expect("empty sequence");
+        let mut logits = self.b_out.clone();
+        self.w_out.mv_add(last, &mut logits);
+        softmax(&logits)
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> usize {
+        self.predict_proba(xs)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequences rising vs falling: a minimal temporal classification task.
+    fn slope_dataset(n: usize) -> (Vec<Vec<Vec<f64>>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let up = i % 2 == 0;
+            let jitter = (i % 5) as f64 * 0.1;
+            let seq: Vec<Vec<f64>> = (0..10)
+                .map(|t| {
+                    let v = if up { t as f64 } else { 9.0 - t as f64 };
+                    vec![v * 0.1 + jitter]
+                })
+                .collect();
+            xs.push(seq);
+            ys.push(usize::from(up));
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_temporal_direction() {
+        let (xs, ys) = slope_dataset(40);
+        let net = StackedLstm::train(
+            &xs,
+            &ys,
+            &LstmConfig { hidden: 12, epochs: 30, learning_rate: 0.02, seed: 3, balanced: false },
+        );
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| net.predict(x) == y).count();
+        assert!(correct >= 36, "{correct}/40");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (xs, ys) = slope_dataset(10);
+        let net = StackedLstm::train(&xs, &ys, &LstmConfig { epochs: 2, ..Default::default() });
+        let p = net.predict_proba(&xs[0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = slope_dataset(10);
+        let cfg = LstmConfig { epochs: 3, ..Default::default() };
+        let a = StackedLstm::train(&xs, &ys, &cfg);
+        let b = StackedLstm::train(&xs, &ys, &cfg);
+        assert_eq!(a.predict_proba(&xs[3]), b.predict_proba(&xs[3]));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (xs, ys) = slope_dataset(20);
+        let loss = |net: &StackedLstm| -> f64 {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, &y)| -net.predict_proba(x)[y].max(1e-12).ln())
+                .sum::<f64>()
+                / xs.len() as f64
+        };
+        let early = StackedLstm::train(&xs, &ys, &LstmConfig { epochs: 1, ..Default::default() });
+        let late = StackedLstm::train(&xs, &ys, &LstmConfig { epochs: 25, ..Default::default() });
+        assert!(loss(&late) < loss(&early), "{} vs {}", loss(&late), loss(&early));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        let _ = StackedLstm::train(&[], &[], &LstmConfig::default());
+    }
+}

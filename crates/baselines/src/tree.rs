@@ -1,0 +1,209 @@
+//! CART regression trees: the weak learner of the gradient booster.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary regression tree fit by variance reduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegressionTree {
+    /// Terminal node with a predicted value.
+    Leaf {
+        /// Prediction.
+        value: f64,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Node {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left subtree (<=).
+        left: Box<RegressionTree>,
+        /// Right subtree (>).
+        right: Box<RegressionTree>,
+    },
+}
+
+/// Tree-growing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Candidate thresholds tried per feature (quantile grid).
+    pub candidate_splits: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 3, min_samples_split: 10, candidate_splits: 16 }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(features, targets)` on the given row subset.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64], cfg: &TreeConfig) -> Self {
+        assert_eq!(features.len(), targets.len());
+        let idx: Vec<usize> = (0..features.len()).collect();
+        Self::grow(features, targets, &idx, cfg, 0)
+    }
+
+    fn mean(targets: &[f64], idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn sse(targets: &[f64], idx: &[usize]) -> f64 {
+        let m = Self::mean(targets, idx);
+        idx.iter().map(|&i| (targets[i] - m).powi(2)).sum()
+    }
+
+    fn grow(features: &[Vec<f64>], targets: &[f64], idx: &[usize], cfg: &TreeConfig, depth: usize) -> Self {
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+            return RegressionTree::Leaf { value: Self::mean(targets, idx) };
+        }
+        let parent_sse = Self::sse(targets, idx);
+        if parent_sse < 1e-12 {
+            return RegressionTree::Leaf { value: Self::mean(targets, idx) };
+        }
+        let width = features[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for f in 0..width {
+            // quantile threshold candidates
+            let mut vals: Vec<f64> = idx.iter().map(|&i| features[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // candidate thresholds: quantile grid over the distinct values,
+            // excluding the maximum (x <= max never splits)
+            let usable = vals.len() - 1;
+            let step = (usable as f64 / cfg.candidate_splits as f64).max(1.0);
+            let mut k = 0.0;
+            while (k as usize) < usable {
+                let thr = vals[k as usize];
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| features[i][f] <= thr);
+                if !l.is_empty() && !r.is_empty() {
+                    let gain = parent_sse - Self::sse(targets, &l) - Self::sse(targets, &r);
+                    if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                        best = Some((f, thr, gain));
+                    }
+                }
+                k += step;
+            }
+        }
+        match best {
+            None => RegressionTree::Leaf { value: Self::mean(targets, idx) },
+            Some((feature, threshold, _)) => {
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| features[i][feature] <= threshold);
+                RegressionTree::Node {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::grow(features, targets, &l, cfg, depth + 1)),
+                    right: Box::new(Self::grow(features, targets, &r, cfg, depth + 1)),
+                }
+            }
+        }
+    }
+
+    /// Predicts for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            RegressionTree::Leaf { value } => *value,
+            RegressionTree::Node { feature, threshold, left, right } => {
+                if row[*feature] <= *threshold {
+                    left.predict(row)
+                } else {
+                    right.predict(row)
+                }
+            }
+        }
+    }
+
+    /// Tree depth (leaves have depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            RegressionTree::Leaf { .. } => 1,
+            RegressionTree::Node { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let features: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..40).map(|i| if i < 20 { -1.0 } else { 1.0 }).collect();
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
+        assert_eq!(t.predict(&[5.0]), -1.0);
+        assert_eq!(t.predict(&[35.0]), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+        let t = RegressionTree::fit(
+            &features,
+            &targets,
+            &TreeConfig { max_depth: 2, ..Default::default() },
+        );
+        assert!(t.depth() <= 3); // depth counts the leaf level
+    }
+
+    #[test]
+    fn constant_targets_give_leaf() {
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let targets = vec![7.0; 30];
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
+        assert_eq!(t, RegressionTree::Leaf { value: 7.0 });
+    }
+
+    #[test]
+    fn small_node_not_split() {
+        let features: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let t = RegressionTree::fit(
+            &features,
+            &targets,
+            &TreeConfig { min_samples_split: 10, ..Default::default() },
+        );
+        assert!(matches!(t, RegressionTree::Leaf { .. }));
+    }
+
+    #[test]
+    fn uses_the_informative_feature() {
+        // feature 0 is noise-ish, feature 1 carries the signal
+        let features: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64]).collect();
+        let targets: Vec<f64> = (0..60).map(|i| (i % 2) as f64 * 10.0).collect();
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
+        match t {
+            RegressionTree::Node { feature, .. } => assert_eq!(feature, 1),
+            _ => panic!("expected a split"),
+        }
+    }
+
+    #[test]
+    fn prediction_reduces_training_error() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let targets: Vec<f64> = (0..100).map(|i| (i / 25) as f64).collect();
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
+        let mean = targets.iter().sum::<f64>() / 100.0;
+        let base: f64 = targets.iter().map(|y| (y - mean).powi(2)).sum();
+        let fit: f64 = features
+            .iter()
+            .zip(&targets)
+            .map(|(x, y)| (y - t.predict(x)).powi(2))
+            .sum();
+        assert!(fit < base / 4.0, "fit {fit} vs base {base}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 7 — TCP (BBR) RTT during HOs: dual mode vs 5G-only mode (§4.2).
+//!
+//! Paper: without HOs, 5G-only mode has lower RTT than dual mode (the dual
+//! path detours core→eNB→gNB); during 5G HOs dual mode's median RTT barely
+//! changes (1–4%) while 5G-only inflates 37–58%.
+
+use fiveg_bench::fmt;
+use fiveg_link::Cca;
+use fiveg_ran::{Carrier, HoCategory};
+use fiveg_sim::{FlowLog, ScenarioBuilder, Trace, Workload};
+
+/// Median RTT inside and outside 5G-HO windows.
+fn rtt_split(t: &Trace) -> (f64, f64) {
+    let samples = match &t.flow {
+        FlowLog::Tcp(v) => v,
+        _ => panic!("expected TCP flow"),
+    };
+    let in_ho = |x: f64| {
+        t.handovers.iter().any(|h| {
+            h.ho_type.category() == HoCategory::FiveG
+                && x >= h.t_decision
+                && x <= h.t_complete + 0.5
+        })
+    };
+    let mut ho: Vec<f64> = Vec::new();
+    let mut no: Vec<f64> = Vec::new();
+    for s in samples {
+        if in_ho(s.t) {
+            ho.push(s.rtt_ms);
+        } else {
+            no.push(s.rtt_ms);
+        }
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v[v.len() / 2]
+        }
+    };
+    (med(&mut no), med(&mut ho))
+}
+
+fn main() {
+    fmt::header("Fig. 7 — TCP BBR RTT during HOs: dual vs 5G-only bearer");
+
+    let run = |dual: bool| {
+        ScenarioBuilder::city_loop(Carrier::OpX, 71)
+            .duration_s(700.0)
+            .sample_hz(20.0)
+            .workload(Workload::Bulk(Cca::Bbr))
+            .force_dual(dual)
+            .build()
+            .run()
+    };
+    let dual = run(true);
+    let only = run(false);
+
+    let (d_no, d_ho) = rtt_split(&dual);
+    let (o_no, o_ho) = rtt_split(&only);
+
+    fmt::table(
+        &["mode", "median RTT w/o HO ms", "median RTT during 5G HO ms", "change"],
+        &[
+            vec!["dual".into(), fmt::f(d_no, 1), fmt::f(d_ho, 1), format!("{:+.0}%", (d_ho / d_no - 1.0) * 100.0)],
+            vec!["5G-only".into(), fmt::f(o_no, 1), fmt::f(o_ho, 1), format!("{:+.0}%", (o_ho / o_no - 1.0) * 100.0)],
+        ],
+    );
+    fmt::compare("5G-only RTT w/o HO vs dual (lower is the point)", "lower", &format!("{o_no:.1} vs {d_no:.1} ms"));
+    fmt::compare("dual-mode median RTT change during 5G HOs", "1-4%", &format!("{:+.0}%", (d_ho / d_no - 1.0) * 100.0));
+    fmt::compare("5G-only median RTT change during 5G HOs", "+37-58%", &format!("{:+.0}%", (o_ho / o_no - 1.0) * 100.0));
+
+    assert!(o_no < d_no, "5G-only must have lower no-HO RTT than dual");
+    let dual_change = (d_ho / d_no - 1.0).abs();
+    let only_change = o_ho / o_no - 1.0;
+    assert!(only_change > dual_change + 0.1, "5G-only must suffer far more during 5G HOs");
+    println!("\nOK fig07_rtt_modes");
+}

@@ -1,0 +1,73 @@
+//! Fig. 10 — Power/energy of handovers: LTE vs NSA low-band vs NSA mmWave.
+//!
+//! Paper: NSA HOs draw 1.2–2.3× the power of LTE HOs; a single mmWave HO
+//! draws ~54% less power than a low-band HO (shorter PRACH) yet mmWave
+//! costs 1.9–2.4× more energy per km (sheer HO frequency).
+
+use fiveg_analysis::EnergyReport;
+use fiveg_bench::fmt;
+use fiveg_radio::BandClass;
+use fiveg_ran::{Arch, Carrier};
+use fiveg_sim::ScenarioBuilder;
+use fiveg_ue::PowerModel;
+
+fn main() {
+    fmt::header("Fig. 10 — HO power and energy per distance (OpX)");
+    let model = PowerModel::default();
+
+    // LTE mid-band freeway drive
+    let lte = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 30.0, 101)
+        .duration_s(900.0)
+        .sample_hz(10.0)
+        .build()
+        .run();
+    // NSA low-band freeway drive
+    let low = ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 30.0, 101)
+        .duration_s(900.0)
+        .sample_hz(10.0)
+        .build()
+        .run();
+    // NSA mmWave city loops
+    let mm = ScenarioBuilder::city_loop_dense(Carrier::OpX, 102)
+        .duration_s(1500.0)
+        .sample_hz(10.0)
+        .build()
+        .run();
+
+    let r_lte = EnergyReport::over(&lte, &model, |_| true);
+    let r_low = EnergyReport::over(&low, &model, |h| h.nr_band != Some(BandClass::MmWave));
+    let r_mm = EnergyReport::over(&mm, &model, |h| h.nr_band == Some(BandClass::MmWave));
+
+    fmt::table(
+        &["scenario", "HOs", "mean HO power W", "energy J/km", "total mAh"],
+        &[
+            vec!["LTE (mid-band)".into(), r_lte.ho_count.to_string(), fmt::f(r_lte.mean_ho_power_w, 2), fmt::f(r_lte.j_per_km, 2), fmt::f(r_lte.total_mah, 2)],
+            vec!["NSA low-band".into(), r_low.ho_count.to_string(), fmt::f(r_low.mean_ho_power_w, 2), fmt::f(r_low.j_per_km, 2), fmt::f(r_low.total_mah, 2)],
+            vec!["NSA mmWave".into(), r_mm.ho_count.to_string(), fmt::f(r_mm.mean_ho_power_w, 2), fmt::f(r_mm.j_per_km, 2), fmt::f(r_mm.total_mah, 2)],
+        ],
+    );
+
+    fmt::compare(
+        "NSA HO power vs LTE HO power",
+        "1.2x - 2.3x",
+        &format!("{:.1}x", r_low.mean_ho_power_w / r_lte.mean_ho_power_w),
+    );
+    fmt::compare(
+        "single mmWave HO power vs low-band HO power",
+        "-54%",
+        &format!("{:.0}%", (r_mm.mean_ho_power_w / r_low.mean_ho_power_w - 1.0) * 100.0),
+    );
+    // compare per-km energies on comparable NR HOs
+    let low_per_km = r_low.j_per_km;
+    let mm_per_km = r_mm.j_per_km;
+    fmt::compare(
+        "mmWave energy per km vs low-band",
+        "1.9x - 2.4x",
+        &format!("{:.1}x", mm_per_km / low_per_km),
+    );
+
+    assert!(r_low.mean_ho_power_w > r_lte.mean_ho_power_w * 1.15);
+    assert!(r_mm.mean_ho_power_w < r_low.mean_ho_power_w * 0.7);
+    assert!(mm_per_km > low_per_km * 1.3);
+    println!("\nOK fig10_energy");
+}

@@ -1,0 +1,55 @@
+//! Fig. 12 + §6.2 — SCG Change (inter-gNB) throughput across HO phases.
+//!
+//! Paper: counter-intuitively, post-HO throughput is ~14% *lower* than
+//! pre-HO on average — NSA's release+add SCGC optimizes each leg
+//! independently and often lands on a cell with no overall improvement.
+
+use fiveg_analysis::tput_phases::{ho_phase_throughput, mean_phase};
+use fiveg_bench::fmt;
+use fiveg_ran::{Carrier, HoType};
+use fiveg_sim::ScenarioBuilder;
+
+fn main() {
+    fmt::header("Fig. 12 — SCGC throughput: pre / exec / post (mmWave walk)");
+
+    let mut phases = Vec::new();
+    for seed in 120..125u64 {
+        let t = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
+            .sample_hz(20.0)
+            .build()
+            .run();
+        phases.extend(
+            ho_phase_throughput(&t)
+                .into_iter()
+                .filter(|p| p.nr_band == Some(fiveg_radio::BandClass::MmWave)),
+        );
+    }
+    let scgc: Vec<_> = phases.iter().filter(|p| p.ho_type == HoType::Scgc).collect();
+    println!("  SCGC events observed: {}", scgc.len());
+
+    let pre = mean_phase(&phases, HoType::Scgc, |p| p.pre_mbps);
+    let exec = mean_phase(&phases, HoType::Scgc, |p| p.exec_mbps);
+    let post = mean_phase(&phases, HoType::Scgc, |p| p.post_mbps);
+    fmt::table(
+        &["phase", "mean DL throughput Mbps"],
+        &[
+            vec!["HO_pre".into(), fmt::f(pre, 0)],
+            vec!["HO_exec".into(), fmt::f(exec, 0)],
+            vec!["HO_post".into(), fmt::f(post, 0)],
+        ],
+    );
+    fmt::compare(
+        "post-HO vs pre-HO throughput",
+        "-14%",
+        &format!("{:+.0}%", (post / pre - 1.0) * 100.0),
+    );
+    fmt::compare("execution-phase dip vs pre", "deep", &format!("{:.1}x lower", pre / exec.max(1.0)));
+
+    assert!(!scgc.is_empty(), "need SCGC events");
+    assert!(exec < pre, "throughput must dip during SCGC execution");
+    assert!(
+        post < pre * 2.0,
+        "inter-gNB SCGC must not systematically boost throughput the way SCGA does (paper: -14%)"
+    );
+    println!("\nOK fig12_scgc_bw");
+}

@@ -1,0 +1,72 @@
+//! Fig. 13 + §6.3 — eNB/gNB co-location: duration impact and prevalence.
+//!
+//! Paper: NSA HOs whose 4G and 5G PCIs are equal (co-located towers) are
+//! ~13 ms shorter on average; co-location is observed in 5%–36% of NSA
+//! low-band samples depending on carrier; same-PCI pairs are verified by
+//! overlapping convex hulls.
+
+use fiveg_analysis::{colocated_sample_fraction, same_pci_pairs_overlap, DurationStats};
+use fiveg_bench::fmt;
+use fiveg_ran::{Carrier, HoCategory};
+use fiveg_sim::{ScenarioBuilder, Trace};
+
+fn city(carrier: Carrier, seed: u64) -> Trace {
+    ScenarioBuilder::city_loop(carrier, seed)
+        .duration_s(1400.0)
+        .sample_hz(10.0)
+        .build()
+        .run()
+}
+
+fn main() {
+    fmt::header("Fig. 13 / §6.3 — eNB/gNB co-location");
+
+    fmt::section("co-located sample fraction per carrier (paper: 5%-36%)");
+    let mut traces = Vec::new();
+    let mut rows = Vec::new();
+    for (i, carrier) in Carrier::ALL.iter().enumerate() {
+        let t = city(*carrier, 130 + i as u64);
+        let f = colocated_sample_fraction(&t);
+        let (verified, total) = same_pci_pairs_overlap(&t);
+        rows.push(vec![
+            carrier.to_string(),
+            format!("{:.0}%", f * 100.0),
+            format!("{verified}/{total}"),
+        ]);
+        traces.push(t);
+    }
+    fmt::table(&["carrier", "same-PCI samples", "hulls overlapping"], &rows);
+
+    fmt::section("HO duration: same 4G/5G PCI vs different (NSA 5G HOs)");
+    let mut same_all = Vec::new();
+    let mut diff_all = Vec::new();
+    for t in &traces {
+        for h in &t.handovers {
+            if h.nr_band.is_some() && h.ho_type.category() == HoCategory::FiveG {
+                if h.co_located {
+                    same_all.push(h.duration_ms());
+                } else {
+                    diff_all.push(h.duration_ms());
+                }
+            }
+        }
+    }
+    let same = DurationStats::from_values(&same_all);
+    let diff = DurationStats::from_values(&diff_all);
+    fmt::table(
+        &["group", "n", "mean ms", "median ms"],
+        &[
+            vec!["same PCI (co-located)".into(), same.count.to_string(), fmt::f(same.mean_ms, 0), fmt::f(same.median_ms, 0)],
+            vec!["diff PCI".into(), diff.count.to_string(), fmt::f(diff.mean_ms, 0), fmt::f(diff.median_ms, 0)],
+        ],
+    );
+    fmt::compare(
+        "cross-tower penalty (diff - same, mean)",
+        "~13 ms",
+        &format!("{:.0} ms", diff.mean_ms - same.mean_ms),
+    );
+    if same.count >= 5 && diff.count >= 5 {
+        assert!(diff.mean_ms > same.mean_ms + 5.0, "co-located HOs must be shorter");
+    }
+    println!("\nOK fig13_colocation");
+}

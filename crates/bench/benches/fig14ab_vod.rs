@@ -1,0 +1,219 @@
+//! Fig. 14a/14b — 16K panoramic VoD with HO-aware rate adaptation.
+//!
+//! Paper: correcting the ABR throughput prediction with Prognos's ho_score
+//! cuts stall time 34.6–58.6% without degrading quality (14a), and improves
+//! throughput-prediction accuracy during HOs by 52.4–61.3% (14b); QoE lands
+//! within a fraction of a percent of the ground-truth variant.
+
+use fiveg_apps::abr::{AbrAlgorithm, TputCorrector};
+use fiveg_apps::emulator::BandwidthTrace;
+use fiveg_apps::vod::{VodConfig, VodSession};
+use fiveg_bench::driver::{calibrate_scores, gt_score_fn, run_prognos_scored};
+use fiveg_bench::fmt;
+use fiveg_ran::Carrier;
+use fiveg_sim::{ScenarioBuilder, Trace, Workload};
+
+/// A sliced bandwidth trace plus its offset into the source sim trace.
+struct Slice {
+    bw: BandwidthTrace,
+    offset_s: f64,
+    source: usize,
+}
+
+/// Collects 240 s bandwidth traces from saturating drives (§7.4's method),
+/// keeping the offsets so the HO-aware correctors line up.
+fn collect_slices(sources: &[Trace]) -> Vec<Slice> {
+    let mut out = Vec::new();
+    for (si, t) in sources.iter().enumerate() {
+        // the paper's bandwidth traces are 1 Hz throughput logs: bucket the
+        // 20 Hz capacity series into 1 s means before slicing
+        let raw = t.bandwidth_series();
+        let secs = t.meta.duration_s as usize;
+        let mut series: Vec<(f64, f64)> = Vec::with_capacity(secs);
+        for sec in 0..secs {
+            let (a, b) = (sec as f64, sec as f64 + 1.0);
+            let vals: Vec<f64> = raw.iter().filter(|p| p.0 >= a && p.0 < b).map(|p| p.1).collect();
+            if !vals.is_empty() {
+                series.push((a, vals.iter().sum::<f64>() / vals.len() as f64));
+            }
+        }
+        let mut a = 0.0;
+        while a + 240.0 <= t.meta.duration_s {
+            let pts: Vec<(f64, f64)> = series
+                .iter()
+                .filter(|p| p.0 >= a && p.0 < a + 240.0)
+                .map(|&(x, c)| (x - a, c))
+                .collect();
+            if pts.len() >= 2 {
+                let bw = BandwidthTrace::new(pts);
+                if bw.mean_mbps() < 400.0 && bw.min_mbps() > 2.0 {
+                    out.push(Slice { bw, offset_s: a, source: si });
+                }
+            }
+            a += 60.0;
+        }
+    }
+    out
+}
+
+fn main() {
+    fmt::header("Fig. 14a/b — 16K panoramic VoD with HO prediction");
+
+    // saturating drives over low-band + mmWave coverage (OpX, like §7.4)
+    let mut sources = Vec::new();
+    for seed in 140..143u64 {
+        sources.push(
+            ScenarioBuilder::city_loop(Carrier::OpX, seed)
+                .duration_s(900.0)
+                .sample_hz(20.0)
+                .workload(Workload::Bulk(fiveg_link::Cca::Cubic))
+                .build()
+                .run(),
+        );
+    }
+    // mmWave walking loops add the wild-fluctuation traces
+    for seed in 143..145u64 {
+        sources.push(
+            ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
+                .duration_s(900.0)
+                .sample_hz(20.0)
+                .build()
+                .run(),
+        );
+    }
+    let slices = collect_slices(&sources);
+    println!("  {} bandwidth traces of 240 s (paper: 40+)", slices.len());
+
+    // Prognos ho_score step series per source trace (Arc'd so per-slice
+    // corrector closures can share them)
+    use std::sync::Arc;
+    let score_table = calibrate_scores(&sources.iter().collect::<Vec<_>>());
+    let pr_series: Vec<Arc<Vec<(f64, f64)>>> = sources
+        .iter()
+        .map(|t| {
+            let (run, _) = run_prognos_scored(
+                t,
+                prognos::PrognosConfig::default(),
+                None,
+                None,
+                Some(score_table.clone()),
+            );
+            Arc::new(run.windows.iter().map(|w| (w.t, w.ho_score)).collect())
+        })
+        .collect();
+    let lookup = |series: &Arc<Vec<(f64, f64)>>, t: f64| -> f64 {
+        match series.binary_search_by(|p| p.0.partial_cmp(&t).unwrap()) {
+            Ok(i) => series[i].1,
+            Err(0) => 1.0,
+            Err(i) => series[i - 1].1,
+        }
+    };
+    let ho_window_fns: Vec<Vec<(f64, f64)>> = sources
+        .iter()
+        .map(|t| {
+            t.handovers
+                .iter()
+                .map(|h| (h.t_decision - 1.0, h.t_complete + 1.0))
+                .collect()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut summaries: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for algo in [AbrAlgorithm::RateBased, AbrAlgorithm::FastMpc, AbrAlgorithm::RobustMpc] {
+        for variant in ["orig", "GT", "PR"] {
+            let mut stall = 0.0;
+            let mut quality = 0.0;
+            let mut mae = 0.0;
+            let mut mae_ho = 0.0;
+            let mut mae_ho_n = 0usize;
+            for s in &slices {
+                let off = s.offset_s;
+                let src = s.source;
+                let corrector: Option<TputCorrector> = match variant {
+                    // Scores are clamped to the degradation side: a chunk
+                    // whose download spans the HO cannot yet realize a
+                    // post-HO *boost*, so acting on scores > 1 prematurely
+                    // inflates the prediction and causes stalls. Anticipating
+                    // deterioration is where the QoE win is.
+                    "GT" => {
+                        let g = gt_score_fn(&sources[src]);
+                        Some(Box::new(move |t: f64| g(t + off)))
+                    }
+                    "PR" => {
+                        let series = Arc::clone(&pr_series[src]);
+                        Some(Box::new(move |t: f64| lookup(&series, t + off)))
+                    }
+                    _ => None,
+                };
+                let windows = ho_window_fns[src].clone();
+                let ho_window: Box<dyn Fn(f64) -> bool + Send + Sync> =
+                    Box::new(move |t: f64| windows.iter().any(|&(a, b)| t + off >= a && t + off <= b));
+                let r = VodSession::new(VodConfig {
+                    algorithm: algo,
+                    corrector,
+                    ho_window: Some(ho_window),
+                    ..Default::default()
+                })
+                .run(&s.bw);
+                stall += r.stall_frac;
+                quality += r.normalized_bitrate;
+                mae += r.pred_mae_mbps;
+                if r.pred_mae_ho_mbps > 0.0 {
+                    mae_ho += r.pred_mae_ho_mbps;
+                    mae_ho_n += 1;
+                }
+            }
+            let n = slices.len() as f64;
+            let label = format!("{}-{}", algo.name(), variant);
+            rows.push(vec![
+                label.clone(),
+                format!("{:.2}%", stall / n * 100.0),
+                format!("{:.3}", quality / n),
+                format!("{:.1}", mae / n),
+                format!("{:.1}", if mae_ho_n > 0 { mae_ho / mae_ho_n as f64 } else { 0.0 }),
+            ]);
+            summaries.push((label, stall / n, quality / n, mae / n, mae_ho / mae_ho_n.max(1) as f64));
+        }
+    }
+    fmt::table(
+        &["algorithm", "stall time %", "norm. bitrate", "pred MAE Mbps", "MAE during HO"],
+        &rows,
+    );
+
+    // Fig. 14a headline: PR cuts stalls vs original without losing quality
+    for algo in ["RB", "fastMPC", "robustMPC"] {
+        let get = |v: &str| summaries.iter().find(|s| s.0 == format!("{algo}-{v}")).unwrap().clone();
+        let (_, s0, q0, _, m0) = get("orig");
+        let (_, sp, qp, _, mp) = get("PR");
+        fmt::compare(
+            &format!("{algo}: stall reduction with Prognos"),
+            "34.6-58.6%",
+            &format!("{:.0}%", (1.0 - sp / s0.max(1e-9)) * 100.0),
+        );
+        fmt::compare(
+            &format!("{algo}: quality change with Prognos"),
+            "+1.72% avg",
+            &format!("{:+.1}%", (qp / q0 - 1.0) * 100.0),
+        );
+        if m0 > 0.0 {
+            fmt::compare(
+                &format!("{algo}: HO-window prediction MAE improvement"),
+                "52.4-61.3%",
+                &format!("{:.0}%", (1.0 - mp / m0) * 100.0),
+            );
+        }
+    }
+
+    // shape: PR must not be worse than original on stalls for MPC variants
+    let get = |name: &str| summaries.iter().find(|s| s.0 == name).unwrap().1;
+    assert!(
+        get("fastMPC-PR") <= get("fastMPC-orig") + 1e-9,
+        "Prognos must not increase fastMPC stalls"
+    );
+    assert!(
+        get("robustMPC-PR") <= get("robustMPC-orig") + 1e-9,
+        "Prognos must not increase robustMPC stalls"
+    );
+    println!("\nOK fig14ab_vod");
+}

@@ -1,0 +1,152 @@
+//! Fig. 14c — real-time volumetric streaming with HO-aware rate adaptation.
+//!
+//! Paper: against the original ViVo and FESTIVE adaptation, the Prognos
+//! variants improve content quality 15.1–36.2% while also trimming stall
+//! time 0.24–3.67%; the QoE lands within 0.39–2.49% (quality) and
+//! 0.01–0.25% (stall) of the ground-truth variants.
+
+use fiveg_apps::abr::{AbrAlgorithm, TputCorrector};
+use fiveg_apps::volumetric::{VolumetricConfig, VolumetricSession};
+use fiveg_bench::driver::{calibrate_scores, gt_score_fn, run_prognos_scored};
+use fiveg_bench::fmt;
+use fiveg_ran::Carrier;
+use fiveg_sim::{ScenarioBuilder, Workload};
+use std::sync::Arc;
+
+fn main() {
+    fmt::header("Fig. 14c — volumetric streaming (ViVo / FESTIVE) with HO prediction");
+
+    // saturating drives; volumetric sessions replay 180 s slices
+    let mut sources = Vec::new();
+    for seed in 145..148u64 {
+        sources.push(
+            ScenarioBuilder::city_loop(Carrier::OpX, seed)
+                .duration_s(700.0)
+                .sample_hz(20.0)
+                .workload(Workload::Bulk(fiveg_link::Cca::Cubic))
+                .build()
+                .run(),
+        );
+    }
+    let score_table = calibrate_scores(&sources.iter().collect::<Vec<_>>());
+    let pr_series: Vec<Arc<Vec<(f64, f64)>>> = sources
+        .iter()
+        .map(|t| {
+            let (run, _) = run_prognos_scored(
+                t,
+                prognos::PrognosConfig::default(),
+                None,
+                None,
+                Some(score_table.clone()),
+            );
+            Arc::new(run.windows.iter().map(|w| (w.t, w.ho_score)).collect())
+        })
+        .collect();
+    let lookup = |series: &Arc<Vec<(f64, f64)>>, t: f64| -> f64 {
+        match series.binary_search_by(|p| p.0.partial_cmp(&t).unwrap()) {
+            Ok(i) => series[i].1,
+            Err(0) => 1.0,
+            Err(i) => series[i - 1].1,
+        }
+    };
+
+    // slice 180 s windows
+    let mut slices = Vec::new();
+    for (si, t) in sources.iter().enumerate() {
+        let series = t.bandwidth_series();
+        let mut a = 0.0;
+        while a + 180.0 <= t.meta.duration_s {
+            let pts: Vec<(f64, f64)> = series
+                .iter()
+                .filter(|p| p.0 >= a && p.0 < a + 180.0)
+                .map(|&(x, c)| (x - a, c))
+                .collect();
+            if pts.len() >= 2 {
+                let bw = fiveg_apps::BandwidthTrace::new(pts);
+                if bw.mean_mbps() < 400.0 && bw.min_mbps() > 2.0 {
+                    slices.push((bw, a, si));
+                }
+            }
+            a += 120.0;
+        }
+    }
+    println!("  {} volumetric replay slices of 180 s", slices.len());
+
+    let mut rows = Vec::new();
+    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (label, quality, stall_frac)
+    for (algo, algo_label) in [(AbrAlgorithm::RateBased, "ViVo"), (AbrAlgorithm::Festive, "FESTIVE")] {
+        for variant in ["orig", "GT", "PR"] {
+            let mut quality = 0.0;
+            let mut stall = 0.0;
+            for (bw, off, src) in &slices {
+                let off = *off;
+                let corrector: Option<TputCorrector> = match variant {
+                    // clamped to the degradation side; see fig14ab_vod.rs
+                    "GT" => {
+                        let g = gt_score_fn(&sources[*src]);
+                        Some(Box::new(move |t: f64| g(t + off)))
+                    }
+                    "PR" => {
+                        let series = Arc::clone(&pr_series[*src]);
+                        Some(Box::new(move |t: f64| lookup(&series, t + off)))
+                    }
+                    _ => None,
+                };
+                let r = VolumetricSession::new(VolumetricConfig {
+                    algorithm: algo,
+                    corrector,
+                    ..Default::default()
+                })
+                .run(bw);
+                quality += r.normalized_quality;
+                stall += r.stall_frac;
+            }
+            let n = slices.len() as f64;
+            let label = format!("{algo_label}-{variant}");
+            rows.push(vec![
+                label.clone(),
+                format!("{:.3}", quality / n),
+                format!("{:.2}%", stall / n * 100.0),
+            ]);
+            results.push((label, quality / n, stall / n));
+        }
+    }
+    fmt::table(&["algorithm", "norm. quality", "stall time %"], &rows);
+
+    for algo in ["ViVo", "FESTIVE"] {
+        let get = |v: &str| results.iter().find(|r| r.0 == format!("{algo}-{v}")).unwrap().clone();
+        let (_, q0, s0) = get("orig");
+        let (_, qp, sp) = get("PR");
+        let (_, qg, _sg) = get("GT");
+        fmt::compare(
+            &format!("{algo}: quality change with Prognos"),
+            "+15.1-36.2%",
+            &format!("{:+.1}%", (qp / q0 - 1.0) * 100.0),
+        );
+        fmt::compare(
+            &format!("{algo}: stall change with Prognos"),
+            "-0.24 to -3.67 pp",
+            &format!("{:+.2} pp", (sp - s0) * 100.0),
+        );
+        fmt::compare(
+            &format!("{algo}: quality gap to ground truth"),
+            "0.39-2.49%",
+            &format!("{:.2}%", ((qg - qp) / qg.max(1e-9)).abs() * 100.0),
+        );
+    }
+
+    // shape: the PR variants must not lose quality and must not add stalls
+    // beyond noise
+    for algo in ["ViVo", "FESTIVE"] {
+        let get = |v: &str| results.iter().find(|r| r.0 == format!("{algo}-{v}")).unwrap().clone();
+        let (_, q0, s0) = get("orig");
+        let (_, qp, sp) = get("PR");
+        // our exec-dip score is conservative-by-construction, so quality
+        // holds roughly flat rather than gaining the paper's 15-36% (their
+        // gain rides post-HO boosts that our HO dynamics put *before* the
+        // HO; see EXPERIMENTS.md) — the stall trim does reproduce
+        assert!(qp >= q0 * 0.95, "{algo}: Prognos must not tank quality ({qp} vs {q0})");
+        assert!(sp <= s0 + 0.002, "{algo}: Prognos must not add stalls ({sp} vs {s0})");
+    }
+    println!("\nOK fig14c_volumetric");
+}

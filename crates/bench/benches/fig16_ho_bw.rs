@@ -1,0 +1,97 @@
+//! Fig. 16 (and Appendix A.3) — per-HO-type throughput in the three phases
+//! HO_pre / HO_exec / HO_post, mmWave NSA walking loop with bulk download.
+//!
+//! Paper: SCGA raises throughput ~17×; SCGR cuts it ~7×; horizontal HOs
+//! (SCGM/SCGC/LTEH) lose 1.5–4.8× during execution; SCGM gains ~43% post;
+//! LTEH ends ~4% lower.
+
+use fiveg_analysis::tput_phases::{ho_phase_throughput, mean_phase};
+use fiveg_bench::fmt;
+use fiveg_ran::{Carrier, HoType};
+use fiveg_sim::{ScenarioBuilder, Trace};
+
+fn collect(seeds: std::ops::Range<u64>) -> Vec<fiveg_analysis::PhaseTput> {
+    let mut all = Vec::new();
+    for seed in seeds {
+        let t: Trace = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
+            .sample_hz(20.0)
+            .build()
+            .run();
+        // the figure is about mmWave NSA: keep mmWave-leg HOs and the 4G
+        // anchor HOs of the same area
+        all.extend(
+            ho_phase_throughput(&t)
+                .into_iter()
+                .filter(|p| p.nr_band == Some(fiveg_radio::BandClass::MmWave) || p.nr_band.is_none()),
+        );
+    }
+    all
+}
+
+fn main() {
+    fmt::header("Fig. 16 — throughput around HOs by type (mmWave NSA walk, iPerf bulk)");
+    let phases = collect(160..163);
+
+    let mut rows = Vec::new();
+    for ho in [HoType::Scgm, HoType::Scgc, HoType::Mnbh, HoType::Lteh, HoType::Scga, HoType::Scgr] {
+        let n = phases.iter().filter(|p| p.ho_type == ho).count();
+        if n == 0 {
+            continue;
+        }
+        let pre = mean_phase(&phases, ho, |p| p.pre_mbps);
+        let exec = mean_phase(&phases, ho, |p| p.exec_mbps);
+        let post = mean_phase(&phases, ho, |p| p.post_mbps);
+        rows.push(vec![
+            ho.acronym().to_string(),
+            n.to_string(),
+            fmt::f(pre, 0),
+            fmt::f(exec, 0),
+            fmt::f(post, 0),
+        ]);
+    }
+    fmt::table(&["HO type", "n", "pre Mbps", "exec Mbps", "post Mbps"], &rows);
+
+    let pre = |ho| mean_phase(&phases, ho, |p| p.pre_mbps);
+    let exec = |ho| mean_phase(&phases, ho, |p| p.exec_mbps);
+    let post = |ho| mean_phase(&phases, ho, |p| p.post_mbps);
+
+    if pre(HoType::Scga) > 1.0 {
+        fmt::compare("SCGA post/pre boost", "~17x", &format!("{:.1}x", post(HoType::Scga) / pre(HoType::Scga)));
+    }
+    if post(HoType::Scgr) > 1.0 {
+        fmt::compare("SCGR pre/post cut", "~7x", &format!("{:.1}x", pre(HoType::Scgr) / post(HoType::Scgr)));
+    }
+    for ho in [HoType::Scgm, HoType::Scgc] {
+        if exec(ho) > 1.0 {
+            fmt::compare(
+                &format!("{} throughput loss during execution", ho.acronym()),
+                "1.5x - 4.8x",
+                &format!("{:.1}x", pre(ho) / exec(ho)),
+            );
+        }
+    }
+    if pre(HoType::Scgm) > 1.0 {
+        fmt::compare(
+            "SCGM post-HO change",
+            "+43%",
+            &format!("{:+.0}%", (post(HoType::Scgm) / pre(HoType::Scgm) - 1.0) * 100.0),
+        );
+    }
+
+    // shape assertions
+    if pre(HoType::Scga) > 1.0 && post(HoType::Scga) > 1.0 {
+        assert!(post(HoType::Scga) > pre(HoType::Scga) * 2.0, "SCGA must boost hard in mmWave");
+    }
+    // NOTE: our SCG release is quality-triggered, so the NR leg is already
+    // degraded in the pre window — the paper's ~7x pre/post cut (RSRP-
+    // triggered releases from a still-fast cell) does not fully reproduce;
+    // see EXPERIMENTS.md. We only require that post-SCGR throughput is
+    // LTE-bounded (no 5G-scale rates).
+    if post(HoType::Scgr) > 1.0 {
+        assert!(post(HoType::Scgr) < 400.0, "post-SCGR must be LTE-bounded");
+    }
+    if pre(HoType::Scgc) > 1.0 && exec(HoType::Scgc) > 0.0 {
+        assert!(exec(HoType::Scgc) < pre(HoType::Scgc), "exec phase must dip");
+    }
+    println!("\nOK fig16_ho_bw");
+}

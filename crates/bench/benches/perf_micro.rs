@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks: the performance-sensitive paths of the
+//! library. Prognos must be "light-weight" enough for real-time use on a
+//! UE (§7.1) — its per-sample predict cost is the headline number here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_geo::{convex_hull, Point};
+use fiveg_radio::Rrs;
+
+mod helpers {
+    pub use fiveg_ran::{Arch, Carrier};
+    pub use fiveg_sim::ScenarioBuilder;
+}
+
+fn bench_prognos_predict(c: &mut Criterion) {
+    use fiveg_rrc::{EventConfig, EventKind, MeasEvent, Pci};
+    use prognos::{CellObs, LegSnapshot, Prognos, PrognosConfig, UeContext};
+
+    let mut pg = Prognos::new(PrognosConfig::default());
+    pg.set_configs(vec![
+        EventConfig::typical(MeasEvent::lte(EventKind::A3)),
+        EventConfig::typical(MeasEvent::nr(EventKind::A2)),
+        EventConfig::typical(MeasEvent::nr(EventKind::B1)),
+    ]);
+    for _ in 0..10 {
+        pg.on_report(MeasEvent::nr(EventKind::B1));
+        pg.on_handover(fiveg_ran::HoType::Scga);
+        pg.on_report(MeasEvent::nr(EventKind::A2));
+        pg.on_handover(fiveg_ran::HoType::Scgr);
+    }
+    // fill histories with 8 cells at 20 Hz
+    let rrs = |x: f64| Rrs { rsrp_dbm: x, rsrq_db: -10.0, sinr_db: 8.0 };
+    for i in 0..21 {
+        let t = i as f64 * 0.05;
+        let obs = |p: u16, base: f64| CellObs { pci: Pci(p), rrs: rrs(base - t), group: Some(p as u32 / 4) };
+        pg.on_sample(
+            t,
+            &LegSnapshot { serving: Some(obs(1, -90.0)), neighbors: (2..6).map(|p| obs(p, -95.0)).collect() },
+            &LegSnapshot { serving: Some(obs(10, -92.0)), neighbors: (11..14).map(|p| obs(p, -97.0)).collect() },
+        );
+    }
+    let ctx = UeContext { arch: helpers::Arch::Nsa, has_scg: true, nr_band: Some(fiveg_radio::BandClass::Low) };
+    c.bench_function("prognos_predict_per_sample", |b| {
+        b.iter(|| {
+            let p = pg.predict(1.05, &ctx);
+            std::hint::black_box(p)
+        })
+    });
+}
+
+fn bench_rrc_codec(c: &mut Criterion) {
+    use fiveg_rrc::{encode, decode, EventKind, MeasEvent, NeighborMeas, Pci, RrcMessage};
+    let msg = RrcMessage::MeasurementReport {
+        event: MeasEvent::nr(EventKind::A3),
+        serving_pci: Pci(77),
+        serving_rrs: Rrs { rsrp_dbm: -101.5, rsrq_db: -11.0, sinr_db: 6.5 },
+        neighbors: (0..4)
+            .map(|i| NeighborMeas {
+                pci: Pci(100 + i),
+                rrs: Rrs { rsrp_dbm: -95.0 - i as f64, rsrq_db: -10.0, sinr_db: 8.0 },
+            })
+            .collect(),
+    };
+    c.bench_function("rrc_encode_measurement_report", |b| {
+        b.iter(|| std::hint::black_box(encode(&msg)))
+    });
+    let bytes = encode(&msg);
+    c.bench_function("rrc_decode_measurement_report", |b| {
+        b.iter(|| std::hint::black_box(decode(bytes.clone()).unwrap()))
+    });
+}
+
+fn bench_sim_tick_rate(c: &mut Criterion) {
+    // full simulator throughput: samples simulated per wall second
+    c.bench_function("sim_freeway_30s_at_10hz", |b| {
+        b.iter(|| {
+            let t = helpers::ScenarioBuilder::freeway(helpers::Carrier::OpY, helpers::Arch::Nsa, 2.0, 9)
+                .duration_s(30.0)
+                .sample_hz(10.0)
+                .build()
+                .run();
+            std::hint::black_box(t.samples.len())
+        })
+    });
+}
+
+fn bench_analysis_kernels(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..2000).map(|i| (i % 137) as f64 * 10.0).collect();
+    let grid: Vec<f64> = (0..100).map(|i| i as f64 * 15.0).collect();
+    c.bench_function("kde_density_2000x100", |b| {
+        b.iter(|| std::hint::black_box(fiveg_analysis::kde_density(&xs, &grid, None)))
+    });
+
+    let pts: Vec<Point> = (0..500)
+        .map(|i| Point::new((i * 37 % 100) as f64, (i * 61 % 89) as f64))
+        .collect();
+    c.bench_function("convex_hull_500", |b| {
+        b.iter(|| std::hint::black_box(convex_hull(&pts)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prognos_predict,
+    bench_rrc_codec,
+    bench_sim_tick_rate,
+    bench_analysis_kernels
+);
+criterion_main!(benches);

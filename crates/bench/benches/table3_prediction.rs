@@ -1,0 +1,163 @@
+//! Table 3 — Prognos vs GBC vs stacked LSTM on datasets D1 and D2.
+//!
+//! Paper: Prognos reaches F1 0.92/0.94 (D1/D2) with precision/recall in the
+//! same range, while GBC sits at F1 0.40–0.48 and the stacked LSTM at
+//! 0.24–0.28 — despite both sometimes posting high *accuracy* (the class-
+//! imbalance trap). Baselines train on 60% of the corpus; Prognos trains
+//! online (no split needed) and is evaluated on the same final 40%.
+//!
+//! Evaluation is event-matched (see `driver::metrics_events_from`): the
+//! system predicts continuously, and an HO counts as predicted when a
+//! same-type prediction episode overlaps its 2 s lookback window. The same
+//! matching is applied to all three approaches.
+
+use fiveg_baselines::{Gbc, GbcConfig, LstmConfig, StackedLstm};
+use fiveg_bench::driver::{metrics_events_from, run_prognos, Episode};
+use fiveg_bench::features::{gbc_dataset, lstm_sequences};
+use fiveg_bench::fmt;
+use fiveg_ran::HoType;
+use fiveg_sim::Trace;
+
+fn to_ho(label: usize) -> Option<HoType> {
+    if label == 0 {
+        None
+    } else {
+        HoType::ALL.iter().copied().find(|h| 1 + *h as usize == label)
+    }
+}
+
+/// Converts window-level baseline predictions into episodes + events so the
+/// matching rule is identical to Prognos's.
+fn window_preds_to_episodes(
+    labels: &[usize],
+    preds: &[usize],
+    window_s: f64,
+) -> (Vec<Episode>, Vec<(f64, HoType)>) {
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut events = Vec::new();
+    for (i, (&truth, &pred)) in labels.iter().zip(preds).enumerate() {
+        let t = i as f64 * window_s;
+        if let Some(h) = to_ho(truth) {
+            events.push((t, h));
+        }
+        if let Some(h) = to_ho(pred) {
+            match episodes.last_mut() {
+                Some(e) if e.ho == h && t - e.t_end <= window_s + 1e-9 => e.t_end = t,
+                _ => episodes.push(Episode { t_start: t, t_end: t, ho: h }),
+            }
+        }
+    }
+    (episodes, events)
+}
+
+fn evaluate_dataset(name: &str, traces: &[Trace], rows: &mut Vec<Vec<String>>) {
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let window_s = 1.0;
+
+    // --- Prognos: online, evaluated over the final 40% of windows
+    let mut carry = None;
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut events: Vec<(f64, HoType)> = Vec::new();
+    let mut t_off = 0.0;
+    let mut total_windows = 0usize;
+    for tr in traces {
+        let (run, warm) = run_prognos(tr, prognos::PrognosConfig::default(), None, carry.take());
+        carry = Some(warm);
+        episodes.extend(run.episodes.iter().map(|e| Episode {
+            t_start: e.t_start + t_off,
+            t_end: e.t_end + t_off,
+            ho: e.ho,
+        }));
+        events.extend(run.events.iter().map(|&(t, h)| (t + t_off, h)));
+        total_windows += run.windows.len();
+        t_off += tr.meta.duration_s + 10.0;
+    }
+    let cut_t = t_off * 0.6;
+    let test_eps: Vec<Episode> = episodes.iter().copied().filter(|e| e.t_start >= cut_t).collect();
+    let test_evs: Vec<(f64, HoType)> = events.iter().copied().filter(|&(t, _)| t >= cut_t).collect();
+    let m = metrics_events_from(&test_eps, &test_evs, 2.0, 0.3, total_windows * 4 / 10);
+    rows.push(vec![
+        name.into(),
+        "Prognos (ours)".into(),
+        fmt::f(m.f1, 3),
+        fmt::f(m.precision, 3),
+        fmt::f(m.recall, 3),
+        fmt::f(m.accuracy, 3),
+    ]);
+
+    // --- GBC: offline 60/40 chronological split
+    let data = gbc_dataset(&refs, window_s);
+    let (mut train, mut test) = data.split(0.6);
+    let norm = train.norm_params();
+    train.normalize(&norm);
+    test.normalize(&norm);
+    let gbc = Gbc::train(&train, &GbcConfig::default());
+    let preds: Vec<usize> = test.features.iter().map(|x| gbc.predict(x)).collect();
+    let (eps, evs) = window_preds_to_episodes(&test.labels, &preds, window_s);
+    let m = metrics_events_from(&eps, &evs, 2.0, 0.3, test.labels.len());
+    rows.push(vec![
+        name.into(),
+        "GBC".into(),
+        fmt::f(m.f1, 3),
+        fmt::f(m.precision, 3),
+        fmt::f(m.recall, 3),
+        fmt::f(m.accuracy, 3),
+    ]);
+
+    // --- stacked LSTM: offline 60/40 split over location sequences
+    let (xs, ys) = lstm_sequences(&refs, window_s);
+    let cut = xs.len() * 6 / 10;
+    let net = StackedLstm::train(
+        &xs[..cut].to_vec(),
+        &ys[..cut].to_vec(),
+        &LstmConfig { epochs: 25, learning_rate: 0.02, ..Default::default() },
+    );
+    let preds: Vec<usize> = xs[cut..].iter().map(|x| net.predict(x)).collect();
+    let (eps, evs) = window_preds_to_episodes(&ys[cut..], &preds, window_s);
+    let m = metrics_events_from(&eps, &evs, 2.0, 0.3, ys.len() - cut);
+    rows.push(vec![
+        name.into(),
+        "Stacked LSTM".into(),
+        fmt::f(m.f1, 3),
+        fmt::f(m.precision, 3),
+        fmt::f(m.recall, 3),
+        fmt::f(m.accuracy, 3),
+    ]);
+}
+
+fn main() {
+    fmt::header("Table 3 — HO prediction on D1/D2 (event-matched evaluation)");
+
+    // scaled datasets: paper uses 7 and 10 laps; we use 4 and 5 for runtime
+    let d1 = fiveg_bench::d1_traces(4);
+    let d2 = fiveg_bench::d2_traces(5);
+    println!(
+        "  D1: {} laps, {} HOs | D2: {} laps, {} HOs",
+        d1.len(),
+        d1.iter().map(|t| t.handovers.len()).sum::<usize>(),
+        d2.len(),
+        d2.iter().map(|t| t.handovers.len()).sum::<usize>(),
+    );
+
+    let mut rows = Vec::new();
+    evaluate_dataset("D1", &d1, &mut rows);
+    evaluate_dataset("D2", &d2, &mut rows);
+    fmt::table(&["dataset", "method", "F1", "precision", "recall", "accuracy"], &rows);
+
+    println!("\npaper: D1 — GBC 0.475 / LSTM 0.284 / Prognos 0.919");
+    println!("       D2 — GBC 0.396 / LSTM 0.241 / Prognos 0.936");
+
+    // shape assertion: Prognos must beat both baselines on F1 per dataset
+    for chunk in rows.chunks(3) {
+        let f1 = |i: usize| chunk[i][2].parse::<f64>().unwrap();
+        assert!(
+            f1(0) > f1(1) && f1(0) > f1(2),
+            "{}: Prognos F1 {} must beat GBC {} and LSTM {}",
+            chunk[0][0],
+            f1(0),
+            f1(1),
+            f1(2)
+        );
+    }
+    println!("\nOK table3_prediction");
+}

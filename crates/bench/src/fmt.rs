@@ -1,0 +1,56 @@
+//! Console table formatting for experiment output.
+
+/// Prints a titled section header.
+pub fn header(title: &str) {
+    let bar = "=".repeat(title.len().max(8) + 4);
+    println!("\n{bar}\n| {title} |\n{bar}");
+}
+
+/// Prints a sub-section rule.
+pub fn section(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+/// Prints an aligned table: `rows[i].len() == headers.len()`.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::from("|");
+        for (w, c) in widths.iter().zip(cells) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out
+    };
+    let rule: String = {
+        let mut out = String::from("+");
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out
+    };
+    println!("{rule}");
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{rule}");
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+    println!("{rule}");
+}
+
+/// A "paper says X, we measured Y" line.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<52} paper: {paper:<18} measured: {measured}");
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}

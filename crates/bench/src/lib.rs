@@ -1,0 +1,20 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Every table and figure of the paper has a bench target (see
+//! `crates/bench/benches/`); this library holds what they share:
+//!
+//! * [`fmt`] — aligned table printing with paper-vs-measured rows;
+//! * [`datasets`] — the walking datasets D1/D2 and the drive scenarios;
+//! * [`driver`] — replays a recorded [`Trace`] through Prognos the way the
+//!   paper's trace-driven emulation does, producing per-window predictions
+//!   and ground-truth labels;
+//! * [`features`] — feature extraction for the GBC and LSTM baselines.
+
+pub mod datasets;
+pub mod driver;
+pub mod features;
+pub mod fmt;
+
+pub use datasets::{d1_traces, d2_traces};
+pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
+pub use features::{gbc_dataset, lstm_sequences};

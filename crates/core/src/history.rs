@@ -1,0 +1,186 @@
+//! RRS history buffers: the raw material of the report predictor.
+
+use fiveg_radio::Rrs;
+use fiveg_rrc::{MeasQuantity, Pci};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One observed cell: identity, quality, and (when known) its measurement
+/// -object group — the gNB for NR cells under NSA. Intra-frequency A3 is
+/// configured per group, so the report predictor must respect it too.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellObs {
+    /// Physical cell id.
+    pub pci: Pci,
+    /// Measured quality.
+    pub rrs: Rrs,
+    /// Measurement-object group (gNB id); `None` = ungrouped.
+    pub group: Option<u32>,
+}
+
+/// What the UE observes on one radio leg at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LegSnapshot {
+    /// Serving cell, if attached on this leg.
+    pub serving: Option<CellObs>,
+    /// Measurable neighbor cells.
+    pub neighbors: Vec<CellObs>,
+}
+
+impl LegSnapshot {
+    /// An empty snapshot (leg not measurable).
+    pub fn empty() -> Self {
+        Self { serving: None, neighbors: Vec::new() }
+    }
+
+    /// Convenience: a snapshot from RSRP values only (RSRQ/SINR filled with
+    /// neutral values, no grouping); handy in tests and simple integrations.
+    pub fn from_rsrp(serving: Option<(Pci, f64)>, neighbors: Vec<(Pci, f64)>) -> Self {
+        let wrap = |rsrp: f64| Rrs { rsrp_dbm: rsrp, rsrq_db: -10.0, sinr_db: 10.0 };
+        Self {
+            serving: serving.map(|(p, r)| CellObs { pci: p, rrs: wrap(r), group: None }),
+            neighbors: neighbors
+                .into_iter()
+                .map(|(p, r)| CellObs { pci: p, rrs: wrap(r), group: None })
+                .collect(),
+        }
+    }
+}
+
+/// Fixed-duration sliding history of RRS per cell.
+///
+/// Cells that stop being reported age out once their newest sample falls
+/// outside the window, so the map stays bounded by the measurable set.
+#[derive(Debug, Clone)]
+pub struct RrsHistory {
+    window_s: f64,
+    series: HashMap<Pci, Vec<(f64, Rrs)>>,
+    groups: HashMap<Pci, Option<u32>>,
+}
+
+impl RrsHistory {
+    /// Creates a history holding `window_s` seconds per cell.
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0);
+        Self { window_s, series: HashMap::new(), groups: HashMap::new() }
+    }
+
+    /// Records a snapshot at time `t`.
+    pub fn push(&mut self, t: f64, snap: &LegSnapshot) {
+        if let Some(c) = snap.serving {
+            self.series.entry(c.pci).or_default().push((t, c.rrs));
+            self.groups.insert(c.pci, c.group);
+        }
+        for c in &snap.neighbors {
+            self.series.entry(c.pci).or_default().push((t, c.rrs));
+            self.groups.insert(c.pci, c.group);
+        }
+        // trim old samples; drop cells that vanished entirely
+        let cutoff = t - self.window_s;
+        self.series.retain(|_, v| {
+            v.retain(|&(ts, _)| ts >= cutoff);
+            !v.is_empty()
+        });
+        let series = &self.series;
+        self.groups.retain(|pci, _| series.contains_key(pci));
+    }
+
+    /// The measurement-object group last reported for `pci`.
+    pub fn group(&self, pci: Pci) -> Option<u32> {
+        self.groups.get(&pci).copied().flatten()
+    }
+
+    /// The recorded series for `pci` (time-ordered), if any.
+    pub fn series(&self, pci: Pci) -> Option<&[(f64, Rrs)]> {
+        self.series.get(&pci).map(|v| v.as_slice())
+    }
+
+    /// One quantity's values, for the smoothing/regression pipeline.
+    pub fn values(&self, pci: Pci, q: MeasQuantity) -> Vec<f64> {
+        let pick = |r: &Rrs| match q {
+            MeasQuantity::Rsrp => r.rsrp_dbm,
+            MeasQuantity::Rsrq => r.rsrq_db,
+            MeasQuantity::Sinr => r.sinr_db,
+        };
+        self.series
+            .get(&pci)
+            .map(|v| v.iter().map(|(_, x)| pick(x)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Cells currently in the history.
+    pub fn cells(&self) -> impl Iterator<Item = Pci> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Clears everything (e.g. after a HO invalidates the radio context).
+    pub fn clear(&mut self) {
+        self.series.clear();
+        self.groups.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(serving: (u16, f64), neighbors: &[(u16, f64)]) -> LegSnapshot {
+        LegSnapshot::from_rsrp(
+            Some((Pci(serving.0), serving.1)),
+            neighbors.iter().map(|&(p, r)| (Pci(p), r)).collect(),
+        )
+    }
+
+    #[test]
+    fn records_serving_and_neighbors() {
+        let mut h = RrsHistory::new(1.0);
+        h.push(0.0, &snap((1, -90.0), &[(2, -100.0)]));
+        assert_eq!(h.values(Pci(1), MeasQuantity::Rsrp), vec![-90.0]);
+        assert_eq!(h.values(Pci(2), MeasQuantity::Rsrp), vec![-100.0]);
+        assert!(h.values(Pci(3), MeasQuantity::Rsrp).is_empty());
+    }
+
+    #[test]
+    fn window_trims_old_samples() {
+        let mut h = RrsHistory::new(1.0);
+        for i in 0..40 {
+            let t = i as f64 * 0.05;
+            h.push(t, &snap((1, -90.0 - i as f64 * 0.1), &[]));
+        }
+        let v = h.values(Pci(1), MeasQuantity::Rsrp);
+        // 1 s window at 20 Hz => ~21 samples
+        assert!(v.len() <= 22, "{}", v.len());
+        assert!((v[0] - -90.0).abs() > 0.5, "oldest samples must be gone");
+    }
+
+    #[test]
+    fn vanished_cells_age_out() {
+        let mut h = RrsHistory::new(0.5);
+        h.push(0.0, &snap((1, -90.0), &[(2, -100.0)]));
+        for i in 1..20 {
+            h.push(i as f64 * 0.1, &snap((1, -90.0), &[]));
+        }
+        assert!(h.values(Pci(2), MeasQuantity::Rsrp).is_empty());
+        assert!(!h.values(Pci(1), MeasQuantity::Rsrp).is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = RrsHistory::new(1.0);
+        h.push(0.0, &snap((1, -90.0), &[]));
+        h.clear();
+        assert_eq!(h.cells().count(), 0);
+    }
+
+    #[test]
+    fn series_is_time_ordered() {
+        let mut h = RrsHistory::new(2.0);
+        for i in 0..10 {
+            h.push(i as f64 * 0.05, &snap((7, -80.0 - i as f64), &[]));
+        }
+        let s = h.series(Pci(7)).unwrap();
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}

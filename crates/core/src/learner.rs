@@ -1,0 +1,386 @@
+//! Stage 2: online learning of the carrier's HO decision logic (§7.2).
+//!
+//! "We call the learned decision logic a *pattern*: a unique sequence of
+//! MRs repeatedly triggering a specific type of HO." The input stream is
+//! split into *phases* — the MRs since the last HO command, ending in a HO.
+//! The learner is an online adaptation of PrefixSpan: rather than mining a
+//! static database, it maintains the pattern set incrementally,
+//! incrementing support for re-observed sequences, inserting new ones, and
+//! evicting patterns that have not been seen recently (the *freshness*
+//! threshold), which keeps the set small and adaptive to policy changes
+//! across regions. New patterns are learned at ~9/hour and evicted at
+//! ~8/hour in the paper's datasets — the store stays compact.
+
+use fiveg_ran::HoType;
+use fiveg_rrc::MeasEvent;
+use serde::{Deserialize, Serialize};
+
+/// One learned decision rule: an MR sequence that triggers a HO type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The MR event sequence (most recent last).
+    pub seq: Vec<MeasEvent>,
+    /// The HO type it triggers.
+    pub ho: HoType,
+    /// How many times this exact (seq → ho) has been observed.
+    pub support: u64,
+    /// Phase counter value when last observed (freshness).
+    pub last_seen_phase: u64,
+}
+
+/// Learner tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Patterns not observed for this many phases are evicted.
+    pub freshness_phases: u64,
+    /// Hard cap on stored patterns (oldest evicted first past this).
+    pub max_patterns: usize,
+    /// Longest sequence retained (longer phases keep their suffix).
+    pub max_seq_len: usize,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        Self { freshness_phases: 200, max_patterns: 64, max_seq_len: 4 }
+    }
+}
+
+/// The online pattern store.
+#[derive(Debug, Clone)]
+pub struct DecisionLearner {
+    cfg: LearnerConfig,
+    patterns: Vec<Pattern>,
+    phase_count: u64,
+    learned_total: u64,
+    evicted_total: u64,
+}
+
+impl DecisionLearner {
+    /// Creates an empty learner.
+    pub fn new(cfg: LearnerConfig) -> Self {
+        Self { cfg, patterns: Vec::new(), phase_count: 0, learned_total: 0, evicted_total: 0 }
+    }
+
+    /// Seeds the learner with known-frequent patterns (§9: "bootstrapping
+    /// the system with the most frequent pattern for each HO type can make
+    /// predictions reliable" during startup).
+    pub fn bootstrap(&mut self, patterns: impl IntoIterator<Item = (Vec<MeasEvent>, HoType)>) {
+        for (seq, ho) in patterns {
+            let seq = self.truncate(seq);
+            if !self.patterns.iter().any(|p| p.seq == seq && p.ho == ho) {
+                self.patterns.push(Pattern { seq, ho, support: 3, last_seen_phase: self.phase_count });
+            }
+        }
+    }
+
+    fn truncate(&self, mut seq: Vec<MeasEvent>) -> Vec<MeasEvent> {
+        if seq.len() > self.cfg.max_seq_len {
+            seq.drain(0..seq.len() - self.cfg.max_seq_len);
+        }
+        seq
+    }
+
+    /// Feeds one completed phase: the MR sequence that ended in `ho`.
+    ///
+    /// Empty sequences are ignored (HOs we never saw reports for carry no
+    /// learnable pattern).
+    pub fn observe_phase(&mut self, seq: &[MeasEvent], ho: HoType) {
+        self.phase_count += 1;
+        if seq.is_empty() {
+            return;
+        }
+        let seq = self.truncate(seq.to_vec());
+        if let Some(p) = self.patterns.iter_mut().find(|p| p.seq == seq && p.ho == ho) {
+            p.support += 1;
+            p.last_seen_phase = self.phase_count;
+        } else {
+            self.learned_total += 1;
+            self.patterns.push(Pattern {
+                seq,
+                ho,
+                support: 1,
+                last_seen_phase: self.phase_count,
+            });
+        }
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        let phase = self.phase_count;
+        let fresh = self.cfg.freshness_phases;
+        let before = self.patterns.len();
+        self.patterns.retain(|p| phase.saturating_sub(p.last_seen_phase) <= fresh);
+        self.evicted_total += (before - self.patterns.len()) as u64;
+        // hard cap: drop the stalest
+        while self.patterns.len() > self.cfg.max_patterns {
+            let stalest = self
+                .patterns
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.last_seen_phase)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.patterns.remove(stalest);
+            self.evicted_total += 1;
+        }
+    }
+
+    /// Patterns whose sequence matches the *tail* of `current` (a pattern
+    /// of length k matches when it equals the last k events), with their
+    /// similarity scores. Sorted best-first.
+    ///
+    /// Similarity is "a function of its support count, length and
+    /// freshness": log-scaled support, a bonus per matched event, and decay
+    /// with staleness.
+    pub fn candidates(&self, current: &[MeasEvent]) -> Vec<(&Pattern, f64)> {
+        if current.is_empty() {
+            return vec![];
+        }
+        let max_support = self.patterns.iter().map(|p| p.support).max().unwrap_or(1) as f64;
+        let mut out: Vec<(&Pattern, f64)> = self
+            .patterns
+            .iter()
+            .filter(|p| {
+                p.seq.len() <= current.len() && current[current.len() - p.seq.len()..] == p.seq[..]
+            })
+            .map(|p| {
+                let support = (1.0 + p.support as f64).ln() / (1.0 + max_support).ln();
+                let length = p.seq.len() as f64 / self.cfg.max_seq_len as f64;
+                let age = self.phase_count.saturating_sub(p.last_seen_phase) as f64;
+                let freshness = (-age / self.cfg.freshness_phases as f64).exp();
+                (p, 0.5 * support + 0.3 * length + 0.2 * freshness)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Completed phases observed.
+    pub fn phase_count(&self) -> u64 {
+        self.phase_count
+    }
+
+    /// Total patterns ever learned (for the §7.3 learning-rate stats).
+    pub fn learned_total(&self) -> u64 {
+        self.learned_total
+    }
+
+    /// Total patterns ever evicted.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// Read access to the stored patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_rrc::{EventKind, MeasEvent};
+
+    fn ev(kind: EventKind) -> MeasEvent {
+        MeasEvent::nr(kind)
+    }
+
+    #[test]
+    fn learns_and_increments_support() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+        l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.patterns()[0].support, 2);
+    }
+
+    #[test]
+    fn distinguishes_same_seq_different_ho() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[ev(EventKind::A2)], HoType::Scgr);
+        l.observe_phase(&[ev(EventKind::A2)], HoType::Scgm);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn empty_phase_is_ignored() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[], HoType::Scga);
+        assert!(l.is_empty());
+        assert_eq!(l.phase_count(), 1);
+    }
+
+    #[test]
+    fn candidates_match_tail() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[ev(EventKind::A2), ev(EventKind::B1)], HoType::Scgc);
+        l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+        // current phase [A2, B1]: both patterns match its tail
+        let c = l.candidates(&[ev(EventKind::A2), ev(EventKind::B1)]);
+        assert_eq!(c.len(), 2);
+        // the longer exact match should rank first (length bonus)
+        assert_eq!(c[0].0.ho, HoType::Scgc);
+        // current phase [B1] alone: only SCGA matches
+        let c = l.candidates(&[ev(EventKind::B1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0.ho, HoType::Scga);
+    }
+
+    #[test]
+    fn higher_support_ranks_higher() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        for _ in 0..10 {
+            l.observe_phase(&[ev(EventKind::A3)], HoType::Scgm);
+        }
+        l.observe_phase(&[ev(EventKind::A3)], HoType::Mcgh);
+        let c = l.candidates(&[ev(EventKind::A3)]);
+        assert_eq!(c[0].0.ho, HoType::Scgm);
+        assert!(c[0].1 > c[1].1);
+    }
+
+    #[test]
+    fn stale_patterns_are_evicted() {
+        let mut l = DecisionLearner::new(LearnerConfig {
+            freshness_phases: 5,
+            ..Default::default()
+        });
+        l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+        for _ in 0..10 {
+            l.observe_phase(&[ev(EventKind::A3)], HoType::Scgm);
+        }
+        assert!(l.candidates(&[ev(EventKind::B1)]).is_empty(), "stale pattern must be gone");
+        assert!(l.evicted_total() >= 1);
+    }
+
+    #[test]
+    fn max_patterns_cap_holds() {
+        let mut l = DecisionLearner::new(LearnerConfig {
+            max_patterns: 3,
+            freshness_phases: 1000,
+            max_seq_len: 4,
+        });
+        let kinds = [EventKind::A1, EventKind::A2, EventKind::A3, EventKind::A4, EventKind::A5];
+        for (i, k) in kinds.iter().enumerate() {
+            let ho = if i % 2 == 0 { HoType::Scga } else { HoType::Scgr };
+            l.observe_phase(&[ev(*k)], ho);
+        }
+        assert!(l.len() <= 3);
+    }
+
+    #[test]
+    fn long_phases_keep_suffix() {
+        let mut l = DecisionLearner::new(LearnerConfig { max_seq_len: 2, ..Default::default() });
+        l.observe_phase(
+            &[ev(EventKind::A1), ev(EventKind::A2), ev(EventKind::B1)],
+            HoType::Scgc,
+        );
+        assert_eq!(l.patterns()[0].seq, vec![ev(EventKind::A2), ev(EventKind::B1)]);
+    }
+
+    #[test]
+    fn bootstrap_seeds_patterns() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.bootstrap(vec![(vec![ev(EventKind::B1)], HoType::Scga)]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.patterns()[0].support, 3);
+        let c = l.candidates(&[ev(EventKind::B1)]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn empty_current_has_no_candidates() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+        assert!(l.candidates(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fiveg_rrc::{EventKind, EventRat};
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = MeasEvent> {
+        (
+            prop_oneof![Just(EventRat::Lte), Just(EventRat::Nr)],
+            prop_oneof![
+                Just(EventKind::A2),
+                Just(EventKind::A3),
+                Just(EventKind::A5),
+                Just(EventKind::B1)
+            ],
+        )
+            .prop_map(|(rat, kind)| MeasEvent { rat, kind })
+    }
+
+    fn arb_ho() -> impl Strategy<Value = HoType> {
+        prop_oneof![
+            Just(HoType::Scga),
+            Just(HoType::Scgr),
+            Just(HoType::Scgm),
+            Just(HoType::Scgc),
+            Just(HoType::Mnbh),
+            Just(HoType::Lteh),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn pattern_store_invariants(
+            phases in proptest::collection::vec(
+                (proptest::collection::vec(arb_event(), 0..6), arb_ho()),
+                1..60,
+            )
+        ) {
+            let cfg = LearnerConfig { max_patterns: 16, freshness_phases: 30, max_seq_len: 3 };
+            let mut l = DecisionLearner::new(cfg);
+            for (seq, ho) in &phases {
+                l.observe_phase(seq, *ho);
+            }
+            // store bounded
+            prop_assert!(l.len() <= 16);
+            // support never exceeds observed phases
+            for p in l.patterns() {
+                prop_assert!(p.support as usize <= phases.len());
+                prop_assert!(p.seq.len() <= 3);
+                prop_assert!(!p.seq.is_empty());
+                prop_assert!(p.last_seen_phase <= l.phase_count());
+            }
+            // phase counter advanced exactly once per phase
+            prop_assert_eq!(l.phase_count(), phases.len() as u64);
+        }
+
+        #[test]
+        fn candidates_are_sorted_and_tail_matching(
+            phases in proptest::collection::vec(
+                (proptest::collection::vec(arb_event(), 1..4), arb_ho()),
+                1..40,
+            ),
+            query in proptest::collection::vec(arb_event(), 1..5),
+        ) {
+            let mut l = DecisionLearner::new(LearnerConfig::default());
+            for (seq, ho) in &phases {
+                l.observe_phase(seq, *ho);
+            }
+            let cands = l.candidates(&query);
+            for w in cands.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1, "similarity must be sorted desc");
+            }
+            for (p, _) in &cands {
+                prop_assert!(p.seq.len() <= query.len());
+                prop_assert_eq!(&query[query.len() - p.seq.len()..], &p.seq[..]);
+            }
+        }
+    }
+}

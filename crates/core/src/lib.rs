@@ -1,0 +1,41 @@
+//! # Prognos — the paper's 4G/5G handover prediction system (§7)
+//!
+//! Prognos forecasts handovers and their types from UE-observable signals
+//! only: RRS readings, measurement-event configurations, measurement
+//! reports, and past HOs. No carrier cooperation, no offline training. The
+//! two-stage pipeline (Fig. 17) decouples:
+//!
+//! 1. **Report prediction** ([`report_predictor`]): triangular-kernel
+//!    smoothing + linear regression forecast the serving/neighbor RRS over
+//!    the next prediction window; the Table 4 trigger conditions (with TTT)
+//!    applied to the forecast yield *predicted measurement reports* ~1 s
+//!    before they fire.
+//! 2. **Decision learning** ([`learner`]): an online, PrefixSpan-inspired
+//!    pattern store learns which MR sequences each carrier turns into which
+//!    HO type, with support counting, freshness-based eviction, and
+//!    optional bootstrapping with frequent patterns (§9/Fig. 15).
+//!
+//! The [`predictor`] matches the (predicted + observed) MR sequence of the
+//! current phase against the learned patterns, applies sanity checks from
+//! the radio context (an SCGM cannot happen without an SCG, etc.), and
+//! emits the predicted HO type plus a [`score::HoScoreTable`]-derived
+//! `ho_score` ∈ (0, ∞): the expected multiplicative change in network
+//! capacity (1 = no change, 0.4 = −60%).
+//!
+//! The [`Prognos`] facade wires the stages together behind an online API:
+//! feed it samples/configs/reports/HOs as they happen; ask it for a
+//! [`Prognosis`] whenever the application needs one.
+
+pub mod history;
+pub mod learner;
+pub mod predictor;
+pub mod prognos;
+pub mod report_predictor;
+pub mod score;
+
+pub use history::{CellObs, LegSnapshot, RrsHistory};
+pub use learner::{DecisionLearner, LearnerConfig, Pattern};
+pub use predictor::{HandoverPredictor, Prediction, UeContext};
+pub use prognos::{Prognos, PrognosConfig, Prognosis};
+pub use report_predictor::{PredictedReport, ReportPredictor};
+pub use score::HoScoreTable;

@@ -1,0 +1,187 @@
+//! Stage 3: the handover predictor (§7.2).
+//!
+//! "The predicted sequence is matched against all the learned HO patterns
+//! ... the HO type is predicted based on the pattern which has the highest
+//! similarity", with sanity checks from the radio context ("an SCGM HO
+//! prediction cannot be made when a device is using LTE") that cut the
+//! action space and prevent nonsense predictions.
+
+use crate::learner::DecisionLearner;
+use fiveg_radio::BandClass;
+use fiveg_ran::{Arch, HoType};
+use fiveg_rrc::MeasEvent;
+use serde::{Deserialize, Serialize};
+
+/// Radio context used for prediction sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeContext {
+    /// Architecture the UE currently operates under.
+    pub arch: Arch,
+    /// True when an SCG (NR leg) is attached.
+    pub has_scg: bool,
+    /// Band class of the current/candidate NR leg.
+    pub nr_band: Option<BandClass>,
+}
+
+impl UeContext {
+    /// Is a prediction of `ho` possible in this state?
+    pub fn admits(&self, ho: HoType) -> bool {
+        match (self.arch, ho) {
+            // SA only does MCG handovers
+            (Arch::Sa, HoType::Mcgh) => true,
+            (Arch::Sa, _) => false,
+            // pure LTE only does LTE handovers
+            (Arch::Lte, HoType::Lteh) => true,
+            (Arch::Lte, _) => false,
+            // NSA: SCG procedures require/forbid an attached SCG
+            (Arch::Nsa, HoType::Scga) => !self.has_scg,
+            (Arch::Nsa, HoType::Scgr | HoType::Scgm | HoType::Scgc | HoType::Mnbh) => self.has_scg,
+            (Arch::Nsa, HoType::Lteh) => true,
+            (Arch::Nsa, HoType::Mcgh) => false,
+        }
+    }
+}
+
+/// A handover prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted HO type; `None` = "no HO expected".
+    pub ho: Option<HoType>,
+    /// Similarity score of the winning pattern (0 when no HO).
+    pub confidence: f64,
+    /// Expected seconds until the HO command (from predicted-report ETAs;
+    /// 0 when the pattern completed on actual reports).
+    pub lead_s: f64,
+}
+
+impl Prediction {
+    /// The "no HO" prediction.
+    pub const NO_HO: Prediction = Prediction { ho: None, confidence: 0.0, lead_s: 0.0 };
+}
+
+/// Matches MR sequences against learned patterns under context sanity.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoverPredictor {
+    /// Minimum similarity for a positive prediction.
+    pub min_similarity: f64,
+}
+
+impl Default for HandoverPredictor {
+    fn default() -> Self {
+        Self { min_similarity: 0.25 }
+    }
+}
+
+impl HandoverPredictor {
+    /// Predicts from the current phase's event sequence (observed MRs plus
+    /// any predicted ones appended by the caller).
+    pub fn predict(
+        &self,
+        learner: &DecisionLearner,
+        seq: &[MeasEvent],
+        ctx: &UeContext,
+        lead_s: f64,
+    ) -> Prediction {
+        if seq.is_empty() {
+            return Prediction::NO_HO;
+        }
+        let candidates = learner.candidates(seq);
+        for (p, sim) in candidates {
+            if sim < self.min_similarity {
+                break; // sorted best-first
+            }
+            if ctx.admits(p.ho) {
+                return Prediction { ho: Some(p.ho), confidence: sim, lead_s };
+            }
+        }
+        Prediction::NO_HO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::LearnerConfig;
+    use fiveg_rrc::EventKind;
+
+    fn ev(kind: EventKind) -> MeasEvent {
+        MeasEvent::nr(kind)
+    }
+
+    fn trained_learner() -> DecisionLearner {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        for _ in 0..5 {
+            l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
+            l.observe_phase(&[ev(EventKind::A2)], HoType::Scgr);
+            l.observe_phase(&[ev(EventKind::A2), ev(EventKind::B1)], HoType::Scgc);
+        }
+        l
+    }
+
+    const NSA_WITH_SCG: UeContext =
+        UeContext { arch: Arch::Nsa, has_scg: true, nr_band: Some(BandClass::Low) };
+    const NSA_NO_SCG: UeContext =
+        UeContext { arch: Arch::Nsa, has_scg: false, nr_band: Some(BandClass::Low) };
+
+    #[test]
+    fn context_gates_scg_procedures() {
+        assert!(NSA_NO_SCG.admits(HoType::Scga));
+        assert!(!NSA_WITH_SCG.admits(HoType::Scga));
+        assert!(NSA_WITH_SCG.admits(HoType::Scgr));
+        assert!(!NSA_NO_SCG.admits(HoType::Scgm));
+        let sa = UeContext { arch: Arch::Sa, has_scg: false, nr_band: None };
+        assert!(sa.admits(HoType::Mcgh));
+        assert!(!sa.admits(HoType::Scga));
+        let lte = UeContext { arch: Arch::Lte, has_scg: false, nr_band: None };
+        assert!(lte.admits(HoType::Lteh));
+        assert!(!lte.admits(HoType::Mnbh));
+    }
+
+    #[test]
+    fn predicts_learned_pattern() {
+        let l = trained_learner();
+        let p = HandoverPredictor::default();
+        let pred = p.predict(&l, &[ev(EventKind::B1)], &NSA_NO_SCG, 0.8);
+        assert_eq!(pred.ho, Some(HoType::Scga));
+        assert_eq!(pred.lead_s, 0.8);
+        assert!(pred.confidence > 0.25);
+    }
+
+    #[test]
+    fn sanity_check_redirects_to_admissible_pattern() {
+        let l = trained_learner();
+        let p = HandoverPredictor::default();
+        // with an SCG attached, B1 alone cannot mean SCGA; no other pattern
+        // matches a bare [B1] tail except SCGA -> no HO predicted
+        let pred = p.predict(&l, &[ev(EventKind::B1)], &NSA_WITH_SCG, 0.0);
+        assert_eq!(pred.ho, None);
+        // but [A2, B1] means SCGC, which is admissible with an SCG
+        let pred = p.predict(&l, &[ev(EventKind::A2), ev(EventKind::B1)], &NSA_WITH_SCG, 0.0);
+        assert_eq!(pred.ho, Some(HoType::Scgc));
+    }
+
+    #[test]
+    fn empty_sequence_is_no_ho() {
+        let l = trained_learner();
+        let p = HandoverPredictor::default();
+        assert_eq!(p.predict(&l, &[], &NSA_NO_SCG, 0.0), Prediction::NO_HO);
+    }
+
+    #[test]
+    fn unknown_sequence_is_no_ho() {
+        let l = trained_learner();
+        let p = HandoverPredictor::default();
+        let pred = p.predict(&l, &[ev(EventKind::A5)], &NSA_WITH_SCG, 0.0);
+        assert_eq!(pred.ho, None);
+    }
+
+    #[test]
+    fn similarity_threshold_filters_weak_patterns() {
+        let mut l = DecisionLearner::new(LearnerConfig::default());
+        l.observe_phase(&[ev(EventKind::A2)], HoType::Scgr);
+        // raise the bar so a support-1 pattern cannot clear it
+        let p = HandoverPredictor { min_similarity: 0.99 };
+        let pred = p.predict(&l, &[ev(EventKind::A2)], &NSA_WITH_SCG, 0.0);
+        assert_eq!(pred.ho, None);
+    }
+}

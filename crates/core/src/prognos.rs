@@ -1,0 +1,401 @@
+//! The Prognos facade: the online system of Fig. 17.
+//!
+//! Feed it what the UE observes; ask for a [`Prognosis`] whenever needed:
+//!
+//! ```
+//! use prognos::{Prognos, PrognosConfig, LegSnapshot, UeContext};
+//! use fiveg_ran::Arch;
+//! use fiveg_rrc::{EventConfig, EventKind, MeasEvent, Pci};
+//!
+//! let mut pg = Prognos::new(PrognosConfig::default());
+//! pg.set_configs(vec![EventConfig::typical(MeasEvent::nr(EventKind::B1))]);
+//! let ctx = UeContext { arch: Arch::Nsa, has_scg: false, nr_band: None };
+//! pg.on_sample(
+//!     0.05,
+//!     &LegSnapshot::empty(),
+//!     &LegSnapshot::from_rsrp(None, vec![(Pci(7), -108.0)]),
+//! );
+//! let prognosis = pg.predict(0.05, &ctx);
+//! assert_eq!(prognosis.ho_score, 1.0); // nothing learned yet: no HO
+//! ```
+
+use crate::history::{LegSnapshot, RrsHistory};
+use crate::learner::{DecisionLearner, LearnerConfig};
+use crate::predictor::{HandoverPredictor, Prediction, UeContext};
+use crate::report_predictor::ReportPredictor;
+use crate::score::HoScoreTable;
+use fiveg_ran::HoType;
+use fiveg_rrc::{EventConfig, EventRat, MeasEvent, Pci};
+use serde::{Deserialize, Serialize};
+
+/// Prognos configuration.
+#[derive(Debug, Clone)]
+pub struct PrognosConfig {
+    /// History window fed to the RRS predictor, s (paper: 1 s).
+    pub history_window_s: f64,
+    /// Prediction window, s (paper: 1 s).
+    pub prediction_window_s: f64,
+    /// Nominal sampling interval, s (paper logs @ 20 Hz).
+    pub sample_dt_s: f64,
+    /// Use the report predictor (stage 1). Disabling it reproduces the
+    /// "w/o report predictor" baseline of Fig. 18.
+    pub use_report_predictor: bool,
+    /// Decision-learner tuning.
+    pub learner: LearnerConfig,
+    /// Minimum pattern similarity for a positive prediction.
+    pub min_similarity: f64,
+    /// After a forecast report fails to materialize, suppress forecasts of
+    /// that event for this long (false-alarm damping), s.
+    pub forecast_cooloff_s: f64,
+}
+
+impl Default for PrognosConfig {
+    fn default() -> Self {
+        Self {
+            history_window_s: 1.0,
+            prediction_window_s: 1.0,
+            sample_dt_s: 0.05,
+            use_report_predictor: true,
+            learner: LearnerConfig::default(),
+            min_similarity: 0.7,
+            forecast_cooloff_s: 0.0,
+        }
+    }
+}
+
+/// Prognos's answer to "what happens in the next prediction window?".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prognosis {
+    /// Predicted HO type (`None` = no HO expected).
+    pub ho: Option<HoType>,
+    /// Expected multiplicative throughput change (1 = no change).
+    pub ho_score: f64,
+    /// Pattern similarity backing the prediction.
+    pub confidence: f64,
+    /// Estimated lead time until the HO, s.
+    pub lead_s: f64,
+}
+
+/// The online HO prediction system.
+#[derive(Debug, Clone)]
+pub struct Prognos {
+    cfg: PrognosConfig,
+    lte_history: RrsHistory,
+    nr_history: RrsHistory,
+    lte_serving: Option<Pci>,
+    nr_serving: Option<Pci>,
+    configs: Vec<EventConfig>,
+    learner: DecisionLearner,
+    predictor: HandoverPredictor,
+    report_predictor: ReportPredictor,
+    scores: HoScoreTable,
+    /// Actual MRs observed in the current phase.
+    phase: Vec<MeasEvent>,
+    /// Outstanding forecasts: (event, deadline by which it must fire).
+    pending_forecasts: Vec<(MeasEvent, f64)>,
+    /// Last forecast-based positive: (type, time) — forecast predictions
+    /// are emitted only once two consecutive windows agree.
+    last_forecast_positive: Option<(HoType, f64)>,
+    /// Events whose forecasts are damped until the given time.
+    suppress_until: std::collections::HashMap<MeasEvent, f64>,
+}
+
+impl Prognos {
+    /// Creates the system.
+    pub fn new(cfg: PrognosConfig) -> Self {
+        let report_predictor = ReportPredictor {
+            prediction_window_s: cfg.prediction_window_s,
+            smooth_half_width: 3,
+            sample_dt_s: cfg.sample_dt_s,
+            margin_db: 2.0,
+        };
+        Self {
+            lte_history: RrsHistory::new(cfg.history_window_s),
+            nr_history: RrsHistory::new(cfg.history_window_s),
+            lte_serving: None,
+            nr_serving: None,
+            configs: Vec::new(),
+            learner: DecisionLearner::new(cfg.learner),
+            predictor: HandoverPredictor { min_similarity: cfg.min_similarity },
+            report_predictor,
+            scores: HoScoreTable::paper_defaults(),
+            phase: Vec::new(),
+            pending_forecasts: Vec::new(),
+            last_forecast_positive: None,
+            suppress_until: std::collections::HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Installs the measurement-event configurations (from `MeasConfig`).
+    pub fn set_configs(&mut self, configs: Vec<EventConfig>) {
+        self.configs = configs;
+    }
+
+    /// Replaces the ho_score table (e.g. one calibrated from local traces).
+    pub fn set_scores(&mut self, scores: HoScoreTable) {
+        self.scores = scores;
+    }
+
+    /// Seeds the decision learner with frequent patterns (Fig. 15).
+    pub fn bootstrap(&mut self, patterns: impl IntoIterator<Item = (Vec<MeasEvent>, HoType)>) {
+        self.learner.bootstrap(patterns);
+    }
+
+    /// Feeds one tick of radio observations.
+    pub fn on_sample(&mut self, t: f64, lte: &LegSnapshot, nr: &LegSnapshot) {
+        self.lte_serving = lte.serving.map(|c| c.pci);
+        self.nr_serving = nr.serving.map(|c| c.pci);
+        self.lte_history.push(t, lte);
+        self.nr_history.push(t, nr);
+    }
+
+    /// Feeds an observed (actual) measurement report.
+    pub fn on_report(&mut self, event: MeasEvent) {
+        self.phase.push(event);
+        // the forecast materialized: clear its pending entry and damping
+        self.pending_forecasts.retain(|(e, _)| *e != event);
+        self.suppress_until.remove(&event);
+    }
+
+    /// Feeds an observed HO command: closes the phase and teaches the
+    /// learner.
+    pub fn on_handover(&mut self, ho: HoType) {
+        let phase = std::mem::take(&mut self.phase);
+        self.learner.observe_phase(&phase, ho);
+        // the radio context changed: forecasts start fresh
+        self.pending_forecasts.clear();
+        self.suppress_until.clear();
+    }
+
+    /// Access to the learner (pattern statistics, §7.3 learning rates).
+    pub fn learner(&self) -> &DecisionLearner {
+        &self.learner
+    }
+
+    /// Predicts what happens within the next prediction window.
+    ///
+    /// The observed phase is extended with predicted reports in every
+    /// prefix-length combination and the best-scoring admissible match
+    /// wins — a spurious low-confidence forecast appended at the end must
+    /// not mask a strong observed pattern.
+    pub fn predict(&mut self, t: f64, ctx: &UeContext) -> Prognosis {
+        // expire unfulfilled forecasts into the suppression map
+        let cooloff = self.cfg.forecast_cooloff_s;
+        let mut expired = Vec::new();
+        self.pending_forecasts.retain(|&(e, deadline)| {
+            if t > deadline {
+                expired.push(e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in expired {
+            self.suppress_until.insert(e, t + cooloff);
+        }
+
+        let mut variants: Vec<(Vec<MeasEvent>, f64)> = vec![(self.phase.clone(), 0.0)];
+        if self.cfg.use_report_predictor {
+            let mut predicted = Vec::new();
+            let lte_cfgs: Vec<EventConfig> =
+                self.configs.iter().filter(|c| c.event.rat == EventRat::Lte).copied().collect();
+            let nr_cfgs: Vec<EventConfig> =
+                self.configs.iter().filter(|c| c.event.rat == EventRat::Nr).copied().collect();
+            for p in self.report_predictor.predict(&self.lte_history, self.lte_serving, &lte_cfgs) {
+                predicted.push(p);
+            }
+            for p in self.report_predictor.predict(&self.nr_history, self.nr_serving, &nr_cfgs) {
+                predicted.push(p);
+            }
+            // drop damped events; register the rest as outstanding
+            predicted.retain(|p| {
+                self.suppress_until.get(&p.event).map(|&u| t >= u).unwrap_or(true)
+            });
+            for p in &predicted {
+                if !self.pending_forecasts.iter().any(|(e, _)| *e == p.event) {
+                    self.pending_forecasts.push((p.event, t + p.eta_s + 0.5));
+                }
+            }
+            predicted.sort_by(|a, b| a.eta_s.partial_cmp(&b.eta_s).unwrap());
+            // one variant per predicted-report prefix; also one per single
+            // predicted event (concurrent triggers compete independently)
+            let mut prefix = self.phase.clone();
+            for p in &predicted {
+                if prefix.last() != Some(&p.event) {
+                    prefix.push(p.event);
+                    variants.push((prefix.clone(), p.eta_s));
+                }
+                let mut single = self.phase.clone();
+                if single.last() != Some(&p.event) {
+                    single.push(p.event);
+                    variants.push((single, p.eta_s));
+                }
+            }
+        }
+        let mut best = Prediction::NO_HO;
+        for (seq, lead) in &variants {
+            let pred = self.predictor.predict(&self.learner, seq, ctx, *lead);
+            if pred.ho.is_some() && pred.confidence > best.confidence {
+                best = pred;
+            }
+        }
+        // Forecast-based positives (no observed MR backing them) that are
+        // not imminent must be confirmed by two consecutive agreeing
+        // predictions — distant-forecast blips are the dominant false-alarm
+        // source, while imminent crossings (small ETA) are reliable.
+        if let Some(h) = best.ho {
+            let observed_backed = {
+                let pred0 = self.predictor.predict(&self.learner, &variants[0].0, ctx, 0.0);
+                pred0.ho == Some(h)
+            };
+            let imminent = best.lead_s < 0.5;
+            if !observed_backed && !imminent {
+                let confirmed = matches!(self.last_forecast_positive, Some((lh, lt)) if lh == h && t - lt <= 1.6);
+                self.last_forecast_positive = Some((h, t));
+                if !confirmed {
+                    best = Prediction::NO_HO;
+                }
+            } else if !observed_backed {
+                self.last_forecast_positive = Some((h, t));
+            }
+        } else {
+            self.last_forecast_positive = None;
+        }
+        Prognosis {
+            ho: best.ho,
+            ho_score: best
+                .ho
+                .map(|h| self.scores.score(h, ctx.nr_band))
+                .unwrap_or(HoScoreTable::NO_HO),
+            confidence: best.confidence,
+            lead_s: best.lead_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::Arch;
+    use fiveg_rrc::EventKind;
+
+    fn nr_ev(kind: EventKind) -> MeasEvent {
+        MeasEvent::nr(kind)
+    }
+
+    fn nsa_ctx(has_scg: bool) -> UeContext {
+        UeContext { arch: Arch::Nsa, has_scg, nr_band: Some(fiveg_radio::BandClass::Low) }
+    }
+
+    fn trained() -> Prognos {
+        let mut pg = Prognos::new(PrognosConfig::default());
+        pg.set_configs(vec![
+            EventConfig::typical(nr_ev(EventKind::B1)),
+            EventConfig::typical(nr_ev(EventKind::A2)),
+        ]);
+        for _ in 0..5 {
+            pg.on_report(nr_ev(EventKind::B1));
+            pg.on_handover(HoType::Scga);
+            pg.on_report(nr_ev(EventKind::A2));
+            pg.on_handover(HoType::Scgr);
+        }
+        pg
+    }
+
+    #[test]
+    fn cold_system_predicts_no_ho() {
+        let mut pg = Prognos::new(PrognosConfig::default());
+        let p = pg.predict(0.0, &nsa_ctx(false));
+        assert_eq!(p.ho, None);
+        assert_eq!(p.ho_score, 1.0);
+    }
+
+    #[test]
+    fn predicts_from_observed_report() {
+        let mut pg = trained();
+        pg.on_report(nr_ev(EventKind::B1));
+        let p = pg.predict(10.0, &nsa_ctx(false));
+        assert_eq!(p.ho, Some(HoType::Scga));
+        assert!(p.ho_score > 1.0, "SCGA should boost throughput: {}", p.ho_score);
+    }
+
+    #[test]
+    fn predicts_from_forecast_signal() {
+        // no observed MR yet: a rising NR neighbor should produce a
+        // predicted B1 and hence a predicted SCGA with positive lead time
+        let mut pg = trained();
+        for i in 0..21 {
+            let t = i as f64 * 0.05;
+            pg.on_sample(
+                t,
+                &LegSnapshot::from_rsrp(Some((Pci(1), -95.0)), vec![]),
+                // rising toward the B1 threshold (-110 typical)
+                &LegSnapshot::from_rsrp(None, vec![(Pci(7), -114.0 + 6.0 * t)]),
+            );
+        }
+        let p = pg.predict(1.0, &nsa_ctx(false));
+        assert_eq!(p.ho, Some(HoType::Scga));
+        assert!(p.lead_s > 0.0, "forecast prediction must have lead time");
+    }
+
+    #[test]
+    fn report_predictor_off_needs_actual_reports() {
+        let cfg = PrognosConfig { use_report_predictor: false, ..Default::default() };
+        let mut pg = Prognos::new(cfg);
+        pg.set_configs(vec![EventConfig::typical(nr_ev(EventKind::B1))]);
+        for _ in 0..5 {
+            pg.on_report(nr_ev(EventKind::B1));
+            pg.on_handover(HoType::Scga);
+        }
+        for i in 0..21 {
+            let t = i as f64 * 0.05;
+            pg.on_sample(
+                t,
+                &LegSnapshot::from_rsrp(Some((Pci(1), -95.0)), vec![]),
+                &LegSnapshot::from_rsrp(None, vec![(Pci(7), -114.0 + 6.0 * t)]),
+            );
+        }
+        // without the report predictor the rising neighbor is invisible
+        assert_eq!(pg.predict(1.0, &nsa_ctx(false)).ho, None);
+        // an actual report triggers the prediction
+        pg.on_report(nr_ev(EventKind::B1));
+        assert_eq!(pg.predict(1.0, &nsa_ctx(false)).ho, Some(HoType::Scga));
+    }
+
+    #[test]
+    fn sanity_check_blocks_impossible_prediction() {
+        let mut pg = trained();
+        pg.on_report(nr_ev(EventKind::B1));
+        // SCG already attached: SCGA impossible
+        let p = pg.predict(10.0, &nsa_ctx(true));
+        assert_eq!(p.ho, None);
+    }
+
+    #[test]
+    fn handover_closes_phase() {
+        let mut pg = trained();
+        pg.on_report(nr_ev(EventKind::B1));
+        pg.on_handover(HoType::Scga);
+        // phase cleared: cold prediction again (no fresh signal)
+        let p = pg.predict(20.0, &nsa_ctx(true));
+        assert_eq!(p.ho, None);
+    }
+
+    #[test]
+    fn bootstrap_enables_immediate_predictions() {
+        let mut pg = Prognos::new(PrognosConfig::default());
+        pg.bootstrap(vec![(vec![nr_ev(EventKind::B1)], HoType::Scga)]);
+        pg.on_report(nr_ev(EventKind::B1));
+        assert_eq!(pg.predict(0.0, &nsa_ctx(false)).ho, Some(HoType::Scga));
+    }
+
+    #[test]
+    fn scgr_prediction_scores_below_one() {
+        let mut pg = trained();
+        pg.on_report(nr_ev(EventKind::A2));
+        let p = pg.predict(10.0, &nsa_ctx(true));
+        assert_eq!(p.ho, Some(HoType::Scgr));
+        assert!(p.ho_score < 1.0);
+    }
+}

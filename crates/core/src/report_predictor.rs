@@ -1,0 +1,255 @@
+//! Stage 1: predicting measurement reports before they fire (§7.2).
+//!
+//! "Using MRs after they have been triggered only leaves a few milliseconds
+//! — 70 ms in the median case — for the application to take any decision
+//! proactively." The report predictor buys ~1 s of lead time: it smooths
+//! each cell's recent RSRP with a triangular kernel, extrapolates it with a
+//! linear fit, and evaluates the Table 4 trigger conditions (including TTT)
+//! over the forecast horizon.
+
+use crate::history::RrsHistory;
+use fiveg_radio::smoothing::{linear_fit, triangular_smooth};
+use fiveg_rrc::{EventConfig, EventKind, MeasEvent, Pci};
+use serde::{Deserialize, Serialize};
+
+/// A measurement report the predictor expects to fire soon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedReport {
+    /// The event expected to trigger.
+    pub event: MeasEvent,
+    /// The neighbor expected to satisfy it (None for serving-only events).
+    pub neighbor: Option<Pci>,
+    /// Seconds from "now" until the trigger condition (incl. TTT) is met.
+    pub eta_s: f64,
+}
+
+/// Configuration and state of the report predictor for one radio leg.
+#[derive(Debug, Clone)]
+pub struct ReportPredictor {
+    /// Forecast horizon, s (the paper uses 1 s).
+    pub prediction_window_s: f64,
+    /// Triangular smoothing half-width, samples.
+    pub smooth_half_width: usize,
+    /// Nominal sampling interval of the history, s.
+    pub sample_dt_s: f64,
+    /// Extra margin (dB) the forecast must clear beyond the configured
+    /// hysteresis — suppresses borderline false alarms from noisy slopes.
+    pub margin_db: f64,
+}
+
+impl Default for ReportPredictor {
+    fn default() -> Self {
+        Self { prediction_window_s: 1.0, smooth_half_width: 3, sample_dt_s: 0.05, margin_db: 2.0 }
+    }
+}
+
+impl ReportPredictor {
+    /// Forecast of one cell's RSRP `horizon_steps` samples past the end of
+    /// its history: smooth, fit, extrapolate.
+    ///
+    /// Short histories (a cell that just entered the measured set) carry no
+    /// usable trend — an OLS slope over a handful of noisy samples swings
+    /// by tens of dB/s — so they forecast persistence instead.
+    fn forecast(&self, series: &[f64], horizon_steps: f64) -> f64 {
+        if series.is_empty() {
+            return -140.0;
+        }
+        let min_len = ((0.6 * self.prediction_window_s / self.sample_dt_s) as usize).max(4);
+        if series.len() < min_len {
+            return series[series.len() - 1];
+        }
+        let smoothed = triangular_smooth(series, self.smooth_half_width);
+        let xs: Vec<f64> = (0..smoothed.len()).map(|i| i as f64).collect();
+        let fit = linear_fit(&xs, &smoothed);
+        fit.at((series.len() - 1) as f64 + horizon_steps)
+    }
+
+    /// Predicts which configured events will trigger within the prediction
+    /// window, given the leg's RRS history, the serving cell, and the
+    /// configured events.
+    pub fn predict(
+        &self,
+        history: &RrsHistory,
+        serving: Option<Pci>,
+        configs: &[EventConfig],
+    ) -> Vec<PredictedReport> {
+        let mut out = Vec::new();
+        let steps = (self.prediction_window_s / self.sample_dt_s).round().max(1.0);
+
+        for cfg in configs {
+            if cfg.event.kind == EventKind::Periodic {
+                continue;
+            }
+            // evaluate against a hardened copy: the forecast must clear the
+            // configured hysteresis plus our margin
+            let mut hard = *cfg;
+            hard.hysteresis_db += self.margin_db;
+            // the forecast runs on the quantity this event compares
+            let serving_series =
+                serving.map(|p| history.values(p, cfg.quantity)).unwrap_or_default();
+            // events that compare the serving cell need a serving history;
+            // only A4/B1 (pure neighbor thresholds) work without one
+            let needs_serving = !matches!(cfg.event.kind, EventKind::A4 | EventKind::B1);
+            if needs_serving && serving_series.is_empty() {
+                continue;
+            }
+            // scan the horizon in quarters; a trigger counts only when the
+            // condition both enters at quarter q AND persists at the window
+            // end (approximating the sustained-for-TTT requirement)
+            let end_h = steps;
+            let s_end = self.forecast(&serving_series, end_h);
+            let mut fire_eta: Option<f64> = None;
+            let mut best_neighbor: Option<Pci> = None;
+            'horizon: for q in 1..=4u32 {
+                let h = steps * q as f64 / 4.0;
+                let s_pred = self.forecast(&serving_series, h);
+                // serving-only events
+                match cfg.event.kind {
+                    EventKind::A1 | EventKind::A2 => {
+                        if hard.entered(s_pred, -140.0) && hard.entered(s_end, -140.0) {
+                            fire_eta = Some(self.prediction_window_s * q as f64 / 4.0);
+                            break 'horizon;
+                        }
+                    }
+                    _ => {
+                        // neighbor events: evaluate each candidate neighbor
+                        let serving_group = serving.and_then(|p| history.group(p));
+                        for pci in history.cells() {
+                            if Some(pci) == serving {
+                                continue;
+                            }
+                            // A3 measObjects are per group (gNB under NSA)
+                            if cfg.event.kind == EventKind::A3
+                                && serving_group.is_some()
+                                && history.group(pci) != serving_group
+                            {
+                                continue;
+                            }
+                            let series = history.values(pci, cfg.quantity);
+                            let n_pred = self.forecast(&series, h);
+                            let n_end = self.forecast(&series, end_h);
+                            if hard.entered(s_pred, n_pred) && hard.entered(s_end, n_end) {
+                                fire_eta = Some(self.prediction_window_s * q as f64 / 4.0);
+                                best_neighbor = Some(pci);
+                                break 'horizon;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(eta) = fire_eta {
+                // TTT delays the report past the condition onset; keep only
+                // reports expected to actually fire within this window so
+                // predictions align with the evaluation grid
+                let eta = eta + cfg.ttt_ms as f64 / 1000.0;
+                if eta <= self.prediction_window_s {
+                    out.push(PredictedReport { event: cfg.event, neighbor: best_neighbor, eta_s: eta });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.eta_s.partial_cmp(&b.eta_s).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::LegSnapshot;
+    use fiveg_rrc::{EventConfig, EventRat, MeasEvent};
+
+    fn feed_history(serving_slope: f64, neighbor_slope: f64, serving_start: f64, neighbor_start: f64) -> RrsHistory {
+        let mut h = RrsHistory::new(1.0);
+        for i in 0..21 {
+            let t = i as f64 * 0.05;
+            h.push(
+                t,
+                &LegSnapshot::from_rsrp(
+                    Some((Pci(1), serving_start + serving_slope * t)),
+                    vec![(Pci(2), neighbor_start + neighbor_slope * t)],
+                ),
+            );
+        }
+        h
+    }
+
+    fn cfg(kind: EventKind, ttt_ms: u32) -> EventConfig {
+        let mut c = EventConfig::typical(MeasEvent { rat: EventRat::Nr, kind });
+        c.ttt_ms = ttt_ms;
+        c
+    }
+
+    #[test]
+    fn predicts_a2_on_declining_serving() {
+        // serving at -112 dropping 4 dB/s crosses the -115/-1 hys threshold soon
+        let h = feed_history(-4.0, 0.0, -112.0, -120.0);
+        let rp = ReportPredictor::default();
+        let preds = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 0)]);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].event.kind, EventKind::A2);
+        assert!(preds[0].neighbor.is_none());
+    }
+
+    #[test]
+    fn no_prediction_for_stable_serving() {
+        let h = feed_history(0.0, 0.0, -95.0, -120.0);
+        let rp = ReportPredictor::default();
+        assert!(rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 0)]).is_empty());
+    }
+
+    #[test]
+    fn predicts_a3_on_rising_neighbor() {
+        // neighbor rising 5 dB/s from 1 dB below serving crosses offset soon
+        let h = feed_history(0.0, 5.0, -100.0, -101.0);
+        let rp = ReportPredictor::default();
+        let preds = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A3, 0)]);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].neighbor, Some(Pci(2)));
+    }
+
+    #[test]
+    fn ttt_extends_eta() {
+        let h = feed_history(-6.0, 0.0, -113.0, -130.0);
+        let rp = ReportPredictor::default();
+        let no_ttt = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 0)]);
+        let with_ttt = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 320)]);
+        assert!(!no_ttt.is_empty() && !with_ttt.is_empty());
+        assert!(with_ttt[0].eta_s > no_ttt[0].eta_s + 0.3);
+    }
+
+    #[test]
+    fn b1_evaluates_neighbors_only() {
+        // strong serving, neighbor rising past B1 threshold (-110)
+        let h = feed_history(0.0, 8.0, -70.0, -113.0);
+        let rp = ReportPredictor::default();
+        let preds = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::B1, 0)]);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].event.kind, EventKind::B1);
+    }
+
+    #[test]
+    fn short_history_predicts_persistence() {
+        let mut h = RrsHistory::new(1.0);
+        h.push(0.0, &LegSnapshot::from_rsrp(Some((Pci(1), -120.0)), vec![]));
+        let rp = ReportPredictor::default();
+        // single sample below A2 threshold: persistence forecast still fires
+        let preds = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 0)]);
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn predictions_sorted_by_eta() {
+        // both A2 (serving falling) and A3 (neighbor rising) will fire
+        let h = feed_history(-5.0, 6.0, -113.0, -100.0);
+        let rp = ReportPredictor::default();
+        let preds = rp.predict(
+            &h,
+            Some(Pci(1)),
+            &[cfg(EventKind::A2, 320), cfg(EventKind::A3, 0)],
+        );
+        assert!(preds.len() >= 2);
+        for w in preds.windows(2) {
+            assert!(w[0].eta_s <= w[1].eta_s);
+        }
+    }
+}

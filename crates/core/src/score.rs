@@ -1,0 +1,139 @@
+//! `ho_score`: the expected throughput change of a predicted HO (§7.2).
+//!
+//! "Prognos generates a ho_score ∈ (0, ∞). This value represents expected
+//! improvement or degradation in throughput ... empirically calculated from
+//! results reported in Fig. 16: the median change in network capacity using
+//! the ratio of throughput before and after HO."
+
+use fiveg_radio::BandClass;
+use fiveg_ran::HoType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Post/pre throughput ratio per (HO type, band class of the NR leg).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoScoreTable {
+    table: HashMap<(HoType, BandClass), f64>,
+    /// Fallback per HO type when no band-specific entry exists.
+    by_type: HashMap<HoType, f64>,
+}
+
+impl HoScoreTable {
+    /// The paper's Fig. 16-derived defaults (mmWave NSA measurements):
+    /// SCGA ≈ ×17 (4G→5G), SCGR ≈ ÷7, SCGM ≈ +43% post-HO, SCGC ≈ −14%,
+    /// LTEH ≈ −4%, MCGH/MNBH near unity.
+    pub fn paper_defaults() -> Self {
+        let mut by_type = HashMap::new();
+        by_type.insert(HoType::Scga, 17.0);
+        by_type.insert(HoType::Scgr, 1.0 / 7.0);
+        by_type.insert(HoType::Scgm, 1.43);
+        by_type.insert(HoType::Scgc, 0.86);
+        by_type.insert(HoType::Lteh, 0.96);
+        by_type.insert(HoType::Mnbh, 0.92);
+        by_type.insert(HoType::Mcgh, 1.0);
+        let mut table = HashMap::new();
+        // low-band SCGA is a far smaller boost than mmWave
+        table.insert((HoType::Scga, BandClass::Low), 2.5);
+        table.insert((HoType::Scga, BandClass::Mid), 6.0);
+        table.insert((HoType::Scga, BandClass::MmWave), 17.0);
+        table.insert((HoType::Scgr, BandClass::Low), 0.4);
+        table.insert((HoType::Scgr, BandClass::Mid), 0.2);
+        table.insert((HoType::Scgr, BandClass::MmWave), 1.0 / 7.0);
+        Self { table, by_type }
+    }
+
+    /// Builds a table from observed (ho, band, pre, post) samples — the
+    /// calibration path used when traces are available: the score is the
+    /// median post/pre ratio per key.
+    pub fn calibrate(samples: &[(HoType, Option<BandClass>, f64, f64)]) -> Self {
+        let mut buckets: HashMap<(HoType, Option<BandClass>), Vec<f64>> = HashMap::new();
+        for &(ho, band, pre, post) in samples {
+            if pre > 1e-3 {
+                buckets.entry((ho, band)).or_default().push(post / pre);
+            }
+        }
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let mut table = HashMap::new();
+        let mut by_type: HashMap<HoType, Vec<f64>> = HashMap::new();
+        for ((ho, band), mut v) in buckets {
+            let m = median(&mut v);
+            if let Some(b) = band {
+                table.insert((ho, b), m);
+            }
+            by_type.entry(ho).or_default().push(m);
+        }
+        let by_type = by_type
+            .into_iter()
+            .map(|(ho, mut v)| (ho, median(&mut v)))
+            .collect();
+        Self { table, by_type }
+    }
+
+    /// The score for a predicted HO. `None` band falls back to the per-type
+    /// value; unknown types return 1.0 (no expected change).
+    pub fn score(&self, ho: HoType, band: Option<BandClass>) -> f64 {
+        if let Some(b) = band {
+            if let Some(&s) = self.table.get(&(ho, b)) {
+                return s;
+            }
+        }
+        self.by_type.get(&ho).copied().unwrap_or(1.0)
+    }
+
+    /// The "no HO" score.
+    pub const NO_HO: f64 = 1.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_shape() {
+        let t = HoScoreTable::paper_defaults();
+        assert!(t.score(HoType::Scga, Some(BandClass::MmWave)) > 10.0);
+        assert!(t.score(HoType::Scgr, Some(BandClass::MmWave)) < 0.2);
+        assert!(t.score(HoType::Scgm, None) > 1.0);
+        assert!(t.score(HoType::Scgc, None) < 1.0);
+        // low-band SCGA boost much smaller than mmWave
+        assert!(
+            t.score(HoType::Scga, Some(BandClass::Low))
+                < t.score(HoType::Scga, Some(BandClass::MmWave)) / 3.0
+        );
+    }
+
+    #[test]
+    fn unknown_type_is_unity() {
+        let t = HoScoreTable { table: HashMap::new(), by_type: HashMap::new() };
+        assert_eq!(t.score(HoType::Scga, None), 1.0);
+    }
+
+    #[test]
+    fn calibrate_computes_median_ratio() {
+        let samples = vec![
+            (HoType::Scgr, Some(BandClass::Low), 100.0, 40.0),
+            (HoType::Scgr, Some(BandClass::Low), 200.0, 100.0),
+            (HoType::Scgr, Some(BandClass::Low), 100.0, 30.0),
+        ];
+        let t = HoScoreTable::calibrate(&samples);
+        let s = t.score(HoType::Scgr, Some(BandClass::Low));
+        assert!((s - 0.4).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn calibrate_ignores_zero_pre() {
+        let samples = vec![(HoType::Scga, Some(BandClass::Low), 0.0, 100.0)];
+        let t = HoScoreTable::calibrate(&samples);
+        assert_eq!(t.score(HoType::Scga, Some(BandClass::Low)), 1.0);
+    }
+
+    #[test]
+    fn band_fallback_to_type() {
+        let samples = vec![(HoType::Scgm, None, 100.0, 150.0)];
+        let t = HoScoreTable::calibrate(&samples);
+        assert!((t.score(HoType::Scgm, Some(BandClass::Low)) - 1.5).abs() < 1e-9);
+    }
+}

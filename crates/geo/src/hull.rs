@@ -1,0 +1,325 @@
+//! Convex hulls and convex-polygon intersection.
+//!
+//! §6.3 of the paper detects eNB/gNB co-location by building convex hulls of
+//! the UE positions observed while attached to each 4G PCI and each 5G PCI,
+//! then checking which 4G/5G hull pairs overlap (citing a "simple algorithm"
+//! for convex polygon intersection). This module reimplements both pieces:
+//! Andrew's monotone-chain hull and Sutherland–Hodgman clipping.
+
+use crate::point::{cross, Point};
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon with vertices in counter-clockwise order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the polygon has no vertices (empty intersection result).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Polygon area (0 for degenerate hulls of collinear points).
+    pub fn area(&self) -> f64 {
+        polygon_area(&self.vertices)
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: &Point) -> bool {
+        if self.vertices.len() < 3 {
+            return false;
+        }
+        let n = self.vertices.len();
+        (0..n).all(|i| cross(&self.vertices[i], &self.vertices[(i + 1) % n], p) >= -1e-9)
+    }
+
+    /// True when this polygon and `other` share any area (or touch), i.e.
+    /// their intersection is non-empty.
+    pub fn overlaps(&self, other: &ConvexPolygon) -> bool {
+        !convex_intersection(self, other).is_empty()
+    }
+}
+
+/// Computes the convex hull of a point set using Andrew's monotone chain.
+///
+/// Returns the hull with vertices in counter-clockwise order. Degenerate
+/// inputs (fewer than 3 distinct non-collinear points) yield hulls with
+/// fewer than 3 vertices and zero area.
+pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if pts.len() < 3 {
+        return ConvexPolygon { vertices: pts };
+    }
+
+    let mut lower: Vec<Point> = Vec::new();
+    for p in &pts {
+        while lower.len() >= 2
+            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(*p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(*p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    ConvexPolygon { vertices: lower }
+}
+
+/// Signed-to-absolute area of a simple polygon via the shoelace formula.
+pub fn polygon_area(vertices: &[Point]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let n = vertices.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        let a = &vertices[i];
+        let b = &vertices[(i + 1) % n];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc.abs() / 2.0
+}
+
+/// Intersects two convex polygons via Sutherland–Hodgman clipping.
+///
+/// The subject polygon is clipped against each edge of the clip polygon.
+/// Returns the (possibly empty) intersection polygon in ccw order.
+pub fn convex_intersection(subject: &ConvexPolygon, clip: &ConvexPolygon) -> ConvexPolygon {
+    if subject.len() < 3 || clip.len() < 3 {
+        return ConvexPolygon { vertices: vec![] };
+    }
+    let mut output = subject.vertices.clone();
+    let n = clip.vertices.len();
+    for i in 0..n {
+        if output.is_empty() {
+            break;
+        }
+        let a = clip.vertices[i];
+        let b = clip.vertices[(i + 1) % n];
+        let input = std::mem::take(&mut output);
+        let m = input.len();
+        for j in 0..m {
+            let cur = input[j];
+            let next = input[(j + 1) % m];
+            let cur_in = cross(&a, &b, &cur) >= -1e-12;
+            let next_in = cross(&a, &b, &next) >= -1e-12;
+            if cur_in {
+                output.push(cur);
+                if !next_in {
+                    if let Some(x) = line_intersection(&a, &b, &cur, &next) {
+                        output.push(x);
+                    }
+                }
+            } else if next_in {
+                if let Some(x) = line_intersection(&a, &b, &cur, &next) {
+                    output.push(x);
+                }
+            }
+        }
+    }
+    // Drop near-duplicate vertices produced by clipping at corners.
+    output.dedup_by(|a, b| a.distance(b) < 1e-9);
+    if output.len() >= 2 && output[0].distance(output.last().unwrap()) < 1e-9 {
+        output.pop();
+    }
+    if output.len() < 3 {
+        return ConvexPolygon { vertices: vec![] };
+    }
+    ConvexPolygon { vertices: output }
+}
+
+/// Intersection of the infinite line `a->b` with segment `c->d`.
+fn line_intersection(a: &Point, b: &Point, c: &Point, d: &Point) -> Option<Point> {
+    let a1 = b.y - a.y;
+    let b1 = a.x - b.x;
+    let c1 = a1 * a.x + b1 * a.y;
+    let a2 = d.y - c.y;
+    let b2 = c.x - d.x;
+    let c2 = a2 * c.x + b2 * c.y;
+    let det = a1 * b2 - a2 * b1;
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    Some(Point::new((b2 * c1 - b1 * c2) / det, (a1 * c2 - a2 * c1) / det))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, side: f64) -> ConvexPolygon {
+        convex_hull(&[
+            Point::new(x0, y0),
+            Point::new(x0 + side, y0),
+            Point::new(x0 + side, y0 + side),
+            Point::new(x0, y0 + side),
+        ])
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        // interior points must not appear in the hull
+        pts.push(Point::new(5.0, 5.0));
+        pts.push(Point::new(2.0, 3.0));
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!((h.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_degenerate() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert!(h.area() < 1e-12);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let h = square(0.0, 0.0, 4.0);
+        let v = h.vertices();
+        let n = v.len();
+        for i in 0..n {
+            assert!(cross(&v[i], &v[(i + 1) % n], &v[(i + 2) % n]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn contains_interior_boundary_exterior() {
+        let h = square(0.0, 0.0, 10.0);
+        assert!(h.contains(&Point::new(5.0, 5.0)));
+        assert!(h.contains(&Point::new(0.0, 5.0))); // boundary
+        assert!(!h.contains(&Point::new(-1.0, 5.0)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_squares() {
+        let a = square(0.0, 0.0, 10.0);
+        let b = square(5.0, 5.0, 10.0);
+        let i = convex_intersection(&a, &b);
+        assert!((i.area() - 25.0).abs() < 1e-6);
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_squares_is_empty() {
+        let a = square(0.0, 0.0, 10.0);
+        let b = square(20.0, 20.0, 5.0);
+        assert!(convex_intersection(&a, &b).is_empty());
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersection_contained_polygon() {
+        let outer = square(0.0, 0.0, 20.0);
+        let inner = square(5.0, 5.0, 2.0);
+        let i = convex_intersection(&inner, &outer);
+        assert!((i.area() - inner.area()).abs() < 1e-6);
+        let j = convex_intersection(&outer, &inner);
+        assert!((j.area() - inner.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersection_is_commutative_in_area() {
+        let a = square(0.0, 0.0, 10.0);
+        let b = square(3.0, -2.0, 7.0);
+        let ab = convex_intersection(&a, &b).area();
+        let ba = convex_intersection(&b, &a).area();
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_hull_never_overlaps() {
+        let line = convex_hull(&[Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        let sq = square(0.0, -1.0, 2.0);
+        assert!(!line.overlaps(&sq));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points(n: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..n)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn hull_contains_all_points(pts in arb_points(40)) {
+            let h = convex_hull(&pts);
+            if h.len() >= 3 {
+                for p in &pts {
+                    prop_assert!(h.contains(p), "hull must contain {:?}", p);
+                }
+            }
+        }
+
+        #[test]
+        fn hull_area_le_bounding_box(pts in arb_points(40)) {
+            let h = convex_hull(&pts);
+            let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in &pts {
+                lo_x = lo_x.min(p.x); hi_x = hi_x.max(p.x);
+                lo_y = lo_y.min(p.y); hi_y = hi_y.max(p.y);
+            }
+            prop_assert!(h.area() <= (hi_x - lo_x) * (hi_y - lo_y) + 1e-6);
+        }
+
+        #[test]
+        fn intersection_area_le_min_area(a in arb_points(20), b in arb_points(20)) {
+            let (ha, hb) = (convex_hull(&a), convex_hull(&b));
+            let i = convex_intersection(&ha, &hb);
+            prop_assert!(i.area() <= ha.area().min(hb.area()) + 1e-6);
+        }
+
+        #[test]
+        fn self_intersection_is_identity_area(a in arb_points(20)) {
+            let h = convex_hull(&a);
+            let i = convex_intersection(&h, &h);
+            if h.len() >= 3 {
+                prop_assert!((i.area() - h.area()).abs() < 1e-6 * h.area().max(1.0));
+            }
+        }
+    }
+}

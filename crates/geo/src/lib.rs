@@ -1,0 +1,24 @@
+//! Planar geometry substrate for the 5G mobility simulator.
+//!
+//! The paper's drive tests record UE geolocation; the simulator works in a
+//! local east-north-up (ENU) plane with coordinates in **meters**. This crate
+//! provides the geometric primitives everything else builds on:
+//!
+//! * [`Point`] — a position in the local plane.
+//! * [`Polyline`] — an arc-length parameterized route (city loops, freeway
+//!   legs) that the UE drives along.
+//! * [`hull`] — convex hulls and convex-polygon intersection, used to
+//!   reimplement the paper's eNB/gNB co-location heuristic (§6.3): build
+//!   convex hulls of the sample positions observed per 4G and 5G PCI and
+//!   test whether the hulls overlap.
+//! * [`routes`] — generators for the route shapes used by the scenarios
+//!   (rectangular city loops, straight freeway legs, grid walks).
+
+pub mod hull;
+pub mod point;
+pub mod polyline;
+pub mod routes;
+
+pub use hull::{convex_hull, convex_intersection, polygon_area, ConvexPolygon};
+pub use point::Point;
+pub use polyline::Polyline;

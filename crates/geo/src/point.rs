@@ -1,0 +1,147 @@
+//! Points in the local planar (ENU) frame, in meters.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the local east-north plane, in meters.
+///
+/// The simulator never needs geodetic coordinates: drive routes are laid out
+/// in a flat local frame, which is accurate over the few-kilometer scale a
+/// single scenario covers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East offset in meters.
+    pub x: f64,
+    /// North offset in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. nearest-cell queries).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: returns the point a fraction `t` of the way from
+    /// `self` to `other`. `t` is clamped to `[0, 1]`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Bearing from `self` to `other` in radians, measured counter-clockwise
+    /// from east. Returns 0 for coincident points.
+    pub fn bearing(&self, other: &Point) -> f64 {
+        let dy = other.y - self.y;
+        let dx = other.x - self.x;
+        if dx == 0.0 && dy == 0.0 {
+            0.0
+        } else {
+            dy.atan2(dx)
+        }
+    }
+
+    /// Returns the point displaced by `dist` meters along `bearing` radians.
+    pub fn displaced(&self, bearing: f64, dist: f64) -> Point {
+        Point::new(
+            self.x + dist * bearing.cos(),
+            self.y + dist * bearing.sin(),
+        )
+    }
+}
+
+/// 2-D cross product (z component) of vectors `o->a` and `o->b`.
+///
+/// Positive when `a -> b` turns counter-clockwise around `o`. This is the
+/// orientation primitive used by the convex-hull code.
+pub fn cross(o: &Point, a: &Point, b: &Point) -> f64 {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(10.0, -1.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!(mid, Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn lerp_clamps_out_of_range() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        assert_eq!(a.lerp(&b, -3.0), a);
+        assert_eq!(a.lerp(&b, 5.0), b);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::ORIGIN;
+        assert!((o.bearing(&Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        let north = o.bearing(&Point::new(0.0, 1.0));
+        assert!((north - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = Point::new(4.0, 4.0);
+        assert_eq!(p.bearing(&p), 0.0);
+    }
+
+    #[test]
+    fn displaced_round_trip() {
+        let p = Point::new(5.0, -3.0);
+        let q = p.displaced(1.1, 42.0);
+        assert!((p.distance(&q) - 42.0).abs() < 1e-9);
+        assert!((p.bearing(&q) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_sign_reflects_orientation() {
+        let o = Point::ORIGIN;
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert!(cross(&o, &a, &b) > 0.0); // ccw
+        assert!(cross(&o, &b, &a) < 0.0); // cw
+        assert_eq!(cross(&o, &a, &Point::new(2.0, 0.0)), 0.0); // collinear
+    }
+}

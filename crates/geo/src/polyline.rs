@@ -1,0 +1,228 @@
+//! Arc-length parameterized polylines: the drive/walk routes of the study.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A polyline route through the local plane.
+///
+/// Routes are the backbone of every scenario: the UE's mobility driver asks
+/// "where am I after `d` meters of travel?" and the deployment generator
+/// places towers at intervals along the same route. Both queries run against
+/// the precomputed cumulative arc-length table, so lookups are `O(log n)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+    /// `cum[i]` is the distance from the start to `points[i]`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from at least two waypoints.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 2, "a polyline needs at least two points");
+        let mut cum = Vec::with_capacity(points.len());
+        let mut total = 0.0;
+        cum.push(0.0);
+        for w in points.windows(2) {
+            total += w[0].distance(&w[1]);
+            cum.push(total);
+        }
+        Self { points, cum }
+    }
+
+    /// Total route length in meters.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// The route's waypoints.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Position after traveling `dist` meters from the start.
+    ///
+    /// `dist` is clamped to `[0, length()]`, so callers can overrun the end
+    /// of the route (e.g. the last mobility tick) without panicking.
+    pub fn point_at(&self, dist: f64) -> Point {
+        let dist = dist.clamp(0.0, self.length());
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&dist).unwrap())
+        {
+            Ok(i) => return self.points[i],
+            Err(i) => i,
+        };
+        // dist lies strictly between cum[i-1] and cum[i].
+        let seg_len = self.cum[i] - self.cum[i - 1];
+        let t = if seg_len > 0.0 {
+            (dist - self.cum[i - 1]) / seg_len
+        } else {
+            0.0
+        };
+        self.points[i - 1].lerp(&self.points[i], t)
+    }
+
+    /// Heading (radians, ccw from east) of the segment containing `dist`.
+    pub fn heading_at(&self, dist: f64) -> f64 {
+        let dist = dist.clamp(0.0, self.length());
+        let i = self
+            .cum
+            .partition_point(|&c| c <= dist)
+            .clamp(1, self.points.len() - 1);
+        self.points[i - 1].bearing(&self.points[i])
+    }
+
+    /// Returns evenly spaced sample positions every `step` meters, including
+    /// the start, and the end point if it is not already included.
+    pub fn sample_every(&self, step: f64) -> Vec<Point> {
+        assert!(step > 0.0, "sample step must be positive");
+        let mut out = Vec::new();
+        let mut d = 0.0;
+        while d < self.length() {
+            out.push(self.point_at(d));
+            d += step;
+        }
+        out.push(self.point_at(self.length()));
+        out
+    }
+
+    /// Concatenates another polyline onto the end of this one.
+    ///
+    /// The first point of `other` is connected to the current endpoint by a
+    /// straight segment (unless they coincide).
+    pub fn extend(&mut self, other: &Polyline) {
+        let mut pts = std::mem::take(&mut self.points);
+        for p in other.points() {
+            if pts.last() != Some(p) {
+                pts.push(*p);
+            }
+        }
+        *self = Polyline::new(pts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 50.0),
+        ])
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        assert_eq!(l_shape().length(), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_single_point() {
+        let _ = Polyline::new(vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    fn point_at_start_middle_end() {
+        let p = l_shape();
+        assert_eq!(p.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at(50.0), Point::new(50.0, 0.0));
+        assert_eq!(p.point_at(100.0), Point::new(100.0, 0.0));
+        assert_eq!(p.point_at(125.0), Point::new(100.0, 25.0));
+        assert_eq!(p.point_at(150.0), Point::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let p = l_shape();
+        assert_eq!(p.point_at(-10.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at(1e9), Point::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn heading_changes_at_corner() {
+        let p = l_shape();
+        assert!((p.heading_at(10.0) - 0.0).abs() < 1e-12);
+        assert!((p.heading_at(120.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_every_covers_route() {
+        let p = l_shape();
+        let s = p.sample_every(10.0);
+        assert_eq!(s.first().copied(), Some(Point::new(0.0, 0.0)));
+        assert_eq!(s.last().copied(), Some(Point::new(100.0, 50.0)));
+        // 0,10,...,140 plus endpoint
+        assert_eq!(s.len(), 16);
+        for w in s.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn extend_joins_routes() {
+        let mut a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(10.0, 0.0), Point::new(10.0, 10.0)]);
+        a.extend(&b);
+        assert_eq!(a.length(), 20.0);
+        assert_eq!(a.points().len(), 3);
+    }
+
+    #[test]
+    fn extend_inserts_connector_segment() {
+        let mut a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(20.0, 0.0), Point::new(30.0, 0.0)]);
+        a.extend(&b);
+        assert_eq!(a.length(), 30.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_polyline() -> impl Strategy<Value = Polyline> {
+        proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 2..20).prop_filter_map(
+            "degenerate",
+            |pts| {
+                let pts: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let p = Polyline::new(pts);
+                (p.length() > 1.0).then_some(p)
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn point_at_is_on_route_length_budget(p in arb_polyline(), t in 0.0..1.0f64) {
+            let d = t * p.length();
+            let pos = p.point_at(d);
+            // position must be within the route's bounding box
+            let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for q in p.points() {
+                lo_x = lo_x.min(q.x); hi_x = hi_x.max(q.x);
+                lo_y = lo_y.min(q.y); hi_y = hi_y.max(q.y);
+            }
+            prop_assert!(pos.x >= lo_x - 1e-9 && pos.x <= hi_x + 1e-9);
+            prop_assert!(pos.y >= lo_y - 1e-9 && pos.y <= hi_y + 1e-9);
+        }
+
+        #[test]
+        fn arc_length_monotone(p in arb_polyline(), a in 0.0..1.0f64, b in 0.0..1.0f64) {
+            // Distance along the route between two parameters never exceeds
+            // the arc-length difference (straight line is shortest).
+            let (a, b) = (a.min(b), a.max(b));
+            let (da, db) = (a * p.length(), b * p.length());
+            let chord = p.point_at(da).distance(&p.point_at(db));
+            prop_assert!(chord <= (db - da) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Route generators for the study's scenarios.
+//!
+//! The paper's dataset mixes city loops (dense urban deployments, walking
+//! datasets D1/D2, application drives) and long freeway legs (the
+//! cross-country portion). These builders produce the corresponding
+//! [`Polyline`]s in the local frame.
+
+use crate::point::Point;
+use crate::polyline::Polyline;
+
+/// A rectangular loop of `width` × `height` meters starting (and ending) at
+/// `origin`, traversed counter-clockwise.
+///
+/// Used for the walking loops of datasets D1/D2 and the downtown Zoom drive.
+pub fn rectangular_loop(origin: Point, width: f64, height: f64) -> Polyline {
+    assert!(width > 0.0 && height > 0.0, "loop dimensions must be positive");
+    Polyline::new(vec![
+        origin,
+        Point::new(origin.x + width, origin.y),
+        Point::new(origin.x + width, origin.y + height),
+        Point::new(origin.x, origin.y + height),
+        origin,
+    ])
+}
+
+/// A straight freeway leg of `length` meters heading along `bearing` radians.
+pub fn freeway_leg(origin: Point, bearing: f64, length: f64) -> Polyline {
+    assert!(length > 0.0, "leg length must be positive");
+    Polyline::new(vec![origin, origin.displaced(bearing, length)])
+}
+
+/// A gently curving freeway leg: `segments` chords of equal length whose
+/// heading drifts by `drift` radians per segment. Mimics interstate curvature
+/// so shadowing decorrelates the way it does on a real drive.
+pub fn curved_freeway(origin: Point, bearing: f64, length: f64, segments: usize, drift: f64) -> Polyline {
+    assert!(segments >= 1, "need at least one segment");
+    let seg = length / segments as f64;
+    let mut pts = Vec::with_capacity(segments + 1);
+    let mut pos = origin;
+    let mut b = bearing;
+    pts.push(pos);
+    for i in 0..segments {
+        // Alternate the drift direction so the route stays roughly straight.
+        let dir = if i % 2 == 0 { 1.0 } else { -1.0 };
+        b += dir * drift;
+        pos = pos.displaced(b, seg);
+        pts.push(pos);
+    }
+    Polyline::new(pts)
+}
+
+/// A boustrophedon (lawnmower) sweep over a city grid: `rows` east-west
+/// streets of `width` meters, separated by `block` meters. Used for the city
+/// portions of the cross-country scenario where the car covers a downtown.
+pub fn city_grid_sweep(origin: Point, width: f64, block: f64, rows: usize) -> Polyline {
+    assert!(rows >= 1, "need at least one row");
+    let mut pts = Vec::with_capacity(rows * 2);
+    for r in 0..rows {
+        let y = origin.y + r as f64 * block;
+        let (x0, x1) = if r % 2 == 0 {
+            (origin.x, origin.x + width)
+        } else {
+            (origin.x + width, origin.x)
+        };
+        pts.push(Point::new(x0, y));
+        pts.push(Point::new(x1, y));
+    }
+    Polyline::new(pts)
+}
+
+/// Repeats a loop route `laps` times (e.g. "drive 10 loops around identified
+/// spots", §5.3; "walking a 25 min loop 10×", §7.3).
+pub fn repeat_loop(route: &Polyline, laps: usize) -> Polyline {
+    assert!(laps >= 1, "need at least one lap");
+    let mut out = route.clone();
+    for _ in 1..laps {
+        out.extend(route);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_loop_closes() {
+        let l = rectangular_loop(Point::ORIGIN, 300.0, 200.0);
+        assert_eq!(l.length(), 1000.0);
+        assert_eq!(l.point_at(0.0), l.point_at(l.length()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rectangular_loop_rejects_zero_dims() {
+        let _ = rectangular_loop(Point::ORIGIN, 0.0, 10.0);
+    }
+
+    #[test]
+    fn freeway_leg_has_exact_length() {
+        let l = freeway_leg(Point::ORIGIN, 0.3, 5000.0);
+        assert!((l.length() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curved_freeway_length_matches() {
+        let l = curved_freeway(Point::ORIGIN, 0.0, 10_000.0, 20, 0.05);
+        assert!((l.length() - 10_000.0).abs() < 1e-6);
+        // net displacement should be close to straight for alternating drift
+        let end = l.point_at(l.length());
+        assert!(end.x > 9000.0, "route should progress mostly east: {end:?}");
+    }
+
+    #[test]
+    fn city_grid_sweep_shape() {
+        let g = city_grid_sweep(Point::ORIGIN, 400.0, 100.0, 4);
+        // 4 rows of 400 m plus 3 connectors of 100 m... connectors are the
+        // diagonal jumps between row ends; rows alternate direction so the
+        // connector is vertical (100 m) each time.
+        assert!((g.length() - (4.0 * 400.0 + 3.0 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_loop_multiplies_length() {
+        let l = rectangular_loop(Point::ORIGIN, 100.0, 50.0);
+        let r = repeat_loop(&l, 5);
+        assert!((r.length() - 5.0 * l.length()).abs() < 1e-9);
+        // lap boundaries land on the origin
+        assert_eq!(r.point_at(2.0 * l.length()), Point::ORIGIN);
+    }
+}

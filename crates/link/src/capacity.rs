@@ -1,0 +1,142 @@
+//! Downlink capacity and base RTT composition per bearer mode (§4.2).
+//!
+//! NSA's data plane can run in two modes:
+//!
+//! * **dual** (MCG split bearer): traffic goes over *both* radios; the 5G
+//!   share detours core → eNB → gNB, adding forwarding latency, but an NR
+//!   interruption leaves the LTE leg flowing — "the dual mode absorbs HO
+//!   fluctuations";
+//! * **5G-only** (SCG bearer): everything rides NR; lowest RTT when
+//!   connected ("5G data is directly sent to the gNB"), but an NR HO stalls
+//!   everything — "RTT can inflate by up to 37–58% in the median case".
+
+use serde::{Deserialize, Serialize};
+
+/// Data-plane bearer composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bearer {
+    /// Pure LTE (no NR leg / LTE-only service).
+    LteOnly,
+    /// NSA MCG split bearer: LTE + NR ("dual mode").
+    Dual,
+    /// NSA SCG bearer or SA: all data on NR ("5G-only mode").
+    NrOnly,
+}
+
+/// Snapshot of the downlink at one tick, as derived by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownlinkState {
+    /// LTE leg capacity (fair share applied), Mbps. 0 when detached.
+    pub lte_mbps: f64,
+    /// NR leg capacity, Mbps. 0 when no SCG / out of coverage.
+    pub nr_mbps: f64,
+    /// LTE data plane halted by an executing HO.
+    pub lte_interrupted: bool,
+    /// NR data plane halted by an executing HO.
+    pub nr_interrupted: bool,
+    /// Bearer composition in this area.
+    pub bearer: Bearer,
+}
+
+/// Composed path characteristics for the tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathOutcome {
+    /// Usable downlink capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Base (unloaded) RTT of the composed path, ms.
+    pub base_rtt_ms: f64,
+}
+
+/// Core-network RTT floor (UE ↔ nearby server), ms.
+pub const CORE_RTT_MS: f64 = 22.0;
+/// Extra RTT of the LTE radio leg vs NR, ms.
+pub const LTE_LEG_MS: f64 = 12.0;
+/// NR radio leg latency, ms.
+pub const NR_LEG_MS: f64 = 4.0;
+/// Forwarding penalty of the dual-mode detour (core → eNB → gNB), ms.
+pub const DUAL_FORWARD_MS: f64 = 9.0;
+
+/// Composes leg capacities into the usable downlink for this tick.
+pub fn compose(s: &DownlinkState) -> PathOutcome {
+    let lte_up = !s.lte_interrupted && s.lte_mbps > 0.0;
+    let nr_up = !s.nr_interrupted && s.nr_mbps > 0.0;
+    match s.bearer {
+        Bearer::LteOnly => PathOutcome {
+            capacity_mbps: if lte_up { s.lte_mbps } else { 0.0 },
+            base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS,
+        },
+        Bearer::NrOnly => PathOutcome {
+            capacity_mbps: if nr_up { s.nr_mbps } else { 0.0 },
+            base_rtt_ms: CORE_RTT_MS + NR_LEG_MS,
+        },
+        Bearer::Dual => {
+            // Split bearer: both legs carry traffic. The path RTT is set by
+            // the detour through the eNB; when the NR leg is down the LTE
+            // leg keeps flowing (the paper's "absorbs HO fluctuations").
+            let cap = (if lte_up { s.lte_mbps } else { 0.0 }) + (if nr_up { s.nr_mbps } else { 0.0 });
+            PathOutcome {
+                capacity_mbps: cap,
+                base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS.max(NR_LEG_MS + DUAL_FORWARD_MS),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(lte: f64, nr: f64, bearer: Bearer) -> DownlinkState {
+        DownlinkState { lte_mbps: lte, nr_mbps: nr, lte_interrupted: false, nr_interrupted: false, bearer }
+    }
+
+    #[test]
+    fn nr_only_has_lowest_rtt() {
+        let nr = compose(&state(50.0, 300.0, Bearer::NrOnly));
+        let dual = compose(&state(50.0, 300.0, Bearer::Dual));
+        let lte = compose(&state(50.0, 0.0, Bearer::LteOnly));
+        assert!(nr.base_rtt_ms < dual.base_rtt_ms);
+        assert!(nr.base_rtt_ms < lte.base_rtt_ms);
+    }
+
+    #[test]
+    fn dual_sums_capacities() {
+        let p = compose(&state(50.0, 300.0, Bearer::Dual));
+        assert_eq!(p.capacity_mbps, 350.0);
+    }
+
+    #[test]
+    fn nr_interruption_zeroes_5g_only() {
+        let mut s = state(50.0, 300.0, Bearer::NrOnly);
+        s.nr_interrupted = true;
+        assert_eq!(compose(&s).capacity_mbps, 0.0);
+    }
+
+    #[test]
+    fn nr_interruption_leaves_dual_on_lte() {
+        let mut s = state(50.0, 300.0, Bearer::Dual);
+        s.nr_interrupted = true;
+        let p = compose(&s);
+        assert_eq!(p.capacity_mbps, 50.0, "LTE absorbs the 5G HO");
+    }
+
+    #[test]
+    fn lte_interruption_kills_dual_entirely_when_nr_also_down() {
+        let mut s = state(50.0, 300.0, Bearer::Dual);
+        s.lte_interrupted = true;
+        s.nr_interrupted = true; // 4G HO halts both (Table 2 semantics)
+        assert_eq!(compose(&s).capacity_mbps, 0.0);
+    }
+
+    #[test]
+    fn detached_nr_contributes_nothing() {
+        let p = compose(&state(50.0, 0.0, Bearer::Dual));
+        assert_eq!(p.capacity_mbps, 50.0);
+    }
+
+    #[test]
+    fn lte_only_ignores_nr() {
+        let p = compose(&state(60.0, 900.0, Bearer::LteOnly));
+        assert_eq!(p.capacity_mbps, 60.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Application flows over the modelled downlink.
+//!
+//! * [`BulkFlow`] — an iPerf3-style saturating download (used for §6.2's
+//!   throughput-around-HO analysis and the ABR bandwidth traces of §7.4);
+//! * [`CbrFlow`] — a constant-bitrate real-time stream with per-frame
+//!   deadlines (video conferencing at ~1 Mbps, cloud gaming at 4K60).
+
+use crate::capacity::PathOutcome;
+use crate::tcp::{Cca, TcpFlow, TcpSample};
+use serde::{Deserialize, Serialize};
+
+/// An always-backlogged TCP download.
+#[derive(Debug, Clone)]
+pub struct BulkFlow {
+    tcp: TcpFlow,
+    samples: Vec<TcpSample>,
+}
+
+impl BulkFlow {
+    /// Starts a bulk download with the given congestion controller.
+    pub fn new(cca: Cca) -> Self {
+        Self { tcp: TcpFlow::new(cca), samples: Vec::new() }
+    }
+
+    /// Advances one tick; records and returns the sample.
+    pub fn step(&mut self, t: f64, dt: f64, path: &PathOutcome) -> TcpSample {
+        let s = self.tcp.step(t, dt, path.capacity_mbps, path.base_rtt_ms);
+        self.samples.push(s);
+        s
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[TcpSample] {
+        &self.samples
+    }
+
+    /// Total bytes delivered.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.tcp.bytes_delivered()
+    }
+}
+
+/// One observation window of a CBR stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbrSample {
+    /// Time, s.
+    pub t: f64,
+    /// End-to-end latency of frames sent this tick, ms.
+    pub latency_ms: f64,
+    /// Fraction of this tick's frames lost/dropped (0..=1).
+    pub loss: f64,
+}
+
+/// A real-time constant-bitrate stream (RTP-like over UDP).
+///
+/// Frames arrive at `rate_mbps`; a frame is **lost** when the path has no
+/// capacity for it within the frame deadline, and **late** frames count as
+/// dropped for the gaming workload (the paper's "dropped frames").
+#[derive(Debug, Clone)]
+pub struct CbrFlow {
+    rate_mbps: f64,
+    deadline_ms: f64,
+    /// Backlogged media bits waiting for capacity, Mb.
+    backlog_mb: f64,
+    samples: Vec<CbrSample>,
+}
+
+impl CbrFlow {
+    /// Creates a stream of `rate_mbps` with a per-frame deadline.
+    pub fn new(rate_mbps: f64, deadline_ms: f64) -> Self {
+        assert!(rate_mbps > 0.0);
+        Self { rate_mbps, deadline_ms, backlog_mb: 0.0, samples: Vec::new() }
+    }
+
+    /// Advances one tick over the current path.
+    pub fn step(&mut self, t: f64, dt: f64, path: &PathOutcome) -> CbrSample {
+        let offered = self.rate_mbps * dt;
+        self.backlog_mb += offered;
+        let served = (path.capacity_mbps * dt).min(self.backlog_mb);
+        self.backlog_mb -= served;
+
+        // Queueing latency of the media backlog on top of the base RTT/2
+        // (one-way), in ms.
+        let q_ms = if path.capacity_mbps > 0.01 {
+            self.backlog_mb / path.capacity_mbps * 1000.0
+        } else {
+            self.deadline_ms * 4.0
+        };
+        let latency = path.base_rtt_ms / 2.0 + q_ms;
+
+        // Anything still backlogged beyond the deadline's worth of data is
+        // dropped (stale media is useless).
+        let deadline_budget_mb = self.rate_mbps * self.deadline_ms / 1000.0;
+        let mut loss = 0.0;
+        if self.backlog_mb > deadline_budget_mb {
+            let dropped = self.backlog_mb - deadline_budget_mb;
+            loss = (dropped / offered.max(1e-9)).min(1.0);
+            self.backlog_mb = deadline_budget_mb;
+        }
+
+        let s = CbrSample { t, latency_ms: latency, loss };
+        self.samples.push(s);
+        s
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[CbrSample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(cap: f64) -> PathOutcome {
+        PathOutcome { capacity_mbps: cap, base_rtt_ms: 30.0 }
+    }
+
+    #[test]
+    fn cbr_under_provisioned_path_is_clean() {
+        let mut f = CbrFlow::new(1.0, 150.0);
+        let mut t = 0.0;
+        for _ in 0..500 {
+            let s = f.step(t, 0.02, &path(50.0));
+            assert_eq!(s.loss, 0.0);
+            assert!(s.latency_ms < 20.0);
+            t += 0.02;
+        }
+    }
+
+    #[test]
+    fn cbr_interruption_causes_latency_spike_and_loss() {
+        let mut f = CbrFlow::new(30.0, 100.0);
+        let mut t = 0.0;
+        for _ in 0..100 {
+            f.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        let clean = f.step(t, 0.02, &path(100.0));
+        // 200 ms outage
+        let mut worst = clean;
+        let mut lost = 0.0;
+        for _ in 0..10 {
+            t += 0.02;
+            let s = f.step(t, 0.02, &path(0.0));
+            if s.latency_ms > worst.latency_ms {
+                worst = s;
+            }
+            lost += s.loss;
+        }
+        assert!(worst.latency_ms > clean.latency_ms * 2.0);
+        assert!(lost > 0.0, "sustained outage must drop frames");
+    }
+
+    #[test]
+    fn cbr_recovers_after_outage() {
+        let mut f = CbrFlow::new(30.0, 100.0);
+        let mut t = 0.0;
+        for _ in 0..100 {
+            f.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        for _ in 0..10 {
+            f.step(t, 0.02, &path(0.0));
+            t += 0.02;
+        }
+        let mut last = CbrSample { t, latency_ms: 1e9, loss: 1.0 };
+        for _ in 0..100 {
+            last = f.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        assert_eq!(last.loss, 0.0);
+        assert!(last.latency_ms < 30.0);
+    }
+
+    #[test]
+    fn bulk_flow_records_samples() {
+        let mut b = BulkFlow::new(Cca::Bbr);
+        let mut t = 0.0;
+        for _ in 0..200 {
+            b.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        assert_eq!(b.samples().len(), 200);
+        assert!(b.bytes_delivered() > 0.0);
+    }
+
+    #[test]
+    fn cbr_loss_bounded_by_one() {
+        let mut f = CbrFlow::new(10.0, 50.0);
+        let mut t = 0.0;
+        for _ in 0..300 {
+            let s = f.step(t, 0.02, &path(0.0));
+            assert!(s.loss <= 1.0);
+            t += 0.02;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Data-plane model: capacity, RTT, TCP dynamics and application flows.
+//!
+//! This is the layer where the paper's application-visible effects appear:
+//! HO execution halts the affected radios, NSA's bearer mode decides whether
+//! LTE can absorb a 5G interruption (§4.2), and the dual-mode path through
+//! the eNB adds forwarding latency. The crate is deliberately independent of
+//! the RAN structures: its inputs are plain [`DownlinkState`] snapshots the
+//! simulator derives each tick, so it can also replay recorded traces
+//! (the Mahimahi role in §7.4).
+//!
+//! * [`capacity`] — leg capacities + bearer composition → throughput & RTT;
+//! * [`tcp`] — CUBIC and BBR senders over a bottleneck queue;
+//! * [`flows`] — bulk (iPerf-like) and CBR (conferencing/gaming) flows.
+
+pub mod capacity;
+pub mod flows;
+pub mod tcp;
+
+pub use capacity::{compose, Bearer, DownlinkState, PathOutcome};
+pub use flows::{BulkFlow, CbrFlow, CbrSample};
+pub use tcp::{BbrSender, Cca, CubicSender, TcpFlow, TcpSample};

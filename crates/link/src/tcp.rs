@@ -1,0 +1,349 @@
+//! TCP congestion control over a time-varying bottleneck.
+//!
+//! The iPerf experiments (§3, §4.2, §6.2) run CUBIC and BBR over the
+//! cellular downlink. We model the path as a single bottleneck queue whose
+//! service rate is the per-tick capacity from [`crate::capacity`]:
+//!
+//! * the sender paces `cwnd / RTT` (CUBIC) or `pacing_gain × btl_bw` (BBR);
+//! * the queue drains at capacity; standing queue adds `queue / capacity`
+//!   of delay to the base RTT (this is where dual-mode vs 5G-only RTT
+//!   behaviour during HOs comes from, Fig. 7);
+//! * overflow beyond the buffer drops packets: CUBIC reacts multiplicatively,
+//!   BBR ignores isolated loss but refreshes its bandwidth sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Which congestion-control algorithm a [`TcpFlow`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cca {
+    /// Loss-based CUBIC (RFC 8312 shape).
+    Cubic,
+    /// Model of BBRv1's steady state (bandwidth-probing rate control).
+    Bbr,
+}
+
+/// Per-tick observable state of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpSample {
+    /// Time, s.
+    pub t: f64,
+    /// Goodput delivered this tick, Mbps.
+    pub goodput_mbps: f64,
+    /// Smoothed RTT, ms.
+    pub rtt_ms: f64,
+    /// Packets were lost this tick.
+    pub lost: bool,
+}
+
+/// CUBIC window state.
+#[derive(Debug, Clone)]
+pub struct CubicSender {
+    cwnd_mb: f64,
+    w_max_mb: f64,
+    epoch_t: f64,
+    k: f64,
+}
+
+const CUBIC_C: f64 = 0.4 * 8.0; // classic C=0.4 (in MB/s^3), here in Mb
+const CUBIC_BETA: f64 = 0.7;
+
+impl CubicSender {
+    fn new() -> Self {
+        Self { cwnd_mb: 0.4, w_max_mb: 0.4, epoch_t: 0.0, k: 0.0 }
+    }
+
+    fn on_loss(&mut self, t: f64) {
+        self.w_max_mb = self.cwnd_mb;
+        self.cwnd_mb = (self.cwnd_mb * CUBIC_BETA).max(0.05);
+        self.epoch_t = t;
+        self.k = ((self.w_max_mb * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
+    }
+
+    fn update(&mut self, t: f64) {
+        let dt = t - self.epoch_t;
+        let target = CUBIC_C * (dt - self.k).powi(3) + self.w_max_mb;
+        self.cwnd_mb = target.max(0.05).min(4000.0);
+    }
+
+    fn rate_mbps(&self, rtt_s: f64) -> f64 {
+        self.cwnd_mb / rtt_s.max(1e-3)
+    }
+}
+
+/// BBR-flavoured rate state.
+#[derive(Debug, Clone)]
+pub struct BbrSender {
+    btl_bw_mbps: f64,
+    /// Windowed-max filter over recent delivery-rate samples.
+    bw_samples: Vec<(f64, f64)>,
+    cycle_start: f64,
+}
+
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+const BBR_BW_WINDOW_S: f64 = 3.0;
+
+impl BbrSender {
+    fn new() -> Self {
+        Self { btl_bw_mbps: 2.0, bw_samples: Vec::new(), cycle_start: 0.0 }
+    }
+
+    fn on_delivery(&mut self, t: f64, rate_mbps: f64) {
+        self.bw_samples.push((t, rate_mbps));
+        self.bw_samples.retain(|&(ts, _)| t - ts <= BBR_BW_WINDOW_S);
+        self.btl_bw_mbps = self
+            .bw_samples
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(0.5, f64::max);
+    }
+
+    fn pacing_rate(&self, t: f64, rtt_s: f64) -> f64 {
+        let phase = (((t - self.cycle_start) / rtt_s.max(0.01)) as usize) % BBR_CYCLE.len();
+        self.btl_bw_mbps * BBR_CYCLE[phase]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Sender {
+    Cubic(CubicSender),
+    Bbr(BbrSender),
+}
+
+/// A long-lived TCP flow over the modelled bottleneck.
+#[derive(Debug, Clone)]
+pub struct TcpFlow {
+    sender: Sender,
+    /// Standing bottleneck queue, Mb.
+    queue_mb: f64,
+    /// Bottleneck buffer, Mb (≈ 50 ms at 1 Gbps).
+    buffer_mb: f64,
+    srtt_ms: f64,
+    bytes_delivered: f64,
+}
+
+impl TcpFlow {
+    /// Creates a flow with the chosen congestion controller.
+    pub fn new(cca: Cca) -> Self {
+        Self {
+            sender: match cca {
+                Cca::Cubic => Sender::Cubic(CubicSender::new()),
+                Cca::Bbr => Sender::Bbr(BbrSender::new()),
+            },
+            queue_mb: 0.0,
+            buffer_mb: 50.0,
+            srtt_ms: 40.0,
+            bytes_delivered: 0.0,
+        }
+    }
+
+    /// Total bytes delivered so far.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.bytes_delivered
+    }
+
+    /// Advances the flow one tick of `dt` seconds with the current path
+    /// (`capacity_mbps`, `base_rtt_ms`).
+    pub fn step(&mut self, t: f64, dt: f64, capacity_mbps: f64, base_rtt_ms: f64) -> TcpSample {
+        // current RTT includes queueing delay
+        let q_delay_ms = if capacity_mbps > 0.01 {
+            (self.queue_mb / capacity_mbps) * 1000.0
+        } else {
+            // path stalled: delay accrues as the queue has no service; cap
+            // at a 2 s timeout-ish ceiling
+            2000.0
+        };
+        let rtt_ms = base_rtt_ms + q_delay_ms.min(2000.0);
+        let rtt_s = rtt_ms / 1000.0;
+
+        // sending rate
+        let send_mbps = match &mut self.sender {
+            Sender::Cubic(c) => {
+                c.update(t);
+                c.rate_mbps(rtt_s)
+            }
+            Sender::Bbr(b) => {
+                // BBR caps inflight at ~2×BDP: stop pacing once the standing
+                // queue exceeds it (this is what keeps BBR's RTT low)
+                let bdp_mb = b.btl_bw_mbps * (base_rtt_ms / 1000.0);
+                if self.queue_mb > 2.0 * bdp_mb.max(0.05) {
+                    0.0
+                } else {
+                    b.pacing_rate(t, rtt_s)
+                }
+            }
+        };
+
+        // queue evolution
+        let arrivals = send_mbps * dt;
+        let served = (capacity_mbps * dt).min(self.queue_mb + arrivals);
+        let mut lost = false;
+        self.queue_mb = self.queue_mb + arrivals - served;
+        if self.queue_mb > self.buffer_mb {
+            self.queue_mb = self.buffer_mb;
+            lost = true;
+        }
+
+        let goodput = served / dt.max(1e-9);
+        self.bytes_delivered += served * 1e6 / 8.0;
+        self.srtt_ms = 0.8 * self.srtt_ms + 0.2 * rtt_ms;
+
+        match &mut self.sender {
+            Sender::Cubic(c) => {
+                if lost {
+                    c.on_loss(t);
+                }
+            }
+            Sender::Bbr(b) => {
+                if capacity_mbps > 0.01 {
+                    b.on_delivery(t, goodput);
+                }
+            }
+        }
+
+        TcpSample { t, goodput_mbps: goodput, rtt_ms: self.srtt_ms, lost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_constant(cca: Cca, capacity: f64, secs: f64) -> Vec<TcpSample> {
+        let mut f = TcpFlow::new(cca);
+        let dt = 0.02;
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < secs {
+            out.push(f.step(t, dt, capacity, 30.0));
+            t += dt;
+        }
+        out
+    }
+
+    fn mean_goodput(samples: &[TcpSample]) -> f64 {
+        let tail = &samples[samples.len() / 2..];
+        tail.iter().map(|s| s.goodput_mbps).sum::<f64>() / tail.len() as f64
+    }
+
+    #[test]
+    fn cubic_converges_to_capacity() {
+        let s = run_constant(Cca::Cubic, 100.0, 30.0);
+        let g = mean_goodput(&s);
+        assert!(g > 75.0 && g <= 101.0, "cubic goodput {g}");
+    }
+
+    #[test]
+    fn bbr_converges_to_capacity() {
+        let s = run_constant(Cca::Bbr, 100.0, 30.0);
+        let g = mean_goodput(&s);
+        assert!(g > 80.0 && g <= 101.0, "bbr goodput {g}");
+    }
+
+    #[test]
+    fn bbr_keeps_queue_smaller_than_cubic() {
+        let c = run_constant(Cca::Cubic, 50.0, 30.0);
+        let b = run_constant(Cca::Bbr, 50.0, 30.0);
+        let rtt = |v: &[TcpSample]| {
+            let tail = &v[v.len() / 2..];
+            tail.iter().map(|s| s.rtt_ms).sum::<f64>() / tail.len() as f64
+        };
+        assert!(rtt(&b) < rtt(&c), "bbr rtt {} vs cubic {}", rtt(&b), rtt(&c));
+    }
+
+    #[test]
+    fn stall_inflates_rtt_and_zeroes_goodput() {
+        let mut f = TcpFlow::new(Cca::Bbr);
+        let dt = 0.02;
+        let mut t = 0.0;
+        // warm up
+        while t < 10.0 {
+            f.step(t, dt, 200.0, 30.0);
+            t += dt;
+        }
+        let before = f.step(t, dt, 200.0, 30.0);
+        // interruption: capacity 0 for 150 ms
+        let mut worst_rtt: f64 = 0.0;
+        for _ in 0..8 {
+            t += dt;
+            let s = f.step(t, dt, 0.0, 30.0);
+            assert_eq!(s.goodput_mbps, 0.0);
+            worst_rtt = worst_rtt.max(s.rtt_ms);
+        }
+        assert!(worst_rtt > before.rtt_ms * 1.2, "{worst_rtt} vs {}", before.rtt_ms);
+    }
+
+    #[test]
+    fn recovers_after_interruption() {
+        let mut f = TcpFlow::new(Cca::Cubic);
+        let dt = 0.02;
+        let mut t = 0.0;
+        while t < 15.0 {
+            f.step(t, dt, 100.0, 30.0);
+            t += dt;
+        }
+        for _ in 0..10 {
+            t += dt;
+            f.step(t, dt, 0.0, 30.0);
+        }
+        let mut tail = Vec::new();
+        while t < 35.0 {
+            tail.push(f.step(t, dt, 100.0, 30.0));
+            t += dt;
+        }
+        let g = mean_goodput(&tail);
+        assert!(g > 70.0, "post-interruption goodput {g}");
+    }
+
+    #[test]
+    fn goodput_never_exceeds_capacity_plus_drain() {
+        for cca in [Cca::Cubic, Cca::Bbr] {
+            let s = run_constant(cca, 80.0, 10.0);
+            for x in &s {
+                // served rate can't exceed capacity (queue only delays)
+                assert!(x.goodput_mbps <= 80.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_delivered_accumulates() {
+        let mut f = TcpFlow::new(Cca::Bbr);
+        let dt = 0.02;
+        let mut t = 0.0;
+        while t < 10.0 {
+            f.step(t, dt, 100.0, 30.0);
+            t += dt;
+        }
+        // ~10 s at <=100 Mbps => <= 125 MB, and something substantial
+        assert!(f.bytes_delivered() > 2e7);
+        assert!(f.bytes_delivered() <= 1.26e8);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn goodput_never_exceeds_capacity(
+            caps in proptest::collection::vec(0.0..500.0f64, 10..200),
+            cubic in proptest::bool::ANY,
+        ) {
+            let mut f = TcpFlow::new(if cubic { Cca::Cubic } else { Cca::Bbr });
+            let mut t = 0.0;
+            for &cap in &caps {
+                // several ticks per capacity step
+                for _ in 0..5 {
+                    let s = f.step(t, 0.02, cap, 30.0);
+                    prop_assert!(s.goodput_mbps <= cap + 1e-6);
+                    prop_assert!(s.rtt_ms >= 0.0);
+                    prop_assert!(s.rtt_ms.is_finite());
+                    t += 0.02;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! LTE and 5G-NR frequency bands.
+//!
+//! The paper groups bands into **low-band** (< 1 GHz, e.g. n71), **mid-band**
+//! (1–6 GHz, e.g. n41/b2) and **mmWave** (> 24 GHz, e.g. n260/n261), and its
+//! findings are organized along exactly that axis: coverage (§6.1), HO
+//! frequency (§5.1) and throughput all follow band class.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three-way band classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BandClass {
+    /// Sub-1 GHz: widest coverage, lowest bandwidth (e.g. n71 @ 600 MHz).
+    Low,
+    /// 1–6 GHz: the LTE workhorse range and 5G mid-band (e.g. n41 @ 2.5 GHz).
+    Mid,
+    /// 24 GHz+: tiny cells, beams, multi-Gbps (e.g. n260 @ 39 GHz).
+    MmWave,
+}
+
+impl BandClass {
+    /// Classifies a carrier frequency in MHz.
+    pub fn from_freq_mhz(f: f64) -> Self {
+        if f < 1000.0 {
+            BandClass::Low
+        } else if f < 7125.0 {
+            BandClass::Mid
+        } else {
+            BandClass::MmWave
+        }
+    }
+
+    /// Short label used in experiment output ("Low-Band", "Mid-Band",
+    /// "mmWave"), matching the paper's figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BandClass::Low => "Low-Band",
+            BandClass::Mid => "Mid-Band",
+            BandClass::MmWave => "mmWave",
+        }
+    }
+}
+
+/// Radio access technology of a band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandTech {
+    /// 4G LTE (E-UTRA).
+    Lte,
+    /// 5G New Radio.
+    Nr,
+}
+
+/// A concrete carrier band: 3GPP name, center frequency and channel width.
+///
+/// Bandwidth drives achievable throughput ([`crate::capacity`]); frequency
+/// drives path loss and therefore cell size ([`crate::propagation`]).
+///
+/// `Band` is a plain `Copy` value with a `&'static str` name; traces that
+/// need serialization store the name and [`BandClass`] instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// 3GPP band name, e.g. "n71", "n41", "n260", "b2", "b66".
+    pub name: &'static str,
+    /// LTE or NR.
+    pub tech: BandTech,
+    /// Carrier center frequency in MHz.
+    pub freq_mhz: f64,
+    /// Aggregated channel bandwidth in MHz.
+    pub bandwidth_mhz: f64,
+}
+
+impl Band {
+    /// The band's low/mid/mmWave class.
+    pub fn class(&self) -> BandClass {
+        BandClass::from_freq_mhz(self.freq_mhz)
+    }
+
+    /// True for 5G-NR bands.
+    pub fn is_nr(&self) -> bool {
+        self.tech == BandTech::Nr
+    }
+}
+
+/// Catalog of the bands used by the study's three carriers.
+///
+/// Frequencies are representative of U.S. deployments circa 2021/2022.
+pub mod catalog {
+    use super::{Band, BandTech};
+
+    /// NR low-band n71 (600 MHz), 20 MHz channel — OpY/OpZ low-band 5G.
+    pub const N71: Band = Band { name: "n71", tech: BandTech::Nr, freq_mhz: 617.0, bandwidth_mhz: 20.0 };
+    /// NR low-band n5 (850 MHz) — OpX low-band 5G ("5G nationwide").
+    pub const N5: Band = Band { name: "n5", tech: BandTech::Nr, freq_mhz: 881.0, bandwidth_mhz: 10.0 };
+    /// NR mid-band n41 (2.5 GHz), 100 MHz — OpY mid-band ("ultra capacity").
+    pub const N41: Band = Band { name: "n41", tech: BandTech::Nr, freq_mhz: 2593.0, bandwidth_mhz: 100.0 };
+    /// NR mid-band n77 (C-band, 3.7 GHz), 60 MHz.
+    pub const N77: Band = Band { name: "n77", tech: BandTech::Nr, freq_mhz: 3750.0, bandwidth_mhz: 60.0 };
+    /// NR mmWave n260 (39 GHz), 400 MHz aggregated.
+    pub const N260: Band = Band { name: "n260", tech: BandTech::Nr, freq_mhz: 39000.0, bandwidth_mhz: 400.0 };
+    /// NR mmWave n261 (28 GHz), 400 MHz aggregated.
+    pub const N261: Band = Band { name: "n261", tech: BandTech::Nr, freq_mhz: 28000.0, bandwidth_mhz: 400.0 };
+
+    /// LTE low-band b12 (700 MHz), 10 MHz.
+    pub const B12: Band = Band { name: "b12", tech: BandTech::Lte, freq_mhz: 737.0, bandwidth_mhz: 10.0 };
+    /// LTE low-band b5 (850 MHz), 10 MHz.
+    pub const B5: Band = Band { name: "b5", tech: BandTech::Lte, freq_mhz: 881.5, bandwidth_mhz: 10.0 };
+    /// LTE mid-band b2 (1.9 GHz PCS), 20 MHz — the NSA-4C anchor band.
+    pub const B2: Band = Band { name: "b2", tech: BandTech::Lte, freq_mhz: 1960.0, bandwidth_mhz: 20.0 };
+    /// LTE mid-band b4/b66 (AWS 1.7/2.1 GHz), 20 MHz.
+    pub const B66: Band = Band { name: "b66", tech: BandTech::Lte, freq_mhz: 2130.0, bandwidth_mhz: 20.0 };
+    /// LTE mid-band b41 (2.5 GHz), 20 MHz.
+    pub const B41: Band = Band { name: "b41", tech: BandTech::Lte, freq_mhz: 2593.0, bandwidth_mhz: 20.0 };
+    /// LTE mid-band b30 (2.3 GHz WCS), 10 MHz.
+    pub const B30: Band = Band { name: "b30", tech: BandTech::Lte, freq_mhz: 2355.0, bandwidth_mhz: 10.0 };
+    /// LTE low-band b13 (700 MHz upper C), 10 MHz.
+    pub const B13: Band = Band { name: "b13", tech: BandTech::Lte, freq_mhz: 751.0, bandwidth_mhz: 10.0 };
+    /// LTE low-band b14 (700 MHz FirstNet), 10 MHz.
+    pub const B14: Band = Band { name: "b14", tech: BandTech::Lte, freq_mhz: 763.0, bandwidth_mhz: 10.0 };
+    /// LTE mid-band b25 (1.9 GHz extended PCS), 15 MHz.
+    pub const B25: Band = Band { name: "b25", tech: BandTech::Lte, freq_mhz: 1962.5, bandwidth_mhz: 15.0 };
+    /// LTE low-band b26 (850 MHz extended), 10 MHz.
+    pub const B26: Band = Band { name: "b26", tech: BandTech::Lte, freq_mhz: 866.0, bandwidth_mhz: 10.0 };
+    /// LTE low-band b71 (600 MHz), 15 MHz.
+    pub const B71: Band = Band { name: "b71", tech: BandTech::Lte, freq_mhz: 622.0, bandwidth_mhz: 15.0 };
+    /// LTE mid-band b29 (700 MHz SDL — grouped low but used as supplemental), 10 MHz.
+    pub const B29: Band = Band { name: "b29", tech: BandTech::Lte, freq_mhz: 722.0, bandwidth_mhz: 10.0 };
+    /// LTE mid-band b48 (3.5 GHz CBRS), 20 MHz.
+    pub const B48: Band = Band { name: "b48", tech: BandTech::Lte, freq_mhz: 3600.0, bandwidth_mhz: 20.0 };
+    /// LTE mid-band b4 (AWS 1.7/2.1 GHz), 15 MHz.
+    pub const B4: Band = Band { name: "b4", tech: BandTech::Lte, freq_mhz: 2115.0, bandwidth_mhz: 15.0 };
+    /// LTE mid-band b46 (5 GHz LAA), 20 MHz.
+    pub const B46: Band = Band { name: "b46", tech: BandTech::Lte, freq_mhz: 5200.0, bandwidth_mhz: 20.0 };
+    /// NR mid-band n2 (1.9 GHz DSS), 20 MHz.
+    pub const N2: Band = Band { name: "n2", tech: BandTech::Nr, freq_mhz: 1960.0, bandwidth_mhz: 20.0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::catalog::*;
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(BandClass::from_freq_mhz(617.0), BandClass::Low);
+        assert_eq!(BandClass::from_freq_mhz(999.9), BandClass::Low);
+        assert_eq!(BandClass::from_freq_mhz(1000.0), BandClass::Mid);
+        assert_eq!(BandClass::from_freq_mhz(3750.0), BandClass::Mid);
+        assert_eq!(BandClass::from_freq_mhz(28000.0), BandClass::MmWave);
+    }
+
+    #[test]
+    fn catalog_classes_match_paper_grouping() {
+        assert_eq!(N71.class(), BandClass::Low);
+        assert_eq!(N5.class(), BandClass::Low);
+        assert_eq!(N41.class(), BandClass::Mid);
+        assert_eq!(N260.class(), BandClass::MmWave);
+        assert_eq!(B2.class(), BandClass::Mid);
+        assert_eq!(B12.class(), BandClass::Low);
+    }
+
+    #[test]
+    fn nr_flag() {
+        assert!(N71.is_nr());
+        assert!(!B2.is_nr());
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(BandClass::Low.label(), "Low-Band");
+        assert_eq!(BandClass::MmWave.label(), "mmWave");
+    }
+
+    #[test]
+    fn mmwave_has_most_bandwidth() {
+        assert!(N260.bandwidth_mhz > N41.bandwidth_mhz);
+        assert!(N41.bandwidth_mhz > N71.bandwidth_mhz);
+    }
+}

@@ -1,0 +1,78 @@
+//! SINR → achievable throughput.
+//!
+//! The paper's throughput observations (≈2 Gbps mmWave peaks, hundreds of
+//! Mbps mid-band, tens-to-low-hundreds low-band NR, tens of Mbps LTE) are
+//! reproduced with a truncated Shannon mapping: spectral efficiency follows
+//! `log2(1 + SINR)` up to the practical ceiling of 256-QAM MIMO systems.
+
+/// Practical spectral-efficiency ceiling in bit/s/Hz (4-layer 256-QAM ≈ 7.4,
+/// kept slightly optimistic to allow multi-Gbps mmWave).
+pub const MAX_SPECTRAL_EFF: f64 = 7.4;
+
+/// Implementation loss relative to Shannon (filtering, overhead, scheduling).
+pub const IMPLEMENTATION_FACTOR: f64 = 0.65;
+
+/// Achievable downlink throughput in Mbps for `sinr_db` over `bandwidth_mhz`.
+///
+/// Returns 0 below -10 dB SINR (out of sync / unusable link).
+pub fn shannon_capacity_mbps(sinr_db: f64, bandwidth_mhz: f64) -> f64 {
+    if sinr_db < -10.0 || bandwidth_mhz <= 0.0 {
+        return 0.0;
+    }
+    let sinr = 10f64.powf(sinr_db / 10.0);
+    let se = (IMPLEMENTATION_FACTOR * (1.0 + sinr).log2()).min(MAX_SPECTRAL_EFF);
+    se * bandwidth_mhz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_below_sync_threshold() {
+        assert_eq!(shannon_capacity_mbps(-15.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_sinr() {
+        let a = shannon_capacity_mbps(0.0, 20.0);
+        let b = shannon_capacity_mbps(10.0, 20.0);
+        let c = shannon_capacity_mbps(20.0, 20.0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn linear_in_bandwidth() {
+        let x = shannon_capacity_mbps(15.0, 20.0);
+        let y = shannon_capacity_mbps(15.0, 40.0);
+        assert!((y - 2.0 * x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceiling_kicks_in_at_high_sinr() {
+        let hi = shannon_capacity_mbps(40.0, 100.0);
+        let higher = shannon_capacity_mbps(60.0, 100.0);
+        assert_eq!(hi, higher);
+        assert_eq!(hi, MAX_SPECTRAL_EFF * 100.0);
+    }
+
+    #[test]
+    fn band_scale_matches_paper_magnitudes() {
+        // mmWave @ 400 MHz and good SINR: multi-Gbps
+        assert!(shannon_capacity_mbps(22.0, 400.0) > 1500.0);
+        // LTE 20 MHz @ decent SINR: tens of Mbps
+        let lte = shannon_capacity_mbps(12.0, 20.0);
+        assert!(lte > 30.0 && lte < 120.0, "{lte}");
+        // NR low-band 20 MHz is the same order as LTE
+        let nr_low = shannon_capacity_mbps(15.0, 20.0);
+        assert!(nr_low < 200.0);
+        // mid-band 100 MHz: hundreds of Mbps
+        let mid = shannon_capacity_mbps(15.0, 100.0);
+        assert!(mid > 250.0 && mid < 1000.0, "{mid}");
+    }
+
+    #[test]
+    fn zero_bandwidth_is_zero() {
+        assert_eq!(shannon_capacity_mbps(20.0, 0.0), 0.0);
+    }
+}

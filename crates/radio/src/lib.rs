@@ -1,0 +1,34 @@
+//! Radio substrate for the 5G mobility simulator.
+//!
+//! The paper's measurements hinge on radio signal quality indicators — RSRP,
+//! RSRQ, SINR, collectively "RRS" (§2) — observed by the UE per cell. This
+//! crate reproduces the physical layer that generates them:
+//!
+//! * [`band`] — LTE and 5G-NR frequency bands grouped into the paper's
+//!   low/mid/mmWave classes, with per-class bandwidth and coverage behaviour.
+//! * [`noise`] — deterministic hash-based value noise: spatially correlated
+//!   log-normal shadowing and temporally correlated fast fading, reproducible
+//!   from a seed (no per-link mutable state).
+//! * [`propagation`] — 3GPP-flavoured log-distance path loss with a frequency
+//!   term, shadowing, fading and mmWave blockage.
+//! * [`rrs`] — the RRS triple and its computation from received powers.
+//! * [`smoothing`] — the triangular-kernel signal smoother the paper cites
+//!   ([46], Long & Sikdar) plus ordinary-least-squares series extrapolation,
+//!   the two ingredients of Prognos's RRS predictor.
+//! * [`capacity`] — truncated-Shannon SINR→throughput mapping per band.
+
+pub mod band;
+pub mod capacity;
+pub mod noise;
+pub mod propagation;
+pub mod rng;
+pub mod rrs;
+pub mod smoothing;
+
+pub use band::{Band, BandClass};
+pub use capacity::shannon_capacity_mbps;
+pub use noise::{SpatialNoise, TemporalNoise};
+pub use rng::{hash2, DetRng};
+pub use propagation::{PathLoss, Propagation};
+pub use rrs::{combine_dbm, compute_rrs, Rrs, NOISE_FLOOR_DBM};
+pub use smoothing::{linear_fit, predict_at, triangular_smooth, LinearFit};

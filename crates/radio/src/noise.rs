@@ -1,0 +1,220 @@
+//! Deterministic correlated noise fields.
+//!
+//! Real drive-test signal traces show two stochastic layers on top of path
+//! loss: **shadowing** (log-normal, spatially correlated over tens of
+//! meters — buildings, terrain) and **fast fading** (temporally correlated
+//! over tens of milliseconds). Reproducing them with mutable per-link RNG
+//! state would make signal strength depend on evaluation order; instead both
+//! are *pure functions* of (seed, position/time) built from hash-based value
+//! noise, so any component can query the channel at any point and always get
+//! the same answer. This is what makes the whole simulation deterministic
+//! and replayable.
+
+use fiveg_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: the 64-bit finalizer used as our lattice hash.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a tuple of integers into a uniform f64 in [0, 1).
+#[inline]
+fn hash_uniform(seed: u64, a: i64, b: i64, salt: u64) -> f64 {
+    let mut h = splitmix64(seed ^ salt);
+    h = splitmix64(h ^ (a as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    h = splitmix64(h ^ (b as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
+    // 53 random mantissa bits -> uniform in [0,1)
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal value at a lattice point, via Box–Muller on two hashes.
+#[inline]
+fn hash_gaussian(seed: u64, a: i64, b: i64) -> f64 {
+    let u1 = hash_uniform(seed, a, b, 0x5bf0_3635).max(1e-12);
+    let u2 = hash_uniform(seed, a, b, 0x94d0_49bb);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Smoothstep interpolation weight.
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Spatially correlated Gaussian field with a given correlation length,
+/// standard deviation and zero mean.
+///
+/// Implemented as value noise: i.i.d. standard normals on a square lattice
+/// of spacing `corr_len`, bilinearly blended with smoothstep weights. Two
+/// positions closer than the correlation length see similar values; positions
+/// farther apart are effectively independent, matching the standard
+/// exponential-decorrelation model of log-normal shadowing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpatialNoise {
+    seed: u64,
+    corr_len: f64,
+    sigma: f64,
+}
+
+impl SpatialNoise {
+    /// Creates a field with decorrelation distance `corr_len` meters and
+    /// standard deviation `sigma` (dB for shadowing).
+    pub fn new(seed: u64, corr_len: f64, sigma: f64) -> Self {
+        assert!(corr_len > 0.0, "correlation length must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { seed, corr_len, sigma }
+    }
+
+    /// Samples the field at `p`.
+    pub fn sample(&self, p: &Point) -> f64 {
+        let gx = p.x / self.corr_len;
+        let gy = p.y / self.corr_len;
+        let x0 = gx.floor() as i64;
+        let y0 = gy.floor() as i64;
+        let tx = smooth(gx - gx.floor());
+        let ty = smooth(gy - gy.floor());
+        let v00 = hash_gaussian(self.seed, x0, y0);
+        let v10 = hash_gaussian(self.seed, x0 + 1, y0);
+        let v01 = hash_gaussian(self.seed, x0, y0 + 1);
+        let v11 = hash_gaussian(self.seed, x0 + 1, y0 + 1);
+        let a = v00 + (v10 - v00) * tx;
+        let b = v01 + (v11 - v01) * tx;
+        // Bilinear blending of unit normals shrinks variance away from the
+        // lattice corners (to 0.5 at the cell center); 1.2 restores sigma
+        // on average over a cell.
+        self.sigma * 1.2 * (a + (b - a) * ty)
+    }
+
+    /// Uniform sample in `[0, 1)` at `p` with no interpolation — used for
+    /// threshold events such as mmWave blockage.
+    pub fn sample_uniform_cell(&self, p: &Point) -> f64 {
+        let x0 = (p.x / self.corr_len).floor() as i64;
+        let y0 = (p.y / self.corr_len).floor() as i64;
+        hash_uniform(self.seed, x0, y0, 0xb10c_4a6e)
+    }
+}
+
+/// Temporally correlated Gaussian process: value noise over the time axis.
+///
+/// Used for fast fading (correlation time tens of ms) and any other
+/// time-varying perturbation that must be reproducible.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TemporalNoise {
+    seed: u64,
+    corr_s: f64,
+    sigma: f64,
+}
+
+impl TemporalNoise {
+    /// Creates a process with correlation time `corr_s` seconds and standard
+    /// deviation `sigma`.
+    pub fn new(seed: u64, corr_s: f64, sigma: f64) -> Self {
+        assert!(corr_s > 0.0, "correlation time must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { seed, corr_s, sigma }
+    }
+
+    /// Samples the process at time `t` seconds.
+    pub fn sample(&self, t: f64) -> f64 {
+        let g = t / self.corr_s;
+        let i0 = g.floor() as i64;
+        let tt = smooth(g - g.floor());
+        let v0 = hash_gaussian(self.seed, i0, 0);
+        let v1 = hash_gaussian(self.seed, i0 + 1, 0);
+        self.sigma * (v0 + (v1 - v0) * tt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let n = SpatialNoise::new(7, 50.0, 8.0);
+        let p = Point::new(123.4, -56.7);
+        assert_eq!(n.sample(&p), n.sample(&p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SpatialNoise::new(1, 50.0, 8.0);
+        let b = SpatialNoise::new(2, 50.0, 8.0);
+        let p = Point::new(10.0, 10.0);
+        assert_ne!(a.sample(&p), b.sample(&p));
+    }
+
+    #[test]
+    fn nearby_points_are_correlated_far_points_not() {
+        let n = SpatialNoise::new(3, 100.0, 8.0);
+        let mut close_diff = 0.0;
+        let mut far_diff = 0.0;
+        let m = 200;
+        for i in 0..m {
+            let p = Point::new(i as f64 * 137.0, i as f64 * 91.0);
+            let q_close = Point::new(p.x + 5.0, p.y);
+            let q_far = Point::new(p.x + 5000.0, p.y + 7000.0);
+            close_diff += (n.sample(&p) - n.sample(&q_close)).abs();
+            far_diff += (n.sample(&p) - n.sample(&q_far)).abs();
+        }
+        assert!(
+            close_diff < far_diff / 3.0,
+            "5 m apart should be much more similar than 5 km apart: {close_diff} vs {far_diff}"
+        );
+    }
+
+    #[test]
+    fn spatial_mean_near_zero_and_spread_near_sigma() {
+        let sigma = 8.0;
+        let n = SpatialNoise::new(11, 50.0, sigma);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let m = 4000;
+        for i in 0..m {
+            // sample far apart so draws are independent
+            let p = Point::new(i as f64 * 1000.0, (i % 97) as f64 * 1000.0);
+            let v = n.sample(&p);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / m as f64;
+        let std = (sum_sq / m as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 1.0, "mean {mean}");
+        assert!((std - sigma).abs() < sigma * 0.35, "std {std} vs sigma {sigma}");
+    }
+
+    #[test]
+    fn temporal_noise_is_continuousish() {
+        let n = TemporalNoise::new(5, 0.05, 3.0);
+        // adjacent 1 ms samples should differ by far less than sigma
+        let mut max_step = 0.0f64;
+        for i in 0..1000 {
+            let t = i as f64 * 0.001;
+            let d = (n.sample(t) - n.sample(t + 0.001)).abs();
+            max_step = max_step.max(d);
+        }
+        assert!(max_step < 1.5, "max 1 ms step {max_step}");
+    }
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let n = SpatialNoise::new(9, 50.0, 0.0);
+        assert_eq!(n.sample(&Point::new(33.0, 44.0)), 0.0);
+        let t = TemporalNoise::new(9, 0.1, 0.0);
+        assert_eq!(t.sample(1.23), 0.0);
+    }
+
+    #[test]
+    fn uniform_cell_in_range() {
+        let n = SpatialNoise::new(13, 25.0, 1.0);
+        for i in 0..500 {
+            let u = n.sample_uniform_cell(&Point::new(i as f64 * 31.0, i as f64 * 17.0));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Path loss, shadowing, fading and mmWave blockage.
+//!
+//! The coverage landscape of §6.1 ("higher frequency bands are more
+//! attenuated than lower ones, thus reducing cell coverage") falls out of the
+//! frequency term of the path-loss model below; the wild mmWave fluctuations
+//! of §4.1 come from blockage plus fast fading.
+
+use crate::band::{Band, BandClass};
+use crate::noise::{SpatialNoise, TemporalNoise};
+use fiveg_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Static path-loss model parameters for one link class.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PathLoss {
+    /// Fixed offset in dB (antenna heights, constants of the 3GPP formula).
+    pub offset_db: f64,
+    /// Distance exponent coefficient: `exp10 * log10(d_m)` dB.
+    pub exp10: f64,
+    /// Frequency coefficient: `freq10 * log10(f_ghz)` dB.
+    pub freq10: f64,
+}
+
+impl PathLoss {
+    /// 3GPP UMa-flavoured NLOS model used for sub-6 GHz links.
+    pub const SUB6: PathLoss = PathLoss { offset_db: 28.0, exp10: 30.0, freq10: 20.0 };
+    /// Steeper model for mmWave links (higher exponent; dense urban NLOS).
+    pub const MMWAVE: PathLoss = PathLoss { offset_db: 32.0, exp10: 34.0, freq10: 20.0 };
+
+    /// Median path loss in dB at `dist_m` meters for carrier `freq_mhz`.
+    ///
+    /// Distances under 10 m are clamped: the UE never sits on the antenna.
+    pub fn loss_db(&self, dist_m: f64, freq_mhz: f64) -> f64 {
+        let d = dist_m.max(10.0);
+        self.offset_db + self.exp10 * d.log10() + self.freq10 * (freq_mhz / 1000.0).log10()
+    }
+}
+
+/// A complete stochastic channel for one cell: median path loss plus
+/// correlated shadowing, fast fading, and (for mmWave) blockage.
+///
+/// Everything is a pure function of (seed, position, time) — see
+/// [`crate::noise`] — so the channel can be sampled in any order.
+#[derive(Debug, Clone, Copy)]
+pub struct Propagation {
+    band: Band,
+    model: PathLoss,
+    /// Transmit power + antenna gain in dBm EIRP.
+    tx_power_dbm: f64,
+    shadowing: SpatialNoise,
+    fading: TemporalNoise,
+    /// Blockage field: cells of ~15 m; a fraction of cells attenuate hard.
+    blockage: SpatialNoise,
+    blockage_prob: f64,
+    blockage_loss_db: f64,
+}
+
+impl Propagation {
+    /// Builds the channel for a cell on `band`, seeded by the cell identity.
+    ///
+    /// Per-class defaults:
+    /// * sub-6: 8 dB shadowing @ 50 m correlation, 2 dB fading, no blockage;
+    /// * mmWave: 10 dB shadowing @ 20 m, 4 dB fading, 30% blockage cells at
+    ///   20 dB extra loss — the source of the ~2 Gbps throughput swings the
+    ///   paper reports (§6.2).
+    pub fn new(seed: u64, band: Band, tx_power_dbm: f64) -> Self {
+        Self::with_shadowing(seed, band, tx_power_dbm, 1.0, 1.0)
+    }
+
+    /// Like [`Propagation::new`], scaling the default shadowing correlation
+    /// length and sigma — open terrain (freeways) has milder, slower-varying
+    /// shadowing than dense urban cores.
+    pub fn with_shadowing(seed: u64, band: Band, tx_power_dbm: f64, corr_scale: f64, sigma_scale: f64) -> Self {
+        let (model, sh_len, sh_sigma, fad_sigma, b_prob, b_loss) = match band.class() {
+            BandClass::MmWave => (PathLoss::MMWAVE, 20.0, 10.0, 4.0, 0.30, 20.0),
+            _ => (PathLoss::SUB6, 50.0, 8.0, 2.0, 0.0, 0.0),
+        };
+        let (sh_len, sh_sigma) = (sh_len * corr_scale, sh_sigma * sigma_scale);
+        Self {
+            band,
+            model,
+            tx_power_dbm,
+            shadowing: SpatialNoise::new(seed ^ 0x5AAD_0001, sh_len, sh_sigma),
+            fading: TemporalNoise::new(seed ^ 0xFAD0_0001, 0.05, fad_sigma),
+            blockage: SpatialNoise::new(seed ^ 0xB10C_0001, 15.0, 1.0),
+            blockage_prob: b_prob,
+            blockage_loss_db: b_loss,
+        }
+    }
+
+    /// The band this channel carries.
+    pub fn band(&self) -> Band {
+        self.band
+    }
+
+    /// Received power (RSRP-like) in dBm at `ue` position and time `t`,
+    /// for a cell located at `site`.
+    pub fn received_dbm(&self, site: &Point, ue: &Point, t: f64) -> f64 {
+        let dist = site.distance(ue);
+        let mut rx = self.tx_power_dbm
+            - self.model.loss_db(dist, self.band.freq_mhz)
+            + self.shadowing.sample(ue)
+            + self.fading.sample(t);
+        if self.blockage_prob > 0.0 && self.blockage.sample_uniform_cell(ue) < self.blockage_prob {
+            rx -= self.blockage_loss_db;
+        }
+        rx
+    }
+
+    /// Median (no shadowing/fading/blockage) received power at distance `d`.
+    pub fn median_received_dbm(&self, dist_m: f64) -> f64 {
+        self.tx_power_dbm - self.model.loss_db(dist_m, self.band.freq_mhz)
+    }
+
+    /// Distance at which the median received power crosses `threshold_dbm`.
+    ///
+    /// This is the analytic cell radius used by the deployment generator to
+    /// derive sensible inter-site distances per band.
+    pub fn median_range_m(&self, threshold_dbm: f64) -> f64 {
+        // threshold = tx - (offset + exp10*log10(d) + freq10*log10(f))
+        let budget =
+            self.tx_power_dbm - threshold_dbm - self.model.offset_db
+                - self.model.freq10 * (self.band.freq_mhz / 1000.0).log10();
+        10f64.powf(budget / self.model.exp10).max(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::catalog::*;
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = PathLoss::SUB6;
+        assert!(m.loss_db(100.0, 600.0) < m.loss_db(1000.0, 600.0));
+    }
+
+    #[test]
+    fn loss_grows_with_frequency() {
+        let m = PathLoss::SUB6;
+        assert!(m.loss_db(500.0, 600.0) < m.loss_db(500.0, 2500.0));
+        assert!(m.loss_db(500.0, 2500.0) < PathLoss::MMWAVE.loss_db(500.0, 39000.0));
+    }
+
+    #[test]
+    fn distance_is_clamped_near_site() {
+        let m = PathLoss::SUB6;
+        assert_eq!(m.loss_db(0.0, 600.0), m.loss_db(10.0, 600.0));
+    }
+
+    #[test]
+    fn cell_radius_ordering_low_mid_mmwave() {
+        // The paper's coverage ordering (§6.1): low > mid > mmWave.
+        let low = Propagation::new(1, N71, 46.0).median_range_m(-110.0);
+        let mid = Propagation::new(2, N41, 46.0).median_range_m(-110.0);
+        let mm = Propagation::new(3, N260, 55.0).median_range_m(-110.0);
+        assert!(low > mid, "low {low} should out-range mid {mid}");
+        assert!(mid > mm, "mid {mid} should out-range mmWave {mm}");
+    }
+
+    #[test]
+    fn median_range_round_trips() {
+        let p = Propagation::new(4, N41, 46.0);
+        let r = p.median_range_m(-105.0);
+        assert!((p.median_received_dbm(r) - -105.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn received_power_is_deterministic() {
+        let p = Propagation::new(5, N71, 46.0);
+        let site = Point::ORIGIN;
+        let ue = Point::new(400.0, 120.0);
+        assert_eq!(p.received_dbm(&site, &ue, 3.2), p.received_dbm(&site, &ue, 3.2));
+    }
+
+    #[test]
+    fn received_power_declines_with_distance_on_average() {
+        let p = Propagation::new(6, N71, 46.0);
+        let site = Point::ORIGIN;
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..100 {
+            let bearing = i as f64 * 0.063;
+            near += p.received_dbm(&site, &site.displaced(bearing, 200.0), 0.0);
+            far += p.received_dbm(&site, &site.displaced(bearing, 2000.0), 0.0);
+        }
+        assert!(near / 100.0 > far / 100.0 + 10.0);
+    }
+
+    #[test]
+    fn mmwave_experiences_blockage() {
+        let p = Propagation::new(7, N260, 55.0);
+        let site = Point::ORIGIN;
+        let mut blocked = 0;
+        let n = 400;
+        for i in 0..n {
+            let ue = Point::new(100.0 + i as f64 * 16.0, 40.0);
+            let rx = p.received_dbm(&site, &ue, 0.0);
+            let median = p.median_received_dbm(site.distance(&ue));
+            if rx < median - 15.0 {
+                blocked += 1;
+            }
+        }
+        // ~30% of positions should be blockage-attenuated (loosely)
+        assert!(blocked > n / 10, "expected noticeable blockage, got {blocked}/{n}");
+    }
+
+    #[test]
+    fn sub6_has_no_blockage() {
+        let p = Propagation::new(8, N71, 46.0);
+        let site = Point::ORIGIN;
+        let mut worst = 0.0f64;
+        for i in 0..400 {
+            let ue = Point::new(100.0 + i as f64 * 16.0, 40.0);
+            let rx = p.received_dbm(&site, &ue, 0.0);
+            let median = p.median_received_dbm(site.distance(&ue));
+            worst = worst.max(median - rx);
+        }
+        // shadowing+fading only: deficits stay within ~5 sigma
+        assert!(worst < 45.0, "unexpected deep fade {worst} dB");
+    }
+}

@@ -1,0 +1,211 @@
+//! Signal smoothing and short-horizon extrapolation.
+//!
+//! Prognos's report predictor (§7.2) feeds "RRS values in the last history
+//! window ... into a linear regression model" after "a triangular
+//! kernel-based method [46] is used for signal smoothing in order to
+//! eliminate the variations caused by small scale fading and measurement
+//! noise". Both primitives live here so that the sim, analysis and Prognos
+//! share one implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// Smooths `series` with a triangular (Bartlett) kernel of half-width
+/// `half_width` samples.
+///
+/// Sample `i` is replaced by the weighted mean of its neighbours with weights
+/// `1 - |j| / (half_width + 1)`; the window is truncated at the series edges.
+/// A `half_width` of 0 returns the input unchanged.
+pub fn triangular_smooth(series: &[f64], half_width: usize) -> Vec<f64> {
+    if half_width == 0 || series.len() <= 1 {
+        return series.to_vec();
+    }
+    let hw = half_width as isize;
+    let n = series.len() as isize;
+    let mut out = Vec::with_capacity(series.len());
+    for i in 0..n {
+        let mut acc = 0.0;
+        let mut wsum = 0.0;
+        for j in -hw..=hw {
+            let k = i + j;
+            if k < 0 || k >= n {
+                continue;
+            }
+            let w = 1.0 - (j.unsigned_abs() as f64) / (hw as f64 + 1.0);
+            acc += w * series[k as usize];
+            wsum += w;
+        }
+        out.push(acc / wsum);
+    }
+    out
+}
+
+/// Result of an ordinary-least-squares line fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept at x = 0.
+    pub intercept: f64,
+    /// Slope per unit x.
+    pub slope: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a least-squares line through `(x[i], y[i])`.
+///
+/// Returns a flat line through the mean when the x values are degenerate
+/// (all equal or fewer than 2 points), which is the right behaviour for
+/// signal prediction: with no trend information, predict persistence.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return LinearFit { intercept: 0.0, slope: 0.0 };
+    }
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx < 1e-12 {
+        return LinearFit { intercept: mean_y, slope: 0.0 };
+    }
+    let slope = sxy / sxx;
+    LinearFit { intercept: mean_y - slope * mean_x, slope }
+}
+
+/// Convenience: smooth a uniformly sampled history window and predict the
+/// value `horizon` samples past its end.
+///
+/// This is exactly the report predictor's RRS forecast: triangular smoothing
+/// followed by linear extrapolation.
+pub fn predict_at(series: &[f64], half_width: usize, horizon: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let smoothed = triangular_smooth(series, half_width);
+    let xs: Vec<f64> = (0..smoothed.len()).map(|i| i as f64).collect();
+    let fit = linear_fit(&xs, &smoothed);
+    fit.at((series.len() - 1) as f64 + horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_preserves_constant_series() {
+        let s = vec![5.0; 20];
+        assert_eq!(triangular_smooth(&s, 3), s);
+    }
+
+    #[test]
+    fn smoothing_zero_width_is_identity() {
+        let s = vec![1.0, -2.0, 3.0];
+        assert_eq!(triangular_smooth(&s, 0), s);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        // alternating +/-1 noise around 0
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sm = triangular_smooth(&s, 4);
+        let var = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!(var(&sm) < var(&s) / 4.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_linear_trend_interior() {
+        let s: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let sm = triangular_smooth(&s, 3);
+        for i in 5..45 {
+            assert!((sm[i] - s[i]).abs() < 1e-9, "interior point {i} distorted");
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 0.5 * x).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+        assert!((f.slope + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x_returns_mean() {
+        let f = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_empty_is_zero() {
+        let f = linear_fit(&[], &[]);
+        assert_eq!(f.at(100.0), 0.0);
+    }
+
+    #[test]
+    fn predict_extrapolates_declining_signal() {
+        // RSRP declining 0.2 dB per sample — the classic approach-to-HO ramp.
+        let s: Vec<f64> = (0..20).map(|i| -90.0 - 0.2 * i as f64).collect();
+        let p = predict_at(&s, 2, 10.0);
+        let expect = -90.0 - 0.2 * 29.0;
+        assert!((p - expect).abs() < 0.3, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn predict_on_noisy_trend_is_close() {
+        let s: Vec<f64> = (0..40)
+            .map(|i| -85.0 - 0.3 * i as f64 + if i % 2 == 0 { 1.5 } else { -1.5 })
+            .collect();
+        let p = predict_at(&s, 3, 5.0);
+        let expect = -85.0 - 0.3 * 44.0;
+        assert!((p - expect).abs() < 1.5, "{p} vs {expect}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn smoothing_output_within_input_range(
+            s in proptest::collection::vec(-140.0..-40.0f64, 1..60),
+            hw in 0usize..6,
+        ) {
+            let lo = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in triangular_smooth(&s, hw) {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn smoothing_preserves_length(
+            s in proptest::collection::vec(-140.0..-40.0f64, 0..60),
+            hw in 0usize..6,
+        ) {
+            prop_assert_eq!(triangular_smooth(&s, hw).len(), s.len());
+        }
+
+        #[test]
+        fn fit_residuals_orthogonal_to_x(
+            ys in proptest::collection::vec(-100.0..100.0f64, 2..30),
+        ) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let f = linear_fit(&xs, &ys);
+            let dot: f64 = xs.iter().zip(&ys).map(|(x, y)| (y - f.at(*x)) * x).sum();
+            prop_assert!(dot.abs() < 1e-6 * ys.len() as f64 * 100.0);
+        }
+    }
+}

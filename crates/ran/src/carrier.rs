@@ -1,0 +1,271 @@
+//! The three studied carriers and their deployment profiles.
+//!
+//! The paper anonymizes the carriers as OpX, OpY and OpZ. Their observable
+//! characteristics (Table 1 and §3) drive the profiles here:
+//!
+//! * **OpX** — NSA only; low-band (n5) + mmWave (n260/n261) + some C-band;
+//!   4 NR bands, 5 LTE bands. All application case studies use OpX.
+//! * **OpY** — NSA *and* SA; low-band n71 + mid-band n41; 2 NR bands,
+//!   9 LTE bands.
+//! * **OpZ** — NSA only; low-band + mmWave; 4 NR bands, 6 LTE bands.
+
+use fiveg_radio::band::catalog as bands;
+use fiveg_radio::Band;
+use serde::{Deserialize, Serialize};
+
+/// A studied carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Carrier {
+    /// NSA; low-band + mmWave. The carrier used for app QoE and energy work.
+    OpX,
+    /// NSA + SA; low-band + mid-band.
+    OpY,
+    /// NSA; low-band + mmWave.
+    OpZ,
+}
+
+impl Carrier {
+    /// All carriers in paper order.
+    pub const ALL: [Carrier; 3] = [Carrier::OpX, Carrier::OpY, Carrier::OpZ];
+
+    /// Paper-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Carrier::OpX => "OpX",
+            Carrier::OpY => "OpY",
+            Carrier::OpZ => "OpZ",
+        }
+    }
+
+    /// The carrier's deployment profile.
+    pub fn profile(&self) -> CarrierProfile {
+        match self {
+            Carrier::OpX => CarrierProfile {
+                carrier: *self,
+                lte_bands: vec![bands::B2, bands::B5, bands::B12, bands::B30, bands::B66],
+                nr_low: Some(bands::N5),
+                nr_mid: Some(bands::N77),
+                nr_mmwave: vec![bands::N260, bands::N261],
+                anchor_band: bands::B2,
+                supports_sa: false,
+                colocation_prob: 0.36,
+                dual_mode_fraction: 0.45,
+            },
+            Carrier::OpY => CarrierProfile {
+                carrier: *self,
+                lte_bands: vec![
+                    bands::B2,
+                    bands::B4,
+                    bands::B5,
+                    bands::B12,
+                    bands::B25,
+                    bands::B26,
+                    bands::B41,
+                    bands::B66,
+                    bands::B71,
+                ],
+                nr_low: Some(bands::N71),
+                nr_mid: Some(bands::N41),
+                nr_mmwave: vec![],
+                anchor_band: bands::B2,
+                supports_sa: true,
+                colocation_prob: 0.20,
+                dual_mode_fraction: 0.35,
+            },
+            Carrier::OpZ => CarrierProfile {
+                carrier: *self,
+                lte_bands: vec![
+                    bands::B2,
+                    bands::B5,
+                    bands::B13,
+                    bands::B48,
+                    bands::B66,
+                    bands::B46,
+                ],
+                nr_low: Some(bands::N71),
+                nr_mid: Some(bands::N2),
+                nr_mmwave: vec![bands::N260, bands::N261],
+                anchor_band: bands::B66,
+                supports_sa: false,
+                colocation_prob: 0.05,
+                dual_mode_fraction: 0.30,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Carrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The terrain a deployment is generated for; controls density and which
+/// bands are present (mmWave exists only in cities, §3: "The city data mostly
+/// comprises of dense deployments and mmWave 5G coverage, while the
+/// inter-state data loosely represents suburban deployments and Low-Band 5G").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Dense downtown: mmWave + mid-band + dense LTE.
+    UrbanDense,
+    /// City fringe: mid/low NR, moderate density.
+    Urban,
+    /// Interstate freeway: sparse low-band NR + LTE.
+    Freeway,
+}
+
+/// Static description of how a carrier deploys its network.
+#[derive(Debug, Clone)]
+pub struct CarrierProfile {
+    /// The carrier this profile describes.
+    pub carrier: Carrier,
+    /// LTE band portfolio.
+    pub lte_bands: Vec<Band>,
+    /// Low-band NR carrier, if deployed.
+    pub nr_low: Option<Band>,
+    /// Mid-band NR carrier, if deployed.
+    pub nr_mid: Option<Band>,
+    /// mmWave NR carriers (urban cores only).
+    pub nr_mmwave: Vec<Band>,
+    /// The LTE band used as NSA anchor (NSA-4C). Mid-band in practice —
+    /// this is the root cause of §6.1's effective-coverage reduction.
+    pub anchor_band: Band,
+    /// Whether the carrier runs SA 5G (only OpY during the study).
+    pub supports_sa: bool,
+    /// Probability that a gNB site is co-located with an eNB tower
+    /// (5%–36% across carriers per §6.3).
+    pub colocation_prob: f64,
+    /// Fraction of the territory configured with MCG split bearer ("dual
+    /// mode") rather than SCG bearer ("5G-only"), §4.2.
+    pub dual_mode_fraction: f64,
+}
+
+impl CarrierProfile {
+    /// Number of distinct NR bands (Table 1's "# of 5G-NR radio frequency
+    /// bands" row).
+    pub fn nr_band_count(&self) -> usize {
+        self.nr_low.iter().count() + self.nr_mid.iter().count() + self.nr_mmwave.len()
+    }
+
+    /// Number of distinct LTE bands.
+    pub fn lte_band_count(&self) -> usize {
+        self.lte_bands.len()
+    }
+
+    /// NR bands deployed in `env`.
+    pub fn nr_bands_in(&self, env: Environment) -> Vec<Band> {
+        let mut v = Vec::new();
+        if let Some(b) = self.nr_low {
+            v.push(b);
+        }
+        match env {
+            Environment::UrbanDense => {
+                if let Some(b) = self.nr_mid {
+                    v.push(b);
+                }
+                v.extend(self.nr_mmwave.iter().copied());
+            }
+            Environment::Urban => {
+                if let Some(b) = self.nr_mid {
+                    v.push(b);
+                }
+            }
+            Environment::Freeway => {
+                // low-band only, plus OpY's expansive mid-band
+                if self.carrier == Carrier::OpY {
+                    if let Some(b) = self.nr_mid {
+                        v.push(b);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// LTE bands deployed in `env` (all of them in cities, a low/mid subset
+    /// on freeways).
+    pub fn lte_bands_in(&self, env: Environment) -> Vec<Band> {
+        match env {
+            Environment::Freeway => self
+                .lte_bands
+                .iter()
+                .copied()
+                .filter(|b| b.freq_mhz < 2200.0)
+                .collect(),
+            _ => self.lte_bands.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_counts_match_table1() {
+        assert_eq!(Carrier::OpX.profile().nr_band_count(), 4);
+        assert_eq!(Carrier::OpX.profile().lte_band_count(), 5);
+        assert_eq!(Carrier::OpY.profile().nr_band_count(), 2);
+        assert_eq!(Carrier::OpY.profile().lte_band_count(), 9);
+        assert_eq!(Carrier::OpZ.profile().nr_band_count(), 4);
+        assert_eq!(Carrier::OpZ.profile().lte_band_count(), 6);
+    }
+
+    #[test]
+    fn only_opy_supports_sa() {
+        assert!(!Carrier::OpX.profile().supports_sa);
+        assert!(Carrier::OpY.profile().supports_sa);
+        assert!(!Carrier::OpZ.profile().supports_sa);
+    }
+
+    #[test]
+    fn mmwave_absent_on_freeways() {
+        for c in Carrier::ALL {
+            let p = c.profile();
+            let bands = p.nr_bands_in(Environment::Freeway);
+            assert!(
+                bands.iter().all(|b| b.class() != fiveg_radio::BandClass::MmWave),
+                "{c}: mmWave should not appear on freeways"
+            );
+        }
+    }
+
+    #[test]
+    fn mmwave_in_urban_dense_for_opx_opz() {
+        let has_mm = |c: Carrier| {
+            c.profile()
+                .nr_bands_in(Environment::UrbanDense)
+                .iter()
+                .any(|b| b.class() == fiveg_radio::BandClass::MmWave)
+        };
+        assert!(has_mm(Carrier::OpX));
+        assert!(!has_mm(Carrier::OpY));
+        assert!(has_mm(Carrier::OpZ));
+    }
+
+    #[test]
+    fn anchor_is_mid_band() {
+        // §6.1: "its coupled control plane (NSA-4C) still uses the mid-band"
+        for c in Carrier::ALL {
+            assert_eq!(
+                c.profile().anchor_band.class(),
+                fiveg_radio::BandClass::Mid,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn colocation_prob_in_paper_range() {
+        for c in Carrier::ALL {
+            let p = c.profile().colocation_prob;
+            assert!((0.05..=0.36).contains(&p), "{c}: {p}");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Carrier::OpX.to_string(), "OpX");
+        assert_eq!(Carrier::ALL.len(), 3);
+    }
+}

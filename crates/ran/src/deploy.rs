@@ -1,0 +1,627 @@
+//! Deployment generator: lays out a carrier's RAN along a route.
+//!
+//! The paper could not know tower locations and estimated coverage from PCI
+//! dwell distance (§6.1); the simulator inverts that: it *places* towers with
+//! per-band-class inter-site distances (ISDs) chosen so the resulting dwell
+//! distances land in the measured regime (low-band km-scale, mmWave
+//! 100 m-scale), then everything downstream — HO frequency, coverage
+//! estimates, co-location statistics — is measured off the generated layout
+//! exactly the way the paper measures it off the real one.
+//!
+//! Key modelled facts:
+//!
+//! * the NSA anchor (NSA-4C) runs on an LTE **mid-band** carrier with a much
+//!   smaller ISD than low-band NR (§6.1's effective-coverage reduction);
+//! * a fraction of gNB sites are **co-located** with eNB towers, in which
+//!   case the NR cell reuses the eNB cell's PCI (§6.3's heuristic);
+//! * mmWave and mid-band NR towers host multiple sector cells (SCGM exists);
+//! * bearer mode (dual vs 5G-only) is a property of the area (§4.2).
+
+use crate::carrier::{Carrier, Environment};
+use crate::cell::{Cell, CellId, Tower, TowerId};
+use crate::ho::Arch;
+use fiveg_geo::{Point, Polyline};
+use fiveg_radio::{hash2, Band, BandClass, DetRng, Propagation, SpatialNoise};
+use fiveg_rrc::Pci;
+use std::collections::HashMap;
+
+/// Inter-site distances in meters per (environment, band role).
+#[derive(Debug, Clone, Copy)]
+pub struct IsdPlan {
+    /// LTE anchor (mid-band) towers.
+    pub lte_anchor: f64,
+    /// Other LTE band layers.
+    pub lte_other: f64,
+    /// NR low-band gNBs.
+    pub nr_low: f64,
+    /// NR mid-band gNBs.
+    pub nr_mid: f64,
+    /// NR mmWave gNBs.
+    pub nr_mmwave: f64,
+}
+
+impl IsdPlan {
+    /// ISDs for an environment, tuned to the paper's dwell distances.
+    pub fn for_env(env: Environment) -> Self {
+        match env {
+            Environment::UrbanDense => IsdPlan {
+                lte_anchor: 650.0,
+                lte_other: 800.0,
+                nr_low: 1600.0,
+                nr_mid: 800.0,
+                nr_mmwave: 210.0,
+            },
+            Environment::Urban => IsdPlan {
+                lte_anchor: 800.0,
+                lte_other: 950.0,
+                nr_low: 1800.0,
+                nr_mid: 850.0,
+                nr_mmwave: 230.0,
+            },
+            Environment::Freeway => IsdPlan {
+                lte_anchor: 1150.0,
+                lte_other: 1350.0,
+                nr_low: 2300.0,
+                nr_mid: 1200.0,
+                nr_mmwave: 250.0,
+            },
+        }
+    }
+}
+
+/// Grid cell size for the spatial index, meters.
+const GRID: f64 = 1000.0;
+
+/// A generated radio access network for one carrier over one route.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The carrier this RAN belongs to.
+    pub carrier: Carrier,
+    /// The environment it was generated for.
+    pub env: Environment,
+    /// Service architecture available in this area.
+    pub arch: Arch,
+    /// All towers.
+    pub towers: Vec<Tower>,
+    /// All cells.
+    pub cells: Vec<Cell>,
+    lte_ids: Vec<CellId>,
+    nr_ids: Vec<CellId>,
+    /// Spatial index: grid coordinates → cell ids whose site is in that bin.
+    grid: HashMap<(i64, i64), Vec<CellId>>,
+    /// gNB tower → associated eNB tower (X2 peer; same tower if co-located).
+    gnb_assoc: HashMap<TowerId, TowerId>,
+    /// Bearer-mode field: dual-mode where the field is below the carrier's
+    /// dual fraction.
+    bearer_field: SpatialNoise,
+    dual_fraction: f64,
+}
+
+impl Deployment {
+    /// Generates a deployment along `route` for `carrier` in `env` under
+    /// `arch`, deterministically from `seed`.
+    pub fn generate(route: &Polyline, carrier: Carrier, env: Environment, arch: Arch, seed: u64) -> Self {
+        let profile = carrier.profile();
+        let isd = IsdPlan::for_env(env);
+        let mut rng = DetRng::new(hash2(seed, 0xDE50));
+        let mut d = Deployment {
+            carrier,
+            env,
+            arch,
+            towers: Vec::new(),
+            cells: Vec::new(),
+            lte_ids: Vec::new(),
+            nr_ids: Vec::new(),
+            grid: HashMap::new(),
+            gnb_assoc: HashMap::new(),
+            bearer_field: SpatialNoise::new(hash2(seed, 0xBEAE), 3000.0, 1.0),
+            dual_fraction: profile.dual_mode_fraction,
+        };
+
+        let mut lte_pci = 11u16;
+        let mut nr_pci = 520u16;
+
+        // --- LTE layer(s): anchor band towers first, they define the grid
+        // other LTE bands ride on (real towers carry several bands).
+        let lte_bands = profile.lte_bands_in(env);
+        let anchor_positions = d.place_towers(route, isd.lte_anchor, 0.0, &mut rng);
+        let mut anchor_tower_ids = Vec::new();
+        for pos in &anchor_positions {
+            let tid = d.new_tower(*pos, false);
+            anchor_tower_ids.push(tid);
+            // real eNBs are 3-sector: driving past a tower crosses sector
+            // boundaries, which is why measured LTE HO distances are well
+            // below the inter-site distance
+            let azimuth_base = rng.range(0.0, std::f64::consts::TAU);
+            for sct in 0..3 {
+                let az = azimuth_base + sct as f64 * std::f64::consts::TAU / 3.0;
+                d.new_cell(tid, profile.anchor_band, &mut lte_pci, &mut nr_pci, seed, Some(az));
+            }
+            // a couple of secondary LTE bands per tower, also sectorized
+            // (coverage bands ride the same macro towers in practice)
+            for (k, band) in lte_bands.iter().enumerate() {
+                if *band == profile.anchor_band {
+                    continue;
+                }
+                // each tower carries ~2 extra LTE bands, rotating through the list
+                if (k + d.towers.len()) % lte_bands.len().max(1) < 2 {
+                    for sct in 0..3 {
+                        let az = azimuth_base + sct as f64 * std::f64::consts::TAU / 3.0;
+                        d.new_cell(tid, *band, &mut lte_pci, &mut nr_pci, seed, Some(az));
+                    }
+                }
+            }
+        }
+        // staggered second LTE layer (other bands on their own towers),
+        // giving the denser 4G HO pattern observed on drives
+        if lte_bands.len() > 1 {
+            let other_positions = d.place_towers(route, isd.lte_other, 0.5, &mut rng);
+            for pos in &other_positions {
+                let tid = d.new_tower(*pos, false);
+                let band = lte_bands[(d.towers.len() * 7 + 3) % lte_bands.len()];
+                let azimuth_base = rng.range(0.0, std::f64::consts::TAU);
+                for sct in 0..3 {
+                    let az = azimuth_base + sct as f64 * std::f64::consts::TAU / 3.0;
+                    d.new_cell(tid, band, &mut lte_pci, &mut nr_pci, seed, Some(az));
+                }
+            }
+        }
+
+        if arch == Arch::Lte {
+            return d;
+        }
+
+        // --- NR layers.
+        let nr_bands = profile.nr_bands_in(env);
+        for band in nr_bands {
+            let (band_isd, sectors) = match band.class() {
+                BandClass::Low => (isd.nr_low, 2usize),
+                BandClass::Mid => (isd.nr_mid, 2usize),
+                BandClass::MmWave => (isd.nr_mmwave, 3usize),
+            };
+            let positions = d.place_towers(route, band_isd, 0.25, &mut rng);
+            for pos in &positions {
+                // co-location: snap to the nearest anchor tower with prob p,
+                // unless that tower already carries this NR band
+                let co_located = rng.chance(profile.colocation_prob);
+                let (tid, anchor_pci) = if co_located {
+                    let (aid, apci) = d.nearest_anchor(pos, &anchor_tower_ids);
+                    let band_taken = d.towers[aid.0 as usize]
+                        .cells
+                        .iter()
+                        .any(|&c| d.cell(c).band.name == band.name);
+                    if band_taken {
+                        (d.new_tower(*pos, false), None)
+                    } else {
+                        d.towers[aid.0 as usize].co_located = true;
+                        (aid, Some(apci))
+                    }
+                } else {
+                    (d.new_tower(*pos, false), None)
+                };
+                let azimuth_base = rng.range(0.0, std::f64::consts::TAU);
+                // co-located gNBs reuse the eNB's per-sector PCIs
+                let anchor_sector_pcis: Vec<Pci> = if anchor_pci.is_some() {
+                    d.towers[tid.0 as usize]
+                        .cells
+                        .iter()
+                        .filter(|&&c| !d.cell(c).is_nr() && d.cell(c).band.name == profile.anchor_band.name)
+                        .map(|&c| d.cell(c).pci)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                for s in 0..sectors {
+                    // single-sector gNBs are omni; multi-sector towers get
+                    // evenly spread boresights
+                    let azimuth = (sectors > 1)
+                        .then(|| azimuth_base + s as f64 * std::f64::consts::TAU / sectors as f64);
+                    if let Some(&apci) = anchor_sector_pcis.get(s) {
+                        d.new_cell_with_pci(tid, band, apci, seed, azimuth);
+                        continue;
+                    }
+                    d.new_cell(tid, band, &mut lte_pci, &mut nr_pci, seed, azimuth);
+                }
+                // associate this gNB with its nearest eNB tower (X2 peer)
+                let (assoc, _) = d.nearest_anchor(&d.towers[tid.0 as usize].pos.clone(), &anchor_tower_ids);
+                d.gnb_assoc.insert(tid, assoc);
+            }
+        }
+        d
+    }
+
+    /// Positions every `isd * U(0.8, 1.2)` meters along the route with a
+    /// lateral offset, starting at `phase` fractions of one ISD.
+    fn place_towers(&self, route: &Polyline, isd: f64, phase: f64, rng: &mut DetRng) -> Vec<Point> {
+        let mut out = Vec::new();
+        let mut dist = phase * isd;
+        while dist < route.length() {
+            let on_route = route.point_at(dist);
+            let heading = route.heading_at(dist);
+            let side = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            let lateral = rng.range(20.0, 150.0) * side;
+            out.push(on_route.displaced(heading + std::f64::consts::FRAC_PI_2, lateral));
+            dist += isd * rng.range(0.8, 1.2);
+        }
+        out
+    }
+
+    fn new_tower(&mut self, pos: Point, co_located: bool) -> TowerId {
+        let id = TowerId(self.towers.len() as u32);
+        self.towers.push(Tower { id, pos, cells: Vec::new(), co_located });
+        id
+    }
+
+    fn new_cell(&mut self, tower: TowerId, band: Band, lte_pci: &mut u16, nr_pci: &mut u16, seed: u64, azimuth: Option<f64>) -> CellId {
+        let pci = if band.is_nr() {
+            let p = Pci(*nr_pci);
+            *nr_pci = 520 + (*nr_pci - 520 + 13) % 488; // NR PCIs in 520..1007
+            p
+        } else {
+            let p = Pci(*lte_pci);
+            *lte_pci = 11 + (*lte_pci - 11 + 7) % 493; // LTE PCIs in 11..503
+            p
+        };
+        self.push_cell(tower, band, pci, seed, azimuth)
+    }
+
+    fn new_cell_with_pci(&mut self, tower: TowerId, band: Band, pci: Pci, seed: u64, azimuth: Option<f64>) -> CellId {
+        self.push_cell(tower, band, pci, seed, azimuth)
+    }
+
+    fn push_cell(&mut self, tower: TowerId, band: Band, pci: Pci, seed: u64, azimuth: Option<f64>) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        let site = self.towers[tower.0 as usize].pos;
+        let tx_power = match band.class() {
+            BandClass::MmWave => 58.0, // EIRP with beamforming gain
+            BandClass::Mid => 47.0,
+            BandClass::Low => 46.0,
+        };
+        // open terrain shadows more gently and decorrelates more slowly
+        let (corr_scale, sigma_scale) = match self.env {
+            Environment::Freeway => (2.0, 0.7),
+            Environment::Urban => (1.2, 0.9),
+            Environment::UrbanDense => (1.0, 1.0),
+        };
+        let cell = Cell {
+            id,
+            pci,
+            band,
+            tower,
+            site,
+            azimuth,
+            propagation: Propagation::with_shadowing(
+                hash2(seed, 0xCE11_0000 ^ id.0 as u64),
+                band,
+                tx_power,
+                corr_scale,
+                sigma_scale,
+            ),
+        };
+        let key = ((site.x / GRID).floor() as i64, (site.y / GRID).floor() as i64);
+        self.grid.entry(key).or_default().push(id);
+        self.towers[tower.0 as usize].cells.push(id);
+        if band.is_nr() {
+            self.nr_ids.push(id);
+        } else {
+            self.lte_ids.push(id);
+        }
+        self.cells.push(cell);
+        id
+    }
+
+    fn nearest_anchor(&self, pos: &Point, anchors: &[TowerId]) -> (TowerId, Pci) {
+        let mut best = anchors[0];
+        let mut best_d = f64::INFINITY;
+        for &a in anchors {
+            let d = self.towers[a.0 as usize].pos.distance_sq(pos);
+            if d < best_d {
+                best_d = d;
+                best = a;
+            }
+        }
+        // the anchor cell is the first cell of the anchor tower
+        let pci = self.cells[self.towers[best.0 as usize].cells[0].0 as usize].pci;
+        (best, pci)
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Cells whose site lies within `radius_m` of `pos`.
+    pub fn cells_near(&self, pos: &Point, radius_m: f64) -> Vec<CellId> {
+        let r = (radius_m / GRID).ceil() as i64;
+        let cx = (pos.x / GRID).floor() as i64;
+        let cy = (pos.y / GRID).floor() as i64;
+        let mut out = Vec::new();
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if let Some(v) = self.grid.get(&(cx + dx, cy + dy)) {
+                    for &id in v {
+                        if self.cell(id).site.distance(pos) <= radius_m {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The strongest cells of a technology at `pos`/`t`, sorted by received
+    /// power descending. `radius_m` bounds the search (use a few km).
+    pub fn strongest(&self, pos: &Point, t: f64, nr: bool, radius_m: f64) -> Vec<(CellId, f64)> {
+        let mut v: Vec<(CellId, f64)> = self
+            .cells_near(pos, radius_m)
+            .into_iter()
+            .filter(|&id| self.cell(id).is_nr() == nr)
+            .map(|id| (id, self.cell(id).rx_dbm(pos, t)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v
+    }
+
+    /// Strongest cells restricted to one band class.
+    pub fn strongest_in_class(&self, pos: &Point, t: f64, class: BandClass, radius_m: f64) -> Vec<(CellId, f64)> {
+        let mut v: Vec<(CellId, f64)> = self
+            .cells_near(pos, radius_m)
+            .into_iter()
+            .filter(|&id| self.cell(id).is_nr() && self.cell(id).band.class() == class)
+            .map(|id| (id, self.cell(id).rx_dbm(pos, t)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v
+    }
+
+    /// True when the area around `pos` is configured with the MCG-split
+    /// ("dual") bearer rather than the SCG ("5G-only") bearer (§4.2).
+    pub fn dual_mode_at(&self, pos: &Point) -> bool {
+        self.bearer_field.sample_uniform_cell(pos) < self.dual_fraction
+    }
+
+    /// The eNB tower associated with a gNB tower (its X2 peer). Returns the
+    /// tower itself when the cell is an eNB cell.
+    pub fn assoc_enb_tower(&self, nr_cell: CellId) -> TowerId {
+        let t = self.cell(nr_cell).tower;
+        *self.gnb_assoc.get(&t).unwrap_or(&t)
+    }
+
+    /// True when two NR cells belong to the same gNB (same tower) —
+    /// distinguishes SCG Modification from SCG Change.
+    pub fn same_gnb(&self, a: CellId, b: CellId) -> bool {
+        self.cell(a).tower == self.cell(b).tower
+    }
+
+    /// True when the gNB hosting `nr_cell` is co-located with an eNB.
+    pub fn gnb_co_located(&self, nr_cell: CellId) -> bool {
+        self.towers[self.cell(nr_cell).tower.0 as usize].co_located
+    }
+
+    /// All LTE cell ids.
+    pub fn lte_cells(&self) -> &[CellId] {
+        &self.lte_ids
+    }
+
+    /// All NR cell ids.
+    pub fn nr_cells(&self) -> &[CellId] {
+        &self.nr_ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::routes;
+
+    fn freeway() -> Polyline {
+        routes::freeway_leg(Point::ORIGIN, 0.0, 20_000.0)
+    }
+
+    fn deployment(carrier: Carrier, env: Environment, arch: Arch) -> Deployment {
+        let route = match env {
+            Environment::Freeway => freeway(),
+            _ => routes::rectangular_loop(Point::ORIGIN, 1500.0, 1000.0),
+        };
+        Deployment::generate(&route, carrier, env, arch, 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        let b = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        assert_eq!(a.cells.len(), b.cells.len());
+        assert_eq!(a.towers.len(), b.towers.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.pci, y.pci);
+            assert_eq!(x.site, y.site);
+        }
+    }
+
+    #[test]
+    fn lte_only_arch_has_no_nr() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Lte);
+        assert!(d.nr_cells().is_empty());
+        assert!(!d.lte_cells().is_empty());
+    }
+
+    #[test]
+    fn nsa_freeway_has_low_band_nr() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        assert!(!d.nr_cells().is_empty());
+        for &id in d.nr_cells() {
+            assert_eq!(d.cell(id).band.class(), BandClass::Low);
+        }
+    }
+
+    #[test]
+    fn urban_dense_opx_has_mmwave_sectors() {
+        let d = deployment(Carrier::OpX, Environment::UrbanDense, Arch::Nsa);
+        let mm: Vec<_> = d
+            .nr_cells()
+            .iter()
+            .filter(|&&id| d.cell(id).band.class() == BandClass::MmWave)
+            .collect();
+        assert!(!mm.is_empty());
+        // mmWave towers host 3 sectors per mmWave band
+        let probe = d.cell(*mm[0]);
+        let (t, band_name) = (probe.tower, probe.band.name);
+        let sector_count = d.towers[t.0 as usize]
+            .cells
+            .iter()
+            .filter(|&&c| d.cell(c).band.name == band_name)
+            .count();
+        assert_eq!(sector_count, 3);
+    }
+
+    #[test]
+    fn colocated_gnb_shares_pci_with_enb() {
+        // with prob 0.36 and many towers OpX urban should have co-located sites
+        let d = deployment(Carrier::OpX, Environment::Urban, Arch::Nsa);
+        let mut found = false;
+        for t in &d.towers {
+            if t.co_located {
+                let lte_pcis: Vec<Pci> = t.cells.iter().filter(|&&c| !d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
+                let nr_pcis: Vec<Pci> = t.cells.iter().filter(|&&c| d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
+                assert!(!lte_pcis.is_empty() && !nr_pcis.is_empty());
+                assert!(
+                    nr_pcis.iter().any(|p| lte_pcis.contains(p)),
+                    "co-located tower should share a PCI: lte={lte_pcis:?} nr={nr_pcis:?}"
+                );
+                found = true;
+            }
+        }
+        assert!(found, "expected at least one co-located tower");
+    }
+
+    #[test]
+    fn towers_are_near_route() {
+        let d = deployment(Carrier::OpY, Environment::Freeway, Arch::Nsa);
+        for t in &d.towers {
+            assert!(
+                t.pos.y.abs() <= 160.0,
+                "tower {t:?} too far from the (horizontal) route"
+            );
+        }
+    }
+
+    #[test]
+    fn strongest_returns_sorted() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        let pos = Point::new(5000.0, 0.0);
+        let s = d.strongest(&pos, 0.0, false, 6000.0);
+        assert!(s.len() >= 2);
+        for w in s.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cells_near_respects_radius() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        let pos = Point::new(10_000.0, 0.0);
+        for id in d.cells_near(&pos, 2000.0) {
+            assert!(d.cell(id).site.distance(&pos) <= 2000.0);
+        }
+    }
+
+    #[test]
+    fn anchor_isd_smaller_than_nr_low_isd() {
+        let isd = IsdPlan::for_env(Environment::Freeway);
+        assert!(isd.lte_anchor < isd.nr_low / 1.5);
+        let mm = IsdPlan::for_env(Environment::UrbanDense);
+        assert!(mm.nr_mmwave < mm.nr_mid);
+    }
+
+    #[test]
+    fn dual_mode_field_has_both_modes() {
+        let d = deployment(Carrier::OpX, Environment::Urban, Arch::Nsa);
+        let mut dual = 0;
+        let mut only = 0;
+        for i in 0..200 {
+            let p = Point::new(i as f64 * 123.0, (i % 13) as f64 * 517.0);
+            if d.dual_mode_at(&p) {
+                dual += 1;
+            } else {
+                only += 1;
+            }
+        }
+        assert!(dual > 10 && only > 10, "dual={dual} only={only}");
+    }
+
+    #[test]
+    fn gnb_assoc_points_to_enb_tower() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        for &nr in d.nr_cells() {
+            let enb_tower = d.assoc_enb_tower(nr);
+            let has_lte = d.towers[enb_tower.0 as usize]
+                .cells
+                .iter()
+                .any(|&c| !d.cell(c).is_nr());
+            assert!(has_lte, "assoc tower must host LTE cells");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fiveg_geo::routes;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn deployment_structure_invariants(
+            seed in 0u64..1000,
+            km in 5.0..25.0f64,
+        ) {
+            let route = routes::freeway_leg(Point::ORIGIN, 0.1, km * 1000.0);
+            let d = Deployment::generate(&route, Carrier::OpY, Environment::Freeway, Arch::Nsa, seed);
+            // every cell's tower exists and lists it back
+            for c in &d.cells {
+                let t = &d.towers[c.tower.0 as usize];
+                prop_assert!(t.cells.contains(&c.id));
+                prop_assert_eq!(t.pos, c.site);
+            }
+            // LTE and NR id lists partition the cells
+            prop_assert_eq!(d.lte_cells().len() + d.nr_cells().len(), d.cells.len());
+            for &id in d.lte_cells() {
+                prop_assert!(!d.cell(id).is_nr());
+            }
+            for &id in d.nr_cells() {
+                prop_assert!(d.cell(id).is_nr());
+            }
+            // non-co-located NR cells never collide with LTE PCI space
+            for &id in d.nr_cells() {
+                let c = d.cell(id);
+                if !d.towers[c.tower.0 as usize].co_located {
+                    prop_assert!(c.pci.0 >= 520, "non-co-located NR PCI in LTE space: {:?}", c.pci);
+                }
+            }
+            // gNB association always resolves to an eNB-hosting tower
+            for &nr in d.nr_cells() {
+                let t = d.assoc_enb_tower(nr);
+                prop_assert!(d.towers[t.0 as usize].cells.iter().any(|&c| !d.cell(c).is_nr()));
+            }
+        }
+
+        #[test]
+        fn strongest_is_sorted_and_bounded(seed in 0u64..100) {
+            let route = routes::freeway_leg(Point::ORIGIN, 0.0, 8_000.0);
+            let d = Deployment::generate(&route, Carrier::OpX, Environment::Freeway, Arch::Nsa, seed);
+            let pos = Point::new(4000.0, 50.0);
+            for nr in [false, true] {
+                let s = d.strongest(&pos, 1.0, nr, 5000.0);
+                for w in s.windows(2) {
+                    prop_assert!(w[0].1 >= w[1].1);
+                }
+                for (id, _) in &s {
+                    prop_assert_eq!(d.cell(*id).is_nr(), nr);
+                    prop_assert!(d.cell(*id).site.distance(&pos) <= 5000.0);
+                }
+            }
+        }
+    }
+}

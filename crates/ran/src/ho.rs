@@ -1,0 +1,243 @@
+//! The handover taxonomy of Table 2.
+//!
+//! | Procedure | Access-tech change | 4G/5G HO | Acronym |
+//! |-----------|--------------------|----------|---------|
+//! | SCG Addition | 4G → 5G | 5G | SCGA |
+//! | SCG Release | 5G → 4G | 5G | SCGR |
+//! | SCG Modification | 5G → 5G | 5G | SCGM |
+//! | SCG Change | 5G → 4G → 5G | 5G | SCGC |
+//! | MeNB HO | 5G → 5G | 4G | MNBH |
+//! | MCG HO (SA) | 5G → 5G | 5G | MCGH |
+//! | LTE HO (NSA) | 5G → 5G | 4G | LTEH |
+//! | LTE HO (LTE) | 4G → 4G | 4G | LTEH |
+
+use fiveg_rrc::ReconfigAction;
+use serde::{Deserialize, Serialize};
+
+/// Deployment architecture a UE is operating under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Arch {
+    /// Plain 4G/LTE (no 5G service).
+    Lte,
+    /// 5G non-standalone: LTE control plane (NSA-4C) + NR data plane.
+    Nsa,
+    /// 5G standalone: NR control and data planes.
+    Sa,
+}
+
+impl Arch {
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arch::Lte => "LTE",
+            Arch::Nsa => "NSA",
+            Arch::Sa => "SA",
+        }
+    }
+}
+
+/// Radio access technology currently carrying user data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioTech {
+    /// 4G LTE.
+    Lte,
+    /// 5G New Radio.
+    Nr,
+}
+
+/// Whether a HO is a "4G HO" or a "5G HO" in Table 2's classification
+/// (which radio's procedures perform it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HoCategory {
+    /// Performed by 4G procedures (changes the LTE cell).
+    FourG,
+    /// Performed by 5G procedures (changes NR cells / the SCG).
+    FiveG,
+}
+
+/// The handover procedure types observed in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HoType {
+    /// LTE handover — between eNB cells, both in pure LTE and under NSA.
+    Lteh,
+    /// Master-eNB handover under NSA: LTE anchor changes, gNB kept.
+    Mnbh,
+    /// SCG Addition: NR leg attached (4G→5G).
+    Scga,
+    /// SCG Release: NR leg dropped (5G→4G).
+    Scgr,
+    /// SCG Modification: NR cell switch within the same gNB.
+    Scgm,
+    /// SCG Change: inter-gNB move via release+addition (5G→4G→5G).
+    Scgc,
+    /// MCG handover in SA 5G: NR cell to NR cell.
+    Mcgh,
+}
+
+impl HoType {
+    /// All HO types, in Table 2 order.
+    pub const ALL: [HoType; 7] = [
+        HoType::Scga,
+        HoType::Scgr,
+        HoType::Scgm,
+        HoType::Scgc,
+        HoType::Mnbh,
+        HoType::Mcgh,
+        HoType::Lteh,
+    ];
+
+    /// The paper's acronym.
+    pub fn acronym(&self) -> &'static str {
+        match self {
+            HoType::Lteh => "LTEH",
+            HoType::Mnbh => "MNBH",
+            HoType::Scga => "SCGA",
+            HoType::Scgr => "SCGR",
+            HoType::Scgm => "SCGM",
+            HoType::Scgc => "SCGC",
+            HoType::Mcgh => "MCGH",
+        }
+    }
+
+    /// Table 2's "Access Tech. Change" column.
+    ///
+    /// `in_nsa` matters only for LTEH, whose access change is 5G→5G under
+    /// NSA (the UE keeps using 5G data; the anchor moves) but 4G→4G in LTE.
+    pub fn access_change(&self, in_nsa: bool) -> &'static str {
+        match self {
+            HoType::Scga => "4G→5G",
+            HoType::Scgr => "5G→4G",
+            HoType::Scgm => "5G→5G",
+            HoType::Scgc => "5G→4G→5G",
+            HoType::Mnbh => "5G→5G",
+            HoType::Mcgh => "5G→5G",
+            HoType::Lteh => {
+                if in_nsa {
+                    "5G→5G"
+                } else {
+                    "4G→4G"
+                }
+            }
+        }
+    }
+
+    /// Table 2's "4G/5G HO" column: which radio performs the procedure.
+    pub fn category(&self) -> HoCategory {
+        match self {
+            HoType::Scga | HoType::Scgr | HoType::Scgm | HoType::Scgc | HoType::Mcgh => {
+                HoCategory::FiveG
+            }
+            HoType::Mnbh | HoType::Lteh => HoCategory::FourG,
+        }
+    }
+
+    /// True for "horizontal" HOs in the paper's Fig. 16 sense: HOs that move
+    /// between cells of the same technology while 5G service continues
+    /// (SCGM, SCGC, MCGH, and LTEH/MNBH under NSA).
+    pub fn is_horizontal(&self) -> bool {
+        !matches!(self, HoType::Scga | HoType::Scgr)
+    }
+
+    /// Maps the wire-level reconfiguration action to its HO type.
+    pub fn from_action(action: &ReconfigAction) -> HoType {
+        match action {
+            ReconfigAction::LteHandover { .. } => HoType::Lteh,
+            ReconfigAction::ScgAddition { .. } => HoType::Scga,
+            ReconfigAction::ScgRelease => HoType::Scgr,
+            ReconfigAction::ScgModification { .. } => HoType::Scgm,
+            ReconfigAction::ScgChange { .. } => HoType::Scgc,
+            ReconfigAction::MenbHandover { .. } => HoType::Mnbh,
+            ReconfigAction::McgHandover { .. } => HoType::Mcgh,
+        }
+    }
+
+    /// Which radios have their data plane interrupted during this HO's
+    /// execution stage (footnote 1 of §5.2: "In NSA, 5G HOs do not affect
+    /// the 4G/LTE data plane, however, 4G HOs interrupt data activity on 5G
+    /// radio as well").
+    pub fn interrupts(&self) -> (bool, bool) {
+        // returns (lte_interrupted, nr_interrupted)
+        match self.category() {
+            HoCategory::FourG => (true, true),
+            HoCategory::FiveG => (false, true),
+        }
+    }
+}
+
+impl std::fmt::Display for HoType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.acronym())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_rrc::Pci;
+
+    #[test]
+    fn table2_categories() {
+        assert_eq!(HoType::Scga.category(), HoCategory::FiveG);
+        assert_eq!(HoType::Scgr.category(), HoCategory::FiveG);
+        assert_eq!(HoType::Scgm.category(), HoCategory::FiveG);
+        assert_eq!(HoType::Scgc.category(), HoCategory::FiveG);
+        assert_eq!(HoType::Mcgh.category(), HoCategory::FiveG);
+        assert_eq!(HoType::Mnbh.category(), HoCategory::FourG);
+        assert_eq!(HoType::Lteh.category(), HoCategory::FourG);
+    }
+
+    #[test]
+    fn table2_access_changes() {
+        assert_eq!(HoType::Scga.access_change(true), "4G→5G");
+        assert_eq!(HoType::Scgr.access_change(true), "5G→4G");
+        assert_eq!(HoType::Scgc.access_change(true), "5G→4G→5G");
+        assert_eq!(HoType::Lteh.access_change(false), "4G→4G");
+        assert_eq!(HoType::Lteh.access_change(true), "5G→5G");
+    }
+
+    #[test]
+    fn vertical_hos_are_scga_scgr() {
+        assert!(!HoType::Scga.is_horizontal());
+        assert!(!HoType::Scgr.is_horizontal());
+        assert!(HoType::Scgm.is_horizontal());
+        assert!(HoType::Scgc.is_horizontal());
+        assert!(HoType::Mcgh.is_horizontal());
+    }
+
+    #[test]
+    fn interruption_semantics() {
+        // 4G HOs halt both radios; 5G HOs spare LTE.
+        assert_eq!(HoType::Lteh.interrupts(), (true, true));
+        assert_eq!(HoType::Mnbh.interrupts(), (true, true));
+        assert_eq!(HoType::Scgm.interrupts(), (false, true));
+        assert_eq!(HoType::Scga.interrupts(), (false, true));
+    }
+
+    #[test]
+    fn from_action_covers_all() {
+        assert_eq!(
+            HoType::from_action(&ReconfigAction::ScgChange { nr_target: Pci(3) }),
+            HoType::Scgc
+        );
+        assert_eq!(
+            HoType::from_action(&ReconfigAction::MenbHandover { target: Pci(3) }),
+            HoType::Mnbh
+        );
+        assert_eq!(HoType::from_action(&ReconfigAction::ScgRelease), HoType::Scgr);
+    }
+
+    #[test]
+    fn acronyms_and_display() {
+        for t in HoType::ALL {
+            assert_eq!(t.to_string(), t.acronym());
+            assert_eq!(t.acronym().len(), 4);
+        }
+    }
+
+    #[test]
+    fn arch_labels() {
+        assert_eq!(Arch::Nsa.label(), "NSA");
+        assert_eq!(Arch::Sa.label(), "SA");
+        assert_eq!(Arch::Lte.label(), "LTE");
+    }
+}

@@ -1,0 +1,339 @@
+//! UE-side measurement engine: Table 4 events with hysteresis and TTT.
+//!
+//! "If any event trigger criterion is met, a measurement event is raised and
+//! its report is sent to the primary cell." (§2) The engine tracks, per
+//! configured event, how long the entry condition has held; once it holds
+//! for the event's time-to-trigger, a report fires. After firing, the event
+//! re-arms only after the condition clears (leaving condition), matching
+//! 3GPP's report-on-entry semantics.
+
+use fiveg_radio::Rrs;
+use fiveg_rrc::{EventConfig, EventKind, MeasEvent, MeasQuantity, NeighborMeas, Pci};
+use serde::{Deserialize, Serialize};
+
+/// One cell's measurement as fed to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Cell identity.
+    pub pci: Pci,
+    /// Measured triple.
+    pub rrs: Rrs,
+    /// Carrier frequency of the measured cell, MHz. Intra-frequency events
+    /// (A3/A6) only compare cells on the serving frequency, per 3GPP
+    /// measObject semantics.
+    pub freq_mhz: f64,
+    /// Measurement-object group: NR-A3 is configured per gNB (the tower id
+    /// here), so cross-gNB cells never satisfy it — "NSA 5G does not have an
+    /// option to perform a direct HO between two gNBs". `None` disables the
+    /// grouping (LTE cells).
+    pub group: Option<u32>,
+}
+
+impl Measurement {
+    /// Selects the quantity an event compares.
+    pub fn quantity(&self, q: MeasQuantity) -> f64 {
+        match q {
+            MeasQuantity::Rsrp => self.rrs.rsrp_dbm,
+            MeasQuantity::Rsrq => self.rrs.rsrq_db,
+            MeasQuantity::Sinr => self.rrs.sinr_db,
+        }
+    }
+}
+
+/// A fired measurement report, ready to be wrapped in an
+/// [`fiveg_rrc::RrcMessage::MeasurementReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggeredReport {
+    /// The event that fired.
+    pub event: MeasEvent,
+    /// Serving cell at fire time.
+    pub serving: Measurement,
+    /// The neighbor that satisfied the condition (strongest first for
+    /// conditions that don't name one).
+    pub neighbors: Vec<NeighborMeas>,
+    /// Simulation time (s) the report fired.
+    pub t: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArmState {
+    /// Condition not met; TTT clock not running.
+    Idle,
+    /// Condition met since this time; waiting out the TTT.
+    Pending(f64),
+    /// Report fired; waiting for the leaving condition to re-arm.
+    Fired,
+}
+
+/// Measurement engine for one radio leg (LTE or NR measurements).
+///
+/// An NSA UE runs two engines: one over LTE measurements for the MCG, one
+/// over NR measurements for the SCG.
+#[derive(Debug, Clone)]
+pub struct MeasEngine {
+    configs: Vec<EventConfig>,
+    states: Vec<ArmState>,
+}
+
+impl MeasEngine {
+    /// Creates an engine armed with `configs`.
+    pub fn new(configs: Vec<EventConfig>) -> Self {
+        let states = vec![ArmState::Idle; configs.len()];
+        Self { configs, states }
+    }
+
+    /// Replaces the configuration (a new `MeasConfig` arrived after a HO);
+    /// all trigger state resets.
+    pub fn reconfigure(&mut self, configs: Vec<EventConfig>) {
+        self.states = vec![ArmState::Idle; configs.len()];
+        self.configs = configs;
+    }
+
+    /// The active configuration.
+    pub fn configs(&self) -> &[EventConfig] {
+        &self.configs
+    }
+
+    /// Clears all pending/fired state (used after a HO executes: the new
+    /// serving cell re-delivers measurement configs).
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            *s = ArmState::Idle;
+        }
+    }
+
+    /// Re-arms the events of one kind (e.g. the network re-requests B1
+    /// reporting after an A2 opened an SCG-change window).
+    pub fn rearm(&mut self, kind: EventKind) {
+        for (cfg, s) in self.configs.iter().zip(self.states.iter_mut()) {
+            if cfg.event.kind == kind {
+                *s = ArmState::Idle;
+            }
+        }
+    }
+
+    /// Advances the engine to time `t` with the current measurements.
+    ///
+    /// `serving` is the serving cell of this leg; `neighbors` the measurable
+    /// neighbor cells (any order). Returns reports that fire at this tick.
+    pub fn step(&mut self, t: f64, serving: &Measurement, neighbors: &[Measurement]) -> Vec<TriggeredReport> {
+        let mut out = Vec::new();
+        for (cfg, st) in self.configs.iter().zip(self.states.iter_mut()) {
+            // Find the neighbor that best satisfies this event.
+            let best = best_neighbor(cfg, serving, neighbors);
+            let s_val = serving.quantity(cfg.quantity);
+            let n_val = best.map(|n| n.quantity(cfg.quantity)).unwrap_or(-140.0);
+            let entered = cfg.entered(s_val, n_val);
+            let left = cfg.left(s_val, n_val);
+            match *st {
+                ArmState::Idle => {
+                    if entered {
+                        if cfg.ttt_ms == 0 {
+                            *st = ArmState::Fired;
+                            out.push(make_report(cfg, serving, best, neighbors, t));
+                        } else {
+                            *st = ArmState::Pending(t);
+                        }
+                    }
+                }
+                ArmState::Pending(since) => {
+                    if !entered {
+                        // condition broke before TTT elapsed
+                        *st = ArmState::Idle;
+                    } else if (t - since) * 1000.0 + 1e-9 >= cfg.ttt_ms as f64 {
+                        *st = ArmState::Fired;
+                        out.push(make_report(cfg, serving, best, neighbors, t));
+                    }
+                }
+                ArmState::Fired => {
+                    if left {
+                        *st = ArmState::Idle;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Picks the neighbor that maximizes the event's chance of triggering:
+/// strongest neighbor in the event's quantity.
+fn best_neighbor<'a>(
+    cfg: &EventConfig,
+    serving: &Measurement,
+    neighbors: &'a [Measurement],
+) -> Option<&'a Measurement> {
+    if matches!(cfg.event.kind, EventKind::A1 | EventKind::A2 | EventKind::Periodic) {
+        return None;
+    }
+    // A3/A6 are intra-frequency: only the serving carrier's cells compete;
+    // when the serving cell carries a measurement-object group (NR under
+    // NSA: the gNB), only same-group cells are configured.
+    let intra = matches!(cfg.event.kind, EventKind::A3);
+    let candidates = neighbors
+        .iter()
+        .filter(|n| !intra || (n.freq_mhz - serving.freq_mhz).abs() < 1.0)
+        .filter(|n| !intra || serving.group.is_none() || n.group == serving.group);
+    if matches!(cfg.event.kind, EventKind::A4 | EventKind::B1) {
+        // Threshold events fire for the cell that *crossed* the threshold —
+        // typically the marginal one, not the strongest. This is the §6.2
+        // mechanism: each HO leg optimizes its local criterion only, so an
+        // SCG Change often lands on a barely-adequate gNB.
+        let satisfying: Vec<&Measurement> = candidates
+            .clone()
+            .filter(|n| n.quantity(cfg.quantity) - cfg.hysteresis_db > cfg.threshold_dbm)
+            .collect();
+        if !satisfying.is_empty() {
+            return satisfying
+                .into_iter()
+                .min_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap());
+        }
+    }
+    candidates
+        .max_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap())
+}
+
+fn make_report(
+    cfg: &EventConfig,
+    serving: &Measurement,
+    best: Option<&Measurement>,
+    neighbors: &[Measurement],
+    t: f64,
+) -> TriggeredReport {
+    // Serving-only events (A1/A2) report no neighbors; otherwise report the
+    // satisfying neighbor first, then other detectable ones for context.
+    let mut ns: Vec<NeighborMeas> = Vec::new();
+    if let Some(b) = best {
+        ns.push(NeighborMeas { pci: b.pci, rrs: b.rrs });
+        for n in neighbors {
+            if n.pci != b.pci && n.rrs.detectable() && ns.len() < 4 {
+                ns.push(NeighborMeas { pci: n.pci, rrs: n.rrs });
+            }
+        }
+    }
+    TriggeredReport { event: cfg.event, serving: *serving, neighbors: ns, t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_rrc::MeasEvent;
+
+    fn meas(pci: u16, rsrp: f64) -> Measurement {
+        Measurement {
+            pci: Pci(pci),
+            rrs: Rrs { rsrp_dbm: rsrp, rsrq_db: -10.0, sinr_db: 10.0 },
+            freq_mhz: 1960.0,
+            group: None,
+        }
+    }
+
+    fn a3_engine(ttt_ms: u32) -> MeasEngine {
+        let mut cfg = EventConfig::typical(MeasEvent::lte(EventKind::A3));
+        cfg.ttt_ms = ttt_ms;
+        MeasEngine::new(vec![cfg])
+    }
+
+    #[test]
+    fn fires_after_ttt() {
+        let mut e = a3_engine(200);
+        let serving = meas(1, -100.0);
+        let better = [meas(2, -90.0)];
+        // t=0: condition enters, pending
+        assert!(e.step(0.0, &serving, &better).is_empty());
+        // t=0.1: still pending (100ms < 200ms)
+        assert!(e.step(0.1, &serving, &better).is_empty());
+        // t=0.2: TTT elapsed -> fire
+        let r = e.step(0.2, &serving, &better);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].event.kind, EventKind::A3);
+        assert_eq!(r[0].neighbors[0].pci, Pci(2));
+    }
+
+    #[test]
+    fn condition_break_resets_ttt() {
+        let mut e = a3_engine(200);
+        let serving = meas(1, -100.0);
+        assert!(e.step(0.0, &serving, &[meas(2, -90.0)]).is_empty());
+        // neighbor fades before TTT
+        assert!(e.step(0.1, &serving, &[meas(2, -101.0)]).is_empty());
+        // re-enters: clock restarts
+        assert!(e.step(0.15, &serving, &[meas(2, -90.0)]).is_empty());
+        assert!(e.step(0.30, &serving, &[meas(2, -90.0)]).is_empty());
+        let r = e.step(0.35, &serving, &[meas(2, -90.0)]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn does_not_refire_until_left() {
+        let mut e = a3_engine(0);
+        let serving = meas(1, -100.0);
+        let better = [meas(2, -90.0)];
+        assert_eq!(e.step(0.0, &serving, &better).len(), 1);
+        // condition still true: no duplicate report
+        assert!(e.step(0.05, &serving, &better).is_empty());
+        assert!(e.step(0.10, &serving, &better).is_empty());
+        // leaves, then re-enters: fires again
+        assert!(e.step(0.15, &serving, &[meas(2, -110.0)]).is_empty());
+        assert_eq!(e.step(0.20, &serving, &better).len(), 1);
+    }
+
+    #[test]
+    fn zero_ttt_fires_immediately() {
+        let mut e = a3_engine(0);
+        let r = e.step(0.0, &meas(1, -100.0), &[meas(2, -90.0)]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn a2_ignores_neighbors() {
+        let mut cfg = EventConfig::typical(MeasEvent::nr(EventKind::A2));
+        cfg.ttt_ms = 0;
+        let mut e = MeasEngine::new(vec![cfg]);
+        // serving below -115 threshold fires regardless of strong neighbor
+        let r = e.step(0.0, &meas(1, -120.0), &[meas(2, -50.0)]);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].neighbors.is_empty());
+    }
+
+    #[test]
+    fn picks_strongest_neighbor() {
+        let mut e = a3_engine(0);
+        let r = e.step(0.0, &meas(1, -100.0), &[meas(2, -92.0), meas(3, -88.0), meas(4, -95.0)]);
+        assert_eq!(r[0].neighbors[0].pci, Pci(3));
+    }
+
+    #[test]
+    fn reset_clears_fired_state() {
+        let mut e = a3_engine(0);
+        let serving = meas(1, -100.0);
+        let better = [meas(2, -90.0)];
+        assert_eq!(e.step(0.0, &serving, &better).len(), 1);
+        e.reset();
+        // fires again after reset even though condition never left
+        assert_eq!(e.step(0.1, &serving, &better).len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_replaces_events() {
+        let mut e = a3_engine(0);
+        let mut b1 = EventConfig::typical(MeasEvent::nr(EventKind::B1));
+        b1.ttt_ms = 0;
+        e.reconfigure(vec![b1]);
+        let r = e.step(0.0, &meas(1, -120.0), &[meas(2, -100.0)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].event.kind, EventKind::B1);
+    }
+
+    #[test]
+    fn multiple_events_fire_independently() {
+        let mut a2 = EventConfig::typical(MeasEvent::lte(EventKind::A2));
+        a2.ttt_ms = 0;
+        let mut a3 = EventConfig::typical(MeasEvent::lte(EventKind::A3));
+        a3.ttt_ms = 0;
+        let mut e = MeasEngine::new(vec![a2, a3]);
+        // weak serving + much stronger neighbor: both fire
+        let r = e.step(0.0, &meas(1, -120.0), &[meas(2, -100.0)]);
+        assert_eq!(r.len(), 2);
+    }
+}

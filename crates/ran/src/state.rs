@@ -1,0 +1,649 @@
+//! The per-UE connection state machine: executes HO commands through their
+//! T1/T2 stages and applies the Table 2 transitions.
+//!
+//! Timeline of one HO (Appendix A.1):
+//!
+//! ```text
+//! MR fires          HO command (RRCReconfiguration)      RACH done, Complete
+//!    |----------- T1 ------------|------------ T2 -------------|
+//!    decision & preparation        execution (data plane halted
+//!    (network side)                on the affected radios)
+//! ```
+//!
+//! NSA subtlety: "NSA 5G does not have an option to perform a direct HO
+//! between two gNBs" and an LTE anchor change that cannot keep the current
+//! gNB forces the SCG out first. The state machine models that with an
+//! action queue: an `LteHandover` arriving while an SCG is attached expands
+//! into `[ScgRelease, LteHandover]`, each a full HO with its own stages and
+//! signaling — which is why NSA HOs are so much more frequent (§5.1).
+
+use crate::cell::CellId;
+use crate::deploy::Deployment;
+use crate::ho::{Arch, HoType};
+use crate::stages::{StageModel, StageSample};
+use fiveg_radio::BandClass;
+use fiveg_rrc::{MeasEvent, Pci, RachKind, ReconfigAction, RrcMessage};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Bearer configuration of the NSA data plane (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BearerMode {
+    /// MCG split bearer: traffic over both LTE and NR.
+    Dual,
+    /// SCG bearer: all traffic on NR ("5G-only").
+    FiveGOnly,
+}
+
+/// A completed handover, as recorded in the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HandoverRecord {
+    /// Procedure type.
+    pub ho_type: HoType,
+    /// Architecture the UE was operating under.
+    pub arch: Arch,
+    /// Band class of the NR leg involved (serving NR band, or the target's
+    /// for SCGA), `None` for pure-LTE HOs.
+    pub nr_band: Option<BandClass>,
+    /// Time the network began preparing (the triggering MR's arrival), s.
+    pub t_decision: f64,
+    /// Time the HO command reached the UE (= decision + T1), s.
+    pub t_command: f64,
+    /// Time the HO completed (= command + T2), s.
+    pub t_complete: f64,
+    /// Sampled stage durations.
+    pub stages: StageSample,
+    /// Source cells (LTE, NR) before the HO.
+    pub source_lte: Option<Pci>,
+    /// Source NR cell before the HO.
+    pub source_nr: Option<Pci>,
+    /// Target cell of the procedure (None for SCGR).
+    pub target: Option<Pci>,
+    /// Whether the involved gNB was co-located with an eNB tower.
+    pub co_located: bool,
+    /// Whether the 4G and 5G serving PCIs were equal at decision time
+    /// (the paper's §6.3 observable for co-location).
+    pub same_pci: bool,
+    /// The MR event sequence that triggered the decision.
+    pub trigger_phase: Vec<MeasEvent>,
+    /// Which radios' data planes the execution stage halts (lte, nr).
+    pub interrupts: (bool, bool),
+}
+
+impl HandoverRecord {
+    /// Total duration in ms.
+    pub fn duration_ms(&self) -> f64 {
+        self.stages.total_ms()
+    }
+}
+
+/// Events emitted by the state machine as simulated time advances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HoEvent {
+    /// The HO command went out (end of T1). Carries the wire message.
+    CommandSent(RrcMessage),
+    /// The HO finished (end of T2): the record plus the uplink completion
+    /// signaling (`RRCReconfigurationComplete` + RACH pair).
+    Completed(HandoverRecord, Vec<RrcMessage>),
+}
+
+/// Snapshot of what is connected right now, for the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionState {
+    /// Serving LTE cell (MCG primary), if any.
+    pub lte: Option<CellId>,
+    /// Serving NR cell (SCG primary / SA serving), if any.
+    pub nr: Option<CellId>,
+    /// LTE data plane currently halted by an executing HO.
+    pub lte_interrupted: bool,
+    /// NR data plane currently halted by an executing HO.
+    pub nr_interrupted: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    Idle,
+    /// Network preparing; command goes out at `until`.
+    Preparing { until: f64, action: ReconfigAction, target: Option<CellId>, record: Box<PendingRecord> },
+    /// UE executing; completes at `until`.
+    Executing { until: f64, action: ReconfigAction, target: Option<CellId>, record: Box<PendingRecord> },
+}
+
+#[derive(Debug, Clone)]
+struct PendingRecord {
+    ho_type: HoType,
+    arch: Arch,
+    nr_band: Option<BandClass>,
+    t_decision: f64,
+    stages: StageSample,
+    source_lte: Option<Pci>,
+    source_nr: Option<Pci>,
+    target_pci: Option<Pci>,
+    co_located: bool,
+    same_pci: bool,
+    trigger_phase: Vec<MeasEvent>,
+}
+
+/// The state machine.
+#[derive(Debug, Clone)]
+pub struct RanStateMachine {
+    arch: Arch,
+    lte: Option<CellId>,
+    nr: Option<CellId>,
+    phase: Phase,
+    /// Follow-up actions queued behind the in-flight one (e.g. the LTEH
+    /// behind a forced SCGR).
+    queue: VecDeque<(ReconfigAction, Option<CellId>, Vec<MeasEvent>)>,
+    stage_model: StageModel,
+    seq: u64,
+}
+
+impl RanStateMachine {
+    /// Creates an idle state machine under `arch`.
+    pub fn new(arch: Arch, seed: u64) -> Self {
+        Self {
+            arch,
+            lte: None,
+            nr: None,
+            phase: Phase::Idle,
+            queue: VecDeque::new(),
+            stage_model: StageModel::new(seed),
+            seq: 0,
+        }
+    }
+
+    /// Attaches the UE to initial serving cells (connection establishment,
+    /// not counted as a HO).
+    pub fn attach(&mut self, lte: Option<CellId>, nr: Option<CellId>) {
+        self.lte = lte;
+        self.nr = nr;
+    }
+
+    /// The architecture this connection runs under.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Current serving LTE cell.
+    pub fn serving_lte(&self) -> Option<CellId> {
+        self.lte
+    }
+
+    /// Current serving NR cell.
+    pub fn serving_nr(&self) -> Option<CellId> {
+        self.nr
+    }
+
+    /// Count of handovers started so far.
+    pub fn ho_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// True when a HO is being prepared or executed (new decisions are
+    /// deferred by the network until the current one finishes).
+    pub fn busy(&self) -> bool {
+        !matches!(self.phase, Phase::Idle) || !self.queue.is_empty()
+    }
+
+    /// Connection snapshot for the link layer.
+    pub fn connection(&self) -> ConnectionState {
+        let (lte_i, nr_i) = match &self.phase {
+            Phase::Executing { record, .. } => {
+                let (l, n) = record.ho_type.interrupts();
+                (l, n)
+            }
+            _ => (false, false),
+        };
+        ConnectionState {
+            lte: self.lte,
+            nr: self.nr,
+            lte_interrupted: lte_i,
+            nr_interrupted: nr_i,
+        }
+    }
+
+    /// Begins a handover decided by the policy at time `t`.
+    ///
+    /// `target` is the resolved target cell (`None` for SCGR). Does nothing
+    /// if a HO is already in flight (`busy()`); callers should check first.
+    pub fn start(&mut self, action: ReconfigAction, target: Option<CellId>, trigger_phase: Vec<MeasEvent>, deployment: &Deployment, t: f64) {
+        if self.busy() {
+            return;
+        }
+        // NSA: an anchor change that abandons the gNB forces the SCG out first.
+        if self.arch == Arch::Nsa && self.nr.is_some() {
+            if let ReconfigAction::LteHandover { .. } = action {
+                self.queue.push_back((action, target, Vec::new()));
+                self.begin(ReconfigAction::ScgRelease, None, trigger_phase, deployment, t);
+                return;
+            }
+        }
+        self.begin(action, target, trigger_phase, deployment, t);
+    }
+
+    fn begin(&mut self, action: ReconfigAction, target: Option<CellId>, trigger_phase: Vec<MeasEvent>, deployment: &Deployment, t: f64) {
+        let ho_type = HoType::from_action(&action);
+        // band class of the NR leg: the serving NR cell, or the target for SCGA
+        let nr_ref = self.nr.or(if ho_type == HoType::Scga || ho_type == HoType::Mcgh { target } else { None });
+        let nr_band = nr_ref.map(|c| deployment.cell(c).band.class());
+        let co_located = nr_ref.map(|c| deployment.gnb_co_located(c)).unwrap_or(true);
+        let source_lte = self.lte.map(|c| deployment.cell(c).pci);
+        let source_nr = self.nr.map(|c| deployment.cell(c).pci);
+        let same_pci = match (source_lte, source_nr) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        let band_for_stage = nr_band.unwrap_or(BandClass::Mid);
+        let stages = self.stage_model.sample(self.seq, ho_type, self.arch, band_for_stage, co_located);
+        self.seq += 1;
+        let record = PendingRecord {
+            ho_type,
+            arch: self.arch,
+            nr_band,
+            t_decision: t,
+            stages,
+            source_lte,
+            source_nr,
+            target_pci: target.map(|c| deployment.cell(c).pci),
+            co_located,
+            same_pci,
+            trigger_phase,
+        };
+        self.phase = Phase::Preparing {
+            until: t + stages.t1_ms / 1000.0,
+            action,
+            target,
+            record: Box::new(record),
+        };
+    }
+
+    /// Advances to time `t`, returning any signaling/completion events.
+    pub fn step(&mut self, t: f64, deployment: &Deployment) -> Vec<HoEvent> {
+        let mut out = Vec::new();
+        loop {
+            match std::mem::replace(&mut self.phase, Phase::Idle) {
+                Phase::Idle => break,
+                Phase::Preparing { until, action, target, record } => {
+                    if t + 1e-9 < until {
+                        self.phase = Phase::Preparing { until, action, target, record };
+                        break;
+                    }
+                    out.push(HoEvent::CommandSent(RrcMessage::RrcReconfiguration { action }));
+                    let t2_end = until + record.stages.t2_ms / 1000.0;
+                    self.phase = Phase::Executing { until: t2_end, action, target, record };
+                }
+                Phase::Executing { until, action, target, record } => {
+                    if t + 1e-9 < until {
+                        self.phase = Phase::Executing { until, action, target, record };
+                        break;
+                    }
+                    self.apply(&action, target);
+                    let rec = HandoverRecord {
+                        ho_type: record.ho_type,
+                        arch: record.arch,
+                        nr_band: record.nr_band,
+                        t_decision: record.t_decision,
+                        t_command: until - record.stages.t2_ms / 1000.0,
+                        t_complete: until,
+                        stages: record.stages,
+                        source_lte: record.source_lte,
+                        source_nr: record.source_nr,
+                        target: record.target_pci,
+                        co_located: record.co_located,
+                        same_pci: record.same_pci,
+                        trigger_phase: record.trigger_phase,
+                        interrupts: record.ho_type.interrupts(),
+                    };
+                    let signaling = vec![
+                        RrcMessage::Rach { kind: RachKind::Preamble },
+                        RrcMessage::Rach { kind: RachKind::Response },
+                        RrcMessage::RrcReconfigurationComplete,
+                    ];
+                    out.push(HoEvent::Completed(rec, signaling));
+                    // chain any queued follow-up (the LTEH behind a forced SCGR)
+                    if let Some((action, target, phase)) = self.queue.pop_front() {
+                        self.begin(action, target, phase, deployment, until);
+                        // loop again: the new HO may also be due at `t`
+                        continue;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&mut self, action: &ReconfigAction, target: Option<CellId>) {
+        match action {
+            ReconfigAction::LteHandover { .. } | ReconfigAction::MenbHandover { .. } => {
+                self.lte = target.or(self.lte);
+            }
+            ReconfigAction::ScgAddition { .. }
+            | ReconfigAction::ScgModification { .. }
+            | ReconfigAction::ScgChange { .. } => {
+                self.nr = target.or(self.nr);
+            }
+            ReconfigAction::ScgRelease => {
+                self.nr = None;
+            }
+            ReconfigAction::McgHandover { .. } => {
+                self.nr = target.or(self.nr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::{Carrier, Environment};
+    use fiveg_geo::{routes, Point};
+
+    fn deployment() -> Deployment {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 15_000.0);
+        Deployment::generate(&route, Carrier::OpX, Environment::Freeway, Arch::Nsa, 7)
+    }
+
+    fn run_until_complete(sm: &mut RanStateMachine, d: &Deployment, mut t: f64) -> (HandoverRecord, f64) {
+        for _ in 0..10_000 {
+            t += 0.01;
+            for ev in sm.step(t, d) {
+                if let HoEvent::Completed(rec, _) = ev {
+                    return (rec, t);
+                }
+            }
+        }
+        panic!("HO never completed");
+    }
+
+    #[test]
+    fn scga_attaches_nr() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 1);
+        sm.attach(Some(d.lte_cells()[0]), None);
+        let nr = d.nr_cells()[0];
+        sm.start(
+            ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci },
+            Some(nr),
+            vec![],
+            &d,
+            0.0,
+        );
+        assert!(sm.busy());
+        let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
+        assert_eq!(rec.ho_type, HoType::Scga);
+        assert_eq!(sm.serving_nr(), Some(nr));
+        assert!(!sm.busy());
+    }
+
+    #[test]
+    fn command_precedes_completion() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 2);
+        sm.attach(Some(d.lte_cells()[0]), None);
+        let nr = d.nr_cells()[0];
+        sm.start(ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci }, Some(nr), vec![], &d, 0.0);
+        let mut got_command = false;
+        let mut t = 0.0;
+        'outer: for _ in 0..10_000 {
+            t += 0.01;
+            for ev in sm.step(t, &d) {
+                match ev {
+                    HoEvent::CommandSent(msg) => {
+                        assert_eq!(msg.name(), "RRCReconfiguration");
+                        got_command = true;
+                    }
+                    HoEvent::Completed(rec, signaling) => {
+                        assert!(got_command, "command must come first");
+                        assert!(rec.t_command > rec.t_decision);
+                        assert!(rec.t_complete > rec.t_command);
+                        assert_eq!(signaling.len(), 3);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(got_command);
+    }
+
+    #[test]
+    fn scgr_detaches_nr() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 3);
+        sm.attach(Some(d.lte_cells()[0]), Some(d.nr_cells()[0]));
+        sm.start(ReconfigAction::ScgRelease, None, vec![], &d, 0.0);
+        let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
+        assert_eq!(rec.ho_type, HoType::Scgr);
+        assert_eq!(sm.serving_nr(), None);
+    }
+
+    #[test]
+    fn lteh_with_scg_forces_release_first() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 4);
+        let lte0 = d.lte_cells()[0];
+        let lte1 = d.lte_cells()[1];
+        sm.attach(Some(lte0), Some(d.nr_cells()[0]));
+        sm.start(
+            ReconfigAction::LteHandover { target: d.cell(lte1).pci },
+            Some(lte1),
+            vec![],
+            &d,
+            0.0,
+        );
+        // first completion must be the SCGR
+        let (rec1, t1) = run_until_complete(&mut sm, &d, 0.0);
+        assert_eq!(rec1.ho_type, HoType::Scgr);
+        assert_eq!(sm.serving_nr(), None);
+        assert!(sm.busy(), "LTEH must still be queued");
+        let (rec2, _) = run_until_complete(&mut sm, &d, t1);
+        assert_eq!(rec2.ho_type, HoType::Lteh);
+        assert_eq!(sm.serving_lte(), Some(lte1));
+    }
+
+    #[test]
+    fn mnbh_keeps_scg() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 5);
+        let nr = d.nr_cells()[0];
+        let lte1 = d.lte_cells()[1];
+        sm.attach(Some(d.lte_cells()[0]), Some(nr));
+        sm.start(
+            ReconfigAction::MenbHandover { target: d.cell(lte1).pci },
+            Some(lte1),
+            vec![],
+            &d,
+            0.0,
+        );
+        let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
+        assert_eq!(rec.ho_type, HoType::Mnbh);
+        assert_eq!(sm.serving_nr(), Some(nr), "MNBH keeps the gNB");
+        assert_eq!(sm.serving_lte(), Some(lte1));
+    }
+
+    #[test]
+    fn interruption_only_during_execution() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 6);
+        sm.attach(Some(d.lte_cells()[0]), Some(d.nr_cells()[0]));
+        let nr2 = *d
+            .nr_cells()
+            .iter()
+            .find(|&&c| !d.same_gnb(c, d.nr_cells()[0]))
+            .unwrap();
+        sm.start(
+            ReconfigAction::ScgChange { nr_target: d.cell(nr2).pci },
+            Some(nr2),
+            vec![],
+            &d,
+            0.0,
+        );
+        // during preparation: no interruption
+        let _ = sm.step(0.001, &d);
+        let c = sm.connection();
+        assert!(!c.nr_interrupted && !c.lte_interrupted);
+        // walk into execution
+        let mut t = 0.0;
+        let mut saw_exec_interrupt = false;
+        for _ in 0..10_000 {
+            t += 0.005;
+            let evs = sm.step(t, &d);
+            let conn = sm.connection();
+            if conn.nr_interrupted {
+                saw_exec_interrupt = true;
+                // SCGC is a 5G HO: LTE must keep flowing
+                assert!(!conn.lte_interrupted);
+            }
+            if evs.iter().any(|e| matches!(e, HoEvent::Completed(..))) {
+                break;
+            }
+        }
+        assert!(saw_exec_interrupt);
+    }
+
+    #[test]
+    fn busy_machine_ignores_new_starts() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 7);
+        sm.attach(Some(d.lte_cells()[0]), None);
+        let nr = d.nr_cells()[0];
+        sm.start(ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci }, Some(nr), vec![], &d, 0.0);
+        let count = sm.ho_count();
+        sm.start(ReconfigAction::ScgRelease, None, vec![], &d, 0.0);
+        assert_eq!(sm.ho_count(), count, "second start must be ignored while busy");
+    }
+
+    #[test]
+    fn record_same_pci_reflects_colocation_convention() {
+        let d = deployment();
+        // find a co-located NR cell (shares PCI with its eNB)
+        let co = d.nr_cells().iter().find(|&&c| d.gnb_co_located(c)).copied();
+        if let Some(nr) = co {
+            let enb_tower = d.assoc_enb_tower(nr);
+            let lte_cell = d.towers[enb_tower.0 as usize]
+                .cells
+                .iter()
+                .find(|&&c| !d.cell(c).is_nr())
+                .copied()
+                .unwrap();
+            let mut sm = RanStateMachine::new(Arch::Nsa, 8);
+            sm.attach(Some(lte_cell), Some(nr));
+            sm.start(ReconfigAction::ScgRelease, None, vec![], &d, 0.0);
+            let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
+            assert_eq!(rec.same_pci, d.cell(lte_cell).pci == d.cell(nr).pci);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::carrier::{Carrier, Environment};
+    use fiveg_geo::{routes, Point};
+    use proptest::prelude::*;
+
+    fn deployment() -> Deployment {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 12_000.0);
+        Deployment::generate(&route, Carrier::OpX, Environment::Freeway, Arch::Nsa, 3)
+    }
+
+    /// Random mobility decisions applied through the state machine keep its
+    /// invariants: records never overlap, SCG presence matches the action
+    /// semantics, and the machine always becomes idle again.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Scga(usize),
+        Scgr,
+        Scgm(usize),
+        Mnbh(usize),
+        Lteh(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..64).prop_map(Op::Scga),
+            Just(Op::Scgr),
+            (0usize..64).prop_map(Op::Scgm),
+            (0usize..64).prop_map(Op::Mnbh),
+            (0usize..64).prop_map(Op::Lteh),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_action_sequences_preserve_invariants(ops in proptest::collection::vec(arb_op(), 1..20)) {
+            let d = deployment();
+            let nr_cells = d.nr_cells();
+            let lte_cells = d.lte_cells();
+            let mut sm = RanStateMachine::new(Arch::Nsa, 9);
+            sm.attach(Some(lte_cells[0]), None);
+            let mut t = 0.0;
+            let mut records: Vec<HandoverRecord> = Vec::new();
+            for op in &ops {
+                // drive the machine to idle first
+                for _ in 0..20_000 {
+                    if !sm.busy() {
+                        break;
+                    }
+                    t += 0.01;
+                    for ev in sm.step(t, &d) {
+                        if let HoEvent::Completed(rec, _) = ev {
+                            records.push(rec);
+                        }
+                    }
+                }
+                prop_assert!(!sm.busy(), "machine must drain");
+                let (action, target) = match *op {
+                    Op::Scga(i) => {
+                        if sm.serving_nr().is_some() { continue; }
+                        let c = nr_cells[i % nr_cells.len()];
+                        (ReconfigAction::ScgAddition { nr_target: d.cell(c).pci }, Some(c))
+                    }
+                    Op::Scgr => {
+                        if sm.serving_nr().is_none() { continue; }
+                        (ReconfigAction::ScgRelease, None)
+                    }
+                    Op::Scgm(i) => {
+                        if sm.serving_nr().is_none() { continue; }
+                        let c = nr_cells[i % nr_cells.len()];
+                        (ReconfigAction::ScgModification { nr_target: d.cell(c).pci }, Some(c))
+                    }
+                    Op::Mnbh(i) => {
+                        let c = lte_cells[i % lte_cells.len()];
+                        (ReconfigAction::MenbHandover { target: d.cell(c).pci }, Some(c))
+                    }
+                    Op::Lteh(i) => {
+                        let c = lte_cells[i % lte_cells.len()];
+                        (ReconfigAction::LteHandover { target: d.cell(c).pci }, Some(c))
+                    }
+                };
+                sm.start(action, target, vec![], &d, t);
+            }
+            // drain the tail
+            for _ in 0..40_000 {
+                if !sm.busy() {
+                    break;
+                }
+                t += 0.01;
+                for ev in sm.step(t, &d) {
+                    if let HoEvent::Completed(rec, _) = ev {
+                        records.push(rec);
+                    }
+                }
+            }
+            prop_assert!(!sm.busy());
+            // invariants over the record stream
+            for w in records.windows(2) {
+                prop_assert!(w[0].t_complete <= w[1].t_decision + 1e-9, "records must not overlap");
+            }
+            for r in &records {
+                prop_assert!(r.t_decision < r.t_command && r.t_command < r.t_complete);
+                // an LTEH recorded while an SCG existed is impossible: the
+                // machine releases first
+                if r.ho_type == HoType::Lteh {
+                    prop_assert!(r.source_nr.is_none(), "LTEH must never carry an SCG");
+                }
+            }
+        }
+    }
+}

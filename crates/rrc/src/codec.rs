@@ -1,0 +1,482 @@
+//! Compact binary codec for [`RrcMessage`].
+//!
+//! Real RRC messages are ASN.1 PER; we use a hand-rolled fixed-point binary
+//! format in the same spirit (small, deterministic, field-packed). The point
+//! is that §5.1's signaling-overhead comparison counts *encoded bytes*, not
+//! abstract message tallies, so every message must round-trip through a real
+//! wire representation.
+//!
+//! Format (all multi-byte integers big-endian):
+//!
+//! ```text
+//! tag:u8  body...
+//! 0x01 MeasConfig:        n:u8, n × EventConfig(14 bytes)
+//! 0x02 MeasurementReport: event(2), serving_pci:u16, rrs(6), n:u8, n × (pci:u16, rrs(6))
+//! 0x03 RrcReconfiguration: action_tag:u8, [target:u16]
+//! 0x04 RrcReconfigurationComplete
+//! 0x05 Rach: kind:u8
+//! ```
+//!
+//! dB/dBm quantities are encoded as `i16` centi-dB (`x * 100`), which covers
+//! the full RRS range with 0.01 dB resolution.
+
+use crate::events::{EventConfig, EventKind, EventRat, MeasEvent, MeasQuantity};
+use crate::messages::{NeighborMeas, Pci, RachKind, ReconfigAction, RrcMessage};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fiveg_radio::Rrs;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-message.
+    Truncated,
+    /// Unknown message/action/event tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_db(buf: &mut BytesMut, v: f64) {
+    buf.put_i16((v * 100.0).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16);
+}
+
+fn get_db(buf: &mut Bytes) -> Result<f64, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_i16() as f64 / 100.0)
+}
+
+fn put_rrs(buf: &mut BytesMut, r: &Rrs) {
+    put_db(buf, r.rsrp_dbm);
+    put_db(buf, r.rsrq_db);
+    put_db(buf, r.sinr_db);
+}
+
+fn get_rrs(buf: &mut Bytes) -> Result<Rrs, CodecError> {
+    Ok(Rrs { rsrp_dbm: get_db(buf)?, rsrq_db: get_db(buf)?, sinr_db: get_db(buf)? })
+}
+
+fn event_tag(e: &MeasEvent) -> [u8; 2] {
+    let rat = match e.rat {
+        EventRat::Lte => 0u8,
+        EventRat::Nr => 1u8,
+    };
+    let kind = match e.kind {
+        EventKind::A1 => 1,
+        EventKind::A2 => 2,
+        EventKind::A3 => 3,
+        EventKind::A4 => 4,
+        EventKind::A5 => 5,
+        EventKind::B1 => 6,
+        EventKind::Periodic => 7,
+    };
+    [rat, kind]
+}
+
+fn parse_event(rat: u8, kind: u8) -> Result<MeasEvent, CodecError> {
+    let rat = match rat {
+        0 => EventRat::Lte,
+        1 => EventRat::Nr,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let kind = match kind {
+        1 => EventKind::A1,
+        2 => EventKind::A2,
+        3 => EventKind::A3,
+        4 => EventKind::A4,
+        5 => EventKind::A5,
+        6 => EventKind::B1,
+        7 => EventKind::Periodic,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(MeasEvent { rat, kind })
+}
+
+fn get_event(buf: &mut Bytes) -> Result<MeasEvent, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let rat = buf.get_u8();
+    let kind = buf.get_u8();
+    parse_event(rat, kind)
+}
+
+fn put_event_config(buf: &mut BytesMut, c: &EventConfig) {
+    buf.put_slice(&event_tag(&c.event));
+    buf.put_u8(match c.quantity {
+        MeasQuantity::Rsrp => 0,
+        MeasQuantity::Rsrq => 1,
+        MeasQuantity::Sinr => 2,
+    });
+    put_db(buf, c.threshold_dbm);
+    put_db(buf, c.threshold2_dbm);
+    put_db(buf, c.offset_db);
+    put_db(buf, c.hysteresis_db);
+    buf.put_u16(c.ttt_ms.min(u16::MAX as u32) as u16);
+    buf.put_u8(0); // reserved
+}
+
+fn get_event_config(buf: &mut Bytes) -> Result<EventConfig, CodecError> {
+    let event = get_event(buf)?;
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let quantity = match buf.get_u8() {
+        0 => MeasQuantity::Rsrp,
+        1 => MeasQuantity::Rsrq,
+        2 => MeasQuantity::Sinr,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let threshold_dbm = get_db(buf)?;
+    let threshold2_dbm = get_db(buf)?;
+    let offset_db = get_db(buf)?;
+    let hysteresis_db = get_db(buf)?;
+    if buf.remaining() < 3 {
+        return Err(CodecError::Truncated);
+    }
+    let ttt_ms = buf.get_u16() as u32;
+    let _reserved = buf.get_u8();
+    Ok(EventConfig { event, quantity, threshold_dbm, threshold2_dbm, offset_db, hysteresis_db, ttt_ms })
+}
+
+fn put_action(buf: &mut BytesMut, a: &ReconfigAction) {
+    match a {
+        ReconfigAction::LteHandover { target } => {
+            buf.put_u8(0);
+            buf.put_u16(target.0);
+        }
+        ReconfigAction::ScgAddition { nr_target } => {
+            buf.put_u8(1);
+            buf.put_u16(nr_target.0);
+        }
+        ReconfigAction::ScgRelease => buf.put_u8(2),
+        ReconfigAction::ScgModification { nr_target } => {
+            buf.put_u8(3);
+            buf.put_u16(nr_target.0);
+        }
+        ReconfigAction::ScgChange { nr_target } => {
+            buf.put_u8(4);
+            buf.put_u16(nr_target.0);
+        }
+        ReconfigAction::MenbHandover { target } => {
+            buf.put_u8(5);
+            buf.put_u16(target.0);
+        }
+        ReconfigAction::McgHandover { target } => {
+            buf.put_u8(6);
+            buf.put_u16(target.0);
+        }
+    }
+}
+
+fn get_action(buf: &mut Bytes) -> Result<ReconfigAction, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let pci = |buf: &mut Bytes| -> Result<Pci, CodecError> {
+        if buf.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(Pci(buf.get_u16()))
+    };
+    Ok(match tag {
+        0 => ReconfigAction::LteHandover { target: pci(buf)? },
+        1 => ReconfigAction::ScgAddition { nr_target: pci(buf)? },
+        2 => ReconfigAction::ScgRelease,
+        3 => ReconfigAction::ScgModification { nr_target: pci(buf)? },
+        4 => ReconfigAction::ScgChange { nr_target: pci(buf)? },
+        5 => ReconfigAction::MenbHandover { target: pci(buf)? },
+        6 => ReconfigAction::McgHandover { target: pci(buf)? },
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+/// Encodes a message to its wire representation.
+pub fn encode(msg: &RrcMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    match msg {
+        RrcMessage::MeasConfig { configs } => {
+            buf.put_u8(0x01);
+            buf.put_u8(configs.len().min(255) as u8);
+            for c in configs.iter().take(255) {
+                put_event_config(&mut buf, c);
+            }
+        }
+        RrcMessage::MeasurementReport { event, serving_pci, serving_rrs, neighbors } => {
+            buf.put_u8(0x02);
+            buf.put_slice(&event_tag(event));
+            buf.put_u16(serving_pci.0);
+            put_rrs(&mut buf, serving_rrs);
+            buf.put_u8(neighbors.len().min(255) as u8);
+            for n in neighbors.iter().take(255) {
+                buf.put_u16(n.pci.0);
+                put_rrs(&mut buf, &n.rrs);
+            }
+        }
+        RrcMessage::RrcReconfiguration { action } => {
+            buf.put_u8(0x03);
+            put_action(&mut buf, action);
+        }
+        RrcMessage::RrcReconfigurationComplete => buf.put_u8(0x04),
+        RrcMessage::Rach { kind } => {
+            buf.put_u8(0x05);
+            buf.put_u8(match kind {
+                RachKind::Preamble => 0,
+                RachKind::Response => 1,
+            });
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a message from its wire representation.
+///
+/// Trailing bytes after a complete message are rejected as [`CodecError::Truncated`]'s
+/// dual — we require exact framing, so any residue means corruption.
+pub fn decode(mut data: Bytes) -> Result<RrcMessage, CodecError> {
+    if data.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = data.get_u8();
+    let msg = match tag {
+        0x01 => {
+            if data.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            let n = data.get_u8() as usize;
+            let mut configs = Vec::with_capacity(n);
+            for _ in 0..n {
+                configs.push(get_event_config(&mut data)?);
+            }
+            RrcMessage::MeasConfig { configs }
+        }
+        0x02 => {
+            let event = get_event(&mut data)?;
+            if data.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let serving_pci = Pci(data.get_u16());
+            let serving_rrs = get_rrs(&mut data)?;
+            if data.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            let n = data.get_u8() as usize;
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                if data.remaining() < 2 {
+                    return Err(CodecError::Truncated);
+                }
+                let pci = Pci(data.get_u16());
+                let rrs = get_rrs(&mut data)?;
+                neighbors.push(NeighborMeas { pci, rrs });
+            }
+            RrcMessage::MeasurementReport { event, serving_pci, serving_rrs, neighbors }
+        }
+        0x03 => RrcMessage::RrcReconfiguration { action: get_action(&mut data)? },
+        0x04 => RrcMessage::RrcReconfigurationComplete,
+        0x05 => {
+            if data.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            let kind = match data.get_u8() {
+                0 => RachKind::Preamble,
+                1 => RachKind::Response,
+                t => return Err(CodecError::BadTag(t)),
+            };
+            RrcMessage::Rach { kind }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    if data.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, MeasEvent};
+
+    fn rrs(rsrp: f64) -> Rrs {
+        Rrs { rsrp_dbm: rsrp, rsrq_db: -11.25, sinr_db: 7.5 }
+    }
+
+    fn sample_messages() -> Vec<RrcMessage> {
+        vec![
+            RrcMessage::MeasConfig {
+                configs: vec![
+                    EventConfig::typical(MeasEvent::lte(EventKind::A2)),
+                    EventConfig::typical(MeasEvent::nr(EventKind::B1)),
+                ],
+            },
+            RrcMessage::MeasurementReport {
+                event: MeasEvent::nr(EventKind::A3),
+                serving_pci: Pci(77),
+                serving_rrs: rrs(-101.5),
+                neighbors: vec![
+                    NeighborMeas { pci: Pci(78), rrs: rrs(-95.0) },
+                    NeighborMeas { pci: Pci(12), rrs: rrs(-99.25) },
+                ],
+            },
+            RrcMessage::RrcReconfiguration { action: ReconfigAction::ScgChange { nr_target: Pci(612) } },
+            RrcMessage::RrcReconfiguration { action: ReconfigAction::ScgRelease },
+            RrcMessage::RrcReconfigurationComplete,
+            RrcMessage::Rach { kind: RachKind::Preamble },
+            RrcMessage::Rach { kind: RachKind::Response },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_message_kinds() {
+        for m in sample_messages() {
+            let bytes = encode(&m);
+            let back = decode(bytes).expect("decode");
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_truncated() {
+        assert_eq!(decode(Bytes::new()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(Bytes::from_static(&[0xFF])), Err(CodecError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn truncated_report_rejected() {
+        let m = &sample_messages()[1];
+        let bytes = encode(m);
+        for cut in 1..bytes.len() {
+            let r = decode(bytes.slice(0..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut v = encode(&RrcMessage::RrcReconfigurationComplete).to_vec();
+        v.push(0xAA);
+        assert!(decode(Bytes::from(v)).is_err());
+    }
+
+    #[test]
+    fn sizes_are_compact() {
+        // Complete: 1 byte. RACH: 2. HO command: <= 4.
+        assert_eq!(encode(&RrcMessage::RrcReconfigurationComplete).len(), 1);
+        assert_eq!(encode(&RrcMessage::Rach { kind: RachKind::Preamble }).len(), 2);
+        assert!(encode(&sample_messages()[2]).len() <= 4);
+    }
+
+    #[test]
+    fn db_resolution_is_centidb() {
+        let m = RrcMessage::MeasurementReport {
+            event: MeasEvent::lte(EventKind::A1),
+            serving_pci: Pci(1),
+            serving_rrs: Rrs { rsrp_dbm: -100.004, rsrq_db: -10.0, sinr_db: 0.0 },
+            neighbors: vec![],
+        };
+        if let RrcMessage::MeasurementReport { serving_rrs, .. } = decode(encode(&m)).unwrap() {
+            assert_eq!(serving_rrs.rsrp_dbm, -100.0);
+        } else {
+            unreachable!()
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::events::{EventKind, EventRat, MeasEvent, MeasQuantity};
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = MeasEvent> {
+        (
+            prop_oneof![Just(EventRat::Lte), Just(EventRat::Nr)],
+            prop_oneof![
+                Just(EventKind::A1), Just(EventKind::A2), Just(EventKind::A3),
+                Just(EventKind::A4), Just(EventKind::A5), Just(EventKind::B1),
+                Just(EventKind::Periodic)
+            ],
+        )
+            .prop_map(|(rat, kind)| MeasEvent { rat, kind })
+    }
+
+    // centi-dB grid values survive the fixed-point codec exactly
+    fn arb_db() -> impl Strategy<Value = f64> {
+        (-14000i32..0).prop_map(|x| x as f64 / 100.0)
+    }
+
+    fn arb_rrs() -> impl Strategy<Value = Rrs> {
+        (arb_db(), arb_db(), arb_db()).prop_map(|(a, b, c)| Rrs { rsrp_dbm: a, rsrq_db: b, sinr_db: c })
+    }
+
+    fn arb_msg() -> impl Strategy<Value = RrcMessage> {
+        prop_oneof![
+            (arb_event(), any::<u16>(), arb_rrs(), proptest::collection::vec((any::<u16>(), arb_rrs()), 0..8))
+                .prop_map(|(event, pci, rrs, ns)| RrcMessage::MeasurementReport {
+                    event,
+                    serving_pci: Pci(pci),
+                    serving_rrs: rrs,
+                    neighbors: ns.into_iter().map(|(p, r)| NeighborMeas { pci: Pci(p), rrs: r }).collect(),
+                }),
+            (0u8..7, any::<u16>()).prop_map(|(tag, pci)| {
+                let p = Pci(pci);
+                RrcMessage::RrcReconfiguration {
+                    action: match tag {
+                        0 => ReconfigAction::LteHandover { target: p },
+                        1 => ReconfigAction::ScgAddition { nr_target: p },
+                        2 => ReconfigAction::ScgRelease,
+                        3 => ReconfigAction::ScgModification { nr_target: p },
+                        4 => ReconfigAction::ScgChange { nr_target: p },
+                        5 => ReconfigAction::MenbHandover { target: p },
+                        _ => ReconfigAction::McgHandover { target: p },
+                    },
+                }
+            }),
+            (arb_event(), arb_db(), arb_db(), arb_db(), 0u32..65535).prop_map(
+                |(event, t1, t2, off, ttt)| RrcMessage::MeasConfig {
+                    configs: vec![EventConfig {
+                        event,
+                        quantity: MeasQuantity::Rsrp,
+                        threshold_dbm: t1,
+                        threshold2_dbm: t2,
+                        offset_db: off,
+                        hysteresis_db: 1.0,
+                        ttt_ms: ttt,
+                    }],
+                }
+            ),
+            Just(RrcMessage::RrcReconfigurationComplete),
+            Just(RrcMessage::Rach { kind: RachKind::Preamble }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(msg in arb_msg()) {
+            let bytes = encode(&msg);
+            let back = decode(bytes).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode(Bytes::from(data));
+        }
+    }
+}

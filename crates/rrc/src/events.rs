@@ -1,0 +1,269 @@
+//! Measurement events (Table 4) and their trigger conditions.
+//!
+//! | Event | Description | Trigger |
+//! |-------|-------------|---------|
+//! | A1 | serving better than threshold | `Ms > thr` |
+//! | A2 | serving worse than threshold | `Mp < thr` |
+//! | A3/A6 | neighbor offset-better than serving | `Mn > Mp + off` |
+//! | A4/B1 | (inter-RAT) neighbor better than threshold | `Mn > thr` |
+//! | A5 | serving worse than thr1 AND neighbor better than thr2 | both |
+//! | P | periodic report | n/a |
+//!
+//! Events carry the radio technology they were configured for: NSA UEs run
+//! LTE events on the MCG and NR events (NR-A2, NR-A3, NR-B1 in the paper's
+//! Fig. 16) on the SCG. Hysteresis and time-to-trigger (TTT) are applied by
+//! the measurement engine in `fiveg-ran`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which RAT an event is configured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventRat {
+    /// Event over LTE measurements (serving/neighbor eNB cells).
+    Lte,
+    /// Event over 5G-NR measurements (serving/neighbor gNB cells).
+    Nr,
+}
+
+/// The 3GPP measurement event family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Serving becomes better than threshold.
+    A1,
+    /// Serving becomes worse than threshold.
+    A2,
+    /// Neighbor becomes offset better than serving (A6 behaves identically).
+    A3,
+    /// Neighbor becomes better than threshold (intra-RAT flavour of B1).
+    A4,
+    /// Serving worse than threshold-1 and neighbor better than threshold-2.
+    A5,
+    /// Inter-RAT neighbor becomes better than threshold.
+    B1,
+    /// Periodic report (no trigger condition).
+    Periodic,
+}
+
+/// A measurement event identity: RAT + kind, e.g. "NR-A3" or "A5".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MeasEvent {
+    /// The RAT whose measurements this event observes.
+    pub rat: EventRat,
+    /// The event family.
+    pub kind: EventKind,
+}
+
+impl MeasEvent {
+    /// LTE-side event.
+    pub const fn lte(kind: EventKind) -> Self {
+        Self { rat: EventRat::Lte, kind }
+    }
+
+    /// NR-side event.
+    pub const fn nr(kind: EventKind) -> Self {
+        Self { rat: EventRat::Nr, kind }
+    }
+
+    /// Paper-style label, e.g. `A3`, `NR-B1`.
+    pub fn label(&self) -> String {
+        match self.rat {
+            EventRat::Lte => format!("{:?}", self.kind),
+            EventRat::Nr => format!("NR-{:?}", self.kind),
+        }
+    }
+}
+
+/// Which measured quantity the event compares (RSRP by default in our
+/// deployments, matching common carrier configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MeasQuantity {
+    /// Reference Signal Received Power.
+    #[default]
+    Rsrp,
+    /// Reference Signal Received Quality.
+    Rsrq,
+    /// Signal to Interference & Noise Ratio.
+    Sinr,
+}
+
+/// Configuration of one measurement event, as delivered in `MeasConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventConfig {
+    /// The event this config arms.
+    pub event: MeasEvent,
+    /// Quantity compared by the trigger condition.
+    pub quantity: MeasQuantity,
+    /// Primary threshold (dBm for RSRP), used by A1/A2/A4/B1 and as the
+    /// serving threshold of A5.
+    pub threshold_dbm: f64,
+    /// Secondary threshold: the A5 neighbor threshold. Unused otherwise.
+    pub threshold2_dbm: f64,
+    /// A3/A6 offset in dB.
+    pub offset_db: f64,
+    /// Hysteresis in dB applied to entry conditions.
+    pub hysteresis_db: f64,
+    /// Time-to-trigger in milliseconds: the entry condition must hold this
+    /// long before the report fires.
+    pub ttt_ms: u32,
+}
+
+impl EventConfig {
+    /// A sensible default configuration for `event` (typical commercial
+    /// values: A2 @ -115 dBm, A3 offset 3 dB, B1 @ -110 dBm, TTT 320 ms...).
+    pub fn typical(event: MeasEvent) -> Self {
+        let (threshold_dbm, threshold2_dbm, offset_db, ttt_ms) = match event.kind {
+            EventKind::A1 => (-105.0, 0.0, 0.0, 320),
+            EventKind::A2 => (-115.0, 0.0, 0.0, 320),
+            EventKind::A3 => (0.0, 0.0, 3.0, 320),
+            EventKind::A4 => (-110.0, 0.0, 0.0, 320),
+            EventKind::A5 => (-112.0, -108.0, 0.0, 320),
+            EventKind::B1 => (-110.0, 0.0, 0.0, 160),
+            EventKind::Periodic => (0.0, 0.0, 0.0, 0),
+        };
+        Self {
+            event,
+            quantity: MeasQuantity::Rsrp,
+            threshold_dbm,
+            threshold2_dbm,
+            offset_db,
+            hysteresis_db: 1.0,
+            ttt_ms,
+        }
+    }
+
+    /// Entry condition of Table 4, with hysteresis, evaluated on measured (or
+    /// predicted) values in dBm.
+    ///
+    /// `serving` is the serving-cell quantity; `neighbor` the best candidate
+    /// neighbor's (ignored for A1/A2). Periodic events never "enter".
+    pub fn entered(&self, serving: f64, neighbor: f64) -> bool {
+        let h = self.hysteresis_db;
+        match self.event.kind {
+            EventKind::A1 => serving - h > self.threshold_dbm,
+            EventKind::A2 => serving + h < self.threshold_dbm,
+            EventKind::A3 => neighbor - h > serving + self.offset_db,
+            EventKind::A4 | EventKind::B1 => neighbor - h > self.threshold_dbm,
+            EventKind::A5 => {
+                serving + h < self.threshold_dbm && neighbor - h > self.threshold2_dbm
+            }
+            EventKind::Periodic => false,
+        }
+    }
+
+    /// Leaving condition (the inverse with hysteresis on the other side),
+    /// used to reset the TTT clock.
+    pub fn left(&self, serving: f64, neighbor: f64) -> bool {
+        let h = self.hysteresis_db;
+        match self.event.kind {
+            EventKind::A1 => serving + h < self.threshold_dbm,
+            EventKind::A2 => serving - h > self.threshold_dbm,
+            EventKind::A3 => neighbor + h < serving + self.offset_db,
+            EventKind::A4 | EventKind::B1 => neighbor + h < self.threshold_dbm,
+            EventKind::A5 => {
+                serving - h > self.threshold_dbm || neighbor + h < self.threshold2_dbm
+            }
+            EventKind::Periodic => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: EventKind) -> EventConfig {
+        EventConfig::typical(MeasEvent::lte(kind))
+    }
+
+    #[test]
+    fn a1_triggers_when_serving_strong() {
+        let c = cfg(EventKind::A1);
+        assert!(c.entered(-100.0, -120.0));
+        assert!(!c.entered(-106.0, -120.0));
+    }
+
+    #[test]
+    fn a2_triggers_when_serving_weak() {
+        let c = cfg(EventKind::A2);
+        assert!(c.entered(-120.0, -120.0));
+        assert!(!c.entered(-114.0, -120.0));
+        // hysteresis band: -115.5 + 1.0 = -114.5 < -115? no
+        assert!(!c.entered(-115.5, -120.0));
+    }
+
+    #[test]
+    fn a3_triggers_on_offset_better_neighbor() {
+        let c = cfg(EventKind::A3);
+        assert!(c.entered(-100.0, -95.0)); // 5 dB better > 3 dB offset + 1 hys
+        assert!(!c.entered(-100.0, -98.0)); // only 2 dB better
+    }
+
+    #[test]
+    fn a5_requires_both_conditions() {
+        let c = cfg(EventKind::A5);
+        assert!(c.entered(-115.0, -105.0));
+        assert!(!c.entered(-105.0, -105.0)); // serving still fine
+        assert!(!c.entered(-115.0, -112.0)); // neighbor too weak
+    }
+
+    #[test]
+    fn b1_ignores_serving() {
+        let c = cfg(EventKind::B1);
+        assert!(c.entered(-60.0, -105.0));
+        assert!(c.entered(-140.0, -105.0));
+        assert!(!c.entered(-140.0, -112.0));
+    }
+
+    #[test]
+    fn periodic_never_enters() {
+        let c = cfg(EventKind::Periodic);
+        assert!(!c.entered(-60.0, -60.0));
+        assert!(c.left(-60.0, -60.0));
+    }
+
+    #[test]
+    fn entry_and_leave_are_separated_by_hysteresis() {
+        let c = cfg(EventKind::A2);
+        // inside the hysteresis band, neither entered nor left
+        let s = c.threshold_dbm; // exactly at threshold
+        assert!(!c.entered(s, -130.0));
+        assert!(!c.left(s, -130.0));
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(MeasEvent::nr(EventKind::B1).label(), "NR-B1");
+        assert_eq!(MeasEvent::lte(EventKind::A5).label(), "A5");
+        assert_eq!(MeasEvent::nr(EventKind::A3).label(), "NR-A3");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = EventKind> {
+        prop_oneof![
+            Just(EventKind::A1),
+            Just(EventKind::A2),
+            Just(EventKind::A3),
+            Just(EventKind::A4),
+            Just(EventKind::A5),
+            Just(EventKind::B1),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn never_entered_and_left_simultaneously(
+            kind in arb_kind(),
+            s in -140.0..-44.0f64,
+            n in -140.0..-44.0f64,
+        ) {
+            let c = EventConfig::typical(MeasEvent::lte(kind));
+            prop_assert!(!(c.entered(s, n) && c.left(s, n)),
+                "{kind:?} both entered and left at s={s} n={n}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! RRC-layer signaling model.
+//!
+//! The paper's methodology reads RRC signaling (measurement reports,
+//! `RRCConnectionReconfiguration` HO commands, event configurations) from the
+//! Qualcomm Diag interface via XCAL (§3) and counts HO-related signaling
+//! messages on the RRC, MAC (RACH) and PHY layers (§5.1). This crate is the
+//! stand-in for that protocol surface:
+//!
+//! * [`events`] — the LTE/NR measurement events of Table 4 (A1–A6, B1,
+//!   periodic), their configurations (thresholds, offsets, hysteresis,
+//!   time-to-trigger) and trigger conditions.
+//! * [`messages`] — the message set exchanged between UE and network:
+//!   `MeasConfig`, `MeasurementReport`, `RrcReconfiguration` (the HO
+//!   command), `RrcReconfigurationComplete` and the RACH pair.
+//! * [`codec`] — a compact, deterministic binary codec (built on [`bytes`])
+//!   so signaling overhead can be accounted in real encoded bytes.
+//! * [`signaling`] — per-layer message/byte tallies (§5.1's comparison of
+//!   LTE vs NSA vs SA signaling overhead).
+
+pub mod codec;
+pub mod events;
+pub mod messages;
+pub mod signaling;
+
+pub use codec::{decode, encode, CodecError};
+pub use events::{EventConfig, EventKind, EventRat, MeasEvent, MeasQuantity};
+pub use messages::{NeighborMeas, Pci, RachKind, ReconfigAction, RrcMessage};
+pub use signaling::{Layer, SignalingTally};

@@ -1,0 +1,179 @@
+//! The UE ⇄ network signaling message set.
+//!
+//! This is the protocol surface the paper observes through XCAL: event
+//! configurations flowing down, measurement reports flowing up, and
+//! reconfiguration (HO command) / complete pairs around every handover,
+//! with the MAC-layer RACH exchange closing the loop (§2, Appendix A.1).
+
+use crate::events::{EventConfig, MeasEvent};
+use fiveg_radio::Rrs;
+use serde::{Deserialize, Serialize};
+
+/// Physical Cell ID — "the identifier used for cells at the physical layer"
+/// (§2). LTE PCIs are 0..=503, NR PCIs 0..=1007; the simulator does not
+/// enforce the numeric range but keeps the 4G/5G spaces disjoint per
+/// deployment so the co-location heuristic (§6.3) is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pci(pub u16);
+
+impl std::fmt::Display for Pci {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PCI{}", self.0)
+    }
+}
+
+/// One neighbor-cell entry of a measurement report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborMeas {
+    /// Neighbor cell identity.
+    pub pci: Pci,
+    /// Measured quality of that neighbor.
+    pub rrs: Rrs,
+}
+
+/// The mobility action carried inside an `RrcReconfiguration`.
+///
+/// This is the wire-level encoding of Table 2's procedures; the semantic
+/// classification (which radio performs the HO, what the access-technology
+/// change is) lives in `fiveg-ran`'s `HoType`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigAction {
+    /// Plain LTE handover to another eNB cell (LTEH — also used under NSA).
+    LteHandover {
+        /// Target eNB cell.
+        target: Pci,
+    },
+    /// SCG Addition: attach 5G-NR cell to the LTE connection (4G→5G).
+    ScgAddition {
+        /// The NR cell being added.
+        nr_target: Pci,
+    },
+    /// SCG Release: drop the NR leg (5G→4G).
+    ScgRelease,
+    /// SCG Modification: switch NR cells within the same gNB (5G→5G over 5G).
+    ScgModification {
+        /// The new NR cell within the same gNB.
+        nr_target: Pci,
+    },
+    /// SCG Change: release + addition to move between gNBs (5G→4G→5G).
+    ScgChange {
+        /// The NR cell under the destination gNB.
+        nr_target: Pci,
+    },
+    /// Master-eNB handover: LTE anchor changes while the gNB stays (NSA).
+    MenbHandover {
+        /// Target eNB cell.
+        target: Pci,
+    },
+    /// MCG handover in SA 5G: NR cell to NR cell.
+    McgHandover {
+        /// Target NR cell.
+        target: Pci,
+    },
+}
+
+/// RACH procedure messages (MAC layer, counted in §5.1's signaling tally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RachKind {
+    /// Msg1: preamble transmission on PRACH.
+    Preamble,
+    /// Msg2: random access response.
+    Response,
+}
+
+/// An RRC/MAC-layer signaling message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RrcMessage {
+    /// Downlink: arms measurement events on the UE.
+    MeasConfig {
+        /// The configured events.
+        configs: Vec<EventConfig>,
+    },
+    /// Uplink: a triggered measurement report.
+    MeasurementReport {
+        /// Which event fired.
+        event: MeasEvent,
+        /// Serving cell at the time of the report.
+        serving_pci: Pci,
+        /// Serving-cell quality.
+        serving_rrs: Rrs,
+        /// Reported neighbors, strongest first.
+        neighbors: Vec<NeighborMeas>,
+    },
+    /// Downlink: the HO command.
+    RrcReconfiguration {
+        /// The mobility action to execute.
+        action: ReconfigAction,
+    },
+    /// Uplink: HO completion acknowledgment.
+    RrcReconfigurationComplete,
+    /// MAC-layer random access exchange.
+    Rach {
+        /// Which half of the exchange.
+        kind: RachKind,
+    },
+}
+
+impl RrcMessage {
+    /// Short human-readable name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RrcMessage::MeasConfig { .. } => "MeasConfig",
+            RrcMessage::MeasurementReport { .. } => "MeasurementReport",
+            RrcMessage::RrcReconfiguration { .. } => "RRCReconfiguration",
+            RrcMessage::RrcReconfigurationComplete => "RRCReconfigurationComplete",
+            RrcMessage::Rach { .. } => "RACH",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, MeasEvent};
+
+    #[test]
+    fn pci_display() {
+        assert_eq!(Pci(301).to_string(), "PCI301");
+    }
+
+    #[test]
+    fn message_names() {
+        assert_eq!(
+            RrcMessage::MeasConfig { configs: vec![] }.name(),
+            "MeasConfig"
+        );
+        assert_eq!(
+            RrcMessage::RrcReconfiguration {
+                action: ReconfigAction::ScgRelease
+            }
+            .name(),
+            "RRCReconfiguration"
+        );
+        assert_eq!(RrcMessage::RrcReconfigurationComplete.name(), "RRCReconfigurationComplete");
+        assert_eq!(RrcMessage::Rach { kind: RachKind::Preamble }.name(), "RACH");
+    }
+
+    #[test]
+    fn reconfig_actions_are_distinguishable() {
+        let a = ReconfigAction::ScgChange { nr_target: Pci(5) };
+        let b = ReconfigAction::ScgModification { nr_target: Pci(5) };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn report_carries_event_identity() {
+        let m = RrcMessage::MeasurementReport {
+            event: MeasEvent::nr(EventKind::B1),
+            serving_pci: Pci(1),
+            serving_rrs: Rrs { rsrp_dbm: -100.0, rsrq_db: -10.0, sinr_db: 5.0 },
+            neighbors: vec![],
+        };
+        match m {
+            RrcMessage::MeasurementReport { event, .. } => {
+                assert_eq!(event.label(), "NR-B1");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Signaling overhead accounting (§5.1).
+//!
+//! The paper compares HO-related signaling across technologies and bands:
+//! three RRC message types (Measurement Report, RRC Reconfiguration, RRC
+//! Reconfiguration Complete), the MAC-layer RACH procedure, and PHY-layer
+//! SSB measurements. [`SignalingTally`] counts messages per layer and real
+//! encoded bytes (via [`crate::codec`]).
+
+use crate::codec::encode;
+use crate::messages::RrcMessage;
+use serde::{Deserialize, Serialize};
+
+/// Protocol layer attribution for a signaling message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// RRC control-plane messages.
+    Rrc,
+    /// MAC-layer random access.
+    Mac,
+    /// PHY-layer measurement procedures (SSB/CSI-RS sweeps).
+    Phy,
+}
+
+/// Running tally of signaling load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignalingTally {
+    /// Uplink measurement reports.
+    pub meas_reports: u64,
+    /// Downlink reconfigurations (HO commands + measConfig).
+    pub reconfigurations: u64,
+    /// Uplink reconfiguration-complete acks.
+    pub reconfiguration_completes: u64,
+    /// MAC RACH messages (preambles + responses).
+    pub rach_msgs: u64,
+    /// PHY-layer measurement occasions (SSB sweeps performed).
+    pub phy_meas: u64,
+    /// Total encoded RRC/MAC bytes.
+    pub bytes: u64,
+}
+
+impl SignalingTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message, attributing it to the right counter and adding its
+    /// encoded size to the byte total.
+    pub fn record(&mut self, msg: &RrcMessage) {
+        match msg {
+            RrcMessage::MeasurementReport { .. } => self.meas_reports += 1,
+            RrcMessage::MeasConfig { .. } | RrcMessage::RrcReconfiguration { .. } => {
+                self.reconfigurations += 1
+            }
+            RrcMessage::RrcReconfigurationComplete => self.reconfiguration_completes += 1,
+            RrcMessage::Rach { .. } => self.rach_msgs += 1,
+        }
+        self.bytes += encode(msg).len() as u64;
+    }
+
+    /// Records `n` PHY-layer measurement occasions (not byte-counted; they
+    /// are radio procedures, not messages).
+    pub fn record_phy_meas(&mut self, n: u64) {
+        self.phy_meas += n;
+    }
+
+    /// Total message count across RRC and MAC layers.
+    pub fn total_msgs(&self) -> u64 {
+        self.meas_reports + self.reconfigurations + self.reconfiguration_completes + self.rach_msgs
+    }
+
+    /// Messages attributed to `layer`.
+    pub fn msgs_at(&self, layer: Layer) -> u64 {
+        match layer {
+            Layer::Rrc => self.meas_reports + self.reconfigurations + self.reconfiguration_completes,
+            Layer::Mac => self.rach_msgs,
+            Layer::Phy => self.phy_meas,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &SignalingTally) {
+        self.meas_reports += other.meas_reports;
+        self.reconfigurations += other.reconfigurations;
+        self.reconfiguration_completes += other.reconfiguration_completes;
+        self.rach_msgs += other.rach_msgs;
+        self.phy_meas += other.phy_meas;
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, MeasEvent};
+    use crate::messages::{Pci, RachKind, ReconfigAction};
+    use fiveg_radio::Rrs;
+
+    fn report() -> RrcMessage {
+        RrcMessage::MeasurementReport {
+            event: MeasEvent::lte(EventKind::A3),
+            serving_pci: Pci(1),
+            serving_rrs: Rrs { rsrp_dbm: -100.0, rsrq_db: -10.0, sinr_db: 5.0 },
+            neighbors: vec![],
+        }
+    }
+
+    #[test]
+    fn record_attributes_counters() {
+        let mut t = SignalingTally::new();
+        t.record(&report());
+        t.record(&RrcMessage::RrcReconfiguration { action: ReconfigAction::ScgRelease });
+        t.record(&RrcMessage::RrcReconfigurationComplete);
+        t.record(&RrcMessage::Rach { kind: RachKind::Preamble });
+        t.record(&RrcMessage::Rach { kind: RachKind::Response });
+        assert_eq!(t.meas_reports, 1);
+        assert_eq!(t.reconfigurations, 1);
+        assert_eq!(t.reconfiguration_completes, 1);
+        assert_eq!(t.rach_msgs, 2);
+        assert_eq!(t.total_msgs(), 5);
+        assert_eq!(t.msgs_at(Layer::Rrc), 3);
+        assert_eq!(t.msgs_at(Layer::Mac), 2);
+        assert!(t.bytes > 0);
+    }
+
+    #[test]
+    fn phy_meas_counts_separately() {
+        let mut t = SignalingTally::new();
+        t.record_phy_meas(40);
+        assert_eq!(t.msgs_at(Layer::Phy), 40);
+        assert_eq!(t.total_msgs(), 0);
+        assert_eq!(t.bytes, 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SignalingTally::new();
+        a.record(&report());
+        let mut b = SignalingTally::new();
+        b.record(&report());
+        b.record_phy_meas(3);
+        a.merge(&b);
+        assert_eq!(a.meas_reports, 2);
+        assert_eq!(a.phy_meas, 3);
+    }
+
+    #[test]
+    fn bytes_track_encoded_sizes() {
+        let mut t = SignalingTally::new();
+        let m = report();
+        t.record(&m);
+        assert_eq!(t.bytes, crate::codec::encode(&m).len() as u64);
+    }
+}

@@ -1,0 +1,758 @@
+//! The tick loop: mobility → channel → measurements → policy → HO state
+//! machine → link → trace.
+
+use crate::scenario::{Scenario, Workload};
+use crate::trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};
+use fiveg_geo::Point;
+use fiveg_link::{compose, Bearer, BulkFlow, CbrFlow, DownlinkState, PathOutcome};
+use fiveg_radio::rrs::{compute_rrs, NOISE_FLOOR_DBM};
+use fiveg_radio::{hash2, shannon_capacity_mbps, BandClass, DetRng, Rrs};
+use fiveg_ran::policy::PolicyContext;
+use fiveg_ran::{
+    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, RanStateMachine,
+};
+use fiveg_rrc::{Pci, RrcMessage, SignalingTally};
+use fiveg_ue::{MobilityDriver, RrcConnState};
+use std::collections::HashMap;
+
+/// Fraction of the cell capacity one user gets. High: the paper measures at
+/// low-congestion times on purpose ("including night time: 12am-4am ... we
+/// reduce the impact of crowds and congestion", §9).
+const FAIR_SHARE: f64 = 0.85;
+/// Carrier-aggregation factor for the LTE leg: "a UE can subscribe to
+/// multiple secondary cells for higher bandwidths" (§2); typical US
+/// deployments bond 2–4 LTE component carriers.
+const LTE_CA_FACTOR: f64 = 2.5;
+/// EN-DC aggregation factor for low-band NR legs: thin 10–20 MHz carriers
+/// are always bonded with supplemental carriers in deployment.
+const NR_LOW_CA_FACTOR: f64 = 3.0;
+/// Mid-band NR aggregation (the 60–100 MHz carrier is the capacity).
+const NR_MID_CA_FACTOR: f64 = 1.2;
+/// How far to look for candidate cells, m.
+const SEARCH_RADIUS_M: f64 = 8_000.0;
+/// RSRP below which the serving link fails (radio link failure).
+const RLF_DBM: f64 = -124.0;
+
+/// Measurements of one radio leg at one tick.
+struct LegView {
+    /// Serving measurement (if attached on this leg).
+    serving: Option<Measurement>,
+    /// Strongest other cells, up to 4.
+    neighbors: Vec<Measurement>,
+    /// Serving SINR for the capacity model.
+    serving_sinr_db: f64,
+    /// PCI → cell resolution for this tick.
+    candidates: HashMap<Pci, CellId>,
+}
+
+/// Computes RRS for every relevant cell of one leg.
+/// Minimum carrier frequency for an EN-DC anchor cell, MHz. Under NSA the
+/// LTE leg only anchors on mid-band carriers ("its coupled control plane
+/// (NSA-4C) still uses the mid-band", §6.1).
+const ANCHOR_MIN_FREQ_MHZ: f64 = 1700.0;
+
+fn leg_view(d: &Deployment, pos: &Point, t: f64, nr: bool, serving: Option<CellId>, anchor_only: bool) -> LegView {
+    let mut all = d.strongest(pos, t, nr, SEARCH_RADIUS_M);
+    if anchor_only {
+        all.retain(|&(id, _)| d.cell(id).band.freq_mhz >= ANCHOR_MIN_FREQ_MHZ);
+    }
+    // UEs measure each configured carrier frequency separately: keep the
+    // top-3 cells per band so a strong band cannot crowd the others out of
+    // the measured set (inter-frequency events need those entries).
+    let mut per_band: HashMap<&str, usize> = HashMap::new();
+    let mut ranked: Vec<(CellId, f64)> = Vec::with_capacity(12);
+    for (id, rx) in all {
+        let n = per_band.entry(d.cell(id).band.name).or_insert(0);
+        if *n < 3 {
+            *n += 1;
+            ranked.push((id, rx));
+        }
+        if ranked.len() >= 12 {
+            break;
+        }
+    }
+    // make sure the serving cell is present even if it fell out of the top-8
+    if let Some(s) = serving {
+        if !ranked.iter().any(|(id, _)| *id == s) {
+            ranked.push((s, d.cell(s).rx_dbm(pos, t)));
+        }
+    }
+    let rrs_of = |id: CellId, rx: f64| -> Rrs {
+        let me = d.cell(id);
+        // Co-channel interference: same band only, scaled by the neighbor
+        // activity factor — interfering cells do not transmit full power on
+        // the UE's resource blocks all the time (scheduling + load).
+        const ACTIVITY_DB: f64 = -5.5; // ≈ 28% duty on the interfered PRBs
+        let interferers: Vec<f64> = ranked
+            .iter()
+            .filter(|(other, _)| *other != id && d.cell(*other).band.name == me.band.name)
+            .map(|&(_, orx)| orx + ACTIVITY_DB)
+            .collect();
+        let noise = NOISE_FLOOR_DBM + 10.0 * (me.band.bandwidth_mhz / 20.0).log10();
+        compute_rrs(rx, &interferers, noise)
+    };
+
+    let mut candidates = HashMap::new();
+    for &(id, _) in &ranked {
+        candidates.entry(d.cell(id).pci).or_insert(id);
+    }
+
+    let group_of = |id: CellId| -> Option<u32> {
+        // NR cells under NSA carry their gNB (tower) as the A3 measurement
+        // group; SA and LTE measure across sites
+        if nr && d.arch == fiveg_ran::Arch::Nsa {
+            Some(d.cell(id).tower.0)
+        } else {
+            None
+        }
+    };
+    let serving_meas = serving.map(|s| {
+        let rx = ranked.iter().find(|(id, _)| *id == s).map(|&(_, r)| r).unwrap();
+        Measurement {
+            pci: d.cell(s).pci,
+            rrs: rrs_of(s, rx),
+            freq_mhz: d.cell(s).band.freq_mhz,
+            group: group_of(s),
+        }
+    });
+    let serving_sinr = serving_meas.map(|m| m.rrs.sinr_db).unwrap_or(-20.0);
+
+    // neighbor list: up to 2 per band (cap 8) so intra-frequency candidates
+    // are always measurable even when another band dominates the top of the
+    // ranking
+    let mut nb_per_band: HashMap<&str, usize> = HashMap::new();
+    let mut neighbors: Vec<Measurement> = Vec::with_capacity(8);
+    for &(id, rx) in ranked.iter() {
+        if Some(id) == serving {
+            continue;
+        }
+        let n = nb_per_band.entry(d.cell(id).band.name).or_insert(0);
+        if *n < 2 {
+            *n += 1;
+            neighbors.push(Measurement {
+                pci: d.cell(id).pci,
+                rrs: rrs_of(id, rx),
+                freq_mhz: d.cell(id).band.freq_mhz,
+                group: group_of(id),
+            });
+        }
+        if neighbors.len() >= 8 {
+            break;
+        }
+    }
+
+    LegView { serving: serving_meas, neighbors, serving_sinr_db: serving_sinr, candidates }
+}
+
+/// Runs a scenario to completion.
+pub fn run(s: &Scenario) -> Trace {
+    let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+    let mut mob = MobilityDriver::new(s.route.clone(), s.speed);
+    let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
+    let mut policy = HoPolicy::new(s.carrier, s.arch);
+    let mut tally = SignalingTally::new();
+    let mut conn = RrcConnState::with_keepalive();
+    let mut fault_rng = DetRng::new(hash2(s.seed, 0xFA17));
+
+    // initial attach: strongest cell of the control-plane technology
+    let t0 = 0.0;
+    let start = mob.position();
+    if s.arch == Arch::Sa {
+        let nr = d.strongest(&start, t0, true, SEARCH_RADIUS_M);
+        sm.attach(None, nr.first().map(|&(id, _)| id));
+    } else {
+        let lte = d.strongest(&start, t0, false, SEARCH_RADIUS_M);
+        sm.attach(lte.first().map(|&(id, _)| id), None);
+    }
+
+    // measurement engines
+    let (mut lte_engine, mut nr_engine, mut configs_seen) = match s.arch {
+        Arch::Sa => {
+            let cfgs = policy.sa_configs();
+            (MeasEngine::new(vec![]), MeasEngine::new(cfgs.clone()), cfgs)
+        }
+        _ => {
+            let lte_cfgs = policy.lte_configs();
+            let nr_cfgs = if s.arch == Arch::Nsa { policy.nr_configs(false) } else { vec![] };
+            let mut seen = lte_cfgs.clone();
+            seen.extend(nr_cfgs.iter().copied());
+            // the connected-mode NR configs will also be seen eventually
+            if s.arch == Arch::Nsa {
+                for c in policy.nr_configs(true) {
+                    if !seen.contains(&c) {
+                        seen.push(c);
+                    }
+                }
+            }
+            (MeasEngine::new(lte_cfgs), MeasEngine::new(nr_cfgs), seen)
+        }
+    };
+    configs_seen.dedup();
+    tally.record(&RrcMessage::MeasConfig { configs: configs_seen.clone() });
+
+    let dt = 1.0 / s.sample_hz;
+    let mut t = 0.0;
+    let mut had_scg = sm.serving_nr().is_some();
+
+    let mut samples = Vec::new();
+    let mut reports_log = Vec::new();
+    let mut handovers = Vec::new();
+    let mut rlf_count = 0u64;
+    let mut ho_failures = 0u64;
+    let mut bulk: Option<BulkFlow> = None;
+    let mut cbr: Option<CbrFlow> = None;
+    match s.workload {
+        Workload::Bulk(cca) => bulk = Some(BulkFlow::new(cca)),
+        Workload::Cbr { rate_mbps, deadline_ms } => cbr = Some(CbrFlow::new(rate_mbps, deadline_ms)),
+        Workload::Idle => {}
+    }
+
+    while !mob.finished() && t < s.max_duration_s {
+        t += dt;
+        mob.step(dt);
+        let pos = mob.position();
+
+        // --- advance the HO state machine
+        let mut pre_lte = sm.serving_lte();
+        let mut pre_nr = sm.serving_nr();
+        for ev in sm.step(t, &d) {
+            match ev {
+                HoEvent::CommandSent(msg) => tally.record(&msg),
+                HoEvent::Completed(rec, msgs) => {
+                    if s.faults.ho_failure_prob > 0.0 && fault_rng.chance(s.faults.ho_failure_prob) {
+                        // execution failed: fall back to the source cells
+                        ho_failures += 1;
+                        sm.attach(pre_lte, pre_nr);
+                    } else {
+                        for m in &msgs {
+                            tally.record(m);
+                        }
+                        handovers.push(rec);
+                    }
+                    pre_lte = sm.serving_lte();
+                    pre_nr = sm.serving_nr();
+                    // the new serving cell re-delivers measurement configs
+                    lte_engine.reset();
+                    nr_engine.reset();
+                    policy.end_phase();
+                    tally.record(&RrcMessage::MeasConfig { configs: vec![] });
+                }
+            }
+        }
+
+        // SCG presence flips the NR measurement config (B1-only vs full set)
+        if s.arch == Arch::Nsa {
+            let has_scg = sm.serving_nr().is_some();
+            if has_scg != had_scg {
+                nr_engine.reconfigure(policy.nr_configs(has_scg));
+                tally.record(&RrcMessage::MeasConfig { configs: vec![] });
+                had_scg = has_scg;
+            }
+        }
+
+        // --- channel views
+        let lte_view = if s.arch != Arch::Sa {
+            Some(leg_view(&d, &pos, t, false, sm.serving_lte(), s.arch == Arch::Nsa))
+        } else {
+            None
+        };
+        let nr_view = if s.arch != Arch::Lte {
+            Some(leg_view(&d, &pos, t, true, sm.serving_nr(), false))
+        } else {
+            None
+        };
+
+        // --- radio link failure / reattach
+        if let Some(lv) = &lte_view {
+            let lost = lv.serving.map(|m| m.rrs.rsrp_dbm < RLF_DBM).unwrap_or(sm.serving_lte().is_none());
+            if lost && !sm.busy() {
+                let best = d.strongest(&pos, t, false, SEARCH_RADIUS_M);
+                if let Some(&(id, rx)) = best.first() {
+                    if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_lte() {
+                        rlf_count += sm.serving_lte().is_some() as u64;
+                        sm.attach(Some(id), if s.arch == Arch::Nsa { None } else { sm.serving_nr() });
+                        lte_engine.reset();
+                        nr_engine.reset();
+                        policy.end_phase();
+                    }
+                }
+            }
+        }
+        if s.arch == Arch::Sa {
+            let lost = nr_view
+                .as_ref()
+                .and_then(|v| v.serving)
+                .map(|m| m.rrs.rsrp_dbm < RLF_DBM)
+                .unwrap_or(sm.serving_nr().is_none());
+            if lost && !sm.busy() {
+                let best = d.strongest(&pos, t, true, SEARCH_RADIUS_M);
+                if let Some(&(id, rx)) = best.first() {
+                    if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_nr() {
+                        rlf_count += sm.serving_nr().is_some() as u64;
+                        sm.attach(None, Some(id));
+                        nr_engine.reset();
+                        policy.end_phase();
+                    }
+                }
+            }
+        }
+
+        // --- measurements, reports, policy (only between HOs)
+        if !sm.busy() {
+            // policy context map: keyed by PCI. NR entries first so NR-leg
+            // reports resolve to gNB cells; the HO start below re-resolves
+            // within the correct leg anyway.
+            let mut candidates: HashMap<Pci, CellId> = HashMap::new();
+            if let Some(v) = &nr_view {
+                candidates.extend(v.candidates.iter().map(|(k, v)| (*k, *v)));
+            }
+            if let Some(v) = &lte_view {
+                for (k, v) in &v.candidates {
+                    candidates.entry(*k).or_insert(*v);
+                }
+            }
+            let mut decisions = Vec::new();
+            let mut rearm_b1 = false;
+            {
+                let pctx = PolicyContext {
+                    deployment: &d,
+                    serving_lte: sm.serving_lte(),
+                    serving_nr: sm.serving_nr(),
+                    candidates: &candidates,
+                    t,
+                };
+
+                // LTE leg
+                if let Some(v) = &lte_view {
+                    if let Some(serving) = v.serving {
+                        for rep in lte_engine.step(t, &serving, &v.neighbors) {
+                            if s.faults.mr_loss_prob > 0.0 && fault_rng.chance(s.faults.mr_loss_prob) {
+                                continue; // report lost on the uplink
+                            }
+                            tally.record(&RrcMessage::MeasurementReport {
+                                event: rep.event,
+                                serving_pci: serving.pci,
+                                serving_rrs: serving.rrs,
+                                neighbors: rep.neighbors.clone(),
+                            });
+                            reports_log.push(MrRecord {
+                                t,
+                                event: rep.event,
+                                serving_pci: serving.pci.0,
+                                neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
+                            });
+                            if let Some(dec) = policy.on_report(&rep, &pctx) {
+                                decisions.push(dec);
+                            }
+                        }
+                    }
+                }
+
+                // NR leg (NSA measurement of NR cells, or SA serving leg)
+                if let Some(v) = &nr_view {
+                    let serving = v.serving.unwrap_or(Measurement {
+                        pci: Pci(0),
+                        rrs: Rrs::OUT_OF_RANGE,
+                        freq_mhz: 0.0,
+                        group: None,
+                    });
+                    for rep in nr_engine.step(t, &serving, &v.neighbors) {
+                        if s.faults.mr_loss_prob > 0.0 && fault_rng.chance(s.faults.mr_loss_prob) {
+                            continue;
+                        }
+                        // B1 reporting is only configured during SCG
+                        // discovery or an open SCG-change window
+                        if rep.event.kind == fiveg_rrc::EventKind::B1
+                            && s.arch == Arch::Nsa
+                            && !policy.wants_nr_b1(sm.serving_nr().is_some(), t)
+                        {
+                            continue;
+                        }
+                        tally.record(&RrcMessage::MeasurementReport {
+                            event: rep.event,
+                            serving_pci: serving.pci,
+                            serving_rrs: serving.rrs,
+                            neighbors: rep.neighbors.clone(),
+                        });
+                        reports_log.push(MrRecord {
+                            t,
+                            event: rep.event,
+                            serving_pci: serving.pci.0,
+                            neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
+                        });
+                        // an A2 opens the SCG-change window: the network
+                        // re-requests B1 reporting to find a replacement gNB
+                        if rep.event.kind == fiveg_rrc::EventKind::A2 {
+                            rearm_b1 = true;
+                        }
+                        if let Some(dec) = policy.on_report(&rep, &pctx) {
+                            decisions.push(dec);
+                        }
+                    }
+                }
+
+                // pending-A2 decay (SCG release without replacement)
+                if let Some(dec) = policy.tick(&pctx) {
+                    decisions.push(dec);
+                }
+            }
+
+            if rearm_b1 {
+                nr_engine.rearm(fiveg_rrc::EventKind::B1);
+            }
+
+            // execute the first decision (one HO at a time); resolve the
+            // target PCI within the correct leg — co-located gNBs reuse eNB
+            // PCIs, so a merged map would be ambiguous
+            if let Some(dec) = decisions.into_iter().next() {
+                let lte_cand = lte_view.as_ref().map(|v| &v.candidates);
+                let nr_cand = nr_view.as_ref().map(|v| &v.candidates);
+                let target = match &dec.action {
+                    fiveg_rrc::ReconfigAction::ScgRelease => None,
+                    fiveg_rrc::ReconfigAction::LteHandover { target }
+                    | fiveg_rrc::ReconfigAction::MenbHandover { target } => {
+                        lte_cand.and_then(|c| c.get(target)).copied()
+                    }
+                    fiveg_rrc::ReconfigAction::McgHandover { target } => {
+                        nr_cand.and_then(|c| c.get(target)).copied()
+                    }
+                    fiveg_rrc::ReconfigAction::ScgAddition { nr_target }
+                    | fiveg_rrc::ReconfigAction::ScgModification { nr_target }
+                    | fiveg_rrc::ReconfigAction::ScgChange { nr_target } => {
+                        nr_cand.and_then(|c| c.get(nr_target)).copied()
+                    }
+                };
+                let needs_target = !matches!(dec.action, fiveg_rrc::ReconfigAction::ScgRelease);
+                if !needs_target || target.is_some() {
+                    sm.start(dec.action, target, dec.phase, &d, t);
+                }
+            }
+        }
+
+        // --- PHY-layer measurement accounting (SSB sweeps)
+        if conn.is_connected(t) {
+            if let Some(v) = &lte_view {
+                tally.record_phy_meas(1 + v.neighbors.len() as u64);
+            }
+            if let Some(v) = &nr_view {
+                let serving_mm = sm
+                    .serving_nr()
+                    .map(|c| d.cell(c).band.class() == BandClass::MmWave)
+                    .unwrap_or(false);
+                let beams = if serving_mm { 8 } else { 1 };
+                tally.record_phy_meas(beams * (1 + v.neighbors.len() as u64));
+            }
+        }
+
+        // --- link layer
+        let cs = sm.connection();
+        let lte_cap = match (cs.lte, &lte_view) {
+            (Some(id), Some(v)) => {
+                shannon_capacity_mbps(v.serving_sinr_db, d.cell(id).band.bandwidth_mhz * LTE_CA_FACTOR)
+                    * FAIR_SHARE
+            }
+            _ => 0.0,
+        };
+        let nr_cap = match (cs.nr, &nr_view) {
+            (Some(id), Some(v)) => {
+                let band = d.cell(id).band;
+                let ca = match band.class() {
+                    BandClass::MmWave => 1.0,
+                    BandClass::Mid => NR_MID_CA_FACTOR,
+                    BandClass::Low => NR_LOW_CA_FACTOR,
+                };
+                shannon_capacity_mbps(v.serving_sinr_db, band.bandwidth_mhz * ca) * FAIR_SHARE
+            }
+            _ => 0.0,
+        };
+        let dual = s.force_dual.unwrap_or_else(|| d.dual_mode_at(&pos));
+        let bearer = match s.arch {
+            Arch::Lte => Bearer::LteOnly,
+            Arch::Sa => Bearer::NrOnly,
+            Arch::Nsa => {
+                if cs.nr.is_none() {
+                    Bearer::LteOnly
+                } else if dual {
+                    Bearer::Dual
+                } else {
+                    Bearer::NrOnly
+                }
+            }
+        };
+        let path: PathOutcome = compose(&DownlinkState {
+            lte_mbps: lte_cap,
+            nr_mbps: nr_cap,
+            lte_interrupted: cs.lte_interrupted,
+            nr_interrupted: cs.nr_interrupted,
+            bearer,
+        });
+
+        conn.step(t);
+        if let Some(f) = &mut bulk {
+            f.step(t, dt, &path);
+            conn.on_activity(t);
+        }
+        if let Some(f) = &mut cbr {
+            f.step(t, dt, &path);
+            conn.on_activity(t);
+        }
+
+        // --- record sample
+        samples.push(TraceSample {
+            t,
+            pos: (pos.x, pos.y),
+            dist_m: mob.distance(),
+            lte_cell: cs.lte.map(|c| c.0),
+            nr_cell: cs.nr.map(|c| c.0),
+            lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+            nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+            lte_neighbors: lte_view
+                .as_ref()
+                .map(|v| {
+                    v.neighbors
+                        .iter()
+                        .filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            nr_neighbors: nr_view
+                .as_ref()
+                .map(|v| {
+                    v.neighbors
+                        .iter()
+                        .filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            capacity_mbps: path.capacity_mbps,
+            base_rtt_ms: path.base_rtt_ms,
+            interrupted: cs.lte_interrupted || cs.nr_interrupted,
+            dual_mode: bearer == Bearer::Dual,
+        });
+    }
+
+    let cells = d
+        .cells
+        .iter()
+        .map(|c| CellDictEntry {
+            cell: c.id.0,
+            pci: c.pci.0,
+            is_nr: c.is_nr(),
+            band: c.band.name.to_string(),
+            class: c.band.class(),
+            site: (c.site.x, c.site.y),
+            tower: c.tower.0,
+            co_located: d.towers[c.tower.0 as usize].co_located,
+        })
+        .collect();
+
+    Trace {
+        meta: TraceMeta {
+            carrier: s.carrier,
+            env: s.env,
+            arch: s.arch,
+            seed: s.seed,
+            sample_hz: s.sample_hz,
+            duration_s: t,
+            route_len_m: s.route.length(),
+            traveled_m: mob.distance(),
+        },
+        cells,
+        samples,
+        reports: reports_log,
+        handovers,
+        signaling: tally,
+        configs: configs_seen,
+        rlf_count,
+        ho_failures,
+        flow: match (bulk, cbr) {
+            (Some(f), _) => FlowLog::Tcp(f.samples().to_vec()),
+            (_, Some(f)) => FlowLog::Cbr(f.samples().to_vec()),
+            _ => FlowLog::None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::scenario::ScenarioBuilder;
+    use fiveg_ran::Carrier;
+
+    fn short_freeway(arch: Arch, seed: u64) -> Trace {
+        ScenarioBuilder::freeway(Carrier::OpY, arch, 8.0, seed)
+            .duration_s(240.0)
+            .sample_hz(10.0)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn runs_and_produces_samples() {
+        let tr = short_freeway(Arch::Nsa, 1);
+        assert!(tr.samples.len() > 1000);
+        assert!(tr.meta.traveled_m > 5000.0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = short_freeway(Arch::Nsa, 2);
+        let b = short_freeway(Arch::Nsa, 2);
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert_eq!(a.handovers, b.handovers);
+        assert_eq!(a.signaling, b.signaling);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = short_freeway(Arch::Nsa, 3);
+        let b = short_freeway(Arch::Nsa, 4);
+        assert_ne!(a.handovers.len(), 0);
+        // traces should not be identical
+        assert_ne!(a.samples.last().unwrap().lte_cell, b.samples.last().unwrap().lte_cell);
+    }
+
+    #[test]
+    fn nsa_produces_5g_procedures() {
+        let tr = short_freeway(Arch::Nsa, 5);
+        use fiveg_ran::HoCategory;
+        let fiveg = tr.handovers.iter().filter(|h| h.ho_type.category() == HoCategory::FiveG).count();
+        assert!(fiveg > 0, "expected 5G HO procedures, got HOs: {:?}",
+            tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lte_only_has_only_lteh() {
+        let tr = short_freeway(Arch::Lte, 6);
+        assert!(!tr.handovers.is_empty());
+        assert!(tr.handovers.iter().all(|h| h.ho_type == fiveg_ran::HoType::Lteh));
+        assert!(tr.samples.iter().all(|s| s.nr_cell.is_none()));
+    }
+
+    #[test]
+    fn sa_has_mcgh_only() {
+        let tr = short_freeway(Arch::Sa, 7);
+        assert!(tr.handovers.iter().all(|h| h.ho_type == fiveg_ran::HoType::Mcgh),
+            "{:?}", tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reports_precede_handovers() {
+        let tr = short_freeway(Arch::Nsa, 8);
+        assert!(!tr.reports.is_empty());
+        assert!(tr.reports.len() >= tr.handovers.len());
+    }
+
+    #[test]
+    fn signaling_tally_nonzero() {
+        let tr = short_freeway(Arch::Nsa, 9);
+        assert!(tr.signaling.meas_reports > 0);
+        assert!(tr.signaling.rach_msgs >= 2 * tr.handovers.len() as u64);
+        assert!(tr.signaling.bytes > 0);
+        assert!(tr.signaling.phy_meas > 0);
+    }
+
+    #[test]
+    fn handover_times_ordered() {
+        let tr = short_freeway(Arch::Nsa, 10);
+        for h in &tr.handovers {
+            assert!(h.t_decision < h.t_command);
+            assert!(h.t_command < h.t_complete);
+        }
+        for w in tr.handovers.windows(2) {
+            assert!(w[0].t_complete <= w[1].t_complete + 1e-9);
+        }
+    }
+
+    #[test]
+    fn capacity_positive_most_of_the_time() {
+        let tr = short_freeway(Arch::Nsa, 11);
+        let up = tr.samples.iter().filter(|s| s.capacity_mbps > 1.0).count();
+        assert!(up * 10 > tr.samples.len() * 7, "{up}/{}", tr.samples.len());
+    }
+
+    #[test]
+    fn bulk_workload_records_tcp_flow() {
+        let tr = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, 12)
+            .duration_s(60.0)
+            .sample_hz(10.0)
+            .workload(Workload::Bulk(fiveg_link::Cca::Bbr))
+            .build()
+            .run();
+        match &tr.flow {
+            FlowLog::Tcp(v) => {
+                assert_eq!(v.len(), tr.samples.len());
+                let mean = v.iter().map(|s| s.goodput_mbps).sum::<f64>() / v.len() as f64;
+                assert!(mean > 1.0, "mean goodput {mean}");
+            }
+            other => panic!("expected TCP flow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mr_loss_faults_reduce_report_count() {
+        let clean = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 13)
+            .duration_s(180.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        let faulty = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 13)
+            .duration_s(180.0)
+            .sample_hz(10.0)
+            .faults(FaultConfig { mr_loss_prob: 0.7, ho_failure_prob: 0.0 })
+            .build()
+            .run();
+        assert!(
+            faulty.signaling.meas_reports < clean.signaling.meas_reports,
+            "{} vs {}",
+            faulty.signaling.meas_reports,
+            clean.signaling.meas_reports
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::scenario::ScenarioBuilder;
+    use fiveg_ran::Carrier;
+
+    #[test]
+    fn ho_failures_are_counted_and_rolled_back() {
+        let faulty = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 77)
+            .duration_s(240.0)
+            .sample_hz(10.0)
+            .faults(FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 0.5 })
+            .build()
+            .run();
+        assert!(faulty.ho_failures > 0, "with p=0.5 failures must occur");
+        // failed HOs are not recorded as completed handovers
+        let clean = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 77)
+            .duration_s(240.0)
+            .sample_hz(10.0)
+            .build()
+            .run();
+        assert!(
+            faulty.handovers.len() < clean.handovers.len() + faulty.ho_failures as usize,
+            "completed + failed should roughly bound the clean count"
+        );
+        // the run still terminates with a usable connection most of the time
+        let attached = faulty.samples.iter().filter(|s| s.lte_cell.is_some()).count();
+        assert!(attached * 10 > faulty.samples.len() * 8);
+    }
+
+    #[test]
+    fn total_mr_loss_freezes_mobility() {
+        let t = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 78)
+            .duration_s(180.0)
+            .sample_hz(10.0)
+            .faults(FaultConfig { mr_loss_prob: 1.0, ho_failure_prob: 0.0 })
+            .build()
+            .run();
+        // without any reports the network can never decide a HO
+        assert!(t.handovers.is_empty(), "got {:?}", t.handovers.len());
+        assert_eq!(t.signaling.meas_reports, 0);
+    }
+}

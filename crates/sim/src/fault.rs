@@ -1,0 +1,53 @@
+//! Fault injection (in the smoltcp tradition: adverse conditions are
+//! reproducible options, not special builds).
+//!
+//! * `mr_loss_prob` — uplink measurement reports are lost with this
+//!   probability (the serving cell never learns about the event; the UE
+//!   lingers on a degrading cell — the paper's "worst case: service
+//!   outages" pathway);
+//! * `ho_failure_prob` — a prepared HO fails at execution (the UE falls
+//!   back to the source cell and the procedure re-runs on the next report).
+
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection configuration for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that an uplink MR is lost, per report.
+    pub mr_loss_prob: f64,
+    /// Probability that a handover fails at execution, per HO.
+    pub ho_failure_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub const NONE: FaultConfig = FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 0.0 };
+
+    /// True when any fault is configured.
+    pub fn active(&self) -> bool {
+        self.mr_loss_prob > 0.0 || self.ho_failure_prob > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FaultConfig::NONE.active());
+        assert!(!FaultConfig::default().active());
+    }
+
+    #[test]
+    fn any_positive_prob_is_active() {
+        assert!(FaultConfig { mr_loss_prob: 0.1, ho_failure_prob: 0.0 }.active());
+        assert!(FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 0.05 }.active());
+    }
+}

@@ -1,0 +1,275 @@
+//! The dataset format: what a drive/walk produces.
+//!
+//! A [`Trace`] is the simulator's equivalent of one XCAL + 5G Tracker log:
+//! periodic cross-layer samples, the RRC event stream (MRs, HO records),
+//! signaling tallies and the cell dictionary needed to interpret PCIs.
+//! Serializable with serde (JSON via `save`/`load`) so experiments can be
+//! recorded once and replayed, like the paper's released dataset.
+
+use fiveg_link::{CbrSample, TcpSample};
+use fiveg_radio::{BandClass, Rrs};
+use fiveg_ran::{Arch, Carrier, Environment, HandoverRecord};
+use fiveg_rrc::{EventConfig, MeasEvent, SignalingTally};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One entry of the trace's cell dictionary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellDictEntry {
+    /// Dense cell id (index into the dictionary).
+    pub cell: u32,
+    /// Physical cell id.
+    pub pci: u16,
+    /// True for NR cells.
+    pub is_nr: bool,
+    /// 3GPP band name ("n71", "b2", ...).
+    pub band: String,
+    /// Band class.
+    pub class: BandClass,
+    /// Site position (x, y) meters.
+    pub site: (f64, f64),
+    /// Hosting tower id.
+    pub tower: u32,
+    /// Tower hosts both eNB and gNB.
+    pub co_located: bool,
+}
+
+/// One periodic cross-layer sample (default 20 Hz, like 5G Tracker).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Time, s.
+    pub t: f64,
+    /// UE position, m.
+    pub pos: (f64, f64),
+    /// Distance traveled, m.
+    pub dist_m: f64,
+    /// Serving LTE cell (dictionary index).
+    pub lte_cell: Option<u32>,
+    /// Serving NR cell (dictionary index).
+    pub nr_cell: Option<u32>,
+    /// Serving LTE quality.
+    pub lte_rrs: Option<Rrs>,
+    /// Serving NR quality.
+    pub nr_rrs: Option<Rrs>,
+    /// Strongest LTE neighbors (cell idx, rrs), strongest first, ≤4.
+    pub lte_neighbors: Vec<(u32, Rrs)>,
+    /// Strongest NR neighbors, ≤4.
+    pub nr_neighbors: Vec<(u32, Rrs)>,
+    /// Composed downlink capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Composed base RTT, ms.
+    pub base_rtt_ms: f64,
+    /// Data plane currently interrupted by a HO execution.
+    pub interrupted: bool,
+    /// Dual-mode bearer active.
+    pub dual_mode: bool,
+}
+
+/// A logged measurement report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrRecord {
+    /// Fire time, s.
+    pub t: f64,
+    /// The event.
+    pub event: MeasEvent,
+    /// Serving cell PCI at fire time.
+    pub serving_pci: u16,
+    /// Reported neighbor PCIs (strongest/satisfying first).
+    pub neighbor_pcis: Vec<u16>,
+}
+
+/// Scenario metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Carrier simulated.
+    pub carrier: Carrier,
+    /// Environment of the deployment.
+    pub env: Environment,
+    /// Architecture in effect.
+    pub arch: Arch,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Sampling rate, Hz.
+    pub sample_hz: f64,
+    /// Wall duration simulated, s.
+    pub duration_s: f64,
+    /// Route length, m.
+    pub route_len_m: f64,
+    /// Distance actually traveled, m.
+    pub traveled_m: f64,
+}
+
+/// A complete recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Scenario metadata.
+    pub meta: TraceMeta,
+    /// Cell dictionary (indexed by dense cell id).
+    pub cells: Vec<CellDictEntry>,
+    /// Periodic samples.
+    pub samples: Vec<TraceSample>,
+    /// Measurement reports in time order.
+    pub reports: Vec<MrRecord>,
+    /// Completed handovers in time order.
+    pub handovers: Vec<HandoverRecord>,
+    /// Signaling tally for the run.
+    pub signaling: SignalingTally,
+    /// Measurement-event configurations active during the run (the UE sees
+    /// these in `MeasConfig` messages; Prognos needs them).
+    pub configs: Vec<EventConfig>,
+    /// Radio link failures (coverage losses requiring reattach).
+    pub rlf_count: u64,
+    /// Injected handover failures that occurred.
+    pub ho_failures: u64,
+    /// Workload observations, if a flow ran.
+    pub flow: FlowLog,
+}
+
+/// Recorded workload samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowLog {
+    /// No workload beyond keep-alives.
+    None,
+    /// Bulk TCP download samples.
+    Tcp(Vec<TcpSample>),
+    /// CBR stream samples.
+    Cbr(Vec<CbrSample>),
+}
+
+impl Trace {
+    /// Serializes to JSON at `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        let data = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        f.write_all(&data)
+    }
+
+    /// Loads a JSON trace from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Trace> {
+        let mut f = std::fs::File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        serde_json::from_slice(&buf).map_err(std::io::Error::other)
+    }
+
+    /// Handovers per traveled kilometer.
+    pub fn hos_per_km(&self) -> f64 {
+        if self.meta.traveled_m <= 0.0 {
+            return 0.0;
+        }
+        self.handovers.len() as f64 / (self.meta.traveled_m / 1000.0)
+    }
+
+    /// The capacity series as (t, Mbps) pairs — the "bandwidth trace" fed to
+    /// the ABR emulation (§7.4).
+    pub fn bandwidth_series(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|s| (s.t, s.capacity_mbps)).collect()
+    }
+
+    /// Looks up a dictionary entry by dense id.
+    pub fn cell(&self, idx: u32) -> &CellDictEntry {
+        &self.cells[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::{HoType, StageSample};
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                carrier: Carrier::OpX,
+                env: Environment::Freeway,
+                arch: Arch::Nsa,
+                seed: 1,
+                sample_hz: 20.0,
+                duration_s: 1.0,
+                route_len_m: 1000.0,
+                traveled_m: 500.0,
+            },
+            cells: vec![CellDictEntry {
+                cell: 0,
+                pci: 101,
+                is_nr: false,
+                band: "b2".into(),
+                class: BandClass::Mid,
+                site: (10.0, 20.0),
+                tower: 0,
+                co_located: false,
+            }],
+            samples: vec![TraceSample {
+                t: 0.0,
+                pos: (0.0, 0.0),
+                dist_m: 0.0,
+                lte_cell: Some(0),
+                nr_cell: None,
+                lte_rrs: Some(Rrs { rsrp_dbm: -90.0, rsrq_db: -10.0, sinr_db: 12.0 }),
+                nr_rrs: None,
+                lte_neighbors: vec![],
+                nr_neighbors: vec![],
+                capacity_mbps: 55.0,
+                base_rtt_ms: 34.0,
+                interrupted: false,
+                dual_mode: false,
+            }],
+            reports: vec![],
+            handovers: vec![HandoverRecord {
+                ho_type: HoType::Lteh,
+                arch: Arch::Nsa,
+                nr_band: None,
+                t_decision: 0.2,
+                t_command: 0.27,
+                t_complete: 0.37,
+                stages: StageSample { t1_ms: 70.0, t2_ms: 100.0 },
+                source_lte: Some(fiveg_rrc::Pci(101)),
+                source_nr: None,
+                target: Some(fiveg_rrc::Pci(102)),
+                co_located: false,
+                same_pci: false,
+                trigger_phase: vec![],
+                interrupts: (true, true),
+            }],
+            signaling: SignalingTally::new(),
+            configs: vec![],
+            rlf_count: 0,
+            ho_failures: 0,
+            flow: FlowLog::None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = tiny_trace();
+        let dir = std::env::temp_dir().join("fiveg_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hos_per_km() {
+        let t = tiny_trace();
+        // 1 HO over 0.5 km
+        assert!((t.hos_per_km() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hos_per_km_zero_distance() {
+        let mut t = tiny_trace();
+        t.meta.traveled_m = 0.0;
+        assert_eq!(t.hos_per_km(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_series_shape() {
+        let t = tiny_trace();
+        let b = t.bandwidth_series();
+        assert_eq!(b, vec![(0.0, 55.0)]);
+    }
+}

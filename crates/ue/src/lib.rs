@@ -1,0 +1,22 @@
+//! User equipment (UE) model.
+//!
+//! The study's UEs are Samsung S21U/S20U phones driven around on routes,
+//! kept in RRC-connected state with periodic pings, and power-profiled with
+//! a Monsoon monitor (§3, §5.3). This crate models those pieces:
+//!
+//! * [`mobility`] — position/speed along a route over time (driving with
+//!   stop-and-go city profiles, constant freeway speed, walking loops);
+//! * [`conn`] — RRC connected/idle state with the observed 5 s tail timer
+//!   and the keep-alive ping schedule of the energy methodology;
+//! * [`power`] — the energy model: baseline draw, per-HO energy (by
+//!   architecture and band class, calibrated to §5.3's mAh budgets) and
+//!   per-byte data-plane energy (from the throughput–power slopes the paper
+//!   takes from Narayanan et al.).
+
+pub mod conn;
+pub mod mobility;
+pub mod power;
+
+pub use conn::{RrcConnState, PING_INTERVAL_S, RRC_TAIL_S};
+pub use mobility::{MobilityDriver, SpeedProfile};
+pub use power::PowerModel;

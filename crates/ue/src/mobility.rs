@@ -1,0 +1,238 @@
+//! UE mobility: where is the phone at time `t`?
+//!
+//! The driver integrates a speed profile over time and maps the accumulated
+//! distance onto a [`Polyline`] route. Profiles cover the study's modes:
+//! freeway driving (≈constant high speed), city driving (stop-and-go), and
+//! the walking loops of datasets D1/D2.
+
+use fiveg_geo::{Point, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// A speed profile in m/s as a function of time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// Constant speed (freeway cruise, walking).
+    Constant {
+        /// Speed in m/s.
+        mps: f64,
+    },
+    /// Stop-and-go city driving: sinusoidal speed between 0 and `peak_mps`
+    /// with period `period_s`, holding full stops (`stop_s` per cycle).
+    StopAndGo {
+        /// Peak speed in m/s.
+        peak_mps: f64,
+        /// Acceleration/deceleration cycle period, s.
+        period_s: f64,
+        /// Stopped time appended to each cycle (traffic lights), s.
+        stop_s: f64,
+    },
+}
+
+impl SpeedProfile {
+    /// Freeway cruise at `kmh` km/h.
+    pub fn freeway(kmh: f64) -> Self {
+        SpeedProfile::Constant { mps: kmh / 3.6 }
+    }
+
+    /// Typical walking pace (~4.7 km/h).
+    pub fn walking() -> Self {
+        SpeedProfile::Constant { mps: 1.3 }
+    }
+
+    /// City driving peaking at `kmh` km/h with ~8 s light stops.
+    pub fn city(kmh: f64) -> Self {
+        SpeedProfile::StopAndGo { peak_mps: kmh / 3.6, period_s: 45.0, stop_s: 8.0 }
+    }
+
+    /// Speed at time `t`, m/s.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        match *self {
+            SpeedProfile::Constant { mps } => mps,
+            SpeedProfile::StopAndGo { peak_mps, period_s, stop_s } => {
+                let cycle = period_s + stop_s;
+                let phase = t.rem_euclid(cycle);
+                if phase >= period_s {
+                    0.0
+                } else {
+                    // raised-cosine between 0 and peak
+                    let x = phase / period_s * std::f64::consts::TAU;
+                    peak_mps * 0.5 * (1.0 - x.cos())
+                }
+            }
+        }
+    }
+
+    /// Mean speed of the profile, m/s.
+    pub fn mean_mps(&self) -> f64 {
+        match *self {
+            SpeedProfile::Constant { mps } => mps,
+            SpeedProfile::StopAndGo { peak_mps, period_s, stop_s } => {
+                // mean of the raised cosine is peak/2, diluted by stops
+                peak_mps * 0.5 * period_s / (period_s + stop_s)
+            }
+        }
+    }
+}
+
+/// Integrates a [`SpeedProfile`] along a route.
+///
+/// Stepped rather than closed-form so any profile shape works; steps are
+/// the simulation tick, so the integration error is far below the spatial
+/// scales that matter (cells are tens of meters at the smallest).
+#[derive(Debug, Clone)]
+pub struct MobilityDriver {
+    route: Polyline,
+    profile: SpeedProfile,
+    t: f64,
+    dist: f64,
+}
+
+impl MobilityDriver {
+    /// Creates a driver at the start of `route`.
+    pub fn new(route: Polyline, profile: SpeedProfile) -> Self {
+        Self { route, profile, t: 0.0, dist: 0.0 }
+    }
+
+    /// The route being driven.
+    pub fn route(&self) -> &Polyline {
+        &self.route
+    }
+
+    /// Current time, s.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Distance traveled so far, m.
+    pub fn distance(&self) -> f64 {
+        self.dist
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Point {
+        self.route.point_at(self.dist)
+    }
+
+    /// Current speed, m/s.
+    pub fn speed(&self) -> f64 {
+        self.profile.speed_at(self.t)
+    }
+
+    /// True once the route is fully traversed.
+    pub fn finished(&self) -> bool {
+        self.dist >= self.route.length()
+    }
+
+    /// Advances by `dt` seconds (midpoint rule on the speed profile).
+    pub fn step(&mut self, dt: f64) {
+        let v = self.profile.speed_at(self.t + dt / 2.0);
+        self.dist = (self.dist + v * dt).min(self.route.length());
+        self.t += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::routes;
+
+    #[test]
+    fn constant_profile_integrates_linearly() {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 10_000.0);
+        let mut d = MobilityDriver::new(route, SpeedProfile::freeway(130.0));
+        for _ in 0..(60.0 / 0.05) as usize {
+            d.step(0.05);
+        }
+        // 130 km/h for 60 s ≈ 2166.7 m
+        assert!((d.distance() - 2166.7).abs() < 1.0, "{}", d.distance());
+    }
+
+    #[test]
+    fn stop_and_go_is_slower_than_peak() {
+        let p = SpeedProfile::city(50.0);
+        let mean = p.mean_mps();
+        assert!(mean < 50.0 / 3.6 * 0.6);
+        assert!(mean > 2.0);
+    }
+
+    #[test]
+    fn stop_and_go_actually_stops() {
+        let p = SpeedProfile::city(50.0);
+        let mut stopped = false;
+        for i in 0..1060 {
+            if p.speed_at(i as f64 * 0.1) == 0.0 {
+                stopped = true;
+            }
+        }
+        assert!(stopped);
+    }
+
+    #[test]
+    fn numeric_mean_matches_analytic() {
+        let p = SpeedProfile::city(60.0);
+        let n = 100_000;
+        let cycle = 53.0;
+        let numeric = (0..n).map(|i| p.speed_at(i as f64 * cycle / n as f64)).sum::<f64>() / n as f64;
+        assert!((numeric - p.mean_mps()).abs() < 0.05, "{numeric} vs {}", p.mean_mps());
+    }
+
+    #[test]
+    fn driver_clamps_at_route_end() {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 100.0);
+        let mut d = MobilityDriver::new(route, SpeedProfile::freeway(130.0));
+        for _ in 0..10_000 {
+            d.step(0.05);
+        }
+        assert!(d.finished());
+        assert_eq!(d.distance(), 100.0);
+    }
+
+    #[test]
+    fn position_follows_route() {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 1000.0);
+        let mut d = MobilityDriver::new(route, SpeedProfile::walking());
+        d.step(10.0);
+        let p = d.position();
+        assert!((p.x - 13.0).abs() < 0.1);
+        assert_eq!(p.y, 0.0);
+    }
+
+    #[test]
+    fn walking_pace_sanity() {
+        // a 35-minute walking loop covers ~2.7 km
+        let v = SpeedProfile::walking().mean_mps();
+        assert!((v * 35.0 * 60.0 - 2730.0).abs() < 100.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fiveg_geo::routes;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn distance_is_monotone_and_bounded(
+            kmh in 5.0..140.0f64,
+            steps in 10usize..2000,
+        ) {
+            let route = routes::freeway_leg(Point::ORIGIN, 0.0, 5_000.0);
+            let mut d = MobilityDriver::new(route, SpeedProfile::freeway(kmh));
+            let mut prev = 0.0;
+            for _ in 0..steps {
+                d.step(0.05);
+                prop_assert!(d.distance() >= prev);
+                prop_assert!(d.distance() <= 5_000.0);
+                prev = d.distance();
+            }
+        }
+
+        #[test]
+        fn stop_and_go_never_reverses(peak in 10.0..100.0f64, t in 0.0..500.0f64) {
+            let p = SpeedProfile::city(peak);
+            prop_assert!(p.speed_at(t) >= 0.0);
+            prop_assert!(p.speed_at(t) <= peak / 3.6 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Export the D1/D2-style walking datasets as JSON traces, mirroring the
+//! paper's released artifact ("we make our dataset ... publicly
+//! accessible").
+//!
+//! ```sh
+//! cargo run --release --example export_dataset -- out_dir [laps]
+//! ```
+
+use fiveg_mobility::prelude::*;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out: PathBuf = args.next().unwrap_or_else(|| "dataset".into()).into();
+    let laps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    for (name, minutes, base) in [("D1", 35.0, 0xD1_0000u64), ("D2", 25.0, 0xD2_0000u64)] {
+        for lap in 0..laps {
+            let trace = ScenarioBuilder::walking_loop(Carrier::OpX, minutes, 1, base + lap as u64)
+                .sample_hz(20.0)
+                .build()
+                .run();
+            let path = out.join(format!("{name}_lap{lap}.json"));
+            trace.save(&path).expect("write trace");
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "{} -> {} samples, {} HOs, {} MRs, {:.1} MB",
+                path.display(),
+                trace.samples.len(),
+                trace.handovers.len(),
+                trace.reports.len(),
+                bytes as f64 / 1e6
+            );
+        }
+    }
+    println!("\nreload with fiveg_mobility::sim::Trace::load(path)");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate a 5G drive and look at its handovers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fiveg_mobility::prelude::*;
+
+fn main() {
+    // A 10 km freeway drive on carrier OpY's NSA deployment at 130 km/h.
+    let scenario = ScenarioBuilder::freeway(Carrier::OpY, fiveg_mobility::ran::Arch::Nsa, 10.0, 42)
+        .sample_hz(10.0)
+        .build();
+    let trace = scenario.run();
+
+    println!(
+        "drove {:.1} km in {:.0} s, {} cross-layer samples recorded",
+        trace.meta.traveled_m / 1000.0,
+        trace.meta.duration_s,
+        trace.samples.len()
+    );
+
+    println!("\nhandovers ({} total, one every {:.2} km):", trace.handovers.len(), trace.hos_per_km().recip());
+    for h in trace.handovers.iter().take(12) {
+        println!(
+            "  t={:7.1}s {:\u{20}<4} {:>9}  T1={:3.0}ms T2={:3.0}ms  trigger={:?}",
+            h.t_decision,
+            h.ho_type.acronym(),
+            h.ho_type.access_change(true),
+            h.stages.t1_ms,
+            h.stages.t2_ms,
+            h.trigger_phase.iter().map(|e| e.label()).collect::<Vec<_>>(),
+        );
+    }
+    if trace.handovers.len() > 12 {
+        println!("  ... and {} more", trace.handovers.len() - 12);
+    }
+
+    println!("\nsignaling: {} RRC/MAC messages, {} bytes on the wire", trace.signaling.total_msgs(), trace.signaling.bytes);
+
+    let mean_capacity = trace.samples.iter().map(|s| s.capacity_mbps).sum::<f64>() / trace.samples.len() as f64;
+    println!("mean downlink capacity: {mean_capacity:.0} Mbps");
+}

@@ -1,0 +1,52 @@
+//! # fiveg-mobility
+//!
+//! Facade crate for the reproduction of *"Vivisecting Mobility Management in
+//! 5G Cellular Networks"* (Hassan et al., SIGCOMM 2022). It re-exports every
+//! workspace crate under one roof so examples and downstream users can depend
+//! on a single package:
+//!
+//! * [`geo`] — planar geometry: routes, convex hulls.
+//! * [`radio`] — bands, propagation, RSRP/RSRQ/SINR.
+//! * [`rrc`] — RRC message model + binary codec.
+//! * [`ran`] — towers, deployments, measurement engine, HO state machines.
+//! * [`ue`] — UE model: mobility, connection management, power.
+//! * [`sim`] — deterministic event engine, scenarios, traces.
+//! * [`link`] — capacity, TCP CUBIC/BBR, RTT, HO interruption semantics.
+//! * [`analysis`] — statistics and the paper's measurement analyses.
+//! * [`prognos`] — **the paper's contribution**: the HO prediction system.
+//! * [`baselines`] — GBC and stacked-LSTM comparison predictors.
+//! * [`apps`] — ABR algorithms and application QoE models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fiveg_mobility::prelude::*;
+//!
+//! // Simulate a short NSA low-band drive for carrier OpX and count HOs.
+//! let scenario = ScenarioBuilder::city_loop(Carrier::OpX, 42)
+//!     .duration_s(120.0)
+//!     .build();
+//! let trace = scenario.run();
+//! assert!(trace.samples.len() > 0);
+//! ```
+
+pub use fiveg_analysis as analysis;
+pub use fiveg_apps as apps;
+pub use fiveg_baselines as baselines;
+pub use fiveg_geo as geo;
+pub use fiveg_link as link;
+pub use fiveg_radio as radio;
+pub use fiveg_ran as ran;
+pub use fiveg_rrc as rrc;
+pub use fiveg_sim as sim;
+pub use fiveg_ue as ue;
+pub use prognos;
+
+/// Commonly used items, re-exported for examples and quick experiments.
+pub mod prelude {
+    pub use fiveg_geo::{Point, Polyline};
+    pub use fiveg_radio::{Band, BandClass, Rrs};
+    pub use fiveg_ran::{Carrier, HoType, RadioTech};
+    pub use fiveg_sim::{Scenario, ScenarioBuilder, Trace};
+    pub use prognos::{Prognos, PrognosConfig};
+}

@@ -1,0 +1,94 @@
+//! Integration: application QoE over simulated radio conditions.
+
+use fiveg_mobility::apps::abr::AbrAlgorithm;
+use fiveg_mobility::apps::emulator::BandwidthTrace;
+use fiveg_mobility::apps::vod::{VodConfig, VodSession};
+use fiveg_mobility::apps::volumetric::{VolumetricConfig, VolumetricSession};
+use fiveg_mobility::apps::{conferencing_report, gaming_report};
+use fiveg_mobility::link::Cca;
+use fiveg_mobility::prelude::*;
+use fiveg_mobility::sim::Workload;
+
+fn bw_from_sim(seed: u64) -> (Trace, BandwidthTrace) {
+    let t = ScenarioBuilder::city_loop(Carrier::OpX, seed)
+        .duration_s(300.0)
+        .sample_hz(10.0)
+        .workload(Workload::Bulk(Cca::Cubic))
+        .build()
+        .run();
+    let series: Vec<(f64, f64)> = (0..(t.meta.duration_s as usize))
+        .filter_map(|sec| {
+            let vals: Vec<f64> = t
+                .samples
+                .iter()
+                .filter(|s| s.t >= sec as f64 && s.t < sec as f64 + 1.0)
+                .map(|s| s.capacity_mbps)
+                .collect();
+            (!vals.is_empty()).then(|| (sec as f64, vals.iter().sum::<f64>() / vals.len() as f64))
+        })
+        .collect();
+    let bw = BandwidthTrace::new(series);
+    (t, bw)
+}
+
+#[test]
+fn vod_runs_on_simulated_bandwidth() {
+    let (_, bw) = bw_from_sim(61);
+    for algo in [AbrAlgorithm::RateBased, AbrAlgorithm::FastMpc, AbrAlgorithm::RobustMpc, AbrAlgorithm::Festive] {
+        let r = VodSession::new(VodConfig { algorithm: algo, ..Default::default() }).run(&bw);
+        assert!(r.normalized_bitrate > 0.0 && r.normalized_bitrate <= 1.0, "{algo:?}: {r:?}");
+        assert!(r.stall_frac >= 0.0 && r.stall_frac < 1.0);
+    }
+}
+
+#[test]
+fn volumetric_runs_on_simulated_bandwidth() {
+    let (_, bw) = bw_from_sim(62);
+    let r = VolumetricSession::new(VolumetricConfig::default()).run(&bw);
+    assert!(r.mean_bitrate_mbps >= 43.0, "{r:?}");
+    assert!(r.normalized_quality <= 1.0);
+}
+
+#[test]
+fn conferencing_and_gaming_reports_extract() {
+    let t = ScenarioBuilder::city_loop(Carrier::OpX, 63)
+        .duration_s(400.0)
+        .sample_hz(20.0)
+        .workload(Workload::Cbr { rate_mbps: 1.0, deadline_ms: 150.0 })
+        .build()
+        .run();
+    if !t.handovers.is_empty() {
+        let r = conferencing_report(&t, 1.0).expect("conferencing report");
+        assert!(r.latency_no_ho_ms > 0.0);
+        assert!(r.latency_ho_ms >= r.latency_no_ho_ms * 0.5);
+    }
+    let g = ScenarioBuilder::city_loop_dense(Carrier::OpX, 64)
+        .duration_s(300.0)
+        .sample_hz(20.0)
+        .workload(Workload::Cbr { rate_mbps: 25.0, deadline_ms: 34.0 })
+        .build()
+        .run();
+    if !g.handovers.is_empty() {
+        assert!(gaming_report(&g, 1.0).is_some());
+    }
+}
+
+#[test]
+fn robust_mpc_is_more_conservative_than_fast_mpc() {
+    // a deliberately nasty trace: alternating feast and famine; robustMPC's
+    // error-discounted prediction must not stall more than fastMPC's
+    let pts: Vec<(f64, f64)> = (0..=400)
+        .map(|i| (i as f64, if (i / 20) % 2 == 0 { 250.0 } else { 15.0 }))
+        .collect();
+    let bw = BandwidthTrace::new(pts);
+    let fast = VodSession::new(VodConfig { algorithm: AbrAlgorithm::FastMpc, ..Default::default() }).run(&bw);
+    let robust = VodSession::new(VodConfig { algorithm: AbrAlgorithm::RobustMpc, ..Default::default() }).run(&bw);
+    assert!(
+        robust.stall_frac <= fast.stall_frac + 1e-9,
+        "robustMPC should stall no more than fastMPC: {} vs {}",
+        robust.stall_frac,
+        fast.stall_frac
+    );
+    // and it pays for that with (at most) equal quality
+    assert!(robust.normalized_bitrate <= fast.normalized_bitrate + 0.05);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: scenario → trace → analysis invariants.
+
+use fiveg_mobility::analysis::frequency::{is_4g_ho, is_nsa_5g_procedure, km_per_ho};
+use fiveg_mobility::prelude::*;
+use fiveg_mobility::ran::Arch;
+
+fn nsa_trace(seed: u64) -> Trace {
+    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 10.0, seed)
+        .duration_s(300.0)
+        .sample_hz(10.0)
+        .build()
+        .run()
+}
+
+#[test]
+fn trace_is_bitwise_deterministic() {
+    let a = nsa_trace(1);
+    let b = nsa_trace(1);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_serde_round_trip() {
+    let t = nsa_trace(2);
+    let dir = std::env::temp_dir().join("fiveg_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    t.save(&path).unwrap();
+    let back = Trace::load(&path).unwrap();
+    assert_eq!(back, t);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn handover_timeline_is_coherent() {
+    let t = nsa_trace(3);
+    assert!(!t.handovers.is_empty());
+    for h in &t.handovers {
+        assert!(h.t_decision < h.t_command, "{h:?}");
+        assert!(h.t_command < h.t_complete, "{h:?}");
+        assert!(h.stages.t1_ms > 0.0 && h.stages.t2_ms > 0.0);
+        // stage durations must match the timeline
+        assert!(((h.t_command - h.t_decision) * 1000.0 - h.stages.t1_ms).abs() < 1.0);
+        assert!(((h.t_complete - h.t_command) * 1000.0 - h.stages.t2_ms).abs() < 1.0);
+    }
+    for w in t.handovers.windows(2) {
+        assert!(w[0].t_complete <= w[1].t_decision + 1e-6, "HOs must not overlap");
+    }
+}
+
+#[test]
+fn scg_state_transitions_match_samples() {
+    let t = nsa_trace(4);
+    let sample_before = |time: f64| t.samples.iter().take_while(|s| s.t < time).last();
+    let sample_after = |time: f64| t.samples.iter().find(|s| s.t > time + 0.11);
+    for h in &t.handovers {
+        match h.ho_type {
+            HoType::Scga => {
+                if let Some(s) = sample_before(h.t_decision) {
+                    assert!(s.nr_cell.is_none(), "SCGA must start without an SCG");
+                }
+                if let Some(s) = sample_after(h.t_complete) {
+                    assert!(s.nr_cell.is_some(), "SCGA must end with an SCG");
+                }
+            }
+            HoType::Scgr => {
+                if let Some(s) = sample_before(h.t_decision) {
+                    assert!(s.nr_cell.is_some(), "SCGR must start with an SCG");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn signaling_counts_are_consistent_with_the_event_log() {
+    let t = nsa_trace(5);
+    // every logged MR was tallied (no faults configured)
+    assert_eq!(t.signaling.meas_reports as usize, t.reports.len());
+    // every completed HO contributed a completion + 2 RACH messages
+    assert_eq!(t.signaling.rach_msgs as usize, 2 * t.handovers.len());
+    assert_eq!(t.signaling.reconfiguration_completes as usize, t.handovers.len());
+}
+
+#[test]
+fn architecture_frequency_ordering_holds() {
+    // the paper's §5.1 ordering, averaged over seeds for stability
+    let mean_km = |arch: Arch, f: fn(&fiveg_mobility::ran::HandoverRecord) -> bool| -> f64 {
+        (10..13u64)
+            .map(|s| {
+                let t = ScenarioBuilder::freeway(Carrier::OpY, arch, 12.0, s)
+                    .duration_s(340.0)
+                    .sample_hz(10.0)
+                    .build()
+                    .run();
+                km_per_ho(&t, f)
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let nsa = mean_km(Arch::Nsa, is_nsa_5g_procedure);
+    let lte = mean_km(Arch::Lte, is_4g_ho);
+    let sa = mean_km(Arch::Sa, |_| true);
+    assert!(nsa < lte, "NSA 5G HOs must be most frequent: {nsa} vs {lte}");
+    assert!(nsa < sa, "SA must HO less than NSA: {nsa} vs {sa}");
+}
+
+#[test]
+fn taxonomy_matches_table2() {
+    assert_eq!(HoType::Scgc.access_change(true), "5G→4G→5G");
+    assert_eq!(HoType::Scga.acronym(), "SCGA");
+    assert_eq!(HoType::ALL.len(), 7);
+}
+
+#[test]
+fn dual_mode_softens_interruptions() {
+    use fiveg_mobility::sim::{FlowLog, Workload};
+    let run = |dual: bool| {
+        ScenarioBuilder::city_loop(Carrier::OpX, 21)
+            .duration_s(300.0)
+            .sample_hz(10.0)
+            .workload(Workload::Bulk(fiveg_mobility::link::Cca::Bbr))
+            .force_dual(dual)
+            .build()
+            .run()
+    };
+    let dual = run(true);
+    let only = run(false);
+    let zero_frac = |t: &Trace| match &t.flow {
+        FlowLog::Tcp(v) => v.iter().filter(|s| s.goodput_mbps < 0.5).count() as f64 / v.len() as f64,
+        _ => panic!(),
+    };
+    assert!(
+        zero_frac(&dual) < zero_frac(&only),
+        "dual mode must stall less: {} vs {}",
+        zero_frac(&dual),
+        zero_frac(&only)
+    );
+}
