@@ -38,16 +38,10 @@ pub fn same_pci_pairs_overlap(trace: &Trace) -> (usize, usize) {
     let mut nr_positions: HashMap<u16, Vec<Point>> = HashMap::new();
     for s in &trace.samples {
         if let Some(l) = s.lte_cell {
-            lte_positions
-                .entry(trace.cell(l).pci)
-                .or_default()
-                .push(Point::new(s.pos.0, s.pos.1));
+            lte_positions.entry(trace.cell(l).pci).or_default().push(Point::new(s.pos.0, s.pos.1));
         }
         if let Some(n) = s.nr_cell {
-            nr_positions
-                .entry(trace.cell(n).pci)
-                .or_default()
-                .push(Point::new(s.pos.0, s.pos.1));
+            nr_positions.entry(trace.cell(n).pci).or_default().push(Point::new(s.pos.0, s.pos.1));
         }
     }
     let mut total = 0;
@@ -78,11 +72,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn urban(carrier: Carrier, seed: u64) -> Trace {
-        ScenarioBuilder::city_loop(carrier, seed)
-            .duration_s(500.0)
-            .sample_hz(10.0)
-            .build()
-            .run()
+        ScenarioBuilder::city_loop(carrier, seed).duration_s(500.0).sample_hz(10.0).build().run()
     }
 
     #[test]
@@ -106,20 +96,14 @@ mod tests {
         let t = urban(Carrier::OpX, 45);
         let (verified, total) = same_pci_pairs_overlap(&t);
         if total > 0 {
-            assert!(
-                verified * 10 >= total * 6,
-                "expected most same-PCI hulls to overlap: {verified}/{total}"
-            );
+            assert!(verified * 10 >= total * 6, "expected most same-PCI hulls to overlap: {verified}/{total}");
         }
     }
 
     #[test]
     fn lte_only_trace_has_no_colocation() {
-        let t = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 5.0, 46)
-            .duration_s(120.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let t =
+            ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 5.0, 46).duration_s(120.0).sample_hz(10.0).build().run();
         assert_eq!(colocated_sample_fraction(&t), 0.0);
         assert_eq!(same_pci_pairs_overlap(&t).1, 0);
     }

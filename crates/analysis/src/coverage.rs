@@ -80,10 +80,7 @@ pub fn dwell_distances(trace: &Trace, kind: CoverageKind, class: Option<BandClas
                         // grace: keep riding the tracked tower
                     }
                     None => {
-                        let best = observed
-                            .iter()
-                            .copied()
-                            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                        let best = observed.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
                         ideal_tower = best.map(|(c, _)| tower_of(c));
                         ideal_cell = best.map(|(c, _)| c);
                         ideal_last_seen = s.t;
@@ -96,13 +93,7 @@ pub fn dwell_distances(trace: &Trace, kind: CoverageKind, class: Option<BandClas
         let cell = cell.filter(|&c| class.map(|k| trace.cell(c).class == k).unwrap_or(true));
         // NrIdeal spans are per tower: normalize the key so sector changes
         // within the tracked gNB do not split spans
-        let cell = cell.map(|c| {
-            if kind == CoverageKind::NrIdeal {
-                u32::MAX - trace.cell(c).tower
-            } else {
-                c
-            }
-        });
+        let cell = cell.map(|c| if kind == CoverageKind::NrIdeal { u32::MAX - trace.cell(c).tower } else { c });
 
         match (current, cell) {
             (None, Some(c)) => current = Some((c, s.dist_m)),
@@ -138,11 +129,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn nsa_freeway(seed: u64) -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 25.0, seed)
-            .duration_s(720.0)
-            .sample_hz(10.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 25.0, seed).duration_s(720.0).sample_hz(10.0).build().run()
     }
 
     #[test]

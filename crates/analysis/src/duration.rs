@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn colocation_split_shows_difference() {
         // synthetic: co-located shorter, as the stage model produces
-        let hos = vec![
-            rec(HoType::Scgm, 60.0, 90.0, true),
-            rec(HoType::Scgm, 75.0, 90.0, false),
-        ];
+        let hos = vec![rec(HoType::Scgm, 60.0, 90.0, true), rec(HoType::Scgm, 75.0, 90.0, false)];
         let same = DurationStats::total(&hos, |h| h.same_pci);
         let diff = DurationStats::total(&hos, |h| !h.same_pci);
         assert!(diff.mean_ms > same.mean_ms);
@@ -115,8 +112,7 @@ mod tests {
 
     #[test]
     fn percentiles_ordered() {
-        let hos: Vec<HandoverRecord> =
-            (0..50).map(|i| rec(HoType::Scga, 50.0 + i as f64, 80.0, false)).collect();
+        let hos: Vec<HandoverRecord> = (0..50).map(|i| rec(HoType::Scga, 50.0 + i as f64, 80.0, false)).collect();
         let s = DurationStats::t1(&hos, |_| true);
         assert!(s.p25_ms <= s.median_ms);
         assert!(s.median_ms <= s.p75_ms);

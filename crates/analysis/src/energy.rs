@@ -31,9 +31,7 @@ impl EnergyReport {
         let mean_power = if hos.is_empty() {
             0.0
         } else {
-            hos.iter()
-                .map(|h| model.ho_power_w(h.arch, h.nr_band, h.ho_type.category()))
-                .sum::<f64>()
+            hos.iter().map(|h| model.ho_power_w(h.arch, h.nr_band, h.ho_type.category())).sum::<f64>()
                 / hos.len() as f64
         };
         EnergyReport {
@@ -63,11 +61,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn nsa_freeway(seed: u64) -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 10.0, seed)
-            .duration_s(280.0)
-            .sample_hz(10.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 10.0, seed).duration_s(280.0).sample_hz(10.0).build().run()
     }
 
     #[test]
@@ -95,11 +89,8 @@ mod tests {
         let t = nsa_freeway(53);
         let m = PowerModel::default();
         let all5 = EnergyReport::over(&t, &m, |h| h.nr_band.is_some());
-        let lte = ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 10.0, 53)
-            .duration_s(280.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let lte =
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 10.0, 53).duration_s(280.0).sample_hz(10.0).build().run();
         let r_lte = EnergyReport::over(&lte, &m, |_| true);
         if all5.ho_count > 0 && r_lte.ho_count > 0 {
             let per5 = all5.total_j / all5.ho_count as f64;

@@ -59,11 +59,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn freeway(arch: Arch, seed: u64) -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, arch, 10.0, seed)
-            .duration_s(300.0)
-            .sample_hz(10.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, arch, 10.0, seed).duration_s(300.0).sample_hz(10.0).build().run()
     }
 
     #[test]
@@ -73,10 +69,7 @@ mod tests {
         let lte = freeway(Arch::Lte, 21);
         let nsa_rate = hos_per_km(&nsa, is_nsa_5g_procedure) + hos_per_km(&nsa, is_4g_ho);
         let lte_rate = hos_per_km(&lte, |_| true);
-        assert!(
-            nsa_rate > lte_rate,
-            "NSA total HO rate {nsa_rate}/km should exceed LTE {lte_rate}/km"
-        );
+        assert!(nsa_rate > lte_rate, "NSA total HO rate {nsa_rate}/km should exceed LTE {lte_rate}/km");
     }
 
     #[test]
@@ -85,10 +78,7 @@ mod tests {
         let sa = freeway(Arch::Sa, 22);
         let nsa_km = km_per_ho(&nsa, is_nsa_5g_procedure);
         let sa_km = km_per_ho(&sa, |_| true);
-        assert!(
-            sa_km > nsa_km,
-            "SA should travel farther per HO: SA {sa_km} km vs NSA {nsa_km} km"
-        );
+        assert!(sa_km > nsa_km, "SA should travel farther per HO: SA {sa_km} km vs NSA {nsa_km} km");
     }
 
     #[test]
@@ -117,9 +107,8 @@ mod tests {
         // §5.1: "SA 5G reduces HO-related signaling messages ... because of
         // lower HO frequency" — the robust ordering is SA ≪ NSA (the dual
         // connection doubles the signaling surface)
-        let mean = |arch: Arch| -> f64 {
-            (26..29).map(|s| signaling_msgs_per_km(&freeway(arch, s))).sum::<f64>() / 3.0
-        };
+        let mean =
+            |arch: Arch| -> f64 { (26..29).map(|s| signaling_msgs_per_km(&freeway(arch, s))).sum::<f64>() / 3.0 };
         let sa = mean(Arch::Sa);
         let nsa = mean(Arch::Nsa);
         assert!(sa < nsa / 1.3, "SA {sa} vs NSA {nsa}");

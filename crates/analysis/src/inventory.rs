@@ -90,16 +90,9 @@ mod tests {
 
     #[test]
     fn inventory_aggregates_across_traces() {
-        let a = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 71)
-            .duration_s(170.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
-        let b = ScenarioBuilder::city_loop(Carrier::OpY, 72)
-            .duration_s(170.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let a =
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 71).duration_s(170.0).sample_hz(10.0).build().run();
+        let b = ScenarioBuilder::city_loop(Carrier::OpY, 72).duration_s(170.0).sample_hz(10.0).build().run();
         let inv = DatasetInventory::over(&[&a, &b]);
         assert!(inv.unique_towers > 0);
         assert!(inv.freeway_km > 0.0);

@@ -57,11 +57,7 @@ impl ClassMetrics {
         }
         let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
         let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-        let f1 = if precision + recall == 0.0 {
-            0.0
-        } else {
-            2.0 * precision * recall / (precision + recall)
-        };
+        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
         let accuracy = if truth.is_empty() { 0.0 } else { correct as f64 / truth.len() as f64 };
         ClassMetrics { precision, recall, f1, accuracy }
     }

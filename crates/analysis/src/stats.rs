@@ -134,12 +134,7 @@ mod tests {
         let xs = vec![10.0; 50];
         let grid = [0.0, 5.0, 10.0, 15.0, 20.0];
         let d = kde_density(&xs, &grid, Some(1.0));
-        let max_i = d
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_i = d.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(grid[max_i], 10.0);
     }
 

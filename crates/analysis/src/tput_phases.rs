@@ -35,11 +35,7 @@ pub fn ho_phase_throughput(trace: &Trace) -> Vec<PhaseTput> {
         _ => return vec![],
     };
     let mean_in = |a: f64, b: f64| -> Option<f64> {
-        let vals: Vec<f64> = samples
-            .iter()
-            .filter(|s| s.t >= a && s.t < b)
-            .map(|s| s.goodput_mbps)
-            .collect();
+        let vals: Vec<f64> = samples.iter().filter(|s| s.t >= a && s.t < b).map(|s| s.goodput_mbps).collect();
         if vals.is_empty() {
             None
         } else {
@@ -58,13 +54,7 @@ pub fn ho_phase_throughput(trace: &Trace) -> Vec<PhaseTput> {
             let pre = mean_in(h.t_decision - 2.0, h.t_decision - 1.0)?;
             let exec = mean_in(h.t_decision, h.t_complete)?;
             let post = mean_in(h.t_complete, h.t_complete + 1.0)?;
-            Some(PhaseTput {
-                ho_type: h.ho_type,
-                nr_band: h.nr_band,
-                pre_mbps: pre,
-                exec_mbps: exec,
-                post_mbps: post,
-            })
+            Some(PhaseTput { ho_type: h.ho_type, nr_band: h.nr_band, pre_mbps: pre, exec_mbps: exec, post_mbps: post })
         })
         .collect()
 }
@@ -138,11 +128,8 @@ mod tests {
 
     #[test]
     fn no_flow_no_phases() {
-        let t = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, 64)
-            .duration_s(60.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let t =
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, 64).duration_s(60.0).sample_hz(10.0).build().run();
         assert!(ho_phase_throughput(&t).is_empty());
     }
 }

@@ -105,10 +105,7 @@ impl Abr {
     }
 
     fn rate_based(s: &AbrState<'_>, tput: f64) -> usize {
-        s.levels
-            .iter()
-            .rposition(|&b| b <= tput)
-            .unwrap_or(0)
+        s.levels.iter().rposition(|&b| b <= tput).unwrap_or(0)
     }
 
     /// Exhaustive MPC over [`MPC_HORIZON`] chunks with a constant predicted
@@ -137,8 +134,8 @@ impl Abr {
                 let dl_time = s.levels[level] * s.chunk_s / tput.max(0.01);
                 let rebuf = (dl_time - buffer).max(0.0);
                 buffer = (buffer - dl_time).max(0.0) + s.chunk_s;
-                qoe += s.levels[level] - rebuf_penalty * rebuf
-                    - SMOOTH_PENALTY * (s.levels[level] - s.levels[prev]).abs();
+                qoe +=
+                    s.levels[level] - rebuf_penalty * rebuf - SMOOTH_PENALTY * (s.levels[level] - s.levels[prev]).abs();
                 prev = level;
             }
             if qoe > best_qoe {

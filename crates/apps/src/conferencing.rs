@@ -62,12 +62,8 @@ pub fn conferencing_report(trace: &Trace, window_s: f64) -> Option<ConferencingR
         FlowLog::Cbr(v) => v,
         _ => return None,
     };
-    let in_ho_window = |t: f64| {
-        trace
-            .handovers
-            .iter()
-            .any(|h| t >= h.t_decision - window_s && t <= h.t_complete + window_s)
-    };
+    let in_ho_window =
+        |t: f64| trace.handovers.iter().any(|h| t >= h.t_decision - window_s && t <= h.t_complete + window_s);
     let mut ho_lat = Vec::new();
     let mut no_lat = Vec::new();
     let mut ho_loss = Vec::new();
@@ -117,22 +113,13 @@ mod tests {
         let t = zoom_trace(81);
         let r = conferencing_report(&t, 1.0).expect("report");
         assert!(r.ho_count > 0);
-        assert!(
-            r.latency_factor() > 1.1,
-            "HO latency {} should exceed no-HO {}",
-            r.latency_ho_ms,
-            r.latency_no_ho_ms
-        );
+        assert!(r.latency_factor() > 1.1, "HO latency {} should exceed no-HO {}", r.latency_ho_ms, r.latency_no_ho_ms);
         assert!(r.worst_latency_factor() >= r.latency_factor());
     }
 
     #[test]
     fn no_cbr_flow_yields_none() {
-        let t = ScenarioBuilder::city_loop(Carrier::OpX, 82)
-            .duration_s(60.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let t = ScenarioBuilder::city_loop(Carrier::OpX, 82).duration_s(60.0).sample_hz(10.0).build().run();
         assert!(conferencing_report(&t, 1.0).is_none());
     }
 

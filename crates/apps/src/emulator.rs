@@ -19,10 +19,7 @@ impl BandwidthTrace {
     /// Builds a trace from (t, Mbps) points (must be time-ordered).
     pub fn new(points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two points");
-        assert!(
-            points.windows(2).all(|w| w[1].0 > w[0].0),
-            "points must be strictly time-ordered"
-        );
+        assert!(points.windows(2).all(|w| w[1].0 > w[0].0), "points must be strictly time-ordered");
         Self { points }
     }
 
@@ -98,11 +95,8 @@ impl BandwidthTrace {
         let mut out = Vec::new();
         let mut a = t_start;
         while a + window_s <= t_end {
-            let pts: Vec<(f64, f64)> = series
-                .iter()
-                .filter(|p| p.0 >= a && p.0 < a + window_s)
-                .map(|&(t, c)| (t - a, c))
-                .collect();
+            let pts: Vec<(f64, f64)> =
+                series.iter().filter(|p| p.0 >= a && p.0 < a + window_s).map(|&(t, c)| (t - a, c)).collect();
             if pts.len() >= 2 {
                 let tr = BandwidthTrace::new(pts);
                 if tr.mean_mbps() < 400.0 && tr.min_mbps() > 2.0 {
@@ -195,9 +189,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_trace() -> impl Strategy<Value = BandwidthTrace> {
-        proptest::collection::vec(2.0..400.0f64, 2..60).prop_map(|caps| {
-            BandwidthTrace::new(caps.into_iter().enumerate().map(|(i, c)| (i as f64, c)).collect())
-        })
+        proptest::collection::vec(2.0..400.0f64, 2..60)
+            .prop_map(|caps| BandwidthTrace::new(caps.into_iter().enumerate().map(|(i, c)| (i as f64, c)).collect()))
     }
 
     proptest! {

@@ -57,9 +57,10 @@ pub fn gaming_report(trace: &Trace, window_s: f64) -> Option<GamingReport> {
         _ => return None,
     };
     let window_of = |ho_filter: &dyn Fn(HoType) -> bool, t: f64| {
-        trace.handovers.iter().any(|h| {
-            ho_filter(h.ho_type) && t >= h.t_decision - window_s && t <= h.t_complete + window_s
-        })
+        trace
+            .handovers
+            .iter()
+            .any(|h| ho_filter(h.ho_type) && t >= h.t_decision - window_s && t <= h.t_complete + window_s)
     };
     let agg = |filter: &dyn Fn(HoType) -> bool, inside: bool| -> (f64, f64, usize) {
         let mut lat = 0.0;
@@ -146,12 +147,7 @@ mod tests {
         let t = gaming_trace(91);
         let r = gaming_report(&t, 1.0).expect("report");
         assert!(r.latency_factor() > 1.05, "latency factor {}", r.latency_factor());
-        assert!(
-            r.drops_ho >= r.drops_no_ho,
-            "drops {} vs {}",
-            r.drops_ho,
-            r.drops_no_ho
-        );
+        assert!(r.drops_ho >= r.drops_no_ho, "drops {} vs {}", r.drops_ho, r.drops_no_ho);
     }
 
     #[test]
@@ -180,11 +176,7 @@ mod tests {
 
     #[test]
     fn no_flow_gives_none() {
-        let t = ScenarioBuilder::city_loop(Carrier::OpX, 98)
-            .duration_s(60.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let t = ScenarioBuilder::city_loop(Carrier::OpX, 98).duration_s(60.0).sample_hz(10.0).build().run();
         assert!(gaming_report(&t, 1.0).is_none());
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::abr::{Abr, AbrAlgorithm, AbrState, TputCorrector};
 use crate::emulator::BandwidthTrace;
+use fiveg_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// VoD session configuration.
@@ -67,12 +68,19 @@ pub struct VodResult {
 /// A runnable VoD session.
 pub struct VodSession {
     cfg: VodConfig,
+    telemetry: Telemetry,
 }
 
 impl VodSession {
     /// Creates a session.
     pub fn new(cfg: VodConfig) -> Self {
-        Self { cfg }
+        Self { cfg, telemetry: Telemetry::disabled() }
+    }
+
+    /// Installs a telemetry recorder (disabled by default): rebuffering
+    /// events are counted and journaled at trace time.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.telemetry = tele;
     }
 
     /// Plays the whole video over `trace` and reports QoE.
@@ -122,6 +130,15 @@ impl VodSession {
                 let drained = buffer.min(dl);
                 if dl > buffer {
                     stall += dl - buffer;
+                    if self.telemetry.is_enabled() {
+                        // the player runs dry `buffer` seconds into the
+                        // download and resumes once the chunk lands
+                        self.telemetry.incr("vod.stalls");
+                        self.telemetry.observe("vod.stall_s", dl - buffer);
+                        self.telemetry.record(t + buffer, Event::StallStart { flow: "vod".to_string() });
+                        self.telemetry
+                            .record(t + dl, Event::StallEnd { flow: "vod".to_string(), duration_s: dl - buffer });
+                    }
                 }
                 buffer = buffer - drained + cfg.chunk_s;
             } else {
@@ -136,11 +153,7 @@ impl VodSession {
             let err = (pred - actual_tput).abs();
             mae_acc += err;
             mae_n += 1;
-            let in_ho = cfg
-                .ho_window
-                .as_ref()
-                .map(|f| f(t))
-                .unwrap_or(correction != 1.0);
+            let in_ho = cfg.ho_window.as_ref().map(|f| f(t)).unwrap_or(correction != 1.0);
             if in_ho {
                 mae_ho_acc += err;
                 mae_ho_n += 1;
@@ -193,8 +206,7 @@ mod tests {
     fn sudden_drop_causes_stalls_for_naive_rb() {
         // 300 Mbps for 30 s, then 10 Mbps: RB follows the harmonic mean into
         // the cliff and stalls
-        let pts: Vec<(f64, f64)> =
-            (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 10.0 })).collect();
+        let pts: Vec<(f64, f64)> = (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 10.0 })).collect();
         let tr = BandwidthTrace::new(pts);
         let r = run(AbrAlgorithm::RateBased, &tr);
         assert!(r.stall_s > 0.0, "expected stalls, got {r:?}");
@@ -202,24 +214,30 @@ mod tests {
 
     #[test]
     fn gt_corrector_reduces_stalls_on_cliff() {
-        let pts: Vec<(f64, f64)> =
-            (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 12.0 })).collect();
+        let pts: Vec<(f64, f64)> = (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 12.0 })).collect();
         let tr = BandwidthTrace::new(pts);
         let plain = run(AbrAlgorithm::RateBased, &tr);
         // a "ground truth" corrector that knows about the cliff at t=30
         let c: TputCorrector = Box::new(|t| if t > 27.0 && t < 33.0 { 0.05 } else { 1.0 });
-        let corrected = VodSession::new(VodConfig {
-            algorithm: AbrAlgorithm::RateBased,
-            corrector: Some(c),
-            ..Default::default()
-        })
-        .run(&tr);
-        assert!(
-            corrected.stall_s < plain.stall_s,
-            "corrected {} vs plain {}",
-            corrected.stall_s,
-            plain.stall_s
-        );
+        let corrected =
+            VodSession::new(VodConfig { algorithm: AbrAlgorithm::RateBased, corrector: Some(c), ..Default::default() })
+                .run(&tr);
+        assert!(corrected.stall_s < plain.stall_s, "corrected {} vs plain {}", corrected.stall_s, plain.stall_s);
+    }
+
+    #[test]
+    fn telemetry_counts_stalls() {
+        use fiveg_telemetry::TelemetryConfig;
+        let pts: Vec<(f64, f64)> = (0..=600).map(|i| (i as f64, if i < 30 { 300.0 } else { 10.0 })).collect();
+        let tr = BandwidthTrace::new(pts);
+        let tele = Telemetry::new(TelemetryConfig::on());
+        let mut sess = VodSession::new(VodConfig { algorithm: AbrAlgorithm::RateBased, ..Default::default() });
+        sess.set_telemetry(tele.clone());
+        let r = sess.run(&tr);
+        assert!(r.stall_s > 0.0);
+        assert!(tele.counter_value("vod.stalls") > 0);
+        let jsonl = tele.journal_jsonl();
+        assert!(jsonl.contains("\"flow\":\"vod\""), "{jsonl}");
     }
 
     #[test]
@@ -231,9 +249,7 @@ mod tests {
     #[test]
     fn festive_switches_less_than_rb() {
         // oscillating bandwidth provokes switching
-        let pts: Vec<(f64, f64)> = (0..=600)
-            .map(|i| (i as f64, if (i / 8) % 2 == 0 { 150.0 } else { 40.0 }))
-            .collect();
+        let pts: Vec<(f64, f64)> = (0..=600).map(|i| (i as f64, if (i / 8) % 2 == 0 { 150.0 } else { 40.0 })).collect();
         let tr = BandwidthTrace::new(pts);
         let rb = run(AbrAlgorithm::RateBased, &tr);
         let fe = run(AbrAlgorithm::Festive, &tr);

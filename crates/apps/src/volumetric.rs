@@ -146,26 +146,20 @@ mod tests {
 
     #[test]
     fn outage_causes_stall() {
-        let pts: Vec<(f64, f64)> = (0..=900)
-            .map(|i| (i as f64, if (60..66).contains(&i) { 1.0 } else { 200.0 }))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..=900).map(|i| (i as f64, if (60..66).contains(&i) { 1.0 } else { 200.0 })).collect();
         let r = run_with(AbrAlgorithm::RateBased, &BandwidthTrace::new(pts));
         assert!(r.stall_s > 0.5, "{}", r.stall_s);
     }
 
     #[test]
     fn corrector_that_warns_of_drop_reduces_stall() {
-        let pts: Vec<(f64, f64)> = (0..=900)
-            .map(|i| (i as f64, if (60..75).contains(&i) { 40.0 } else { 200.0 }))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..=900).map(|i| (i as f64, if (60..75).contains(&i) { 40.0 } else { 200.0 })).collect();
         let tr = BandwidthTrace::new(pts);
         let plain = run_with(AbrAlgorithm::RateBased, &tr);
         let c: TputCorrector = Box::new(|t| if (58.0..75.0).contains(&t) { 0.2 } else { 1.0 });
-        let warned = VolumetricSession::new(VolumetricConfig {
-            corrector: Some(c),
-            ..Default::default()
-        })
-        .run(&tr);
+        let warned = VolumetricSession::new(VolumetricConfig { corrector: Some(c), ..Default::default() }).run(&tr);
         assert!(warned.stall_s <= plain.stall_s, "warned {} vs plain {}", warned.stall_s, plain.stall_s);
     }
 

@@ -52,14 +52,8 @@ impl Dataset {
     /// these are time series).
     pub fn split(&self, train_frac: f64) -> (Dataset, Dataset) {
         let cut = ((self.len() as f64) * train_frac.clamp(0.0, 1.0)).round() as usize;
-        let train = Dataset {
-            features: self.features[..cut].to_vec(),
-            labels: self.labels[..cut].to_vec(),
-        };
-        let test = Dataset {
-            features: self.features[cut..].to_vec(),
-            labels: self.labels[cut..].to_vec(),
-        };
+        let train = Dataset { features: self.features[..cut].to_vec(), labels: self.labels[..cut].to_vec() };
+        let test = Dataset { features: self.features[cut..].to_vec(), labels: self.labels[cut..].to_vec() };
         (train, test)
     }
 

@@ -62,10 +62,7 @@ impl Gbc {
 
         // softened inverse-frequency class weights
         let weights: Vec<f64> = if cfg.balanced {
-            counts
-                .iter()
-                .map(|&c| (total / (k as f64 * c)).sqrt().min(30.0))
-                .collect()
+            counts.iter().map(|&c| (total / (k as f64 * c)).sqrt().min(30.0)).collect()
         } else {
             vec![1.0; k]
         };
@@ -107,11 +104,7 @@ impl Gbc {
     /// Hard prediction: the argmax class.
     pub fn predict(&self, row: &[f64]) -> usize {
         let p = self.predict_proba(row);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap_or(0)
     }
 
     /// Number of classes.
@@ -143,12 +136,7 @@ mod tests {
     fn learns_separable_blobs() {
         let d = blob_dataset();
         let g = Gbc::train(&d, &GbcConfig::default());
-        let correct = d
-            .features
-            .iter()
-            .zip(&d.labels)
-            .filter(|(x, &y)| g.predict(x) == y)
-            .count();
+        let correct = d.features.iter().zip(&d.labels).filter(|(x, &y)| g.predict(x) == y).count();
         assert!(correct >= 58, "{correct}/60");
     }
 

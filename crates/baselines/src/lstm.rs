@@ -86,12 +86,7 @@ impl LstmLayer {
         for x in b[hidden..2 * hidden].iter_mut() {
             *x = 1.0;
         }
-        Self {
-            w: Mat::glorot(4 * hidden, input, rng),
-            u: Mat::glorot(4 * hidden, hidden, rng),
-            b,
-            hidden,
-        }
+        Self { w: Mat::glorot(4 * hidden, input, rng), u: Mat::glorot(4 * hidden, hidden, rng), b, hidden }
     }
 
     fn forward(&self, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<StepCache>) {
@@ -120,16 +115,7 @@ impl LstmLayer {
                 tanh_c[k] = c[k].tanh();
                 h_new[k] = o[k] * tanh_c[k];
             }
-            caches.push(StepCache {
-                x: x.clone(),
-                i,
-                f,
-                g,
-                o,
-                c_prev: c_prev.clone(),
-                h_prev: h_prev.clone(),
-                tanh_c,
-            });
+            caches.push(StepCache { x: x.clone(), i, f, g, o, c_prev: c_prev.clone(), h_prev: h_prev.clone(), tanh_c });
             hs.push(h_new.clone());
             h_prev = h_new;
             c_prev = c;
@@ -462,11 +448,7 @@ mod tests {
     fn training_reduces_loss() {
         let (xs, ys) = slope_dataset(20);
         let loss = |net: &StackedLstm| -> f64 {
-            xs.iter()
-                .zip(&ys)
-                .map(|(x, &y)| -net.predict_proba(x)[y].max(1e-12).ln())
-                .sum::<f64>()
-                / xs.len() as f64
+            xs.iter().zip(&ys).map(|(x, &y)| -net.predict_proba(x)[y].max(1e-12).ln()).sum::<f64>() / xs.len() as f64
         };
         let early = StackedLstm::train(&xs, &ys, &LstmConfig { epochs: 1, ..Default::default() });
         let late = StackedLstm::train(&xs, &ys, &LstmConfig { epochs: 25, ..Default::default() });

@@ -85,8 +85,7 @@ impl RegressionTree {
             let mut k = 0.0;
             while (k as usize) < usable {
                 let thr = vals[k as usize];
-                let (l, r): (Vec<usize>, Vec<usize>) =
-                    idx.iter().partition(|&&i| features[i][f] <= thr);
+                let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| features[i][f] <= thr);
                 if !l.is_empty() && !r.is_empty() {
                     let gain = parent_sse - Self::sse(targets, &l) - Self::sse(targets, &r);
                     if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
@@ -99,8 +98,7 @@ impl RegressionTree {
         match best {
             None => RegressionTree::Leaf { value: Self::mean(targets, idx) },
             Some((feature, threshold, _)) => {
-                let (l, r): (Vec<usize>, Vec<usize>) =
-                    idx.iter().partition(|&&i| features[i][feature] <= threshold);
+                let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| features[i][feature] <= threshold);
                 RegressionTree::Node {
                     feature,
                     threshold,
@@ -151,11 +149,7 @@ mod tests {
     fn respects_max_depth() {
         let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
         let targets: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
-        let t = RegressionTree::fit(
-            &features,
-            &targets,
-            &TreeConfig { max_depth: 2, ..Default::default() },
-        );
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig { max_depth: 2, ..Default::default() });
         assert!(t.depth() <= 3); // depth counts the leaf level
     }
 
@@ -171,19 +165,14 @@ mod tests {
     fn small_node_not_split() {
         let features: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
         let targets: Vec<f64> = vec![0.0, 0.0, 1.0, 1.0, 1.0];
-        let t = RegressionTree::fit(
-            &features,
-            &targets,
-            &TreeConfig { min_samples_split: 10, ..Default::default() },
-        );
+        let t = RegressionTree::fit(&features, &targets, &TreeConfig { min_samples_split: 10, ..Default::default() });
         assert!(matches!(t, RegressionTree::Leaf { .. }));
     }
 
     #[test]
     fn uses_the_informative_feature() {
         // feature 0 is noise-ish, feature 1 carries the signal
-        let features: Vec<Vec<f64>> =
-            (0..60).map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64]).collect();
+        let features: Vec<Vec<f64>> = (0..60).map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64]).collect();
         let targets: Vec<f64> = (0..60).map(|i| (i % 2) as f64 * 10.0).collect();
         let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
         match t {
@@ -199,11 +188,7 @@ mod tests {
         let t = RegressionTree::fit(&features, &targets, &TreeConfig::default());
         let mean = targets.iter().sum::<f64>() / 100.0;
         let base: f64 = targets.iter().map(|y| (y - mean).powi(2)).sum();
-        let fit: f64 = features
-            .iter()
-            .zip(&targets)
-            .map(|(x, y)| (y - t.predict(x)).powi(2))
-            .sum();
+        let fit: f64 = features.iter().zip(&targets).map(|(x, y)| (y - t.predict(x)).powi(2)).sum();
         assert!(fit < base / 4.0, "fit {fit} vs base {base}");
     }
 }

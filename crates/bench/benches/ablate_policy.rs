@@ -74,14 +74,7 @@ fn main() {
         ]);
     }
     fmt::table(
-        &[
-            "carrier",
-            "5G HOs co/non",
-            "HO ms (co-located)",
-            "HO ms (cross-tower)",
-            "low-band dwell m",
-            "km per 5G HO",
-        ],
+        &["carrier", "5G HOs co/non", "HO ms (co-located)", "HO ms (cross-tower)", "low-band dwell m", "km per 5G HO"],
         &rows,
     );
 

@@ -87,29 +87,21 @@ fn main() {
         ),
     );
 
-    push(
-        "history window 0.5 s",
-        evaluate(&traces, PrognosConfig { history_window_s: 0.5, ..Default::default() }),
-    );
-    push(
-        "history window 2.0 s",
-        evaluate(&traces, PrognosConfig { history_window_s: 2.0, ..Default::default() }),
-    );
-    push(
-        "no forecast damping",
-        evaluate(&traces, PrognosConfig { forecast_cooloff_s: 0.0, ..Default::default() }),
-    );
+    push("history window 0.5 s", evaluate(&traces, PrognosConfig { history_window_s: 0.5, ..Default::default() }));
+    push("history window 2.0 s", evaluate(&traces, PrognosConfig { history_window_s: 2.0, ..Default::default() }));
+    push("no forecast damping", evaluate(&traces, PrognosConfig { forecast_cooloff_s: 0.0, ..Default::default() }));
 
     fmt::table(&["variant", "F1", "precision", "recall", "mean lead"], &rows);
 
     // headline ablation claims
     let lead_full: f64 = rows[0][4].trim_end_matches(" ms").parse().unwrap();
     let lead_reactive: f64 = rows[1][4].trim_end_matches(" ms").parse().unwrap();
-    fmt::compare("lead time, full vs reactive", "report predictor buys ~1 s", &format!("{lead_full:.0} vs {lead_reactive:.0} ms"));
-    assert!(
-        lead_full > lead_reactive + 150.0,
-        "the report predictor must buy substantial lead time"
+    fmt::compare(
+        "lead time, full vs reactive",
+        "report predictor buys ~1 s",
+        &format!("{lead_full:.0} vs {lead_reactive:.0} ms"),
     );
+    assert!(lead_full > lead_reactive + 150.0, "the report predictor must buy substantial lead time");
     assert!(base > 0.0 && reactive > 0.0, "both variants must function");
     println!("\nOK ablate_prognos");
 }

@@ -27,18 +27,11 @@ fn type_stats(t: &Trace, kinds: &[HoType], min_cap: f64) -> Option<(f64, f64, us
         }
         let (a, b) = (h.t_decision - 1.0, h.t_complete + 1.0);
         // exclusive window: no other HO overlaps
-        if t.handovers.iter().any(|o| {
-            !std::ptr::eq(o, h) && o.t_decision - 1.0 < b && o.t_complete + 1.0 > a
-        }) {
+        if t.handovers.iter().any(|o| !std::ptr::eq(o, h) && o.t_decision - 1.0 < b && o.t_complete + 1.0 > a) {
             continue;
         }
         // capable-path precondition
-        let caps: Vec<f64> = t
-            .samples
-            .iter()
-            .filter(|s| s.t >= a && s.t <= b)
-            .map(|s| s.capacity_mbps)
-            .collect();
+        let caps: Vec<f64> = t.samples.iter().filter(|s| s.t >= a && s.t <= b).map(|s| s.capacity_mbps).collect();
         if caps.is_empty() || caps.iter().sum::<f64>() / (caps.len() as f64) < min_cap {
             continue;
         }
@@ -96,11 +89,7 @@ fn main() {
     if !drop_f.is_empty() {
         fmt::compare("dropped-frame inflation during HOs", "2.6x", &format!("{:.2}x", mean(&drop_f)));
     }
-    fmt::compare(
-        "MNBH extra latency over SCGM",
-        "+16.8 ms",
-        &format!("{:+.1} ms", mean(&mnbh_lat) - mean(&scgm_lat)),
-    );
+    fmt::compare("MNBH extra latency over SCGM", "+16.8 ms", &format!("{:+.1} ms", mean(&mnbh_lat) - mean(&scgm_lat)));
     if mean(&scgm_drop) > 1e-6 {
         fmt::compare(
             "MNBH dropped frames vs SCGM",
@@ -111,10 +100,7 @@ fn main() {
 
     assert!(mean(&lat_f) > 1.3, "HOs must inflate gaming latency");
     if !mnbh_lat.is_empty() {
-        assert!(
-            mean(&mnbh_lat) > mean(&scgm_lat),
-            "4G-anchor HOs must hurt more than NR-internal HOs"
-        );
+        assert!(mean(&mnbh_lat) > mean(&scgm_lat), "4G-anchor HOs must hurt more than NR-internal HOs");
     }
     println!("\nOK fig05_gaming");
 }

@@ -14,9 +14,7 @@ fn split(t: &Trace) -> Option<(f64, f64, f64, f64)> {
         FlowLog::Cbr(v) => v,
         _ => return None,
     };
-    let in_ho = |x: f64| {
-        t.handovers.iter().any(|h| x >= h.t_decision - 1.0 && x <= h.t_complete + 1.0)
-    };
+    let in_ho = |x: f64| t.handovers.iter().any(|h| x >= h.t_decision - 1.0 && x <= h.t_complete + 1.0);
     let mut ho = (0.0, 0.0, 0usize);
     let mut no = (0.0, 0.0, 0usize);
     for s in samples {
@@ -28,12 +26,7 @@ fn split(t: &Trace) -> Option<(f64, f64, f64, f64)> {
     if ho.2 == 0 || no.2 == 0 {
         return None;
     }
-    Some((
-        ho.0 / ho.2 as f64,
-        no.0 / no.2 as f64,
-        ho.1 / ho.2 as f64,
-        no.1 / no.2 as f64,
-    ))
+    Some((ho.0 / ho.2 as f64, no.0 / no.2 as f64, ho.1 / ho.2 as f64, no.1 / no.2 as f64))
 }
 
 fn main() {
@@ -58,7 +51,13 @@ fn main() {
     fmt::table(
         &["band", "latency w/o HO ms", "latency w/ HO ms", "delivered w/o HO", "delivered w/ HO"],
         &[
-            vec!["Low-Band".into(), fmt::f(l_lat_no, 0), fmt::f(l_lat_ho, 0), fmt::f(l_rate_no, 2), fmt::f(l_rate_ho, 2)],
+            vec![
+                "Low-Band".into(),
+                fmt::f(l_lat_no, 0),
+                fmt::f(l_lat_ho, 0),
+                fmt::f(l_rate_no, 2),
+                fmt::f(l_rate_ho, 2),
+            ],
             vec!["mmWave".into(), fmt::f(m_lat_no, 0), fmt::f(m_lat_ho, 0), fmt::f(m_rate_no, 2), fmt::f(m_rate_ho, 2)],
         ],
     );

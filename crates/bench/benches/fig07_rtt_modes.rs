@@ -16,11 +16,9 @@ fn rtt_split(t: &Trace) -> (f64, f64) {
         _ => panic!("expected TCP flow"),
     };
     let in_ho = |x: f64| {
-        t.handovers.iter().any(|h| {
-            h.ho_type.category() == HoCategory::FiveG
-                && x >= h.t_decision
-                && x <= h.t_complete + 0.5
-        })
+        t.handovers
+            .iter()
+            .any(|h| h.ho_type.category() == HoCategory::FiveG && x >= h.t_decision && x <= h.t_complete + 0.5)
     };
     let mut ho: Vec<f64> = Vec::new();
     let mut no: Vec<f64> = Vec::new();
@@ -69,7 +67,11 @@ fn main() {
     );
     fmt::compare("5G-only RTT w/o HO vs dual (lower is the point)", "lower", &format!("{o_no:.1} vs {d_no:.1} ms"));
     fmt::compare("dual-mode median RTT change during 5G HOs", "1-4%", &format!("{:+.0}%", (d_ho / d_no - 1.0) * 100.0));
-    fmt::compare("5G-only median RTT change during 5G HOs", "+37-58%", &format!("{:+.0}%", (o_ho / o_no - 1.0) * 100.0));
+    fmt::compare(
+        "5G-only median RTT change during 5G HOs",
+        "+37-58%",
+        &format!("{:+.0}%", (o_ho / o_no - 1.0) * 100.0),
+    );
 
     assert!(o_no < d_no, "5G-only must have lower no-HO RTT than dual");
     let dual_change = (d_ho / d_no - 1.0).abs();

@@ -6,26 +6,24 @@
 use fiveg_analysis::DurationStats;
 use fiveg_bench::fmt;
 use fiveg_ran::{Arch, Carrier, HoType};
-use fiveg_sim::ScenarioBuilder;
+use fiveg_sim::{ScenarioBuilder, Telemetry, TelemetryConfig};
 
 fn main() {
     fmt::header("Fig. 8 — HO preparation stage T1, OpY (LTE vs NSA vs SA)");
 
+    // The NSA leg runs instrumented: the ho.t1_ms histogram and per-phase
+    // tick-loop timings corroborate the table below.
+    let tele = Telemetry::new(TelemetryConfig::on());
     let nsa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 35.0, 81)
         .duration_s(1100.0)
         .sample_hz(10.0)
+        .telemetry(TelemetryConfig::on())
         .build()
-        .run();
-    let lte = ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 81)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let sa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 81)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+        .run_instrumented(&tele);
+    let lte =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 81).duration_s(1100.0).sample_hz(10.0).build().run();
+    let sa =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 81).duration_s(1100.0).sample_hz(10.0).build().run();
 
     let mut rows = Vec::new();
     let mut push = |label: &str, s: DurationStats| {
@@ -66,7 +64,11 @@ fn main() {
         &format!("{:.0} vs {:.0} ms", sa_t1.std_ms, lte_t1.std_ms),
     );
 
+    fmt::telemetry("telemetry (NSA leg, instrumented run)", &tele);
+
     assert!(nsa_t1.mean_ms > lte_t1.mean_ms * 1.2, "NSA T1 must exceed LTE T1");
     assert!(sa_t1.std_ms > lte_t1.std_ms * 1.5, "SA T1 must be high-variance");
+    let t1_hist = tele.histogram_snapshot("ho.t1_ms").expect("instrumented run registers T1");
+    assert!(t1_hist.count > 0, "instrumented run must observe T1 durations");
     println!("\nOK fig08_prep_stage");
 }

@@ -7,33 +7,27 @@ use fiveg_analysis::DurationStats;
 use fiveg_bench::fmt;
 use fiveg_radio::BandClass;
 use fiveg_ran::{Arch, Carrier, HoType};
-use fiveg_sim::ScenarioBuilder;
+use fiveg_sim::{ScenarioBuilder, Telemetry, TelemetryConfig};
 
 fn main() {
     fmt::header("Fig. 9 — HO execution stage T2 (tech + band comparison)");
 
     // OpY: LTE vs NSA (mid/low) vs SA
-    let nsa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 35.0, 91)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let lte = ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 91)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let sa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 91)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    // OpX dense city: low-band vs mmWave within NSA
+    let nsa =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
+    let lte =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
+    let sa =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
+    // OpX dense city: low-band vs mmWave within NSA. Instrumented: the
+    // ho.t2_ms histogram and journal corroborate the table below.
+    let tele = Telemetry::new(TelemetryConfig::on());
     let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 92)
         .duration_s(1500.0)
         .sample_hz(10.0)
+        .telemetry(TelemetryConfig::on())
         .build()
-        .run();
+        .run_instrumented(&tele);
 
     let mut rows = Vec::new();
     let mut push = |label: &str, s: DurationStats| {
@@ -53,12 +47,10 @@ fn main() {
     push("SCGC (NSA)", scgc_t2);
     push("SCGM (NSA)", DurationStats::t2(&nsa.handovers, |h| h.ho_type == HoType::Scgm));
     push("MCGH (SA, low-band)", DurationStats::t2(&sa.handovers, |_| true));
-    let low_t2 = DurationStats::t2(&dense.handovers, |h| {
-        h.ho_type.is_horizontal() && h.nr_band == Some(BandClass::Low)
-    });
-    let mm_t2 = DurationStats::t2(&dense.handovers, |h| {
-        h.ho_type.is_horizontal() && h.nr_band == Some(BandClass::MmWave)
-    });
+    let low_t2 =
+        DurationStats::t2(&dense.handovers, |h| h.ho_type.is_horizontal() && h.nr_band == Some(BandClass::Low));
+    let mm_t2 =
+        DurationStats::t2(&dense.handovers, |h| h.ho_type.is_horizontal() && h.nr_band == Some(BandClass::MmWave));
     push("NSA horizontal, Low-Band (OpX city)", low_t2);
     push("NSA horizontal, mmWave (OpX city)", mm_t2);
     fmt::table(&["HO type", "n", "mean ms", "median", "p25", "p75"], &rows);
@@ -75,9 +67,13 @@ fn main() {
         &format!("{:.0}%", (mm_t2.mean_ms / low_t2.mean_ms - 1.0) * 100.0),
     );
 
+    fmt::telemetry("telemetry (OpX dense city, instrumented run)", &tele);
+
     assert!(scgc_t2.mean_ms > lte_t2.mean_ms * 1.4, "NSA T2 must exceed LTE T2");
     if low_t2.count > 3 && mm_t2.count > 3 {
         assert!(mm_t2.mean_ms > low_t2.mean_ms * 1.2, "mmWave T2 must exceed low-band");
     }
+    let t2_hist = tele.histogram_snapshot("ho.t2_ms").expect("instrumented run registers T2");
+    assert!(t2_hist.count > 0, "instrumented run must observe T2 durations");
     println!("\nOK fig09_exec_stage");
 }

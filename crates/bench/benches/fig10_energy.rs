@@ -16,23 +16,13 @@ fn main() {
     let model = PowerModel::default();
 
     // LTE mid-band freeway drive
-    let lte = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 30.0, 101)
-        .duration_s(900.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let lte =
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 30.0, 101).duration_s(900.0).sample_hz(10.0).build().run();
     // NSA low-band freeway drive
-    let low = ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 30.0, 101)
-        .duration_s(900.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let low =
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 30.0, 101).duration_s(900.0).sample_hz(10.0).build().run();
     // NSA mmWave city loops
-    let mm = ScenarioBuilder::city_loop_dense(Carrier::OpX, 102)
-        .duration_s(1500.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let mm = ScenarioBuilder::city_loop_dense(Carrier::OpX, 102).duration_s(1500.0).sample_hz(10.0).build().run();
 
     let r_lte = EnergyReport::over(&lte, &model, |_| true);
     let r_low = EnergyReport::over(&low, &model, |h| h.nr_band != Some(BandClass::MmWave));
@@ -41,9 +31,27 @@ fn main() {
     fmt::table(
         &["scenario", "HOs", "mean HO power W", "energy J/km", "total mAh"],
         &[
-            vec!["LTE (mid-band)".into(), r_lte.ho_count.to_string(), fmt::f(r_lte.mean_ho_power_w, 2), fmt::f(r_lte.j_per_km, 2), fmt::f(r_lte.total_mah, 2)],
-            vec!["NSA low-band".into(), r_low.ho_count.to_string(), fmt::f(r_low.mean_ho_power_w, 2), fmt::f(r_low.j_per_km, 2), fmt::f(r_low.total_mah, 2)],
-            vec!["NSA mmWave".into(), r_mm.ho_count.to_string(), fmt::f(r_mm.mean_ho_power_w, 2), fmt::f(r_mm.j_per_km, 2), fmt::f(r_mm.total_mah, 2)],
+            vec![
+                "LTE (mid-band)".into(),
+                r_lte.ho_count.to_string(),
+                fmt::f(r_lte.mean_ho_power_w, 2),
+                fmt::f(r_lte.j_per_km, 2),
+                fmt::f(r_lte.total_mah, 2),
+            ],
+            vec![
+                "NSA low-band".into(),
+                r_low.ho_count.to_string(),
+                fmt::f(r_low.mean_ho_power_w, 2),
+                fmt::f(r_low.j_per_km, 2),
+                fmt::f(r_low.total_mah, 2),
+            ],
+            vec![
+                "NSA mmWave".into(),
+                r_mm.ho_count.to_string(),
+                fmt::f(r_mm.mean_ho_power_w, 2),
+                fmt::f(r_mm.j_per_km, 2),
+                fmt::f(r_mm.total_mah, 2),
+            ],
         ],
     );
 
@@ -60,11 +68,7 @@ fn main() {
     // compare per-km energies on comparable NR HOs
     let low_per_km = r_low.j_per_km;
     let mm_per_km = r_mm.j_per_km;
-    fmt::compare(
-        "mmWave energy per km vs low-band",
-        "1.9x - 2.4x",
-        &format!("{:.1}x", mm_per_km / low_per_km),
-    );
+    fmt::compare("mmWave energy per km vs low-band", "1.9x - 2.4x", &format!("{:.1}x", mm_per_km / low_per_km));
 
     assert!(r_low.mean_ho_power_w > r_lte.mean_ho_power_w * 1.15);
     assert!(r_mm.mean_ho_power_w < r_low.mean_ho_power_w * 0.7);

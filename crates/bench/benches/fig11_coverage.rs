@@ -17,21 +17,11 @@ use fiveg_sim::ScenarioBuilder;
 fn main() {
     fmt::header("Fig. 11 / §6.1 — coverage landscape");
 
-    let nsa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 45.0, 111)
-        .duration_s(1400.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let sa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 45.0, 111)
-        .duration_s(1400.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 112)
-        .duration_s(1500.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let nsa =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 45.0, 111).duration_s(1400.0).sample_hz(10.0).build().run();
+    let sa =
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 45.0, 111).duration_s(1400.0).sample_hz(10.0).build().run();
+    let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 112).duration_s(1500.0).sample_hz(10.0).build().run();
 
     let low_nsa = dwell_distances(&nsa, CoverageKind::NrServing, Some(BandClass::Low));
     let low_ideal = dwell_distances(&nsa, CoverageKind::NrIdeal, Some(BandClass::Low));
@@ -41,7 +31,11 @@ fn main() {
     let mm = dwell_distances(&dense, CoverageKind::NrServing, Some(BandClass::MmWave));
 
     fmt::section("mean dwell (effective coverage diameter) per band");
-    fmt::compare("low-band cell coverage (ideal/same-PCI-observed)", "1.4 km", &format!("{:.2} km", mean(&low_ideal) / 1000.0));
+    fmt::compare(
+        "low-band cell coverage (ideal/same-PCI-observed)",
+        "1.4 km",
+        &format!("{:.2} km", mean(&low_ideal) / 1000.0),
+    );
     fmt::compare("mid-band cell coverage", "0.73 km", &format!("{:.2} km", mean(&mid_ideal) / 1000.0));
     fmt::compare("mmWave cell coverage", "0.15 km", &format!("{:.2} km", mean(&mm) / 1000.0));
 
@@ -77,10 +71,7 @@ fn main() {
 
     assert!(mean(&low_ideal) > mean(&mid_ideal), "low must out-cover mid");
     assert!(mean(&mid_ideal) > mean(&mm), "mid must out-cover mmWave");
-    assert!(
-        mean(&low_ideal) > mean(&low_nsa) * 1.2,
-        "NSA must reduce effective low-band coverage"
-    );
+    assert!(mean(&low_ideal) > mean(&low_nsa) * 1.2, "NSA must reduce effective low-band coverage");
     assert!(mean(&low_sa) > mean(&low_nsa), "SA must out-dwell NSA on the same band");
     println!("\nOK fig11_coverage");
 }

@@ -14,15 +14,9 @@ fn main() {
 
     let mut phases = Vec::new();
     for seed in 120..125u64 {
-        let t = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
-            .sample_hz(20.0)
-            .build()
-            .run();
-        phases.extend(
-            ho_phase_throughput(&t)
-                .into_iter()
-                .filter(|p| p.nr_band == Some(fiveg_radio::BandClass::MmWave)),
-        );
+        let t = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed).sample_hz(20.0).build().run();
+        phases
+            .extend(ho_phase_throughput(&t).into_iter().filter(|p| p.nr_band == Some(fiveg_radio::BandClass::MmWave)));
     }
     let scgc: Vec<_> = phases.iter().filter(|p| p.ho_type == HoType::Scgc).collect();
     println!("  SCGC events observed: {}", scgc.len());
@@ -38,11 +32,7 @@ fn main() {
             vec!["HO_post".into(), fmt::f(post, 0)],
         ],
     );
-    fmt::compare(
-        "post-HO vs pre-HO throughput",
-        "-14%",
-        &format!("{:+.0}%", (post / pre - 1.0) * 100.0),
-    );
+    fmt::compare("post-HO vs pre-HO throughput", "-14%", &format!("{:+.0}%", (post / pre - 1.0) * 100.0));
     fmt::compare("execution-phase dip vs pre", "deep", &format!("{:.1}x lower", pre / exec.max(1.0)));
 
     assert!(!scgc.is_empty(), "need SCGC events");

@@ -11,11 +11,7 @@ use fiveg_ran::{Carrier, HoCategory};
 use fiveg_sim::{ScenarioBuilder, Trace};
 
 fn city(carrier: Carrier, seed: u64) -> Trace {
-    ScenarioBuilder::city_loop(carrier, seed)
-        .duration_s(1400.0)
-        .sample_hz(10.0)
-        .build()
-        .run()
+    ScenarioBuilder::city_loop(carrier, seed).duration_s(1400.0).sample_hz(10.0).build().run()
 }
 
 fn main() {
@@ -28,11 +24,7 @@ fn main() {
         let t = city(*carrier, 130 + i as u64);
         let f = colocated_sample_fraction(&t);
         let (verified, total) = same_pci_pairs_overlap(&t);
-        rows.push(vec![
-            carrier.to_string(),
-            format!("{:.0}%", f * 100.0),
-            format!("{verified}/{total}"),
-        ]);
+        rows.push(vec![carrier.to_string(), format!("{:.0}%", f * 100.0), format!("{verified}/{total}")]);
         traces.push(t);
     }
     fmt::table(&["carrier", "same-PCI samples", "hulls overlapping"], &rows);
@@ -56,7 +48,12 @@ fn main() {
     fmt::table(
         &["group", "n", "mean ms", "median ms"],
         &[
-            vec!["same PCI (co-located)".into(), same.count.to_string(), fmt::f(same.mean_ms, 0), fmt::f(same.median_ms, 0)],
+            vec![
+                "same PCI (co-located)".into(),
+                same.count.to_string(),
+                fmt::f(same.mean_ms, 0),
+                fmt::f(same.median_ms, 0),
+            ],
             vec!["diff PCI".into(), diff.count.to_string(), fmt::f(diff.mean_ms, 0), fmt::f(diff.median_ms, 0)],
         ],
     );

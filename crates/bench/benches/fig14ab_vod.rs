@@ -39,11 +39,8 @@ fn collect_slices(sources: &[Trace]) -> Vec<Slice> {
         }
         let mut a = 0.0;
         while a + 240.0 <= t.meta.duration_s {
-            let pts: Vec<(f64, f64)> = series
-                .iter()
-                .filter(|p| p.0 >= a && p.0 < a + 240.0)
-                .map(|&(x, c)| (x - a, c))
-                .collect();
+            let pts: Vec<(f64, f64)> =
+                series.iter().filter(|p| p.0 >= a && p.0 < a + 240.0).map(|&(x, c)| (x - a, c)).collect();
             if pts.len() >= 2 {
                 let bw = BandwidthTrace::new(pts);
                 if bw.mean_mbps() < 400.0 && bw.min_mbps() > 2.0 {
@@ -74,11 +71,7 @@ fn main() {
     // mmWave walking loops add the wild-fluctuation traces
     for seed in 143..145u64 {
         sources.push(
-            ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
-                .duration_s(900.0)
-                .sample_hz(20.0)
-                .build()
-                .run(),
+            ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed).duration_s(900.0).sample_hz(20.0).build().run(),
         );
     }
     let slices = collect_slices(&sources);
@@ -91,13 +84,8 @@ fn main() {
     let pr_series: Vec<Arc<Vec<(f64, f64)>>> = sources
         .iter()
         .map(|t| {
-            let (run, _) = run_prognos_scored(
-                t,
-                prognos::PrognosConfig::default(),
-                None,
-                None,
-                Some(score_table.clone()),
-            );
+            let (run, _) =
+                run_prognos_scored(t, prognos::PrognosConfig::default(), None, None, Some(score_table.clone()));
             Arc::new(run.windows.iter().map(|w| (w.t, w.ho_score)).collect())
         })
         .collect();
@@ -110,12 +98,7 @@ fn main() {
     };
     let ho_window_fns: Vec<Vec<(f64, f64)>> = sources
         .iter()
-        .map(|t| {
-            t.handovers
-                .iter()
-                .map(|h| (h.t_decision - 1.0, h.t_complete + 1.0))
-                .collect()
-        })
+        .map(|t| t.handovers.iter().map(|h| (h.t_decision - 1.0, h.t_complete + 1.0)).collect())
         .collect();
 
     let mut rows = Vec::new();
@@ -176,10 +159,7 @@ fn main() {
             summaries.push((label, stall / n, quality / n, mae / n, mae_ho / mae_ho_n.max(1) as f64));
         }
     }
-    fmt::table(
-        &["algorithm", "stall time %", "norm. bitrate", "pred MAE Mbps", "MAE during HO"],
-        &rows,
-    );
+    fmt::table(&["algorithm", "stall time %", "norm. bitrate", "pred MAE Mbps", "MAE during HO"], &rows);
 
     // Fig. 14a headline: PR cuts stalls vs original without losing quality
     for algo in ["RB", "fastMPC", "robustMPC"] {
@@ -207,13 +187,7 @@ fn main() {
 
     // shape: PR must not be worse than original on stalls for MPC variants
     let get = |name: &str| summaries.iter().find(|s| s.0 == name).unwrap().1;
-    assert!(
-        get("fastMPC-PR") <= get("fastMPC-orig") + 1e-9,
-        "Prognos must not increase fastMPC stalls"
-    );
-    assert!(
-        get("robustMPC-PR") <= get("robustMPC-orig") + 1e-9,
-        "Prognos must not increase robustMPC stalls"
-    );
+    assert!(get("fastMPC-PR") <= get("fastMPC-orig") + 1e-9, "Prognos must not increase fastMPC stalls");
+    assert!(get("robustMPC-PR") <= get("robustMPC-orig") + 1e-9, "Prognos must not increase robustMPC stalls");
     println!("\nOK fig14ab_vod");
 }

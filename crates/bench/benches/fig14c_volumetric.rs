@@ -32,13 +32,8 @@ fn main() {
     let pr_series: Vec<Arc<Vec<(f64, f64)>>> = sources
         .iter()
         .map(|t| {
-            let (run, _) = run_prognos_scored(
-                t,
-                prognos::PrognosConfig::default(),
-                None,
-                None,
-                Some(score_table.clone()),
-            );
+            let (run, _) =
+                run_prognos_scored(t, prognos::PrognosConfig::default(), None, None, Some(score_table.clone()));
             Arc::new(run.windows.iter().map(|w| (w.t, w.ho_score)).collect())
         })
         .collect();
@@ -56,11 +51,8 @@ fn main() {
         let series = t.bandwidth_series();
         let mut a = 0.0;
         while a + 180.0 <= t.meta.duration_s {
-            let pts: Vec<(f64, f64)> = series
-                .iter()
-                .filter(|p| p.0 >= a && p.0 < a + 180.0)
-                .map(|&(x, c)| (x - a, c))
-                .collect();
+            let pts: Vec<(f64, f64)> =
+                series.iter().filter(|p| p.0 >= a && p.0 < a + 180.0).map(|&(x, c)| (x - a, c)).collect();
             if pts.len() >= 2 {
                 let bw = fiveg_apps::BandwidthTrace::new(pts);
                 if bw.mean_mbps() < 400.0 && bw.min_mbps() > 2.0 {
@@ -92,22 +84,14 @@ fn main() {
                     }
                     _ => None,
                 };
-                let r = VolumetricSession::new(VolumetricConfig {
-                    algorithm: algo,
-                    corrector,
-                    ..Default::default()
-                })
-                .run(bw);
+                let r = VolumetricSession::new(VolumetricConfig { algorithm: algo, corrector, ..Default::default() })
+                    .run(bw);
                 quality += r.normalized_quality;
                 stall += r.stall_frac;
             }
             let n = slices.len() as f64;
             let label = format!("{algo_label}-{variant}");
-            rows.push(vec![
-                label.clone(),
-                format!("{:.3}", quality / n),
-                format!("{:.2}%", stall / n * 100.0),
-            ]);
+            rows.push(vec![label.clone(), format!("{:.3}", quality / n), format!("{:.2}%", stall / n * 100.0)]);
             results.push((label, quality / n, stall / n));
         }
     }

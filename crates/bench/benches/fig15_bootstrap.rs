@@ -24,7 +24,7 @@ fn main() {
         })
         .collect();
     let trace = &traces[0];
-    println!("  trace: {:.0} min, {} HOs", trace.meta.duration_s / 60.0, trace.handovers.len());
+    println!("  trace: {:.0} min, {} HOs", trace.meta.duration_s / 60.0, fmt::count(trace.handovers.len()));
 
     // the most frequent pattern per HO type, as found empirically (§9:
     // "the most frequent patterns can be found empirically from our
@@ -60,11 +60,7 @@ fn main() {
     let mut rows = Vec::new();
     for (c, w) in cold.f1_timeline.iter().zip(&warm.f1_timeline) {
         if (c.0 / 60.0).round() as u32 % 4 == 0 || c.0 < 300.0 {
-            rows.push(vec![
-                format!("{:.0}", c.0 / 60.0),
-                fmt::f(c.1, 2),
-                fmt::f(w.1, 2),
-            ]);
+            rows.push(vec![format!("{:.0}", c.0 / 60.0), fmt::f(c.1, 2), fmt::f(w.1, 2)]);
         }
     }
     fmt::table(&["minute", "F1 w/o bootstrap", "F1 w/ bootstrap"], &rows);
@@ -79,18 +75,14 @@ fn main() {
         cold.learned as f64 / (trace.meta.duration_s / 3600.0),
         cold.evicted as f64 / (trace.meta.duration_s / 3600.0)
     );
-    println!("
-NOTE: our synthetic policy space is far smaller than a real carrier's,");
+    println!(
+        "
+NOTE: our synthetic policy space is far smaller than a real carrier's,"
+    );
     println!("so the cold learner converges within ~1-2 minutes rather than the paper's");
     println!("11-14; bootstrapping therefore adds much less here (see EXPERIMENTS.md).");
 
-    assert!(
-        m1_warm + 0.15 >= m1_cold,
-        "bootstrapping must not hurt the startup phase: {m1_warm} vs {m1_cold}"
-    );
-    assert!(
-        (late(&warm) - late(&cold)).abs() < 0.2,
-        "bootstrapping must not change converged behaviour"
-    );
+    assert!(m1_warm + 0.15 >= m1_cold, "bootstrapping must not hurt the startup phase: {m1_warm} vs {m1_cold}");
+    assert!((late(&warm) - late(&cold)).abs() < 0.2, "bootstrapping must not change converged behaviour");
     println!("\nOK fig15_bootstrap");
 }

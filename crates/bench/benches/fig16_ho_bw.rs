@@ -13,10 +13,7 @@ use fiveg_sim::{ScenarioBuilder, Trace};
 fn collect(seeds: std::ops::Range<u64>) -> Vec<fiveg_analysis::PhaseTput> {
     let mut all = Vec::new();
     for seed in seeds {
-        let t: Trace = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed)
-            .sample_hz(20.0)
-            .build()
-            .run();
+        let t: Trace = ScenarioBuilder::urban_walk_mmwave(Carrier::OpX, seed).sample_hz(20.0).build().run();
         // the figure is about mmWave NSA: keep mmWave-leg HOs and the 4G
         // anchor HOs of the same area
         all.extend(
@@ -41,13 +38,7 @@ fn main() {
         let pre = mean_phase(&phases, ho, |p| p.pre_mbps);
         let exec = mean_phase(&phases, ho, |p| p.exec_mbps);
         let post = mean_phase(&phases, ho, |p| p.post_mbps);
-        rows.push(vec![
-            ho.acronym().to_string(),
-            n.to_string(),
-            fmt::f(pre, 0),
-            fmt::f(exec, 0),
-            fmt::f(post, 0),
-        ]);
+        rows.push(vec![ho.acronym().to_string(), n.to_string(), fmt::f(pre, 0), fmt::f(exec, 0), fmt::f(post, 0)]);
     }
     fmt::table(&["HO type", "n", "pre Mbps", "exec Mbps", "post Mbps"], &rows);
 

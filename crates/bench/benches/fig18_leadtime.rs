@@ -5,13 +5,17 @@
 //! MR by only ~70 ms median.
 
 use fiveg_analysis::{mean, median, percentile};
-use fiveg_bench::driver::run_prognos;
+use fiveg_bench::driver::{run_prognos, run_prognos_instrumented};
 use fiveg_bench::fmt;
+use fiveg_telemetry::{Telemetry, TelemetryConfig};
 use prognos::PrognosConfig;
 
 fn main() {
     fmt::header("Fig. 18 — prediction lead time (report predictor on/off)");
 
+    // Prep/exec phase timings and the prediction journal accumulate across
+    // all report-predictor-on replays.
+    let tele = Telemetry::new(TelemetryConfig::on());
     let mut with_rp: Vec<(bool, f64)> = Vec::new();
     let mut without_rp: Vec<(bool, f64)> = Vec::new();
     let mut acc_with = Vec::new();
@@ -21,7 +25,7 @@ fn main() {
             .sample_hz(20.0)
             .build()
             .run();
-        let (on, _) = run_prognos(&trace, PrognosConfig::default(), None, None);
+        let (on, _) = run_prognos_instrumented(&trace, PrognosConfig::default(), &tele);
         let cfg_off = PrognosConfig { use_report_predictor: false, ..Default::default() };
         let (off, _) = run_prognos(&trace, cfg_off, None, None);
         with_rp.extend(on.lead_times.iter().copied());
@@ -70,6 +74,9 @@ fn main() {
         &format!("{:.0} ms", median(&all(&without_rp))),
     );
 
+    fmt::telemetry("telemetry (report-predictor-on replays)", &tele);
+
     assert!(gain > 200.0, "the report predictor must buy substantial lead time: {gain} ms");
+    assert!(tele.counter_value("prognos.predict_calls") > 0, "replay must be instrumented");
     println!("\nOK fig18_leadtime");
 }

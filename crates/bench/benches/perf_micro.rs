@@ -48,7 +48,7 @@ fn bench_prognos_predict(c: &mut Criterion) {
 }
 
 fn bench_rrc_codec(c: &mut Criterion) {
-    use fiveg_rrc::{encode, decode, EventKind, MeasEvent, NeighborMeas, Pci, RrcMessage};
+    use fiveg_rrc::{decode, encode, EventKind, MeasEvent, NeighborMeas, Pci, RrcMessage};
     let msg = RrcMessage::MeasurementReport {
         event: MeasEvent::nr(EventKind::A3),
         serving_pci: Pci(77),
@@ -60,9 +60,7 @@ fn bench_rrc_codec(c: &mut Criterion) {
             })
             .collect(),
     };
-    c.bench_function("rrc_encode_measurement_report", |b| {
-        b.iter(|| std::hint::black_box(encode(&msg)))
-    });
+    c.bench_function("rrc_encode_measurement_report", |b| b.iter(|| std::hint::black_box(encode(&msg))));
     let bytes = encode(&msg);
     c.bench_function("rrc_decode_measurement_report", |b| {
         b.iter(|| std::hint::black_box(decode(bytes.clone()).unwrap()))
@@ -81,6 +79,20 @@ fn bench_sim_tick_rate(c: &mut Criterion) {
             std::hint::black_box(t.samples.len())
         })
     });
+    // the same run with the deterministic instrumentation enabled
+    // (counters + journal, no wall-clock timers): the overhead budget is
+    // the delta against the bench above
+    c.bench_function("sim_freeway_30s_at_10hz_telemetry", |b| {
+        b.iter(|| {
+            let t = helpers::ScenarioBuilder::freeway(helpers::Carrier::OpY, helpers::Arch::Nsa, 2.0, 9)
+                .duration_s(30.0)
+                .sample_hz(10.0)
+                .telemetry(fiveg_sim::TelemetryConfig::deterministic())
+                .build()
+                .run();
+            std::hint::black_box(t.samples.len())
+        })
+    });
 }
 
 fn bench_analysis_kernels(c: &mut Criterion) {
@@ -90,19 +102,9 @@ fn bench_analysis_kernels(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(fiveg_analysis::kde_density(&xs, &grid, None)))
     });
 
-    let pts: Vec<Point> = (0..500)
-        .map(|i| Point::new((i * 37 % 100) as f64, (i * 61 % 89) as f64))
-        .collect();
-    c.bench_function("convex_hull_500", |b| {
-        b.iter(|| std::hint::black_box(convex_hull(&pts)))
-    });
+    let pts: Vec<Point> = (0..500).map(|i| Point::new((i * 37 % 100) as f64, (i * 61 % 89) as f64)).collect();
+    c.bench_function("convex_hull_500", |b| b.iter(|| std::hint::black_box(convex_hull(&pts))));
 }
 
-criterion_group!(
-    benches,
-    bench_prognos_predict,
-    bench_rrc_codec,
-    bench_sim_tick_rate,
-    bench_analysis_kernels
-);
+criterion_group!(benches, bench_prognos_predict, bench_rrc_codec, bench_sim_tick_rate, bench_analysis_kernels);
 criterion_main!(benches);

@@ -5,20 +5,14 @@
 //! 0.4 km. SA cuts HO signaling ~3.8× vs LTE; NSA mmWave PHY-layer
 //! procedures are >5× low-band.
 
-use fiveg_analysis::frequency::{
-    is_4g_ho, is_nsa_5g_procedure, km_per_ho, phy_meas_per_km, signaling_msgs_per_km,
-};
+use fiveg_analysis::frequency::{is_4g_ho, is_nsa_5g_procedure, km_per_ho, phy_meas_per_km, signaling_msgs_per_km};
 use fiveg_bench::fmt;
 use fiveg_radio::BandClass;
 use fiveg_ran::{Arch, Carrier};
 use fiveg_sim::{ScenarioBuilder, Trace};
 
 fn freeway(carrier: Carrier, arch: Arch, seed: u64) -> Trace {
-    ScenarioBuilder::freeway(carrier, arch, 40.0, seed)
-        .duration_s(1200.0)
-        .sample_hz(10.0)
-        .build()
-        .run()
+    ScenarioBuilder::freeway(carrier, arch, 40.0, seed).duration_s(1200.0).sample_hz(10.0).build().run()
 }
 
 fn main() {
@@ -43,14 +37,8 @@ fn main() {
 
     // per-band NR frequency: city drives provide mid/mmWave exposure
     fmt::section("km per 5G HO by band (NSA; city drives for mid/mmWave)");
-    let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 52)
-        .duration_s(1500.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let band_km = |t: &Trace, class: BandClass| {
-        km_per_ho(t, |h| is_nsa_5g_procedure(h) && h.nr_band == Some(class))
-    };
+    let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 52).duration_s(1500.0).sample_hz(10.0).build().run();
+    let band_km = |t: &Trace, class: BandClass| km_per_ho(t, |h| is_nsa_5g_procedure(h) && h.nr_band == Some(class));
     let low = km_per_ho(&nsa, |h| is_nsa_5g_procedure(h) && h.nr_band == Some(BandClass::Low));
     let mid = band_km(&dense, BandClass::Mid);
     let mm = band_km(&dense, BandClass::MmWave);

@@ -19,16 +19,10 @@ fn main() {
     let model = PowerModel::default();
 
     // one hour at 130 km/h = 130 km of freeway
-    let nsa = ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 130.0, 531)
-        .duration_s(3600.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
-    let lte = ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 130.0, 531)
-        .duration_s(3600.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let nsa =
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 130.0, 531).duration_s(3600.0).sample_hz(10.0).build().run();
+    let lte =
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Lte, 130.0, 531).duration_s(3600.0).sample_hz(10.0).build().run();
 
     let fiveg = EnergyReport::over(&nsa, &model, is_nsa_5g_procedure);
     let lteh = EnergyReport::over(&lte, &model, |_| true);
@@ -39,11 +33,7 @@ fn main() {
     fmt::compare("4G HO energy per hour", "3.4 mAh", &format!("{:.1} mAh", lteh.total_mah));
 
     // mmWave: scale the dense-city HO rate to one hour of mmWave coverage
-    let mm = ScenarioBuilder::city_loop_dense(Carrier::OpX, 532)
-        .duration_s(1800.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let mm = ScenarioBuilder::city_loop_dense(Carrier::OpX, 532).duration_s(1800.0).sample_hz(10.0).build().run();
     let r_mm = EnergyReport::over(&mm, &model, |h| h.nr_band == Some(BandClass::MmWave));
     let per_hour = 3600.0 / mm.meta.duration_s;
     fmt::compare(
@@ -51,11 +41,7 @@ fn main() {
         "998",
         &format!("{:.0}", r_mm.ho_count as f64 * per_hour),
     );
-    fmt::compare(
-        "mmWave HO energy per hour",
-        "81.7 mAh",
-        &format!("{:.1} mAh", r_mm.total_mah * per_hour),
-    );
+    fmt::compare("mmWave HO energy per hour", "81.7 mAh", &format!("{:.1} mAh", r_mm.total_mah * per_hour));
 
     // data-plane equivalents
     let dl_low = 34.7 * 3.85 * 3.6 / model.dl_energy_per_byte(BandClass::Low) / 1e9;

@@ -14,11 +14,7 @@ fn carrier_traces(carrier: Carrier, base_seed: u64) -> Vec<Trace> {
     let mut traces = Vec::new();
     // freeway legs (the paper: 4855-5560 km; we drive 60 km)
     traces.push(
-        ScenarioBuilder::freeway(carrier, Arch::Nsa, 40.0, base_seed)
-            .duration_s(1300.0)
-            .sample_hz(10.0)
-            .build()
-            .run(),
+        ScenarioBuilder::freeway(carrier, Arch::Nsa, 40.0, base_seed).duration_s(1300.0).sample_hz(10.0).build().run(),
     );
     traces.push(
         ScenarioBuilder::freeway(carrier, Arch::Lte, 20.0, base_seed + 1)
@@ -39,13 +35,8 @@ fn carrier_traces(carrier: Carrier, base_seed: u64) -> Vec<Trace> {
     }
     // city segments (the paper: ~700 km over 4 cities; we drive 2 loops)
     traces.push(ScenarioBuilder::city_loop(carrier, base_seed + 3).duration_s(900.0).sample_hz(10.0).build().run());
-    traces.push(
-        ScenarioBuilder::city_loop_dense(carrier, base_seed + 4)
-            .duration_s(900.0)
-            .sample_hz(10.0)
-            .build()
-            .run(),
-    );
+    traces
+        .push(ScenarioBuilder::city_loop_dense(carrier, base_seed + 4).duration_s(900.0).sample_hz(10.0).build().run());
     traces
 }
 
@@ -59,14 +50,14 @@ fn main() {
         let inv = DatasetInventory::over(&refs);
         rows.push(vec![
             carrier.to_string(),
-            inv.unique_towers.to_string(),
+            fmt::count(inv.unique_towers),
             format!("{}", inv.nr_bands),
             format!("{}", inv.lte_bands),
             format!("{:.0}", inv.city_km),
             format!("{:.0}", inv.freeway_km),
-            inv.lte_hos.to_string(),
-            inv.nsa_procedures.to_string(),
-            if carrier.profile().supports_sa { inv.sa_hos.to_string() } else { "N/A".into() },
+            fmt::count(inv.lte_hos),
+            fmt::count(inv.nsa_procedures),
+            if carrier.profile().supports_sa { fmt::count(inv.sa_hos) } else { "N/A".into() },
             format!("{:.0}/{:.0}/{:.0}", inv.nr_minutes[0], inv.nr_minutes[1], inv.nr_minutes[2]),
             format!("{:.0}", inv.arch_minutes[0] + inv.arch_minutes[1] + inv.arch_minutes[2]),
         ]);
@@ -96,7 +87,7 @@ fn main() {
 
     // structural assertions
     assert_eq!(rows.len(), 3);
-    assert_eq!(rows[1][8] != "N/A", true, "OpY must have SA HOs");
+    assert_ne!(rows[1][8], "N/A", "OpY must have SA HOs");
     assert_eq!(rows[0][8], "N/A", "OpX has no SA");
     assert_eq!(rows[2][8], "N/A", "OpZ has no SA");
     println!("\nOK table1_dataset");

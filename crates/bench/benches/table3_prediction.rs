@@ -28,11 +28,7 @@ fn to_ho(label: usize) -> Option<HoType> {
 
 /// Converts window-level baseline predictions into episodes + events so the
 /// matching rule is identical to Prognos's.
-fn window_preds_to_episodes(
-    labels: &[usize],
-    preds: &[usize],
-    window_s: f64,
-) -> (Vec<Episode>, Vec<(f64, HoType)>) {
+fn window_preds_to_episodes(labels: &[usize], preds: &[usize], window_s: f64) -> (Vec<Episode>, Vec<(f64, HoType)>) {
     let mut episodes: Vec<Episode> = Vec::new();
     let mut events = Vec::new();
     for (i, (&truth, &pred)) in labels.iter().zip(preds).enumerate() {

@@ -12,7 +12,11 @@ fn main() {
         vec!["A2".into(), "serving worse than threshold".into(), "Mp < thr".into()],
         vec!["A3 (A6)".into(), "neighbor offset better than serving".into(), "Mn > Mp + off".into()],
         vec!["A4 (B1)".into(), "inter-RAT neighbor better than threshold".into(), "Mn > thr".into()],
-        vec!["A5".into(), "serving worse than thr1 AND neighbor better than thr2".into(), "Mp < thr1 && Mn > thr2".into()],
+        vec![
+            "A5".into(),
+            "serving worse than thr1 AND neighbor better than thr2".into(),
+            "Mp < thr1 && Mn > thr2".into(),
+        ],
         vec!["P".into(), "periodic reporting".into(), "n/a".into()],
     ];
     fmt::table(&["Event", "Description", "Trigger"], &rows);
@@ -21,11 +25,7 @@ fn main() {
     let mut checks = 0;
     let check = |kind: EventKind, serving: f64, neighbor: f64, expect: bool| {
         let c = EventConfig::typical(MeasEvent::lte(kind));
-        assert_eq!(
-            c.entered(serving, neighbor),
-            expect,
-            "{kind:?} serving={serving} neighbor={neighbor}"
-        );
+        assert_eq!(c.entered(serving, neighbor), expect, "{kind:?} serving={serving} neighbor={neighbor}");
     };
     // A1: thr -105, hys 1
     check(EventKind::A1, -100.0, -140.0, true);

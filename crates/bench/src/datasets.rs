@@ -19,10 +19,7 @@ use fiveg_sim::{ScenarioBuilder, Trace};
 pub fn d1_traces(laps: usize) -> Vec<Trace> {
     (0..laps)
         .map(|i| {
-            ScenarioBuilder::walking_loop(Carrier::OpX, 35.0, 1, 0xD1_0000 + i as u64)
-                .sample_hz(20.0)
-                .build()
-                .run()
+            ScenarioBuilder::walking_loop(Carrier::OpX, 35.0, 1, 0xD1_0000 + i as u64).sample_hz(20.0).build().run()
         })
         .collect()
 }
@@ -31,10 +28,7 @@ pub fn d1_traces(laps: usize) -> Vec<Trace> {
 pub fn d2_traces(laps: usize) -> Vec<Trace> {
     (0..laps)
         .map(|i| {
-            ScenarioBuilder::walking_loop(Carrier::OpX, 25.0, 1, 0xD2_0000 + i as u64)
-                .sample_hz(20.0)
-                .build()
-                .run()
+            ScenarioBuilder::walking_loop(Carrier::OpX, 25.0, 1, 0xD2_0000 + i as u64).sample_hz(20.0).build().run()
         })
         .collect()
 }

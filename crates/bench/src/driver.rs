@@ -11,8 +11,8 @@ use fiveg_analysis::ClassMetrics;
 use fiveg_radio::BandClass;
 use fiveg_ran::{Arch, HoType};
 use fiveg_rrc::MeasEvent;
-use prognos::{LegSnapshot, Prognos, PrognosConfig, UeContext};
 use fiveg_sim::Trace;
+use prognos::{LegSnapshot, Prognos, PrognosConfig, UeContext};
 
 /// One evaluation window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,14 +75,7 @@ impl PrognosRun {
     /// tolerance span; unmatched positives are false positives, unmatched
     /// truths false negatives.
     pub fn metrics_tolerant(&self, tol_windows: usize) -> ClassMetrics {
-        metrics_tolerant_from(
-            &self
-                .windows
-                .iter()
-                .map(|w| (w.truth, w.pred))
-                .collect::<Vec<_>>(),
-            tol_windows,
-        )
+        metrics_tolerant_from(&self.windows.iter().map(|w| (w.truth, w.pred)).collect::<Vec<_>>(), tol_windows)
     }
 
     /// Event-level metrics: the system predicts continuously; an HO counts
@@ -97,10 +90,7 @@ impl PrognosRun {
     /// Encodes window outcomes as label vectors (0 = no HO).
     pub fn label_vectors(&self) -> (Vec<u8>, Vec<u8>) {
         let enc = |h: Option<HoType>| h.map(|x| 1 + x as u8).unwrap_or(0);
-        (
-            self.windows.iter().map(|w| enc(w.truth)).collect(),
-            self.windows.iter().map(|w| enc(w.pred)).collect(),
-        )
+        (self.windows.iter().map(|w| enc(w.truth)).collect(), self.windows.iter().map(|w| enc(w.pred)).collect())
     }
 }
 
@@ -113,22 +103,16 @@ pub fn metrics_events_from(
     total_windows: usize,
 ) -> ClassMetrics {
     // sub-150 ms blips are not actionable alarms; drop them
-    let episodes: Vec<Episode> = episodes
-        .iter()
-        .copied()
-        .filter(|e| e.t_end - e.t_start >= 0.15)
-        .collect();
+    let episodes: Vec<Episode> = episodes.iter().copied().filter(|e| e.t_end - e.t_start >= 0.15).collect();
     let episodes = &episodes[..];
     let mut used = vec![false; episodes.len()];
     let mut tp = 0usize;
     let mut fn_ = 0usize;
     for &(t_cmd, ho) in events {
-        let hit = episodes.iter().enumerate().find(|(i, e)| {
-            !used[*i]
-                && e.ho == ho
-                && e.t_start <= t_cmd + slack_s
-                && e.t_end >= t_cmd - lookback_s
-        });
+        let hit = episodes
+            .iter()
+            .enumerate()
+            .find(|(i, e)| !used[*i] && e.ho == ho && e.t_start <= t_cmd + slack_s && e.t_end >= t_cmd - lookback_s);
         match hit {
             Some((i, _)) => {
                 used[i] = true;
@@ -140,18 +124,11 @@ pub fn metrics_events_from(
     let fp = used.iter().filter(|u| !**u).count();
     let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
     let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 = if precision + recall == 0.0 {
-        0.0
-    } else {
-        2.0 * precision * recall / (precision + recall)
-    };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
     // accuracy: correct decisions per window — TPs and the quiet windows
     let wrong = fp + fn_;
-    let accuracy = if total_windows == 0 {
-        0.0
-    } else {
-        ((total_windows.saturating_sub(wrong)) as f64) / total_windows as f64
-    };
+    let accuracy =
+        if total_windows == 0 { 0.0 } else { ((total_windows.saturating_sub(wrong)) as f64) / total_windows as f64 };
     ClassMetrics { precision, recall, f1, accuracy }
 }
 
@@ -191,11 +168,7 @@ pub fn metrics_tolerant_from(series: &[(Option<HoType>, Option<HoType>)], tol_wi
     }
     let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
     let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 = if precision + recall == 0.0 {
-        0.0
-    } else {
-        2.0 * precision * recall / (precision + recall)
-    };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
     let accuracy = if n == 0 { 0.0 } else { (tp + correct_bg) as f64 / n as f64 };
     ClassMetrics { precision, recall, f1, accuracy }
 }
@@ -206,11 +179,7 @@ pub fn label_windows(trace: &Trace, window_s: f64) -> Vec<(f64, Option<HoType>)>
     let mut out = Vec::new();
     let mut t = 0.0;
     while t < trace.meta.duration_s {
-        let truth = trace
-            .handovers
-            .iter()
-            .find(|h| h.t_command >= t && h.t_command < t + window_s)
-            .map(|h| h.ho_type);
+        let truth = trace.handovers.iter().find(|h| h.t_command >= t && h.t_command < t + window_s).map(|h| h.ho_type);
         out.push((t, truth));
         t += window_s;
     }
@@ -228,6 +197,20 @@ pub fn run_prognos(
     carry: Option<(Prognos, f64)>,
 ) -> (PrognosRun, (Prognos, f64)) {
     run_prognos_scored(trace, cfg, bootstrap, carry, None)
+}
+
+/// Like [`run_prognos`], with a telemetry recorder installed on the
+/// replayed system: Prognos prep/exec phase timings, predict-call
+/// counters, and the issued/hit/miss prediction journal accumulate on
+/// `tele` across the replay.
+pub fn run_prognos_instrumented(
+    trace: &Trace,
+    cfg: PrognosConfig,
+    tele: &fiveg_telemetry::Telemetry,
+) -> (PrognosRun, (Prognos, f64)) {
+    let mut pg = Prognos::new(cfg.clone());
+    pg.set_telemetry(tele.clone());
+    run_prognos(trace, cfg, None, Some((pg, 0.0)))
 }
 
 /// Like [`run_prognos`], with an optional calibrated ho_score table.
@@ -283,11 +266,7 @@ pub fn run_prognos_scored(
     let nr_obs = |cell: u32, rrs| prognos::CellObs {
         pci: fiveg_rrc::Pci(trace.cell(cell).pci),
         rrs,
-        group: if trace.meta.arch == Arch::Nsa {
-            Some(trace.cell(cell).tower)
-        } else {
-            Some(freq_key(cell))
-        },
+        group: if trace.meta.arch == Arch::Nsa { Some(trace.cell(cell).tower) } else { Some(freq_key(cell)) },
     };
 
     for s in &trace.samples {
@@ -318,11 +297,7 @@ pub fn run_prognos_scored(
             .nr_cell
             .map(|c| trace.cell(c).class)
             .or_else(|| s.nr_neighbors.first().map(|&(c, _)| trace.cell(c).class));
-        let ctx = UeContext {
-            arch: trace.meta.arch,
-            has_scg: s.nr_cell.is_some(),
-            nr_band,
-        };
+        let ctx = UeContext { arch: trace.meta.arch, has_scg: s.nr_cell.is_some(), nr_band };
         let p = pg.predict(t_base + s.t, &ctx);
         match (p.ho, episodes.last_mut()) {
             (Some(h), Some(e)) if e.ho == h && s.t - e.t_end <= 0.3 + dt => e.t_end = s.t,
@@ -338,24 +313,14 @@ pub fn run_prognos_scored(
                 .iter()
                 .find(|h| h.t_command >= w_start && h.t_command < w_start + window_s)
                 .map(|h| h.ho_type);
-            windows.push(WindowOutcome {
-                t: w_start,
-                truth,
-                pred: p.ho,
-                ho_score: p.ho_score,
-                lead_s: p.lead_s,
-            });
+            windows.push(WindowOutcome { t: w_start, truth, pred: p.ho, ho_score: p.ho_score, lead_s: p.lead_s });
             next_window += window_s;
         }
 
         // 5. running F1 (once a minute), event-matched like Table 3
         if s.t >= next_f1 {
-            let events_so_far: Vec<(f64, HoType)> = trace
-                .handovers
-                .iter()
-                .filter(|h| h.t_command <= s.t)
-                .map(|h| (h.t_command, h.ho_type))
-                .collect();
+            let events_so_far: Vec<(f64, HoType)> =
+                trace.handovers.iter().filter(|h| h.t_command <= s.t).map(|h| (h.t_command, h.ho_type)).collect();
             let m = metrics_events_from(&episodes, &events_so_far, 2.0, 0.3, windows.len());
             f1_timeline.push((s.t, m.f1));
             next_f1 += 60.0;
@@ -368,9 +333,7 @@ pub fn run_prognos_scored(
     for h in &trace.handovers {
         let lead = episodes
             .iter()
-            .filter(|e| {
-                e.ho == h.ho_type && e.t_start <= h.t_command + 0.3 && e.t_end >= h.t_command - 2.0
-            })
+            .filter(|e| e.ho == h.ho_type && e.t_start <= h.t_command + 0.3 && e.t_end >= h.t_command - 2.0)
             .map(|e| (h.t_command - e.t_start).max(0.0))
             .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))));
         if let Some(lead) = lead {
@@ -378,8 +341,7 @@ pub fn run_prognos_scored(
             lead_times.push((is_5g, lead));
         }
     }
-    let events: Vec<(f64, HoType)> =
-        trace.handovers.iter().map(|h| (h.t_command, h.ho_type)).collect();
+    let events: Vec<(f64, HoType)> = trace.handovers.iter().map(|h| (h.t_command, h.ho_type)).collect();
 
     let run = PrognosRun {
         windows,
@@ -400,8 +362,7 @@ pub fn run_prognos_scored(
 pub fn gt_score_fn(trace: &Trace) -> impl Fn(f64) -> f64 {
     let series = trace.bandwidth_series();
     let mean_in = move |series: &[(f64, f64)], a: f64, b: f64| -> f64 {
-        let vals: Vec<f64> =
-            series.iter().filter(|p| p.0 >= a && p.0 < b).map(|p| p.1).collect();
+        let vals: Vec<f64> = series.iter().filter(|p| p.0 >= a && p.0 < b).map(|p| p.1).collect();
         if vals.is_empty() {
             0.0
         } else {
@@ -417,13 +378,7 @@ pub fn gt_score_fn(trace: &Trace) -> impl Fn(f64) -> f64 {
             events.push((h.t_decision - 1.0, h.t_complete + 0.5, score));
         }
     }
-    move |t: f64| {
-        events
-            .iter()
-            .find(|(a, b, _)| t >= *a && t <= *b)
-            .map(|&(_, _, s)| s)
-            .unwrap_or(1.0)
-    }
+    move |t: f64| events.iter().find(|(a, b, _)| t >= *a && t <= *b).map(|&(_, _, s)| s).unwrap_or(1.0)
 }
 
 /// Calibrates a [`prognos::HoScoreTable`] from a set of traces' observed
@@ -444,12 +399,10 @@ pub fn calibrate_scores(traces: &[&Trace]) -> prognos::HoScoreTable {
 /// ho_scores of a completed run, step-interpolated over time.
 pub fn pr_score_fn(run: &PrognosRun) -> impl Fn(f64) -> f64 {
     let windows: Vec<(f64, f64)> = run.windows.iter().map(|w| (w.t, w.ho_score)).collect();
-    move |t: f64| {
-        match windows.binary_search_by(|p| p.0.partial_cmp(&t).unwrap()) {
-            Ok(i) => windows[i].1,
-            Err(0) => 1.0,
-            Err(i) => windows[i - 1].1,
-        }
+    move |t: f64| match windows.binary_search_by(|p| p.0.partial_cmp(&t).unwrap()) {
+        Ok(i) => windows[i].1,
+        Err(0) => 1.0,
+        Err(i) => windows[i - 1].1,
     }
 }
 
@@ -460,11 +413,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn short_trace() -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 7)
-            .duration_s(240.0)
-            .sample_hz(20.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 7).duration_s(240.0).sample_hz(20.0).build().run()
     }
 
     #[test]
@@ -482,12 +431,19 @@ mod tests {
         let t = short_trace();
         let (cold, carry) = run_prognos(&t, PrognosConfig::default(), None, None);
         let (warm, _) = run_prognos(&t, PrognosConfig::default(), None, Some(carry));
-        assert!(
-            warm.metrics().f1 >= cold.metrics().f1,
-            "warm {} vs cold {}",
-            warm.metrics().f1,
-            cold.metrics().f1
-        );
+        assert!(warm.metrics().f1 >= cold.metrics().f1, "warm {} vs cold {}", warm.metrics().f1, cold.metrics().f1);
+    }
+
+    #[test]
+    fn instrumented_replay_records_prognos_phases() {
+        use fiveg_telemetry::{Telemetry, TelemetryConfig};
+        let t = short_trace();
+        let tele = Telemetry::new(TelemetryConfig::on());
+        let (run, _) = run_prognos_instrumented(&t, PrognosConfig::default(), &tele);
+        assert!(!run.windows.is_empty());
+        assert!(tele.counter_value("prognos.predict_calls") > 0);
+        let names: Vec<&str> = tele.phases().iter().map(|p| p.phase.name()).collect();
+        assert!(names.contains(&"prognos_prep") && names.contains(&"prognos_exec"), "{names:?}");
     }
 
     #[test]

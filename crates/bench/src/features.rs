@@ -72,8 +72,7 @@ pub fn gbc_dataset(traces: &[&Trace], window_s: f64) -> Dataset {
                     Some(best - s.nr_rrs.map(|r| r.rsrp_dbm).unwrap_or(-140.0))
                 })
                 .collect();
-            let nr_attached =
-                ws.iter().filter(|s| s.nr_cell.is_some()).count() as f64 / ws.len() as f64;
+            let nr_attached = ws.iter().filter(|s| s.nr_cell.is_some()).count() as f64 / ws.len() as f64;
             let row = vec![
                 mean_opt(&lte_rsrp),
                 slope(&lte_rsrp),
@@ -112,9 +111,7 @@ pub fn lstm_sequences(traces: &[&Trace], window_s: f64) -> (Vec<Vec<Vec<f64>>>, 
                 let mut seq = Vec::new();
                 for s in ws.iter().step_by(stride) {
                     let speed = prev_pos
-                        .map(|(px, py)| {
-                            ((s.pos.0 - px).powi(2) + (s.pos.1 - py).powi(2)).sqrt()
-                        })
+                        .map(|(px, py)| ((s.pos.0 - px).powi(2) + (s.pos.1 - py).powi(2)).sqrt())
                         .unwrap_or(0.0);
                     prev_pos = Some(s.pos);
                     seq.push(vec![s.pos.0 / 1000.0, s.pos.1 / 1000.0, speed]);
@@ -138,11 +135,7 @@ mod tests {
     use fiveg_sim::ScenarioBuilder;
 
     fn trace() -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 3)
-            .duration_s(180.0)
-            .sample_hz(20.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 3).duration_s(180.0).sample_hz(20.0).build().run()
     }
 
     #[test]

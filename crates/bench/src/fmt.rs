@@ -1,5 +1,7 @@
 //! Console table formatting for experiment output.
 
+pub use fiveg_telemetry::group_thousands;
+
 /// Prints a titled section header.
 pub fn header(title: &str) {
     let bar = "=".repeat(title.len().max(8) + 4);
@@ -53,4 +55,16 @@ pub fn compare(metric: &str, paper: &str, measured: &str) {
 /// Formats a float with the given precision.
 pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
+}
+
+/// Formats a count with thousands separators (shared with the telemetry
+/// summary so all experiment output groups digits the same way).
+pub fn count(n: usize) -> String {
+    group_thousands(n as u64)
+}
+
+/// Prints a run's telemetry summary under a section rule.
+pub fn telemetry(title: &str, tele: &fiveg_telemetry::Telemetry) {
+    section(title);
+    print!("{}", tele.summary());
 }

@@ -39,10 +39,7 @@ impl LegSnapshot {
         let wrap = |rsrp: f64| Rrs { rsrp_dbm: rsrp, rsrq_db: -10.0, sinr_db: 10.0 };
         Self {
             serving: serving.map(|(p, r)| CellObs { pci: p, rrs: wrap(r), group: None }),
-            neighbors: neighbors
-                .into_iter()
-                .map(|(p, r)| CellObs { pci: p, rrs: wrap(r), group: None })
-                .collect(),
+            neighbors: neighbors.into_iter().map(|(p, r)| CellObs { pci: p, rrs: wrap(r), group: None }).collect(),
         }
     }
 }
@@ -102,10 +99,7 @@ impl RrsHistory {
             MeasQuantity::Rsrq => r.rsrq_db,
             MeasQuantity::Sinr => r.sinr_db,
         };
-        self.series
-            .get(&pci)
-            .map(|v| v.iter().map(|(_, x)| pick(x)).collect())
-            .unwrap_or_default()
+        self.series.get(&pci).map(|v| v.iter().map(|(_, x)| pick(x)).collect()).unwrap_or_default()
     }
 
     /// Cells currently in the history.
@@ -125,10 +119,7 @@ mod tests {
     use super::*;
 
     fn snap(serving: (u16, f64), neighbors: &[(u16, f64)]) -> LegSnapshot {
-        LegSnapshot::from_rsrp(
-            Some((Pci(serving.0), serving.1)),
-            neighbors.iter().map(|&(p, r)| (Pci(p), r)).collect(),
-        )
+        LegSnapshot::from_rsrp(Some((Pci(serving.0), serving.1)), neighbors.iter().map(|&(p, r)| (Pci(p), r)).collect())
     }
 
     #[test]

@@ -95,12 +95,7 @@ impl DecisionLearner {
             p.last_seen_phase = self.phase_count;
         } else {
             self.learned_total += 1;
-            self.patterns.push(Pattern {
-                seq,
-                ho,
-                support: 1,
-                last_seen_phase: self.phase_count,
-            });
+            self.patterns.push(Pattern { seq, ho, support: 1, last_seen_phase: self.phase_count });
         }
         self.evict();
     }
@@ -113,13 +108,8 @@ impl DecisionLearner {
         self.evicted_total += (before - self.patterns.len()) as u64;
         // hard cap: drop the stalest
         while self.patterns.len() > self.cfg.max_patterns {
-            let stalest = self
-                .patterns
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.last_seen_phase)
-                .map(|(i, _)| i)
-                .unwrap();
+            let stalest =
+                self.patterns.iter().enumerate().min_by_key(|(_, p)| p.last_seen_phase).map(|(i, _)| i).unwrap();
             self.patterns.remove(stalest);
             self.evicted_total += 1;
         }
@@ -140,9 +130,7 @@ impl DecisionLearner {
         let mut out: Vec<(&Pattern, f64)> = self
             .patterns
             .iter()
-            .filter(|p| {
-                p.seq.len() <= current.len() && current[current.len() - p.seq.len()..] == p.seq[..]
-            })
+            .filter(|p| p.seq.len() <= current.len() && current[current.len() - p.seq.len()..] == p.seq[..])
             .map(|p| {
                 let support = (1.0 + p.support as f64).ln() / (1.0 + max_support).ln();
                 let length = p.seq.len() as f64 / self.cfg.max_seq_len as f64;
@@ -250,10 +238,7 @@ mod tests {
 
     #[test]
     fn stale_patterns_are_evicted() {
-        let mut l = DecisionLearner::new(LearnerConfig {
-            freshness_phases: 5,
-            ..Default::default()
-        });
+        let mut l = DecisionLearner::new(LearnerConfig { freshness_phases: 5, ..Default::default() });
         l.observe_phase(&[ev(EventKind::B1)], HoType::Scga);
         for _ in 0..10 {
             l.observe_phase(&[ev(EventKind::A3)], HoType::Scgm);
@@ -264,11 +249,7 @@ mod tests {
 
     #[test]
     fn max_patterns_cap_holds() {
-        let mut l = DecisionLearner::new(LearnerConfig {
-            max_patterns: 3,
-            freshness_phases: 1000,
-            max_seq_len: 4,
-        });
+        let mut l = DecisionLearner::new(LearnerConfig { max_patterns: 3, freshness_phases: 1000, max_seq_len: 4 });
         let kinds = [EventKind::A1, EventKind::A2, EventKind::A3, EventKind::A4, EventKind::A5];
         for (i, k) in kinds.iter().enumerate() {
             let ho = if i % 2 == 0 { HoType::Scga } else { HoType::Scgr };
@@ -280,10 +261,7 @@ mod tests {
     #[test]
     fn long_phases_keep_suffix() {
         let mut l = DecisionLearner::new(LearnerConfig { max_seq_len: 2, ..Default::default() });
-        l.observe_phase(
-            &[ev(EventKind::A1), ev(EventKind::A2), ev(EventKind::B1)],
-            HoType::Scgc,
-        );
+        l.observe_phase(&[ev(EventKind::A1), ev(EventKind::A2), ev(EventKind::B1)], HoType::Scgc);
         assert_eq!(l.patterns()[0].seq, vec![ev(EventKind::A2), ev(EventKind::B1)]);
     }
 
@@ -314,12 +292,7 @@ mod proptests {
     fn arb_event() -> impl Strategy<Value = MeasEvent> {
         (
             prop_oneof![Just(EventRat::Lte), Just(EventRat::Nr)],
-            prop_oneof![
-                Just(EventKind::A2),
-                Just(EventKind::A3),
-                Just(EventKind::A5),
-                Just(EventKind::B1)
-            ],
+            prop_oneof![Just(EventKind::A2), Just(EventKind::A3), Just(EventKind::A5), Just(EventKind::B1)],
         )
             .prop_map(|(rat, kind)| MeasEvent { rat, kind })
     }

@@ -75,13 +75,7 @@ impl Default for HandoverPredictor {
 impl HandoverPredictor {
     /// Predicts from the current phase's event sequence (observed MRs plus
     /// any predicted ones appended by the caller).
-    pub fn predict(
-        &self,
-        learner: &DecisionLearner,
-        seq: &[MeasEvent],
-        ctx: &UeContext,
-        lead_s: f64,
-    ) -> Prediction {
+    pub fn predict(&self, learner: &DecisionLearner, seq: &[MeasEvent], ctx: &UeContext, lead_s: f64) -> Prediction {
         if seq.is_empty() {
             return Prediction::NO_HO;
         }
@@ -118,10 +112,8 @@ mod tests {
         l
     }
 
-    const NSA_WITH_SCG: UeContext =
-        UeContext { arch: Arch::Nsa, has_scg: true, nr_band: Some(BandClass::Low) };
-    const NSA_NO_SCG: UeContext =
-        UeContext { arch: Arch::Nsa, has_scg: false, nr_band: Some(BandClass::Low) };
+    const NSA_WITH_SCG: UeContext = UeContext { arch: Arch::Nsa, has_scg: true, nr_band: Some(BandClass::Low) };
+    const NSA_NO_SCG: UeContext = UeContext { arch: Arch::Nsa, has_scg: false, nr_band: Some(BandClass::Low) };
 
     #[test]
     fn context_gates_scg_procedures() {

@@ -26,6 +26,7 @@ use crate::report_predictor::ReportPredictor;
 use crate::score::HoScoreTable;
 use fiveg_ran::HoType;
 use fiveg_rrc::{EventConfig, EventRat, MeasEvent, Pci};
+use fiveg_telemetry::{Event, Phase, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Prognos configuration.
@@ -98,6 +99,12 @@ pub struct Prognos {
     last_forecast_positive: Option<(HoType, f64)>,
     /// Events whose forecasts are damped until the given time.
     suppress_until: std::collections::HashMap<MeasEvent, f64>,
+    telemetry: Telemetry,
+    /// Last sim-time seen (`on_sample`/`predict`); stamps hit/miss events,
+    /// since `on_handover` carries no time.
+    last_t: f64,
+    /// Outstanding positive prediction awaiting its HO: (type, t issued).
+    tele_last_positive: Option<(HoType, f64)>,
 }
 
 impl Prognos {
@@ -123,8 +130,17 @@ impl Prognos {
             pending_forecasts: Vec::new(),
             last_forecast_positive: None,
             suppress_until: std::collections::HashMap::new(),
+            telemetry: Telemetry::disabled(),
+            last_t: 0.0,
+            tele_last_positive: None,
             cfg,
         }
+    }
+
+    /// Installs a telemetry recorder (disabled by default): prep/exec stage
+    /// timers plus prediction issued/hit/miss journal events.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.telemetry = tele;
     }
 
     /// Installs the measurement-event configurations (from `MeasConfig`).
@@ -144,6 +160,7 @@ impl Prognos {
 
     /// Feeds one tick of radio observations.
     pub fn on_sample(&mut self, t: f64, lte: &LegSnapshot, nr: &LegSnapshot) {
+        self.last_t = t;
         self.lte_serving = lte.serving.map(|c| c.pci);
         self.nr_serving = nr.serving.map(|c| c.pci);
         self.lte_history.push(t, lte);
@@ -161,6 +178,27 @@ impl Prognos {
     /// Feeds an observed HO command: closes the phase and teaches the
     /// learner.
     pub fn on_handover(&mut self, ho: HoType) {
+        if self.telemetry.is_enabled() {
+            match self.tele_last_positive.take() {
+                Some((h, t_issued)) if h == ho => {
+                    self.telemetry.incr("prognos.hits");
+                    self.telemetry.record(
+                        self.last_t,
+                        Event::PredictionHit { ho_type: ho.acronym().to_string(), lead_s: self.last_t - t_issued },
+                    );
+                }
+                other => {
+                    self.telemetry.incr("prognos.misses");
+                    self.telemetry.record(
+                        self.last_t,
+                        Event::PredictionMiss {
+                            predicted: other.map(|(h, _)| h.acronym().to_string()),
+                            actual: ho.acronym().to_string(),
+                        },
+                    );
+                }
+            }
+        }
         let phase = std::mem::take(&mut self.phase);
         self.learner.observe_phase(&phase, ho);
         // the radio context changed: forecasts start fresh
@@ -180,6 +218,8 @@ impl Prognos {
     /// wins — a spurious low-confidence forecast appended at the end must
     /// not mask a strong observed pattern.
     pub fn predict(&mut self, t: f64, ctx: &UeContext) -> Prognosis {
+        self.last_t = t;
+        self.telemetry.incr("prognos.predict_calls");
         // expire unfulfilled forecasts into the suppression map
         let cooloff = self.cfg.forecast_cooloff_s;
         let mut expired = Vec::new();
@@ -197,6 +237,8 @@ impl Prognos {
 
         let mut variants: Vec<(Vec<MeasEvent>, f64)> = vec![(self.phase.clone(), 0.0)];
         if self.cfg.use_report_predictor {
+            // stage 1 ("prep"): forecast upcoming MRs from signal histories
+            let _prep = self.telemetry.phase(Phase::PrognosPrep);
             let mut predicted = Vec::new();
             let lte_cfgs: Vec<EventConfig> =
                 self.configs.iter().filter(|c| c.event.rat == EventRat::Lte).copied().collect();
@@ -209,9 +251,7 @@ impl Prognos {
                 predicted.push(p);
             }
             // drop damped events; register the rest as outstanding
-            predicted.retain(|p| {
-                self.suppress_until.get(&p.event).map(|&u| t >= u).unwrap_or(true)
-            });
+            predicted.retain(|p| self.suppress_until.get(&p.event).map(|&u| t >= u).unwrap_or(true));
             for p in &predicted {
                 if !self.pending_forecasts.iter().any(|(e, _)| *e == p.event) {
                     self.pending_forecasts.push((p.event, t + p.eta_s + 0.5));
@@ -233,6 +273,8 @@ impl Prognos {
                 }
             }
         }
+        // stage 2 ("exec"): match variants against learned patterns
+        let exec_guard = self.telemetry.phase(Phase::PrognosExec);
         let mut best = Prediction::NO_HO;
         for (seq, lead) in &variants {
             let pred = self.predictor.predict(&self.learner, seq, ctx, *lead);
@@ -262,12 +304,28 @@ impl Prognos {
         } else {
             self.last_forecast_positive = None;
         }
+        drop(exec_guard);
+        if self.telemetry.is_enabled() {
+            if let Some(h) = best.ho {
+                // journal one event per prediction episode, not per call
+                let new_episode = !matches!(self.tele_last_positive, Some((lh, _)) if lh == h);
+                if new_episode {
+                    self.telemetry.incr("prognos.predictions_issued");
+                    self.telemetry.record(
+                        t,
+                        Event::PredictionIssued {
+                            ho_type: h.acronym().to_string(),
+                            lead_s: best.lead_s,
+                            confidence: best.confidence,
+                        },
+                    );
+                    self.tele_last_positive = Some((h, t));
+                }
+            }
+        }
         Prognosis {
             ho: best.ho,
-            ho_score: best
-                .ho
-                .map(|h| self.scores.score(h, ctx.nr_band))
-                .unwrap_or(HoScoreTable::NO_HO),
+            ho_score: best.ho.map(|h| self.scores.score(h, ctx.nr_band)).unwrap_or(HoScoreTable::NO_HO),
             confidence: best.confidence,
             lead_s: best.lead_s,
         }
@@ -290,10 +348,7 @@ mod tests {
 
     fn trained() -> Prognos {
         let mut pg = Prognos::new(PrognosConfig::default());
-        pg.set_configs(vec![
-            EventConfig::typical(nr_ev(EventKind::B1)),
-            EventConfig::typical(nr_ev(EventKind::A2)),
-        ]);
+        pg.set_configs(vec![EventConfig::typical(nr_ev(EventKind::B1)), EventConfig::typical(nr_ev(EventKind::A2))]);
         for _ in 0..5 {
             pg.on_report(nr_ev(EventKind::B1));
             pg.on_handover(HoType::Scga);

@@ -67,12 +67,7 @@ impl ReportPredictor {
     /// Predicts which configured events will trigger within the prediction
     /// window, given the leg's RRS history, the serving cell, and the
     /// configured events.
-    pub fn predict(
-        &self,
-        history: &RrsHistory,
-        serving: Option<Pci>,
-        configs: &[EventConfig],
-    ) -> Vec<PredictedReport> {
+    pub fn predict(&self, history: &RrsHistory, serving: Option<Pci>, configs: &[EventConfig]) -> Vec<PredictedReport> {
         let mut out = Vec::new();
         let steps = (self.prediction_window_s / self.sample_dt_s).round().max(1.0);
 
@@ -85,8 +80,7 @@ impl ReportPredictor {
             let mut hard = *cfg;
             hard.hysteresis_db += self.margin_db;
             // the forecast runs on the quantity this event compares
-            let serving_series =
-                serving.map(|p| history.values(p, cfg.quantity)).unwrap_or_default();
+            let serving_series = serving.map(|p| history.values(p, cfg.quantity)).unwrap_or_default();
             // events that compare the serving cell need a serving history;
             // only A4/B1 (pure neighbor thresholds) work without one
             let needs_serving = !matches!(cfg.event.kind, EventKind::A4 | EventKind::B1);
@@ -242,11 +236,7 @@ mod tests {
         // both A2 (serving falling) and A3 (neighbor rising) will fire
         let h = feed_history(-5.0, 6.0, -113.0, -100.0);
         let rp = ReportPredictor::default();
-        let preds = rp.predict(
-            &h,
-            Some(Pci(1)),
-            &[cfg(EventKind::A2, 320), cfg(EventKind::A3, 0)],
-        );
+        let preds = rp.predict(&h, Some(Pci(1)), &[cfg(EventKind::A2, 320), cfg(EventKind::A3, 0)]);
         assert!(preds.len() >= 2);
         for w in preds.windows(2) {
             assert!(w[0].eta_s <= w[1].eta_s);

@@ -65,10 +65,7 @@ impl HoScoreTable {
             }
             by_type.entry(ho).or_default().push(m);
         }
-        let by_type = by_type
-            .into_iter()
-            .map(|(ho, mut v)| (ho, median(&mut v)))
-            .collect();
+        let by_type = by_type.into_iter().map(|(ho, mut v)| (ho, median(&mut v))).collect();
         Self { table, by_type }
     }
 
@@ -99,10 +96,7 @@ mod tests {
         assert!(t.score(HoType::Scgm, None) > 1.0);
         assert!(t.score(HoType::Scgc, None) < 1.0);
         // low-band SCGA boost much smaller than mmWave
-        assert!(
-            t.score(HoType::Scga, Some(BandClass::Low))
-                < t.score(HoType::Scga, Some(BandClass::MmWave)) / 3.0
-        );
+        assert!(t.score(HoType::Scga, Some(BandClass::Low)) < t.score(HoType::Scga, Some(BandClass::MmWave)) / 3.0);
     }
 
     #[test]

@@ -59,11 +59,7 @@ impl ConvexPolygon {
 /// fewer than 3 vertices and zero area.
 pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap()
-            .then(a.y.partial_cmp(&b.y).unwrap())
-    });
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     if pts.len() < 3 {
         return ConvexPolygon { vertices: pts };
@@ -71,18 +67,14 @@ pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
 
     let mut lower: Vec<Point> = Vec::new();
     for p in &pts {
-        while lower.len() >= 2
-            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
-        {
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0 {
             lower.pop();
         }
         lower.push(*p);
     }
     let mut upper: Vec<Point> = Vec::new();
     for p in pts.iter().rev() {
-        while upper.len() >= 2
-            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
-        {
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0 {
             upper.pop();
         }
         upper.push(*p);
@@ -186,12 +178,7 @@ mod tests {
 
     #[test]
     fn hull_of_square_with_interior_points() {
-        let mut pts = vec![
-            Point::new(0.0, 0.0),
-            Point::new(10.0, 0.0),
-            Point::new(10.0, 10.0),
-            Point::new(0.0, 10.0),
-        ];
+        let mut pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0), Point::new(0.0, 10.0)];
         // interior points must not appear in the hull
         pts.push(Point::new(5.0, 5.0));
         pts.push(Point::new(2.0, 3.0));
@@ -202,11 +189,7 @@ mod tests {
 
     #[test]
     fn hull_of_collinear_points_is_degenerate() {
-        let pts = vec![
-            Point::new(0.0, 0.0),
-            Point::new(1.0, 1.0),
-            Point::new(2.0, 2.0),
-        ];
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
         let h = convex_hull(&pts);
         assert!(h.area() < 1e-12);
     }

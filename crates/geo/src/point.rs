@@ -41,10 +41,7 @@ impl Point {
     /// `self` to `other`. `t` is clamped to `[0, 1]`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
         let t = t.clamp(0.0, 1.0);
-        Point::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 
     /// Bearing from `self` to `other` in radians, measured counter-clockwise
@@ -61,10 +58,7 @@ impl Point {
 
     /// Returns the point displaced by `dist` meters along `bearing` radians.
     pub fn displaced(&self, bearing: f64, dist: f64) -> Point {
-        Point::new(
-            self.x + dist * bearing.cos(),
-            self.y + dist * bearing.sin(),
-        )
+        Point::new(self.x + dist * bearing.cos(), self.y + dist * bearing.sin())
     }
 }
 

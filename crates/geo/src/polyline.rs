@@ -49,30 +49,20 @@ impl Polyline {
     /// of the route (e.g. the last mobility tick) without panicking.
     pub fn point_at(&self, dist: f64) -> Point {
         let dist = dist.clamp(0.0, self.length());
-        let i = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&dist).unwrap())
-        {
+        let i = match self.cum.binary_search_by(|c| c.partial_cmp(&dist).unwrap()) {
             Ok(i) => return self.points[i],
             Err(i) => i,
         };
         // dist lies strictly between cum[i-1] and cum[i].
         let seg_len = self.cum[i] - self.cum[i - 1];
-        let t = if seg_len > 0.0 {
-            (dist - self.cum[i - 1]) / seg_len
-        } else {
-            0.0
-        };
+        let t = if seg_len > 0.0 { (dist - self.cum[i - 1]) / seg_len } else { 0.0 };
         self.points[i - 1].lerp(&self.points[i], t)
     }
 
     /// Heading (radians, ccw from east) of the segment containing `dist`.
     pub fn heading_at(&self, dist: f64) -> f64 {
         let dist = dist.clamp(0.0, self.length());
-        let i = self
-            .cum
-            .partition_point(|&c| c <= dist)
-            .clamp(1, self.points.len() - 1);
+        let i = self.cum.partition_point(|&c| c <= dist).clamp(1, self.points.len() - 1);
         self.points[i - 1].bearing(&self.points[i])
     }
 
@@ -110,11 +100,7 @@ mod tests {
     use super::*;
 
     fn l_shape() -> Polyline {
-        Polyline::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(100.0, 0.0),
-            Point::new(100.0, 50.0),
-        ])
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(100.0, 50.0)])
     }
 
     #[test]
@@ -189,14 +175,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_polyline() -> impl Strategy<Value = Polyline> {
-        proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 2..20).prop_filter_map(
-            "degenerate",
-            |pts| {
-                let pts: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                let p = Polyline::new(pts);
-                (p.length() > 1.0).then_some(p)
-            },
-        )
+        proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 2..20).prop_filter_map("degenerate", |pts| {
+            let pts: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let p = Polyline::new(pts);
+            (p.length() > 1.0).then_some(p)
+        })
     }
 
     proptest! {

@@ -57,11 +57,7 @@ pub fn city_grid_sweep(origin: Point, width: f64, block: f64, rows: usize) -> Po
     let mut pts = Vec::with_capacity(rows * 2);
     for r in 0..rows {
         let y = origin.y + r as f64 * block;
-        let (x0, x1) = if r % 2 == 0 {
-            (origin.x, origin.x + width)
-        } else {
-            (origin.x + width, origin.x)
-        };
+        let (x0, x1) = if r % 2 == 0 { (origin.x, origin.x + width) } else { (origin.x + width, origin.x) };
         pts.push(Point::new(x0, y));
         pts.push(Point::new(x1, y));
     }

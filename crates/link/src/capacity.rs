@@ -61,23 +61,18 @@ pub fn compose(s: &DownlinkState) -> PathOutcome {
     let lte_up = !s.lte_interrupted && s.lte_mbps > 0.0;
     let nr_up = !s.nr_interrupted && s.nr_mbps > 0.0;
     match s.bearer {
-        Bearer::LteOnly => PathOutcome {
-            capacity_mbps: if lte_up { s.lte_mbps } else { 0.0 },
-            base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS,
-        },
-        Bearer::NrOnly => PathOutcome {
-            capacity_mbps: if nr_up { s.nr_mbps } else { 0.0 },
-            base_rtt_ms: CORE_RTT_MS + NR_LEG_MS,
-        },
+        Bearer::LteOnly => {
+            PathOutcome { capacity_mbps: if lte_up { s.lte_mbps } else { 0.0 }, base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS }
+        }
+        Bearer::NrOnly => {
+            PathOutcome { capacity_mbps: if nr_up { s.nr_mbps } else { 0.0 }, base_rtt_ms: CORE_RTT_MS + NR_LEG_MS }
+        }
         Bearer::Dual => {
             // Split bearer: both legs carry traffic. The path RTT is set by
             // the detour through the eNB; when the NR leg is down the LTE
             // leg keeps flowing (the paper's "absorbs HO fluctuations").
             let cap = (if lte_up { s.lte_mbps } else { 0.0 }) + (if nr_up { s.nr_mbps } else { 0.0 });
-            PathOutcome {
-                capacity_mbps: cap,
-                base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS.max(NR_LEG_MS + DUAL_FORWARD_MS),
-            }
+            PathOutcome { capacity_mbps: cap, base_rtt_ms: CORE_RTT_MS + LTE_LEG_MS.max(NR_LEG_MS + DUAL_FORWARD_MS) }
         }
     }
 }

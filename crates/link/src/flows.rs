@@ -7,23 +7,64 @@
 
 use crate::capacity::PathOutcome;
 use crate::tcp::{Cca, TcpFlow, TcpSample};
+use fiveg_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
+
+/// Capacity below which a flow considers the path stalled, Mbps.
+const STALL_CAP_MBPS: f64 = 0.01;
+
+/// Tracks stalled-interval transitions for a flow and journals them.
+#[derive(Debug, Clone, Default)]
+struct StallTracker {
+    telemetry: Telemetry,
+    since: Option<f64>,
+}
+
+impl StallTracker {
+    /// Feeds one tick's stalled/flowing state at time `t`.
+    fn observe(&mut self, flow: &'static str, t: f64, stalled: bool) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        match (self.since, stalled) {
+            (None, true) => {
+                self.since = Some(t);
+                self.telemetry.incr(&format!("{flow}.stalls"));
+                self.telemetry.record(t, Event::StallStart { flow: flow.to_string() });
+            }
+            (Some(start), false) => {
+                self.since = None;
+                self.telemetry.observe(&format!("{flow}.stall_s"), t - start);
+                self.telemetry.record(t, Event::StallEnd { flow: flow.to_string(), duration_s: t - start });
+            }
+            _ => {}
+        }
+    }
+}
 
 /// An always-backlogged TCP download.
 #[derive(Debug, Clone)]
 pub struct BulkFlow {
     tcp: TcpFlow,
     samples: Vec<TcpSample>,
+    stall: StallTracker,
 }
 
 impl BulkFlow {
     /// Starts a bulk download with the given congestion controller.
     pub fn new(cca: Cca) -> Self {
-        Self { tcp: TcpFlow::new(cca), samples: Vec::new() }
+        Self { tcp: TcpFlow::new(cca), samples: Vec::new(), stall: StallTracker::default() }
+    }
+
+    /// Installs a telemetry recorder (disabled by default): stalled
+    /// intervals (no path capacity) are counted and journaled.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.stall.telemetry = tele;
     }
 
     /// Advances one tick; records and returns the sample.
     pub fn step(&mut self, t: f64, dt: f64, path: &PathOutcome) -> TcpSample {
+        self.stall.observe("bulk", t, path.capacity_mbps <= STALL_CAP_MBPS);
         let s = self.tcp.step(t, dt, path.capacity_mbps, path.base_rtt_ms);
         self.samples.push(s);
         s
@@ -63,13 +104,20 @@ pub struct CbrFlow {
     /// Backlogged media bits waiting for capacity, Mb.
     backlog_mb: f64,
     samples: Vec<CbrSample>,
+    stall: StallTracker,
 }
 
 impl CbrFlow {
     /// Creates a stream of `rate_mbps` with a per-frame deadline.
     pub fn new(rate_mbps: f64, deadline_ms: f64) -> Self {
         assert!(rate_mbps > 0.0);
-        Self { rate_mbps, deadline_ms, backlog_mb: 0.0, samples: Vec::new() }
+        Self { rate_mbps, deadline_ms, backlog_mb: 0.0, samples: Vec::new(), stall: StallTracker::default() }
+    }
+
+    /// Installs a telemetry recorder (disabled by default): frame-dropping
+    /// intervals are counted and journaled as stalls.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.stall.telemetry = tele;
     }
 
     /// Advances one tick over the current path.
@@ -98,6 +146,7 @@ impl CbrFlow {
             self.backlog_mb = deadline_budget_mb;
         }
 
+        self.stall.observe("cbr", t, loss > 0.0);
         let s = CbrSample { t, latency_ms: latency, loss };
         self.samples.push(s);
         s
@@ -184,6 +233,32 @@ mod tests {
         }
         assert_eq!(b.samples().len(), 200);
         assert!(b.bytes_delivered() > 0.0);
+    }
+
+    #[test]
+    fn stall_events_journal_outage_intervals() {
+        use fiveg_telemetry::TelemetryConfig;
+        let tele = Telemetry::new(TelemetryConfig::on());
+        let mut f = CbrFlow::new(30.0, 100.0);
+        f.set_telemetry(tele.clone());
+        let mut t = 0.0;
+        for _ in 0..50 {
+            f.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        for _ in 0..20 {
+            f.step(t, 0.02, &path(0.0));
+            t += 0.02;
+        }
+        for _ in 0..50 {
+            f.step(t, 0.02, &path(100.0));
+            t += 0.02;
+        }
+        assert_eq!(tele.counter_value("cbr.stalls"), 1);
+        let jsonl = tele.journal_jsonl();
+        assert!(jsonl.contains("\"kind\":\"stall_start\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"stall_end\""), "{jsonl}");
+        assert!(tele.histogram_snapshot("cbr.stall_s").unwrap().count == 1);
     }
 
     #[test]

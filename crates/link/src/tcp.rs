@@ -90,11 +90,7 @@ impl BbrSender {
     fn on_delivery(&mut self, t: f64, rate_mbps: f64) {
         self.bw_samples.push((t, rate_mbps));
         self.bw_samples.retain(|&(ts, _)| t - ts <= BBR_BW_WINDOW_S);
-        self.btl_bw_mbps = self
-            .bw_samples
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(0.5, f64::max);
+        self.btl_bw_mbps = self.bw_samples.iter().map(|&(_, r)| r).fold(0.5, f64::max);
     }
 
     fn pacing_rate(&self, t: f64, rtt_s: f64) -> f64 {

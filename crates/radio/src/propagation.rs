@@ -97,8 +97,7 @@ impl Propagation {
     /// for a cell located at `site`.
     pub fn received_dbm(&self, site: &Point, ue: &Point, t: f64) -> f64 {
         let dist = site.distance(ue);
-        let mut rx = self.tx_power_dbm
-            - self.model.loss_db(dist, self.band.freq_mhz)
+        let mut rx = self.tx_power_dbm - self.model.loss_db(dist, self.band.freq_mhz)
             + self.shadowing.sample(ue)
             + self.fading.sample(t);
         if self.blockage_prob > 0.0 && self.blockage.sample_uniform_cell(ue) < self.blockage_prob {
@@ -118,9 +117,10 @@ impl Propagation {
     /// derive sensible inter-site distances per band.
     pub fn median_range_m(&self, threshold_dbm: f64) -> f64 {
         // threshold = tx - (offset + exp10*log10(d) + freq10*log10(f))
-        let budget =
-            self.tx_power_dbm - threshold_dbm - self.model.offset_db
-                - self.model.freq10 * (self.band.freq_mhz / 1000.0).log10();
+        let budget = self.tx_power_dbm
+            - threshold_dbm
+            - self.model.offset_db
+            - self.model.freq10 * (self.band.freq_mhz / 1000.0).log10();
         10f64.powf(budget / self.model.exp10).max(10.0)
     }
 }

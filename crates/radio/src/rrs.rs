@@ -67,11 +67,7 @@ pub fn compute_rrs(serving_dbm: f64, interferers_dbm: &[f64], noise_dbm: f64) ->
     let sinr_db = 10.0 * (s / (i + n)).log10();
     let rssi_dbm = mw_to_dbm(s + i + n);
     let rsrq_db = (serving_dbm - rssi_dbm - 3.0).clamp(-20.0, -3.0);
-    Rrs {
-        rsrp_dbm: serving_dbm.clamp(-140.0, -44.0),
-        rsrq_db,
-        sinr_db: sinr_db.clamp(-20.0, 40.0),
-    }
+    Rrs { rsrp_dbm: serving_dbm.clamp(-140.0, -44.0), rsrq_db, sinr_db: sinr_db.clamp(-20.0, 40.0) }
 }
 
 #[cfg(test)]

@@ -163,9 +163,7 @@ mod tests {
 
     #[test]
     fn predict_on_noisy_trend_is_close() {
-        let s: Vec<f64> = (0..40)
-            .map(|i| -85.0 - 0.3 * i as f64 + if i % 2 == 0 { 1.5 } else { -1.5 })
-            .collect();
+        let s: Vec<f64> = (0..40).map(|i| -85.0 - 0.3 * i as f64 + if i % 2 == 0 { 1.5 } else { -1.5 }).collect();
         let p = predict_at(&s, 3, 5.0);
         let expect = -85.0 - 0.3 * 44.0;
         assert!((p - expect).abs() < 1.5, "{p} vs {expect}");

@@ -74,14 +74,7 @@ impl Carrier {
             },
             Carrier::OpZ => CarrierProfile {
                 carrier: *self,
-                lte_bands: vec![
-                    bands::B2,
-                    bands::B5,
-                    bands::B13,
-                    bands::B48,
-                    bands::B66,
-                    bands::B46,
-                ],
+                lte_bands: vec![bands::B2, bands::B5, bands::B13, bands::B48, bands::B66, bands::B46],
                 nr_low: Some(bands::N71),
                 nr_mid: Some(bands::N2),
                 nr_mmwave: vec![bands::N260, bands::N261],
@@ -186,12 +179,7 @@ impl CarrierProfile {
     /// on freeways).
     pub fn lte_bands_in(&self, env: Environment) -> Vec<Band> {
         match env {
-            Environment::Freeway => self
-                .lte_bands
-                .iter()
-                .copied()
-                .filter(|b| b.freq_mhz < 2200.0)
-                .collect(),
+            Environment::Freeway => self.lte_bands.iter().copied().filter(|b| b.freq_mhz < 2200.0).collect(),
             _ => self.lte_bands.clone(),
         }
     }
@@ -233,10 +221,7 @@ mod tests {
     #[test]
     fn mmwave_in_urban_dense_for_opx_opz() {
         let has_mm = |c: Carrier| {
-            c.profile()
-                .nr_bands_in(Environment::UrbanDense)
-                .iter()
-                .any(|b| b.class() == fiveg_radio::BandClass::MmWave)
+            c.profile().nr_bands_in(Environment::UrbanDense).iter().any(|b| b.class() == fiveg_radio::BandClass::MmWave)
         };
         assert!(has_mm(Carrier::OpX));
         assert!(!has_mm(Carrier::OpY));
@@ -247,11 +232,7 @@ mod tests {
     fn anchor_is_mid_band() {
         // §6.1: "its coupled control plane (NSA-4C) still uses the mid-band"
         for c in Carrier::ALL {
-            assert_eq!(
-                c.profile().anchor_band.class(),
-                fiveg_radio::BandClass::Mid,
-                "{c}"
-            );
+            assert_eq!(c.profile().anchor_band.class(), fiveg_radio::BandClass::Mid, "{c}");
         }
     }
 

@@ -44,27 +44,15 @@ impl IsdPlan {
     /// ISDs for an environment, tuned to the paper's dwell distances.
     pub fn for_env(env: Environment) -> Self {
         match env {
-            Environment::UrbanDense => IsdPlan {
-                lte_anchor: 650.0,
-                lte_other: 800.0,
-                nr_low: 1600.0,
-                nr_mid: 800.0,
-                nr_mmwave: 210.0,
-            },
-            Environment::Urban => IsdPlan {
-                lte_anchor: 800.0,
-                lte_other: 950.0,
-                nr_low: 1800.0,
-                nr_mid: 850.0,
-                nr_mmwave: 230.0,
-            },
-            Environment::Freeway => IsdPlan {
-                lte_anchor: 1150.0,
-                lte_other: 1350.0,
-                nr_low: 2300.0,
-                nr_mid: 1200.0,
-                nr_mmwave: 250.0,
-            },
+            Environment::UrbanDense => {
+                IsdPlan { lte_anchor: 650.0, lte_other: 800.0, nr_low: 1600.0, nr_mid: 800.0, nr_mmwave: 210.0 }
+            }
+            Environment::Urban => {
+                IsdPlan { lte_anchor: 800.0, lte_other: 950.0, nr_low: 1800.0, nr_mid: 850.0, nr_mmwave: 230.0 }
+            }
+            Environment::Freeway => {
+                IsdPlan { lte_anchor: 1150.0, lte_other: 1350.0, nr_low: 2300.0, nr_mid: 1200.0, nr_mmwave: 250.0 }
+            }
         }
     }
 }
@@ -186,10 +174,7 @@ impl Deployment {
                 let co_located = rng.chance(profile.colocation_prob);
                 let (tid, anchor_pci) = if co_located {
                     let (aid, apci) = d.nearest_anchor(pos, &anchor_tower_ids);
-                    let band_taken = d.towers[aid.0 as usize]
-                        .cells
-                        .iter()
-                        .any(|&c| d.cell(c).band.name == band.name);
+                    let band_taken = d.towers[aid.0 as usize].cells.iter().any(|&c| d.cell(c).band.name == band.name);
                     if band_taken {
                         (d.new_tower(*pos, false), None)
                     } else {
@@ -214,8 +199,8 @@ impl Deployment {
                 for s in 0..sectors {
                     // single-sector gNBs are omni; multi-sector towers get
                     // evenly spread boresights
-                    let azimuth = (sectors > 1)
-                        .then(|| azimuth_base + s as f64 * std::f64::consts::TAU / sectors as f64);
+                    let azimuth =
+                        (sectors > 1).then(|| azimuth_base + s as f64 * std::f64::consts::TAU / sectors as f64);
                     if let Some(&apci) = anchor_sector_pcis.get(s) {
                         d.new_cell_with_pci(tid, band, apci, seed, azimuth);
                         continue;
@@ -252,7 +237,15 @@ impl Deployment {
         id
     }
 
-    fn new_cell(&mut self, tower: TowerId, band: Band, lte_pci: &mut u16, nr_pci: &mut u16, seed: u64, azimuth: Option<f64>) -> CellId {
+    fn new_cell(
+        &mut self,
+        tower: TowerId,
+        band: Band,
+        lte_pci: &mut u16,
+        nr_pci: &mut u16,
+        seed: u64,
+        azimuth: Option<f64>,
+    ) -> CellId {
         let pci = if band.is_nr() {
             let p = Pci(*nr_pci);
             *nr_pci = 520 + (*nr_pci - 520 + 13) % 488; // NR PCIs in 520..1007
@@ -458,20 +451,12 @@ mod tests {
     #[test]
     fn urban_dense_opx_has_mmwave_sectors() {
         let d = deployment(Carrier::OpX, Environment::UrbanDense, Arch::Nsa);
-        let mm: Vec<_> = d
-            .nr_cells()
-            .iter()
-            .filter(|&&id| d.cell(id).band.class() == BandClass::MmWave)
-            .collect();
+        let mm: Vec<_> = d.nr_cells().iter().filter(|&&id| d.cell(id).band.class() == BandClass::MmWave).collect();
         assert!(!mm.is_empty());
         // mmWave towers host 3 sectors per mmWave band
         let probe = d.cell(*mm[0]);
         let (t, band_name) = (probe.tower, probe.band.name);
-        let sector_count = d.towers[t.0 as usize]
-            .cells
-            .iter()
-            .filter(|&&c| d.cell(c).band.name == band_name)
-            .count();
+        let sector_count = d.towers[t.0 as usize].cells.iter().filter(|&&c| d.cell(c).band.name == band_name).count();
         assert_eq!(sector_count, 3);
     }
 
@@ -482,8 +467,10 @@ mod tests {
         let mut found = false;
         for t in &d.towers {
             if t.co_located {
-                let lte_pcis: Vec<Pci> = t.cells.iter().filter(|&&c| !d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
-                let nr_pcis: Vec<Pci> = t.cells.iter().filter(|&&c| d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
+                let lte_pcis: Vec<Pci> =
+                    t.cells.iter().filter(|&&c| !d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
+                let nr_pcis: Vec<Pci> =
+                    t.cells.iter().filter(|&&c| d.cell(c).is_nr()).map(|&c| d.cell(c).pci).collect();
                 assert!(!lte_pcis.is_empty() && !nr_pcis.is_empty());
                 assert!(
                     nr_pcis.iter().any(|p| lte_pcis.contains(p)),
@@ -499,10 +486,7 @@ mod tests {
     fn towers_are_near_route() {
         let d = deployment(Carrier::OpY, Environment::Freeway, Arch::Nsa);
         for t in &d.towers {
-            assert!(
-                t.pos.y.abs() <= 160.0,
-                "tower {t:?} too far from the (horizontal) route"
-            );
+            assert!(t.pos.y.abs() <= 160.0, "tower {t:?} too far from the (horizontal) route");
         }
     }
 
@@ -555,10 +539,7 @@ mod tests {
         let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
         for &nr in d.nr_cells() {
             let enb_tower = d.assoc_enb_tower(nr);
-            let has_lte = d.towers[enb_tower.0 as usize]
-                .cells
-                .iter()
-                .any(|&c| !d.cell(c).is_nr());
+            let has_lte = d.towers[enb_tower.0 as usize].cells.iter().any(|&c| !d.cell(c).is_nr());
             assert!(has_lte, "assoc tower must host LTE cells");
         }
     }

@@ -76,15 +76,8 @@ pub enum HoType {
 
 impl HoType {
     /// All HO types, in Table 2 order.
-    pub const ALL: [HoType; 7] = [
-        HoType::Scga,
-        HoType::Scgr,
-        HoType::Scgm,
-        HoType::Scgc,
-        HoType::Mnbh,
-        HoType::Mcgh,
-        HoType::Lteh,
-    ];
+    pub const ALL: [HoType; 7] =
+        [HoType::Scga, HoType::Scgr, HoType::Scgm, HoType::Scgc, HoType::Mnbh, HoType::Mcgh, HoType::Lteh];
 
     /// The paper's acronym.
     pub fn acronym(&self) -> &'static str {
@@ -124,9 +117,7 @@ impl HoType {
     /// Table 2's "4G/5G HO" column: which radio performs the procedure.
     pub fn category(&self) -> HoCategory {
         match self {
-            HoType::Scga | HoType::Scgr | HoType::Scgm | HoType::Scgc | HoType::Mcgh => {
-                HoCategory::FiveG
-            }
+            HoType::Scga | HoType::Scgr | HoType::Scgm | HoType::Scgc | HoType::Mcgh => HoCategory::FiveG,
             HoType::Mnbh | HoType::Lteh => HoCategory::FourG,
         }
     }
@@ -215,14 +206,8 @@ mod tests {
 
     #[test]
     fn from_action_covers_all() {
-        assert_eq!(
-            HoType::from_action(&ReconfigAction::ScgChange { nr_target: Pci(3) }),
-            HoType::Scgc
-        );
-        assert_eq!(
-            HoType::from_action(&ReconfigAction::MenbHandover { target: Pci(3) }),
-            HoType::Mnbh
-        );
+        assert_eq!(HoType::from_action(&ReconfigAction::ScgChange { nr_target: Pci(3) }), HoType::Scgc);
+        assert_eq!(HoType::from_action(&ReconfigAction::MenbHandover { target: Pci(3) }), HoType::Mnbh);
         assert_eq!(HoType::from_action(&ReconfigAction::ScgRelease), HoType::Scgr);
     }
 

@@ -179,18 +179,15 @@ fn best_neighbor<'a>(
         // typically the marginal one, not the strongest. This is the §6.2
         // mechanism: each HO leg optimizes its local criterion only, so an
         // SCG Change often lands on a barely-adequate gNB.
-        let satisfying: Vec<&Measurement> = candidates
-            .clone()
-            .filter(|n| n.quantity(cfg.quantity) - cfg.hysteresis_db > cfg.threshold_dbm)
-            .collect();
+        let satisfying: Vec<&Measurement> =
+            candidates.clone().filter(|n| n.quantity(cfg.quantity) - cfg.hysteresis_db > cfg.threshold_dbm).collect();
         if !satisfying.is_empty() {
             return satisfying
                 .into_iter()
                 .min_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap());
         }
     }
-    candidates
-        .max_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap())
+    candidates.max_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap())
 }
 
 fn make_report(

@@ -23,6 +23,7 @@ use crate::deploy::Deployment;
 use crate::ho::{Arch, HoType};
 use crate::measure::TriggeredReport;
 use fiveg_rrc::{EventConfig, EventKind, MeasEvent, Pci, ReconfigAction};
+use fiveg_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -77,6 +78,7 @@ pub struct HoPolicy {
     mnbh_reach_m: f64,
     /// Events accumulated in the current phase (since the last HO).
     phase: Vec<MeasEvent>,
+    telemetry: Telemetry,
 }
 
 impl HoPolicy {
@@ -89,7 +91,14 @@ impl HoPolicy {
             scgc_window_s: 2.0,
             mnbh_reach_m: 400.0,
             phase: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder (disabled by default): every decision
+    /// is counted, globally and per HO type.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.telemetry = tele;
     }
 
     /// LTE-leg measurement configs this carrier deploys.
@@ -182,10 +191,7 @@ impl HoPolicy {
         if !has_scg {
             return true;
         }
-        self.pending_nr_a2
-            .as_ref()
-            .map(|(since, _)| t - since <= self.scgc_window_s)
-            .unwrap_or(false)
+        self.pending_nr_a2.as_ref().map(|(since, _)| t - since <= self.scgc_window_s).unwrap_or(false)
     }
 
     /// The current phase's accumulated events.
@@ -203,10 +209,7 @@ impl HoPolicy {
     /// the policy makes one now.
     pub fn on_report(&mut self, report: &TriggeredReport, ctx: &PolicyContext<'_>) -> Option<HoDecision> {
         self.phase.push(report.event);
-        let target = report
-            .neighbors
-            .first()
-            .and_then(|n| ctx.candidates.get(&n.pci).copied());
+        let target = report.neighbors.first().and_then(|n| ctx.candidates.get(&n.pci).copied());
         match (self.arch, report.event.rat, report.event.kind) {
             // --- SA: MCG handover on NR A3.
             (Arch::Sa, fiveg_rrc::EventRat::Nr, EventKind::A3) => {
@@ -230,10 +233,7 @@ impl HoPolicy {
                     let tgt_tower = ctx.deployment.cell(target).tower;
                     // intra-eNB change (same tower, e.g. a sector switch):
                     // the SCG always survives
-                    let same_enb = ctx
-                        .serving_lte
-                        .map(|c| ctx.deployment.cell(c).tower == tgt_tower)
-                        .unwrap_or(false);
+                    let same_enb = ctx.serving_lte.map(|c| ctx.deployment.cell(c).tower == tgt_tower).unwrap_or(false);
                     // inter-eNB: the SCG survives only when the target eNB
                     // still reaches the gNB over X2
                     let gnb_tower = ctx.deployment.cell(scg).tower;
@@ -253,9 +253,7 @@ impl HoPolicy {
                     // no SCG yet: B1 discovers coverage -> SCG Addition
                     (None, _) => {
                         let target = target?;
-                        Some(self.decide(ReconfigAction::ScgAddition {
-                            nr_target: ctx.deployment.cell(target).pci,
-                        }))
+                        Some(self.decide(ReconfigAction::ScgAddition { nr_target: ctx.deployment.cell(target).pci }))
                     }
                     // SCG fading (recent NR-A2) and a different gNB visible ->
                     // SCG Change
@@ -264,9 +262,7 @@ impl HoPolicy {
                         if ctx.deployment.same_gnb(serving, target) {
                             return None; // same gNB: A3/SCGM territory
                         }
-                        Some(self.decide(ReconfigAction::ScgChange {
-                            nr_target: ctx.deployment.cell(target).pci,
-                        }))
+                        Some(self.decide(ReconfigAction::ScgChange { nr_target: ctx.deployment.cell(target).pci }))
                     }
                     _ => None,
                 }
@@ -281,9 +277,7 @@ impl HoPolicy {
                 let serving = ctx.serving_nr?;
                 let target = target?;
                 if ctx.deployment.same_gnb(serving, target) {
-                    Some(self.decide(ReconfigAction::ScgModification {
-                        nr_target: ctx.deployment.cell(target).pci,
-                    }))
+                    Some(self.decide(ReconfigAction::ScgModification { nr_target: ctx.deployment.cell(target).pci }))
                 } else {
                     // no direct inter-gNB HO in NSA (§2)
                     None
@@ -307,6 +301,10 @@ impl HoPolicy {
     fn decide(&mut self, action: ReconfigAction) -> HoDecision {
         let phase = std::mem::take(&mut self.phase);
         self.pending_nr_a2 = None;
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("policy.decisions");
+            self.telemetry.incr(&format!("policy.decide.{}", HoType::from_action(&action).acronym()));
+        }
         HoDecision { action, phase }
     }
 }
@@ -335,12 +333,7 @@ mod tests {
                 group: None,
             },
             neighbors: neighbor
-                .map(|pci| {
-                    vec![NeighborMeas {
-                        pci,
-                        rrs: Rrs { rsrp_dbm: -100.0, rsrq_db: -10.0, sinr_db: 8.0 },
-                    }]
-                })
+                .map(|pci| vec![NeighborMeas { pci, rrs: Rrs { rsrp_dbm: -100.0, rsrq_db: -10.0, sinr_db: 8.0 } }])
                 .unwrap_or_default(),
             t,
         }
@@ -360,13 +353,7 @@ mod tests {
     }
 
     fn pctx<'a>(c: &'a Ctx, lte: Option<CellId>, nr: Option<CellId>, t: f64) -> PolicyContext<'a> {
-        PolicyContext {
-            deployment: &c.deployment,
-            serving_lte: lte,
-            serving_nr: nr,
-            candidates: &c.candidates,
-            t,
-        }
+        PolicyContext { deployment: &c.deployment, serving_lte: lte, serving_nr: nr, candidates: &c.candidates, t }
     }
 
     #[test]
@@ -376,7 +363,10 @@ mod tests {
         let nr_pci = c.deployment.cell(nr).pci;
         let mut p = HoPolicy::new(Carrier::OpX, Arch::Nsa);
         let d = p
-            .on_report(&report(MeasEvent::nr(EventKind::B1), Some(nr_pci), 1.0), &pctx(&c, Some(c.deployment.lte_cells()[0]), None, 1.0))
+            .on_report(
+                &report(MeasEvent::nr(EventKind::B1), Some(nr_pci), 1.0),
+                &pctx(&c, Some(c.deployment.lte_cells()[0]), None, 1.0),
+            )
             .expect("SCGA");
         assert_eq!(d.ho_type(), HoType::Scga);
         assert_eq!(d.phase, vec![MeasEvent::nr(EventKind::B1)]);
@@ -388,9 +378,7 @@ mod tests {
         let nr = c.deployment.nr_cells()[0];
         let mut p = HoPolicy::new(Carrier::OpX, Arch::Nsa);
         let lte = Some(c.deployment.lte_cells()[0]);
-        assert!(p
-            .on_report(&report(MeasEvent::nr(EventKind::A2), None, 1.0), &pctx(&c, lte, Some(nr), 1.0))
-            .is_none());
+        assert!(p.on_report(&report(MeasEvent::nr(EventKind::A2), None, 1.0), &pctx(&c, lte, Some(nr), 1.0)).is_none());
         // window not yet closed
         assert!(p.tick(&pctx(&c, lte, Some(nr), 2.0)).is_none());
         // closed -> release
@@ -404,12 +392,7 @@ mod tests {
         let c = ctx_with(deployment());
         // find two NR cells on different towers
         let nr1 = c.deployment.nr_cells()[0];
-        let nr2 = *c
-            .deployment
-            .nr_cells()
-            .iter()
-            .find(|&&id| !c.deployment.same_gnb(nr1, id))
-            .expect("second gNB");
+        let nr2 = *c.deployment.nr_cells().iter().find(|&&id| !c.deployment.same_gnb(nr1, id)).expect("second gNB");
         let nr2_pci = c.deployment.cell(nr2).pci;
         let mut p = HoPolicy::new(Carrier::OpX, Arch::Nsa);
         let lte = Some(c.deployment.lte_cells()[0]);
@@ -420,10 +403,7 @@ mod tests {
             .on_report(&report(MeasEvent::nr(EventKind::B1), Some(nr2_pci), 1.8), &pctx(&c, lte, Some(nr1), 1.8))
             .expect("SCGC");
         assert_eq!(d.ho_type(), HoType::Scgc);
-        assert_eq!(
-            d.phase,
-            vec![MeasEvent::nr(EventKind::A2), MeasEvent::nr(EventKind::B1)]
-        );
+        assert_eq!(d.phase, vec![MeasEvent::nr(EventKind::A2), MeasEvent::nr(EventKind::B1)]);
     }
 
     #[test]
@@ -455,12 +435,7 @@ mod tests {
     fn nr_a3_cross_gnb_is_ignored() {
         let c = ctx_with(deployment());
         let nr1 = c.deployment.nr_cells()[0];
-        let nr2 = *c
-            .deployment
-            .nr_cells()
-            .iter()
-            .find(|&&id| !c.deployment.same_gnb(nr1, id))
-            .unwrap();
+        let nr2 = *c.deployment.nr_cells().iter().find(|&&id| !c.deployment.same_gnb(nr1, id)).unwrap();
         let nr2_pci = c.deployment.cell(nr2).pci;
         let mut p = HoPolicy::new(Carrier::OpX, Arch::Nsa);
         let lte = Some(c.deployment.lte_cells()[0]);
@@ -476,7 +451,10 @@ mod tests {
         let pci2 = c.deployment.cell(lte2).pci;
         let mut p = HoPolicy::new(Carrier::OpX, Arch::Nsa);
         let d = p
-            .on_report(&report(MeasEvent::lte(EventKind::A3), Some(pci2), 1.0), &pctx(&c, Some(c.deployment.lte_cells()[0]), None, 1.0))
+            .on_report(
+                &report(MeasEvent::lte(EventKind::A3), Some(pci2), 1.0),
+                &pctx(&c, Some(c.deployment.lte_cells()[0]), None, 1.0),
+            )
             .expect("LTEH");
         assert_eq!(d.ho_type(), HoType::Lteh);
     }

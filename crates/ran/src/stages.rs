@@ -117,9 +117,7 @@ mod tests {
     #[test]
     fn lte_total_near_76ms() {
         let m = StageModel::new(2);
-        let avg = mean_sample(4000, |i| {
-            m.sample(i, HoType::Lteh, Arch::Lte, BandClass::Mid, true).total_ms()
-        });
+        let avg = mean_sample(4000, |i| m.sample(i, HoType::Lteh, Arch::Lte, BandClass::Mid, true).total_ms());
         assert!((avg - 76.0).abs() < 6.0, "LTE total {avg}");
     }
 
@@ -197,12 +195,10 @@ mod tests {
     #[test]
     fn sa_has_high_t1_variance_but_similar_median() {
         let m = StageModel::new(8);
-        let mut lte: Vec<f64> = (0..4000)
-            .map(|i| m.sample(i, HoType::Lteh, Arch::Lte, BandClass::Mid, true).t1_ms)
-            .collect();
-        let mut sa: Vec<f64> = (0..4000)
-            .map(|i| m.sample(i, HoType::Mcgh, Arch::Sa, BandClass::Low, true).t1_ms)
-            .collect();
+        let mut lte: Vec<f64> =
+            (0..4000).map(|i| m.sample(i, HoType::Lteh, Arch::Lte, BandClass::Mid, true).t1_ms).collect();
+        let mut sa: Vec<f64> =
+            (0..4000).map(|i| m.sample(i, HoType::Mcgh, Arch::Sa, BandClass::Low, true).t1_ms).collect();
         lte.sort_by(|a, b| a.partial_cmp(b).unwrap());
         sa.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = |v: &[f64]| v[v.len() / 2];

@@ -23,6 +23,7 @@ use crate::ho::{Arch, HoType};
 use crate::stages::{StageModel, StageSample};
 use fiveg_radio::BandClass;
 use fiveg_rrc::{MeasEvent, Pci, RachKind, ReconfigAction, RrcMessage};
+use fiveg_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -104,9 +105,19 @@ pub struct ConnectionState {
 enum Phase {
     Idle,
     /// Network preparing; command goes out at `until`.
-    Preparing { until: f64, action: ReconfigAction, target: Option<CellId>, record: Box<PendingRecord> },
+    Preparing {
+        until: f64,
+        action: ReconfigAction,
+        target: Option<CellId>,
+        record: Box<PendingRecord>,
+    },
     /// UE executing; completes at `until`.
-    Executing { until: f64, action: ReconfigAction, target: Option<CellId>, record: Box<PendingRecord> },
+    Executing {
+        until: f64,
+        action: ReconfigAction,
+        target: Option<CellId>,
+        record: Box<PendingRecord>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -136,6 +147,7 @@ pub struct RanStateMachine {
     queue: VecDeque<(ReconfigAction, Option<CellId>, Vec<MeasEvent>)>,
     stage_model: StageModel,
     seq: u64,
+    telemetry: Telemetry,
 }
 
 impl RanStateMachine {
@@ -149,7 +161,15 @@ impl RanStateMachine {
             queue: VecDeque::new(),
             stage_model: StageModel::new(seed),
             seq: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder (disabled by default). The state
+    /// machine journals every HO it *starts* — including the forced SCG
+    /// releases it queues internally, which its caller never sees decided.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.telemetry = tele;
     }
 
     /// Attaches the UE to initial serving cells (connection establishment,
@@ -194,19 +214,21 @@ impl RanStateMachine {
             }
             _ => (false, false),
         };
-        ConnectionState {
-            lte: self.lte,
-            nr: self.nr,
-            lte_interrupted: lte_i,
-            nr_interrupted: nr_i,
-        }
+        ConnectionState { lte: self.lte, nr: self.nr, lte_interrupted: lte_i, nr_interrupted: nr_i }
     }
 
     /// Begins a handover decided by the policy at time `t`.
     ///
     /// `target` is the resolved target cell (`None` for SCGR). Does nothing
     /// if a HO is already in flight (`busy()`); callers should check first.
-    pub fn start(&mut self, action: ReconfigAction, target: Option<CellId>, trigger_phase: Vec<MeasEvent>, deployment: &Deployment, t: f64) {
+    pub fn start(
+        &mut self,
+        action: ReconfigAction,
+        target: Option<CellId>,
+        trigger_phase: Vec<MeasEvent>,
+        deployment: &Deployment,
+        t: f64,
+    ) {
         if self.busy() {
             return;
         }
@@ -221,7 +243,14 @@ impl RanStateMachine {
         self.begin(action, target, trigger_phase, deployment, t);
     }
 
-    fn begin(&mut self, action: ReconfigAction, target: Option<CellId>, trigger_phase: Vec<MeasEvent>, deployment: &Deployment, t: f64) {
+    fn begin(
+        &mut self,
+        action: ReconfigAction,
+        target: Option<CellId>,
+        trigger_phase: Vec<MeasEvent>,
+        deployment: &Deployment,
+        t: f64,
+    ) {
         let ho_type = HoType::from_action(&action);
         // band class of the NR leg: the serving NR cell, or the target for SCGA
         let nr_ref = self.nr.or(if ho_type == HoType::Scga || ho_type == HoType::Mcgh { target } else { None });
@@ -236,6 +265,14 @@ impl RanStateMachine {
         let band_for_stage = nr_band.unwrap_or(BandClass::Mid);
         let stages = self.stage_model.sample(self.seq, ho_type, self.arch, band_for_stage, co_located);
         self.seq += 1;
+        self.telemetry.incr("ran.ho_started");
+        self.telemetry.record(
+            t,
+            Event::HoStart {
+                ho_type: ho_type.acronym().to_string(),
+                target_pci: target.map(|c| deployment.cell(c).pci.0),
+            },
+        );
         let record = PendingRecord {
             ho_type,
             arch: self.arch,
@@ -249,12 +286,7 @@ impl RanStateMachine {
             same_pci,
             trigger_phase,
         };
-        self.phase = Phase::Preparing {
-            until: t + stages.t1_ms / 1000.0,
-            action,
-            target,
-            record: Box::new(record),
-        };
+        self.phase = Phase::Preparing { until: t + stages.t1_ms / 1000.0, action, target, record: Box::new(record) };
     }
 
     /// Advances to time `t`, returning any signaling/completion events.
@@ -361,13 +393,7 @@ mod tests {
         let mut sm = RanStateMachine::new(Arch::Nsa, 1);
         sm.attach(Some(d.lte_cells()[0]), None);
         let nr = d.nr_cells()[0];
-        sm.start(
-            ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci },
-            Some(nr),
-            vec![],
-            &d,
-            0.0,
-        );
+        sm.start(ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci }, Some(nr), vec![], &d, 0.0);
         assert!(sm.busy());
         let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
         assert_eq!(rec.ho_type, HoType::Scga);
@@ -423,13 +449,7 @@ mod tests {
         let lte0 = d.lte_cells()[0];
         let lte1 = d.lte_cells()[1];
         sm.attach(Some(lte0), Some(d.nr_cells()[0]));
-        sm.start(
-            ReconfigAction::LteHandover { target: d.cell(lte1).pci },
-            Some(lte1),
-            vec![],
-            &d,
-            0.0,
-        );
+        sm.start(ReconfigAction::LteHandover { target: d.cell(lte1).pci }, Some(lte1), vec![], &d, 0.0);
         // first completion must be the SCGR
         let (rec1, t1) = run_until_complete(&mut sm, &d, 0.0);
         assert_eq!(rec1.ho_type, HoType::Scgr);
@@ -447,13 +467,7 @@ mod tests {
         let nr = d.nr_cells()[0];
         let lte1 = d.lte_cells()[1];
         sm.attach(Some(d.lte_cells()[0]), Some(nr));
-        sm.start(
-            ReconfigAction::MenbHandover { target: d.cell(lte1).pci },
-            Some(lte1),
-            vec![],
-            &d,
-            0.0,
-        );
+        sm.start(ReconfigAction::MenbHandover { target: d.cell(lte1).pci }, Some(lte1), vec![], &d, 0.0);
         let (rec, _) = run_until_complete(&mut sm, &d, 0.0);
         assert_eq!(rec.ho_type, HoType::Mnbh);
         assert_eq!(sm.serving_nr(), Some(nr), "MNBH keeps the gNB");
@@ -465,18 +479,8 @@ mod tests {
         let d = deployment();
         let mut sm = RanStateMachine::new(Arch::Nsa, 6);
         sm.attach(Some(d.lte_cells()[0]), Some(d.nr_cells()[0]));
-        let nr2 = *d
-            .nr_cells()
-            .iter()
-            .find(|&&c| !d.same_gnb(c, d.nr_cells()[0]))
-            .unwrap();
-        sm.start(
-            ReconfigAction::ScgChange { nr_target: d.cell(nr2).pci },
-            Some(nr2),
-            vec![],
-            &d,
-            0.0,
-        );
+        let nr2 = *d.nr_cells().iter().find(|&&c| !d.same_gnb(c, d.nr_cells()[0])).unwrap();
+        sm.start(ReconfigAction::ScgChange { nr_target: d.cell(nr2).pci }, Some(nr2), vec![], &d, 0.0);
         // during preparation: no interruption
         let _ = sm.step(0.001, &d);
         let c = sm.connection();
@@ -519,12 +523,7 @@ mod tests {
         let co = d.nr_cells().iter().find(|&&c| d.gnb_co_located(c)).copied();
         if let Some(nr) = co {
             let enb_tower = d.assoc_enb_tower(nr);
-            let lte_cell = d.towers[enb_tower.0 as usize]
-                .cells
-                .iter()
-                .find(|&&c| !d.cell(c).is_nr())
-                .copied()
-                .unwrap();
+            let lte_cell = d.towers[enb_tower.0 as usize].cells.iter().find(|&&c| !d.cell(c).is_nr()).copied().unwrap();
             let mut sm = RanStateMachine::new(Arch::Nsa, 8);
             sm.attach(Some(lte_cell), Some(nr));
             sm.start(ReconfigAction::ScgRelease, None, vec![], &d, 0.0);

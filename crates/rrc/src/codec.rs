@@ -408,8 +408,12 @@ mod proptests {
         (
             prop_oneof![Just(EventRat::Lte), Just(EventRat::Nr)],
             prop_oneof![
-                Just(EventKind::A1), Just(EventKind::A2), Just(EventKind::A3),
-                Just(EventKind::A4), Just(EventKind::A5), Just(EventKind::B1),
+                Just(EventKind::A1),
+                Just(EventKind::A2),
+                Just(EventKind::A3),
+                Just(EventKind::A4),
+                Just(EventKind::A5),
+                Just(EventKind::B1),
                 Just(EventKind::Periodic)
             ],
         )
@@ -448,8 +452,8 @@ mod proptests {
                     },
                 }
             }),
-            (arb_event(), arb_db(), arb_db(), arb_db(), 0u32..65535).prop_map(
-                |(event, t1, t2, off, ttt)| RrcMessage::MeasConfig {
+            (arb_event(), arb_db(), arb_db(), arb_db(), 0u32..65535).prop_map(|(event, t1, t2, off, ttt)| {
+                RrcMessage::MeasConfig {
                     configs: vec![EventConfig {
                         event,
                         quantity: MeasQuantity::Rsrp,
@@ -460,7 +464,7 @@ mod proptests {
                         ttt_ms: ttt,
                     }],
                 }
-            ),
+            }),
             Just(RrcMessage::RrcReconfigurationComplete),
             Just(RrcMessage::Rach { kind: RachKind::Preamble }),
         ]

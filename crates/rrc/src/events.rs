@@ -143,9 +143,7 @@ impl EventConfig {
             EventKind::A2 => serving + h < self.threshold_dbm,
             EventKind::A3 => neighbor - h > serving + self.offset_db,
             EventKind::A4 | EventKind::B1 => neighbor - h > self.threshold_dbm,
-            EventKind::A5 => {
-                serving + h < self.threshold_dbm && neighbor - h > self.threshold2_dbm
-            }
+            EventKind::A5 => serving + h < self.threshold_dbm && neighbor - h > self.threshold2_dbm,
             EventKind::Periodic => false,
         }
     }
@@ -159,9 +157,7 @@ impl EventConfig {
             EventKind::A2 => serving - h > self.threshold_dbm,
             EventKind::A3 => neighbor + h < serving + self.offset_db,
             EventKind::A4 | EventKind::B1 => neighbor + h < self.threshold_dbm,
-            EventKind::A5 => {
-                serving - h > self.threshold_dbm || neighbor + h < self.threshold2_dbm
-            }
+            EventKind::A5 => serving - h > self.threshold_dbm || neighbor + h < self.threshold2_dbm,
             EventKind::Periodic => true,
         }
     }

@@ -139,17 +139,8 @@ mod tests {
 
     #[test]
     fn message_names() {
-        assert_eq!(
-            RrcMessage::MeasConfig { configs: vec![] }.name(),
-            "MeasConfig"
-        );
-        assert_eq!(
-            RrcMessage::RrcReconfiguration {
-                action: ReconfigAction::ScgRelease
-            }
-            .name(),
-            "RRCReconfiguration"
-        );
+        assert_eq!(RrcMessage::MeasConfig { configs: vec![] }.name(), "MeasConfig");
+        assert_eq!(RrcMessage::RrcReconfiguration { action: ReconfigAction::ScgRelease }.name(), "RRCReconfiguration");
         assert_eq!(RrcMessage::RrcReconfigurationComplete.name(), "RRCReconfigurationComplete");
         assert_eq!(RrcMessage::Rach { kind: RachKind::Preamble }.name(), "RACH");
     }

@@ -49,9 +49,7 @@ impl SignalingTally {
     pub fn record(&mut self, msg: &RrcMessage) {
         match msg {
             RrcMessage::MeasurementReport { .. } => self.meas_reports += 1,
-            RrcMessage::MeasConfig { .. } | RrcMessage::RrcReconfiguration { .. } => {
-                self.reconfigurations += 1
-            }
+            RrcMessage::MeasConfig { .. } | RrcMessage::RrcReconfiguration { .. } => self.reconfigurations += 1,
             RrcMessage::RrcReconfigurationComplete => self.reconfiguration_completes += 1,
             RrcMessage::Rach { .. } => self.rach_msgs += 1,
         }

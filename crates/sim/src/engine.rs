@@ -8,10 +8,9 @@ use fiveg_link::{compose, Bearer, BulkFlow, CbrFlow, DownlinkState, PathOutcome}
 use fiveg_radio::rrs::{compute_rrs, NOISE_FLOOR_DBM};
 use fiveg_radio::{hash2, shannon_capacity_mbps, BandClass, DetRng, Rrs};
 use fiveg_ran::policy::PolicyContext;
-use fiveg_ran::{
-    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, RanStateMachine,
-};
+use fiveg_ran::{Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, RanStateMachine};
 use fiveg_rrc::{Pci, RrcMessage, SignalingTally};
+use fiveg_telemetry::{Event, Phase, Telemetry};
 use fiveg_ue::{MobilityDriver, RrcConnState};
 use std::collections::HashMap;
 
@@ -108,12 +107,7 @@ fn leg_view(d: &Deployment, pos: &Point, t: f64, nr: bool, serving: Option<CellI
     };
     let serving_meas = serving.map(|s| {
         let rx = ranked.iter().find(|(id, _)| *id == s).map(|&(_, r)| r).unwrap();
-        Measurement {
-            pci: d.cell(s).pci,
-            rrs: rrs_of(s, rx),
-            freq_mhz: d.cell(s).band.freq_mhz,
-            group: group_of(s),
-        }
+        Measurement { pci: d.cell(s).pci, rrs: rrs_of(s, rx), freq_mhz: d.cell(s).band.freq_mhz, group: group_of(s) }
     });
     let serving_sinr = serving_meas.map(|m| m.rrs.sinr_db).unwrap_or(-20.0);
 
@@ -146,13 +140,40 @@ fn leg_view(d: &Deployment, pos: &Point, t: f64, nr: bool, serving: Option<CellI
 
 /// Runs a scenario to completion.
 pub fn run(s: &Scenario) -> Trace {
+    run_instrumented(s, &Telemetry::new(s.telemetry))
+}
+
+/// Runs a scenario recording into a caller-owned [`Telemetry`] handle.
+///
+/// With a disabled handle this is `run` exactly (every telemetry call is an
+/// `Option` check). With an enabled handle, counters/histograms/journal
+/// events are recorded at sim-time and per-phase wall-clock timers wrap the
+/// tick-loop stages; none of it feeds back into the simulation, so the
+/// returned `Trace` is identical either way.
+pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
     let mut mob = MobilityDriver::new(s.route.clone(), s.speed);
     let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
     let mut policy = HoPolicy::new(s.carrier, s.arch);
+    sm.set_telemetry(tele.clone());
+    policy.set_telemetry(tele.clone());
     let mut tally = SignalingTally::new();
     let mut conn = RrcConnState::with_keepalive();
     let mut fault_rng = DetRng::new(hash2(s.seed, 0xFA17));
+    // run on the clamped fault config so out-of-range probabilities behave
+    // like their nearest valid counterpart (see FaultConfig::clamped)
+    let faults = s.faults.clamped();
+
+    let ticks_ctr = tele.counter("sim.ticks");
+    let reports_ctr = tele.counter("sim.reports");
+    let handovers_ctr = tele.counter("sim.handovers");
+    let rlf_ctr = tele.counter("sim.rlf");
+    let mr_loss_ctr = tele.counter("faults.mr_loss");
+    let ho_fail_ctr = tele.counter("faults.ho_failure");
+    let ho_duration_h = tele.histogram("ho.duration_ms");
+    let ho_t1_h = tele.histogram("ho.t1_ms");
+    let ho_t2_h = tele.histogram("ho.t2_ms");
+    let cap_h = tele.histogram("link.capacity_mbps");
 
     // initial attach: strongest cell of the control-plane technology
     let t0 = 0.0;
@@ -206,27 +227,53 @@ pub fn run(s: &Scenario) -> Trace {
         Workload::Cbr { rate_mbps, deadline_ms } => cbr = Some(CbrFlow::new(rate_mbps, deadline_ms)),
         Workload::Idle => {}
     }
+    if let Some(f) = &mut bulk {
+        f.set_telemetry(tele.clone());
+    }
+    if let Some(f) = &mut cbr {
+        f.set_telemetry(tele.clone());
+    }
 
     while !mob.finished() && t < s.max_duration_s {
         t += dt;
-        mob.step(dt);
+        ticks_ctr.inc();
+        {
+            let _g = tele.phase(Phase::Mobility);
+            mob.step(dt);
+        }
         let pos = mob.position();
 
         // --- advance the HO state machine
         let mut pre_lte = sm.serving_lte();
         let mut pre_nr = sm.serving_nr();
-        for ev in sm.step(t, &d) {
+        let ho_events = {
+            let _g = tele.phase(Phase::HoStateMachine);
+            sm.step(t, &d)
+        };
+        for ev in ho_events {
             match ev {
                 HoEvent::CommandSent(msg) => tally.record(&msg),
                 HoEvent::Completed(rec, msgs) => {
-                    if s.faults.ho_failure_prob > 0.0 && fault_rng.chance(s.faults.ho_failure_prob) {
+                    if faults.ho_failure_prob > 0.0 && fault_rng.chance(faults.ho_failure_prob) {
                         // execution failed: fall back to the source cells
                         ho_failures += 1;
+                        ho_fail_ctr.inc();
+                        tele.record(t, Event::FaultInjected { kind: "ho_failure".into() });
+                        tele.record(t, Event::HoFailure { ho_type: rec.ho_type.acronym().into() });
                         sm.attach(pre_lte, pre_nr);
                     } else {
                         for m in &msgs {
                             tally.record(m);
                         }
+                        handovers_ctr.inc();
+                        tele.incr(&format!("ho.{}", rec.ho_type.acronym()));
+                        ho_duration_h.observe(rec.duration_ms());
+                        ho_t1_h.observe(rec.stages.t1_ms);
+                        ho_t2_h.observe(rec.stages.t2_ms);
+                        tele.record(
+                            t,
+                            Event::HoCommit { ho_type: rec.ho_type.acronym().into(), duration_ms: rec.duration_ms() },
+                        );
                         handovers.push(rec);
                     }
                     pre_lte = sm.serving_lte();
@@ -251,16 +298,15 @@ pub fn run(s: &Scenario) -> Trace {
         }
 
         // --- channel views
+        let channel_guard = tele.phase(Phase::Channel);
         let lte_view = if s.arch != Arch::Sa {
             Some(leg_view(&d, &pos, t, false, sm.serving_lte(), s.arch == Arch::Nsa))
         } else {
             None
         };
-        let nr_view = if s.arch != Arch::Lte {
-            Some(leg_view(&d, &pos, t, true, sm.serving_nr(), false))
-        } else {
-            None
-        };
+        let nr_view =
+            if s.arch != Arch::Lte { Some(leg_view(&d, &pos, t, true, sm.serving_nr(), false)) } else { None };
+        drop(channel_guard);
 
         // --- radio link failure / reattach
         if let Some(lv) = &lte_view {
@@ -269,7 +315,11 @@ pub fn run(s: &Scenario) -> Trace {
                 let best = d.strongest(&pos, t, false, SEARCH_RADIUS_M);
                 if let Some(&(id, rx)) = best.first() {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_lte() {
-                        rlf_count += sm.serving_lte().is_some() as u64;
+                        if sm.serving_lte().is_some() {
+                            rlf_count += 1;
+                            rlf_ctr.inc();
+                            tele.record(t, Event::Rlf { leg: "lte".into() });
+                        }
                         sm.attach(Some(id), if s.arch == Arch::Nsa { None } else { sm.serving_nr() });
                         lte_engine.reset();
                         nr_engine.reset();
@@ -288,7 +338,11 @@ pub fn run(s: &Scenario) -> Trace {
                 let best = d.strongest(&pos, t, true, SEARCH_RADIUS_M);
                 if let Some(&(id, rx)) = best.first() {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_nr() {
-                        rlf_count += sm.serving_nr().is_some() as u64;
+                        if sm.serving_nr().is_some() {
+                            rlf_count += 1;
+                            rlf_ctr.inc();
+                            tele.record(t, Event::Rlf { leg: "nr".into() });
+                        }
                         sm.attach(None, Some(id));
                         nr_engine.reset();
                         policy.end_phase();
@@ -325,10 +379,18 @@ pub fn run(s: &Scenario) -> Trace {
                 // LTE leg
                 if let Some(v) = &lte_view {
                     if let Some(serving) = v.serving {
-                        for rep in lte_engine.step(t, &serving, &v.neighbors) {
-                            if s.faults.mr_loss_prob > 0.0 && fault_rng.chance(s.faults.mr_loss_prob) {
+                        let reps = {
+                            let _g = tele.phase(Phase::Measurement);
+                            lte_engine.step(t, &serving, &v.neighbors)
+                        };
+                        for rep in reps {
+                            if faults.mr_loss_prob > 0.0 && fault_rng.chance(faults.mr_loss_prob) {
+                                mr_loss_ctr.inc();
+                                tele.record(t, Event::FaultInjected { kind: "mr_loss".into() });
+                                tele.record(t, Event::MrLoss { event: rep.event.label() });
                                 continue; // report lost on the uplink
                             }
+                            reports_ctr.inc();
                             tally.record(&RrcMessage::MeasurementReport {
                                 event: rep.event,
                                 serving_pci: serving.pci,
@@ -341,6 +403,7 @@ pub fn run(s: &Scenario) -> Trace {
                                 serving_pci: serving.pci.0,
                                 neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
                             });
+                            let _g = tele.phase(Phase::Policy);
                             if let Some(dec) = policy.on_report(&rep, &pctx) {
                                 decisions.push(dec);
                             }
@@ -356,8 +419,15 @@ pub fn run(s: &Scenario) -> Trace {
                         freq_mhz: 0.0,
                         group: None,
                     });
-                    for rep in nr_engine.step(t, &serving, &v.neighbors) {
-                        if s.faults.mr_loss_prob > 0.0 && fault_rng.chance(s.faults.mr_loss_prob) {
+                    let reps = {
+                        let _g = tele.phase(Phase::Measurement);
+                        nr_engine.step(t, &serving, &v.neighbors)
+                    };
+                    for rep in reps {
+                        if faults.mr_loss_prob > 0.0 && fault_rng.chance(faults.mr_loss_prob) {
+                            mr_loss_ctr.inc();
+                            tele.record(t, Event::FaultInjected { kind: "mr_loss".into() });
+                            tele.record(t, Event::MrLoss { event: rep.event.label() });
                             continue;
                         }
                         // B1 reporting is only configured during SCG
@@ -368,6 +438,7 @@ pub fn run(s: &Scenario) -> Trace {
                         {
                             continue;
                         }
+                        reports_ctr.inc();
                         tally.record(&RrcMessage::MeasurementReport {
                             event: rep.event,
                             serving_pci: serving.pci,
@@ -385,6 +456,7 @@ pub fn run(s: &Scenario) -> Trace {
                         if rep.event.kind == fiveg_rrc::EventKind::A2 {
                             rearm_b1 = true;
                         }
+                        let _g = tele.phase(Phase::Policy);
                         if let Some(dec) = policy.on_report(&rep, &pctx) {
                             decisions.push(dec);
                         }
@@ -392,6 +464,7 @@ pub fn run(s: &Scenario) -> Trace {
                 }
 
                 // pending-A2 decay (SCG release without replacement)
+                let _g = tele.phase(Phase::Policy);
                 if let Some(dec) = policy.tick(&pctx) {
                     decisions.push(dec);
                 }
@@ -413,9 +486,7 @@ pub fn run(s: &Scenario) -> Trace {
                     | fiveg_rrc::ReconfigAction::MenbHandover { target } => {
                         lte_cand.and_then(|c| c.get(target)).copied()
                     }
-                    fiveg_rrc::ReconfigAction::McgHandover { target } => {
-                        nr_cand.and_then(|c| c.get(target)).copied()
-                    }
+                    fiveg_rrc::ReconfigAction::McgHandover { target } => nr_cand.and_then(|c| c.get(target)).copied(),
                     fiveg_rrc::ReconfigAction::ScgAddition { nr_target }
                     | fiveg_rrc::ReconfigAction::ScgModification { nr_target }
                     | fiveg_rrc::ReconfigAction::ScgChange { nr_target } => {
@@ -435,21 +506,18 @@ pub fn run(s: &Scenario) -> Trace {
                 tally.record_phy_meas(1 + v.neighbors.len() as u64);
             }
             if let Some(v) = &nr_view {
-                let serving_mm = sm
-                    .serving_nr()
-                    .map(|c| d.cell(c).band.class() == BandClass::MmWave)
-                    .unwrap_or(false);
+                let serving_mm = sm.serving_nr().map(|c| d.cell(c).band.class() == BandClass::MmWave).unwrap_or(false);
                 let beams = if serving_mm { 8 } else { 1 };
                 tally.record_phy_meas(beams * (1 + v.neighbors.len() as u64));
             }
         }
 
         // --- link layer
+        let link_guard = tele.phase(Phase::Link);
         let cs = sm.connection();
         let lte_cap = match (cs.lte, &lte_view) {
             (Some(id), Some(v)) => {
-                shannon_capacity_mbps(v.serving_sinr_db, d.cell(id).band.bandwidth_mhz * LTE_CA_FACTOR)
-                    * FAIR_SHARE
+                shannon_capacity_mbps(v.serving_sinr_db, d.cell(id).band.bandwidth_mhz * LTE_CA_FACTOR) * FAIR_SHARE
             }
             _ => 0.0,
         };
@@ -496,8 +564,11 @@ pub fn run(s: &Scenario) -> Trace {
             f.step(t, dt, &path);
             conn.on_activity(t);
         }
+        cap_h.observe(path.capacity_mbps);
+        drop(link_guard);
 
         // --- record sample
+        let append_guard = tele.phase(Phase::TraceAppend);
         samples.push(TraceSample {
             t,
             pos: (pos.x, pos.y),
@@ -508,28 +579,22 @@ pub fn run(s: &Scenario) -> Trace {
             nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
             lte_neighbors: lte_view
                 .as_ref()
-                .map(|v| {
-                    v.neighbors
-                        .iter()
-                        .filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs)))
-                        .collect()
-                })
+                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs))).collect())
                 .unwrap_or_default(),
             nr_neighbors: nr_view
                 .as_ref()
-                .map(|v| {
-                    v.neighbors
-                        .iter()
-                        .filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs)))
-                        .collect()
-                })
+                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs))).collect())
                 .unwrap_or_default(),
             capacity_mbps: path.capacity_mbps,
             base_rtt_ms: path.base_rtt_ms,
             interrupted: cs.lte_interrupted || cs.nr_interrupted,
             dual_mode: bearer == Bearer::Dual,
         });
+        drop(append_guard);
     }
+
+    tele.set_gauge("sim.duration_s", t);
+    tele.set_gauge("sim.traveled_m", mob.distance());
 
     let cells = d
         .cells
@@ -581,11 +646,7 @@ mod tests {
     use fiveg_ran::Carrier;
 
     fn short_freeway(arch: Arch, seed: u64) -> Trace {
-        ScenarioBuilder::freeway(Carrier::OpY, arch, 8.0, seed)
-            .duration_s(240.0)
-            .sample_hz(10.0)
-            .build()
-            .run()
+        ScenarioBuilder::freeway(Carrier::OpY, arch, 8.0, seed).duration_s(240.0).sample_hz(10.0).build().run()
     }
 
     #[test]
@@ -618,8 +679,11 @@ mod tests {
         let tr = short_freeway(Arch::Nsa, 5);
         use fiveg_ran::HoCategory;
         let fiveg = tr.handovers.iter().filter(|h| h.ho_type.category() == HoCategory::FiveG).count();
-        assert!(fiveg > 0, "expected 5G HO procedures, got HOs: {:?}",
-            tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>());
+        assert!(
+            fiveg > 0,
+            "expected 5G HO procedures, got HOs: {:?}",
+            tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -633,8 +697,11 @@ mod tests {
     #[test]
     fn sa_has_mcgh_only() {
         let tr = short_freeway(Arch::Sa, 7);
-        assert!(tr.handovers.iter().all(|h| h.ho_type == fiveg_ran::HoType::Mcgh),
-            "{:?}", tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>());
+        assert!(
+            tr.handovers.iter().all(|h| h.ho_type == fiveg_ran::HoType::Mcgh),
+            "{:?}",
+            tr.handovers.iter().map(|h| h.ho_type).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -692,11 +759,8 @@ mod tests {
 
     #[test]
     fn mr_loss_faults_reduce_report_count() {
-        let clean = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 13)
-            .duration_s(180.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let clean =
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 13).duration_s(180.0).sample_hz(10.0).build().run();
         let faulty = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 13)
             .duration_s(180.0)
             .sample_hz(10.0)
@@ -709,6 +773,110 @@ mod tests {
             faulty.signaling.meas_reports,
             clean.signaling.meas_reports
         );
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::scenario::{Scenario, ScenarioBuilder};
+    use fiveg_ran::Carrier;
+    use fiveg_telemetry::{Telemetry, TelemetryConfig};
+
+    fn scenario(seed: u64) -> Scenario {
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, seed).duration_s(180.0).sample_hz(10.0).build()
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_trace() {
+        let off = scenario(21).run();
+        let mut s = scenario(21);
+        s.telemetry = TelemetryConfig::on();
+        let tele = Telemetry::new(s.telemetry);
+        let on = s.run_instrumented(&tele);
+        assert_eq!(
+            serde_json::to_string(&off).unwrap(),
+            serde_json::to_string(&on).unwrap(),
+            "instrumentation must not perturb the trace"
+        );
+    }
+
+    #[test]
+    fn enabled_journal_is_deterministic() {
+        let journal = || {
+            let mut s = scenario(22);
+            s.telemetry = TelemetryConfig::on();
+            let tele = Telemetry::new(s.telemetry);
+            s.run_instrumented(&tele);
+            tele.journal_jsonl()
+        };
+        let a = journal();
+        let b = journal();
+        assert_eq!(a, b, "two runs must emit byte-identical journals");
+        assert!(!a.is_empty());
+        // sim-time ordered
+        let mut last = f64::NEG_INFINITY;
+        for line in a.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            let t = v["t"].as_f64().unwrap();
+            assert!(t >= last, "journal out of order at {line}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn counters_match_trace_stats() {
+        let mut s = scenario(23);
+        s.telemetry = TelemetryConfig::on();
+        let tele = Telemetry::new(s.telemetry);
+        let tr = s.run_instrumented(&tele);
+        assert_eq!(tele.counter_value("sim.ticks"), tr.samples.len() as u64);
+        assert_eq!(tele.counter_value("sim.handovers"), tr.handovers.len() as u64);
+        assert_eq!(tele.counter_value("sim.reports"), tr.reports.len() as u64);
+        assert_eq!(tele.counter_value("sim.rlf"), tr.rlf_count);
+        let per_type: u64 =
+            fiveg_ran::HoType::ALL.iter().map(|h| tele.counter_value(&format!("ho.{}", h.acronym()))).sum();
+        assert_eq!(per_type, tr.handovers.len() as u64);
+        let dur = tele.histogram_snapshot("ho.duration_ms").unwrap();
+        assert_eq!(dur.count, tr.handovers.len() as u64);
+    }
+
+    #[test]
+    fn fault_injections_are_counted() {
+        let mut s = scenario(24);
+        s.faults = FaultConfig { mr_loss_prob: 0.5, ho_failure_prob: 0.5 };
+        s.telemetry = TelemetryConfig::on();
+        let tele = Telemetry::new(s.telemetry);
+        let tr = s.run_instrumented(&tele);
+        assert!(tele.counter_value("faults.mr_loss") > 0);
+        assert_eq!(tele.counter_value("faults.ho_failure"), tr.ho_failures);
+    }
+
+    #[test]
+    fn summary_reports_at_least_six_phases() {
+        let mut s = scenario(25);
+        s.telemetry = TelemetryConfig::on();
+        let tele = Telemetry::new(s.telemetry);
+        s.run_instrumented(&tele);
+        let summary = tele.summary();
+        for phase in ["mobility", "ho_state_machine", "channel", "measurement", "policy", "link", "trace_append"] {
+            assert!(summary.contains(phase), "summary missing phase {phase}:\n{summary}");
+        }
+        assert!(summary.contains("p99"), "{summary}");
+        assert!(summary.contains("sim.ticks"), "{summary}");
+    }
+
+    #[test]
+    fn out_of_range_faults_behave_like_clamped() {
+        let mut wild = scenario(26);
+        wild.faults = FaultConfig { mr_loss_prob: 7.0, ho_failure_prob: -3.0 };
+        let mut pinned = scenario(26);
+        pinned.faults = FaultConfig { mr_loss_prob: 1.0, ho_failure_prob: 0.0 };
+        let a = wild.run();
+        let b = pinned.run();
+        assert_eq!(a.signaling.meas_reports, b.signaling.meas_reports);
+        assert_eq!(a.handovers, b.handovers);
     }
 }
 
@@ -729,11 +897,8 @@ mod fault_tests {
             .run();
         assert!(faulty.ho_failures > 0, "with p=0.5 failures must occur");
         // failed HOs are not recorded as completed handovers
-        let clean = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 77)
-            .duration_s(240.0)
-            .sample_hz(10.0)
-            .build()
-            .run();
+        let clean =
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 8.0, 77).duration_s(240.0).sample_hz(10.0).build().run();
         assert!(
             faulty.handovers.len() < clean.handovers.len() + faulty.ho_failures as usize,
             "completed + failed should roughly bound the clean count"

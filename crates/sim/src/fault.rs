@@ -27,6 +27,30 @@ impl FaultConfig {
     pub fn active(&self) -> bool {
         self.mr_loss_prob > 0.0 || self.ho_failure_prob > 0.0
     }
+
+    /// Checks that both probabilities are finite and within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("mr_loss_prob", self.mr_loss_prob), ("ho_failure_prob", self.ho_failure_prob)] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("FaultConfig.{name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy with both probabilities clamped to `[0, 1]` (NaN → 0). The
+    /// engine runs on the clamped config, so out-of-range scenarios behave
+    /// like their nearest valid counterpart instead of skewing RNG draws.
+    pub fn clamped(&self) -> FaultConfig {
+        fn clamp01(p: f64) -> f64 {
+            if p.is_nan() {
+                0.0
+            } else {
+                p.clamp(0.0, 1.0)
+            }
+        }
+        FaultConfig { mr_loss_prob: clamp01(self.mr_loss_prob), ho_failure_prob: clamp01(self.ho_failure_prob) }
+    }
 }
 
 impl Default for FaultConfig {
@@ -49,5 +73,37 @@ mod tests {
     fn any_positive_prob_is_active() {
         assert!(FaultConfig { mr_loss_prob: 0.1, ho_failure_prob: 0.0 }.active());
         assert!(FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 0.05 }.active());
+    }
+
+    #[test]
+    fn validate_accepts_unit_interval() {
+        assert!(FaultConfig::NONE.validate().is_ok());
+        assert!(FaultConfig { mr_loss_prob: 1.0, ho_failure_prob: 0.5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let cases = [
+            FaultConfig { mr_loss_prob: -0.1, ho_failure_prob: 0.0 },
+            FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 1.5 },
+            FaultConfig { mr_loss_prob: f64::NAN, ho_failure_prob: 0.0 },
+            FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: f64::INFINITY },
+        ];
+        for c in cases {
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("[0, 1]"), "{err}");
+        }
+    }
+
+    #[test]
+    fn clamped_pins_to_unit_interval() {
+        let c = FaultConfig { mr_loss_prob: -0.5, ho_failure_prob: 2.0 }.clamped();
+        assert_eq!(c, FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 1.0 });
+        let n = FaultConfig { mr_loss_prob: f64::NAN, ho_failure_prob: f64::NEG_INFINITY }.clamped();
+        assert_eq!(n, FaultConfig::NONE);
+        assert!(n.validate().is_ok());
+
+        let valid = FaultConfig { mr_loss_prob: 0.25, ho_failure_prob: 0.75 };
+        assert_eq!(valid.clamped(), valid);
     }
 }

@@ -30,5 +30,6 @@ pub mod scenario;
 pub mod trace;
 
 pub use fault::FaultConfig;
+pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};
 pub use trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};

@@ -273,3 +273,177 @@ mod tests {
         assert_eq!(b, vec![(0.0, 55.0)]);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fiveg_link::{CbrSample, TcpSample};
+    use fiveg_ran::{HoType, StageSample};
+    use fiveg_rrc::{EventKind, Pci};
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Finite floats only: NaN breaks PartialEq and the round-trip assert,
+    // and traces never contain non-finite values.
+    fn fin() -> impl Strategy<Value = f64> {
+        -1.0e9..1.0e9f64
+    }
+
+    fn arb_rrs() -> impl Strategy<Value = Rrs> {
+        (-160.0..0.0f64, -30.0..0.0f64, -20.0..40.0f64).prop_map(|(rsrp_dbm, rsrq_db, sinr_db)| Rrs {
+            rsrp_dbm,
+            rsrq_db,
+            sinr_db,
+        })
+    }
+
+    fn arb_event() -> impl Strategy<Value = MeasEvent> {
+        (
+            prop_oneof![
+                Just(EventKind::A1),
+                Just(EventKind::A2),
+                Just(EventKind::A3),
+                Just(EventKind::A4),
+                Just(EventKind::A5),
+                Just(EventKind::B1),
+                Just(EventKind::Periodic),
+            ],
+            any::<bool>(),
+        )
+            .prop_map(|(kind, nr)| if nr { MeasEvent::nr(kind) } else { MeasEvent::lte(kind) })
+    }
+
+    fn arb_sample() -> impl Strategy<Value = TraceSample> {
+        (
+            (fin(), (fin(), fin()), fin(), any::<Option<u32>>(), any::<Option<u32>>()),
+            proptest::option::of(arb_rrs()),
+            proptest::option::of(arb_rrs()),
+            proptest::collection::vec((any::<u32>(), arb_rrs()), 0..4),
+            proptest::collection::vec((any::<u32>(), arb_rrs()), 0..4),
+            (fin(), fin(), any::<bool>(), any::<bool>()),
+        )
+            .prop_map(
+                |(
+                    (t, pos, dist_m, lte_cell, nr_cell),
+                    lte_rrs,
+                    nr_rrs,
+                    lte_neighbors,
+                    nr_neighbors,
+                    (capacity_mbps, base_rtt_ms, interrupted, dual_mode),
+                )| TraceSample {
+                    t,
+                    pos,
+                    dist_m,
+                    lte_cell,
+                    nr_cell,
+                    lte_rrs,
+                    nr_rrs,
+                    lte_neighbors,
+                    nr_neighbors,
+                    capacity_mbps,
+                    base_rtt_ms,
+                    interrupted,
+                    dual_mode,
+                },
+            )
+    }
+
+    fn arb_handover() -> impl Strategy<Value = HandoverRecord> {
+        (
+            proptest::sample::select(HoType::ALL.to_vec()),
+            (0.0..1.0e4f64, 0.0..500.0f64, 0.0..500.0f64),
+            (any::<Option<u16>>(), any::<Option<u16>>(), any::<Option<u16>>()),
+            (any::<bool>(), any::<bool>(), any::<(bool, bool)>()),
+            proptest::collection::vec(arb_event(), 0..4),
+        )
+            .prop_map(|(ho_type, (t0, t1_ms, t2_ms), (sl, sn, tg), (co, same, ints), phase)| HandoverRecord {
+                ho_type,
+                arch: Arch::Nsa,
+                nr_band: None,
+                t_decision: t0,
+                t_command: t0 + t1_ms / 1000.0,
+                t_complete: t0 + (t1_ms + t2_ms) / 1000.0,
+                stages: StageSample { t1_ms, t2_ms },
+                source_lte: sl.map(Pci),
+                source_nr: sn.map(Pci),
+                target: tg.map(Pci),
+                co_located: co,
+                same_pci: same,
+                trigger_phase: phase,
+                interrupts: ints,
+            })
+    }
+
+    fn arb_flow() -> impl Strategy<Value = FlowLog> {
+        prop_oneof![
+            Just(FlowLog::None),
+            proptest::collection::vec(
+                (fin(), fin(), fin(), any::<bool>())
+                    .prop_map(|(t, goodput_mbps, rtt_ms, lost)| { TcpSample { t, goodput_mbps, rtt_ms, lost } }),
+                0..6
+            )
+            .prop_map(FlowLog::Tcp),
+            proptest::collection::vec(
+                (fin(), fin(), 0.0..=1.0f64).prop_map(|(t, latency_ms, loss)| CbrSample { t, latency_ms, loss }),
+                0..6
+            )
+            .prop_map(FlowLog::Cbr),
+        ]
+    }
+
+    fn arb_trace() -> impl Strategy<Value = Trace> {
+        (
+            (any::<u64>(), fin(), fin(), fin(), fin()),
+            proptest::collection::vec(arb_sample(), 0..8),
+            proptest::collection::vec(
+                (fin(), arb_event(), any::<u16>(), proptest::collection::vec(any::<u16>(), 0..4)).prop_map(
+                    |(t, event, serving_pci, neighbor_pcis)| MrRecord { t, event, serving_pci, neighbor_pcis },
+                ),
+                0..6,
+            ),
+            proptest::collection::vec(arb_handover(), 0..6),
+            (any::<u64>(), any::<u64>(), arb_flow()),
+        )
+            .prop_map(|((seed, hz, dur, len, trav), samples, reports, handovers, (rlf, hf, flow))| Trace {
+                meta: TraceMeta {
+                    carrier: Carrier::OpY,
+                    env: Environment::Urban,
+                    arch: Arch::Nsa,
+                    seed,
+                    sample_hz: hz,
+                    duration_s: dur,
+                    route_len_m: len,
+                    traveled_m: trav,
+                },
+                cells: vec![],
+                samples,
+                reports,
+                handovers,
+                signaling: SignalingTally::new(),
+                configs: vec![],
+                rlf_count: rlf,
+                ho_failures: hf,
+                flow,
+            })
+    }
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn save_load_round_trips(trace in arb_trace()) {
+            let dir = std::env::temp_dir().join("fiveg_trace_proptest");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!(
+                "case_{}_{}.json",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            trace.save(&path).unwrap();
+            let back = Trace::load(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(back, trace);
+        }
+    }
+}

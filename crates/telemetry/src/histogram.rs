@@ -1,0 +1,249 @@
+//! Log-scale histogram: geometric buckets, constant memory, cheap inserts.
+//!
+//! Values are bucketed by exponent with `SUB` sub-buckets per octave, which
+//! bounds the relative quantile error at `2^(1/SUB) - 1` (~9% for `SUB = 8`)
+//! over the full range `2^MIN_EXP ..= 2^MAX_EXP`. Good enough for latency
+//! percentiles; min/max/sum/mean are tracked exactly.
+
+/// Sub-buckets per octave (power of two).
+const SUB: usize = 8;
+/// Smallest representable exponent (values below land in the underflow bucket).
+const MIN_EXP: i32 = -20;
+/// Largest representable exponent (values above land in the overflow bucket).
+const MAX_EXP: i32 = 44;
+/// Number of geometric buckets.
+const NBUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB;
+
+/// A fixed-size log-scale histogram over positive finite `f64` values.
+///
+/// Zero, negative and non-finite observations are counted separately and
+/// excluded from percentiles (they still count toward `count`).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; NBUCKETS]>,
+    /// Observations `<= 0` or below `2^MIN_EXP`.
+    underflow: u64,
+    /// Observations above `2^MAX_EXP` or non-finite.
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count).field("min", &self.min).field("max", &self.max).finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0; NBUCKETS]),
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v: f64) -> Option<usize> {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        // log2(v) in units of 1/SUB octaves, floored.
+        let idx = (v.log2() * SUB as f64).floor() as i64 - (MIN_EXP as i64) * SUB as i64;
+        if idx < 0 || idx >= NBUCKETS as i64 {
+            None
+        } else {
+            Some(idx as usize)
+        }
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    fn bucket_mid(i: usize) -> f64 {
+        let lo_log = MIN_EXP as f64 + (i as f64) / SUB as f64;
+        2f64.powf(lo_log + 0.5 / SUB as f64)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        match Self::bucket_index(v) {
+            Some(i) => self.buckets[i] += 1,
+            None if v.is_finite() && v <= 0.0 => self.underflow += 1,
+            None if v.is_finite() && v.log2() < MIN_EXP as f64 => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0,1]`), clamped to the exact
+    /// observed `[min, max]`. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min.max(0.0);
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if rank <= seen {
+                return Self::bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A cheap, `Copy`-friendly snapshot of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        if self.count == 0 {
+            return HistogramSnapshot::default();
+        }
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count as f64,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn single_value_percentiles() {
+        let mut h = Histogram::new();
+        h.observe(42.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        // clamped to [min,max] so exact
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p99, 42.0);
+    }
+
+    #[test]
+    fn uniform_percentiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.observe(i as f64);
+        }
+        let s = h.snapshot();
+        // relative error bound ~9% for SUB=8
+        assert!((s.p50 - 5_000.0).abs() / 5_000.0 < 0.10, "p50 {}", s.p50);
+        assert!((s.p95 - 9_500.0).abs() / 9_500.0 < 0.10, "p95 {}", s.p95);
+        assert!((s.p99 - 9_900.0).abs() / 9_900.0 < 0.10, "p99 {}", s.p99);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10_000.0);
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let mut h = Histogram::new();
+        h.observe(1e-5);
+        h.observe(1.0);
+        h.observe(1e12);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1e-5);
+        assert_eq!(s.max, 1e12);
+        assert!(s.p50 >= 1e-5 && s.p50 <= 1e12);
+    }
+
+    #[test]
+    fn zero_and_negative_counted_not_ranked() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(10.0);
+        assert_eq!(h.count(), 3);
+        let s = h.snapshot();
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 10.0);
+        // highest quantile still resolves to a real value
+        assert!(s.p99 <= 10.0);
+    }
+
+    #[test]
+    fn non_finite_does_not_poison() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(5.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.sum.is_finite() || s.sum.is_infinite()); // inf allowed in sum
+        assert!(s.p50.is_finite());
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 0.001;
+        for _ in 0..500 {
+            h.observe(x);
+            x *= 1.07;
+        }
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
+    }
+}

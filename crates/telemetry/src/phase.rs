@@ -1,0 +1,147 @@
+//! Tick-loop phases and their wall-clock accounting cells.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+/// The instrumented stages of a simulation tick (plus the two Prognos
+/// stages). One RAII guard per phase per tick attributes wall-time here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// UE mobility step (route advance, speed model).
+    Mobility,
+    /// RAN handover state machine step.
+    HoStateMachine,
+    /// Channel / radio resource state evaluation (leg views).
+    Channel,
+    /// Measurement-event engines (A2/A3/A5/B1 triggering).
+    Measurement,
+    /// Handover policy (report handling + periodic tick).
+    Policy,
+    /// Link layer: capacity, bearer composition, flow steps.
+    Link,
+    /// Trace sample append.
+    TraceAppend,
+    /// Prognos stage 1: report prediction over signal histories.
+    PrognosPrep,
+    /// Prognos stage 2: forecast matching and decision logic.
+    PrognosExec,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Mobility,
+        Phase::HoStateMachine,
+        Phase::Channel,
+        Phase::Measurement,
+        Phase::Policy,
+        Phase::Link,
+        Phase::TraceAppend,
+        Phase::PrognosPrep,
+        Phase::PrognosExec,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index into per-phase storage.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Mobility => 0,
+            Phase::HoStateMachine => 1,
+            Phase::Channel => 2,
+            Phase::Measurement => 3,
+            Phase::Policy => 4,
+            Phase::Link => 5,
+            Phase::TraceAppend => 6,
+            Phase::PrognosPrep => 7,
+            Phase::PrognosExec => 8,
+        }
+    }
+
+    /// Stable snake_case name used in the summary report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Mobility => "mobility",
+            Phase::HoStateMachine => "ho_state_machine",
+            Phase::Channel => "channel",
+            Phase::Measurement => "measurement",
+            Phase::Policy => "policy",
+            Phase::Link => "link",
+            Phase::TraceAppend => "trace_append",
+            Phase::PrognosPrep => "prognos_prep",
+            Phase::PrognosExec => "prognos_exec",
+        }
+    }
+}
+
+/// Per-phase accumulation cell (interior-mutable; shared via `Arc<Inner>`).
+pub(crate) struct PhaseCell {
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) calls: AtomicU64,
+    pub(crate) hist: Mutex<Histogram>,
+}
+
+impl PhaseCell {
+    pub(crate) fn new() -> PhaseCell {
+        PhaseCell { total_ns: AtomicU64::new(0), calls: AtomicU64::new(0), hist: Mutex::new(Histogram::new()) }
+    }
+}
+
+/// Aggregated wall-clock stats for one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    pub phase: Phase,
+    pub calls: u64,
+    pub total_ns: u64,
+    /// Per-call latency distribution, in nanoseconds.
+    pub hist: HistogramSnapshot,
+}
+
+impl PhaseStats {
+    /// Total wall-time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Mean per-call latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64 / 1e3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Phase::COUNT];
+        for p in Phase::ALL {
+            let i = p.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn stats_math() {
+        let s = PhaseStats { phase: Phase::Link, calls: 4, total_ns: 8_000_000, hist: HistogramSnapshot::default() };
+        assert_eq!(s.total_ms(), 8.0);
+        assert_eq!(s.mean_us(), 2_000.0);
+    }
+}

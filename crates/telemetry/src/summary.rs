@@ -1,0 +1,135 @@
+//! Human-readable end-of-run summary rendering.
+
+use crate::Telemetry;
+
+/// Formats an integer with thousands separators: `1234567` → `"1,234,567"`.
+pub fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let first = digits.len() % 3;
+    for (i, c) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - first) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Compact float formatting: trims to 3 significant decimals, keeps
+/// integers clean (`120.0` → `"120"`, `0.12345` → `"0.123"`).
+fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return group_thousands_signed(v as i64);
+    }
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+fn group_thousands_signed(n: i64) -> String {
+    if n < 0 {
+        format!("-{}", group_thousands(n.unsigned_abs()))
+    } else {
+        group_thousands(n as u64)
+    }
+}
+
+/// Renders the full telemetry summary for a run.
+pub(crate) fn render(t: &Telemetry) -> String {
+    if !t.is_enabled() {
+        return "telemetry: disabled\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str("== telemetry summary ==\n");
+
+    let counters = t.counters();
+    if !counters.is_empty() {
+        out.push_str("-- counters --\n");
+        let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &counters {
+            out.push_str(&format!("  {name:<width$}  {}\n", group_thousands(*v)));
+        }
+    }
+
+    let gauges = t.gauges();
+    if !gauges.is_empty() {
+        out.push_str("-- gauges --\n");
+        let width = gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &gauges {
+            out.push_str(&format!("  {name:<width$}  {}\n", fnum(*v)));
+        }
+    }
+
+    let hists = t.histograms();
+    if !hists.is_empty() {
+        out.push_str("-- histograms --\n");
+        let width = hists.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, s) in &hists {
+            out.push_str(&format!(
+                "  {name:<width$}  n={} min={} p50={} p95={} p99={} max={} mean={}\n",
+                group_thousands(s.count),
+                fnum(s.min),
+                fnum(s.p50),
+                fnum(s.p95),
+                fnum(s.p99),
+                fnum(s.max),
+                fnum(s.mean),
+            ));
+        }
+    }
+
+    let phases = t.phases();
+    if !phases.is_empty() {
+        out.push_str("-- phase timings (wall-clock) --\n");
+        let width = phases.iter().map(|s| s.phase.name().len()).max().unwrap_or(0);
+        for s in &phases {
+            out.push_str(&format!(
+                "  {:<width$}  calls={:>12} total={:>10} ms  mean={} us  p50={} p95={} p99={} us\n",
+                s.phase.name(),
+                group_thousands(s.calls),
+                fnum(s.total_ms()),
+                fnum(s.mean_us()),
+                fnum(s.hist.p50 / 1e3),
+                fnum(s.hist.p95 / 1e3),
+                fnum(s.hist.p99 / 1e3),
+            ));
+        }
+    }
+
+    out.push_str(&format!(
+        "-- journal: {} events retained, {} dropped --\n",
+        group_thousands(t.journal_len() as u64),
+        group_thousands(t.journal_dropped()),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(7), "7");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1_000), "1,000");
+        assert_eq!(group_thousands(12_345), "12,345");
+        assert_eq!(group_thousands(123_456), "123,456");
+        assert_eq!(group_thousands(1_234_567), "1,234,567");
+        assert_eq!(group_thousands(1_000_000_000), "1,000,000,000");
+    }
+
+    #[test]
+    fn fnum_trims() {
+        assert_eq!(fnum(120.0), "120");
+        assert_eq!(fnum(0.5), "0.5");
+        assert_eq!(fnum(0.12345), "0.123");
+        assert_eq!(fnum(-3.0), "-3");
+        assert_eq!(fnum(1_500_000.0), "1,500,000");
+    }
+}

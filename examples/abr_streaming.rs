@@ -42,21 +42,15 @@ fn main() {
     );
 
     // ground-truth HO-aware corrector: capacity through each HO vs before it
-    let hos: Vec<(f64, f64, f64)> = drive
-        .handovers
-        .iter()
-        .map(|h| (h.t_decision - 1.0, h.t_complete + 0.5, 0.3))
-        .collect();
+    let hos: Vec<(f64, f64, f64)> =
+        drive.handovers.iter().map(|h| (h.t_decision - 1.0, h.t_complete + 0.5, 0.3)).collect();
     for algo in [AbrAlgorithm::RateBased, AbrAlgorithm::FastMpc, AbrAlgorithm::RobustMpc] {
         let plain = VodSession::new(VodConfig { algorithm: algo, ..Default::default() }).run(&bw);
         let hos2 = hos.clone();
         let aware = VodSession::new(VodConfig {
             algorithm: algo,
             corrector: Some(Box::new(move |t| {
-                hos2.iter()
-                    .find(|&&(a, b, _)| t >= a && t <= b)
-                    .map(|&(_, _, s)| s)
-                    .unwrap_or(1.0)
+                hos2.iter().find(|&&(a, b, _)| t >= a && t <= b).map(|&(_, _, s)| s).unwrap_or(1.0)
             })),
             ..Default::default()
         })

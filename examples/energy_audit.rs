@@ -17,11 +17,8 @@ fn main() {
     let model = PowerModel::default();
 
     // one hour at 130 km/h on OpX NSA low-band, keep-alive pings only
-    let hour = ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 130.0, 5)
-        .duration_s(3600.0)
-        .sample_hz(10.0)
-        .build()
-        .run();
+    let hour =
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 130.0, 5).duration_s(3600.0).sample_hz(10.0).build().run();
     let r5 = EnergyReport::over(&hour, &model, is_nsa_5g_procedure);
     let r4 = EnergyReport::over(&hour, &model, |h| !is_nsa_5g_procedure(h));
     println!("one hour at 130 km/h (NSA low-band):");

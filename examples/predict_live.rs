@@ -12,10 +12,7 @@ use fiveg_mobility::rrc::Pci;
 
 fn main() {
     // a 20-minute walking loop on OpX (dense urban, mmWave present)
-    let trace = ScenarioBuilder::walking_loop(Carrier::OpX, 20.0, 1, 99)
-        .sample_hz(20.0)
-        .build()
-        .run();
+    let trace = ScenarioBuilder::walking_loop(Carrier::OpX, 20.0, 1, 99).sample_hz(20.0).build().run();
     println!(
         "trace: {:.0} min walk, {} HOs, {} measurement reports\n",
         trace.meta.duration_s / 60.0,

@@ -8,9 +8,8 @@ use fiveg_mobility::prelude::*;
 
 fn main() {
     // A 10 km freeway drive on carrier OpY's NSA deployment at 130 km/h.
-    let scenario = ScenarioBuilder::freeway(Carrier::OpY, fiveg_mobility::ran::Arch::Nsa, 10.0, 42)
-        .sample_hz(10.0)
-        .build();
+    let scenario =
+        ScenarioBuilder::freeway(Carrier::OpY, fiveg_mobility::ran::Arch::Nsa, 10.0, 42).sample_hz(10.0).build();
     let trace = scenario.run();
 
     println!(
@@ -36,7 +35,11 @@ fn main() {
         println!("  ... and {} more", trace.handovers.len() - 12);
     }
 
-    println!("\nsignaling: {} RRC/MAC messages, {} bytes on the wire", trace.signaling.total_msgs(), trace.signaling.bytes);
+    println!(
+        "\nsignaling: {} RRC/MAC messages, {} bytes on the wire",
+        trace.signaling.total_msgs(),
+        trace.signaling.bytes
+    );
 
     let mean_capacity = trace.samples.iter().map(|s| s.capacity_mbps).sum::<f64>() / trace.samples.len() as f64;
     println!("mean downlink capacity: {mean_capacity:.0} Mbps");

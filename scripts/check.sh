@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Run before pushing.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh fmt        # just the formatting check
+#   scripts/check.sh clippy     # just the lints
+#   scripts/check.sh test       # just the tests
+#
+# Offline-safe: everything runs with CARGO_NET_OFFLINE=true so a machine
+# without registry access still works once dependencies are cached.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+step="${1:-all}"
+
+run_fmt() {
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+run_clippy() {
+    echo "== cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    echo "== cargo test"
+    cargo test -q --workspace
+}
+
+case "$step" in
+    all)
+        run_fmt
+        run_clippy
+        run_test
+        ;;
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    *)
+        echo "usage: scripts/check.sh [all|fmt|clippy|test]" >&2
+        exit 2
+        ;;
+esac
+
+echo "OK"

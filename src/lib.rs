@@ -16,6 +16,8 @@
 //! * [`prognos`] — **the paper's contribution**: the HO prediction system.
 //! * [`baselines`] — GBC and stacked-LSTM comparison predictors.
 //! * [`apps`] — ABR algorithms and application QoE models.
+//! * [`telemetry`] — deterministic instrumentation: counters, phase timers,
+//!   event journal (off by default, enable via `ScenarioBuilder::telemetry`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use fiveg_radio as radio;
 pub use fiveg_ran as ran;
 pub use fiveg_rrc as rrc;
 pub use fiveg_sim as sim;
+pub use fiveg_telemetry as telemetry;
 pub use fiveg_ue as ue;
 pub use prognos;
 
@@ -48,5 +51,6 @@ pub mod prelude {
     pub use fiveg_radio::{Band, BandClass, Rrs};
     pub use fiveg_ran::{Carrier, HoType, RadioTech};
     pub use fiveg_sim::{Scenario, ScenarioBuilder, Trace};
+    pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
     pub use prognos::{Prognos, PrognosConfig};
 }

@@ -77,9 +77,7 @@ fn conferencing_and_gaming_reports_extract() {
 fn robust_mpc_is_more_conservative_than_fast_mpc() {
     // a deliberately nasty trace: alternating feast and famine; robustMPC's
     // error-discounted prediction must not stall more than fastMPC's
-    let pts: Vec<(f64, f64)> = (0..=400)
-        .map(|i| (i as f64, if (i / 20) % 2 == 0 { 250.0 } else { 15.0 }))
-        .collect();
+    let pts: Vec<(f64, f64)> = (0..=400).map(|i| (i as f64, if (i / 20) % 2 == 0 { 250.0 } else { 15.0 })).collect();
     let bw = BandwidthTrace::new(pts);
     let fast = VodSession::new(VodConfig { algorithm: AbrAlgorithm::FastMpc, ..Default::default() }).run(&bw);
     let robust = VodSession::new(VodConfig { algorithm: AbrAlgorithm::RobustMpc, ..Default::default() }).run(&bw);

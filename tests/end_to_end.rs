@@ -5,11 +5,7 @@ use fiveg_mobility::prelude::*;
 use fiveg_mobility::ran::Arch;
 
 fn nsa_trace(seed: u64) -> Trace {
-    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 10.0, seed)
-        .duration_s(300.0)
-        .sample_hz(10.0)
-        .build()
-        .run()
+    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 10.0, seed).duration_s(300.0).sample_hz(10.0).build().run()
 }
 
 #[test]

@@ -17,11 +17,7 @@ fn drive_prognos(trace: &Trace) -> (Prognos, usize, usize) {
     for s in &trace.samples {
         let lte = LegSnapshot {
             serving: s.lte_cell.zip(s.lte_rrs).map(|(c, r)| CellObs { pci: pci_of(c), rrs: r, group: None }),
-            neighbors: s
-                .lte_neighbors
-                .iter()
-                .map(|&(c, r)| CellObs { pci: pci_of(c), rrs: r, group: None })
-                .collect(),
+            neighbors: s.lte_neighbors.iter().map(|&(c, r)| CellObs { pci: pci_of(c), rrs: r, group: None }).collect(),
         };
         let nr = LegSnapshot {
             serving: s.nr_cell.zip(s.nr_rrs).map(|(c, r)| CellObs {
@@ -66,10 +62,7 @@ fn drive_prognos(trace: &Trace) -> (Prognos, usize, usize) {
 }
 
 fn walk(seed: u64) -> Trace {
-    ScenarioBuilder::walking_loop(Carrier::OpX, 15.0, 1, seed)
-        .sample_hz(20.0)
-        .build()
-        .run()
+    ScenarioBuilder::walking_loop(Carrier::OpX, 15.0, 1, seed).sample_hz(20.0).build().run()
 }
 
 #[test]
@@ -84,7 +77,10 @@ fn prognos_learns_the_simulated_carrier_policy() {
     assert!(
         has(vec![MeasEvent::nr(EventKind::B1)], HoType::Scga),
         "[NR-B1] -> SCGA must be learned; got {:?}",
-        patterns.iter().map(|p| (p.seq.iter().map(|e| e.label()).collect::<Vec<_>>(), p.ho.acronym())).collect::<Vec<_>>()
+        patterns
+            .iter()
+            .map(|p| (p.seq.iter().map(|e| e.label()).collect::<Vec<_>>(), p.ho.acronym()))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -93,11 +89,7 @@ fn prognos_anticipates_a_reasonable_share_of_hos() {
     let t = walk(32);
     let (_, positives, anticipated) = drive_prognos(&t);
     assert!(positives > 0, "must emit predictions");
-    assert!(
-        anticipated * 5 >= t.handovers.len(),
-        "must anticipate ≥20% of HOs: {anticipated}/{}",
-        t.handovers.len()
-    );
+    assert!(anticipated * 5 >= t.handovers.len(), "must anticipate ≥20% of HOs: {anticipated}/{}", t.handovers.len());
 }
 
 #[test]
@@ -137,13 +129,9 @@ fn baselines_train_and_predict_on_sim_features() {
     while sec + 1.0 < t.meta.duration_s {
         let ws: Vec<_> = t.samples.iter().filter(|s| s.t >= sec && s.t < sec + 1.0).collect();
         if !ws.is_empty() {
-            let lte = ws.iter().filter_map(|s| s.lte_rrs.map(|r| r.rsrp_dbm)).sum::<f64>()
-                / ws.len() as f64;
-            let nr = ws.iter().filter_map(|s| s.nr_rrs.map(|r| r.sinr_db)).sum::<f64>()
-                / ws.len().max(1) as f64;
-            let label = usize::from(
-                t.handovers.iter().any(|h| h.t_command >= sec && h.t_command < sec + 1.0),
-            );
+            let lte = ws.iter().filter_map(|s| s.lte_rrs.map(|r| r.rsrp_dbm)).sum::<f64>() / ws.len() as f64;
+            let nr = ws.iter().filter_map(|s| s.nr_rrs.map(|r| r.sinr_db)).sum::<f64>() / ws.len().max(1) as f64;
+            let label = usize::from(t.handovers.iter().any(|h| h.t_command >= sec && h.t_command < sec + 1.0));
             data.push(vec![lte, nr], label);
         }
         sec += 1.0;
