@@ -5,25 +5,29 @@
 
 use fiveg_analysis::DurationStats;
 use fiveg_bench::fmt;
+use fiveg_bench::sweep::{default_threads, run_ordered};
 use fiveg_ran::{Arch, Carrier, HoType};
 use fiveg_sim::{ScenarioBuilder, Telemetry, TelemetryConfig};
 
 fn main() {
     fmt::header("Fig. 8 — HO preparation stage T1, OpY (LTE vs NSA vs SA)");
 
-    // The NSA leg runs instrumented: the ho.t1_ms histogram and per-phase
-    // tick-loop timings corroborate the table below.
+    // The three architecture legs are independent scenarios — simulate
+    // them concurrently. The NSA leg runs instrumented: the ho.t1_ms
+    // histogram and per-phase tick-loop timings corroborate the table.
     let tele = Telemetry::new(TelemetryConfig::on());
-    let nsa = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 35.0, 81)
-        .duration_s(1100.0)
-        .sample_hz(10.0)
-        .telemetry(TelemetryConfig::on())
-        .build()
-        .run_instrumented(&tele);
-    let lte =
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 81).duration_s(1100.0).sample_hz(10.0).build().run();
-    let sa =
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 81).duration_s(1100.0).sample_hz(10.0).build().run();
+    let mk = |arch| ScenarioBuilder::freeway(Carrier::OpY, arch, 35.0, 81).duration_s(1100.0).sample_hz(10.0);
+    let scenarios =
+        [mk(Arch::Lte).build(), mk(Arch::Nsa).telemetry(TelemetryConfig::on()).build(), mk(Arch::Sa).build()];
+    let mut traces = run_ordered(scenarios.len(), default_threads(), |i| match i {
+        1 => scenarios[i].run_instrumented(&tele),
+        i => scenarios[i].run(),
+    });
+    let (lte, nsa, sa) = {
+        let sa = traces.pop().unwrap();
+        let nsa = traces.pop().unwrap();
+        (traces.pop().unwrap(), nsa, sa)
+    };
 
     let mut rows = Vec::new();
     let mut push = |label: &str, s: DurationStats| {

@@ -5,6 +5,7 @@
 
 use fiveg_analysis::DurationStats;
 use fiveg_bench::fmt;
+use fiveg_bench::sweep::{default_threads, run_ordered};
 use fiveg_radio::BandClass;
 use fiveg_ran::{Arch, Carrier, HoType};
 use fiveg_sim::{ScenarioBuilder, Telemetry, TelemetryConfig};
@@ -12,22 +13,32 @@ use fiveg_sim::{ScenarioBuilder, Telemetry, TelemetryConfig};
 fn main() {
     fmt::header("Fig. 9 — HO execution stage T2 (tech + band comparison)");
 
-    // OpY: LTE vs NSA (mid/low) vs SA
-    let nsa =
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
-    let lte =
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Lte, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
-    let sa =
-        ScenarioBuilder::freeway(Carrier::OpY, Arch::Sa, 35.0, 91).duration_s(1100.0).sample_hz(10.0).build().run();
-    // OpX dense city: low-band vs mmWave within NSA. Instrumented: the
-    // ho.t2_ms histogram and journal corroborate the table below.
+    // Four independent scenarios, simulated concurrently: OpY freeway
+    // (LTE vs NSA vs SA) plus the OpX dense city loop for the band
+    // comparison. The dense run is instrumented: the ho.t2_ms histogram
+    // and journal corroborate the table below.
     let tele = Telemetry::new(TelemetryConfig::on());
-    let dense = ScenarioBuilder::city_loop_dense(Carrier::OpX, 92)
-        .duration_s(1500.0)
-        .sample_hz(10.0)
-        .telemetry(TelemetryConfig::on())
-        .build()
-        .run_instrumented(&tele);
+    let mk = |arch| ScenarioBuilder::freeway(Carrier::OpY, arch, 35.0, 91).duration_s(1100.0).sample_hz(10.0);
+    let scenarios = [
+        mk(Arch::Lte).build(),
+        mk(Arch::Nsa).build(),
+        mk(Arch::Sa).build(),
+        ScenarioBuilder::city_loop_dense(Carrier::OpX, 92)
+            .duration_s(1500.0)
+            .sample_hz(10.0)
+            .telemetry(TelemetryConfig::on())
+            .build(),
+    ];
+    let mut traces = run_ordered(scenarios.len(), default_threads(), |i| match i {
+        3 => scenarios[i].run_instrumented(&tele),
+        i => scenarios[i].run(),
+    });
+    let (lte, nsa, sa, dense) = {
+        let dense = traces.pop().unwrap();
+        let sa = traces.pop().unwrap();
+        let nsa = traces.pop().unwrap();
+        (traces.pop().unwrap(), nsa, sa, dense)
+    };
 
     let mut rows = Vec::new();
     let mut push = |label: &str, s: DurationStats| {

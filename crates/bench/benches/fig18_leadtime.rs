@@ -7,31 +7,40 @@
 use fiveg_analysis::{mean, median, percentile};
 use fiveg_bench::driver::{run_prognos, run_prognos_instrumented};
 use fiveg_bench::fmt;
+use fiveg_bench::sweep::{default_threads, run_ordered};
 use fiveg_telemetry::{Telemetry, TelemetryConfig};
 use prognos::PrognosConfig;
 
 fn main() {
     fmt::header("Fig. 18 — prediction lead time (report predictor on/off)");
 
-    // Prep/exec phase timings and the prediction journal accumulate across
-    // all report-predictor-on replays.
+    // The three seeds are independent end-to-end pipelines (simulate +
+    // replay twice) — run them concurrently, each with its own telemetry
+    // handle, then absorb per-seed registries in seed order so the
+    // accumulated counters/phase timings match the serial run.
     let tele = Telemetry::new(TelemetryConfig::on());
+    let per_seed = run_ordered(3, default_threads(), |i| {
+        let trace = fiveg_sim::ScenarioBuilder::walking_loop(fiveg_ran::Carrier::OpX, 30.0, 1, 0xF18 + i as u64)
+            .sample_hz(20.0)
+            .build()
+            .run();
+        let local = Telemetry::new(TelemetryConfig::on());
+        let (on, _) = run_prognos_instrumented(&trace, PrognosConfig::default(), &local);
+        let cfg_off = PrognosConfig { use_report_predictor: false, ..Default::default() };
+        let (off, _) = run_prognos(&trace, cfg_off, None, None);
+        let accs = (on.metrics_events(2.0, 0.3).accuracy, off.metrics_events(2.0, 0.3).accuracy);
+        (on.lead_times, off.lead_times, accs, local)
+    });
     let mut with_rp: Vec<(bool, f64)> = Vec::new();
     let mut without_rp: Vec<(bool, f64)> = Vec::new();
     let mut acc_with = Vec::new();
     let mut acc_without = Vec::new();
-    for seed in 0..3u64 {
-        let trace = fiveg_sim::ScenarioBuilder::walking_loop(fiveg_ran::Carrier::OpX, 30.0, 1, 0xF18 + seed)
-            .sample_hz(20.0)
-            .build()
-            .run();
-        let (on, _) = run_prognos_instrumented(&trace, PrognosConfig::default(), &tele);
-        let cfg_off = PrognosConfig { use_report_predictor: false, ..Default::default() };
-        let (off, _) = run_prognos(&trace, cfg_off, None, None);
-        with_rp.extend(on.lead_times.iter().copied());
-        without_rp.extend(off.lead_times.iter().copied());
-        acc_with.push(on.metrics_events(2.0, 0.3).accuracy);
-        acc_without.push(off.metrics_events(2.0, 0.3).accuracy);
+    for (on_leads, off_leads, (acc_on, acc_off), local) in per_seed {
+        with_rp.extend(on_leads);
+        without_rp.extend(off_leads);
+        acc_with.push(acc_on);
+        acc_without.push(acc_off);
+        tele.absorb(&local);
     }
 
     let split = |v: &[(bool, f64)], is_5g: bool| -> Vec<f64> {

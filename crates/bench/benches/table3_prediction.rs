@@ -12,39 +12,11 @@
 //! matching is applied to all three approaches.
 
 use fiveg_baselines::{Gbc, GbcConfig, LstmConfig, StackedLstm};
-use fiveg_bench::driver::{metrics_events_from, run_prognos, Episode};
+use fiveg_bench::driver::{metrics_events_from, run_prognos, window_preds_to_episodes, Episode};
 use fiveg_bench::features::{gbc_dataset, lstm_sequences};
 use fiveg_bench::fmt;
 use fiveg_ran::HoType;
 use fiveg_sim::Trace;
-
-fn to_ho(label: usize) -> Option<HoType> {
-    if label == 0 {
-        None
-    } else {
-        HoType::ALL.iter().copied().find(|h| 1 + *h as usize == label)
-    }
-}
-
-/// Converts window-level baseline predictions into episodes + events so the
-/// matching rule is identical to Prognos's.
-fn window_preds_to_episodes(labels: &[usize], preds: &[usize], window_s: f64) -> (Vec<Episode>, Vec<(f64, HoType)>) {
-    let mut episodes: Vec<Episode> = Vec::new();
-    let mut events = Vec::new();
-    for (i, (&truth, &pred)) in labels.iter().zip(preds).enumerate() {
-        let t = i as f64 * window_s;
-        if let Some(h) = to_ho(truth) {
-            events.push((t, h));
-        }
-        if let Some(h) = to_ho(pred) {
-            match episodes.last_mut() {
-                Some(e) if e.ho == h && t - e.t_end <= window_s + 1e-9 => e.t_end = t,
-                _ => episodes.push(Episode { t_start: t, t_end: t, ho: h }),
-            }
-        }
-    }
-    (episodes, events)
-}
 
 fn evaluate_dataset(name: &str, traces: &[Trace], rows: &mut Vec<Vec<String>>) {
     let refs: Vec<&Trace> = traces.iter().collect();

@@ -1,0 +1,82 @@
+//! Runs a scenario sweep and writes the `BENCH_sweep.json` report.
+//!
+//! The default matrix is [`SweepSpec::demo`] (24 scenarios × 3 predictors);
+//! `--smoke` switches to the CI-sized [`SweepSpec::smoke`] matrix. The
+//! report is byte-identical for any `--threads` value unless `--timing`
+//! adds the (inherently nondeterministic) wall-clock section — CI runs the
+//! smoke sweep twice at different thread counts and diffs the files.
+//!
+//! ```text
+//! sweep_demo [--smoke] [--threads N] [--out PATH] [--timing]
+//! ```
+
+use fiveg_bench::sweep::{self, SweepSpec};
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    timing: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { smoke: false, threads: sweep::default_threads(), out: "BENCH_sweep.json".into(), timing: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--timing" => args.timing = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse::<usize>().map_err(|_| format!("bad --threads value: {v}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--help" | "-h" => {
+                println!("usage: sweep_demo [--smoke] [--threads N] [--out PATH] [--timing]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sweep_demo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spec = if args.smoke { SweepSpec::smoke() } else { SweepSpec::demo() };
+    let jobs = spec.jobs().len();
+    println!("sweep '{}': {} scenarios, {} jobs, {} thread(s)", spec.name, spec.cells().len(), jobs, args.threads);
+
+    let result = sweep::run(&spec, args.threads);
+    let json = result.to_json(args.timing);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("sweep_demo: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    for r in &result.rollups {
+        println!(
+            "  {:<8} jobs {:>3}  F1 {:.3}  tolerant {:.3}  event {:.3}  lead {:.0} ms",
+            r.predictor.label(),
+            r.jobs,
+            r.mean_f1,
+            r.mean_tolerant_f1,
+            r.mean_event_f1,
+            r.mean_lead_ms
+        );
+    }
+    println!("  wall {:.0} ms on {} thread(s) -> {}", result.timing.total_ms, result.timing.threads, args.out);
+    ExitCode::SUCCESS
+}

@@ -9,28 +9,28 @@
 //!
 //! Both are "for OpX logged @ 20 Hz".
 
+use crate::sweep::{default_threads, parallel_traces};
 use fiveg_ran::Carrier;
-use fiveg_sim::{ScenarioBuilder, Trace};
+use fiveg_sim::{Scenario, ScenarioBuilder, Trace};
 
 /// Builds the D1 dataset: 7 laps of a 35-minute walking loop.
 ///
 /// `laps` defaults to the paper's 7; smaller values are used by quick test
-/// runs. Each lap is its own trace (the paper treats them as 7 traces).
+/// runs. Each lap is its own trace (the paper treats them as 7 traces),
+/// seeded independently, so they simulate in parallel.
 pub fn d1_traces(laps: usize) -> Vec<Trace> {
-    (0..laps)
-        .map(|i| {
-            ScenarioBuilder::walking_loop(Carrier::OpX, 35.0, 1, 0xD1_0000 + i as u64).sample_hz(20.0).build().run()
-        })
-        .collect()
+    let scenarios: Vec<Scenario> = (0..laps)
+        .map(|i| ScenarioBuilder::walking_loop(Carrier::OpX, 35.0, 1, 0xD1_0000 + i as u64).sample_hz(20.0).build())
+        .collect();
+    parallel_traces(&scenarios, default_threads())
 }
 
 /// Builds the D2 dataset: 10 laps of a 25-minute downtown loop.
 pub fn d2_traces(laps: usize) -> Vec<Trace> {
-    (0..laps)
-        .map(|i| {
-            ScenarioBuilder::walking_loop(Carrier::OpX, 25.0, 1, 0xD2_0000 + i as u64).sample_hz(20.0).build().run()
-        })
-        .collect()
+    let scenarios: Vec<Scenario> = (0..laps)
+        .map(|i| ScenarioBuilder::walking_loop(Carrier::OpX, 25.0, 1, 0xD2_0000 + i as u64).sample_hz(20.0).build())
+        .collect();
+    parallel_traces(&scenarios, default_threads())
 }
 
 #[cfg(test)]

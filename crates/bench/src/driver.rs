@@ -173,6 +173,42 @@ pub fn metrics_tolerant_from(series: &[(Option<HoType>, Option<HoType>)], tol_wi
     ClassMetrics { precision, recall, f1, accuracy }
 }
 
+/// Decodes a window-classifier label (0 = background) back to a [`HoType`].
+/// Inverse of the `1 + ho as usize` encoding used by the feature extractors.
+pub fn to_ho(label: usize) -> Option<HoType> {
+    if label == 0 {
+        None
+    } else {
+        HoType::ALL.iter().copied().find(|h| 1 + *h as usize == label)
+    }
+}
+
+/// Converts window-level baseline predictions into episodes + truth events
+/// so offline classifiers are matched under exactly the same event rule as
+/// Prognos ([`metrics_events_from`]). Consecutive same-type positive
+/// windows form one episode.
+pub fn window_preds_to_episodes(
+    labels: &[usize],
+    preds: &[usize],
+    window_s: f64,
+) -> (Vec<Episode>, Vec<(f64, HoType)>) {
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut events = Vec::new();
+    for (i, (&truth, &pred)) in labels.iter().zip(preds).enumerate() {
+        let t = i as f64 * window_s;
+        if let Some(h) = to_ho(truth) {
+            events.push((t, h));
+        }
+        if let Some(h) = to_ho(pred) {
+            match episodes.last_mut() {
+                Some(e) if e.ho == h && t - e.t_end <= window_s + 1e-9 => e.t_end = t,
+                _ => episodes.push(Episode { t_start: t, t_end: t, ho: h }),
+            }
+        }
+    }
+    (episodes, events)
+}
+
 /// Labels the windows of a trace (ground truth only): used to evaluate the
 /// offline baselines on exactly the same task.
 pub fn label_windows(trace: &Trace, window_s: f64) -> Vec<(f64, Option<HoType>)> {
@@ -461,5 +497,68 @@ mod tests {
         let f = gt_score_fn(&t);
         // far beyond the last HO
         assert_eq!(f(t.meta.duration_s + 100.0), 1.0);
+    }
+
+    // --- metrics_tolerant_from edge cases ---
+
+    fn series(pairs: &[(usize, usize)]) -> Vec<(Option<HoType>, Option<HoType>)> {
+        pairs.iter().map(|&(t, p)| (to_ho(t), to_ho(p))).collect()
+    }
+
+    #[test]
+    fn tolerant_empty_series_is_all_zero() {
+        let m = metrics_tolerant_from(&[], 2);
+        assert_eq!((m.precision, m.recall, m.f1, m.accuracy), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn tolerant_zero_tolerance_is_strict_alignment() {
+        // truth at 1, prediction at 2: a hit with tol 1, a miss with tol 0
+        let s = series(&[(0, 0), (1, 0), (0, 1), (0, 0)]);
+        let m0 = metrics_tolerant_from(&s, 0);
+        assert_eq!(m0.recall, 0.0);
+        assert_eq!(m0.precision, 0.0);
+        let m1 = metrics_tolerant_from(&s, 1);
+        assert_eq!(m1.recall, 1.0);
+        assert_eq!(m1.precision, 1.0);
+    }
+
+    #[test]
+    fn tolerant_boundary_truths_do_not_overflow() {
+        // truths at both ends of the series with a tolerance wider than
+        // the series itself: index arithmetic must saturate, not panic
+        let s = series(&[(1, 0), (0, 0), (0, 1)]);
+        let m = metrics_tolerant_from(&s, 10);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn tolerant_prediction_consumed_once() {
+        // two truths share one same-type prediction within tolerance: only
+        // one can match it, the other is a miss
+        let s = series(&[(1, 0), (0, 1), (1, 0)]);
+        let m = metrics_tolerant_from(&s, 1);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn tolerant_wrong_type_within_span_is_no_match() {
+        // a type-2 prediction near a type-1 truth: miss + false alarm
+        let s = series(&[(1, 0), (0, 2), (0, 0)]);
+        let m = metrics_tolerant_from(&s, 2);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.precision, 0.0);
+        // background windows still count toward accuracy (index 2 only)
+        assert!((m.accuracy - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerant_all_background_is_perfect_accuracy_zero_f1() {
+        let s = series(&[(0, 0), (0, 0), (0, 0)]);
+        let m = metrics_tolerant_from(&s, 2);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.f1, 0.0);
     }
 }

@@ -8,13 +8,17 @@
 //! * [`driver`] — replays a recorded [`Trace`] through Prognos the way the
 //!   paper's trace-driven emulation does, producing per-window predictions
 //!   and ground-truth labels;
-//! * [`features`] — feature extraction for the GBC and LSTM baselines.
+//! * [`features`] — feature extraction for the GBC and LSTM baselines;
+//! * [`sweep`] — the deterministic parallel sweep harness (scenario matrix
+//!   → ordered job list → worker pool → `BENCH_sweep.json`).
 
 pub mod datasets;
 pub mod driver;
 pub mod features;
 pub mod fmt;
+pub mod sweep;
 
 pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
 pub use features::{gbc_dataset, lstm_sequences};
+pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};

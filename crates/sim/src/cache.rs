@@ -1,0 +1,125 @@
+//! Once-per-scenario trace sharing for experiment sweeps.
+//!
+//! A sweep evaluates several predictors against the *same* recorded drive:
+//! re-simulating the scenario for every predictor wastes most of the wall
+//! clock. [`TraceCache`] holds one slot per scenario; the first worker to
+//! ask for a slot runs the simulation, every later worker (on any thread)
+//! gets the same [`Arc<Trace>`] back. Because the simulator is
+//! deterministic in the scenario seed, it does not matter *which* worker
+//! wins the race — the resulting trace is identical either way.
+
+use crate::scenario::Scenario;
+use crate::trace::Trace;
+use fiveg_telemetry::{Telemetry, TelemetryConfig};
+use std::sync::{Arc, OnceLock};
+
+/// One generated-trace slot per scenario, shareable across worker threads
+/// (`&TraceCache` is `Sync`; traces come back as cheap [`Arc`] clones).
+pub struct TraceCache {
+    slots: Vec<OnceLock<Entry>>,
+}
+
+#[derive(Clone)]
+struct Entry {
+    trace: Arc<Trace>,
+    /// Deterministic sim-side counters of the instrumented run (empty when
+    /// the generating run was not instrumented).
+    counters: Vec<(String, u64)>,
+}
+
+impl TraceCache {
+    /// A cache with `n` empty slots (scenario ids `0..n`).
+    pub fn new(n: usize) -> TraceCache {
+        TraceCache { slots: (0..n).map(|_| OnceLock::new()).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the cache has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots whose trace has been generated so far.
+    pub fn generated(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Returns slot `id`'s trace, running `scenario` to fill it on first
+    /// use. Concurrent callers for the same slot block until the first
+    /// finishes, so each scenario is simulated exactly once.
+    pub fn get_or_run(&self, id: usize, scenario: &Scenario) -> Arc<Trace> {
+        self.entry(id, scenario).trace
+    }
+
+    /// Like [`get_or_run`](Self::get_or_run), additionally returning the
+    /// generating run's deterministic telemetry counters (sim-side tick,
+    /// HO and fault counters). The generating run is instrumented with
+    /// [`TelemetryConfig::deterministic`] regardless of the scenario's own
+    /// telemetry setting, so sweeps can roll sim counters up without
+    /// re-simulating.
+    pub fn get_or_run_counted(&self, id: usize, scenario: &Scenario) -> (Arc<Trace>, Vec<(String, u64)>) {
+        let e = self.entry(id, scenario);
+        (e.trace, e.counters)
+    }
+
+    fn entry(&self, id: usize, scenario: &Scenario) -> Entry {
+        self.slots[id]
+            .get_or_init(|| {
+                let tele = Telemetry::new(TelemetryConfig::deterministic());
+                let trace = scenario.run_instrumented(&tele);
+                Entry { trace: Arc::new(trace), counters: tele.counters() }
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use fiveg_ran::{Arch, Carrier};
+
+    fn tiny() -> Scenario {
+        ScenarioBuilder::freeway(Carrier::OpX, Arch::Nsa, 2.0, 5).duration_s(30.0).sample_hz(5.0).build()
+    }
+
+    #[test]
+    fn same_slot_simulates_once() {
+        let cache = TraceCache::new(2);
+        let s = tiny();
+        let a = cache.get_or_run(0, &s);
+        let b = cache.get_or_run(0, &s);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generated(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn counted_slot_reports_sim_counters() {
+        let cache = TraceCache::new(1);
+        let (trace, counters) = cache.get_or_run_counted(0, &tiny());
+        assert!(!trace.samples.is_empty());
+        assert!(counters.iter().any(|(n, v)| n == "sim.ticks" && *v > 0), "{counters:?}");
+        // second call returns the identical roll-up
+        let (_, again) = cache.get_or_run_counted(0, &tiny());
+        assert_eq!(counters, again);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_run() {
+        let cache = TraceCache::new(1);
+        let s = tiny();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| cache.get_or_run(0, &s))).collect();
+            let traces: Vec<Arc<Trace>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for t in &traces[1..] {
+                assert!(Arc::ptr_eq(&traces[0], t));
+            }
+        });
+        assert_eq!(cache.generated(), 1);
+    }
+}

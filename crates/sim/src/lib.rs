@@ -22,13 +22,16 @@
 //! * [`engine`] — the tick loop;
 //! * [`trace`] — the serialized dataset format;
 //! * [`fault`] — fault injection (MR loss, HO failures) in the smoltcp
-//!   tradition of making adverse conditions reproducible.
+//!   tradition of making adverse conditions reproducible;
+//! * [`cache`] — once-per-scenario trace sharing for parallel sweeps.
 
+pub mod cache;
 pub mod engine;
 pub mod fault;
 pub mod scenario;
 pub mod trace;
 
+pub use cache::TraceCache;
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};

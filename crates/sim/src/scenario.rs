@@ -154,6 +154,13 @@ impl ScenarioBuilder {
         b
     }
 
+    /// Overrides the service architecture (the route presets default to
+    /// NSA; sweeps vary this axis independently).
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.s.arch = arch;
+        self
+    }
+
     /// Overrides the speed profile.
     pub fn speed(mut self, profile: SpeedProfile) -> Self {
         self.s.speed = profile;
@@ -245,5 +252,11 @@ mod tests {
         assert_eq!(s.max_duration_s, 120.0);
         assert_eq!(s.sample_hz, 10.0);
         assert_eq!(s.workload, Workload::Bulk(Cca::Bbr));
+    }
+
+    #[test]
+    fn arch_override_applies_to_presets() {
+        let s = ScenarioBuilder::city_loop(Carrier::OpX, 9).arch(Arch::Sa).build();
+        assert_eq!(s.arch, Arch::Sa);
     }
 }

@@ -121,6 +121,26 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other` into `self`. Buckets are position-aligned (all
+    /// histograms share the same geometry), so merging is commutative and
+    /// associative: per-worker histograms merged in any order yield the
+    /// same result as observing every value on one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// A cheap, `Copy`-friendly snapshot of the current contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         if self.count == 0 {
@@ -232,6 +252,42 @@ mod tests {
         assert_eq!(s.max, 5.0);
         assert!(s.sum.is_finite() || s.sum.is_infinite()); // inf allowed in sum
         assert!(s.p50.is_finite());
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0..3000 {
+            // dyadic values only, so partial sums are exact and the
+            // snapshot comparison is immune to addition order
+            let v = match i % 4 {
+                0 => (i + 1) as f64,
+                1 => (i as f64) * 0.25,
+                2 => -1.0,
+                _ => f64::INFINITY,
+            };
+            whole.observe(v);
+            parts[i % 3].observe(v);
+        }
+        let mut merged = Histogram::new();
+        // merge in reverse to exercise order independence
+        for p in parts.iter().rev() {
+            merged.merge(p);
+        }
+        assert_eq!(merged.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.observe(3.0);
+        let before = h.snapshot();
+        h.merge(&Histogram::new());
+        assert_eq!(h.snapshot(), before);
+        let mut e = Histogram::new();
+        e.merge(&h);
+        assert_eq!(e.snapshot(), before);
     }
 
     #[test]

@@ -381,6 +381,60 @@ impl Telemetry {
         self.write_journal(&mut f)
     }
 
+    // --- merging ----------------------------------------------------------
+
+    /// Folds another recorder's registries into this one: counters add,
+    /// histograms merge bucket-wise, per-phase wall-clock totals and call
+    /// counts add, and gauges take `other`'s latest value. The event
+    /// journal is **not** merged — journals are per-run artifacts with
+    /// their own sequence numbers.
+    ///
+    /// Counter/histogram/phase absorption is commutative and associative,
+    /// so per-worker recorders folded in any order produce the same
+    /// registry state — this is what lets a parallel sweep roll worker
+    /// telemetry up deterministically. (Gauges are last-writer and should
+    /// be absorbed in a deterministic order when they matter.)
+    ///
+    /// No-op when either handle is disabled.
+    pub fn absorb(&self, other: &Telemetry) {
+        let (Some(inner), Some(from)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, from) {
+            return; // absorbing yourself would double-count (and deadlock)
+        }
+        {
+            let src = from.counters.lock().unwrap();
+            let mut dst = inner.counters.lock().unwrap();
+            for (name, v) in src.iter() {
+                dst.entry(name.clone()).or_default().fetch_add(v.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        {
+            let src = from.gauges.lock().unwrap();
+            let mut dst = inner.gauges.lock().unwrap();
+            for (name, v) in src.iter() {
+                dst.entry(name.clone()).or_default().store(v.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        {
+            let src = from.hists.lock().unwrap();
+            let mut dst = inner.hists.lock().unwrap();
+            for (name, h) in src.iter() {
+                dst.entry(name.clone())
+                    .or_insert_with(|| Arc::new(Mutex::new(Hist::new())))
+                    .lock()
+                    .unwrap()
+                    .merge(&h.lock().unwrap());
+            }
+        }
+        for (dst, src) in inner.phases.iter().zip(from.phases.iter()) {
+            dst.total_ns.fetch_add(src.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.calls.fetch_add(src.calls.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.hist.lock().unwrap().merge(&src.hist.lock().unwrap());
+        }
+    }
+
     // --- reporting --------------------------------------------------------
 
     /// The human-readable end-of-run summary: counters (thousands
@@ -527,6 +581,62 @@ mod tests {
         assert!(s.contains("p99"), "{s}");
         assert!(s.contains("mobility"), "{s}");
         assert!(s.contains("journal"), "{s}");
+    }
+
+    #[test]
+    fn absorb_rolls_up_counters_gauges_hists_phases() {
+        let total = Telemetry::new(TelemetryConfig::on());
+        total.add("jobs.done", 1);
+        let worker = Telemetry::new(TelemetryConfig::on());
+        worker.add("jobs.done", 2);
+        worker.add("worker.only", 7);
+        worker.set_gauge("route.km", 12.5);
+        worker.observe("lat_ms", 4.0);
+        worker.record(1.0, Event::Rlf { leg: "lte".into() });
+        {
+            let _g = worker.phase(Phase::Link);
+        }
+        total.absorb(&worker);
+        assert_eq!(total.counter_value("jobs.done"), 3);
+        assert_eq!(total.counter_value("worker.only"), 7);
+        assert_eq!(total.gauge_value("route.km"), Some(12.5));
+        assert_eq!(total.histogram_snapshot("lat_ms").unwrap().count, 1);
+        assert_eq!(total.phase_stats(Phase::Link).calls, 1);
+        // journals are per-run artifacts: never merged
+        assert_eq!(total.journal_len(), 0);
+        // the source is read-only during absorption
+        assert_eq!(worker.counter_value("jobs.done"), 2);
+    }
+
+    #[test]
+    fn absorb_is_order_independent_for_counters_and_hists() {
+        let build = |order: &[usize]| {
+            let workers: Vec<Telemetry> = (0..3)
+                .map(|i| {
+                    let t = Telemetry::new(TelemetryConfig::on());
+                    t.add("n", i as u64 + 1);
+                    t.observe("h", (i + 1) as f64);
+                    t
+                })
+                .collect();
+            let total = Telemetry::new(TelemetryConfig::on());
+            for &i in order {
+                total.absorb(&workers[i]);
+            }
+            (total.counters(), total.histogram_snapshot("h").unwrap())
+        };
+        assert_eq!(build(&[0, 1, 2]), build(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn absorb_disabled_and_self_are_noops() {
+        let t = Telemetry::new(TelemetryConfig::on());
+        t.incr("x");
+        t.absorb(&Telemetry::disabled());
+        Telemetry::disabled().absorb(&t);
+        let u = t.clone();
+        t.absorb(&u); // same inner: must not deadlock or double-count
+        assert_eq!(t.counter_value("x"), 1);
     }
 
     #[test]

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, tests. Run before pushing.
+# Repo-wide hygiene gate: formatting, lints, tests, dep audit, smoke sweep.
+# Run before pushing.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh fmt        # just the formatting check
 #   scripts/check.sh clippy     # just the lints
 #   scripts/check.sh test       # just the tests
+#   scripts/check.sh deps       # declared-but-unused dependency audit
+#   scripts/check.sh smoke      # sweep determinism gate (1 vs 4 threads)
 #
-# Offline-safe: everything runs with CARGO_NET_OFFLINE=true so a machine
-# without registry access still works once dependencies are cached.
+# Offline-safe: everything defaults to CARGO_NET_OFFLINE=true so a machine
+# without registry access still works once dependencies are cached. CI sets
+# CARGO_NET_OFFLINE=false explicitly for the first fetch on a fresh runner.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-export CARGO_NET_OFFLINE=true
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 
 step="${1:-all}"
 
@@ -30,17 +34,74 @@ run_test() {
     cargo test -q --workspace
 }
 
+# Flags external dependencies a crate declares but never names in its
+# sources. cargo builds every declared dep, so a dead entry costs compile
+# time in every CI run and rots silently — rustc's unused_crate_dependencies
+# lint can't catch deps used only by bench/test targets, this scan can
+# (it covers src, benches, examples and tests per crate).
+run_deps() {
+    echo "== dependency audit (declared vs used)"
+    local bad=0
+    for manifest in Cargo.toml crates/*/Cargo.toml; do
+        local dir deps
+        dir="$(dirname "$manifest")"
+        # external [dependencies]/[dev-dependencies] entries; path deps
+        # (fiveg-*, prognos) are internal and covered by cargo itself
+        deps="$(awk '
+            /^\[(dev-)?dependencies\]/ { in_deps = 1; next }
+            /^\[/ { in_deps = 0 }
+            in_deps && /^[a-z0-9_-]+[. ]/ { sub(/[. =].*/, ""); print }
+        ' "$manifest" | grep -v -E '^(fiveg-|prognos)' | sort -u || true)"
+        for dep in $deps; do
+            local ident="${dep//-/_}"
+            if ! grep -rqE "\b${ident}(::|!| *:)" \
+                "$dir/src" "$dir/benches" "$dir/examples" "$dir/tests" 2>/dev/null; then
+                echo "  UNUSED: $dep declared in $manifest" >&2
+                bad=1
+            fi
+        done
+    done
+    if [ "$bad" -ne 0 ]; then
+        echo "dependency audit failed: remove the entries above" >&2
+        return 1
+    fi
+    echo "  all declared external deps are referenced"
+}
+
+# The sweep harness's headline guarantee, checked end to end: the smoke
+# report must be byte-identical no matter how many workers produced it.
+run_smoke() {
+    echo "== sweep smoke determinism (1 thread vs 4 threads)"
+    cargo build -q --release --bin sweep_demo
+    local bin=target/release/sweep_demo
+    local t1 t4
+    t1="$(mktemp)" && t4="$(mktemp)"
+    trap 'rm -f "$t1" "$t4"' RETURN
+    "$bin" --smoke --threads 1 --out "$t1"
+    "$bin" --smoke --threads 4 --out "$t4"
+    if ! cmp -s "$t1" "$t4"; then
+        echo "smoke sweep output differs across thread counts:" >&2
+        diff "$t1" "$t4" >&2 || true
+        return 1
+    fi
+    echo "  reports are byte-identical"
+}
+
 case "$step" in
     all)
         run_fmt
         run_clippy
         run_test
+        run_deps
+        run_smoke
         ;;
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    deps) run_deps ;;
+    smoke) run_smoke ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Offline workspace verification with raw rustc — no cargo, no registry.
+#
+# This container has no crates.io access, so `cargo build` cannot even
+# resolve dependencies. This script builds the whole workspace anyway:
+# external deps are replaced by the single-file stubs in scripts/stubs/
+# (see their README for what is functional vs type-check-only), workspace
+# crates compile in dependency order, and the sweep binary runs for real:
+#
+#   scripts/localcheck.sh           # build everything + tests + smoke gate
+#   scripts/localcheck.sh build     # just compile the workspace
+#   scripts/localcheck.sh test      # dependency-free unit tests (telemetry)
+#   scripts/localcheck.sh smoke     # sweep determinism gate (1 vs 4 threads)
+#   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
+#
+# This is a best-effort gate for offline machines; real CI (see
+# .github/workflows/ci.yml) builds against the real crates.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=target/local
+mkdir -p "$OUT"
+
+step="${1:-all}"
+
+# every --extern built so far; unused externs are not an error, so each
+# crate just gets the full list
+EXTERNS=()
+
+stub() { # name [is_proc_macro]
+    local name="$1" kind="${2:-rlib}"
+    if [ "$kind" = proc-macro ]; then
+        rustc --edition 2021 --crate-type proc-macro --crate-name "$name" \
+            "scripts/stubs/$name.rs" --out-dir "$OUT" -L "$OUT" "${EXTERNS[@]}"
+        EXTERNS+=(--extern "$name=$OUT/lib$name.so")
+    else
+        rustc --edition 2021 -O --crate-type rlib --crate-name "$name" \
+            "scripts/stubs/$name.rs" --out-dir "$OUT" -L "$OUT" "${EXTERNS[@]}"
+        EXTERNS+=(--extern "$name=$OUT/lib$name.rlib")
+    fi
+}
+
+lib() { # crate_name src_path
+    local name="$1" src="$2"
+    echo "   lib $name"
+    rustc --edition 2021 -O -D warnings --crate-type rlib --crate-name "$name" \
+        "$src" --out-dir "$OUT" -L "$OUT" "${EXTERNS[@]}"
+    EXTERNS+=(--extern "$name=$OUT/lib$name.rlib")
+}
+
+run_build() {
+    echo "== stub deps (scripts/stubs/)"
+    stub serde_derive proc-macro
+    stub serde
+    stub serde_json
+    stub bytes
+    stub parking_lot
+    stub crossbeam
+    stub proptest
+
+    echo "== workspace crates (dependency order)"
+    lib fiveg_telemetry crates/telemetry/src/lib.rs
+    lib fiveg_geo crates/geo/src/lib.rs
+    lib fiveg_radio crates/radio/src/lib.rs
+    lib fiveg_rrc crates/rrc/src/lib.rs
+    lib fiveg_ran crates/ran/src/lib.rs
+    lib fiveg_ue crates/ue/src/lib.rs
+    lib fiveg_link crates/link/src/lib.rs
+    lib prognos crates/core/src/lib.rs
+    lib fiveg_baselines crates/baselines/src/lib.rs
+    lib fiveg_sim crates/sim/src/lib.rs
+    lib fiveg_analysis crates/analysis/src/lib.rs
+    lib fiveg_apps crates/apps/src/lib.rs
+    lib fiveg_bench crates/bench/src/lib.rs
+    lib fiveg_mobility src/lib.rs
+
+    echo "== sweep_demo binary"
+    rustc --edition 2021 -O -D warnings --crate-name sweep_demo \
+        crates/bench/src/bin/sweep_demo.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/sweep_demo"
+}
+
+# Unit tests runnable offline: telemetry has zero external deps; the bench
+# crate's tests (sweep harness, driver metrics, the run_ordered property)
+# run against the functional stubs; so does the workspace determinism
+# integration test. Crates whose tests exercise real serde_json at runtime
+# (sim) run under cargo in CI only.
+run_test() {
+    # reconstruct the extern list from a prior `build` when run standalone
+    if [ ${#EXTERNS[@]} -eq 0 ]; then
+        local f name
+        for f in "$OUT"/lib*.rlib "$OUT"/lib*.so; do
+            [ -e "$f" ] || continue
+            name="$(basename "$f")"
+            name="${name#lib}"
+            name="${name%.rlib}"
+            name="${name%.so}"
+            EXTERNS+=(--extern "$name=$f")
+        done
+    fi
+
+    echo "== telemetry unit tests (dependency-free)"
+    rustc --edition 2021 --test crates/telemetry/src/lib.rs -o "$OUT/telemetry_test"
+    "$OUT/telemetry_test" --quiet
+
+    echo "== bench unit tests (sweep harness, driver metrics, proptest)"
+    rustc --edition 2021 -O --test --crate-name fiveg_bench crates/bench/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/bench_test"
+    "$OUT/bench_test" --quiet
+
+    echo "== workspace sweep determinism integration test"
+    rustc --edition 2021 -O --test tests/sweep_determinism.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/sweep_determinism_test"
+    "$OUT/sweep_determinism_test" --quiet
+}
+
+run_smoke() {
+    echo "== sweep smoke determinism (1 thread vs 4 threads)"
+    [ -x "$OUT/sweep_demo" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    "$OUT/sweep_demo" --smoke --threads 1 --out "$OUT/smoke_t1.json"
+    "$OUT/sweep_demo" --smoke --threads 4 --out "$OUT/smoke_t4.json"
+    if ! cmp -s "$OUT/smoke_t1.json" "$OUT/smoke_t4.json"; then
+        echo "smoke sweep output differs across thread counts:" >&2
+        diff "$OUT/smoke_t1.json" "$OUT/smoke_t4.json" >&2 || true
+        exit 1
+    fi
+    echo "   reports are byte-identical ($(wc -c <"$OUT/smoke_t1.json") bytes)"
+}
+
+run_perf() {
+    echo "== demo sweep speedup (1 thread vs 4 threads)"
+    [ -x "$OUT/sweep_demo" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    local cores
+    cores=$(nproc 2>/dev/null || echo 1)
+    if [ "$cores" -lt 2 ]; then
+        echo "   SKIP: only $cores core(s) available — speedup needs a multi-core machine"
+        return 0
+    fi
+    local t0 t1 serial_ms parallel_ms
+    t0=$(date +%s%N)
+    "$OUT/sweep_demo" --threads 1 --out "$OUT/demo_t1.json" >/dev/null
+    t1=$(date +%s%N)
+    serial_ms=$(( (t1 - t0) / 1000000 ))
+    t0=$(date +%s%N)
+    "$OUT/sweep_demo" --threads 4 --out "$OUT/demo_t4.json" >/dev/null
+    t1=$(date +%s%N)
+    parallel_ms=$(( (t1 - t0) / 1000000 ))
+    echo "   serial ${serial_ms} ms, 4 threads ${parallel_ms} ms"
+    cmp -s "$OUT/demo_t1.json" "$OUT/demo_t4.json" || { echo "demo reports differ" >&2; exit 1; }
+    if [ $((parallel_ms * 2)) -gt "$serial_ms" ]; then
+        echo "   WARNING: <2x speedup at 4 threads" >&2
+        exit 1
+    fi
+    echo "   speedup >= 2x"
+}
+
+case "$step" in
+    all)
+        run_build
+        run_test
+        run_smoke
+        ;;
+    build) run_build ;;
+    test) run_test ;;
+    smoke) run_smoke ;;
+    perf) run_perf ;;
+    *)
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|perf]" >&2
+        exit 2
+        ;;
+esac
+
+echo "OK (offline localcheck)"

@@ -1,0 +1,139 @@
+//! Offline stub for `bytes` (see README.md): functional. The RRC codec
+//! runs during every simulation (§5.1 counts encoded signaling bytes), so
+//! this subset is a real Vec-backed implementation, not a panic shim.
+//! Multi-byte integers are big-endian, like the real crate.
+
+/// Immutable byte buffer with a cursor (consumed from the front).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes { data: self.data[self.pos..][range].to_vec(), pos: 0 }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Growable byte buffer (the encode side).
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+/// Read side of a buffer.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    fn advance(&mut self, n: usize);
+
+    fn chunk(&self) -> &[u8];
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_i16(&mut self) -> i16 {
+        self.get_u16() as i16
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.pos += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// Write side of a buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i16(&mut self, v: i16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}

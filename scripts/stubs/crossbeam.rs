@@ -1,0 +1,36 @@
+//! Offline stub for `crossbeam` (see README.md): functional. Implements
+//! `crossbeam::thread::scope`/`Scope::spawn` over `std::thread::scope`
+//! (available since Rust 1.63). One behavioral difference: a panicking
+//! worker propagates through `std::thread::scope` instead of surfacing as
+//! `Err` — acceptable for a verification harness, since callers treat both
+//! as fatal.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker; like crossbeam, the closure receives the
+        /// scope so it can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all workers are joined before return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stub for `parking_lot` (see README.md): functional. A thin
+//! wrapper over `std::sync::Mutex` with parking_lot's poison-free API —
+//! a poisoned lock propagates the original panic instead of returning Err.
+
+use std::sync::{self, PoisonError};
+
+/// Mutex with parking_lot's non-poisoning `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stub for `proptest` (see README.md): functional, minimal. Real
+//! proptest does strategy composition, shrinking and persistence; this
+//! stub supports exactly what `fiveg-bench`'s property tests use — the
+//! `proptest!` macro, integer-range strategies and `collection::vec` —
+//! sampling a fixed number of deterministic cases per test (no shrinking).
+//! Enough to execute the properties offline; CI runs the real crate.
+
+/// SplitMix64 case generator (deterministic across runs).
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+/// A source of sampled values (real proptest's Strategy, minus shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end);
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end);
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    use super::{Rng, Strategy};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a Vec of sampled elements.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs each property as a plain test over 48 deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let mut __rng = $crate::Rng::new(0xC0FF_EE00_5EED_0001);
+                for __case in 0..48u64 {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        assert_eq!($left, $right, $($arg)+)
+    };
+}

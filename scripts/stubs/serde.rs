@@ -1,0 +1,18 @@
+//! Offline stub for `serde` (see README.md): type-check only. The traits
+//! carry no methods and are blanket-implemented, so any `T: Serialize` /
+//! `T: Deserialize` bound holds; the re-exported derive macros (same names,
+//! macro namespace) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker matching serde's `DeserializeOwned` bound.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

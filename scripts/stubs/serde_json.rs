@@ -1,0 +1,60 @@
+//! Offline stub for `serde_json` (see README.md): type-check only. Every
+//! entry point panics if actually called — nothing on the localcheck
+//! execution path serializes.
+
+use std::fmt;
+
+/// Stub error; satisfies `std::io::Error::other`'s `Into<Box<dyn Error>>`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub: to_string")
+}
+
+pub fn to_vec<T: ?Sized>(_value: &T) -> Result<Vec<u8>> {
+    unimplemented!("serde_json stub: to_vec")
+}
+
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    unimplemented!("serde_json stub: from_str")
+}
+
+pub fn from_slice<T>(_v: &[u8]) -> Result<T> {
+    unimplemented!("serde_json stub: from_slice")
+}
+
+/// Minimal `Value` lookalike: indexing and numeric access, all stubbed.
+#[derive(Debug, Clone)]
+pub struct Value;
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        unimplemented!("serde_json stub: Value::as_f64")
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        unimplemented!("serde_json stub: Value::as_str")
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        unimplemented!("serde_json stub: Value::as_u64")
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, _key: &str) -> &Value {
+        unimplemented!("serde_json stub: Value indexing")
+    }
+}

@@ -1,0 +1,50 @@
+//! The sweep harness's core contract, enforced at the workspace level:
+//! the report must not depend on how many workers executed the matrix.
+
+use fiveg_bench::sweep::{self, RouteKind, SweepPredictor, SweepSpec};
+use fiveg_ran::{Arch, Carrier};
+use fiveg_sim::FaultConfig;
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        name: "tiny".into(),
+        routes: vec![RouteKind::Freeway(2.0)],
+        carriers: vec![Carrier::OpY],
+        archs: vec![Arch::Nsa, Arch::Sa],
+        faults: vec![FaultConfig::NONE, FaultConfig { mr_loss_prob: 0.05, ho_failure_prob: 0.02 }],
+        seeds: vec![3],
+        predictors: vec![SweepPredictor::Prognos, SweepPredictor::Gbc],
+        duration_s: 45.0,
+        sample_hz: 5.0,
+        tol_windows: 2,
+        lstm_epochs: 2,
+    }
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_thread_counts() {
+    let spec = tiny_spec();
+    let serial = sweep::run(&spec, 1).to_json(false);
+    for threads in [2, 4] {
+        let pooled = sweep::run(&spec, threads).to_json(false);
+        assert_eq!(serial, pooled, "report changed at {threads} threads");
+    }
+    assert!(serial.contains("\"schema\":\"fiveg-sweep/v1\""));
+    assert!(serial.contains("\"predictor\":\"prognos\""));
+}
+
+#[test]
+fn sweep_shares_traces_and_rolls_up_counters() {
+    let spec = tiny_spec();
+    let result = sweep::run(&spec, 4);
+    // 4 scenario cells × 2 predictors
+    assert_eq!(result.scenarios, 4);
+    assert_eq!(result.jobs.len(), 8);
+    // sim counters are per-scenario, not per-job: the tick count must
+    // correspond to 4 scenario runs of ~45 s at 5 Hz, not 8
+    let ticks = result.sim_counters.iter().find(|(n, _)| n == "sim.ticks").map(|&(_, v)| v).unwrap();
+    assert!(ticks >= 4 * 200 && ticks <= 4 * 250, "ticks {ticks}");
+    // the Prognos replays record their own deterministic counters
+    let calls = result.predictor_counters.iter().find(|(n, _)| n == "prognos.predict_calls").map(|&(_, v)| v).unwrap();
+    assert!(calls > 0);
+}
