@@ -1,0 +1,255 @@
+//! Tick-throughput microbenchmark: snapshot engine vs the retained naive
+//! reference path, reporting ticks/sec and an allocations-per-tick proxy.
+//!
+//! Both paths run the same fixed-seed scenario set through
+//! [`fiveg_sim::engine`]; the snapshot path is the production engine
+//! ([`Scenario::run`]), the reference path re-scans the deployment from
+//! every consumer ([`fiveg_sim::run_reference`]) the way the pre-snapshot
+//! engine did. Traces are checked equal (`PartialEq`) on the first
+//! iteration, so a reported speedup is never bought with a behavior change.
+//! Throughput counters flow through `fiveg-telemetry` (`sim.ticks` from the
+//! instrumented runs, `bench.allocs` from a counting global allocator), and
+//! the report is written as `BENCH_tick.json` (schema `fiveg-tick/v1`).
+//!
+//! ```text
+//! tick_bench [--smoke] [--iters N] [--out PATH]
+//! ```
+//!
+//! Wall-clock numbers are machine-dependent by nature; the committed
+//! `BENCH_tick.json` records the before/after trajectory on the development
+//! machine, and CI runs `--smoke` as a non-gating perf canary that only
+//! asserts completion and a parseable report.
+
+use fiveg_bench::report::JsonBuf;
+use fiveg_ran::{Arch, Carrier};
+use fiveg_sim::{engine, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter: wraps the system allocator and counts every
+/// `alloc`/`realloc`. Coarse by design — it is a proxy for hot-loop churn,
+/// not a profiler — but it is exact and deterministic for a fixed workload.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Args {
+    smoke: bool,
+    iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { smoke: false, iters: 3, out: "BENCH_tick.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                args.iters = v.parse::<usize>().map_err(|_| format!("bad --iters value: {v}"))?;
+                if args.iters == 0 {
+                    return Err("--iters must be >= 1".into());
+                }
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--help" | "-h" => {
+                println!("usage: tick_bench [--smoke] [--iters N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The fixed-seed scenario set. Seeds and shapes are pinned so numbers are
+/// comparable across commits (see EXPERIMENTS.md, "Tick benchmark").
+fn scenarios(smoke: bool) -> Vec<(&'static str, Scenario)> {
+    if smoke {
+        return vec![(
+            "freeway-nsa-2km",
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 2.0, 101).duration_s(60.0).sample_hz(10.0).build(),
+        )];
+    }
+    vec![
+        (
+            "freeway-nsa-6km",
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 101).duration_s(200.0).sample_hz(10.0).build(),
+        ),
+        (
+            "freeway-sa-6km",
+            ScenarioBuilder::freeway(Carrier::OpX, Arch::Sa, 6.0, 102).duration_s(200.0).sample_hz(10.0).build(),
+        ),
+        (
+            "city-dense-nsa",
+            ScenarioBuilder::city_loop_dense(Carrier::OpX, 103).duration_s(200.0).sample_hz(10.0).build(),
+        ),
+        (
+            "freeway-lte-6km",
+            ScenarioBuilder::freeway(Carrier::OpZ, Arch::Lte, 6.0, 104).duration_s(200.0).sample_hz(10.0).build(),
+        ),
+    ]
+}
+
+struct PathResult {
+    label: &'static str,
+    ticks: u64,
+    elapsed_s: f64,
+    ticks_per_sec: f64,
+    allocs_per_tick: f64,
+}
+
+/// Runs every scenario through one engine path `iters` times (after one
+/// untimed warmup pass) and aggregates throughput over the timed passes.
+fn bench_path(
+    label: &'static str,
+    set: &[(&'static str, Scenario)],
+    iters: usize,
+    reference: bool,
+) -> PathResult {
+    let run_one = |s: &Scenario, tele: &Telemetry| {
+        if reference {
+            engine::run_reference_instrumented(s, tele)
+        } else {
+            engine::run_instrumented(s, tele)
+        }
+    };
+
+    // warmup (untimed): page in code and let the allocator settle
+    let tele = Telemetry::new(TelemetryConfig::on());
+    for (_, s) in set {
+        run_one(s, &tele);
+    }
+
+    let tele = Telemetry::new(TelemetryConfig::on());
+    let allocs = tele.counter("bench.allocs");
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..iters {
+        for (_, s) in set {
+            run_one(s, &tele);
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    allocs.add(ALLOCS.load(Ordering::Relaxed) - before);
+
+    let ticks = tele.counter_value("sim.ticks");
+    PathResult {
+        label,
+        ticks,
+        elapsed_s,
+        ticks_per_sec: ticks as f64 / elapsed_s,
+        allocs_per_tick: tele.counter_value("bench.allocs") as f64 / ticks as f64,
+    }
+}
+
+fn report(mode: &str, iters: usize, set: &[(&'static str, Scenario)], paths: &[PathResult], speedup: f64) -> String {
+    let mut j = JsonBuf::new();
+    j.open('{');
+    j.key("schema");
+    j.str_val("fiveg-tick/v1");
+    j.key("mode");
+    j.str_val(mode);
+    j.key("iters");
+    j.uint(iters as u64);
+    j.key("scenarios");
+    j.open('[');
+    for (label, s) in set {
+        j.open('{');
+        j.key("label");
+        j.str_val(label);
+        j.key("seed");
+        j.uint(s.seed);
+        j.key("duration_s");
+        j.num(s.max_duration_s);
+        j.key("sample_hz");
+        j.num(s.sample_hz);
+        j.close('}');
+    }
+    j.close(']');
+    j.key("paths");
+    j.open('[');
+    for p in paths {
+        j.open('{');
+        j.key("path");
+        j.str_val(p.label);
+        j.key("ticks");
+        j.uint(p.ticks);
+        j.key("elapsed_s");
+        j.num(p.elapsed_s);
+        j.key("ticks_per_sec");
+        j.num(p.ticks_per_sec);
+        j.key("allocs_per_tick");
+        j.num(p.allocs_per_tick);
+        j.close('}');
+    }
+    j.close(']');
+    j.key("speedup");
+    j.num(speedup);
+    j.close('}');
+    j.finish_line()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tick_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let set = scenarios(args.smoke);
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("tick bench '{}': {} scenario(s), {} iter(s) per path", mode, set.len(), args.iters);
+
+    // the speedup claim is only meaningful if both paths do the same work
+    for (label, s) in &set {
+        if engine::run_reference(s) != s.run() {
+            eprintln!("tick_bench: reference and snapshot traces diverge on {label}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let reference = bench_path("reference", &set, args.iters, true);
+    let snapshot = bench_path("snapshot", &set, args.iters, false);
+    let speedup = snapshot.ticks_per_sec / reference.ticks_per_sec;
+
+    for p in [&reference, &snapshot] {
+        println!(
+            "  {:<10} {:>8} ticks in {:>6.2} s  -> {:>8.0} ticks/s, {:>7.1} allocs/tick",
+            p.label, p.ticks, p.elapsed_s, p.ticks_per_sec, p.allocs_per_tick
+        );
+    }
+    println!("  speedup {speedup:.2}x (snapshot over reference)");
+
+    let json = report(mode, args.iters, &set, &[reference, snapshot], speedup);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("tick_bench: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  report -> {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -16,9 +16,11 @@ pub mod datasets;
 pub mod driver;
 pub mod features;
 pub mod fmt;
+pub mod report;
 pub mod sweep;
 
 pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
 pub use features::{gbc_dataset, lstm_sequences};
+pub use report::JsonBuf;
 pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};

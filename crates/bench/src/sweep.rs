@@ -20,6 +20,7 @@
 
 use crate::driver::{self, window_preds_to_episodes};
 use crate::features::{gbc_dataset, lstm_sequences};
+use crate::report::JsonBuf;
 use fiveg_analysis::ClassMetrics;
 use fiveg_baselines::{Gbc, GbcConfig, LstmConfig, StackedLstm};
 use fiveg_ran::{Arch, Carrier};
@@ -579,107 +580,26 @@ fn arch_label(a: Arch) -> &'static str {
     }
 }
 
-/// Minimal JSON assembly buffer: keys are emitted in call order, floats
-/// use Rust's shortest round-trip formatting, non-finite floats become
-/// `null`. Deliberately std-only so report bytes are reproducible and
-/// independent of any serializer's formatting choices.
-#[derive(Default)]
-struct JsonBuf {
-    out: String,
-    comma: Vec<bool>,
+fn write_metrics(j: &mut JsonBuf, m: &ClassMetrics) {
+    j.open('{');
+    j.key("precision");
+    j.num(m.precision);
+    j.key("recall");
+    j.num(m.recall);
+    j.key("f1");
+    j.num(m.f1);
+    j.key("accuracy");
+    j.num(m.accuracy);
+    j.close('}');
 }
 
-impl JsonBuf {
-    fn new() -> JsonBuf {
-        JsonBuf::default()
+fn write_counters(j: &mut JsonBuf, counters: &[(String, u64)]) {
+    j.open('{');
+    for (name, v) in counters {
+        j.key(name);
+        j.uint(*v);
     }
-
-    fn sep(&mut self) {
-        if self.comma.last().copied().unwrap_or(false) {
-            self.out.push(',');
-        }
-        if let Some(c) = self.comma.last_mut() {
-            *c = true;
-        }
-    }
-
-    fn open(&mut self, bracket: char) {
-        self.sep();
-        self.out.push(bracket);
-        self.comma.push(false);
-    }
-
-    fn close(&mut self, bracket: char) {
-        self.out.push(bracket);
-        self.comma.pop();
-    }
-
-    fn key(&mut self, k: &str) {
-        self.sep();
-        self.push_str_escaped(k);
-        self.out.push(':');
-        // the value that follows handles its own separator
-        if let Some(c) = self.comma.last_mut() {
-            *c = false;
-        }
-    }
-
-    fn push_str_escaped(&mut self, s: &str) {
-        self.out.push('"');
-        for ch in s.chars() {
-            match ch {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\r' => self.out.push_str("\\r"),
-                '\t' => self.out.push_str("\\t"),
-                c if (c as u32) < 0x20 => self.out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => self.out.push(c),
-            }
-        }
-        self.out.push('"');
-    }
-
-    fn str_val(&mut self, s: &str) {
-        self.sep();
-        self.push_str_escaped(s);
-    }
-
-    fn num(&mut self, v: f64) {
-        self.sep();
-        if v.is_finite() {
-            self.out.push_str(&format!("{v}"));
-        } else {
-            self.out.push_str("null");
-        }
-    }
-
-    fn uint(&mut self, v: u64) {
-        self.sep();
-        self.out.push_str(&v.to_string());
-    }
-
-    fn metrics(&mut self, m: &ClassMetrics) {
-        self.open('{');
-        self.key("precision");
-        self.num(m.precision);
-        self.key("recall");
-        self.num(m.recall);
-        self.key("f1");
-        self.num(m.f1);
-        self.key("accuracy");
-        self.num(m.accuracy);
-        self.close('}');
-    }
-
-    fn counters(&mut self, counters: &[(String, u64)]) {
-        self.open('{');
-        for (name, v) in counters {
-            self.key(name);
-            self.uint(*v);
-        }
-        self.close('}');
-    }
+    j.close('}');
 }
 
 impl SweepResult {
@@ -781,11 +701,11 @@ impl SweepResult {
             j.key("handovers");
             j.uint(r.handovers as u64);
             j.key("strict");
-            j.metrics(&r.strict);
+            write_metrics(&mut j, &r.strict);
             j.key("tolerant");
-            j.metrics(&r.tolerant);
+            write_metrics(&mut j, &r.tolerant);
             j.key("event");
-            j.metrics(&r.event);
+            write_metrics(&mut j, &r.event);
             j.key("lead_ms");
             j.open('{');
             j.key("n");
@@ -796,7 +716,7 @@ impl SweepResult {
             j.num(r.lead.median_ms);
             j.close('}');
             j.key("counters");
-            j.counters(&r.counters);
+            write_counters(&mut j, &r.counters);
             j.close('}');
         }
         j.close(']');
@@ -823,9 +743,9 @@ impl SweepResult {
         }
         j.close(']');
         j.key("sim_counters");
-        j.counters(&self.sim_counters);
+        write_counters(&mut j, &self.sim_counters);
         j.key("predictor_counters");
-        j.counters(&self.predictor_counters);
+        write_counters(&mut j, &self.predictor_counters);
         j.close('}');
 
         if include_timing {
@@ -845,8 +765,7 @@ impl SweepResult {
         }
 
         j.close('}');
-        j.out.push('\n');
-        j.out
+        j.finish_line()
     }
 }
 
@@ -898,25 +817,6 @@ mod tests {
             assert_eq!(got, want, "threads={threads}");
         }
         assert!(run_ordered(0, 4, |i| i).is_empty());
-    }
-
-    #[test]
-    fn json_buf_escapes_and_nests() {
-        let mut j = JsonBuf::new();
-        j.open('{');
-        j.key("a\"b");
-        j.str_val("x\ny");
-        j.key("n");
-        j.num(1.5);
-        j.key("bad");
-        j.num(f64::NAN);
-        j.key("arr");
-        j.open('[');
-        j.uint(1);
-        j.uint(2);
-        j.close(']');
-        j.close('}');
-        assert_eq!(j.out, "{\"a\\\"b\":\"x\\ny\",\"n\":1.5,\"bad\":null,\"arr\":[1,2]}");
     }
 
     #[test]

@@ -46,6 +46,32 @@ fn smooth(t: f64) -> f64 {
     t * t * (3.0 - 2.0 * t)
 }
 
+/// Memoized lattice corners of one [`SpatialNoise`] field.
+///
+/// The four corner gaussians of the bilinear blend depend only on which
+/// lattice cell the query point falls in, and a UE moving at vehicular speed
+/// stays inside one shadowing lattice cell (tens of meters) for many
+/// consecutive ticks. A cache holds the corners of the last lattice cell
+/// visited; [`SpatialNoise::sample_cached`] recomputes them only when the
+/// query crosses into a new cell. Values are memoized, never approximated:
+/// a cached sample is bit-identical to [`SpatialNoise::sample`].
+///
+/// A cache is only valid for the *one* field it has been fed to — reusing it
+/// across different `SpatialNoise` instances returns wrong values whenever
+/// the lattice keys collide. Keep one cache per (field, receiver) pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatticeCache {
+    key: Option<(i64, i64)>,
+    v00: f64,
+    v10: f64,
+    v01: f64,
+    v11: f64,
+    /// Separate key/value pair for [`SpatialNoise::sample_uniform_cell_cached`]
+    /// (blockage lookups use a different salt and no interpolation).
+    ukey: Option<(i64, i64)>,
+    uval: f64,
+}
+
 /// Spatially correlated Gaussian field with a given correlation length,
 /// standard deviation and zero mean.
 ///
@@ -72,18 +98,29 @@ impl SpatialNoise {
 
     /// Samples the field at `p`.
     pub fn sample(&self, p: &Point) -> f64 {
+        let mut scratch = LatticeCache::default();
+        self.sample_cached(p, &mut scratch)
+    }
+
+    /// Samples the field at `p`, memoizing the lattice-corner gaussians in
+    /// `cache`. Bit-identical to [`SpatialNoise::sample`]; the cache must be
+    /// dedicated to this field (see [`LatticeCache`]).
+    pub fn sample_cached(&self, p: &Point, cache: &mut LatticeCache) -> f64 {
         let gx = p.x / self.corr_len;
         let gy = p.y / self.corr_len;
         let x0 = gx.floor() as i64;
         let y0 = gy.floor() as i64;
+        if cache.key != Some((x0, y0)) {
+            cache.v00 = hash_gaussian(self.seed, x0, y0);
+            cache.v10 = hash_gaussian(self.seed, x0 + 1, y0);
+            cache.v01 = hash_gaussian(self.seed, x0, y0 + 1);
+            cache.v11 = hash_gaussian(self.seed, x0 + 1, y0 + 1);
+            cache.key = Some((x0, y0));
+        }
         let tx = smooth(gx - gx.floor());
         let ty = smooth(gy - gy.floor());
-        let v00 = hash_gaussian(self.seed, x0, y0);
-        let v10 = hash_gaussian(self.seed, x0 + 1, y0);
-        let v01 = hash_gaussian(self.seed, x0, y0 + 1);
-        let v11 = hash_gaussian(self.seed, x0 + 1, y0 + 1);
-        let a = v00 + (v10 - v00) * tx;
-        let b = v01 + (v11 - v01) * tx;
+        let a = cache.v00 + (cache.v10 - cache.v00) * tx;
+        let b = cache.v01 + (cache.v11 - cache.v01) * tx;
         // Bilinear blending of unit normals shrinks variance away from the
         // lattice corners (to 0.5 at the cell center); 1.2 restores sigma
         // on average over a cell.
@@ -96,6 +133,18 @@ impl SpatialNoise {
         let x0 = (p.x / self.corr_len).floor() as i64;
         let y0 = (p.y / self.corr_len).floor() as i64;
         hash_uniform(self.seed, x0, y0, 0xb10c_4a6e)
+    }
+
+    /// [`SpatialNoise::sample_uniform_cell`] with the per-lattice-cell hash
+    /// memoized in `cache`; bit-identical, same cache contract.
+    pub fn sample_uniform_cell_cached(&self, p: &Point, cache: &mut LatticeCache) -> f64 {
+        let x0 = (p.x / self.corr_len).floor() as i64;
+        let y0 = (p.y / self.corr_len).floor() as i64;
+        if cache.ukey != Some((x0, y0)) {
+            cache.uval = hash_uniform(self.seed, x0, y0, 0xb10c_4a6e);
+            cache.ukey = Some((x0, y0));
+        }
+        cache.uval
     }
 }
 
@@ -207,6 +256,23 @@ mod tests {
         assert_eq!(n.sample(&Point::new(33.0, 44.0)), 0.0);
         let t = TemporalNoise::new(9, 0.1, 0.0);
         assert_eq!(t.sample(1.23), 0.0);
+    }
+
+    #[test]
+    fn cached_samples_are_bit_identical() {
+        let n = SpatialNoise::new(21, 50.0, 8.0);
+        let mut cache = LatticeCache::default();
+        // walk far enough to cross several lattice cells, in small steps so
+        // the cache both hits and misses
+        for i in 0..2000 {
+            let p = Point::new(i as f64 * 0.3, (i as f64 * 0.11).sin() * 40.0);
+            assert_eq!(n.sample_cached(&p, &mut cache), n.sample(&p), "shadowing diverged at step {i}");
+            assert_eq!(
+                n.sample_uniform_cell_cached(&p, &mut cache),
+                n.sample_uniform_cell(&p),
+                "uniform diverged at step {i}"
+            );
+        }
     }
 
     #[test]

@@ -6,9 +6,20 @@
 //! of §4.1 come from blockage plus fast fading.
 
 use crate::band::{Band, BandClass};
-use crate::noise::{SpatialNoise, TemporalNoise};
+use crate::noise::{LatticeCache, SpatialNoise, TemporalNoise};
 use fiveg_geo::Point;
 use serde::{Deserialize, Serialize};
+
+/// Per-receiver memo for one cell's stochastic channel: the shadowing and
+/// blockage lattice caches (see [`LatticeCache`]). Pure memoization — a
+/// cached [`Propagation::received_dbm_cached`] call is bit-identical to
+/// [`Propagation::received_dbm`]. One cache belongs to one `Propagation`;
+/// index caches by cell, never share across cells.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelCache {
+    shadowing: LatticeCache,
+    blockage: LatticeCache,
+}
 
 /// Static path-loss model parameters for one link class.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -53,6 +64,11 @@ pub struct Propagation {
     blockage: SpatialNoise,
     blockage_prob: f64,
     blockage_loss_db: f64,
+    /// Precomputed `freq10 * log10(freq_mhz / 1000)` — the carrier frequency
+    /// never changes after construction, so the hot path pays one add instead
+    /// of a `log10` per sample. Same product as the inline form, so the loss
+    /// is bit-identical.
+    freq_term_db: f64,
 }
 
 impl Propagation {
@@ -85,7 +101,16 @@ impl Propagation {
             blockage: SpatialNoise::new(seed ^ 0xB10C_0001, 15.0, 1.0),
             blockage_prob: b_prob,
             blockage_loss_db: b_loss,
+            freq_term_db: model.freq10 * (band.freq_mhz / 1000.0).log10(),
         }
+    }
+
+    /// Median path loss at `dist_m` with the precomputed frequency term;
+    /// bit-identical to `model.loss_db(dist_m, band.freq_mhz)`.
+    #[inline]
+    fn path_loss_db(&self, dist_m: f64) -> f64 {
+        let d = dist_m.max(10.0);
+        self.model.offset_db + self.model.exp10 * d.log10() + self.freq_term_db
     }
 
     /// The band this channel carries.
@@ -96,11 +121,21 @@ impl Propagation {
     /// Received power (RSRP-like) in dBm at `ue` position and time `t`,
     /// for a cell located at `site`.
     pub fn received_dbm(&self, site: &Point, ue: &Point, t: f64) -> f64 {
+        let mut scratch = ChannelCache::default();
+        self.received_dbm_cached(site, ue, t, &mut scratch)
+    }
+
+    /// [`Propagation::received_dbm`] with the noise-lattice hashes memoized
+    /// in `cache` — the per-tick snapshot's fast path. Bit-identical; `cache`
+    /// must be dedicated to this cell's channel (see [`ChannelCache`]).
+    pub fn received_dbm_cached(&self, site: &Point, ue: &Point, t: f64, cache: &mut ChannelCache) -> f64 {
         let dist = site.distance(ue);
-        let mut rx = self.tx_power_dbm - self.model.loss_db(dist, self.band.freq_mhz)
-            + self.shadowing.sample(ue)
+        let mut rx = self.tx_power_dbm - self.path_loss_db(dist)
+            + self.shadowing.sample_cached(ue, &mut cache.shadowing)
             + self.fading.sample(t);
-        if self.blockage_prob > 0.0 && self.blockage.sample_uniform_cell(ue) < self.blockage_prob {
+        let blocked = self.blockage_prob > 0.0
+            && self.blockage.sample_uniform_cell_cached(ue, &mut cache.blockage) < self.blockage_prob;
+        if blocked {
             rx -= self.blockage_loss_db;
         }
         rx
@@ -108,7 +143,7 @@ impl Propagation {
 
     /// Median (no shadowing/fading/blockage) received power at distance `d`.
     pub fn median_received_dbm(&self, dist_m: f64) -> f64 {
-        self.tx_power_dbm - self.model.loss_db(dist_m, self.band.freq_mhz)
+        self.tx_power_dbm - self.path_loss_db(dist_m)
     }
 
     /// Distance at which the median received power crosses `threshold_dbm`.
@@ -186,6 +221,27 @@ mod tests {
             far += p.received_dbm(&site, &site.displaced(bearing, 2000.0), 0.0);
         }
         assert!(near / 100.0 > far / 100.0 + 10.0);
+    }
+
+    #[test]
+    fn cached_received_power_is_bit_identical() {
+        // one cache per cell, reused along a route — both band classes so the
+        // blockage branch is exercised
+        for (seed, band, tx) in [(41u64, N71, 46.0), (42, N260, 55.0)] {
+            let p = Propagation::new(seed, band, tx);
+            let site = Point::ORIGIN;
+            let mut cache = ChannelCache::default();
+            for i in 0..2000 {
+                let ue = Point::new(30.0 + i as f64 * 0.3, (i as f64 * 0.07).cos() * 25.0);
+                let t = i as f64 * 0.1;
+                assert_eq!(
+                    p.received_dbm_cached(&site, &ue, t, &mut cache),
+                    p.received_dbm(&site, &ue, t),
+                    "band {} diverged at step {i}",
+                    band.name
+                );
+            }
+        }
     }
 
     #[test]

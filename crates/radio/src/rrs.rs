@@ -61,8 +61,19 @@ pub fn combine_dbm(values: &[f64]) -> f64 {
 /// `N * RSRP / RSSI` collapsed to `RSRP - RSSI` in dB with a -3 dB offset for
 /// the serving cell's own contribution to RSSI.
 pub fn compute_rrs(serving_dbm: f64, interferers_dbm: &[f64], noise_dbm: f64) -> Rrs {
-    let s = dbm_to_mw(serving_dbm);
     let i: f64 = interferers_dbm.iter().copied().map(dbm_to_mw).sum();
+    compute_rrs_with_mw(serving_dbm, i, noise_dbm)
+}
+
+/// [`compute_rrs`] with the interference already power-summed in milliwatts.
+///
+/// Hot-path variant: a caller maintaining a per-candidate interference table
+/// can accumulate `dbm_to_mw` terms itself and skip the slice round-trip.
+/// `compute_rrs` delegates here, so the two are result-identical as long as
+/// the caller sums terms in the same order the slice would.
+pub fn compute_rrs_with_mw(serving_dbm: f64, interference_mw: f64, noise_dbm: f64) -> Rrs {
+    let s = dbm_to_mw(serving_dbm);
+    let i = interference_mw;
     let n = dbm_to_mw(noise_dbm);
     let sinr_db = 10.0 * (s / (i + n)).log10();
     let rssi_dbm = mw_to_dbm(s + i + n);

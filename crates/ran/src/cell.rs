@@ -5,7 +5,7 @@
 //! physical layer." (§2)
 
 use fiveg_geo::Point;
-use fiveg_radio::{Band, Propagation};
+use fiveg_radio::{Band, ChannelCache, Propagation, NOISE_FLOOR_DBM};
 use fiveg_rrc::Pci;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,10 @@ pub struct Cell {
     pub azimuth: Option<f64>,
     /// The stochastic channel from this cell to any UE position/time.
     pub propagation: Propagation,
+    /// Receiver noise floor over this cell's bandwidth, dBm — precomputed at
+    /// deployment-generation time (see [`Cell::noise_floor_dbm`]) so the
+    /// per-tick RRS path skips the log-bandwidth term.
+    pub noise_dbm: f64,
 }
 
 /// 3GPP-style sector-pattern half-power beamwidth, radians (65°).
@@ -68,6 +72,18 @@ impl Cell {
     /// Received power at `ue` and time `t`, in dBm.
     pub fn rx_dbm(&self, ue: &Point, t: f64) -> f64 {
         self.propagation.received_dbm(&self.site, ue, t) - self.pattern_loss_db(ue)
+    }
+
+    /// [`Cell::rx_dbm`] with the channel's noise-lattice hashes memoized in
+    /// `cache` — bit-identical; `cache` must be dedicated to this cell.
+    pub fn rx_dbm_cached(&self, ue: &Point, t: f64, cache: &mut ChannelCache) -> f64 {
+        self.propagation.received_dbm_cached(&self.site, ue, t, cache) - self.pattern_loss_db(ue)
+    }
+
+    /// UE noise floor for a channel of `band`'s bandwidth, dBm: the ~20 MHz
+    /// reference floor scaled by `10 log10(bw / 20)`.
+    pub fn noise_floor_dbm(band: Band) -> f64 {
+        NOISE_FLOOR_DBM + 10.0 * (band.bandwidth_mhz / 20.0).log10()
     }
 }
 
@@ -101,6 +117,7 @@ mod tests {
             site: Point::ORIGIN,
             azimuth: None,
             propagation: Propagation::new(1, band, 46.0),
+            noise_dbm: Cell::noise_floor_dbm(band),
         }
     }
 

@@ -60,6 +60,64 @@ impl IsdPlan {
 /// Grid cell size for the spatial index, meters.
 const GRID: f64 = 1000.0;
 
+/// Dense spatial index over cell sites: fixed-pitch square bins covering the
+/// deployment's bounding box, stored row-major. Replaces a `HashMap` keyed on
+/// grid coordinates — a radius scan touches a few hundred bins, and a direct
+/// index beats a hash probe per bin on the per-tick hot path.
+#[derive(Debug, Clone, Default)]
+struct GridIndex {
+    /// Grid coordinate of the first bin (inclusive).
+    x0: i64,
+    y0: i64,
+    /// Bin-count extents; zero for an empty deployment.
+    w: i64,
+    h: i64,
+    /// Row-major bins: ids in insertion (= `CellId`) order within each bin.
+    bins: Vec<Vec<CellId>>,
+}
+
+impl GridIndex {
+    /// Builds the index from the final cell list.
+    fn build(cells: &[Cell]) -> Self {
+        let keys: Vec<(i64, i64)> =
+            cells.iter().map(|c| ((c.site.x / GRID).floor() as i64, (c.site.y / GRID).floor() as i64)).collect();
+        let Some(&(kx0, ky0)) = keys.first() else {
+            return GridIndex::default();
+        };
+        let (mut x0, mut y0, mut x1, mut y1) = (kx0, ky0, kx0, ky0);
+        for &(kx, ky) in &keys {
+            x0 = x0.min(kx);
+            y0 = y0.min(ky);
+            x1 = x1.max(kx);
+            y1 = y1.max(ky);
+        }
+        let (w, h) = (x1 - x0 + 1, y1 - y0 + 1);
+        let mut bins = vec![Vec::new(); (w * h) as usize];
+        for (cell, &(kx, ky)) in cells.iter().zip(&keys) {
+            bins[((ky - y0) * w + (kx - x0)) as usize].push(cell.id);
+        }
+        GridIndex { x0, y0, w, h, bins }
+    }
+
+    /// The bin at grid coordinate `(kx, ky)`, empty when out of range.
+    #[inline]
+    fn bin(&self, kx: i64, ky: i64) -> &[CellId] {
+        let (gx, gy) = (kx - self.x0, ky - self.y0);
+        if gx < 0 || gx >= self.w || gy < 0 || gy >= self.h {
+            return &[];
+        }
+        &self.bins[(gy * self.w + gx) as usize]
+    }
+}
+
+/// The deployment-wide total order on `(cell, rx_dbm)` pairs: received power
+/// descending, then [`CellId`] ascending. Unlike a raw float comparison this
+/// is total — equal-rx cells can never reorder across platforms, refactors,
+/// or unstable sorts.
+pub fn rx_total_order(a: &(CellId, f64), b: &(CellId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
 /// A generated radio access network for one carrier over one route.
 #[derive(Debug, Clone)]
 pub struct Deployment {
@@ -75,8 +133,8 @@ pub struct Deployment {
     pub cells: Vec<Cell>,
     lte_ids: Vec<CellId>,
     nr_ids: Vec<CellId>,
-    /// Spatial index: grid coordinates → cell ids whose site is in that bin.
-    grid: HashMap<(i64, i64), Vec<CellId>>,
+    /// Spatial index over cell sites, built once generation is complete.
+    grid: GridIndex,
     /// gNB tower → associated eNB tower (X2 peer; same tower if co-located).
     gnb_assoc: HashMap<TowerId, TowerId>,
     /// Bearer-mode field: dual-mode where the field is below the carrier's
@@ -100,7 +158,7 @@ impl Deployment {
             cells: Vec::new(),
             lte_ids: Vec::new(),
             nr_ids: Vec::new(),
-            grid: HashMap::new(),
+            grid: GridIndex::default(),
             gnb_assoc: HashMap::new(),
             bearer_field: SpatialNoise::new(hash2(seed, 0xBEAE), 3000.0, 1.0),
             dual_fraction: profile.dual_mode_fraction,
@@ -156,6 +214,7 @@ impl Deployment {
         }
 
         if arch == Arch::Lte {
+            d.grid = GridIndex::build(&d.cells);
             return d;
         }
 
@@ -212,6 +271,7 @@ impl Deployment {
                 d.gnb_assoc.insert(tid, assoc);
             }
         }
+        d.grid = GridIndex::build(&d.cells);
         d
     }
 
@@ -290,9 +350,8 @@ impl Deployment {
                 corr_scale,
                 sigma_scale,
             ),
+            noise_dbm: Cell::noise_floor_dbm(band),
         };
-        let key = ((site.x / GRID).floor() as i64, (site.y / GRID).floor() as i64);
-        self.grid.entry(key).or_default().push(id);
         self.towers[tower.0 as usize].cells.push(id);
         if band.is_nr() {
             self.nr_ids.push(id);
@@ -325,26 +384,33 @@ impl Deployment {
 
     /// Cells whose site lies within `radius_m` of `pos`.
     pub fn cells_near(&self, pos: &Point, radius_m: f64) -> Vec<CellId> {
+        let mut out = Vec::new();
+        self.cells_near_into(pos, radius_m, &mut out);
+        out
+    }
+
+    /// [`Deployment::cells_near`] into a caller-provided buffer (cleared
+    /// first) — lets per-tick callers reuse one allocation across ticks.
+    pub fn cells_near_into(&self, pos: &Point, radius_m: f64, out: &mut Vec<CellId>) {
+        out.clear();
         let r = (radius_m / GRID).ceil() as i64;
         let cx = (pos.x / GRID).floor() as i64;
         let cy = (pos.y / GRID).floor() as i64;
-        let mut out = Vec::new();
         for dx in -r..=r {
             for dy in -r..=r {
-                if let Some(v) = self.grid.get(&(cx + dx, cy + dy)) {
-                    for &id in v {
-                        if self.cell(id).site.distance(pos) <= radius_m {
-                            out.push(id);
-                        }
+                for &id in self.grid.bin(cx + dx, cy + dy) {
+                    if self.cell(id).site.distance(pos) <= radius_m {
+                        out.push(id);
                     }
                 }
             }
         }
-        out
     }
 
     /// The strongest cells of a technology at `pos`/`t`, sorted by received
-    /// power descending. `radius_m` bounds the search (use a few km).
+    /// power descending with [`rx_total_order`] (rx desc, then `CellId` asc —
+    /// deterministic even under rx ties). `radius_m` bounds the search (use a
+    /// few km).
     pub fn strongest(&self, pos: &Point, t: f64, nr: bool, radius_m: f64) -> Vec<(CellId, f64)> {
         let mut v: Vec<(CellId, f64)> = self
             .cells_near(pos, radius_m)
@@ -352,11 +418,12 @@ impl Deployment {
             .filter(|&id| self.cell(id).is_nr() == nr)
             .map(|id| (id, self.cell(id).rx_dbm(pos, t)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_unstable_by(rx_total_order);
         v
     }
 
-    /// Strongest cells restricted to one band class.
+    /// Strongest cells restricted to one band class; same [`rx_total_order`]
+    /// ordering as [`Deployment::strongest`].
     pub fn strongest_in_class(&self, pos: &Point, t: f64, class: BandClass, radius_m: f64) -> Vec<(CellId, f64)> {
         let mut v: Vec<(CellId, f64)> = self
             .cells_near(pos, radius_m)
@@ -364,7 +431,7 @@ impl Deployment {
             .filter(|&id| self.cell(id).is_nr() && self.cell(id).band.class() == class)
             .map(|id| (id, self.cell(id).rx_dbm(pos, t)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_unstable_by(rx_total_order);
         v
     }
 
@@ -502,6 +569,54 @@ mod tests {
     }
 
     #[test]
+    fn rx_total_order_breaks_ties_by_cell_id() {
+        // equal rx values (including an exact 0.0 tie and a -0.0 vs 0.0 pair)
+        // must order by CellId ascending, never by input position
+        let mut v = vec![
+            (CellId(7), -80.0),
+            (CellId(2), -80.0),
+            (CellId(9), -75.0),
+            (CellId(5), 0.0),
+            (CellId(4), -0.0),
+            (CellId(1), -80.0),
+        ];
+        v.sort_unstable_by(rx_total_order);
+        let ids: Vec<u32> = v.iter().map(|&(CellId(i), _)| i).collect();
+        // 0.0 sorts above -0.0 under total_cmp; equal -80.0s order as 1,2,7
+        assert_eq!(ids, vec![5, 4, 9, 1, 2, 7]);
+        // reversed input produces the identical order: the comparator is total
+        let mut w = v.clone();
+        w.reverse();
+        w.sort_unstable_by(rx_total_order);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn strongest_is_stable_under_shuffled_scan_order() {
+        // strongest() must be a pure function of (pos, t): repeated calls and
+        // the in_class variant agree on ordering for the shared prefix
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        let pos = Point::new(7000.0, -30.0);
+        let a = d.strongest(&pos, 2.5, true, 6000.0);
+        let b = d.strongest(&pos, 2.5, true, 6000.0);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert_ne!(rx_total_order(&w[0], &w[1]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn cells_near_into_reuses_buffer_and_matches() {
+        let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
+        let mut buf = Vec::new();
+        for i in 0..10 {
+            let pos = Point::new(i as f64 * 1800.0, 40.0);
+            d.cells_near_into(&pos, 3000.0, &mut buf);
+            assert_eq!(buf, d.cells_near(&pos, 3000.0));
+        }
+    }
+
+    #[test]
     fn cells_near_respects_radius() {
         let d = deployment(Carrier::OpX, Environment::Freeway, Arch::Nsa);
         let pos = Point::new(10_000.0, 0.0);
@@ -586,6 +701,28 @@ mod proptests {
                 let t = d.assoc_enb_tower(nr);
                 prop_assert!(d.towers[t.0 as usize].cells.iter().any(|&c| !d.cell(c).is_nr()));
             }
+        }
+
+        #[test]
+        fn cells_near_matches_brute_force_scan(
+            seed in 0u64..500,
+            km in 2.0..15.0f64,
+            radius in 300.0..9000.0f64,
+            frac in 0.0..1.0f64,
+            lateral in -400.0..400.0f64,
+        ) {
+            // the spatial index must return exactly the set a brute-force
+            // distance scan over every cell returns — for random routes,
+            // query positions (on and off the route) and radii
+            let route = routes::freeway_leg(Point::ORIGIN, 0.07, km * 1000.0);
+            let d = Deployment::generate(&route, Carrier::OpY, Environment::Freeway, Arch::Nsa, seed);
+            let on_route = route.point_at(frac * route.length());
+            let pos = Point::new(on_route.x, on_route.y + lateral);
+            let mut fast = d.cells_near(&pos, radius);
+            fast.sort_unstable();
+            let brute: Vec<CellId> =
+                d.cells.iter().filter(|c| c.site.distance(&pos) <= radius).map(|c| c.id).collect();
+            prop_assert_eq!(fast, brute);
         }
 
         #[test]

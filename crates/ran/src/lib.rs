@@ -17,6 +17,8 @@
 //! * [`policy`] — the carrier's "black-box" HO decision logic (§7.1): rule
 //!   tables mapping measurement-report sequences to HO commands; this is
 //!   exactly what Prognos learns from the outside.
+//! * [`snapshot`] — the per-tick radio snapshot and scratch structures the
+//!   simulator's hot path reads instead of re-scanning the deployment.
 //! * [`stages`] — the T1 (preparation) / T2 (execution) duration model
 //!   (§5.2), including the co-location discount of Fig. 13.
 //! * [`state`] — the per-UE connection state machine executing HO commands
@@ -28,6 +30,7 @@ pub mod deploy;
 pub mod ho;
 pub mod measure;
 pub mod policy;
+pub mod snapshot;
 pub mod stages;
 pub mod state;
 
@@ -37,5 +40,6 @@ pub use deploy::Deployment;
 pub use ho::{Arch, HoCategory, HoType, RadioTech};
 pub use measure::{MeasEngine, Measurement};
 pub use policy::{HoDecision, HoPolicy};
+pub use snapshot::{PciTable, RadioSnapshot};
 pub use stages::{StageModel, StageSample};
 pub use state::{BearerMode, ConnectionState, HandoverRecord, HoEvent, RanStateMachine};

@@ -22,10 +22,10 @@ use crate::cell::CellId;
 use crate::deploy::Deployment;
 use crate::ho::{Arch, HoType};
 use crate::measure::TriggeredReport;
-use fiveg_rrc::{EventConfig, EventKind, MeasEvent, Pci, ReconfigAction};
+use crate::snapshot::PciTable;
+use fiveg_rrc::{EventConfig, EventKind, MeasEvent, ReconfigAction};
 use fiveg_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A handover decision made by the serving cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ pub struct PolicyContext<'a> {
     /// Serving NR cell, if any (the SCG primary / SA serving).
     pub serving_nr: Option<CellId>,
     /// PCI → cell resolution for currently measurable cells.
-    pub candidates: &'a HashMap<Pci, CellId>,
+    pub candidates: &'a PciTable,
     /// Current time (s).
     pub t: f64,
 }
@@ -209,7 +209,7 @@ impl HoPolicy {
     /// the policy makes one now.
     pub fn on_report(&mut self, report: &TriggeredReport, ctx: &PolicyContext<'_>) -> Option<HoDecision> {
         self.phase.push(report.event);
-        let target = report.neighbors.first().and_then(|n| ctx.candidates.get(&n.pci).copied());
+        let target = report.neighbors.first().and_then(|n| ctx.candidates.get(n.pci));
         match (self.arch, report.event.rat, report.event.kind) {
             // --- SA: MCG handover on NR A3.
             (Arch::Sa, fiveg_rrc::EventRat::Nr, EventKind::A3) => {
@@ -316,7 +316,7 @@ mod tests {
     use crate::measure::Measurement;
     use fiveg_geo::{routes, Point};
     use fiveg_radio::Rrs;
-    use fiveg_rrc::NeighborMeas;
+    use fiveg_rrc::{NeighborMeas, Pci};
 
     fn deployment() -> Deployment {
         let route = routes::freeway_leg(Point::ORIGIN, 0.0, 15_000.0);
@@ -341,13 +341,13 @@ mod tests {
 
     struct Ctx {
         deployment: Deployment,
-        candidates: HashMap<Pci, CellId>,
+        candidates: PciTable,
     }
 
     fn ctx_with(d: Deployment) -> Ctx {
-        let mut candidates = HashMap::new();
+        let mut candidates = PciTable::new();
         for c in &d.cells {
-            candidates.entry(c.pci).or_insert(c.id);
+            candidates.insert_first(c.pci, c.id);
         }
         Ctx { deployment: d, candidates }
     }

@@ -1,0 +1,268 @@
+//! Per-tick radio snapshot: every in-radius cell's received power computed
+//! exactly once per `(pos, t)` into a reusable scratch arena.
+//!
+//! The tick loop used to make up to four independent [`Deployment::strongest`]
+//! calls per tick (LTE leg view, NR leg view, initial attach, RLF recovery),
+//! each re-scanning the spatial grid, re-hashing the shadowing lattice and
+//! allocating fresh `Vec`s. A [`RadioSnapshot`] is refreshed once per tick and
+//! every consumer reads the same table, so the grid scan, the `rx_dbm`
+//! evaluations and the ranking sort each happen exactly once — and the buffers
+//! (including the per-cell noise-lattice caches, see
+//! [`fiveg_radio::ChannelCache`]) persist across ticks, so the steady-state
+//! tick allocates nothing here.
+//!
+//! Determinism: `rx_dbm` is a pure function of `(cell, pos, t)` and the
+//! snapshot only memoizes it, so a snapshot-backed engine is bit-identical to
+//! one that recomputes on every query. The ranking uses the total
+//! [`rx_total_order`] (rx descending, then [`CellId`] ascending), the same
+//! order [`Deployment::strongest`] produces.
+
+use crate::cell::CellId;
+use crate::deploy::{rx_total_order, Deployment};
+use fiveg_geo::Point;
+use fiveg_radio::ChannelCache;
+use fiveg_rrc::Pci;
+
+/// Reusable per-tick table of every in-radius cell's received power.
+///
+/// Usage per tick: call [`RadioSnapshot::refresh`] once with the UE position
+/// and time, then read [`RadioSnapshot::strongest`] / [`RadioSnapshot::rx_dbm`]
+/// from as many consumers as needed. All buffers are retained across calls.
+///
+/// A snapshot carries per-cell channel caches indexed by [`CellId`], so one
+/// snapshot must stay bound to one [`Deployment`] for its whole life; create a
+/// fresh snapshot per simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RadioSnapshot {
+    /// Scratch for the grid scan ([`Deployment::cells_near_into`]).
+    near: Vec<CellId>,
+    /// LTE cells in radius, sorted by [`rx_total_order`].
+    lte: Vec<(CellId, f64)>,
+    /// NR cells in radius, sorted by [`rx_total_order`].
+    nr: Vec<(CellId, f64)>,
+    /// Per-cell noise-lattice memo, indexed by `CellId`.
+    caches: Vec<ChannelCache>,
+    pos: Point,
+    t: f64,
+}
+
+impl RadioSnapshot {
+    /// An empty snapshot; the first [`RadioSnapshot::refresh`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes the snapshot for `(pos, t)`: one grid scan, then one
+    /// `rx_dbm` per in-radius cell of each wanted technology. Legs that are
+    /// not wanted (`want_lte` / `want_nr` false) are left empty so an
+    /// LTE-only or SA run never pays for the other technology's cells.
+    pub fn refresh(&mut self, d: &Deployment, pos: &Point, t: f64, radius_m: f64, want_lte: bool, want_nr: bool) {
+        self.pos = *pos;
+        self.t = t;
+        self.lte.clear();
+        self.nr.clear();
+        if self.caches.len() < d.cells.len() {
+            self.caches.resize(d.cells.len(), ChannelCache::default());
+        }
+        d.cells_near_into(pos, radius_m, &mut self.near);
+        for &id in &self.near {
+            let c = d.cell(id);
+            if c.is_nr() {
+                if want_nr {
+                    self.nr.push((id, c.rx_dbm_cached(pos, t, &mut self.caches[id.0 as usize])));
+                }
+            } else if want_lte {
+                self.lte.push((id, c.rx_dbm_cached(pos, t, &mut self.caches[id.0 as usize])));
+            }
+        }
+        self.lte.sort_unstable_by(rx_total_order);
+        self.nr.sort_unstable_by(rx_total_order);
+    }
+
+    /// The refreshed technology leg, strongest first — identical contents to
+    /// `Deployment::strongest(pos, t, nr, radius_m)` at the refresh
+    /// arguments, without the per-call scan and allocation.
+    pub fn strongest(&self, nr: bool) -> &[(CellId, f64)] {
+        if nr {
+            &self.nr
+        } else {
+            &self.lte
+        }
+    }
+
+    /// Received power of `id` at the snapshot's `(pos, t)`: a table lookup
+    /// when the cell is in radius, a direct (bit-identical) evaluation
+    /// otherwise.
+    pub fn rx_dbm(&self, d: &Deployment, id: CellId) -> f64 {
+        let leg = if d.cell(id).is_nr() { &self.nr } else { &self.lte };
+        match leg.iter().find(|&&(c, _)| c == id) {
+            Some(&(_, rx)) => rx,
+            None => d.cell(id).rx_dbm(&self.pos, self.t),
+        }
+    }
+
+    /// Position of the last [`RadioSnapshot::refresh`].
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// Time of the last [`RadioSnapshot::refresh`].
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+}
+
+/// Fixed-capacity inline PCI → cell map with first-writer-wins inserts.
+///
+/// Replaces the transient `HashMap<Pci, CellId>` the leg view rebuilt every
+/// tick: candidate sets are tiny (a dozen entries), so a linear scan over an
+/// inline array beats hashing, and the steady-state tick allocates nothing.
+/// Entries beyond the inline capacity spill to a heap `Vec` (SmallVec-style),
+/// so the table is still correct for arbitrarily large candidate sets.
+#[derive(Debug, Clone)]
+pub struct PciTable {
+    inline: [(Pci, CellId); Self::INLINE],
+    len: usize,
+    spill: Vec<(Pci, CellId)>,
+}
+
+impl Default for PciTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PciTable {
+    /// Inline capacity: leg views cap candidates at 12 + serving per leg, so
+    /// two merged legs fit inline with room to spare.
+    const INLINE: usize = 32;
+
+    /// An empty table. Allocation-free until [`PciTable::INLINE`] entries.
+    pub fn new() -> Self {
+        Self { inline: [(Pci(0), CellId(0)); Self::INLINE], len: 0, spill: Vec::new() }
+    }
+
+    /// Clears the table, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Inserts `pci → id` unless `pci` is already mapped (first writer wins,
+    /// matching the `entry().or_insert()` idiom it replaces).
+    pub fn insert_first(&mut self, pci: Pci, id: CellId) {
+        if self.get(pci).is_some() {
+            return;
+        }
+        if self.len < Self::INLINE {
+            self.inline[self.len] = (pci, id);
+            self.len += 1;
+        } else {
+            self.spill.push((pci, id));
+        }
+    }
+
+    /// Looks up the cell mapped to `pci`.
+    pub fn get(&self, pci: Pci) -> Option<CellId> {
+        let inline_hit = self.inline[..self.len].iter().find(|&&(p, _)| p == pci);
+        inline_hit.or_else(|| self.spill.iter().find(|&&(p, _)| p == pci)).map(|&(_, id)| id)
+    }
+
+    /// Number of distinct PCIs mapped.
+    pub fn len(&self) -> usize {
+        self.len + self.spill.len()
+    }
+
+    /// True when no entries are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// Iterates the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pci, CellId)> + '_ {
+        self.inline[..self.len].iter().chain(self.spill.iter()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::{Carrier, Environment};
+    use crate::ho::Arch;
+    use fiveg_geo::routes;
+
+    fn deployment(arch: Arch) -> Deployment {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 12_000.0);
+        Deployment::generate(&route, Carrier::OpX, Environment::Freeway, arch, 17)
+    }
+
+    #[test]
+    fn snapshot_matches_strongest_exactly() {
+        let d = deployment(Arch::Nsa);
+        let mut snap = RadioSnapshot::new();
+        // drive along the route so the channel caches hit and miss
+        for i in 0..300 {
+            let pos = Point::new(i as f64 * 35.0, 20.0);
+            let t = i as f64 * 0.1;
+            snap.refresh(&d, &pos, t, 8000.0, true, true);
+            for nr in [false, true] {
+                assert_eq!(snap.strongest(nr), d.strongest(&pos, t, nr, 8000.0), "step {i} nr={nr}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rx_lookup_matches_direct_eval() {
+        let d = deployment(Arch::Nsa);
+        let mut snap = RadioSnapshot::new();
+        let pos = Point::new(4000.0, -15.0);
+        snap.refresh(&d, &pos, 7.5, 8000.0, true, true);
+        for c in &d.cells {
+            assert_eq!(snap.rx_dbm(&d, c.id), c.rx_dbm(&pos, 7.5), "cell {:?}", c.id);
+        }
+    }
+
+    #[test]
+    fn unwanted_legs_stay_empty() {
+        let d = deployment(Arch::Nsa);
+        let mut snap = RadioSnapshot::new();
+        let pos = Point::new(2000.0, 0.0);
+        snap.refresh(&d, &pos, 1.0, 8000.0, false, true);
+        assert!(snap.strongest(false).is_empty());
+        assert!(!snap.strongest(true).is_empty());
+        // an out-of-table cell still evaluates (bit-identically)
+        let lte = d.lte_cells()[0];
+        assert_eq!(snap.rx_dbm(&d, lte), d.cell(lte).rx_dbm(&pos, 1.0));
+    }
+
+    #[test]
+    fn pci_table_first_writer_wins() {
+        let mut t = PciTable::new();
+        t.insert_first(Pci(5), CellId(1));
+        t.insert_first(Pci(5), CellId(2));
+        t.insert_first(Pci(9), CellId(3));
+        assert_eq!(t.get(Pci(5)), Some(CellId(1)));
+        assert_eq!(t.get(Pci(9)), Some(CellId(3)));
+        assert_eq!(t.get(Pci(7)), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(Pci(5), CellId(1)), (Pci(9), CellId(3))]);
+    }
+
+    #[test]
+    fn pci_table_spills_past_inline_capacity() {
+        let mut t = PciTable::new();
+        for i in 0..100u16 {
+            t.insert_first(Pci(i), CellId(i as u32));
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u16 {
+            assert_eq!(t.get(Pci(i)), Some(CellId(i as u32)), "pci {i}");
+        }
+        // duplicate insert into the spill region is still first-writer-wins
+        t.insert_first(Pci(99), CellId(4242));
+        assert_eq!(t.get(Pci(99)), Some(CellId(99)));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(Pci(0)), None);
+    }
+}

@@ -5,14 +5,15 @@ use crate::scenario::{Scenario, Workload};
 use crate::trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};
 use fiveg_geo::Point;
 use fiveg_link::{compose, Bearer, BulkFlow, CbrFlow, DownlinkState, PathOutcome};
-use fiveg_radio::rrs::{compute_rrs, NOISE_FLOOR_DBM};
+use fiveg_radio::rrs::{compute_rrs_with_mw, dbm_to_mw};
 use fiveg_radio::{hash2, shannon_capacity_mbps, BandClass, DetRng, Rrs};
 use fiveg_ran::policy::PolicyContext;
-use fiveg_ran::{Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, RanStateMachine};
+use fiveg_ran::{
+    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, PciTable, RadioSnapshot, RanStateMachine,
+};
 use fiveg_rrc::{Pci, RrcMessage, SignalingTally};
 use fiveg_telemetry::{Event, Phase, Telemetry};
 use fiveg_ue::{MobilityDriver, RrcConnState};
-use std::collections::HashMap;
 
 /// Fraction of the cell capacity one user gets. High: the paper measures at
 /// low-congestion times on purpose ("including night time: 12am-4am ... we
@@ -32,7 +33,9 @@ const SEARCH_RADIUS_M: f64 = 8_000.0;
 /// RSRP below which the serving link fails (radio link failure).
 const RLF_DBM: f64 = -124.0;
 
-/// Measurements of one radio leg at one tick.
+/// Measurements of one radio leg at one tick. One instance per leg lives for
+/// the whole run; [`fill_leg_view`] clears and refills it each tick so the
+/// buffers (neighbors, candidate table) are reused, not reallocated.
 struct LegView {
     /// Serving measurement (if attached on this leg).
     serving: Option<Measurement>,
@@ -41,59 +44,149 @@ struct LegView {
     /// Serving SINR for the capacity model.
     serving_sinr_db: f64,
     /// PCI → cell resolution for this tick.
-    candidates: HashMap<Pci, CellId>,
+    candidates: PciTable,
 }
 
-/// Computes RRS for every relevant cell of one leg.
+impl LegView {
+    fn new() -> Self {
+        LegView { serving: None, neighbors: Vec::new(), serving_sinr_db: -20.0, candidates: PciTable::new() }
+    }
+}
+
+/// Reused scratch for [`fill_leg_view`]: the ranked candidate list and the
+/// activity-scaled interference terms (mW) aligned with it, entry for entry.
+#[derive(Default)]
+struct LegScratch {
+    ranked: Vec<(CellId, f64)>,
+    mw_adj: Vec<f64>,
+}
+
+/// Fixed-capacity inline per-band counter — replaces the transient
+/// `HashMap<&str, usize>` the leg view used to rebuild twice per tick. A leg
+/// sees at most a handful of bands (bounded by the carrier profile), so a
+/// linear scan wins and nothing allocates.
+struct BandTally {
+    entries: [(&'static str, u8); 16],
+    len: usize,
+}
+
+impl BandTally {
+    fn new() -> Self {
+        BandTally { entries: [("", 0); 16], len: 0 }
+    }
+
+    /// True when `name` has been taken fewer than `cap` times so far,
+    /// incrementing its count — the `entry().or_insert()`-then-compare idiom
+    /// it replaces.
+    fn take_below(&mut self, name: &'static str, cap: u8) -> bool {
+        for e in self.entries[..self.len].iter_mut() {
+            if e.0 == name {
+                if e.1 < cap {
+                    e.1 += 1;
+                    return true;
+                }
+                return false;
+            }
+        }
+        assert!(self.len < self.entries.len(), "more than {} bands in one leg", self.entries.len());
+        self.entries[self.len] = (name, 1);
+        self.len += 1;
+        true
+    }
+}
+
+/// How the tick loop obtains per-(pos, t) radio strength data.
+enum RadioPath {
+    /// One shared [`RadioSnapshot`] refreshed per tick: every in-radius
+    /// cell's `rx_dbm` is computed exactly once and all consumers (leg
+    /// views, initial attach, RLF recovery) read the same table. The
+    /// default.
+    Snapshot(RadioSnapshot),
+    /// The retained naive path: every consumer performs its own
+    /// [`Deployment::strongest`] scan, as the pre-snapshot engine did. Kept
+    /// as the referee for the trace-equivalence regression test and as the
+    /// baseline side of the tick-throughput benchmark.
+    Reference,
+}
+
 /// Minimum carrier frequency for an EN-DC anchor cell, MHz. Under NSA the
 /// LTE leg only anchors on mid-band carriers ("its coupled control plane
 /// (NSA-4C) still uses the mid-band", §6.1).
 const ANCHOR_MIN_FREQ_MHZ: f64 = 1700.0;
 
-fn leg_view(d: &Deployment, pos: &Point, t: f64, nr: bool, serving: Option<CellId>, anchor_only: bool) -> LegView {
-    let mut all = d.strongest(pos, t, nr, SEARCH_RADIUS_M);
-    if anchor_only {
-        all.retain(|&(id, _)| d.cell(id).band.freq_mhz >= ANCHOR_MIN_FREQ_MHZ);
-    }
+/// Computes RRS for every relevant cell of one leg into `view`, reusing the
+/// view's and `scratch`'s buffers across ticks. `all` is the leg's cells
+/// strongest-first — the per-tick snapshot slice, or a fresh
+/// [`Deployment::strongest`] result on the reference path; both orderings are
+/// identical, so the two paths produce identical views.
+#[allow(clippy::too_many_arguments)]
+fn fill_leg_view(
+    view: &mut LegView,
+    scratch: &mut LegScratch,
+    d: &Deployment,
+    all: &[(CellId, f64)],
+    pos: &Point,
+    t: f64,
+    nr: bool,
+    serving: Option<CellId>,
+    anchor_only: bool,
+) {
+    view.serving = None;
+    view.neighbors.clear();
+    view.candidates.clear();
+    scratch.ranked.clear();
+    scratch.mw_adj.clear();
+
     // UEs measure each configured carrier frequency separately: keep the
     // top-3 cells per band so a strong band cannot crowd the others out of
     // the measured set (inter-frequency events need those entries).
-    let mut per_band: HashMap<&str, usize> = HashMap::new();
-    let mut ranked: Vec<(CellId, f64)> = Vec::with_capacity(12);
-    for (id, rx) in all {
-        let n = per_band.entry(d.cell(id).band.name).or_insert(0);
-        if *n < 3 {
-            *n += 1;
-            ranked.push((id, rx));
+    let mut per_band = BandTally::new();
+    let mut serving_rx = None;
+    for &(id, rx) in all {
+        if anchor_only && d.cell(id).band.freq_mhz < ANCHOR_MIN_FREQ_MHZ {
+            continue;
         }
-        if ranked.len() >= 12 {
+        if per_band.take_below(d.cell(id).band.name, 3) {
+            scratch.ranked.push((id, rx));
+            if Some(id) == serving {
+                serving_rx = Some(rx);
+            }
+        }
+        if scratch.ranked.len() >= 12 {
             break;
         }
     }
     // make sure the serving cell is present even if it fell out of the top-8
     if let Some(s) = serving {
-        if !ranked.iter().any(|(id, _)| *id == s) {
-            ranked.push((s, d.cell(s).rx_dbm(pos, t)));
+        if serving_rx.is_none() {
+            let rx = d.cell(s).rx_dbm(pos, t);
+            scratch.ranked.push((s, rx));
+            serving_rx = Some(rx);
         }
     }
+
+    // Co-channel interference terms: same band only, scaled by the neighbor
+    // activity factor — interfering cells do not transmit full power on the
+    // UE's resource blocks all the time (scheduling + load). Precomputed
+    // once per ranked entry instead of per (candidate × interferer) pair.
+    const ACTIVITY_DB: f64 = -5.5; // ≈ 28% duty on the interfered PRBs
+    for &(_, rx) in scratch.ranked.iter() {
+        scratch.mw_adj.push(dbm_to_mw(rx + ACTIVITY_DB));
+    }
+    let (ranked, mw_adj) = (&scratch.ranked, &scratch.mw_adj);
     let rrs_of = |id: CellId, rx: f64| -> Rrs {
         let me = d.cell(id);
-        // Co-channel interference: same band only, scaled by the neighbor
-        // activity factor — interfering cells do not transmit full power on
-        // the UE's resource blocks all the time (scheduling + load).
-        const ACTIVITY_DB: f64 = -5.5; // ≈ 28% duty on the interfered PRBs
-        let interferers: Vec<f64> = ranked
-            .iter()
-            .filter(|(other, _)| *other != id && d.cell(*other).band.name == me.band.name)
-            .map(|&(_, orx)| orx + ACTIVITY_DB)
-            .collect();
-        let noise = NOISE_FLOOR_DBM + 10.0 * (me.band.bandwidth_mhz / 20.0).log10();
-        compute_rrs(rx, &interferers, noise)
+        let mut i_mw = 0.0;
+        for (k, &(other, _)) in ranked.iter().enumerate() {
+            if other != id && d.cell(other).band.name == me.band.name {
+                i_mw += mw_adj[k];
+            }
+        }
+        compute_rrs_with_mw(rx, i_mw, me.noise_dbm)
     };
 
-    let mut candidates = HashMap::new();
-    for &(id, _) in &ranked {
-        candidates.entry(d.cell(id).pci).or_insert(id);
+    for &(id, _) in ranked.iter() {
+        view.candidates.insert_first(d.cell(id).pci, id);
     }
 
     let group_of = |id: CellId| -> Option<u32> {
@@ -105,37 +198,39 @@ fn leg_view(d: &Deployment, pos: &Point, t: f64, nr: bool, serving: Option<CellI
             None
         }
     };
-    let serving_meas = serving.map(|s| {
-        let rx = ranked.iter().find(|(id, _)| *id == s).map(|&(_, r)| r).unwrap();
-        Measurement { pci: d.cell(s).pci, rrs: rrs_of(s, rx), freq_mhz: d.cell(s).band.freq_mhz, group: group_of(s) }
-    });
-    let serving_sinr = serving_meas.map(|m| m.rrs.sinr_db).unwrap_or(-20.0);
+    // the serving entry was tracked (or appended) above, so the measurement
+    // is constructed directly — no re-find in `ranked`, nothing to unwrap
+    view.serving = match (serving, serving_rx) {
+        (Some(s), Some(rx)) => Some(Measurement {
+            pci: d.cell(s).pci,
+            rrs: rrs_of(s, rx),
+            freq_mhz: d.cell(s).band.freq_mhz,
+            group: group_of(s),
+        }),
+        _ => None,
+    };
+    view.serving_sinr_db = view.serving.map(|m| m.rrs.sinr_db).unwrap_or(-20.0);
 
     // neighbor list: up to 2 per band (cap 8) so intra-frequency candidates
     // are always measurable even when another band dominates the top of the
     // ranking
-    let mut nb_per_band: HashMap<&str, usize> = HashMap::new();
-    let mut neighbors: Vec<Measurement> = Vec::with_capacity(8);
+    let mut nb_per_band = BandTally::new();
     for &(id, rx) in ranked.iter() {
         if Some(id) == serving {
             continue;
         }
-        let n = nb_per_band.entry(d.cell(id).band.name).or_insert(0);
-        if *n < 2 {
-            *n += 1;
-            neighbors.push(Measurement {
+        if nb_per_band.take_below(d.cell(id).band.name, 2) {
+            view.neighbors.push(Measurement {
                 pci: d.cell(id).pci,
                 rrs: rrs_of(id, rx),
                 freq_mhz: d.cell(id).band.freq_mhz,
                 group: group_of(id),
             });
         }
-        if neighbors.len() >= 8 {
+        if view.neighbors.len() >= 8 {
             break;
         }
     }
-
-    LegView { serving: serving_meas, neighbors, serving_sinr_db: serving_sinr, candidates }
 }
 
 /// Runs a scenario to completion.
@@ -151,6 +246,24 @@ pub fn run(s: &Scenario) -> Trace {
 /// tick-loop stages; none of it feeds back into the simulation, so the
 /// returned `Trace` is identical either way.
 pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
+    run_with_path(s, tele, RadioPath::Snapshot(RadioSnapshot::new()))
+}
+
+/// Runs a scenario on the retained naive radio path: every consumer performs
+/// its own [`Deployment::strongest`] scan instead of reading the per-tick
+/// [`RadioSnapshot`]. Produces a byte-identical [`Trace`] to [`run`] — the
+/// trace-equivalence integration test holds the two paths to that — and
+/// serves as the baseline side of the tick-throughput benchmark.
+pub fn run_reference(s: &Scenario) -> Trace {
+    run_reference_instrumented(s, &Telemetry::new(s.telemetry))
+}
+
+/// [`run_reference`] recording into a caller-owned [`Telemetry`] handle.
+pub fn run_reference_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
+    run_with_path(s, tele, RadioPath::Reference)
+}
+
+fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace {
     let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
     let mut mob = MobilityDriver::new(s.route.clone(), s.speed);
     let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
@@ -178,12 +291,20 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     // initial attach: strongest cell of the control-plane technology
     let t0 = 0.0;
     let start = mob.position();
-    if s.arch == Arch::Sa {
-        let nr = d.strongest(&start, t0, true, SEARCH_RADIUS_M);
-        sm.attach(None, nr.first().map(|&(id, _)| id));
-    } else {
-        let lte = d.strongest(&start, t0, false, SEARCH_RADIUS_M);
-        sm.attach(lte.first().map(|&(id, _)| id), None);
+    {
+        let nr = s.arch == Arch::Sa;
+        let best = match &mut radio {
+            RadioPath::Snapshot(snap) => {
+                snap.refresh(&d, &start, t0, SEARCH_RADIUS_M, !nr, nr);
+                snap.strongest(nr).first().map(|&(id, _)| id)
+            }
+            RadioPath::Reference => d.strongest(&start, t0, nr, SEARCH_RADIUS_M).first().map(|&(id, _)| id),
+        };
+        if nr {
+            sm.attach(None, best);
+        } else {
+            sm.attach(best, None);
+        }
     }
 
     // measurement engines
@@ -214,6 +335,13 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     let dt = 1.0 / s.sample_hz;
     let mut t = 0.0;
     let mut had_scg = sm.serving_nr().is_some();
+
+    // per-leg views, scratch and the merged candidate table persist across
+    // ticks: the hot loop refills them instead of reallocating
+    let mut lte_leg = LegView::new();
+    let mut nr_leg = LegView::new();
+    let mut scratch = LegScratch::default();
+    let mut merged = PciTable::new();
 
     let mut samples = Vec::new();
     let mut reports_log = Vec::new();
@@ -299,21 +427,72 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
 
         // --- channel views
         let channel_guard = tele.phase(Phase::Channel);
-        let lte_view = if s.arch != Arch::Sa {
-            Some(leg_view(&d, &pos, t, false, sm.serving_lte(), s.arch == Arch::Nsa))
+        if let RadioPath::Snapshot(snap) = &mut radio {
+            // one refresh feeds both leg views, RLF recovery and attach —
+            // each in-radius cell's rx_dbm is evaluated exactly once per tick
+            snap.refresh(&d, &pos, t, SEARCH_RADIUS_M, s.arch != Arch::Sa, s.arch != Arch::Lte);
+        }
+        let lte_view: Option<&LegView> = if s.arch != Arch::Sa {
+            match &radio {
+                RadioPath::Snapshot(snap) => {
+                    let all = snap.strongest(false);
+                    fill_leg_view(
+                        &mut lte_leg,
+                        &mut scratch,
+                        &d,
+                        all,
+                        &pos,
+                        t,
+                        false,
+                        sm.serving_lte(),
+                        s.arch == Arch::Nsa,
+                    );
+                }
+                RadioPath::Reference => {
+                    let all = d.strongest(&pos, t, false, SEARCH_RADIUS_M);
+                    fill_leg_view(
+                        &mut lte_leg,
+                        &mut scratch,
+                        &d,
+                        &all,
+                        &pos,
+                        t,
+                        false,
+                        sm.serving_lte(),
+                        s.arch == Arch::Nsa,
+                    );
+                }
+            }
+            Some(&lte_leg)
         } else {
             None
         };
-        let nr_view =
-            if s.arch != Arch::Lte { Some(leg_view(&d, &pos, t, true, sm.serving_nr(), false)) } else { None };
+        let nr_view: Option<&LegView> = if s.arch != Arch::Lte {
+            match &radio {
+                RadioPath::Snapshot(snap) => {
+                    let all = snap.strongest(true);
+                    fill_leg_view(&mut nr_leg, &mut scratch, &d, all, &pos, t, true, sm.serving_nr(), false);
+                }
+                RadioPath::Reference => {
+                    let all = d.strongest(&pos, t, true, SEARCH_RADIUS_M);
+                    fill_leg_view(&mut nr_leg, &mut scratch, &d, &all, &pos, t, true, sm.serving_nr(), false);
+                }
+            }
+            Some(&nr_leg)
+        } else {
+            None
+        };
         drop(channel_guard);
 
         // --- radio link failure / reattach
         if let Some(lv) = &lte_view {
             let lost = lv.serving.map(|m| m.rrs.rsrp_dbm < RLF_DBM).unwrap_or(sm.serving_lte().is_none());
             if lost && !sm.busy() {
-                let best = d.strongest(&pos, t, false, SEARCH_RADIUS_M);
-                if let Some(&(id, rx)) = best.first() {
+                let best = match &radio {
+                    RadioPath::Snapshot(snap) => snap.strongest(false).first().copied(),
+                    RadioPath::Reference => d.strongest(&pos, t, false, SEARCH_RADIUS_M).first().copied(),
+                };
+                if let Some((id, rx)) = best {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_lte() {
                         if sm.serving_lte().is_some() {
                             rlf_count += 1;
@@ -335,8 +514,11 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
                 .map(|m| m.rrs.rsrp_dbm < RLF_DBM)
                 .unwrap_or(sm.serving_nr().is_none());
             if lost && !sm.busy() {
-                let best = d.strongest(&pos, t, true, SEARCH_RADIUS_M);
-                if let Some(&(id, rx)) = best.first() {
+                let best = match &radio {
+                    RadioPath::Snapshot(snap) => snap.strongest(true).first().copied(),
+                    RadioPath::Reference => d.strongest(&pos, t, true, SEARCH_RADIUS_M).first().copied(),
+                };
+                if let Some((id, rx)) = best {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_nr() {
                         if sm.serving_nr().is_some() {
                             rlf_count += 1;
@@ -356,13 +538,15 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
             // policy context map: keyed by PCI. NR entries first so NR-leg
             // reports resolve to gNB cells; the HO start below re-resolves
             // within the correct leg anyway.
-            let mut candidates: HashMap<Pci, CellId> = HashMap::new();
+            merged.clear();
             if let Some(v) = &nr_view {
-                candidates.extend(v.candidates.iter().map(|(k, v)| (*k, *v)));
+                for (p, id) in v.candidates.iter() {
+                    merged.insert_first(p, id);
+                }
             }
             if let Some(v) = &lte_view {
-                for (k, v) in &v.candidates {
-                    candidates.entry(*k).or_insert(*v);
+                for (p, id) in v.candidates.iter() {
+                    merged.insert_first(p, id);
                 }
             }
             let mut decisions = Vec::new();
@@ -372,7 +556,7 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
                     deployment: &d,
                     serving_lte: sm.serving_lte(),
                     serving_nr: sm.serving_nr(),
-                    candidates: &candidates,
+                    candidates: &merged,
                     t,
                 };
 
@@ -483,15 +667,11 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
                 let target = match &dec.action {
                     fiveg_rrc::ReconfigAction::ScgRelease => None,
                     fiveg_rrc::ReconfigAction::LteHandover { target }
-                    | fiveg_rrc::ReconfigAction::MenbHandover { target } => {
-                        lte_cand.and_then(|c| c.get(target)).copied()
-                    }
-                    fiveg_rrc::ReconfigAction::McgHandover { target } => nr_cand.and_then(|c| c.get(target)).copied(),
+                    | fiveg_rrc::ReconfigAction::MenbHandover { target } => lte_cand.and_then(|c| c.get(*target)),
+                    fiveg_rrc::ReconfigAction::McgHandover { target } => nr_cand.and_then(|c| c.get(*target)),
                     fiveg_rrc::ReconfigAction::ScgAddition { nr_target }
                     | fiveg_rrc::ReconfigAction::ScgModification { nr_target }
-                    | fiveg_rrc::ReconfigAction::ScgChange { nr_target } => {
-                        nr_cand.and_then(|c| c.get(nr_target)).copied()
-                    }
+                    | fiveg_rrc::ReconfigAction::ScgChange { nr_target } => nr_cand.and_then(|c| c.get(*nr_target)),
                 };
                 let needs_target = !matches!(dec.action, fiveg_rrc::ReconfigAction::ScgRelease);
                 if !needs_target || target.is_some() {
@@ -579,11 +759,11 @@ pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
             nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
             lte_neighbors: lte_view
                 .as_ref()
-                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs))).collect())
+                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect())
                 .unwrap_or_default(),
             nr_neighbors: nr_view
                 .as_ref()
-                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(&m.pci).map(|id| (id.0, m.rrs))).collect())
+                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect())
                 .unwrap_or_default(),
             capacity_mbps: path.capacity_mbps,
             base_rtt_ms: path.base_rtt_ms,

@@ -32,6 +32,7 @@ pub mod scenario;
 pub mod trace;
 
 pub use cache::TraceCache;
+pub use engine::{run_reference, run_reference_instrumented};
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};

@@ -8,6 +8,7 @@
 #   scripts/check.sh test       # just the tests
 #   scripts/check.sh deps       # declared-but-unused dependency audit
 #   scripts/check.sh smoke      # sweep determinism gate (1 vs 4 threads)
+#   scripts/check.sh perf       # tick_bench perf smoke (non-gating)
 #
 # Offline-safe: everything defaults to CARGO_NET_OFFLINE=true so a machine
 # without registry access still works once dependencies are cached. CI sets
@@ -87,6 +88,22 @@ run_smoke() {
     echo "  reports are byte-identical"
 }
 
+# Non-gating perf canary: the tick benchmark must complete on the smoke
+# scenario set and emit a parseable fiveg-tick/v1 report. Absolute numbers
+# are machine-dependent, so nothing here asserts a throughput floor — CI
+# runs this step with continue-on-error and uploads the report as an
+# artifact for eyeballing trends.
+run_perf() {
+    echo "== tick benchmark perf smoke (non-gating numbers)"
+    cargo build -q --release --bin tick_bench
+    target/release/tick_bench --smoke --out BENCH_tick_smoke.json
+    python3 -m json.tool BENCH_tick_smoke.json >/dev/null
+    grep -q '"schema": *"fiveg-tick/v1"' BENCH_tick_smoke.json ||
+        grep -q '"schema":"fiveg-tick/v1"' BENCH_tick_smoke.json ||
+        { echo "BENCH_tick_smoke.json missing fiveg-tick/v1 schema" >&2; return 1; }
+    echo "  report parses and carries the fiveg-tick/v1 schema"
+}
+
 case "$step" in
     all)
         run_fmt
@@ -100,8 +117,9 @@ case "$step" in
     test) run_test ;;
     deps) run_deps ;;
     smoke) run_smoke ;;
+    perf) run_perf ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|perf]" >&2
         exit 2
         ;;
 esac

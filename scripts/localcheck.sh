@@ -11,6 +11,7 @@
 #   scripts/localcheck.sh build     # just compile the workspace
 #   scripts/localcheck.sh test      # dependency-free unit tests (telemetry)
 #   scripts/localcheck.sh smoke     # sweep determinism gate (1 vs 4 threads)
+#   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference)
 #   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
 #
 # This is a best-effort gate for offline machines; real CI (see
@@ -79,6 +80,11 @@ run_build() {
     rustc --edition 2021 -O -D warnings --crate-name sweep_demo \
         crates/bench/src/bin/sweep_demo.rs -L "$OUT" "${EXTERNS[@]}" \
         -o "$OUT/sweep_demo"
+
+    echo "== tick_bench binary"
+    rustc --edition 2021 -O -D warnings --crate-name tick_bench \
+        crates/bench/src/bin/tick_bench.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/tick_bench"
 }
 
 # Unit tests runnable offline: telemetry has zero external deps; the bench
@@ -128,6 +134,17 @@ run_smoke() {
     echo "   reports are byte-identical ($(wc -c <"$OUT/smoke_t1.json") bytes)"
 }
 
+run_tick() {
+    echo "== tick benchmark smoke (snapshot vs reference engine path)"
+    [ -x "$OUT/tick_bench" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    "$OUT/tick_bench" --smoke --out "$OUT/tick_smoke.json"
+    grep -q '"schema":"fiveg-tick/v1"' "$OUT/tick_smoke.json" || {
+        echo "tick_bench report missing fiveg-tick/v1 schema" >&2
+        exit 1
+    }
+    echo "   report OK ($(wc -c <"$OUT/tick_smoke.json") bytes)"
+}
+
 run_perf() {
     echo "== demo sweep speedup (1 thread vs 4 threads)"
     [ -x "$OUT/sweep_demo" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
@@ -160,13 +177,15 @@ case "$step" in
         run_build
         run_test
         run_smoke
+        run_tick
         ;;
     build) run_build ;;
     test) run_test ;;
     smoke) run_smoke ;;
+    tick) run_tick ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|perf]" >&2
         exit 2
         ;;
 esac
