@@ -1,0 +1,197 @@
+//! Deterministic scenario fuzzer: seeded random scenarios through both
+//! engines, under the full invariant oracle, with shrinking and a replay
+//! corpus.
+//!
+//! ```text
+//! scenario_fuzz [--cases N] [--seed N] [--threads N] [--out PATH]
+//!               [--corpus DIR] [--replay CASE.toml]
+//!               [--no-roundtrip] [--no-selftest] [--no-shrink]
+//! ```
+//!
+//! Default invocation (the CI smoke gate is `--cases 200 --seed 1`):
+//!
+//! 1. **Self-test** — every [`fiveg_oracle::MutationKind`] is injected into
+//!    the hook stream of a known-good run; the oracle must catch each within
+//!    five ticks, or the fuzzer's verdicts cannot be trusted (`--no-selftest`
+//!    skips).
+//! 2. **Corpus replay** — every `*.toml` under `--corpus` (default
+//!    `tests/corpus`) re-runs; once-shrunk failures gate forever.
+//! 3. **Campaign** — `--cases` cases generated from `--seed`, fanned over
+//!    `--threads` workers; verdicts are independent of thread count and the
+//!    `fiveg-fuzz/v1` report at `--out` is byte-identical across
+//!    `--threads` values.
+//!
+//! On a campaign failure the first few failing cases are shrunk to minimal
+//! still-failing repros and written into the corpus directory
+//! (`--no-shrink` skips), so the finding is one `--replay` away for anyone.
+//!
+//! `--no-roundtrip` drops the serde round-trip/byte-identity checks; it
+//! exists for the offline stub harness (scripts/localcheck.sh), where
+//! `serde_json` is a compile-only stand-in.
+
+use fiveg_bench::fuzz::{campaign_report, replay_corpus, run_campaign, run_outcome, shrink_and_save, FuzzOutcome};
+use fiveg_oracle::{mutation_self_test, FuzzCase, MutationKind, RunOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Shrink at most this many campaign failures; the rest are reported only.
+const MAX_SHRINKS: usize = 3;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    threads: usize,
+    out: String,
+    corpus: PathBuf,
+    replay: Option<PathBuf>,
+    roundtrip: bool,
+    selftest: bool,
+    shrink: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 200,
+        seed: 1,
+        threads: 1,
+        out: "BENCH_fuzz.json".into(),
+        corpus: PathBuf::from("tests/corpus"),
+        replay: None,
+        roundtrip: true,
+        selftest: true,
+        shrink: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--cases" => args.cases = val("--cases")?.parse().map_err(|e| format!("bad --cases: {e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?,
+            "--out" => args.out = val("--out")?,
+            "--corpus" => args.corpus = PathBuf::from(val("--corpus")?),
+            "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
+            "--no-roundtrip" => args.roundtrip = false,
+            "--no-selftest" => args.selftest = false,
+            "--no-shrink" => args.shrink = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: scenario_fuzz [--cases N] [--seed N] [--threads N] [--out PATH]\n\
+                     \x20                    [--corpus DIR] [--replay CASE.toml]\n\
+                     \x20                    [--no-roundtrip] [--no-selftest] [--no-shrink]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Prints a failed outcome's evidence and returns how many findings it had.
+fn print_failure(o: &FuzzOutcome) -> u64 {
+    eprintln!("FAIL {} ({})", o.label, o.case.label());
+    if let Some(d) = &o.result.divergence {
+        eprintln!("  engine divergence: {d}");
+    }
+    for v in &o.result.violations {
+        eprintln!("  {v}");
+    }
+    let hidden = o.result.total_violations.saturating_sub(o.result.violations.len() as u64);
+    if hidden > 0 {
+        eprintln!("  … {hidden} more violations");
+    }
+    o.result.total_violations + u64::from(o.result.divergence.is_some())
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let opts = RunOpts { check_roundtrip: args.roundtrip };
+
+    // single-case replay: the one-command repro path
+    if let Some(path) = &args.replay {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let case = FuzzCase::parse_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let label = path.file_stem().and_then(|s| s.to_str()).unwrap_or("replay").to_string();
+        println!("replaying {} ({})", path.display(), case.label());
+        let o = run_outcome(label, case, &opts);
+        if o.passed() {
+            println!(
+                "PASS: {} ticks, {} handovers, {} failures",
+                o.result.ticks, o.result.handovers, o.result.ho_failures
+            );
+            return Ok(true);
+        }
+        print_failure(&o);
+        return Ok(false);
+    }
+
+    let mut ok = true;
+
+    if args.selftest {
+        println!("== oracle mutation self-test ({} mutations)", MutationKind::ALL.len());
+        for kind in MutationKind::ALL {
+            let r = mutation_self_test(kind, args.seed);
+            if r.caught_within(0.5) {
+                println!("   {:<18} caught ({} violations)", kind.name(), r.violations);
+            } else {
+                eprintln!(
+                    "   {:<18} NOT caught (injected {:?}, detected {:?}) — oracle verdicts untrustworthy",
+                    kind.name(),
+                    r.injected_at,
+                    r.detected_at
+                );
+                ok = false;
+            }
+        }
+    }
+
+    let corpus = replay_corpus(&args.corpus, &opts)?;
+    println!("== corpus replay ({} cases from {})", corpus.len(), args.corpus.display());
+    for o in &corpus {
+        if o.passed() {
+            println!("   {:<24} pass ({} ticks)", o.label, o.result.ticks);
+        } else {
+            print_failure(o);
+            ok = false;
+        }
+    }
+
+    println!("== campaign: {} cases, fuzz seed {}, {} thread(s)", args.cases, args.seed, args.threads);
+    let outcomes = run_campaign(args.seed, args.cases, args.threads, &opts);
+    let failures: Vec<&FuzzOutcome> = outcomes.iter().filter(|o| !o.passed()).collect();
+    let findings: u64 = failures.iter().map(|o| print_failure(o)).sum();
+    for o in failures.iter().take(MAX_SHRINKS) {
+        if args.shrink {
+            let path = shrink_and_save(o, &opts, &args.corpus)?;
+            eprintln!("  minimal repro written: scenario_fuzz --replay {}", path.display());
+        }
+    }
+    if failures.len() > MAX_SHRINKS && args.shrink {
+        eprintln!("  ({} further failures not shrunk)", failures.len() - MAX_SHRINKS);
+    }
+    ok &= failures.is_empty();
+
+    let report = campaign_report(args.seed, args.roundtrip, &outcomes);
+    std::fs::write(&args.out, &report).map_err(|e| format!("{}: {e}", args.out))?;
+    let ticks: usize = outcomes.iter().map(|o| o.result.ticks).sum();
+    let hos: usize = outcomes.iter().map(|o| o.result.handovers).sum();
+    println!(
+        "== {} cases, {ticks} ticks, {hos} handovers, {} failing ({findings} findings) -> {}",
+        outcomes.len(),
+        failures.len(),
+        args.out
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("scenario_fuzz: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

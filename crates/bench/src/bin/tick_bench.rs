@@ -123,12 +123,7 @@ struct PathResult {
 
 /// Runs every scenario through one engine path `iters` times (after one
 /// untimed warmup pass) and aggregates throughput over the timed passes.
-fn bench_path(
-    label: &'static str,
-    set: &[(&'static str, Scenario)],
-    iters: usize,
-    reference: bool,
-) -> PathResult {
+fn bench_path(label: &'static str, set: &[(&'static str, Scenario)], iters: usize, reference: bool) -> PathResult {
     let run_one = |s: &Scenario, tele: &Telemetry| {
         if reference {
             engine::run_reference_instrumented(s, tele)

@@ -10,17 +10,22 @@
 //!   and ground-truth labels;
 //! * [`features`] — feature extraction for the GBC and LSTM baselines;
 //! * [`sweep`] — the deterministic parallel sweep harness (scenario matrix
-//!   → ordered job list → worker pool → `BENCH_sweep.json`).
+//!   → ordered job list → worker pool → `BENCH_sweep.json`);
+//! * [`fuzz`] — the scenario-fuzz campaign driver behind `scenario_fuzz`
+//!   (seeded case fan-out → oracle verdicts → corpus replay →
+//!   `BENCH_fuzz.json`).
 
 pub mod datasets;
 pub mod driver;
 pub mod features;
 pub mod fmt;
+pub mod fuzz;
 pub mod report;
 pub mod sweep;
 
 pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
 pub use features::{gbc_dataset, lstm_sequences};
+pub use fuzz::{campaign_report, replay_corpus, run_campaign, FuzzOutcome, FUZZ_SCHEMA};
 pub use report::JsonBuf;
 pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};

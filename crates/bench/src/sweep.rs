@@ -819,6 +819,34 @@ mod tests {
         assert!(run_ordered(0, 4, |i| i).is_empty());
     }
 
+    // Journal ordering must survive the ordered merge: each job records its
+    // own event journal, and concatenating the per-job journals in index
+    // order yields the same bytes on any worker count — with every entry's
+    // sequence number strictly increasing within its job.
+    #[test]
+    fn job_journals_survive_the_ordered_merge() {
+        let journals = |threads: usize| -> String {
+            run_ordered(4, threads, |i| {
+                let tele = Telemetry::new(TelemetryConfig::deterministic());
+                let s = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, 100 + i as u64)
+                    .duration_s(60.0)
+                    .sample_hz(5.0)
+                    .build();
+                s.run_instrumented(&tele);
+                let entries = tele.events();
+                assert!(!entries.is_empty(), "job {i} journaled nothing");
+                for w in entries.windows(2) {
+                    assert!(w[0].seq < w[1].seq, "job {i}: seq {} !< {}", w[0].seq, w[1].seq);
+                }
+                tele.journal_jsonl()
+            })
+            .concat()
+        };
+        let serial = journals(1);
+        assert_eq!(serial, journals(4), "merged journals must not depend on thread count");
+        assert_eq!(serial, journals(3), "merged journals must not depend on thread count");
+    }
+
     #[test]
     fn smoke_sweep_is_thread_count_invariant() {
         let spec = SweepSpec { duration_s: 40.0, sample_hz: 5.0, ..SweepSpec::smoke() };

@@ -1,0 +1,41 @@
+//! Cross-layer invariant checker and deterministic scenario fuzzer.
+//!
+//! The simulator deliberately keeps two engines — the snapshot fast path and
+//! the retained `run_reference` — whose byte-equivalence underwrites every
+//! result built on top of them. This crate turns that dual-engine design
+//! into a standing correctness tool with two halves:
+//!
+//! * [`shadow::Oracle`] — a [`fiveg_sim::SimHook`] that replays every
+//!   engine transition against an independent shadow state machine *while
+//!   the run executes*: legal RRC/HO phase ordering (prepare → execute →
+//!   complete | failure, no orphaned preparations), at most one serving
+//!   cell per leg with NSA/SA leg-consistency, physical RRS bounds and
+//!   noise-floor sanity, monotonic time, rollback identity on injected HO
+//!   failures.
+//! * [`check`] — post-run consistency checks over the finished
+//!   [`fiveg_sim::Trace`], the telemetry counter algebra
+//!   ([`fiveg_telemetry::CounterSnapshot`]), the event journal, and the
+//!   serde round-trip identity of the trace.
+//!
+//! [`fuzz`] drives both across a seeded random scenario space (route ×
+//! carrier × arch × faults), runs each case through *both* engines
+//! differentially, shrinks failures to minimal repro cases, and speaks the
+//! corpus TOML format that `tests/corpus/` replays in CI. [`mutate`] is the
+//! oracle's own regression harness: it corrupts the hook stream in known
+//! ways and asserts the oracle notices — a vacuous checker fails loudly.
+//!
+//! Every [`Violation`] carries the tick, sim-time, scenario seed and the
+//! offending transition, so any failure is a one-command repro:
+//! `scenario_fuzz --replay <case.toml>`.
+
+pub mod check;
+pub mod fuzz;
+pub mod mutate;
+pub mod shadow;
+pub mod violation;
+
+pub use check::{check_trace, CheckOpts};
+pub use fuzz::{run_case, shrink, shrink_with, CaseResult, FuzzCase, FuzzRoute, RunOpts, CASE_SCHEMA};
+pub use mutate::{mutation_self_test, MutatingHook, MutationKind, MutationReport};
+pub use shadow::Oracle;
+pub use violation::Violation;

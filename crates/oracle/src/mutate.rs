@@ -1,0 +1,241 @@
+//! Mutation self-test: proves the oracle actually *catches* bugs.
+//!
+//! A checker that never fires is indistinguishable from a correct system.
+//! [`MutatingHook`] sits between the engine and an [`Oracle`] and corrupts
+//! the forwarded hook stream in one known way ([`MutationKind`]) — exactly
+//! the corruption a real state-machine bug would produce. The simulation
+//! itself is untouched; only the oracle's view of it lies. The self-test
+//! then asserts the oracle flags the lie within a bounded number of ticks.
+//!
+//! Run it standalone via [`mutation_self_test`] or as part of the
+//! `scenario_fuzz` binary (it runs once per invocation unless
+//! `--no-selftest`).
+
+use crate::shadow::Oracle;
+use fiveg_ran::{Arch, Carrier, HandoverRecord, HoPhase};
+use fiveg_rrc::ReconfigAction;
+use fiveg_sim::{engine, AttachReason, ScenarioBuilder, ServingCells, SimHook, Telemetry, TickView};
+
+/// One way of corrupting the hook stream, mimicking a class of real bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Swallow a committed HO: the state machine "forgot" to apply/report a
+    /// completed procedure.
+    DropHoComplete,
+    /// Swallow a HO command: execution starts without the preparation→
+    /// execution edge ever being signalled.
+    DropHoCommand,
+    /// Report the serving cells with the LTE and NR legs exchanged — a
+    /// leg-bookkeeping bug.
+    SwapServingLegs,
+    /// Report a tick 5 s in the past — a broken sim clock.
+    RewindClock,
+    /// Inject a reattach to the cell already being served — a spurious RLF.
+    PhantomReattach,
+}
+
+impl MutationKind {
+    /// Every mutation, for exhaustive self-tests.
+    pub const ALL: [MutationKind; 5] = [
+        MutationKind::DropHoComplete,
+        MutationKind::DropHoCommand,
+        MutationKind::SwapServingLegs,
+        MutationKind::RewindClock,
+        MutationKind::PhantomReattach,
+    ];
+
+    /// Stable snake_case name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::DropHoComplete => "drop_ho_complete",
+            MutationKind::DropHoCommand => "drop_ho_command",
+            MutationKind::SwapServingLegs => "swap_serving_legs",
+            MutationKind::RewindClock => "rewind_clock",
+            MutationKind::PhantomReattach => "phantom_reattach",
+        }
+    }
+}
+
+/// Forwards the hook stream to an [`Oracle`], applying one [`MutationKind`]
+/// once, at the first eligible event with `t >= inject_after`.
+pub struct MutatingHook<'a> {
+    oracle: &'a mut Oracle,
+    kind: MutationKind,
+    inject_after: f64,
+    injected_at: Option<f64>,
+    detected_at: Option<f64>,
+}
+
+impl<'a> MutatingHook<'a> {
+    /// Wraps `oracle`; the mutation arms once sim-time reaches
+    /// `inject_after` seconds.
+    pub fn new(oracle: &'a mut Oracle, kind: MutationKind, inject_after: f64) -> MutatingHook<'a> {
+        MutatingHook { oracle, kind, inject_after, injected_at: None, detected_at: None }
+    }
+
+    /// Sim-time at which the corruption was actually applied, if it fired.
+    pub fn injected_at(&self) -> Option<f64> {
+        self.injected_at
+    }
+
+    /// Sim-time of the first oracle violation after injection, if any.
+    pub fn detected_at(&self) -> Option<f64> {
+        self.detected_at
+    }
+
+    fn armed(&self, t: f64) -> bool {
+        self.injected_at.is_none() && t >= self.inject_after
+    }
+
+    /// Records detection against the *real* clock `t` (never the mutated
+    /// one, which RewindClock sends into the past).
+    fn observe(&mut self, t: f64) {
+        if self.injected_at.is_some() && self.detected_at.is_none() && self.oracle.total_violations() > 0 {
+            self.detected_at = Some(t);
+        }
+    }
+}
+
+impl SimHook for MutatingHook<'_> {
+    fn on_attach(&mut self, t: f64, reason: AttachReason, serving: ServingCells) {
+        self.oracle.on_attach(t, reason, serving);
+        self.observe(t);
+    }
+
+    fn on_decision(&mut self, t: f64, action: &ReconfigAction) {
+        self.oracle.on_decision(t, action);
+        self.observe(t);
+    }
+
+    fn on_ho_command(&mut self, t: f64) {
+        if self.kind == MutationKind::DropHoCommand && self.armed(t) {
+            self.injected_at = Some(t);
+            return;
+        }
+        self.oracle.on_ho_command(t);
+        self.observe(t);
+    }
+
+    fn on_ho_complete(&mut self, t: f64, rec: &HandoverRecord, serving: ServingCells) {
+        if self.kind == MutationKind::DropHoComplete && self.armed(t) {
+            self.injected_at = Some(t);
+            return;
+        }
+        self.oracle.on_ho_complete(t, rec, serving);
+        self.observe(t);
+    }
+
+    fn on_ho_failure(&mut self, t: f64, rec: &HandoverRecord, serving: ServingCells) {
+        self.oracle.on_ho_failure(t, rec, serving);
+        self.observe(t);
+    }
+
+    fn on_tick(&mut self, view: &TickView) {
+        let mut view = *view;
+        match self.kind {
+            MutationKind::SwapServingLegs if self.armed(view.t) && view.serving.lte != view.serving.nr => {
+                self.injected_at = Some(view.t);
+                view.serving = ServingCells { lte: view.serving.nr, nr: view.serving.lte };
+            }
+            MutationKind::RewindClock if self.armed(view.t) => {
+                self.injected_at = Some(view.t);
+                view.t -= 5.0;
+            }
+            MutationKind::PhantomReattach if self.armed(view.t) && view.serving.lte.is_some() => {
+                self.injected_at = Some(view.t);
+                // a reattach to the very cell being served: real RLF recovery
+                // must pick a different cell
+                self.oracle.on_attach(
+                    view.t,
+                    AttachReason::Reattach { leg: fiveg_ran::RadioTech::Lte, rlf: true },
+                    view.serving,
+                );
+            }
+            _ => {}
+        }
+        let real_t = view.t.max(self.injected_at.unwrap_or(view.t));
+        self.oracle.on_tick(&view);
+        self.observe(real_t);
+    }
+
+    fn on_run_end(&mut self, t: f64, serving: ServingCells, phase: HoPhase, queued: usize) {
+        self.oracle.on_run_end(t, serving, phase, queued);
+        self.observe(t);
+    }
+}
+
+/// Outcome of one [`mutation_self_test`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationReport {
+    /// Which corruption was applied.
+    pub kind: MutationKind,
+    /// When the corruption fired (None = the run offered no eligible event,
+    /// which is itself a test failure).
+    pub injected_at: Option<f64>,
+    /// When the oracle first flagged anything after the injection.
+    pub detected_at: Option<f64>,
+    /// Total violations the oracle reported.
+    pub violations: u64,
+}
+
+impl MutationReport {
+    /// True when the corruption fired and the oracle caught it within
+    /// `max_latency_s` of sim-time.
+    pub fn caught_within(&self, max_latency_s: f64) -> bool {
+        match (self.injected_at, self.detected_at) {
+            (Some(i), Some(d)) => d - i <= max_latency_s && self.violations > 0,
+            _ => false,
+        }
+    }
+}
+
+/// Runs one mutated NSA freeway scenario and reports whether the oracle
+/// caught the corruption. Deterministic in `seed`.
+pub fn mutation_self_test(kind: MutationKind, seed: u64) -> MutationReport {
+    let s = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, seed).duration_s(180.0).sample_hz(10.0).build();
+    let mut oracle = Oracle::new(Arch::Nsa, seed);
+    let mut hook = MutatingHook::new(&mut oracle, kind, 30.0);
+    engine::run_hooked(&s, &Telemetry::disabled(), &mut hook);
+    let (injected_at, detected_at) = (hook.injected_at(), hook.detected_at());
+    MutationReport { kind, injected_at, detected_at, violations: oracle.total_violations() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Detection bound: five ticks of the 10 Hz self-test scenario.
+    const MAX_LATENCY_S: f64 = 0.5;
+
+    #[test]
+    fn every_mutation_is_caught_within_five_ticks() {
+        for kind in MutationKind::ALL {
+            let r = mutation_self_test(kind, 1);
+            assert!(r.injected_at.is_some(), "{}: mutation never fired", kind.name());
+            assert!(
+                r.caught_within(MAX_LATENCY_S),
+                "{}: injected at {:?}, detected at {:?} ({} violations)",
+                kind.name(),
+                r.injected_at,
+                r.detected_at,
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn unmutated_control_run_is_clean() {
+        // same scenario, no corruption: the oracle must stay silent, or the
+        // detection results above mean nothing
+        let s = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 1).duration_s(180.0).sample_hz(10.0).build();
+        let mut oracle = Oracle::new(Arch::Nsa, 1);
+        engine::run_hooked(&s, &Telemetry::disabled(), &mut oracle);
+        assert!(oracle.is_clean(), "{:?}", oracle.violations());
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: std::collections::BTreeSet<_> = MutationKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), MutationKind::ALL.len());
+    }
+}

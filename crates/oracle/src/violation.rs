@@ -1,0 +1,46 @@
+//! The unit of oracle output: one invariant breach with enough context to
+//! reproduce it.
+
+/// One invariant violation. Ordered by occurrence; the oracle keeps the
+/// first [`crate::shadow::Oracle::MAX_KEPT`] and counts the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable snake_case name of the broken invariant (e.g.
+    /// `"phase_ordering"`, `"leg_consistency"`, `"counter_algebra"`).
+    pub invariant: &'static str,
+    /// Tick ordinal at which the breach was observed (0 for pre-/post-run
+    /// checks that have no tick context).
+    pub tick: u64,
+    /// Sim-time of the breach, s.
+    pub t: f64,
+    /// Scenario seed, so the message alone identifies the run.
+    pub seed: u64,
+    /// What exactly went wrong, with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] seed={} tick={} t={:.3}s: {}", self.invariant, self.seed, self.tick, self.t, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_repro_context() {
+        let v = Violation {
+            invariant: "phase_ordering",
+            tick: 42,
+            t: 4.2,
+            seed: 7,
+            detail: "HO command without preparation".into(),
+        };
+        let s = v.to_string();
+        for needle in ["phase_ordering", "seed=7", "tick=42", "t=4.200s", "command without preparation"] {
+            assert!(s.contains(needle), "{s}");
+        }
+    }
+}

@@ -42,4 +42,4 @@ pub use measure::{MeasEngine, Measurement};
 pub use policy::{HoDecision, HoPolicy};
 pub use snapshot::{PciTable, RadioSnapshot};
 pub use stages::{StageModel, StageSample};
-pub use state::{BearerMode, ConnectionState, HandoverRecord, HoEvent, RanStateMachine};
+pub use state::{BearerMode, ConnectionState, HandoverRecord, HoEvent, HoPhase, RanStateMachine};

@@ -88,6 +88,19 @@ pub enum HoEvent {
     Completed(HandoverRecord, Vec<RrcMessage>),
 }
 
+/// Coarse phase of the in-flight HO procedure, exposed so external
+/// invariant checkers (fiveg-oracle) can witness the prepare → execute →
+/// complete ordering without reaching into the private [`Phase`] payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoPhase {
+    /// No HO in flight.
+    Idle,
+    /// Network-side preparation (T1 running; no command sent yet).
+    Preparing,
+    /// UE-side execution (command sent; completion pending).
+    Executing,
+}
+
 /// Snapshot of what is connected right now, for the link layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ConnectionState {
@@ -145,6 +158,12 @@ pub struct RanStateMachine {
     /// Follow-up actions queued behind the in-flight one (e.g. the LTEH
     /// behind a forced SCGR).
     queue: VecDeque<(ReconfigAction, Option<CellId>, Vec<MeasEvent>)>,
+    /// Completion time of the HO whose queued follow-up is ready to begin.
+    /// The chain begins on the *next* [`RanStateMachine::step`] call (at
+    /// this decision time) rather than inside the completing step, so the
+    /// caller gets a chance to fail the finished HO and
+    /// [`RanStateMachine::abort_chain`] the rest of the compound procedure.
+    chain_at: Option<f64>,
     stage_model: StageModel,
     seq: u64,
     telemetry: Telemetry,
@@ -159,6 +178,7 @@ impl RanStateMachine {
             nr: None,
             phase: Phase::Idle,
             queue: VecDeque::new(),
+            chain_at: None,
             stage_model: StageModel::new(seed),
             seq: 0,
             telemetry: Telemetry::disabled(),
@@ -203,6 +223,32 @@ impl RanStateMachine {
     /// deferred by the network until the current one finishes).
     pub fn busy(&self) -> bool {
         !matches!(self.phase, Phase::Idle) || !self.queue.is_empty()
+    }
+
+    /// Coarse phase of the in-flight HO (the state-transition witness for
+    /// external invariant checkers).
+    pub fn ho_phase(&self) -> HoPhase {
+        match self.phase {
+            Phase::Idle => HoPhase::Idle,
+            Phase::Preparing { .. } => HoPhase::Preparing,
+            Phase::Executing { .. } => HoPhase::Executing,
+        }
+    }
+
+    /// Number of follow-up actions queued behind the in-flight HO.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Abandons any queued follow-up actions and the pending chain marker.
+    /// The engine's fault-injection path calls this when a completed HO is
+    /// converted into a failure: the rest of the compound procedure (e.g.
+    /// the LTEH behind a forced SCGR) must not run against the rolled-back
+    /// serving cells. Queued actions were never begun, so no preparation is
+    /// orphaned and `ho_count` stays consistent.
+    pub fn abort_chain(&mut self) {
+        self.queue.clear();
+        self.chain_at = None;
     }
 
     /// Connection snapshot for the link layer.
@@ -292,6 +338,13 @@ impl RanStateMachine {
     /// Advances to time `t`, returning any signaling/completion events.
     pub fn step(&mut self, t: f64, deployment: &Deployment) -> Vec<HoEvent> {
         let mut out = Vec::new();
+        // a follow-up whose predecessor completed (and was not failed by the
+        // caller) begins now, back-dated to the predecessor's completion time
+        if let Some(at) = self.chain_at.take() {
+            if let Some((action, target, phase)) = self.queue.pop_front() {
+                self.begin(action, target, phase, deployment, at);
+            }
+        }
         loop {
             match std::mem::replace(&mut self.phase, Phase::Idle) {
                 Phase::Idle => break,
@@ -332,11 +385,12 @@ impl RanStateMachine {
                         RrcMessage::RrcReconfigurationComplete,
                     ];
                     out.push(HoEvent::Completed(rec, signaling));
-                    // chain any queued follow-up (the LTEH behind a forced SCGR)
-                    if let Some((action, target, phase)) = self.queue.pop_front() {
-                        self.begin(action, target, phase, deployment, until);
-                        // loop again: the new HO may also be due at `t`
-                        continue;
+                    // a queued follow-up (the LTEH behind a forced SCGR)
+                    // begins on the next step call, back-dated to `until` —
+                    // deferred so the caller can fail this completion and
+                    // abort_chain() before the follow-up ever starts
+                    if !self.queue.is_empty() {
+                        self.chain_at = Some(until);
                     }
                 }
             }
@@ -514,6 +568,58 @@ mod tests {
         let count = sm.ho_count();
         sm.start(ReconfigAction::ScgRelease, None, vec![], &d, 0.0);
         assert_eq!(sm.ho_count(), count, "second start must be ignored while busy");
+    }
+
+    #[test]
+    fn ho_phase_witnesses_prepare_execute_idle() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 11);
+        sm.attach(Some(d.lte_cells()[0]), None);
+        assert_eq!(sm.ho_phase(), HoPhase::Idle);
+        let nr = d.nr_cells()[0];
+        sm.start(ReconfigAction::ScgAddition { nr_target: d.cell(nr).pci }, Some(nr), vec![], &d, 0.0);
+        assert_eq!(sm.ho_phase(), HoPhase::Preparing);
+        let mut t = 0.0;
+        let mut saw_executing = false;
+        for _ in 0..10_000 {
+            t += 0.01;
+            let evs = sm.step(t, &d);
+            if evs.iter().any(|e| matches!(e, HoEvent::CommandSent(_))) {
+                assert_eq!(sm.ho_phase(), HoPhase::Executing);
+            }
+            if sm.ho_phase() == HoPhase::Executing {
+                saw_executing = true;
+            }
+            if evs.iter().any(|e| matches!(e, HoEvent::Completed(..))) {
+                assert_eq!(sm.ho_phase(), HoPhase::Idle);
+                break;
+            }
+        }
+        assert!(saw_executing, "the execution phase must be observable");
+    }
+
+    #[test]
+    fn abort_chain_cancels_queued_follow_up() {
+        let d = deployment();
+        let mut sm = RanStateMachine::new(Arch::Nsa, 12);
+        let lte1 = d.lte_cells()[1];
+        sm.attach(Some(d.lte_cells()[0]), Some(d.nr_cells()[0]));
+        let started = sm.ho_count();
+        sm.start(ReconfigAction::LteHandover { target: d.cell(lte1).pci }, Some(lte1), vec![], &d, 0.0);
+        assert_eq!(sm.queued(), 1, "the LTEH must be queued behind the forced SCGR");
+        // complete the SCGR; the LTEH chain has not begun yet (deferred)
+        let (rec, t1) = run_until_complete(&mut sm, &d, 0.0);
+        assert_eq!(rec.ho_type, HoType::Scgr);
+        assert_eq!(sm.ho_phase(), HoPhase::Idle);
+        assert_eq!(sm.queued(), 1);
+        // the caller fails the SCGR: the compound procedure is abandoned
+        sm.attach(Some(d.lte_cells()[0]), Some(d.nr_cells()[0]));
+        sm.abort_chain();
+        assert!(!sm.busy(), "aborted chain must leave the machine idle");
+        assert_eq!(sm.ho_count(), started + 1, "the queued LTEH was never begun");
+        let evs = sm.step(t1 + 1.0, &d);
+        assert!(evs.is_empty(), "no orphaned follow-up may fire after abort_chain");
+        assert_eq!(sm.serving_nr(), Some(d.nr_cells()[0]), "rolled-back SCG stays attached");
     }
 
     #[test]

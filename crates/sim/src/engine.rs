@@ -1,6 +1,7 @@
 //! The tick loop: mobility → channel → measurements → policy → HO state
 //! machine → link → trace.
 
+use crate::hook::{AttachReason, ServingCells, SimHook, TickView};
 use crate::scenario::{Scenario, Workload};
 use crate::trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};
 use fiveg_geo::Point;
@@ -9,7 +10,8 @@ use fiveg_radio::rrs::{compute_rrs_with_mw, dbm_to_mw};
 use fiveg_radio::{hash2, shannon_capacity_mbps, BandClass, DetRng, Rrs};
 use fiveg_ran::policy::PolicyContext;
 use fiveg_ran::{
-    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, PciTable, RadioSnapshot, RanStateMachine,
+    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, PciTable, RadioSnapshot, RadioTech,
+    RanStateMachine,
 };
 use fiveg_rrc::{Pci, RrcMessage, SignalingTally};
 use fiveg_telemetry::{Event, Phase, Telemetry};
@@ -246,7 +248,20 @@ pub fn run(s: &Scenario) -> Trace {
 /// tick-loop stages; none of it feeds back into the simulation, so the
 /// returned `Trace` is identical either way.
 pub fn run_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
-    run_with_path(s, tele, RadioPath::Snapshot(RadioSnapshot::new()))
+    run_with_path(s, tele, RadioPath::Snapshot(RadioSnapshot::new()), None)
+}
+
+/// Runs a scenario with a [`SimHook`] observing every state transition (see
+/// [`crate::hook`]). Hooks observe only — the returned trace is byte-identical
+/// to [`run`]'s.
+pub fn run_hooked(s: &Scenario, tele: &Telemetry, hook: &mut dyn SimHook) -> Trace {
+    run_with_path(s, tele, RadioPath::Snapshot(RadioSnapshot::new()), Some(hook))
+}
+
+/// [`run_reference`] with a [`SimHook`] attached — the observer counterpart
+/// of [`run_hooked`] on the naive radio path.
+pub fn run_reference_hooked(s: &Scenario, tele: &Telemetry, hook: &mut dyn SimHook) -> Trace {
+    run_with_path(s, tele, RadioPath::Reference, Some(hook))
 }
 
 /// Runs a scenario on the retained naive radio path: every consumer performs
@@ -260,10 +275,10 @@ pub fn run_reference(s: &Scenario) -> Trace {
 
 /// [`run_reference`] recording into a caller-owned [`Telemetry`] handle.
 pub fn run_reference_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
-    run_with_path(s, tele, RadioPath::Reference)
+    run_with_path(s, tele, RadioPath::Reference, None)
 }
 
-fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace {
+fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook: Option<&mut dyn SimHook>) -> Trace {
     let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
     let mut mob = MobilityDriver::new(s.route.clone(), s.speed);
     let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
@@ -305,6 +320,9 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
         } else {
             sm.attach(best, None);
         }
+        if let Some(h) = hook.as_mut() {
+            h.on_attach(t0, AttachReason::Initial, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() });
+        }
     }
 
     // measurement engines
@@ -334,6 +352,7 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
 
     let dt = 1.0 / s.sample_hz;
     let mut t = 0.0;
+    let mut tick: u64 = 0;
     let mut had_scg = sm.serving_nr().is_some();
 
     // per-leg views, scratch and the merged candidate table persist across
@@ -364,6 +383,7 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
 
     while !mob.finished() && t < s.max_duration_s {
         t += dt;
+        tick += 1;
         ticks_ctr.inc();
         {
             let _g = tele.phase(Phase::Mobility);
@@ -380,15 +400,26 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
         };
         for ev in ho_events {
             match ev {
-                HoEvent::CommandSent(msg) => tally.record(&msg),
+                HoEvent::CommandSent(msg) => {
+                    tally.record(&msg);
+                    if let Some(h) = hook.as_mut() {
+                        h.on_ho_command(t);
+                    }
+                }
                 HoEvent::Completed(rec, msgs) => {
                     if faults.ho_failure_prob > 0.0 && fault_rng.chance(faults.ho_failure_prob) {
-                        // execution failed: fall back to the source cells
+                        // execution failed: fall back to the source cells and
+                        // abandon any chained follow-up — its trigger report
+                        // described a radio state that no longer holds
                         ho_failures += 1;
                         ho_fail_ctr.inc();
                         tele.record(t, Event::FaultInjected { kind: "ho_failure".into() });
                         tele.record(t, Event::HoFailure { ho_type: rec.ho_type.acronym().into() });
+                        sm.abort_chain();
                         sm.attach(pre_lte, pre_nr);
+                        if let Some(h) = hook.as_mut() {
+                            h.on_ho_failure(t, &rec, ServingCells { lte: pre_lte, nr: pre_nr });
+                        }
                     } else {
                         for m in &msgs {
                             tally.record(m);
@@ -402,6 +433,9 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                             t,
                             Event::HoCommit { ho_type: rec.ho_type.acronym().into(), duration_ms: rec.duration_ms() },
                         );
+                        if let Some(h) = hook.as_mut() {
+                            h.on_ho_complete(t, &rec, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() });
+                        }
                         handovers.push(rec);
                     }
                     pre_lte = sm.serving_lte();
@@ -494,7 +528,8 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                 };
                 if let Some((id, rx)) = best {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_lte() {
-                        if sm.serving_lte().is_some() {
+                        let rlf = sm.serving_lte().is_some();
+                        if rlf {
                             rlf_count += 1;
                             rlf_ctr.inc();
                             tele.record(t, Event::Rlf { leg: "lte".into() });
@@ -503,6 +538,13 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                         lte_engine.reset();
                         nr_engine.reset();
                         policy.end_phase();
+                        if let Some(h) = hook.as_mut() {
+                            h.on_attach(
+                                t,
+                                AttachReason::Reattach { leg: RadioTech::Lte, rlf },
+                                ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() },
+                            );
+                        }
                     }
                 }
             }
@@ -520,7 +562,8 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                 };
                 if let Some((id, rx)) = best {
                     if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_nr() {
-                        if sm.serving_nr().is_some() {
+                        let rlf = sm.serving_nr().is_some();
+                        if rlf {
                             rlf_count += 1;
                             rlf_ctr.inc();
                             tele.record(t, Event::Rlf { leg: "nr".into() });
@@ -528,6 +571,13 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                         sm.attach(None, Some(id));
                         nr_engine.reset();
                         policy.end_phase();
+                        if let Some(h) = hook.as_mut() {
+                            h.on_attach(
+                                t,
+                                AttachReason::Reattach { leg: RadioTech::Nr, rlf },
+                                ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() },
+                            );
+                        }
                     }
                 }
             }
@@ -675,6 +725,9 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
                 };
                 let needs_target = !matches!(dec.action, fiveg_rrc::ReconfigAction::ScgRelease);
                 if !needs_target || target.is_some() {
+                    if let Some(h) = hook.as_mut() {
+                        h.on_decision(t, &dec.action);
+                    }
                     sm.start(dec.action, target, dec.phase, &d, t);
                 }
             }
@@ -771,6 +824,23 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath) -> Trace 
             dual_mode: bearer == Bearer::Dual,
         });
         drop(append_guard);
+
+        if let Some(h) = hook.as_mut() {
+            h.on_tick(&TickView {
+                tick,
+                t,
+                serving: ServingCells { lte: cs.lte, nr: cs.nr },
+                phase: sm.ho_phase(),
+                queued: sm.queued(),
+                lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+                nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+                capacity_mbps: path.capacity_mbps,
+            });
+        }
+    }
+
+    if let Some(h) = hook.as_mut() {
+        h.on_run_end(t, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() }, sm.ho_phase(), sm.queued());
     }
 
     tele.set_gauge("sim.duration_s", t);
@@ -1099,5 +1169,31 @@ mod fault_tests {
         // without any reports the network can never decide a HO
         assert!(t.handovers.is_empty(), "got {:?}", t.handovers.len());
         assert_eq!(t.signaling.meas_reports, 0);
+    }
+
+    // Fault injection at probability zero is indistinguishable — to the
+    // byte — from no fault injection at all: the gated RNG draws
+    // (`prob > 0.0 && chance(prob)`) must never fire, so the fault RNG
+    // never perturbs anything. The same must hold for configs that only
+    // *clamp* to zero (negative probabilities, NaN).
+    #[test]
+    fn zero_probability_faults_are_byte_identical_to_none() {
+        let base = |faults: FaultConfig| {
+            ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 6.0, 79)
+                .duration_s(180.0)
+                .sample_hz(10.0)
+                .faults(faults)
+                .build()
+                .run()
+        };
+        let none = base(FaultConfig::NONE);
+        let zeros = base(FaultConfig { mr_loss_prob: 0.0, ho_failure_prob: 0.0 });
+        let clamps_to_zero = base(FaultConfig { mr_loss_prob: -0.25, ho_failure_prob: f64::NAN });
+        assert_eq!(none, zeros);
+        assert_eq!(none, clamps_to_zero);
+        let bytes = serde_json::to_string(&none).unwrap();
+        assert_eq!(bytes, serde_json::to_string(&zeros).unwrap());
+        assert_eq!(bytes, serde_json::to_string(&clamps_to_zero).unwrap());
+        assert_eq!(none.ho_failures, 0);
     }
 }

@@ -95,6 +95,33 @@ mod tests {
         }
     }
 
+    proptest::proptest! {
+        // Clamping must yield a valid config from ANY f64 bit pattern —
+        // NaNs, infinities, subnormals, negative zero — be idempotent, and
+        // agree with `active()`: clamping never turns a faulty config
+        // fault-free or vice versa (NaN counts as no fault on both sides).
+        #[test]
+        fn clamped_always_validates_and_agrees_with_active(
+            mr_bits in proptest::prelude::any::<u64>(),
+            hof_bits in proptest::prelude::any::<u64>(),
+        ) {
+            let raw = FaultConfig { mr_loss_prob: f64::from_bits(mr_bits), ho_failure_prob: f64::from_bits(hof_bits) };
+            let c = raw.clamped();
+            proptest::prop_assert!(c.validate().is_ok(), "clamped {raw:?} -> {c:?} fails validate");
+            proptest::prop_assert_eq!(c.clamped(), c, "clamping is not idempotent on {:?}", raw);
+            proptest::prop_assert_eq!(raw.active(), c.active(), "active() changed by clamping {:?}", raw);
+        }
+
+        // On already-valid configs clamping is the identity: the engine's
+        // clamp-on-entry can never change a well-formed scenario.
+        #[test]
+        fn clamping_fixes_valid_configs(mr in 0.0f64..=1.0, hof in 0.0f64..=1.0) {
+            let c = FaultConfig { mr_loss_prob: mr, ho_failure_prob: hof };
+            proptest::prop_assert!(c.validate().is_ok());
+            proptest::prop_assert_eq!(c.clamped(), c);
+        }
+    }
+
     #[test]
     fn clamped_pins_to_unit_interval() {
         let c = FaultConfig { mr_loss_prob: -0.5, ho_failure_prob: 2.0 }.clamped();

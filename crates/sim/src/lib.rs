@@ -23,17 +23,20 @@
 //! * [`trace`] — the serialized dataset format;
 //! * [`fault`] — fault injection (MR loss, HO failures) in the smoltcp
 //!   tradition of making adverse conditions reproducible;
+//! * [`hook`] — observation hooks for external invariant checkers;
 //! * [`cache`] — once-per-scenario trace sharing for parallel sweeps.
 
 pub mod cache;
 pub mod engine;
 pub mod fault;
+pub mod hook;
 pub mod scenario;
 pub mod trace;
 
 pub use cache::TraceCache;
-pub use engine::{run_reference, run_reference_instrumented};
+pub use engine::{run_hooked, run_reference, run_reference_hooked, run_reference_instrumented};
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
+pub use hook::{AttachReason, ServingCells, SimHook, TickView};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};
 pub use trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};

@@ -130,6 +130,44 @@ impl Counter {
     }
 }
 
+/// Immutable point-in-time copy of a counter registry, taken with
+/// [`Telemetry::counter_snapshot`]. Built for consumers that *check* counters
+/// rather than display them — fiveg-oracle's counter-algebra invariants —
+/// so it offers exact lookup and dotted-prefix sums over a stable map.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    map: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// Value of one counter; 0 when it was never created (matching
+    /// [`Telemetry::counter_value`] semantics).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — e.g.
+    /// `sum_prefix("ho.")` totals the per-HO-type commit counters.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.map.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// Name-sorted iteration over all counters.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters captured.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no counter was ever created (or telemetry was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// A histogram handle bound to one named log-scale histogram.
 #[derive(Clone, Default, Debug)]
 pub struct HistogramHandle(Option<Arc<Mutex<Hist>>>);
@@ -229,6 +267,15 @@ impl Telemetry {
             Some(i) => i.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Point-in-time, queryable copy of the whole counter registry. Where
+    /// [`Telemetry::counters`] hands back a flat listing for display, a
+    /// [`CounterSnapshot`] supports the lookups a consistency checker needs
+    /// (exact values, prefix sums) without re-locking the live registry per
+    /// query. Empty when disabled.
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot { map: self.counters().into_iter().collect() }
     }
 
     // --- gauges -----------------------------------------------------------
@@ -645,5 +692,41 @@ mod tests {
         let u = t.clone();
         u.incr("shared");
         assert_eq!(t.counter_value("shared"), 1);
+    }
+
+    #[test]
+    fn absorbed_counters_equal_shard_sums() {
+        // satellite check: a merged registry is exactly the per-shard sum,
+        // counter for counter — not just for the names every shard touched
+        let shards: Vec<Telemetry> = (0..5)
+            .map(|i| {
+                let t = Telemetry::new(TelemetryConfig::on());
+                t.add("common", i as u64 + 1);
+                t.add(&format!("shard.{i}"), 10 * (i as u64 + 1));
+                if i % 2 == 0 {
+                    t.add("ho.even_only", 3);
+                }
+                t
+            })
+            .collect();
+        let merged = Telemetry::new(TelemetryConfig::on());
+        for s in &shards {
+            merged.absorb(s);
+        }
+        let snap = merged.counter_snapshot();
+        let mut expect: std::collections::BTreeMap<String, u64> = Default::default();
+        for s in &shards {
+            for (name, v) in s.counters() {
+                *expect.entry(name).or_default() += v;
+            }
+        }
+        assert_eq!(snap.len(), expect.len());
+        for (name, v) in &expect {
+            assert_eq!(snap.get(name), *v, "counter {name}");
+        }
+        assert_eq!(snap.sum_prefix("shard."), 10 + 20 + 30 + 40 + 50);
+        assert_eq!(snap.sum_prefix("ho."), 9);
+        assert_eq!(snap.get("never.created"), 0);
+        assert!(Telemetry::disabled().counter_snapshot().is_empty());
     }
 }

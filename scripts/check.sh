@@ -8,6 +8,7 @@
 #   scripts/check.sh test       # just the tests
 #   scripts/check.sh deps       # declared-but-unused dependency audit
 #   scripts/check.sh smoke      # sweep determinism gate (1 vs 4 threads)
+#   scripts/check.sh fuzz       # oracle self-test + corpus replay + 200-case fuzz
 #   scripts/check.sh perf       # tick_bench perf smoke (non-gating)
 #
 # Offline-safe: everything defaults to CARGO_NET_OFFLINE=true so a machine
@@ -88,6 +89,26 @@ run_smoke() {
     echo "  reports are byte-identical"
 }
 
+# The fuzz smoke gate: the oracle's mutation self-test, the committed
+# repro corpus, and a bounded fixed-seed campaign (200 cases through both
+# engines under the invariant oracle), byte-compared across thread counts.
+run_fuzz() {
+    echo "== scenario fuzz gate (self-test, corpus, 200 cases, 1 vs 4 threads)"
+    cargo build -q --release --bin scenario_fuzz
+    local bin=target/release/scenario_fuzz
+    local t1 t4
+    t1="$(mktemp)" && t4="$(mktemp)"
+    trap 'rm -f "$t1" "$t4"' RETURN
+    "$bin" --cases 200 --seed 1 --threads 1 --out "$t1"
+    "$bin" --cases 200 --seed 1 --threads 4 --no-selftest --out "$t4"
+    if ! cmp -s "$t1" "$t4"; then
+        echo "fuzz report differs across thread counts:" >&2
+        diff "$t1" "$t4" >&2 || true
+        return 1
+    fi
+    echo "  reports are byte-identical"
+}
+
 # Non-gating perf canary: the tick benchmark must complete on the smoke
 # scenario set and emit a parseable fiveg-tick/v1 report. Absolute numbers
 # are machine-dependent, so nothing here asserts a throughput floor — CI
@@ -117,9 +138,10 @@ case "$step" in
     test) run_test ;;
     deps) run_deps ;;
     smoke) run_smoke ;;
+    fuzz) run_fuzz ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|perf]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|perf]" >&2
         exit 2
         ;;
 esac

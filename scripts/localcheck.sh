@@ -12,6 +12,7 @@
 #   scripts/localcheck.sh test      # dependency-free unit tests (telemetry)
 #   scripts/localcheck.sh smoke     # sweep determinism gate (1 vs 4 threads)
 #   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference)
+#   scripts/localcheck.sh fuzz      # oracle self-test + corpus replay + bounded fuzz
 #   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
 #
 # This is a best-effort gate for offline machines; real CI (see
@@ -71,6 +72,7 @@ run_build() {
     lib prognos crates/core/src/lib.rs
     lib fiveg_baselines crates/baselines/src/lib.rs
     lib fiveg_sim crates/sim/src/lib.rs
+    lib fiveg_oracle crates/oracle/src/lib.rs
     lib fiveg_analysis crates/analysis/src/lib.rs
     lib fiveg_apps crates/apps/src/lib.rs
     lib fiveg_bench crates/bench/src/lib.rs
@@ -85,6 +87,11 @@ run_build() {
     rustc --edition 2021 -O -D warnings --crate-name tick_bench \
         crates/bench/src/bin/tick_bench.rs -L "$OUT" "${EXTERNS[@]}" \
         -o "$OUT/tick_bench"
+
+    echo "== scenario_fuzz binary"
+    rustc --edition 2021 -O -D warnings --crate-name scenario_fuzz \
+        crates/bench/src/bin/scenario_fuzz.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/scenario_fuzz"
 }
 
 # Unit tests runnable offline: telemetry has zero external deps; the bench
@@ -110,7 +117,12 @@ run_test() {
     rustc --edition 2021 --test crates/telemetry/src/lib.rs -o "$OUT/telemetry_test"
     "$OUT/telemetry_test" --quiet
 
-    echo "== bench unit tests (sweep harness, driver metrics, proptest)"
+    echo "== oracle unit tests (shadow checker, trace checks, fuzz codec, mutations)"
+    rustc --edition 2021 -O --test --crate-name fiveg_oracle crates/oracle/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/oracle_test"
+    "$OUT/oracle_test" --quiet
+
+    echo "== bench unit tests (sweep harness, driver metrics, fuzz campaign, proptest)"
     rustc --edition 2021 -O --test --crate-name fiveg_bench crates/bench/src/lib.rs \
         -L "$OUT" "${EXTERNS[@]}" -o "$OUT/bench_test"
     "$OUT/bench_test" --quiet
@@ -143,6 +155,26 @@ run_tick() {
         exit 1
     }
     echo "   report OK ($(wc -c <"$OUT/tick_smoke.json") bytes)"
+}
+
+run_fuzz() {
+    echo "== scenario fuzz (oracle self-test, corpus replay, 40-case campaign, 1 vs 4 threads)"
+    [ -x "$OUT/scenario_fuzz" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    # --no-roundtrip: the offline serde_json stub cannot serialize at runtime
+    "$OUT/scenario_fuzz" --cases 40 --seed 1 --threads 1 --no-roundtrip \
+        --out "$OUT/fuzz_t1.json"
+    "$OUT/scenario_fuzz" --cases 40 --seed 1 --threads 4 --no-roundtrip --no-selftest \
+        --out "$OUT/fuzz_t4.json"
+    if ! cmp -s "$OUT/fuzz_t1.json" "$OUT/fuzz_t4.json"; then
+        echo "fuzz report differs across thread counts:" >&2
+        diff "$OUT/fuzz_t1.json" "$OUT/fuzz_t4.json" >&2 || true
+        exit 1
+    fi
+    grep -q '"schema":"fiveg-fuzz/v1"' "$OUT/fuzz_t1.json" || {
+        echo "fuzz report missing fiveg-fuzz/v1 schema" >&2
+        exit 1
+    }
+    echo "   reports are byte-identical ($(wc -c <"$OUT/fuzz_t1.json") bytes)"
 }
 
 run_perf() {
@@ -178,14 +210,16 @@ case "$step" in
         run_test
         run_smoke
         run_tick
+        run_fuzz
         ;;
     build) run_build ;;
     test) run_test ;;
     smoke) run_smoke ;;
     tick) run_tick ;;
+    fuzz) run_fuzz ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fuzz|perf]" >&2
         exit 2
         ;;
 esac

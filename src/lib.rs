@@ -18,6 +18,8 @@
 //! * [`apps`] — ABR algorithms and application QoE models.
 //! * [`telemetry`] — deterministic instrumentation: counters, phase timers,
 //!   event journal (off by default, enable via `ScenarioBuilder::telemetry`).
+//! * [`oracle`] — cross-layer invariant checker and deterministic scenario
+//!   fuzzer (the shadow state machine behind `scenario_fuzz`).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use fiveg_apps as apps;
 pub use fiveg_baselines as baselines;
 pub use fiveg_geo as geo;
 pub use fiveg_link as link;
+pub use fiveg_oracle as oracle;
 pub use fiveg_radio as radio;
 pub use fiveg_ran as ran;
 pub use fiveg_rrc as rrc;

@@ -1,0 +1,27 @@
+//! Gating corpus replay: every case under `tests/corpus/` re-runs through
+//! both engines under the full oracle on every CI run.
+//!
+//! The corpus holds hand-picked coverage cases plus every shrunk repro the
+//! fuzzer ever wrote (`scenario_fuzz` saves minimal failing cases here) —
+//! once a bug is found, its repro gates forever. Reproduce one locally with
+//! `cargo run --release --bin scenario_fuzz -- --replay tests/corpus/<case>.toml`.
+
+use fiveg_bench::fuzz::replay_corpus;
+use fiveg_oracle::RunOpts;
+use std::path::Path;
+
+#[test]
+fn corpus_cases_stay_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let outcomes = replay_corpus(&dir, &RunOpts::default()).expect("corpus cases must parse");
+    assert!(!outcomes.is_empty(), "corpus directory missing or empty: {}", dir.display());
+    for o in &outcomes {
+        assert!(
+            o.passed(),
+            "corpus case {} regressed: divergence={:?} violations={:?}",
+            o.label,
+            o.result.divergence,
+            o.result.violations
+        );
+    }
+}
