@@ -1,7 +1,7 @@
 //! Adaptive-bitrate algorithms (§7.4).
 //!
-//! RB, fastMPC and robustMPC follow the Pensieve/MPC formulation [48, 67];
-//! FESTIVE follows Jiang et al. [41]. Each algorithm consumes a throughput
+//! RB, fastMPC and robustMPC follow the Pensieve/MPC formulation \[48, 67\];
+//! FESTIVE follows Jiang et al. \[41\]. Each algorithm consumes a throughput
 //! prediction; the paper's modification is one line: "we scale up or down
 //! the predicted throughput by multiplying it with the ho_score received
 //! from Prognos" — the [`TputCorrector`] hook.

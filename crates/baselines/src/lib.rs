@@ -2,10 +2,10 @@
 //!
 //! The paper compares Prognos against two recent techniques:
 //!
-//! * a **Gradient Boosting Classifier** (Mei et al. [49]) over lower-layer
+//! * a **Gradient Boosting Classifier** (Mei et al. \[49\]) over lower-layer
 //!   features (serving/neighbor signal qualities) — [`gbc`], built on the
 //!   CART regression trees of [`tree`];
-//! * a **stacked LSTM** (Ozturk et al. [57]) over UE location sequences —
+//! * a **stacked LSTM** (Ozturk et al. \[57\]) over UE location sequences —
 //!   [`lstm`], two LSTM layers plus a softmax head, trained with Adam/BPTT.
 //!
 //! Both are *offline-trained* (the paper uses a 60/40 split) — the very

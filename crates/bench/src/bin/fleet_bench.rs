@@ -1,0 +1,259 @@
+//! Fleet-throughput benchmark: UE·ticks/sec versus fleet size, reporting
+//! how close the per-UE cost of the load-coupled fleet engine stays to the
+//! single-UE hot path.
+//!
+//! Every size runs the same pinned base scenario (freeway, OpY, NSA, seed
+//! 201) through [`fiveg_sim::fleet`] with the default heterogeneity
+//! narrowed to a 10 s stagger window, so per-size numbers are comparable
+//! across commits and between `--smoke` and full mode — smoke simply drops
+//! the 1000-UE point. Throughput counters flow through `fiveg-telemetry`
+//! (`sim.ticks` absorbed per UE, `bench.allocs` from a counting global
+//! allocator), and the report is written as `BENCH_fleet.json` (schema
+//! `fiveg-fleet/v1`).
+//!
+//! ```text
+//! fleet_bench [--smoke] [--threads N] [--out PATH] [--baseline PATH] [--tol F]
+//! ```
+//!
+//! With `--baseline`, the run compares its UE·ticks/sec per size against the
+//! committed report and exits nonzero on a regression beyond the tolerance
+//! (default 15%) — the gating CI perf job. Sizes absent from the baseline
+//! are skipped, so a new size never fails the job that introduces it.
+
+use fiveg_bench::perfgate::{self, Gate};
+use fiveg_bench::report::JsonBuf;
+use fiveg_ran::{Arch, Carrier};
+use fiveg_sim::{run_fleet_instrumented, FleetSpec, FleetTrace, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter: wraps the system allocator and counts every
+/// `alloc`/`realloc` (same proxy as `tick_bench`).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    baseline: Option<String>,
+    tol: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { smoke: false, threads: 0, out: "BENCH_fleet.json".into(), baseline: None, tol: 0.15 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse::<usize>().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a value")?;
+                args.tol = v.parse::<f64>().map_err(|_| format!("bad --tol value: {v}"))?;
+                if !(0.0..1.0).contains(&args.tol) {
+                    return Err("--tol must be in [0, 1)".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: fleet_bench [--smoke] [--threads N] [--out PATH] [--baseline PATH] [--tol F]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.threads == 0 {
+        args.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    }
+    Ok(args)
+}
+
+/// Fleet sizes per mode. Per-size parameters are identical in both modes so
+/// a smoke run can be gated against a committed full-mode baseline.
+fn sizes(smoke: bool) -> &'static [u32] {
+    if smoke {
+        &[1, 10, 100]
+    } else {
+        &[1, 10, 100, 1000]
+    }
+}
+
+/// The pinned base scenario every fleet size derives from (see
+/// EXPERIMENTS.md, "Fleet benchmark").
+fn base_scenario() -> Scenario {
+    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, 201).duration_s(60.0).sample_hz(10.0).build()
+}
+
+fn spec(n_ues: u32) -> FleetSpec {
+    FleetSpec::new(base_scenario(), n_ues).stagger_s(10.0).speed_jitter(0.1)
+}
+
+struct SizeResult {
+    n_ues: u32,
+    ticks: u64,
+    ue_ticks: u64,
+    elapsed_s: f64,
+    ue_ticks_per_sec: f64,
+    allocs_per_ue_tick: f64,
+    peak_cell_ues: u32,
+    contended_ue_ticks: u64,
+}
+
+fn bench_size(n_ues: u32, threads: usize) -> SizeResult {
+    let tele = Telemetry::new(TelemetryConfig::on());
+    let allocs = tele.counter("bench.allocs");
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let ft: FleetTrace = run_fleet_instrumented(&spec(n_ues), threads, &tele);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    allocs.add(ALLOCS.load(Ordering::Relaxed) - before);
+
+    let ue_ticks = tele.counter_value("sim.ticks");
+    SizeResult {
+        n_ues,
+        ticks: ft.meta.ticks,
+        ue_ticks,
+        elapsed_s,
+        ue_ticks_per_sec: ue_ticks as f64 / elapsed_s,
+        allocs_per_ue_tick: tele.counter_value("bench.allocs") as f64 / ue_ticks as f64,
+        peak_cell_ues: ft.load.peak_cell_ues,
+        contended_ue_ticks: ft.load.contended_ue_ticks,
+    }
+}
+
+fn report(mode: &str, threads: usize, results: &[SizeResult]) -> String {
+    let base = base_scenario();
+    let mut j = JsonBuf::new();
+    j.open('{');
+    j.key("schema");
+    j.str_val("fiveg-fleet/v1");
+    j.key("mode");
+    j.str_val(mode);
+    j.key("threads");
+    j.uint(threads as u64);
+    j.key("base");
+    j.open('{');
+    j.key("seed");
+    j.uint(base.seed);
+    j.key("duration_s");
+    j.num(base.max_duration_s);
+    j.key("sample_hz");
+    j.num(base.sample_hz);
+    j.key("stagger_s");
+    j.num(10.0);
+    j.key("speed_jitter");
+    j.num(0.1);
+    j.close('}');
+    j.key("sizes");
+    j.open('[');
+    for r in results {
+        j.open('{');
+        j.key("n_ues");
+        j.uint(u64::from(r.n_ues));
+        j.key("ticks");
+        j.uint(r.ticks);
+        j.key("ue_ticks");
+        j.uint(r.ue_ticks);
+        j.key("elapsed_s");
+        j.num(r.elapsed_s);
+        j.key("ue_ticks_per_sec");
+        j.num(r.ue_ticks_per_sec);
+        j.key("allocs_per_ue_tick");
+        j.num(r.allocs_per_ue_tick);
+        j.key("peak_cell_ues");
+        j.uint(u64::from(r.peak_cell_ues));
+        j.key("contended_ue_ticks");
+        j.uint(r.contended_ue_ticks);
+        j.close('}');
+    }
+    j.close(']');
+    j.close('}');
+    j.finish_line()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fleet_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mode = if args.smoke { "smoke" } else { "full" };
+    let set = sizes(args.smoke);
+    println!("fleet bench '{}': sizes {:?}, {} thread(s)", mode, set, args.threads);
+
+    // warmup (untimed): page in code and let the allocator settle
+    run_fleet_instrumented(&spec(1), args.threads, &Telemetry::disabled());
+
+    let mut results = Vec::new();
+    for &n in set {
+        let r = bench_size(n, args.threads);
+        println!(
+            "  {:>5} UEs  {:>9} UE·ticks in {:>7.2} s  -> {:>9.0} UE·ticks/s, {:>6.1} allocs/UE·tick, peak cell {:>4}",
+            r.n_ues, r.ue_ticks, r.elapsed_s, r.ue_ticks_per_sec, r.allocs_per_ue_tick, r.peak_cell_ues
+        );
+        results.push(r);
+    }
+
+    let json = report(mode, args.threads, &results);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("fleet_bench: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  report -> {}", args.out);
+
+    if let Some(path) = &args.baseline {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fleet_bench: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut gates = Vec::new();
+        for r in &results {
+            match perfgate::metric_after(&committed, &perfgate::fleet_anchor(r.n_ues), "ue_ticks_per_sec") {
+                Some(b) => gates.push(Gate {
+                    what: format!("fleet[{}] ue_ticks_per_sec", r.n_ues),
+                    baseline: b,
+                    current: r.ue_ticks_per_sec,
+                }),
+                None => println!("  fleet[{}]: not in baseline, skipped", r.n_ues),
+            }
+        }
+        println!("  perf gate vs {} (tol {:.0}%):", path, args.tol * 100.0);
+        if !perfgate::evaluate(&gates, args.tol) {
+            eprintln!("fleet_bench: throughput regressed beyond tolerance");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -12,14 +12,16 @@
 //! the report is written as `BENCH_tick.json` (schema `fiveg-tick/v1`).
 //!
 //! ```text
-//! tick_bench [--smoke] [--iters N] [--out PATH]
+//! tick_bench [--smoke] [--iters N] [--out PATH] [--baseline PATH] [--tol F]
 //! ```
 //!
 //! Wall-clock numbers are machine-dependent by nature; the committed
 //! `BENCH_tick.json` records the before/after trajectory on the development
-//! machine, and CI runs `--smoke` as a non-gating perf canary that only
-//! asserts completion and a parseable report.
+//! machine. With `--baseline`, the run additionally gates the snapshot
+//! path's ticks/sec against the committed report and exits nonzero on a
+//! regression beyond the tolerance (default 15%) — the gating CI perf job.
 
+use fiveg_bench::perfgate::{self, Gate};
 use fiveg_bench::report::JsonBuf;
 use fiveg_ran::{Arch, Carrier};
 use fiveg_sim::{engine, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
@@ -58,10 +60,12 @@ struct Args {
     smoke: bool,
     iters: usize,
     out: String,
+    baseline: Option<String>,
+    tol: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { smoke: false, iters: 3, out: "BENCH_tick.json".into() };
+    let mut args = Args { smoke: false, iters: 3, out: "BENCH_tick.json".into(), baseline: None, tol: 0.15 };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,8 +78,16 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a value")?;
+                args.tol = v.parse::<f64>().map_err(|_| format!("bad --tol value: {v}"))?;
+                if !(0.0..1.0).contains(&args.tol) {
+                    return Err("--tol must be in [0, 1)".into());
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: tick_bench [--smoke] [--iters N] [--out PATH]");
+                println!("usage: tick_bench [--smoke] [--iters N] [--out PATH] [--baseline PATH] [--tol F]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -240,11 +252,34 @@ fn main() -> ExitCode {
     }
     println!("  speedup {speedup:.2}x (snapshot over reference)");
 
+    let snapshot_tps = snapshot.ticks_per_sec;
     let json = report(mode, args.iters, &set, &[reference, snapshot], speedup);
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("tick_bench: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
     }
     println!("  report -> {}", args.out);
+
+    // Perf gate: only the snapshot (production) path is gated — the
+    // reference path exists as a correctness referee, not a perf contract.
+    if let Some(path) = &args.baseline {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tick_bench: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(b) = perfgate::metric_after(&committed, r#""path":"snapshot""#, "ticks_per_sec") else {
+            eprintln!("tick_bench: no snapshot ticks_per_sec in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let gates = [Gate { what: "snapshot ticks_per_sec".into(), baseline: b, current: snapshot_tps }];
+        println!("  perf gate vs {} (tol {:.0}%):", path, args.tol * 100.0);
+        if !perfgate::evaluate(&gates, args.tol) {
+            eprintln!("tick_bench: throughput regressed beyond tolerance");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

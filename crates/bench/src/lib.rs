@@ -5,7 +5,8 @@
 //!
 //! * [`fmt`] — aligned table printing with paper-vs-measured rows;
 //! * [`datasets`] — the walking datasets D1/D2 and the drive scenarios;
-//! * [`driver`] — replays a recorded [`Trace`] through Prognos the way the
+//! * [`driver`] — replays a recorded [`fiveg_sim::Trace`] through Prognos
+//!   the way the
 //!   paper's trace-driven emulation does, producing per-window predictions
 //!   and ground-truth labels;
 //! * [`features`] — feature extraction for the GBC and LSTM baselines;
@@ -13,13 +14,16 @@
 //!   → ordered job list → worker pool → `BENCH_sweep.json`);
 //! * [`fuzz`] — the scenario-fuzz campaign driver behind `scenario_fuzz`
 //!   (seeded case fan-out → oracle verdicts → corpus replay →
-//!   `BENCH_fuzz.json`).
+//!   `BENCH_fuzz.json`);
+//! * [`perfgate`] — baseline comparison for the CI perf gate
+//!   (`tick_bench`/`fleet_bench` `--baseline` flags).
 
 pub mod datasets;
 pub mod driver;
 pub mod features;
 pub mod fmt;
 pub mod fuzz;
+pub mod perfgate;
 pub mod report;
 pub mod sweep;
 
@@ -27,5 +31,6 @@ pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
 pub use features::{gbc_dataset, lstm_sequences};
 pub use fuzz::{campaign_report, replay_corpus, run_campaign, FuzzOutcome, FUZZ_SCHEMA};
+pub use perfgate::{evaluate, fleet_anchor, metric_after, Gate};
 pub use report::JsonBuf;
 pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};

@@ -1,0 +1,167 @@
+//! Perf-gate support: compare a fresh benchmark report against a committed
+//! baseline (`BENCH_tick.json`, `BENCH_fleet.json`) and fail on regression.
+//!
+//! The reports are written by [`crate::report::JsonBuf`] — single-line JSON
+//! with a fixed key order and no whitespace — so the extractor here is a
+//! deliberately small string scanner instead of a JSON parser: it finds the
+//! entry object by an anchor pair (`"path":"snapshot"`, `"n_ues":100,`) and
+//! reads one numeric metric out of that same object. This keeps the gate
+//! dependency-free, which matters twice: the bench crate stays lean, and the
+//! offline `scripts/localcheck.sh` run (where `serde_json` is a
+//! type-check-only stub) can execute the gate for real.
+//!
+//! Tolerance semantics follow the CI policy: a run **fails** only when the
+//! current throughput drops below `baseline × (1 − tol)`. Improvements past
+//! `baseline × (1 + tol)` are reported as a hint to refresh the committed
+//! baseline, but do not fail the job — a faster machine must never break CI.
+
+/// One gated comparison: a labelled throughput number against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// What is being compared, e.g. `snapshot ticks_per_sec` or
+    /// `fleet[100] ue_ticks_per_sec`.
+    pub what: String,
+    /// The committed value.
+    pub baseline: f64,
+    /// The value measured by this run.
+    pub current: f64,
+}
+
+impl Gate {
+    /// `current / baseline` — above 1.0 means faster than the baseline.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+
+    /// True when the current value regressed past the tolerance band.
+    pub fn regressed(&self, tol: f64) -> bool {
+        self.current < self.baseline * (1.0 - tol)
+    }
+
+    /// True when the current value beats the baseline by more than the
+    /// tolerance — time to re-commit the baseline file.
+    pub fn improved(&self, tol: f64) -> bool {
+        self.current > self.baseline * (1.0 + tol)
+    }
+
+    /// One human-readable verdict line for the job log.
+    pub fn verdict(&self, tol: f64) -> String {
+        let state = if self.regressed(tol) {
+            "FAIL (regression)"
+        } else if self.improved(tol) {
+            "ok (faster; consider refreshing the baseline)"
+        } else {
+            "ok"
+        };
+        format!(
+            "  {:<34} baseline {:>12.1}  current {:>12.1}  ratio {:>5.2}  {}",
+            self.what,
+            self.baseline,
+            self.current,
+            self.ratio(),
+            state
+        )
+    }
+}
+
+/// Extracts the numeric value of `metric` from the entry object of `json`
+/// identified by `anchor` (a literal substring such as `"path":"snapshot"`).
+/// The metric must appear after the anchor and before the object's closing
+/// brace — true for every report this crate writes, where the identifying
+/// key is emitted first. Returns `None` when either the anchor or the
+/// metric is absent, so callers can treat a missing entry as "not gated".
+pub fn metric_after(json: &str, anchor: &str, metric: &str) -> Option<f64> {
+    let rest = &json[json.find(anchor)? + anchor.len()..];
+    let scope = &rest[..rest.find('}').unwrap_or(rest.len())];
+    let key = format!("\"{metric}\":");
+    let tail = &scope[scope.find(&key)? + key.len()..];
+    let stop = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..stop].trim().parse::<f64>().ok()
+}
+
+/// The anchor for a fleet-report entry of the given size. The trailing comma
+/// is part of the anchor on purpose: without it `"n_ues":100` would also
+/// match inside `"n_ues":1000`.
+pub fn fleet_anchor(n_ues: u32) -> String {
+    format!("\"n_ues\":{n_ues},")
+}
+
+/// Evaluates a set of gates against a tolerance, printing one verdict line
+/// each, and returns whether every gate passed. An empty set passes — a
+/// baseline that predates a metric must not fail the job that introduces it.
+pub fn evaluate(gates: &[Gate], tol: f64) -> bool {
+    let mut ok = true;
+    for g in gates {
+        println!("{}", g.verdict(tol));
+        ok &= !g.regressed(tol);
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: &str = concat!(
+        r#"{"schema":"fiveg-tick/v1","mode":"smoke","iters":3,"#,
+        r#""paths":[{"path":"reference","ticks":1662,"elapsed_s":0.02,"ticks_per_sec":71642.0,"allocs_per_tick":17.0},"#,
+        r#"{"path":"snapshot","ticks":1662,"elapsed_s":0.02,"ticks_per_sec":106960.0,"allocs_per_tick":3.0}],"#,
+        r#""speedup":1.49}"#
+    );
+
+    const FLEET: &str = concat!(
+        r#"{"schema":"fiveg-fleet/v1","sizes":[{"n_ues":1,"ue_ticks_per_sec":90000.0},"#,
+        r#"{"n_ues":10,"ue_ticks_per_sec":85000.0},{"n_ues":100,"ue_ticks_per_sec":80000.0},"#,
+        r#"{"n_ues":1000,"ue_ticks_per_sec":76000.0}]}"#
+    );
+
+    #[test]
+    fn extracts_the_anchored_entry_not_its_neighbors() {
+        assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "ticks_per_sec"), Some(106960.0));
+        assert_eq!(metric_after(TICK, r#""path":"reference""#, "ticks_per_sec"), Some(71642.0));
+        assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "allocs_per_tick"), Some(3.0));
+    }
+
+    #[test]
+    fn fleet_anchor_disambiguates_prefix_sizes() {
+        assert_eq!(metric_after(FLEET, &fleet_anchor(100), "ue_ticks_per_sec"), Some(80000.0));
+        assert_eq!(metric_after(FLEET, &fleet_anchor(1000), "ue_ticks_per_sec"), Some(76000.0));
+        assert_eq!(metric_after(FLEET, &fleet_anchor(1), "ue_ticks_per_sec"), Some(90000.0));
+        assert_eq!(metric_after(FLEET, &fleet_anchor(10), "ue_ticks_per_sec"), Some(85000.0));
+    }
+
+    #[test]
+    fn missing_anchor_or_metric_is_none_not_a_panic() {
+        assert_eq!(metric_after(FLEET, &fleet_anchor(500), "ue_ticks_per_sec"), None);
+        assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "nonexistent"), None);
+        assert_eq!(metric_after("", r#""path":"snapshot""#, "ticks_per_sec"), None);
+    }
+
+    #[test]
+    fn metric_lookup_stays_inside_the_anchored_object() {
+        // "elapsed_s" exists only in the *next* object; the scan must stop
+        // at the closing brace of the anchored one
+        let j = r#"[{"n_ues":1,"a":2.0},{"n_ues":10,"elapsed_s":9.0}]"#;
+        assert_eq!(metric_after(j, r#""n_ues":1,"#, "elapsed_s"), None);
+    }
+
+    #[test]
+    fn tolerance_band_fails_only_on_regression() {
+        let g = Gate { what: "x".into(), baseline: 100.0, current: 84.9 };
+        assert!(g.regressed(0.15));
+        let g = Gate { what: "x".into(), baseline: 100.0, current: 85.1 };
+        assert!(!g.regressed(0.15));
+        let g = Gate { what: "x".into(), baseline: 100.0, current: 300.0 };
+        assert!(!g.regressed(0.15), "an improvement must never fail the gate");
+        assert!(g.improved(0.15));
+    }
+
+    #[test]
+    fn evaluate_aggregates_all_gates() {
+        let pass = Gate { what: "a".into(), baseline: 100.0, current: 98.0 };
+        let fail = Gate { what: "b".into(), baseline: 100.0, current: 50.0 };
+        assert!(evaluate(&[pass.clone()], 0.15));
+        assert!(!evaluate(&[pass, fail], 0.15));
+        assert!(evaluate(&[], 0.15), "no gates means nothing to fail");
+    }
+}

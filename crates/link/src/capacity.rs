@@ -77,6 +77,23 @@ pub fn compose(s: &DownlinkState) -> PathOutcome {
     }
 }
 
+/// Fraction of a cell's capacity one UE gets when `attached` UEs (including
+/// itself) hold a bearer on that cell: an equal-share scheduler, the
+/// round-robin baseline of the CRRM literature.
+///
+/// `attached <= 1` — a UE alone on its cell, or the single-UE simulator
+/// where no load table exists — is **exactly** `1.0`, so multiplying a leg
+/// capacity by the share is a bit-for-bit no-op outside a loaded fleet
+/// (IEEE-754 guarantees `x * 1.0 == x`). Single-UE traces and committed
+/// BENCH baselines therefore stay byte-identical.
+pub fn load_share(attached: u32) -> f64 {
+    if attached <= 1 {
+        1.0
+    } else {
+        1.0 / attached as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +150,29 @@ mod tests {
     fn lte_only_ignores_nr() {
         let p = compose(&state(60.0, 900.0, Bearer::LteOnly));
         assert_eq!(p.capacity_mbps, 60.0);
+    }
+
+    #[test]
+    fn load_share_of_zero_or_one_is_exactly_unity() {
+        assert_eq!(load_share(0), 1.0);
+        assert_eq!(load_share(1), 1.0);
+        // the no-op guarantee the single-UE path depends on
+        for cap in [0.0, 37.25, 812.625, f64::MIN_POSITIVE] {
+            assert_eq!(cap * load_share(1), cap);
+        }
+    }
+
+    #[test]
+    fn load_share_splits_equally() {
+        assert_eq!(load_share(2), 0.5);
+        assert_eq!(load_share(4), 0.25);
+        assert!((load_share(10) - 0.1).abs() < 1e-12);
+        // monotonically non-increasing in the attach count
+        let mut prev = load_share(1);
+        for n in 2..100 {
+            let s = load_share(n);
+            assert!(s < prev);
+            prev = s;
+        }
     }
 }

@@ -60,10 +60,10 @@ pub struct FuzzCase {
     pub duration_s: f64,
     /// Tick rate, Hz.
     pub sample_hz: f64,
-    /// MR loss probability — may be out of [0,1] on purpose, to exercise
+    /// MR loss probability — may be out of \[0,1\] on purpose, to exercise
     /// the engine-side clamping.
     pub mr_loss_prob: f64,
-    /// HO failure probability — may be out of [0,1], as above.
+    /// HO failure probability — may be out of \[0,1\], as above.
     pub ho_failure_prob: f64,
     /// Also probe the Prognos predictor over the finished trace (exercised
     /// by the `scenario_fuzz` binary; the core checks ignore it).

@@ -13,7 +13,7 @@
 //!   term, shadowing, fading and mmWave blockage.
 //! * [`rrs`] — the RRS triple and its computation from received powers.
 //! * [`smoothing`] — the triangular-kernel signal smoother the paper cites
-//!   ([46], Long & Sikdar) plus ordinary-least-squares series extrapolation,
+//!   (\[46\], Long & Sikdar) plus ordinary-least-squares series extrapolation,
 //!   the two ingredients of Prognos's RRS predictor.
 //! * [`capacity`] — truncated-Shannon SINR→throughput mapping per band.
 

@@ -2,7 +2,7 @@
 //!
 //! Prognos's report predictor (§7.2) feeds "RRS values in the last history
 //! window ... into a linear regression model" after "a triangular
-//! kernel-based method [46] is used for signal smoothing in order to
+//! kernel-based method \[46\] is used for signal smoothing in order to
 //! eliminate the variations caused by small scale fading and measurement
 //! noise". Both primitives live here so that the sim, analysis and Prognos
 //! share one implementation.

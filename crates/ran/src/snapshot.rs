@@ -137,7 +137,7 @@ impl PciTable {
     /// two merged legs fit inline with room to spare.
     const INLINE: usize = 32;
 
-    /// An empty table. Allocation-free until [`PciTable::INLINE`] entries.
+    /// An empty table. Allocation-free until `PciTable::INLINE` entries.
     pub fn new() -> Self {
         Self { inline: [(Pci(0), CellId(0)); Self::INLINE], len: 0, spill: Vec::new() }
     }

@@ -90,7 +90,7 @@ pub enum HoEvent {
 
 /// Coarse phase of the in-flight HO procedure, exposed so external
 /// invariant checkers (fiveg-oracle) can witness the prepare → execute →
-/// complete ordering without reaching into the private [`Phase`] payloads.
+/// complete ordering without reaching into the private `Phase` payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HoPhase {
     /// No HO in flight.

@@ -1,6 +1,8 @@
 //! The tick loop: mobility → channel → measurements → policy → HO state
 //! machine → link → trace.
 
+use crate::fault::FaultConfig;
+use crate::fleet::CellLoadView;
 use crate::hook::{AttachReason, ServingCells, SimHook, TickView};
 use crate::scenario::{Scenario, Workload};
 use crate::trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};
@@ -10,11 +12,11 @@ use fiveg_radio::rrs::{compute_rrs_with_mw, dbm_to_mw};
 use fiveg_radio::{hash2, shannon_capacity_mbps, BandClass, DetRng, Rrs};
 use fiveg_ran::policy::PolicyContext;
 use fiveg_ran::{
-    Arch, CellId, Deployment, HoEvent, HoPolicy, MeasEngine, Measurement, PciTable, RadioSnapshot, RadioTech,
-    RanStateMachine,
+    Arch, CellId, Deployment, HandoverRecord, HoEvent, HoPolicy, MeasEngine, Measurement, PciTable, RadioSnapshot,
+    RadioTech, RanStateMachine,
 };
-use fiveg_rrc::{Pci, RrcMessage, SignalingTally};
-use fiveg_telemetry::{Event, Phase, Telemetry};
+use fiveg_rrc::{EventConfig, Pci, RrcMessage, SignalingTally};
+use fiveg_telemetry::{Counter, Event, HistogramHandle, Phase, Telemetry};
 use fiveg_ue::{MobilityDriver, RrcConnState};
 
 /// Fraction of the cell capacity one user gets. High: the paper measures at
@@ -98,7 +100,7 @@ impl BandTally {
 }
 
 /// How the tick loop obtains per-(pos, t) radio strength data.
-enum RadioPath {
+pub(crate) enum RadioPath {
     /// One shared [`RadioSnapshot`] refreshed per tick: every in-radius
     /// cell's `rx_dbm` is computed exactly once and all consumers (leg
     /// views, initial attach, RLF recovery) read the same table. The
@@ -278,241 +280,405 @@ pub fn run_reference_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     run_with_path(s, tele, RadioPath::Reference, None)
 }
 
-fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook: Option<&mut dyn SimHook>) -> Trace {
+fn run_with_path(s: &Scenario, tele: &Telemetry, radio: RadioPath, mut hook: Option<&mut (dyn SimHook + '_)>) -> Trace {
     let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
-    let mut mob = MobilityDriver::new(s.route.clone(), s.speed);
-    let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
-    let mut policy = HoPolicy::new(s.carrier, s.arch);
-    sm.set_telemetry(tele.clone());
-    policy.set_telemetry(tele.clone());
-    let mut tally = SignalingTally::new();
-    let mut conn = RrcConnState::with_keepalive();
-    let mut fault_rng = DetRng::new(hash2(s.seed, 0xFA17));
-    // run on the clamped fault config so out-of-range probabilities behave
-    // like their nearest valid counterpart (see FaultConfig::clamped)
-    let faults = s.faults.clamped();
-
-    let ticks_ctr = tele.counter("sim.ticks");
-    let reports_ctr = tele.counter("sim.reports");
-    let handovers_ctr = tele.counter("sim.handovers");
-    let rlf_ctr = tele.counter("sim.rlf");
-    let mr_loss_ctr = tele.counter("faults.mr_loss");
-    let ho_fail_ctr = tele.counter("faults.ho_failure");
-    let ho_duration_h = tele.histogram("ho.duration_ms");
-    let ho_t1_h = tele.histogram("ho.t1_ms");
-    let ho_t2_h = tele.histogram("ho.t2_ms");
-    let cap_h = tele.histogram("link.capacity_mbps");
-
-    // initial attach: strongest cell of the control-plane technology
-    let t0 = 0.0;
-    let start = mob.position();
-    {
-        let nr = s.arch == Arch::Sa;
-        let best = match &mut radio {
-            RadioPath::Snapshot(snap) => {
-                snap.refresh(&d, &start, t0, SEARCH_RADIUS_M, !nr, nr);
-                snap.strongest(nr).first().map(|&(id, _)| id)
-            }
-            RadioPath::Reference => d.strongest(&start, t0, nr, SEARCH_RADIUS_M).first().map(|&(id, _)| id),
-        };
-        if nr {
-            sm.attach(None, best);
-        } else {
-            sm.attach(best, None);
-        }
-        if let Some(h) = hook.as_mut() {
-            h.on_attach(t0, AttachReason::Initial, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() });
-        }
+    let mut ue = UeSim::new(s.clone(), &d, tele, radio, hook.as_deref_mut());
+    while ue.active() {
+        ue.step(hook.as_deref_mut(), &CellLoadView::SOLO);
     }
+    ue.into_trace(hook)
+}
 
-    // measurement engines
-    let (mut lte_engine, mut nr_engine, mut configs_seen) = match s.arch {
-        Arch::Sa => {
-            let cfgs = policy.sa_configs();
-            (MeasEngine::new(vec![]), MeasEngine::new(cfgs.clone()), cfgs)
-        }
-        _ => {
-            let lte_cfgs = policy.lte_configs();
-            let nr_cfgs = if s.arch == Arch::Nsa { policy.nr_configs(false) } else { vec![] };
-            let mut seen = lte_cfgs.clone();
-            seen.extend(nr_cfgs.iter().copied());
-            // the connected-mode NR configs will also be seen eventually
-            if s.arch == Arch::Nsa {
-                for c in policy.nr_configs(true) {
-                    if !seen.contains(&c) {
-                        seen.push(c);
-                    }
-                }
-            }
-            (MeasEngine::new(lte_cfgs), MeasEngine::new(nr_cfgs), seen)
-        }
-    };
-    configs_seen.dedup();
-    tally.record(&RrcMessage::MeasConfig { configs: configs_seen.clone() });
-
-    let dt = 1.0 / s.sample_hz;
-    let mut t = 0.0;
-    let mut tick: u64 = 0;
-    let mut had_scg = sm.serving_nr().is_some();
-
+/// One UE's simulation state, steppable one tick at a time against a
+/// borrowed immutable [`Deployment`].
+///
+/// The single-UE entry points ([`run`], [`run_reference`], …) are a thin
+/// loop over [`UeSim::step`] with [`CellLoadView::SOLO`], so extracting the
+/// state machine out of the old monolithic loop cannot change their traces
+/// (`tests/trace_equivalence.rs` holds them to that). The fleet engine
+/// ([`crate::fleet`]) drives many `UeSim`s in lockstep against one shared
+/// deployment, feeding each step the previous tick's per-cell attach counts
+/// through a [`CellLoadView`].
+pub(crate) struct UeSim<'d> {
+    s: Scenario,
+    d: &'d Deployment,
+    radio: RadioPath,
+    tele: Telemetry,
+    mob: MobilityDriver,
+    sm: RanStateMachine,
+    policy: HoPolicy,
+    tally: SignalingTally,
+    conn: RrcConnState,
+    fault_rng: DetRng,
+    faults: FaultConfig,
+    ticks_ctr: Counter,
+    reports_ctr: Counter,
+    handovers_ctr: Counter,
+    rlf_ctr: Counter,
+    mr_loss_ctr: Counter,
+    ho_fail_ctr: Counter,
+    ho_duration_h: HistogramHandle,
+    ho_t1_h: HistogramHandle,
+    ho_t2_h: HistogramHandle,
+    cap_h: HistogramHandle,
+    lte_engine: MeasEngine,
+    nr_engine: MeasEngine,
+    configs_seen: Vec<EventConfig>,
+    dt: f64,
+    t: f64,
+    tick: u64,
+    had_scg: bool,
     // per-leg views, scratch and the merged candidate table persist across
     // ticks: the hot loop refills them instead of reallocating
-    let mut lte_leg = LegView::new();
-    let mut nr_leg = LegView::new();
-    let mut scratch = LegScratch::default();
-    let mut merged = PciTable::new();
+    lte_leg: LegView,
+    nr_leg: LegView,
+    scratch: LegScratch,
+    merged: PciTable,
+    samples: Vec<TraceSample>,
+    reports_log: Vec<MrRecord>,
+    handovers: Vec<HandoverRecord>,
+    rlf_count: u64,
+    ho_failures: u64,
+    bulk: Option<BulkFlow>,
+    cbr: Option<CbrFlow>,
+    /// Ticks where the serving share was < 1.0 (fleet cell contention).
+    loaded_ticks: u64,
+    /// Σ per-tick serving share (min across attached legs); equals `tick`
+    /// in any uncontended run. Fleet-level congestion stat only — never
+    /// reaches the [`Trace`].
+    share_sum: f64,
+}
 
-    let mut samples = Vec::new();
-    let mut reports_log = Vec::new();
-    let mut handovers = Vec::new();
-    let mut rlf_count = 0u64;
-    let mut ho_failures = 0u64;
-    let mut bulk: Option<BulkFlow> = None;
-    let mut cbr: Option<CbrFlow> = None;
-    match s.workload {
-        Workload::Bulk(cca) => bulk = Some(BulkFlow::new(cca)),
-        Workload::Cbr { rate_mbps, deadline_ms } => cbr = Some(CbrFlow::new(rate_mbps, deadline_ms)),
-        Workload::Idle => {}
-    }
-    if let Some(f) = &mut bulk {
-        f.set_telemetry(tele.clone());
-    }
-    if let Some(f) = &mut cbr {
-        f.set_telemetry(tele.clone());
+impl<'d> UeSim<'d> {
+    /// Builds the UE state and performs the initial attach (strongest cell
+    /// of the control-plane technology at the route start).
+    pub(crate) fn new(
+        s: Scenario,
+        d: &'d Deployment,
+        tele: &Telemetry,
+        mut radio: RadioPath,
+        mut hook: Option<&mut (dyn SimHook + '_)>,
+    ) -> UeSim<'d> {
+        let mob = MobilityDriver::new(s.route.clone(), s.speed);
+        let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
+        let mut policy = HoPolicy::new(s.carrier, s.arch);
+        sm.set_telemetry(tele.clone());
+        policy.set_telemetry(tele.clone());
+        let mut tally = SignalingTally::new();
+        let conn = RrcConnState::with_keepalive();
+        let fault_rng = DetRng::new(hash2(s.seed, 0xFA17));
+        // run on the clamped fault config so out-of-range probabilities behave
+        // like their nearest valid counterpart (see FaultConfig::clamped)
+        let faults = s.faults.clamped();
+
+        let ticks_ctr = tele.counter("sim.ticks");
+        let reports_ctr = tele.counter("sim.reports");
+        let handovers_ctr = tele.counter("sim.handovers");
+        let rlf_ctr = tele.counter("sim.rlf");
+        let mr_loss_ctr = tele.counter("faults.mr_loss");
+        let ho_fail_ctr = tele.counter("faults.ho_failure");
+        let ho_duration_h = tele.histogram("ho.duration_ms");
+        let ho_t1_h = tele.histogram("ho.t1_ms");
+        let ho_t2_h = tele.histogram("ho.t2_ms");
+        let cap_h = tele.histogram("link.capacity_mbps");
+
+        // initial attach: strongest cell of the control-plane technology
+        let t0 = 0.0;
+        let start = mob.position();
+        {
+            let nr = s.arch == Arch::Sa;
+            let best = match &mut radio {
+                RadioPath::Snapshot(snap) => {
+                    snap.refresh(d, &start, t0, SEARCH_RADIUS_M, !nr, nr);
+                    snap.strongest(nr).first().map(|&(id, _)| id)
+                }
+                RadioPath::Reference => d.strongest(&start, t0, nr, SEARCH_RADIUS_M).first().map(|&(id, _)| id),
+            };
+            if nr {
+                sm.attach(None, best);
+            } else {
+                sm.attach(best, None);
+            }
+            if let Some(h) = hook.as_mut() {
+                h.on_attach(t0, AttachReason::Initial, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() });
+            }
+        }
+
+        // measurement engines
+        let (lte_engine, nr_engine, mut configs_seen) = match s.arch {
+            Arch::Sa => {
+                let cfgs = policy.sa_configs();
+                (MeasEngine::new(vec![]), MeasEngine::new(cfgs.clone()), cfgs)
+            }
+            _ => {
+                let lte_cfgs = policy.lte_configs();
+                let nr_cfgs = if s.arch == Arch::Nsa { policy.nr_configs(false) } else { vec![] };
+                let mut seen = lte_cfgs.clone();
+                seen.extend(nr_cfgs.iter().copied());
+                // the connected-mode NR configs will also be seen eventually
+                if s.arch == Arch::Nsa {
+                    for c in policy.nr_configs(true) {
+                        if !seen.contains(&c) {
+                            seen.push(c);
+                        }
+                    }
+                }
+                (MeasEngine::new(lte_cfgs), MeasEngine::new(nr_cfgs), seen)
+            }
+        };
+        configs_seen.dedup();
+        tally.record(&RrcMessage::MeasConfig { configs: configs_seen.clone() });
+
+        let had_scg = sm.serving_nr().is_some();
+
+        let mut bulk: Option<BulkFlow> = None;
+        let mut cbr: Option<CbrFlow> = None;
+        match s.workload {
+            Workload::Bulk(cca) => bulk = Some(BulkFlow::new(cca)),
+            Workload::Cbr { rate_mbps, deadline_ms } => cbr = Some(CbrFlow::new(rate_mbps, deadline_ms)),
+            Workload::Idle => {}
+        }
+        if let Some(f) = &mut bulk {
+            f.set_telemetry(tele.clone());
+        }
+        if let Some(f) = &mut cbr {
+            f.set_telemetry(tele.clone());
+        }
+
+        let dt = 1.0 / s.sample_hz;
+        UeSim {
+            s,
+            d,
+            radio,
+            tele: tele.clone(),
+            mob,
+            sm,
+            policy,
+            tally,
+            conn,
+            fault_rng,
+            faults,
+            ticks_ctr,
+            reports_ctr,
+            handovers_ctr,
+            rlf_ctr,
+            mr_loss_ctr,
+            ho_fail_ctr,
+            ho_duration_h,
+            ho_t1_h,
+            ho_t2_h,
+            cap_h,
+            lte_engine,
+            nr_engine,
+            configs_seen,
+            dt,
+            t: 0.0,
+            tick: 0,
+            had_scg,
+            lte_leg: LegView::new(),
+            nr_leg: LegView::new(),
+            scratch: LegScratch::default(),
+            merged: PciTable::new(),
+            samples: Vec::new(),
+            reports_log: Vec::new(),
+            handovers: Vec::new(),
+            rlf_count: 0,
+            ho_failures: 0,
+            bulk,
+            cbr,
+            loaded_ticks: 0,
+            share_sum: 0.0,
+        }
     }
 
-    while !mob.finished() && t < s.max_duration_s {
-        t += dt;
-        tick += 1;
-        ticks_ctr.inc();
+    /// True while the UE still has route and simulated time left. Matches
+    /// the single-UE loop condition exactly: checked *before* each tick.
+    pub(crate) fn active(&self) -> bool {
+        !self.mob.finished() && self.t < self.s.max_duration_s
+    }
+
+    /// Serving cells after the last step — what the fleet engine publishes
+    /// into the next tick's per-cell attach counts.
+    pub(crate) fn serving(&self) -> (Option<CellId>, Option<CellId>) {
+        (self.sm.serving_lte(), self.sm.serving_nr())
+    }
+
+    /// `(ticks with share < 1.0, Σ per-tick share)` — the fleet engine's
+    /// per-UE congestion statistics.
+    pub(crate) fn load_stats(&self) -> (u64, f64) {
+        (self.loaded_ticks, self.share_sum)
+    }
+
+    /// Advances the simulation by one tick: mobility → HO state machine →
+    /// channel views → RLF → measurements/policy → link → trace sample.
+    ///
+    /// `load` supplies the previous tick's per-cell attach counts; the leg
+    /// capacities are multiplied by the serving cell's equal share. With
+    /// [`CellLoadView::SOLO`] both shares are exactly `1.0` and the
+    /// multiplications are bit-for-bit no-ops (see
+    /// [`fiveg_link::load_share`]).
+    pub(crate) fn step(&mut self, mut hook: Option<&mut (dyn SimHook + '_)>, load: &CellLoadView) {
+        let d = self.d;
+        let arch = self.s.arch;
+        let force_dual = self.s.force_dual;
+        let dt = self.dt;
+        let tele = &self.tele;
+        self.t += dt;
+        let t = self.t;
+        self.tick += 1;
+        self.ticks_ctr.inc();
         {
             let _g = tele.phase(Phase::Mobility);
-            mob.step(dt);
+            self.mob.step(dt);
         }
-        let pos = mob.position();
+        let pos = self.mob.position();
 
         // --- advance the HO state machine
-        let mut pre_lte = sm.serving_lte();
-        let mut pre_nr = sm.serving_nr();
+        let mut pre_lte = self.sm.serving_lte();
+        let mut pre_nr = self.sm.serving_nr();
         let ho_events = {
             let _g = tele.phase(Phase::HoStateMachine);
-            sm.step(t, &d)
+            self.sm.step(t, d)
         };
         for ev in ho_events {
             match ev {
                 HoEvent::CommandSent(msg) => {
-                    tally.record(&msg);
+                    self.tally.record(&msg);
                     if let Some(h) = hook.as_mut() {
                         h.on_ho_command(t);
                     }
                 }
                 HoEvent::Completed(rec, msgs) => {
-                    if faults.ho_failure_prob > 0.0 && fault_rng.chance(faults.ho_failure_prob) {
+                    if self.faults.ho_failure_prob > 0.0 && self.fault_rng.chance(self.faults.ho_failure_prob) {
                         // execution failed: fall back to the source cells and
                         // abandon any chained follow-up — its trigger report
                         // described a radio state that no longer holds
-                        ho_failures += 1;
-                        ho_fail_ctr.inc();
+                        self.ho_failures += 1;
+                        self.ho_fail_ctr.inc();
                         tele.record(t, Event::FaultInjected { kind: "ho_failure".into() });
                         tele.record(t, Event::HoFailure { ho_type: rec.ho_type.acronym().into() });
-                        sm.abort_chain();
-                        sm.attach(pre_lte, pre_nr);
+                        self.sm.abort_chain();
+                        self.sm.attach(pre_lte, pre_nr);
                         if let Some(h) = hook.as_mut() {
                             h.on_ho_failure(t, &rec, ServingCells { lte: pre_lte, nr: pre_nr });
                         }
                     } else {
                         for m in &msgs {
-                            tally.record(m);
+                            self.tally.record(m);
                         }
-                        handovers_ctr.inc();
+                        self.handovers_ctr.inc();
                         tele.incr(&format!("ho.{}", rec.ho_type.acronym()));
-                        ho_duration_h.observe(rec.duration_ms());
-                        ho_t1_h.observe(rec.stages.t1_ms);
-                        ho_t2_h.observe(rec.stages.t2_ms);
+                        self.ho_duration_h.observe(rec.duration_ms());
+                        self.ho_t1_h.observe(rec.stages.t1_ms);
+                        self.ho_t2_h.observe(rec.stages.t2_ms);
                         tele.record(
                             t,
                             Event::HoCommit { ho_type: rec.ho_type.acronym().into(), duration_ms: rec.duration_ms() },
                         );
                         if let Some(h) = hook.as_mut() {
-                            h.on_ho_complete(t, &rec, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() });
+                            h.on_ho_complete(
+                                t,
+                                &rec,
+                                ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
+                            );
                         }
-                        handovers.push(rec);
+                        self.handovers.push(rec);
                     }
-                    pre_lte = sm.serving_lte();
-                    pre_nr = sm.serving_nr();
+                    pre_lte = self.sm.serving_lte();
+                    pre_nr = self.sm.serving_nr();
                     // the new serving cell re-delivers measurement configs
-                    lte_engine.reset();
-                    nr_engine.reset();
-                    policy.end_phase();
-                    tally.record(&RrcMessage::MeasConfig { configs: vec![] });
+                    self.lte_engine.reset();
+                    self.nr_engine.reset();
+                    self.policy.end_phase();
+                    self.tally.record(&RrcMessage::MeasConfig { configs: vec![] });
                 }
             }
         }
 
         // SCG presence flips the NR measurement config (B1-only vs full set)
-        if s.arch == Arch::Nsa {
-            let has_scg = sm.serving_nr().is_some();
-            if has_scg != had_scg {
-                nr_engine.reconfigure(policy.nr_configs(has_scg));
-                tally.record(&RrcMessage::MeasConfig { configs: vec![] });
-                had_scg = has_scg;
+        if arch == Arch::Nsa {
+            let has_scg = self.sm.serving_nr().is_some();
+            if has_scg != self.had_scg {
+                self.nr_engine.reconfigure(self.policy.nr_configs(has_scg));
+                self.tally.record(&RrcMessage::MeasConfig { configs: vec![] });
+                self.had_scg = has_scg;
             }
         }
 
         // --- channel views
         let channel_guard = tele.phase(Phase::Channel);
-        if let RadioPath::Snapshot(snap) = &mut radio {
+        if let RadioPath::Snapshot(snap) = &mut self.radio {
             // one refresh feeds both leg views, RLF recovery and attach —
             // each in-radius cell's rx_dbm is evaluated exactly once per tick
-            snap.refresh(&d, &pos, t, SEARCH_RADIUS_M, s.arch != Arch::Sa, s.arch != Arch::Lte);
+            snap.refresh(d, &pos, t, SEARCH_RADIUS_M, arch != Arch::Sa, arch != Arch::Lte);
         }
-        let lte_view: Option<&LegView> = if s.arch != Arch::Sa {
-            match &radio {
+        let lte_view: Option<&LegView> = if arch != Arch::Sa {
+            match &self.radio {
                 RadioPath::Snapshot(snap) => {
                     let all = snap.strongest(false);
                     fill_leg_view(
-                        &mut lte_leg,
-                        &mut scratch,
-                        &d,
+                        &mut self.lte_leg,
+                        &mut self.scratch,
+                        d,
                         all,
                         &pos,
                         t,
                         false,
-                        sm.serving_lte(),
-                        s.arch == Arch::Nsa,
+                        self.sm.serving_lte(),
+                        arch == Arch::Nsa,
                     );
                 }
                 RadioPath::Reference => {
                     let all = d.strongest(&pos, t, false, SEARCH_RADIUS_M);
                     fill_leg_view(
-                        &mut lte_leg,
-                        &mut scratch,
-                        &d,
+                        &mut self.lte_leg,
+                        &mut self.scratch,
+                        d,
                         &all,
                         &pos,
                         t,
                         false,
-                        sm.serving_lte(),
-                        s.arch == Arch::Nsa,
+                        self.sm.serving_lte(),
+                        arch == Arch::Nsa,
                     );
                 }
             }
-            Some(&lte_leg)
+            Some(&self.lte_leg)
         } else {
             None
         };
-        let nr_view: Option<&LegView> = if s.arch != Arch::Lte {
-            match &radio {
+        let nr_view: Option<&LegView> = if arch != Arch::Lte {
+            match &self.radio {
                 RadioPath::Snapshot(snap) => {
                     let all = snap.strongest(true);
-                    fill_leg_view(&mut nr_leg, &mut scratch, &d, all, &pos, t, true, sm.serving_nr(), false);
+                    fill_leg_view(
+                        &mut self.nr_leg,
+                        &mut self.scratch,
+                        d,
+                        all,
+                        &pos,
+                        t,
+                        true,
+                        self.sm.serving_nr(),
+                        false,
+                    );
                 }
                 RadioPath::Reference => {
                     let all = d.strongest(&pos, t, true, SEARCH_RADIUS_M);
-                    fill_leg_view(&mut nr_leg, &mut scratch, &d, &all, &pos, t, true, sm.serving_nr(), false);
+                    fill_leg_view(
+                        &mut self.nr_leg,
+                        &mut self.scratch,
+                        d,
+                        &all,
+                        &pos,
+                        t,
+                        true,
+                        self.sm.serving_nr(),
+                        false,
+                    );
                 }
             }
-            Some(&nr_leg)
+            Some(&self.nr_leg)
         } else {
             None
         };
@@ -520,62 +686,63 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
 
         // --- radio link failure / reattach
         if let Some(lv) = &lte_view {
-            let lost = lv.serving.map(|m| m.rrs.rsrp_dbm < RLF_DBM).unwrap_or(sm.serving_lte().is_none());
-            if lost && !sm.busy() {
-                let best = match &radio {
+            let lost = lv.serving.map(|m| m.rrs.rsrp_dbm < RLF_DBM).unwrap_or(self.sm.serving_lte().is_none());
+            if lost && !self.sm.busy() {
+                let best = match &self.radio {
                     RadioPath::Snapshot(snap) => snap.strongest(false).first().copied(),
                     RadioPath::Reference => d.strongest(&pos, t, false, SEARCH_RADIUS_M).first().copied(),
                 };
                 if let Some((id, rx)) = best {
-                    if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_lte() {
-                        let rlf = sm.serving_lte().is_some();
+                    if rx > RLF_DBM + 4.0 && Some(id) != self.sm.serving_lte() {
+                        let rlf = self.sm.serving_lte().is_some();
                         if rlf {
-                            rlf_count += 1;
-                            rlf_ctr.inc();
+                            self.rlf_count += 1;
+                            self.rlf_ctr.inc();
                             tele.record(t, Event::Rlf { leg: "lte".into() });
                         }
-                        sm.attach(Some(id), if s.arch == Arch::Nsa { None } else { sm.serving_nr() });
-                        lte_engine.reset();
-                        nr_engine.reset();
-                        policy.end_phase();
+                        let keep_nr = if arch == Arch::Nsa { None } else { self.sm.serving_nr() };
+                        self.sm.attach(Some(id), keep_nr);
+                        self.lte_engine.reset();
+                        self.nr_engine.reset();
+                        self.policy.end_phase();
                         if let Some(h) = hook.as_mut() {
                             h.on_attach(
                                 t,
                                 AttachReason::Reattach { leg: RadioTech::Lte, rlf },
-                                ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() },
+                                ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
                             );
                         }
                     }
                 }
             }
         }
-        if s.arch == Arch::Sa {
+        if arch == Arch::Sa {
             let lost = nr_view
                 .as_ref()
                 .and_then(|v| v.serving)
                 .map(|m| m.rrs.rsrp_dbm < RLF_DBM)
-                .unwrap_or(sm.serving_nr().is_none());
-            if lost && !sm.busy() {
-                let best = match &radio {
+                .unwrap_or(self.sm.serving_nr().is_none());
+            if lost && !self.sm.busy() {
+                let best = match &self.radio {
                     RadioPath::Snapshot(snap) => snap.strongest(true).first().copied(),
                     RadioPath::Reference => d.strongest(&pos, t, true, SEARCH_RADIUS_M).first().copied(),
                 };
                 if let Some((id, rx)) = best {
-                    if rx > RLF_DBM + 4.0 && Some(id) != sm.serving_nr() {
-                        let rlf = sm.serving_nr().is_some();
+                    if rx > RLF_DBM + 4.0 && Some(id) != self.sm.serving_nr() {
+                        let rlf = self.sm.serving_nr().is_some();
                         if rlf {
-                            rlf_count += 1;
-                            rlf_ctr.inc();
+                            self.rlf_count += 1;
+                            self.rlf_ctr.inc();
                             tele.record(t, Event::Rlf { leg: "nr".into() });
                         }
-                        sm.attach(None, Some(id));
-                        nr_engine.reset();
-                        policy.end_phase();
+                        self.sm.attach(None, Some(id));
+                        self.nr_engine.reset();
+                        self.policy.end_phase();
                         if let Some(h) = hook.as_mut() {
                             h.on_attach(
                                 t,
                                 AttachReason::Reattach { leg: RadioTech::Nr, rlf },
-                                ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() },
+                                ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
                             );
                         }
                     }
@@ -584,29 +751,29 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
         }
 
         // --- measurements, reports, policy (only between HOs)
-        if !sm.busy() {
+        if !self.sm.busy() {
             // policy context map: keyed by PCI. NR entries first so NR-leg
             // reports resolve to gNB cells; the HO start below re-resolves
             // within the correct leg anyway.
-            merged.clear();
+            self.merged.clear();
             if let Some(v) = &nr_view {
                 for (p, id) in v.candidates.iter() {
-                    merged.insert_first(p, id);
+                    self.merged.insert_first(p, id);
                 }
             }
             if let Some(v) = &lte_view {
                 for (p, id) in v.candidates.iter() {
-                    merged.insert_first(p, id);
+                    self.merged.insert_first(p, id);
                 }
             }
             let mut decisions = Vec::new();
             let mut rearm_b1 = false;
             {
                 let pctx = PolicyContext {
-                    deployment: &d,
-                    serving_lte: sm.serving_lte(),
-                    serving_nr: sm.serving_nr(),
-                    candidates: &merged,
+                    deployment: d,
+                    serving_lte: self.sm.serving_lte(),
+                    serving_nr: self.sm.serving_nr(),
+                    candidates: &self.merged,
                     t,
                 };
 
@@ -615,30 +782,30 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                     if let Some(serving) = v.serving {
                         let reps = {
                             let _g = tele.phase(Phase::Measurement);
-                            lte_engine.step(t, &serving, &v.neighbors)
+                            self.lte_engine.step(t, &serving, &v.neighbors)
                         };
                         for rep in reps {
-                            if faults.mr_loss_prob > 0.0 && fault_rng.chance(faults.mr_loss_prob) {
-                                mr_loss_ctr.inc();
+                            if self.faults.mr_loss_prob > 0.0 && self.fault_rng.chance(self.faults.mr_loss_prob) {
+                                self.mr_loss_ctr.inc();
                                 tele.record(t, Event::FaultInjected { kind: "mr_loss".into() });
                                 tele.record(t, Event::MrLoss { event: rep.event.label() });
                                 continue; // report lost on the uplink
                             }
-                            reports_ctr.inc();
-                            tally.record(&RrcMessage::MeasurementReport {
+                            self.reports_ctr.inc();
+                            self.tally.record(&RrcMessage::MeasurementReport {
                                 event: rep.event,
                                 serving_pci: serving.pci,
                                 serving_rrs: serving.rrs,
                                 neighbors: rep.neighbors.clone(),
                             });
-                            reports_log.push(MrRecord {
+                            self.reports_log.push(MrRecord {
                                 t,
                                 event: rep.event,
                                 serving_pci: serving.pci.0,
                                 neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
                             });
                             let _g = tele.phase(Phase::Policy);
-                            if let Some(dec) = policy.on_report(&rep, &pctx) {
+                            if let Some(dec) = self.policy.on_report(&rep, &pctx) {
                                 decisions.push(dec);
                             }
                         }
@@ -655,11 +822,11 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                     });
                     let reps = {
                         let _g = tele.phase(Phase::Measurement);
-                        nr_engine.step(t, &serving, &v.neighbors)
+                        self.nr_engine.step(t, &serving, &v.neighbors)
                     };
                     for rep in reps {
-                        if faults.mr_loss_prob > 0.0 && fault_rng.chance(faults.mr_loss_prob) {
-                            mr_loss_ctr.inc();
+                        if self.faults.mr_loss_prob > 0.0 && self.fault_rng.chance(self.faults.mr_loss_prob) {
+                            self.mr_loss_ctr.inc();
                             tele.record(t, Event::FaultInjected { kind: "mr_loss".into() });
                             tele.record(t, Event::MrLoss { event: rep.event.label() });
                             continue;
@@ -667,19 +834,19 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                         // B1 reporting is only configured during SCG
                         // discovery or an open SCG-change window
                         if rep.event.kind == fiveg_rrc::EventKind::B1
-                            && s.arch == Arch::Nsa
-                            && !policy.wants_nr_b1(sm.serving_nr().is_some(), t)
+                            && arch == Arch::Nsa
+                            && !self.policy.wants_nr_b1(self.sm.serving_nr().is_some(), t)
                         {
                             continue;
                         }
-                        reports_ctr.inc();
-                        tally.record(&RrcMessage::MeasurementReport {
+                        self.reports_ctr.inc();
+                        self.tally.record(&RrcMessage::MeasurementReport {
                             event: rep.event,
                             serving_pci: serving.pci,
                             serving_rrs: serving.rrs,
                             neighbors: rep.neighbors.clone(),
                         });
-                        reports_log.push(MrRecord {
+                        self.reports_log.push(MrRecord {
                             t,
                             event: rep.event,
                             serving_pci: serving.pci.0,
@@ -691,7 +858,7 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                             rearm_b1 = true;
                         }
                         let _g = tele.phase(Phase::Policy);
-                        if let Some(dec) = policy.on_report(&rep, &pctx) {
+                        if let Some(dec) = self.policy.on_report(&rep, &pctx) {
                             decisions.push(dec);
                         }
                     }
@@ -699,13 +866,13 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
 
                 // pending-A2 decay (SCG release without replacement)
                 let _g = tele.phase(Phase::Policy);
-                if let Some(dec) = policy.tick(&pctx) {
+                if let Some(dec) = self.policy.tick(&pctx) {
                     decisions.push(dec);
                 }
             }
 
             if rearm_b1 {
-                nr_engine.rearm(fiveg_rrc::EventKind::B1);
+                self.nr_engine.rearm(fiveg_rrc::EventKind::B1);
             }
 
             // execute the first decision (one HO at a time); resolve the
@@ -728,29 +895,38 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                     if let Some(h) = hook.as_mut() {
                         h.on_decision(t, &dec.action);
                     }
-                    sm.start(dec.action, target, dec.phase, &d, t);
+                    self.sm.start(dec.action, target, dec.phase, d, t);
                 }
             }
         }
 
         // --- PHY-layer measurement accounting (SSB sweeps)
-        if conn.is_connected(t) {
+        if self.conn.is_connected(t) {
             if let Some(v) = &lte_view {
-                tally.record_phy_meas(1 + v.neighbors.len() as u64);
+                self.tally.record_phy_meas(1 + v.neighbors.len() as u64);
             }
             if let Some(v) = &nr_view {
-                let serving_mm = sm.serving_nr().map(|c| d.cell(c).band.class() == BandClass::MmWave).unwrap_or(false);
+                let serving_mm =
+                    self.sm.serving_nr().map(|c| d.cell(c).band.class() == BandClass::MmWave).unwrap_or(false);
                 let beams = if serving_mm { 8 } else { 1 };
-                tally.record_phy_meas(beams * (1 + v.neighbors.len() as u64));
+                self.tally.record_phy_meas(beams * (1 + v.neighbors.len() as u64));
             }
         }
 
         // --- link layer
         let link_guard = tele.phase(Phase::Link);
-        let cs = sm.connection();
+        let cs = self.sm.connection();
+        // Previous-tick per-cell attach counts → equal-share scheduling.
+        // SOLO (and any cell with <= 1 attached UE) yields exactly 1.0, so
+        // the multiplications below are bit-for-bit no-ops outside a loaded
+        // fleet (see fiveg_link::load_share).
+        let lte_share = cs.lte.map(|id| load.share(id)).unwrap_or(1.0);
+        let nr_share = cs.nr.map(|id| load.share(id)).unwrap_or(1.0);
         let lte_cap = match (cs.lte, &lte_view) {
             (Some(id), Some(v)) => {
-                shannon_capacity_mbps(v.serving_sinr_db, d.cell(id).band.bandwidth_mhz * LTE_CA_FACTOR) * FAIR_SHARE
+                shannon_capacity_mbps(v.serving_sinr_db, d.cell(id).band.bandwidth_mhz * LTE_CA_FACTOR)
+                    * FAIR_SHARE
+                    * lte_share
             }
             _ => 0.0,
         };
@@ -762,12 +938,17 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
                     BandClass::Mid => NR_MID_CA_FACTOR,
                     BandClass::Low => NR_LOW_CA_FACTOR,
                 };
-                shannon_capacity_mbps(v.serving_sinr_db, band.bandwidth_mhz * ca) * FAIR_SHARE
+                shannon_capacity_mbps(v.serving_sinr_db, band.bandwidth_mhz * ca) * FAIR_SHARE * nr_share
             }
             _ => 0.0,
         };
-        let dual = s.force_dual.unwrap_or_else(|| d.dual_mode_at(&pos));
-        let bearer = match s.arch {
+        let serving_share = if lte_share < nr_share { lte_share } else { nr_share };
+        if serving_share < 1.0 {
+            self.loaded_ticks += 1;
+        }
+        self.share_sum += serving_share;
+        let dual = force_dual.unwrap_or_else(|| d.dual_mode_at(&pos));
+        let bearer = match arch {
             Arch::Lte => Bearer::LteOnly,
             Arch::Sa => Bearer::NrOnly,
             Arch::Nsa => {
@@ -788,24 +969,24 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
             bearer,
         });
 
-        conn.step(t);
-        if let Some(f) = &mut bulk {
+        self.conn.step(t);
+        if let Some(f) = &mut self.bulk {
             f.step(t, dt, &path);
-            conn.on_activity(t);
+            self.conn.on_activity(t);
         }
-        if let Some(f) = &mut cbr {
+        if let Some(f) = &mut self.cbr {
             f.step(t, dt, &path);
-            conn.on_activity(t);
+            self.conn.on_activity(t);
         }
-        cap_h.observe(path.capacity_mbps);
+        self.cap_h.observe(path.capacity_mbps);
         drop(link_guard);
 
         // --- record sample
         let append_guard = tele.phase(Phase::TraceAppend);
-        samples.push(TraceSample {
+        self.samples.push(TraceSample {
             t,
             pos: (pos.x, pos.y),
-            dist_m: mob.distance(),
+            dist_m: self.mob.distance(),
             lte_cell: cs.lte.map(|c| c.0),
             nr_cell: cs.nr.map(|c| c.0),
             lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
@@ -827,11 +1008,11 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
 
         if let Some(h) = hook.as_mut() {
             h.on_tick(&TickView {
-                tick,
+                tick: self.tick,
                 t,
                 serving: ServingCells { lte: cs.lte, nr: cs.nr },
-                phase: sm.ho_phase(),
-                queued: sm.queued(),
+                phase: self.sm.ho_phase(),
+                queued: self.sm.queued(),
                 lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
                 nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
                 capacity_mbps: path.capacity_mbps,
@@ -839,52 +1020,62 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, mut radio: RadioPath, mut hook:
         }
     }
 
-    if let Some(h) = hook.as_mut() {
-        h.on_run_end(t, ServingCells { lte: sm.serving_lte(), nr: sm.serving_nr() }, sm.ho_phase(), sm.queued());
-    }
+    /// Finishes the run: fires `on_run_end`, records the final gauges and
+    /// consumes the UE into its [`Trace`].
+    pub(crate) fn into_trace(self, mut hook: Option<&mut (dyn SimHook + '_)>) -> Trace {
+        if let Some(h) = hook.as_mut() {
+            h.on_run_end(
+                self.t,
+                ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
+                self.sm.ho_phase(),
+                self.sm.queued(),
+            );
+        }
 
-    tele.set_gauge("sim.duration_s", t);
-    tele.set_gauge("sim.traveled_m", mob.distance());
+        self.tele.set_gauge("sim.duration_s", self.t);
+        self.tele.set_gauge("sim.traveled_m", self.mob.distance());
 
-    let cells = d
-        .cells
-        .iter()
-        .map(|c| CellDictEntry {
-            cell: c.id.0,
-            pci: c.pci.0,
-            is_nr: c.is_nr(),
-            band: c.band.name.to_string(),
-            class: c.band.class(),
-            site: (c.site.x, c.site.y),
-            tower: c.tower.0,
-            co_located: d.towers[c.tower.0 as usize].co_located,
-        })
-        .collect();
+        let cells = self
+            .d
+            .cells
+            .iter()
+            .map(|c| CellDictEntry {
+                cell: c.id.0,
+                pci: c.pci.0,
+                is_nr: c.is_nr(),
+                band: c.band.name.to_string(),
+                class: c.band.class(),
+                site: (c.site.x, c.site.y),
+                tower: c.tower.0,
+                co_located: self.d.towers[c.tower.0 as usize].co_located,
+            })
+            .collect();
 
-    Trace {
-        meta: TraceMeta {
-            carrier: s.carrier,
-            env: s.env,
-            arch: s.arch,
-            seed: s.seed,
-            sample_hz: s.sample_hz,
-            duration_s: t,
-            route_len_m: s.route.length(),
-            traveled_m: mob.distance(),
-        },
-        cells,
-        samples,
-        reports: reports_log,
-        handovers,
-        signaling: tally,
-        configs: configs_seen,
-        rlf_count,
-        ho_failures,
-        flow: match (bulk, cbr) {
-            (Some(f), _) => FlowLog::Tcp(f.samples().to_vec()),
-            (_, Some(f)) => FlowLog::Cbr(f.samples().to_vec()),
-            _ => FlowLog::None,
-        },
+        Trace {
+            meta: TraceMeta {
+                carrier: self.s.carrier,
+                env: self.s.env,
+                arch: self.s.arch,
+                seed: self.s.seed,
+                sample_hz: self.s.sample_hz,
+                duration_s: self.t,
+                route_len_m: self.s.route.length(),
+                traveled_m: self.mob.distance(),
+            },
+            cells,
+            samples: self.samples,
+            reports: self.reports_log,
+            handovers: self.handovers,
+            signaling: self.tally,
+            configs: self.configs_seen,
+            rlf_count: self.rlf_count,
+            ho_failures: self.ho_failures,
+            flow: match (self.bulk, self.cbr) {
+                (Some(f), _) => FlowLog::Tcp(f.samples().to_vec()),
+                (_, Some(f)) => FlowLog::Cbr(f.samples().to_vec()),
+                _ => FlowLog::None,
+            },
+        }
     }
 }
 

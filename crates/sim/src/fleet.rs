@@ -1,0 +1,662 @@
+//! Multi-UE fleet engine: N load-coupled UEs against one shared deployment.
+//!
+//! Every single-UE entry point in [`crate::engine`] simulates exactly one
+//! device; the paper's findings (HO frequency, dual-steering, QoE impact)
+//! are population effects. This module runs a *fleet* of `UeSim`s in
+//! lockstep against one immutable [`Deployment`], coupling them through
+//! **cell load**: each tick publishes per-cell attach counts, and the next
+//! tick's link-layer capacity is scaled by the serving cell's equal share
+//! ([`fiveg_link::load_share`]).
+//!
+//! # Determinism
+//!
+//! The output is byte-identical at any `--threads`:
+//!
+//! * UEs are sharded into contiguous index ranges; each UE's step sequence
+//!   depends only on its own scenario and the load table, never on shard
+//!   boundaries;
+//! * the load table is double-buffered and barrier-synced: tick `k` reads
+//!   the counts *all* UEs published during tick `k-1`, so no worker ever
+//!   observes a partially-written tick;
+//! * counts are merged with commutative integer `fetch_add`s — the merge
+//!   result is independent of worker interleaving;
+//! * results, telemetry ([`Telemetry::absorb`]) and hooks are collected in
+//!   UE-index order.
+//!
+//! UE 0 always runs the base scenario verbatim, so a fleet of size 1
+//! produces a [`Trace`] byte-identical to [`Scenario::run`] (held to that
+//! by a proptest below). Other UEs get derived seeds, hashed start-tick
+//! offsets inside the stagger window, alternating route direction and a
+//! small deterministic speed jitter.
+//!
+//! # Cache sharing
+//!
+//! The per-(pos, t) radio caches ([`fiveg_ran::RadioSnapshot`] wrapping the
+//! `LatticeCache`/`ChannelCache` pair) are *per UE*, which is the "per
+//! shard" option from the design space: the lattice memos are
+//! last-position caches, so sharing one across UEs at different positions
+//! would thrash every lookup. Owned per UE they hit exactly as often as in
+//! the single-UE hot path, keeping per-UE cost near single-UE cost; the
+//! deployment (cells, towers, grid index) is the shared read-only part.
+
+use crate::engine::{RadioPath, UeSim};
+use crate::hook::SimHook;
+use crate::scenario::Scenario;
+use crate::trace::Trace;
+use fiveg_link::load_share;
+use fiveg_radio::hash2;
+use fiveg_ran::{Arch, Carrier, CellId, Deployment, Environment, RadioSnapshot};
+use fiveg_telemetry::{Telemetry, TelemetryConfig};
+use fiveg_ue::SpeedProfile;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Read-only view of the previous tick's per-cell attach counts, consumed
+/// by `UeSim::step` when computing leg capacities.
+///
+/// [`CellLoadView::SOLO`] is the single-UE engine's view: no load table at
+/// all, every share is exactly `1.0`, and the capacity math is bit-for-bit
+/// the pre-fleet engine's (the "no other UEs" bugfix contract guarded by
+/// `tests/trace_equivalence.rs`).
+#[derive(Clone, Copy, Default)]
+pub struct CellLoadView<'a> {
+    counts: Option<&'a [AtomicU32]>,
+}
+
+impl<'a> CellLoadView<'a> {
+    /// The single-UE view: every cell's share is exactly `1.0`.
+    pub const SOLO: CellLoadView<'static> = CellLoadView { counts: None };
+
+    /// A view over a fully-merged per-cell attach-count table (indexed by
+    /// `CellId`). The counts include the reading UE itself, so a UE alone
+    /// on its cell still gets share `1.0`.
+    pub fn from_counts(counts: &'a [AtomicU32]) -> CellLoadView<'a> {
+        CellLoadView { counts: Some(counts) }
+    }
+
+    /// Equal capacity share of `cell` under the recorded load.
+    pub fn share(&self, cell: CellId) -> f64 {
+        match self.counts {
+            None => 1.0,
+            Some(c) => load_share(c.get(cell.0 as usize).map_or(0, |a| a.load(Ordering::Relaxed))),
+        }
+    }
+}
+
+/// A fleet of N UEs derived from one base scenario.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// The base scenario: deployment seed, route, carrier, arch, workload.
+    /// UE 0 runs it verbatim.
+    pub base: Scenario,
+    /// Fleet size (>= 1).
+    pub n_ues: u32,
+    /// Start offsets are hashed into `[0, stagger_s]` of simulated time
+    /// (UE 0 always starts at tick 0).
+    pub stagger_s: f64,
+    /// Per-UE speed scale is hashed into `1.0 ± speed_jitter` (UE 0 keeps
+    /// the base profile).
+    pub speed_jitter: f64,
+    /// Keep every per-UE [`Trace`] in the [`FleetTrace`] (memory scales
+    /// with fleet size × duration; off by default — summaries only).
+    pub keep_traces: bool,
+}
+
+impl FleetSpec {
+    /// A fleet with the default heterogeneity: 20 s stagger window, ±10%
+    /// speed jitter, summaries only.
+    pub fn new(base: Scenario, n_ues: u32) -> FleetSpec {
+        FleetSpec { base, n_ues, stagger_s: 20.0, speed_jitter: 0.1, keep_traces: false }
+    }
+
+    /// Sets the start-offset window, s.
+    pub fn stagger_s(mut self, s: f64) -> FleetSpec {
+        self.stagger_s = s;
+        self
+    }
+
+    /// Sets the speed-jitter fraction.
+    pub fn speed_jitter(mut self, j: f64) -> FleetSpec {
+        self.speed_jitter = j;
+        self
+    }
+
+    /// Keeps the per-UE traces in the fleet output.
+    pub fn keep_traces(mut self, keep: bool) -> FleetSpec {
+        self.keep_traces = keep;
+        self
+    }
+
+    /// The derived plan for UE `ue`: scenario, global start tick, route
+    /// direction. Pure function of the spec — workers on any shard compute
+    /// identical plans.
+    pub fn ue_plan(&self, ue: u32) -> UePlan {
+        if ue == 0 {
+            // the identity UE: base scenario verbatim, so a fleet of one
+            // reproduces the single-UE engine byte for byte
+            return UePlan { ue, scenario: self.base.clone(), start_tick: 0, reversed: false };
+        }
+        let seed = hash2(self.base.seed, 0xF1EE_7000 ^ ue as u64);
+        let mut s = self.base.clone();
+        s.seed = seed;
+        let reversed = ue % 2 == 1;
+        if reversed {
+            let mut pts = s.route.points().to_vec();
+            pts.reverse();
+            s.route = fiveg_geo::Polyline::new(pts);
+        }
+        let scale = 1.0 + self.speed_jitter * (2.0 * unit(seed, 0x5BEED) - 1.0);
+        s.speed = scale_speed(s.speed, scale);
+        let window = (self.stagger_s * self.base.sample_hz).max(0.0) as u64;
+        let start_tick = if window == 0 { 0 } else { hash2(seed, 0x0FF5E7) % (window + 1) };
+        UePlan { ue, scenario: s, start_tick, reversed }
+    }
+}
+
+/// Uniform draw in `[0, 1)` from a seeded hash.
+fn unit(seed: u64, salt: u64) -> f64 {
+    (hash2(seed, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn scale_speed(sp: SpeedProfile, f: f64) -> SpeedProfile {
+    match sp {
+        SpeedProfile::Constant { mps } => SpeedProfile::Constant { mps: mps * f },
+        SpeedProfile::StopAndGo { peak_mps, period_s, stop_s } => {
+            SpeedProfile::StopAndGo { peak_mps: peak_mps * f, period_s, stop_s }
+        }
+    }
+}
+
+/// One UE's derived scenario and schedule.
+#[derive(Debug, Clone)]
+pub struct UePlan {
+    /// UE index within the fleet.
+    pub ue: u32,
+    /// The derived scenario (seed, route direction, speed).
+    pub scenario: Scenario,
+    /// Global tick at which this UE enters the simulation.
+    pub start_tick: u64,
+    /// Whether the route runs opposite to the base direction.
+    pub reversed: bool,
+}
+
+/// Fleet-run metadata (thread-count independent by construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMeta {
+    /// Fleet size.
+    pub n_ues: u32,
+    /// Base scenario seed (per-UE seeds derive from it).
+    pub seed: u64,
+    /// Carrier under test.
+    pub carrier: Carrier,
+    /// Deployment environment.
+    pub env: Environment,
+    /// Service architecture.
+    pub arch: Arch,
+    /// Tick rate, Hz.
+    pub sample_hz: f64,
+    /// Per-UE simulated-time cap, s.
+    pub max_duration_s: f64,
+    /// Start-offset window, s.
+    pub stagger_s: f64,
+    /// Speed-jitter fraction.
+    pub speed_jitter: f64,
+    /// Cells in the shared deployment.
+    pub cells: u32,
+    /// Global lockstep ticks executed.
+    pub ticks: u64,
+}
+
+/// Per-UE result summary: the trace-level aggregates plus the fleet-only
+/// congestion statistics that never reach a single-UE [`Trace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UeSummary {
+    /// UE index within the fleet.
+    pub ue: u32,
+    /// The UE's derived scenario seed.
+    pub seed: u64,
+    /// Global tick at which the UE entered the simulation.
+    pub start_tick: u64,
+    /// Route direction relative to the base scenario.
+    pub reversed: bool,
+    /// Ticks the UE executed.
+    pub ticks: u64,
+    /// Distance traveled, m.
+    pub traveled_m: f64,
+    /// Completed handovers.
+    pub handovers: u64,
+    /// Failed handovers (fault injection).
+    pub ho_failures: u64,
+    /// Radio link failures.
+    pub rlf_count: u64,
+    /// Measurement reports sent.
+    pub reports: u64,
+    /// Mean per-tick downlink capacity, Mbps.
+    pub mean_capacity_mbps: f64,
+    /// Ticks where the serving share was < 1.0 (cell contention).
+    pub loaded_ticks: u64,
+    /// Mean serving share over the run (1.0 = never contended).
+    pub mean_load_share: f64,
+}
+
+impl UeSummary {
+    fn from_trace(plan: &UePlan, trace: &Trace, loaded_ticks: u64, share_sum: f64) -> UeSummary {
+        let ticks = trace.samples.len() as u64;
+        let mean_cap = if trace.samples.is_empty() {
+            0.0
+        } else {
+            trace.samples.iter().map(|s| s.capacity_mbps).sum::<f64>() / trace.samples.len() as f64
+        };
+        UeSummary {
+            ue: plan.ue,
+            seed: plan.scenario.seed,
+            start_tick: plan.start_tick,
+            reversed: plan.reversed,
+            ticks,
+            traveled_m: trace.meta.traveled_m,
+            handovers: trace.handovers.len() as u64,
+            ho_failures: trace.ho_failures,
+            rlf_count: trace.rlf_count,
+            reports: trace.reports.len() as u64,
+            mean_capacity_mbps: mean_cap,
+            loaded_ticks,
+            mean_load_share: if ticks == 0 { 1.0 } else { share_sum / ticks as f64 },
+        }
+    }
+}
+
+/// Fleet-level load statistics, accumulated by the coordinator from the
+/// fully-merged count table once per tick (single-threaded, so the scan
+/// order — and the result — is independent of worker count).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadSummary {
+    /// Peak number of UEs stepping in one tick.
+    pub peak_active_ues: u32,
+    /// Peak concurrent attached UEs on one cell (both legs counted).
+    pub peak_cell_ues: u32,
+    /// Σ over ticks and cells of the attach count (UE·tick units; a
+    /// dual-connected UE contributes on both serving cells).
+    pub attach_ue_ticks: u64,
+    /// The subset of `attach_ue_ticks` on cells holding >= 2 UEs — the
+    /// share-reducing congestion the link layer actually sees.
+    pub contended_ue_ticks: u64,
+}
+
+/// The deterministic output of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrace {
+    /// Run metadata.
+    pub meta: FleetMeta,
+    /// Per-UE summaries, in UE order.
+    pub ues: Vec<UeSummary>,
+    /// Fleet-level load statistics.
+    pub load: LoadSummary,
+    /// Per-UE traces, in UE order (empty unless [`FleetSpec::keep_traces`]).
+    pub traces: Vec<Trace>,
+}
+
+/// Observer that observes nothing: the hook-free fleet path.
+struct NoHook;
+impl SimHook for NoHook {}
+
+/// Runs a fleet with telemetry disabled. See [`run_fleet_instrumented`].
+pub fn run_fleet(spec: &FleetSpec, threads: usize) -> FleetTrace {
+    run_fleet_instrumented(spec, threads, &Telemetry::disabled())
+}
+
+/// Runs a fleet recording into a caller-owned [`Telemetry`] handle.
+///
+/// Per-UE telemetry runs on [`TelemetryConfig::deterministic`] handles and
+/// is absorbed into `tele` in UE order after the run (commutative counter
+/// and histogram merges — see [`Telemetry::absorb`]), plus fleet-level
+/// `fleet.*` counters. The returned [`FleetTrace`] is byte-identical at
+/// any `threads`.
+pub fn run_fleet_instrumented(spec: &FleetSpec, threads: usize, tele: &Telemetry) -> FleetTrace {
+    run_fleet_core::<NoHook>(spec, threads, tele, None).0
+}
+
+/// Runs a fleet with one [`SimHook`] per UE, built by `factory` (called
+/// with the UE index). Hooks observe only — the trace is identical to
+/// [`run_fleet`]'s — and are returned in UE order, so an invariant oracle
+/// can be attached to every UE and queried afterwards.
+pub fn run_fleet_observed<H, F>(spec: &FleetSpec, threads: usize, tele: &Telemetry, factory: F) -> (FleetTrace, Vec<H>)
+where
+    H: SimHook + Send,
+    F: Fn(u32) -> H + Sync,
+{
+    let (ft, hooks) = run_fleet_core(spec, threads, tele, Some(&factory));
+    (ft, hooks.expect("factory was provided"))
+}
+
+/// One worker-owned UE slot.
+enum Slot<'d, H: SimHook> {
+    /// Waiting for its start tick.
+    Pending,
+    /// Stepping.
+    Running(Box<RunningUe<'d, H>>),
+    /// Finalized into the results table.
+    Done,
+}
+
+struct RunningUe<'d, H: SimHook> {
+    sim: UeSim<'d>,
+    hook: Option<H>,
+    tele: Telemetry,
+}
+
+struct UeOut<H> {
+    summary: UeSummary,
+    trace: Option<Trace>,
+    tele: Telemetry,
+    hook: Option<H>,
+}
+
+#[allow(clippy::type_complexity)]
+fn run_fleet_core<H: SimHook + Send>(
+    spec: &FleetSpec,
+    threads: usize,
+    tele: &Telemetry,
+    factory: Option<&(dyn Fn(u32) -> H + Sync)>,
+) -> (FleetTrace, Option<Vec<H>>) {
+    assert!(spec.n_ues >= 1, "a fleet needs at least one UE");
+    let n = spec.n_ues as usize;
+    let threads = threads.clamp(1, n);
+    let base = &spec.base;
+    let d = Deployment::generate(&base.route, base.carrier, base.env, base.arch, base.seed);
+    let n_cells = d.cells.len();
+
+    let plans: Vec<UePlan> = (0..spec.n_ues).map(|i| spec.ue_plan(i)).collect();
+    // telemetry wall-clock timers are not deterministic; per-UE handles run
+    // counters+journal only (or fully off when the fleet handle is off)
+    let per_ue_cfg = if tele.is_enabled() { TelemetryConfig::deterministic() } else { TelemetryConfig::OFF };
+
+    // Double-buffered per-cell attach counts: tick k reads bufs[k % 2]
+    // (fully merged during tick k-1) and fetch_adds into bufs[1 - k % 2].
+    let bufs: [Vec<AtomicU32>; 2] =
+        [(0..n_cells).map(|_| AtomicU32::new(0)).collect(), (0..n_cells).map(|_| AtomicU32::new(0)).collect()];
+    let active = AtomicU32::new(0);
+    let stepped = AtomicU32::new(0);
+    let done = AtomicBool::new(false);
+    // workers + coordinator; two waits per tick (merge point, release point)
+    let barrier = Barrier::new(threads + 1);
+    let results: Vec<Mutex<Option<UeOut<H>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk = n.div_ceil(threads);
+
+    let mut ticks = 0u64;
+    let mut load = LoadSummary::default();
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            let (d, plans, bufs, active, stepped, done, barrier, results) =
+                (&d, &plans, &bufs, &active, &stepped, &done, &barrier, &results);
+            let keep = spec.keep_traces;
+            scope.spawn(move || {
+                let mut slots: Vec<Slot<'_, H>> = (lo..hi).map(|_| Slot::Pending).collect();
+                for k in 0u64.. {
+                    let read = CellLoadView::from_counts(&bufs[(k % 2) as usize]);
+                    let write = &bufs[(1 - k % 2) as usize];
+                    let mut still = 0u32;
+                    let mut moved = 0u32;
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        let i = lo + j;
+                        if matches!(slot, Slot::Pending) && k >= plans[i].start_tick {
+                            let ue_tele = Telemetry::new(per_ue_cfg);
+                            let mut hook = factory.map(|f| f(i as u32));
+                            let sim = UeSim::new(
+                                plans[i].scenario.clone(),
+                                d,
+                                &ue_tele,
+                                RadioPath::Snapshot(RadioSnapshot::new()),
+                                hook.as_mut().map(|h| h as &mut dyn SimHook),
+                            );
+                            *slot = Slot::Running(Box::new(RunningUe { sim, hook, tele: ue_tele }));
+                        }
+                        match slot {
+                            Slot::Done => {}
+                            Slot::Pending => still += 1,
+                            Slot::Running(run) => {
+                                if run.sim.active() {
+                                    run.sim.step(run.hook.as_mut().map(|h| h as &mut dyn SimHook), &read);
+                                    moved += 1;
+                                    let (lte, nr) = run.sim.serving();
+                                    if let Some(id) = lte {
+                                        write[id.0 as usize].fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    if let Some(id) = nr {
+                                        write[id.0 as usize].fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                if run.sim.active() {
+                                    still += 1;
+                                } else {
+                                    let out = match std::mem::replace(slot, Slot::Done) {
+                                        Slot::Running(run) => finalize(&plans[i], *run, keep),
+                                        _ => unreachable!(),
+                                    };
+                                    *results[i].lock().unwrap() = Some(out);
+                                }
+                            }
+                        }
+                    }
+                    if still > 0 {
+                        active.fetch_add(still, Ordering::Relaxed);
+                    }
+                    if moved > 0 {
+                        stepped.fetch_add(moved, Ordering::Relaxed);
+                    }
+                    barrier.wait(); // tick k fully merged
+                    barrier.wait(); // coordinator published verdict + zeroed buffer
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // coordinator: per-tick bookkeeping between the two barriers, while
+        // every worker is parked — the only writer of `done` and the stats
+        for k in 0u64.. {
+            barrier.wait();
+            ticks = k + 1;
+            let a = active.swap(0, Ordering::Relaxed);
+            let m = stepped.swap(0, Ordering::Relaxed);
+            load.peak_active_ues = load.peak_active_ues.max(m);
+            for c in &bufs[(1 - k % 2) as usize] {
+                let v = c.load(Ordering::Relaxed);
+                if v > 0 {
+                    load.attach_ue_ticks += v as u64;
+                    load.peak_cell_ues = load.peak_cell_ues.max(v);
+                    if v >= 2 {
+                        load.contended_ue_ticks += v as u64;
+                    }
+                }
+            }
+            // the buffer tick k read from becomes tick k+1's write target
+            for c in &bufs[(k % 2) as usize] {
+                c.store(0, Ordering::Relaxed);
+            }
+            if a == 0 {
+                done.store(true, Ordering::Relaxed);
+            }
+            barrier.wait();
+            if a == 0 {
+                break;
+            }
+        }
+    });
+
+    // collect in UE order: summaries, optional traces, telemetry, hooks
+    let mut ues = Vec::with_capacity(n);
+    let mut traces = Vec::new();
+    let mut hooks = factory.map(|_| Vec::with_capacity(n));
+    for slot in results {
+        let out = slot.into_inner().unwrap().expect("every UE must be finalized");
+        tele.absorb(&out.tele);
+        ues.push(out.summary);
+        if let Some(tr) = out.trace {
+            traces.push(tr);
+        }
+        if let (Some(hs), Some(h)) = (hooks.as_mut(), out.hook) {
+            hs.push(h);
+        }
+    }
+    tele.add("fleet.ues", spec.n_ues as u64);
+    tele.add("fleet.ticks", ticks);
+    tele.add("fleet.attach_ue_ticks", load.attach_ue_ticks);
+    tele.add("fleet.contended_ue_ticks", load.contended_ue_ticks);
+
+    let meta = FleetMeta {
+        n_ues: spec.n_ues,
+        seed: base.seed,
+        carrier: base.carrier,
+        env: base.env,
+        arch: base.arch,
+        sample_hz: base.sample_hz,
+        max_duration_s: base.max_duration_s,
+        stagger_s: spec.stagger_s,
+        speed_jitter: spec.speed_jitter,
+        cells: n_cells as u32,
+        ticks,
+    };
+    (FleetTrace { meta, ues, load, traces }, hooks)
+}
+
+fn finalize<H: SimHook>(plan: &UePlan, run: RunningUe<'_, H>, keep: bool) -> UeOut<H> {
+    let (loaded_ticks, share_sum) = run.sim.load_stats();
+    let mut hook = run.hook;
+    let trace = run.sim.into_trace(hook.as_mut().map(|h| h as &mut dyn SimHook));
+    let summary = UeSummary::from_trace(plan, &trace, loaded_ticks, share_sum);
+    UeOut { summary, trace: keep.then_some(trace), tele: run.tele, hook }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use fiveg_ran::{Arch, Carrier};
+
+    fn base(seed: u64) -> Scenario {
+        ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, seed).duration_s(40.0).sample_hz(5.0).build()
+    }
+
+    #[test]
+    fn fleet_of_one_is_single_run() {
+        let s = base(11);
+        let single = s.run();
+        let ft = run_fleet(&FleetSpec::new(s, 1).keep_traces(true), 1);
+        assert_eq!(ft.traces.len(), 1);
+        assert_eq!(ft.traces[0], single, "size-1 fleet must reproduce the single-UE engine exactly");
+        assert_eq!(ft.load.contended_ue_ticks, 0, "one UE can never contend with itself");
+        assert_eq!(ft.ues[0].mean_load_share, 1.0);
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        let spec = FleetSpec::new(base(12), 7).keep_traces(true);
+        let a = run_fleet(&spec, 1);
+        let b = run_fleet(&spec, 3);
+        assert_eq!(a, b, "fleet output must not depend on the worker count");
+    }
+
+    #[test]
+    fn load_coupling_only_reduces_capacity() {
+        // all UEs share the route window (no stagger): cells are contended,
+        // and the only effect coupling may have on the identity UE's trace
+        // is a lower per-tick capacity — serving cells, handovers and
+        // reports must match the solo run exactly (load does not feed back
+        // into the control plane)
+        let s = base(13);
+        let solo = s.run();
+        let ft = run_fleet(&FleetSpec::new(s, 12).stagger_s(0.0).keep_traces(true), 2);
+        assert!(ft.load.contended_ue_ticks > 0, "12 co-routed UEs must contend: {:?}", ft.load);
+        assert!(ft.load.peak_cell_ues >= 2);
+        let ue0 = &ft.traces[0];
+        assert_eq!(ue0.handovers, solo.handovers);
+        assert_eq!(ue0.reports, solo.reports);
+        assert_eq!(ue0.samples.len(), solo.samples.len());
+        let mut lowered = 0;
+        for (a, b) in ue0.samples.iter().zip(&solo.samples) {
+            assert_eq!(a.lte_cell, b.lte_cell);
+            assert_eq!(a.nr_cell, b.nr_cell);
+            assert!(a.capacity_mbps <= b.capacity_mbps + 1e-12, "{} > {}", a.capacity_mbps, b.capacity_mbps);
+            if a.capacity_mbps < b.capacity_mbps {
+                lowered += 1;
+            }
+        }
+        assert!(lowered > 0, "contention must actually lower some tick's capacity");
+        assert!(ft.ues[0].mean_load_share < 1.0);
+        assert!(ft.ues[0].loaded_ticks > 0);
+    }
+
+    #[test]
+    fn staggered_ues_enter_late_and_summaries_line_up() {
+        let ft = run_fleet(&FleetSpec::new(base(14), 5), 2);
+        assert_eq!(ft.ues.len(), 5);
+        assert_eq!(ft.ues[0].start_tick, 0);
+        assert!(ft.ues.iter().enumerate().all(|(i, u)| u.ue == i as u32), "summaries must be in UE order");
+        assert!(ft.ues.iter().skip(1).any(|u| u.start_tick > 0), "the stagger window should offset someone");
+        assert!(ft.ues.iter().skip(1).any(|u| u.reversed), "odd UEs run the route backwards");
+        let max_start = ft.ues.iter().map(|u| u.start_tick).max().unwrap();
+        assert!(ft.meta.ticks >= max_start + 1);
+        assert!(ft.traces.is_empty(), "keep_traces defaults to off");
+    }
+
+    #[test]
+    fn telemetry_absorbs_per_ue_counters() {
+        let tele = Telemetry::new(TelemetryConfig::on());
+        let ft = run_fleet_instrumented(&FleetSpec::new(base(15), 4), 2, &tele);
+        let total: u64 = ft.ues.iter().map(|u| u.ticks).sum();
+        assert_eq!(tele.counter_value("sim.ticks"), total);
+        assert_eq!(tele.counter_value("fleet.ues"), 4);
+        assert_eq!(tele.counter_value("fleet.ticks"), ft.meta.ticks);
+        assert_eq!(tele.counter_value("fleet.attach_ue_ticks"), ft.load.attach_ue_ticks);
+        let hos: u64 = ft.ues.iter().map(|u| u.handovers).sum();
+        assert_eq!(tele.counter_value("sim.handovers"), hos);
+    }
+
+    #[test]
+    fn hooks_are_built_and_returned_per_ue() {
+        struct TickCounter(u64);
+        impl SimHook for TickCounter {
+            fn on_tick(&mut self, _view: &crate::hook::TickView) {
+                self.0 += 1;
+            }
+        }
+        let (ft, hooks) =
+            run_fleet_observed(&FleetSpec::new(base(16), 3), 2, &Telemetry::disabled(), |_| TickCounter(0));
+        assert_eq!(hooks.len(), 3);
+        for (h, u) in hooks.iter().zip(&ft.ues) {
+            assert_eq!(h.0, u.ticks, "each hook must see exactly its UE's ticks");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// The tentpole equivalence, property-tested: for any seed and
+            /// architecture, a fleet of size 1 reproduces the single-UE
+            /// `run` of the same scenario exactly (the JSON byte-identity
+            /// variant lives in `tests/fleet_determinism.rs`).
+            #[test]
+            fn fleet_of_one_matches_run(seed in 0u64..1000, arch_pick in 0u8..3) {
+                let arch = [Arch::Nsa, Arch::Sa, Arch::Lte][arch_pick as usize];
+                let s = ScenarioBuilder::freeway(Carrier::OpY, arch, 2.0, seed)
+                    .duration_s(30.0)
+                    .sample_hz(5.0)
+                    .build();
+                let single = s.run();
+                for threads in [1usize, 2] {
+                    let ft = run_fleet(&FleetSpec::new(s.clone(), 1).keep_traces(true), threads);
+                    prop_assert_eq!(&ft.traces[0], &single);
+                }
+            }
+        }
+    }
+}

@@ -24,11 +24,13 @@
 //! * [`fault`] — fault injection (MR loss, HO failures) in the smoltcp
 //!   tradition of making adverse conditions reproducible;
 //! * [`hook`] — observation hooks for external invariant checkers;
-//! * [`cache`] — once-per-scenario trace sharing for parallel sweeps.
+//! * [`cache`] — once-per-scenario trace sharing for parallel sweeps;
+//! * [`fleet`] — N load-coupled UEs against one shared deployment.
 
 pub mod cache;
 pub mod engine;
 pub mod fault;
+pub mod fleet;
 pub mod hook;
 pub mod scenario;
 pub mod trace;
@@ -37,6 +39,10 @@ pub use cache::TraceCache;
 pub use engine::{run_hooked, run_reference, run_reference_hooked, run_reference_instrumented};
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
+pub use fleet::{
+    run_fleet, run_fleet_instrumented, run_fleet_observed, CellLoadView, FleetMeta, FleetSpec, FleetTrace, LoadSummary,
+    UePlan, UeSummary,
+};
 pub use hook::{AttachReason, ServingCells, SimHook, TickView};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};
 pub use trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};

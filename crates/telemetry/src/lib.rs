@@ -16,7 +16,7 @@
 //!
 //! What it provides:
 //!
-//! * a [`Registry`]-backed set of named **counters**, **gauges** and
+//! * a registry-backed set of named **counters**, **gauges** and
 //!   **log-scale histograms** (p50/p95/p99 from geometric buckets), with
 //!   cheap cloneable handles ([`Counter`], [`HistogramHandle`]);
 //! * **scoped phase timers** ([`Phase`], [`Telemetry::phase`]): RAII guards

@@ -9,7 +9,8 @@
 #   scripts/check.sh deps       # declared-but-unused dependency audit
 #   scripts/check.sh smoke      # sweep determinism gate (1 vs 4 threads)
 #   scripts/check.sh fuzz       # oracle self-test + corpus replay + 200-case fuzz
-#   scripts/check.sh perf       # tick_bench perf smoke (non-gating)
+#   scripts/check.sh perf       # gating perf: tick_bench + fleet_bench vs BENCH_*.json (±15%)
+#   scripts/check.sh doc        # cargo doc --no-deps with warnings as errors
 #
 # Offline-safe: everything defaults to CARGO_NET_OFFLINE=true so a machine
 # without registry access still works once dependencies are cached. CI sets
@@ -109,20 +110,28 @@ run_fuzz() {
     echo "  reports are byte-identical"
 }
 
-# Non-gating perf canary: the tick benchmark must complete on the smoke
-# scenario set and emit a parseable fiveg-tick/v1 report. Absolute numbers
-# are machine-dependent, so nothing here asserts a throughput floor — CI
-# runs this step with continue-on-error and uploads the report as an
-# artifact for eyeballing trends.
+# Gating perf job: rerun both benchmarks and compare throughput against the
+# committed BENCH_*.json baselines with a ±15% tolerance — the binaries exit
+# nonzero on a regression. tick_bench runs the full scenario set because the
+# committed baseline is full-mode (smoke's smaller scenario would always
+# read "faster"); fleet_bench runs --smoke, whose per-size parameters match
+# the full baseline's, just without the 1000-UE point. CI uploads
+# BENCH_tick_ci.json / BENCH_fleet_ci.json as artifacts.
 run_perf() {
-    echo "== tick benchmark perf smoke (non-gating numbers)"
-    cargo build -q --release --bin tick_bench
-    target/release/tick_bench --smoke --out BENCH_tick_smoke.json
-    python3 -m json.tool BENCH_tick_smoke.json >/dev/null
-    grep -q '"schema": *"fiveg-tick/v1"' BENCH_tick_smoke.json ||
-        grep -q '"schema":"fiveg-tick/v1"' BENCH_tick_smoke.json ||
-        { echo "BENCH_tick_smoke.json missing fiveg-tick/v1 schema" >&2; return 1; }
-    echo "  report parses and carries the fiveg-tick/v1 schema"
+    echo "== perf gate (tick_bench + fleet_bench vs committed baselines, tol 15%)"
+    cargo build -q --release --bin tick_bench --bin fleet_bench
+    target/release/tick_bench --out BENCH_tick_ci.json --baseline BENCH_tick.json --tol 0.15
+    target/release/fleet_bench --smoke --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
+    python3 -m json.tool BENCH_tick_ci.json >/dev/null
+    python3 -m json.tool BENCH_fleet_ci.json >/dev/null
+    echo "  both reports parse; no regression beyond tolerance"
+}
+
+# The doc gate: rustdoc warnings (broken intra-doc links above all) are
+# errors, matching what docs.rs would surface.
+run_doc() {
+    echo "== cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 }
 
 case "$step" in
@@ -140,8 +149,9 @@ case "$step" in
     smoke) run_smoke ;;
     fuzz) run_fuzz ;;
     perf) run_perf ;;
+    doc) run_doc ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|perf]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|perf|doc]" >&2
         exit 2
         ;;
 esac

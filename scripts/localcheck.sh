@@ -12,7 +12,9 @@
 #   scripts/localcheck.sh test      # dependency-free unit tests (telemetry)
 #   scripts/localcheck.sh smoke     # sweep determinism gate (1 vs 4 threads)
 #   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference)
+#   scripts/localcheck.sh fleet     # fleet_bench smoke (1 vs 4 threads, deterministic fields)
 #   scripts/localcheck.sh fuzz      # oracle self-test + corpus replay + bounded fuzz
+#   scripts/localcheck.sh doc       # rustdoc -D warnings on every crate (CI doc gate mirror)
 #   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
 #
 # This is a best-effort gate for offline machines; real CI (see
@@ -92,6 +94,11 @@ run_build() {
     rustc --edition 2021 -O -D warnings --crate-name scenario_fuzz \
         crates/bench/src/bin/scenario_fuzz.rs -L "$OUT" "${EXTERNS[@]}" \
         -o "$OUT/scenario_fuzz"
+
+    echo "== fleet_bench binary"
+    rustc --edition 2021 -O -D warnings --crate-name fleet_bench \
+        crates/bench/src/bin/fleet_bench.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/fleet_bench"
 }
 
 # Unit tests runnable offline: telemetry has zero external deps; the bench
@@ -131,6 +138,11 @@ run_test() {
     rustc --edition 2021 -O --test tests/sweep_determinism.rs \
         -L "$OUT" "${EXTERNS[@]}" -o "$OUT/sweep_determinism_test"
     "$OUT/sweep_determinism_test" --quiet
+
+    echo "== workspace fleet determinism integration test (json tests skipped: stub serde)"
+    rustc --edition 2021 -O --test tests/fleet_determinism.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/fleet_determinism_test"
+    "$OUT/fleet_determinism_test" --quiet --skip json
 }
 
 run_smoke() {
@@ -177,6 +189,65 @@ run_fuzz() {
     echo "   reports are byte-identical ($(wc -c <"$OUT/fuzz_t1.json") bytes)"
 }
 
+run_fleet() {
+    echo "== fleet benchmark smoke (UE·ticks/s vs size, 1 thread vs 4 threads)"
+    [ -x "$OUT/fleet_bench" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    "$OUT/fleet_bench" --smoke --threads 1 --out "$OUT/fleet_smoke_t1.json"
+    "$OUT/fleet_bench" --smoke --threads 4 --out "$OUT/fleet_smoke_t4.json"
+    grep -q '"schema":"fiveg-fleet/v1"' "$OUT/fleet_smoke_t1.json" || {
+        echo "fleet_bench report missing fiveg-fleet/v1 schema" >&2
+        exit 1
+    }
+    # wall-clock fields differ run to run; the deterministic ones must not
+    local det1 det4
+    det1=$(grep -o '"ue_ticks":[0-9]*\|"ticks":[0-9]*\|"peak_cell_ues":[0-9]*\|"contended_ue_ticks":[0-9]*' "$OUT/fleet_smoke_t1.json")
+    det4=$(grep -o '"ue_ticks":[0-9]*\|"ticks":[0-9]*\|"peak_cell_ues":[0-9]*\|"contended_ue_ticks":[0-9]*' "$OUT/fleet_smoke_t4.json")
+    if [ "$det1" != "$det4" ]; then
+        echo "fleet deterministic fields differ across thread counts:" >&2
+        diff <(echo "$det1") <(echo "$det4") >&2 || true
+        exit 1
+    fi
+    echo "   deterministic fields identical across thread counts"
+}
+
+run_doc() {
+    echo "== rustdoc -D warnings (offline mirror of the CI cargo-doc gate)"
+    if [ ${#EXTERNS[@]} -eq 0 ]; then
+        local f name
+        for f in "$OUT"/lib*.rlib "$OUT"/lib*.so; do
+            [ -e "$f" ] || continue
+            name="$(basename "$f")"
+            name="${name#lib}"
+            name="${name%.rlib}"
+            name="${name%.so}"
+            EXTERNS+=(--extern "$name=$f")
+        done
+    fi
+    local -A SRC=(
+        [fiveg_telemetry]=crates/telemetry/src/lib.rs
+        [fiveg_geo]=crates/geo/src/lib.rs
+        [fiveg_radio]=crates/radio/src/lib.rs
+        [fiveg_rrc]=crates/rrc/src/lib.rs
+        [fiveg_ran]=crates/ran/src/lib.rs
+        [fiveg_ue]=crates/ue/src/lib.rs
+        [fiveg_link]=crates/link/src/lib.rs
+        [prognos]=crates/core/src/lib.rs
+        [fiveg_baselines]=crates/baselines/src/lib.rs
+        [fiveg_sim]=crates/sim/src/lib.rs
+        [fiveg_oracle]=crates/oracle/src/lib.rs
+        [fiveg_analysis]=crates/analysis/src/lib.rs
+        [fiveg_apps]=crates/apps/src/lib.rs
+        [fiveg_bench]=crates/bench/src/lib.rs
+        [fiveg_mobility]=src/lib.rs
+    )
+    local crate
+    for crate in "${!SRC[@]}"; do
+        echo "   doc $crate"
+        rustdoc --edition 2021 -D warnings --crate-name "$crate" "${SRC[$crate]}" \
+            -L "$OUT" "${EXTERNS[@]}" -o "$OUT/doc"
+    done
+}
+
 run_perf() {
     echo "== demo sweep speedup (1 thread vs 4 threads)"
     [ -x "$OUT/sweep_demo" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
@@ -210,16 +281,19 @@ case "$step" in
         run_test
         run_smoke
         run_tick
+        run_fleet
         run_fuzz
         ;;
     build) run_build ;;
     test) run_test ;;
     smoke) run_smoke ;;
     tick) run_tick ;;
+    fleet) run_fleet ;;
     fuzz) run_fuzz ;;
+    doc) run_doc ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fuzz|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fleet|fuzz|doc|perf]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,69 @@
+//! The fleet engine's core contract, enforced at the workspace level: the
+//! output must not depend on how many workers stepped the UEs, and a fleet
+//! of one must be indistinguishable — byte for byte once serialized — from
+//! the single-UE engine.
+//!
+//! Tests with `json` in the name serialize through real `serde_json` and run
+//! under cargo only; `scripts/localcheck.sh fleet` skips them (the offline
+//! stub cannot serialize) and runs the structural ones.
+
+use fiveg_oracle::Oracle;
+use fiveg_ran::{Arch, Carrier};
+use fiveg_sim::{run_fleet, run_fleet_observed, FleetSpec, Scenario, ScenarioBuilder, Telemetry};
+
+fn base(seed: u64) -> Scenario {
+    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, seed).duration_s(60.0).sample_hz(5.0).build()
+}
+
+#[test]
+fn fleet_trace_is_identical_across_thread_counts() {
+    let spec = FleetSpec::new(base(31), 9).keep_traces(true);
+    let one = run_fleet(&spec, 1);
+    for threads in [2, 4] {
+        assert_eq!(one, run_fleet(&spec, threads), "fleet output changed at {threads} threads");
+    }
+}
+
+#[test]
+fn size_one_fleet_reproduces_single_run() {
+    let s = base(35);
+    let single = s.run();
+    let ft = run_fleet(&FleetSpec::new(s, 1).keep_traces(true), 2);
+    assert_eq!(ft.traces.len(), 1);
+    assert_eq!(ft.traces[0], single, "a fleet of one must reproduce the single-UE engine exactly");
+    assert_eq!(ft.load.contended_ue_ticks, 0);
+}
+
+#[test]
+fn fleet_trace_is_byte_identical_across_thread_counts_json() {
+    let spec = FleetSpec::new(base(32), 9).keep_traces(true);
+    let one = serde_json::to_string(&run_fleet(&spec, 1)).unwrap();
+    for threads in [2, 4] {
+        let pooled = serde_json::to_string(&run_fleet(&spec, threads)).unwrap();
+        assert_eq!(one, pooled, "serialized fleet changed at {threads} threads");
+    }
+}
+
+#[test]
+fn size_one_fleet_is_byte_identical_to_single_run_json() {
+    let s = base(33);
+    let single = serde_json::to_string(&s.run()).unwrap();
+    let ft = run_fleet(&FleetSpec::new(s, 1).keep_traces(true), 4);
+    assert_eq!(serde_json::to_string(&ft.traces[0]).unwrap(), single);
+}
+
+#[test]
+fn per_ue_oracles_stay_clean_under_load() {
+    // every UE in a contended fleet must still satisfy the cross-layer
+    // invariants — load coupling only scales capacity, never the control
+    // plane the oracle shadows
+    let spec = FleetSpec::new(base(34), 6).stagger_s(5.0);
+    let (ft, oracles) =
+        run_fleet_observed(&spec, 2, &Telemetry::disabled(), |ue| Oracle::new(spec.base.arch, u64::from(ue)));
+    assert_eq!(oracles.len(), 6);
+    for (ue, o) in oracles.iter().enumerate() {
+        assert!(o.is_clean(), "UE {ue} violated invariants: {:?}", o.violations());
+    }
+    assert!(ft.meta.ticks > 0);
+    assert_eq!(ft.load.peak_active_ues as usize, 6.min(ft.ues.len()));
+}
