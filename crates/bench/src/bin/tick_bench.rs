@@ -17,11 +17,16 @@
 //!
 //! Wall-clock numbers are machine-dependent by nature; the committed
 //! `BENCH_tick.json` records the before/after trajectory on the development
-//! machine. With `--baseline`, the run additionally gates the snapshot
-//! path's ticks/sec against the committed report and exits nonzero on a
-//! regression beyond the tolerance (default 15%) — the gating CI perf job.
+//! machine. With `--baseline`, the run gates the **machine-independent**
+//! metrics against the committed report — the snapshot path's tick count
+//! (band), its allocs/tick (lower is better) and the snapshot-vs-reference
+//! speedup ratio (higher is better) — and exits nonzero past the tolerance
+//! (default 15%); this is the gating CI perf job. Absolute ticks/sec is
+//! printed as an advisory comparison only, because the baseline's wall
+//! clock came from a different machine than the CI runner's (see
+//! `fiveg_bench::perfgate`).
 
-use fiveg_bench::perfgate::{self, Gate};
+use fiveg_bench::perfgate::{self, Better, Gate};
 use fiveg_bench::report::JsonBuf;
 use fiveg_ran::{Arch, Carrier};
 use fiveg_sim::{engine, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
@@ -252,7 +257,8 @@ fn main() -> ExitCode {
     }
     println!("  speedup {speedup:.2}x (snapshot over reference)");
 
-    let snapshot_tps = snapshot.ticks_per_sec;
+    let (snapshot_tps, snapshot_ticks, snapshot_apt) =
+        (snapshot.ticks_per_sec, snapshot.ticks, snapshot.allocs_per_tick);
     let json = report(mode, args.iters, &set, &[reference, snapshot], speedup);
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("tick_bench: writing {}: {e}", args.out);
@@ -262,6 +268,9 @@ fn main() -> ExitCode {
 
     // Perf gate: only the snapshot (production) path is gated — the
     // reference path exists as a correctness referee, not a perf contract.
+    // Gated metrics are the machine-independent ones (work count, allocs,
+    // same-run speedup ratio); absolute ticks/sec is advisory because the
+    // committed baseline's wall clock came from a different machine.
     if let Some(path) = &args.baseline {
         let committed = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -270,14 +279,40 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let Some(b) = perfgate::metric_after(&committed, r#""path":"snapshot""#, "ticks_per_sec") else {
-            eprintln!("tick_bench: no snapshot ticks_per_sec in baseline {path}");
+        let snap = |metric: &str| perfgate::metric_after(&committed, r#""path":"snapshot""#, metric);
+        let (Some(b_ticks), Some(b_apt), Some(b_speedup), Some(b_tps)) = (
+            snap("ticks"),
+            snap("allocs_per_tick"),
+            perfgate::metric_anywhere(&committed, "speedup"),
+            snap("ticks_per_sec"),
+        ) else {
+            eprintln!("tick_bench: baseline {path} is missing snapshot metrics — reformatted or wrong file?");
             return ExitCode::FAILURE;
         };
-        let gates = [Gate { what: "snapshot ticks_per_sec".into(), baseline: b, current: snapshot_tps }];
+        let gates = [
+            Gate {
+                what: "snapshot ticks".into(),
+                baseline: b_ticks,
+                current: snapshot_ticks as f64,
+                better: Better::Band,
+            },
+            Gate {
+                what: "snapshot allocs_per_tick".into(),
+                baseline: b_apt,
+                current: snapshot_apt,
+                better: Better::Lower,
+            },
+            Gate {
+                what: "speedup (snapshot/reference)".into(),
+                baseline: b_speedup,
+                current: speedup,
+                better: Better::Higher,
+            },
+        ];
         println!("  perf gate vs {} (tol {:.0}%):", path, args.tol * 100.0);
+        perfgate::advise("snapshot ticks_per_sec", b_tps, snapshot_tps);
         if !perfgate::evaluate(&gates, args.tol) {
-            eprintln!("tick_bench: throughput regressed beyond tolerance");
+            eprintln!("tick_bench: gated metrics regressed beyond tolerance");
             return ExitCode::FAILURE;
         }
     }

@@ -460,9 +460,16 @@ fn run_fleet_core<H: SimHook + Send>(
         // every worker is parked — the only writer of `done` and the stats
         for k in 0u64.. {
             barrier.wait();
-            ticks = k + 1;
             let a = active.swap(0, Ordering::Relaxed);
             let m = stepped.swap(0, Ordering::Relaxed);
+            // Count tick k only if it stepped a UE or left one alive
+            // (pending or running). A final pass where both are zero —
+            // every remaining UE was constructed already-inactive, e.g. a
+            // zero-duration scenario — advanced nothing and must not
+            // inflate the reported global tick count.
+            if a > 0 || m > 0 {
+                ticks = k + 1;
+            }
             load.peak_active_ues = load.peak_active_ues.max(m);
             for c in &bufs[(1 - k % 2) as usize] {
                 let v = c.load(Ordering::Relaxed);
@@ -589,6 +596,23 @@ mod tests {
         assert!(lowered > 0, "contention must actually lower some tick's capacity");
         assert!(ft.ues[0].mean_load_share < 1.0);
         assert!(ft.ues[0].loaded_ticks > 0);
+    }
+
+    #[test]
+    fn fleet_ticks_count_only_advancing_ticks() {
+        // the normal case: the last global tick is the one in which the
+        // final UE takes its final step, so ticks == max(start + ue ticks)
+        let ft = run_fleet(&FleetSpec::new(base(17), 5), 2);
+        let last = ft.ues.iter().map(|u| u.start_tick + u.ticks).max().unwrap();
+        assert_eq!(ft.meta.ticks, last, "no trailing tick beyond the last step");
+
+        // the degenerate case: zero-duration scenarios construct every
+        // UeSim already inactive, so the lone coordinator pass steps
+        // nothing — it must not be counted as a global tick
+        let dead = ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 3.0, 17).duration_s(0.0).sample_hz(5.0).build();
+        let ft = run_fleet(&FleetSpec::new(dead, 3).stagger_s(0.0), 2);
+        assert_eq!(ft.ues.iter().map(|u| u.ticks).sum::<u64>(), 0);
+        assert_eq!(ft.meta.ticks, 0, "a fleet that never steps executed zero ticks");
     }
 
     #[test]

@@ -110,21 +110,28 @@ run_fuzz() {
     echo "  reports are byte-identical"
 }
 
-# Gating perf job: rerun both benchmarks and compare throughput against the
-# committed BENCH_*.json baselines with a ±15% tolerance — the binaries exit
-# nonzero on a regression. tick_bench runs the full scenario set because the
-# committed baseline is full-mode (smoke's smaller scenario would always
-# read "faster"); fleet_bench runs --smoke, whose per-size parameters match
-# the full baseline's, just without the 1000-UE point. CI uploads
+# Gating perf job: rerun both benchmarks and compare against the committed
+# BENCH_*.json baselines with a ±15% tolerance — the binaries exit nonzero
+# on a regression. Only machine-independent metrics are gated (work counts,
+# allocs per tick, the same-run snapshot-vs-reference speedup ratio):
+# the baselines' absolute ticks/s were recorded on the development machine,
+# and shared CI runners drift more than any sane tolerance, so raw
+# throughput is printed as an advisory comparison, never a failure.
+# tick_bench runs the full scenario set because the committed baseline is
+# full-mode (smoke's smaller scenario has different work counts);
+# fleet_bench runs --smoke, whose per-size parameters match the full
+# baseline's, just without the 1000-UE point, and pins --threads 1 to match
+# the committed baseline's "threads":1 (a multi-worker barrier pool on a
+# 2-core runner has genuinely different per-UE·tick costs). CI uploads
 # BENCH_tick_ci.json / BENCH_fleet_ci.json as artifacts.
 run_perf() {
     echo "== perf gate (tick_bench + fleet_bench vs committed baselines, tol 15%)"
     cargo build -q --release --bin tick_bench --bin fleet_bench
     target/release/tick_bench --out BENCH_tick_ci.json --baseline BENCH_tick.json --tol 0.15
-    target/release/fleet_bench --smoke --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
+    target/release/fleet_bench --smoke --threads 1 --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
     python3 -m json.tool BENCH_tick_ci.json >/dev/null
     python3 -m json.tool BENCH_fleet_ci.json >/dev/null
-    echo "  both reports parse; no regression beyond tolerance"
+    echo "  both reports parse; no gated metric regressed beyond tolerance"
 }
 
 # The doc gate: rustdoc warnings (broken intra-doc links above all) are
