@@ -1,0 +1,183 @@
+//! Handover vivisection report: per-phase span CDFs across a pinned
+//! scenario matrix, reconciled against the engine's telemetry counters.
+//!
+//! Each matrix cell (see [`fiveg_bench::vivisect::matrix`]) runs a fleet
+//! with a span assembler *and* a shadow oracle per UE; the merged span log
+//! must reconcile **exactly** with the `ho.*` / `sim.handovers` /
+//! `faults.ho_failure` counters, and any causality anomaly or oracle
+//! violation fails the run. The report is written as `BENCH_vivisect.json`
+//! (schema `fiveg-vivisect/v1`) and contains only sim-time quantities, so
+//! it is byte-identical at any `--threads` value — the `vivisect-smoke` CI
+//! step diffs a 1-thread and a 4-thread run to hold that line.
+//!
+//! ```text
+//! ho_vivisect [--smoke] [--threads N] [--out PATH] [--dump-dir DIR] [--force-violation]
+//! ```
+//!
+//! Flight-recorder dumps (oracle violations, RLF/failure storms) land in
+//! `--dump-dir` as one JSONL file per dump (schema `fiveg-flightrec/v1`).
+//! `--force-violation` exercises the crash path end-to-end: it replays the
+//! oracle's `swap_serving_legs` mutation with the assembler attached,
+//! verifies the violation triggered a dump whose open span carries the full
+//! phase timeline, and writes that dump next to the organic ones.
+
+use fiveg_bench::vivisect::{matrix, report, run_matrix, VIVISECT_SCHEMA};
+use fiveg_oracle::{mutation_self_test_traced, MutationKind};
+use fiveg_trace::FLIGHTREC_SCHEMA;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    dump_dir: PathBuf,
+    force_violation: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        threads: 0,
+        out: "BENCH_vivisect.json".into(),
+        dump_dir: PathBuf::from("vivisect_dumps"),
+        force_violation: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse::<usize>().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--dump-dir" => args.dump_dir = PathBuf::from(it.next().ok_or("--dump-dir needs a value")?),
+            "--force-violation" => args.force_violation = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ho_vivisect [--smoke] [--threads N] [--out PATH] [--dump-dir DIR] [--force-violation]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.threads == 0 {
+        args.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    }
+    Ok(args)
+}
+
+fn write_dump(dir: &Path, file: &str, jsonl: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(file);
+    std::fs::write(&path, jsonl).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("  dump -> {}", path.display());
+    Ok(())
+}
+
+/// Replays the `swap_serving_legs` oracle mutation with the span assembler
+/// attached and checks the crash path end-to-end: the oracle must catch the
+/// corruption, the violation must trigger a flight-recorder dump, and the
+/// dump must carry the full phase timeline of the span that was in flight.
+fn force_violation(dump_dir: &Path) -> Result<(), String> {
+    let (rep, log) = mutation_self_test_traced(MutationKind::SwapServingLegs, 1);
+    if !rep.caught_within(0.5) {
+        return Err(format!("oracle missed the forced corruption: {rep:?}"));
+    }
+    let dump = log
+        .dumps
+        .iter()
+        .find(|d| d.reason == "oracle_violation")
+        .ok_or("violation did not trigger a flight-recorder dump")?;
+    if !dump.jsonl.contains(FLIGHTREC_SCHEMA) {
+        return Err(format!("dump is missing the {FLIGHTREC_SCHEMA} header"));
+    }
+    for key in ["\"trigger_ms\"", "\"prep_ms\"", "\"exec_ms\"", "\"t_decision\""] {
+        if !dump.jsonl.contains(key) {
+            return Err(format!("dump span timeline is missing {key}"));
+        }
+    }
+    write_dump(dump_dir, "forced_oracle_violation.jsonl", &dump.jsonl)?;
+    println!(
+        "  forced violation: injected at {:.1}s, detected at {:.1}s, dump carries the span timeline",
+        rep.injected_at.unwrap_or(f64::NAN),
+        rep.detected_at.unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ho_vivisect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mode = if args.smoke { "smoke" } else { "full" };
+    let cells = matrix(args.smoke);
+    println!("vivisect '{}': {} cells, {} thread(s)", mode, cells.len(), args.threads);
+
+    let outcomes = run_matrix(&cells, args.threads);
+    let mut failed = false;
+    for o in &outcomes {
+        let completed = o.log.count(fiveg_trace::SpanOutcome::Completed);
+        let fails = o.log.count(fiveg_trace::SpanOutcome::Failed);
+        println!(
+            "  {:<18} {:>4} completed, {:>3} failed, {:>2} anomalies, {:>2} violations, {:>2} dumps, reconciled: {}",
+            o.cell.name,
+            completed,
+            fails,
+            o.log.anomalies.len(),
+            o.violations,
+            o.log.dumps.len(),
+            if o.reconciled.is_ok() { "yes" } else { "NO" }
+        );
+        if let Err(e) = &o.reconciled {
+            eprintln!("ho_vivisect: {}: span/counter reconciliation failed: {e}", o.cell.name);
+            failed = true;
+        }
+        for a in &o.log.anomalies {
+            eprintln!(
+                "ho_vivisect: {}: anomaly ue={} seq={} t={:.2} {}: {}",
+                o.cell.name, a.ue, a.seq, a.t, a.kind, a.detail
+            );
+            failed = true;
+        }
+        if o.violations > 0 {
+            eprintln!("ho_vivisect: {}: {} oracle violations", o.cell.name, o.violations);
+            failed = true;
+        }
+        for (i, d) in o.log.dumps.iter().enumerate() {
+            let file = format!("{}_ue{}_{}.jsonl", o.cell.name, d.ue, i);
+            if let Err(e) = write_dump(&args.dump_dir, &file, &d.jsonl) {
+                eprintln!("ho_vivisect: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let json = report(mode, &outcomes);
+    debug_assert!(json.contains(VIVISECT_SCHEMA));
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("ho_vivisect: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  report -> {}", args.out);
+
+    if args.force_violation {
+        if let Err(e) = force_violation(&args.dump_dir) {
+            eprintln!("ho_vivisect: forced-violation check failed: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("ho_vivisect: FAILED (see above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -16,7 +16,10 @@
 //!   (seeded case fan-out → oracle verdicts → corpus replay →
 //!   `BENCH_fuzz.json`);
 //! * [`perfgate`] — baseline comparison for the CI perf gate
-//!   (`tick_bench`/`fleet_bench` `--baseline` flags).
+//!   (`tick_bench`/`fleet_bench` `--baseline` flags);
+//! * [`vivisect`] — the handover vivisection harness behind `ho_vivisect`
+//!   (span assembly + shadow oracle per UE → telemetry reconciliation →
+//!   `BENCH_vivisect.json`).
 
 pub mod datasets;
 pub mod driver;
@@ -26,6 +29,7 @@ pub mod fuzz;
 pub mod perfgate;
 pub mod report;
 pub mod sweep;
+pub mod vivisect;
 
 pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
@@ -34,3 +38,7 @@ pub use fuzz::{campaign_report, replay_corpus, run_campaign, FuzzOutcome, FUZZ_S
 pub use perfgate::{evaluate, fleet_anchor, metric_after, Gate};
 pub use report::JsonBuf;
 pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};
+pub use vivisect::{
+    matrix, reconcile, report as vivisect_report, run_cell, run_matrix, CellOutcome, VivisectCell, VivisectObserver,
+    VIVISECT_SCHEMA,
+};

@@ -142,6 +142,17 @@ impl HoType {
         }
     }
 
+    /// The leg whose serving cell this procedure reconfigures: the NR leg
+    /// for every SCG procedure and the SA MCGH, the LTE leg for LTEH/MNBH.
+    /// This is the span key's "leg" dimension in `fiveg-trace`: the
+    /// source→target cell pair of a HO span is read off this leg.
+    pub fn leg(&self) -> RadioTech {
+        match self {
+            HoType::Scga | HoType::Scgr | HoType::Scgm | HoType::Scgc | HoType::Mcgh => RadioTech::Nr,
+            HoType::Mnbh | HoType::Lteh => RadioTech::Lte,
+        }
+    }
+
     /// Which radios have their data plane interrupted during this HO's
     /// execution stage (footnote 1 of §5.2: "In NSA, 5G HOs do not affect
     /// the 4G/LTE data plane, however, 4G HOs interrupt data activity on 5G

@@ -72,6 +72,23 @@ pub enum ReconfigAction {
     },
 }
 
+impl ReconfigAction {
+    /// Stable snake_case name of the action, used as the *cause* key of
+    /// handover spans (`fiveg-trace`) and anywhere else a decision must be
+    /// grouped without carrying its target cell.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReconfigAction::LteHandover { .. } => "lte_handover",
+            ReconfigAction::ScgAddition { .. } => "scg_addition",
+            ReconfigAction::ScgRelease => "scg_release",
+            ReconfigAction::ScgModification { .. } => "scg_modification",
+            ReconfigAction::ScgChange { .. } => "scg_change",
+            ReconfigAction::MenbHandover { .. } => "menb_handover",
+            ReconfigAction::McgHandover { .. } => "mcg_handover",
+        }
+    }
+}
+
 /// RACH procedure messages (MAC layer, counted in §5.1's signaling tally).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RachKind {

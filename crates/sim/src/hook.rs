@@ -1,7 +1,8 @@
 //! Observation hooks for external checkers.
 //!
 //! [`SimHook`] lets an external observer (fiveg-oracle's invariant checker,
-//! a test harness, a debugger) witness every state-mutating step of the tick
+//! fiveg-trace's handover span assembler and flight recorder, a test
+//! harness, a debugger) witness every state-mutating step of the tick
 //! loop without the engine knowing anything about it. The engine threads an
 //! `Option<&mut dyn SimHook>` through [`crate::engine`]; the `None` path is a
 //! single branch per site, so plain [`crate::engine::run`] pays nothing —

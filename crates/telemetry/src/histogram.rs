@@ -290,6 +290,85 @@ mod tests {
         assert_eq!(e.snapshot(), before);
     }
 
+    proptest::proptest! {
+        // Commutativity is what makes per-worker histograms safe to fold in
+        // completion order. Values are dyadic (quarter-integers, including
+        // zeros and negatives for the underflow path) so sums are exact and
+        // the comparison is immune to float addition order.
+        #[test]
+        fn merge_is_commutative(
+            xs in proptest::collection::vec(0u64..4096, 0..64),
+            ys in proptest::collection::vec(0u64..4096, 0..64),
+        ) {
+            let fill = |vals: &[u64]| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.observe(v as f64 * 0.25 - 8.0);
+                }
+                h
+            };
+            let (a, b) = (fill(&xs), fill(&ys));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            proptest::prop_assert_eq!(ab.snapshot(), ba.snapshot());
+            // the whole quantile surface must agree, not just the snapshot
+            for k in [0u64, 1, 10, 25, 50, 75, 90, 99, 100] {
+                let q = k as f64 / 100.0;
+                proptest::prop_assert_eq!(ab.percentile(q), ba.percentile(q));
+            }
+        }
+
+        // Splitting a stream at any point and merging the parts must equal
+        // observing the whole stream on one histogram — the invariant the
+        // fleet engine's telemetry roll-up rests on.
+        #[test]
+        fn merge_of_any_partition_equals_the_whole(
+            vals in proptest::collection::vec(0u64..4096, 0..96),
+            cut in 0usize..97,
+        ) {
+            let cut = cut.min(vals.len());
+            let mut whole = Histogram::new();
+            let mut left = Histogram::new();
+            let mut right = Histogram::new();
+            for (i, &v) in vals.iter().enumerate() {
+                let x = v as f64 * 0.25;
+                whole.observe(x);
+                if i < cut {
+                    left.observe(x);
+                } else {
+                    right.observe(x);
+                }
+            }
+            left.merge(&right);
+            proptest::prop_assert_eq!(left.snapshot(), whole.snapshot());
+        }
+
+        // Quantile sanity for arbitrary data and arbitrary q, including the
+        // q=0 / q=1 endpoints and out-of-range q (which must clamp).
+        #[test]
+        fn percentile_is_bounded_monotone_and_clamped(
+            vals in proptest::collection::vec(0u64..100_000, 1..64),
+            num in 0u64..1001,
+        ) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.observe(v as f64 * 0.125);
+            }
+            let q = num as f64 / 1000.0;
+            let p = h.percentile(q);
+            let (lo, hi) = (h.min.max(0.0), h.max);
+            assert!(p.is_finite(), "percentile({q}) = {p}");
+            assert!(p >= lo && p <= hi, "percentile({q}) = {p} outside [{lo}, {hi}]");
+            let q2 = (q + 0.1).min(1.0);
+            assert!(h.percentile(q2) >= p, "quantiles must be monotone in q");
+            proptest::prop_assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+            proptest::prop_assert_eq!(h.percentile(2.0), h.percentile(1.0));
+            proptest::prop_assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        }
+    }
+
     #[test]
     fn percentiles_monotone() {
         let mut h = Histogram::new();

@@ -27,15 +27,19 @@
 //!   buffer of typed events (HO start/commit/failure, RLF, MR loss, stall
 //!   start/end, prediction issued/hit/miss, fault injections) with a JSONL
 //!   sink and a thousands-separated, percentile-annotated end-of-run
-//!   summary ([`Telemetry::summary`]).
+//!   summary ([`Telemetry::summary`]);
+//! * the deterministic **JSON writer** ([`JsonBuf`]) shared by every
+//!   byte-compared report and flight-recorder dump in the workspace.
 
 pub mod histogram;
 pub mod journal;
+pub mod json;
 pub mod phase;
 pub mod summary;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use journal::{Event, JournalEntry};
+pub use json::JsonBuf;
 pub use phase::{Phase, PhaseStats};
 pub use summary::group_thousands;
 
@@ -673,6 +677,39 @@ mod tests {
             (total.counters(), total.histogram_snapshot("h").unwrap())
         };
         assert_eq!(build(&[0, 1, 2]), build(&[2, 0, 1]));
+    }
+
+    proptest::proptest! {
+        // The deterministic roll-up contract: folding any set of worker
+        // recorders in any order yields the same registry. Counter amounts
+        // are integers and histogram values small integers, so every sum is
+        // exact and the equality is byte-strict, not approximate.
+        #[test]
+        fn absorb_is_order_independent_for_arbitrary_shards(
+            shards in proptest::collection::vec(proptest::collection::vec(0u64..500, 0..8), 1..6),
+        ) {
+            let workers: Vec<Telemetry> = shards
+                .iter()
+                .map(|vals| {
+                    let t = Telemetry::new(TelemetryConfig::on());
+                    for &v in vals {
+                        t.add(if v % 2 == 0 { "ho.even" } else { "ho.odd" }, v);
+                        t.observe("lat_ms", v as f64);
+                    }
+                    t
+                })
+                .collect();
+            let fold = |order: Box<dyn Iterator<Item = &Telemetry>>| {
+                let total = Telemetry::new(TelemetryConfig::on());
+                for w in order {
+                    total.absorb(w);
+                }
+                (total.counters(), total.histogram_snapshot("lat_ms"))
+            };
+            let forward = fold(Box::new(workers.iter()));
+            let reverse = fold(Box::new(workers.iter().rev()));
+            proptest::prop_assert_eq!(forward, reverse);
+        }
     }
 
     #[test]

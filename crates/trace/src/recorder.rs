@@ -1,0 +1,224 @@
+//! Bounded flight recorder: the last N hook events, dumpable as JSONL.
+//!
+//! The recorder is the crash-dump half of the tracing subsystem. The
+//! [`crate::SpanAssembler`] feeds it a compact line per hook event; it keeps
+//! a fixed-capacity ring (old events fall off the front, a drop counter
+//! remembers how many) and, when asked, serializes the ring plus the spans
+//! in flight into one self-contained `fiveg-flightrec/v1` JSONL document.
+//! Dump documents are pure sim-time — no wall clocks, no thread IDs — so a
+//! dump taken at the same sim state is byte-identical regardless of thread
+//! count or host.
+
+use crate::span::{Dump, HoSpan};
+use fiveg_telemetry::JsonBuf;
+use std::collections::VecDeque;
+
+/// Default ring capacity: at the standard 10 Hz tick rate this holds ~25 s
+/// of history even when every tick is recorded, comfortably spanning the
+/// storm-detection window.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// How many recently-closed spans a dump carries alongside the open one.
+pub const DUMP_RECENT_SPANS: usize = 4;
+
+/// Schema tag of the dump document's header line.
+pub const FLIGHTREC_SCHEMA: &str = "fiveg-flightrec/v1";
+
+/// One recorded hook event.
+#[derive(Debug, Clone)]
+pub struct RecEvent {
+    /// Sim-time, s.
+    pub t: f64,
+    /// Stable event class (`attach`, `decision`, `command`, `complete`,
+    /// `failure`, `tick`, `anomaly`, `run_end`).
+    pub kind: &'static str,
+    /// Deterministic context string built only from sim data.
+    pub detail: String,
+}
+
+/// Fixed-capacity event ring with a drop counter.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: VecDeque<RecEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder { ring: VecDeque::with_capacity(cap.max(1)), cap: cap.max(1), dropped: 0 }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record(&mut self, t: f64, kind: &'static str, detail: String) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(RecEvent { t, kind, detail });
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes the ring plus the in-flight and recent spans into one
+    /// `fiveg-flightrec/v1` JSONL document:
+    ///
+    /// 1. a header line (`schema`, `ue`, `seq`, `reason`, `t`, event and
+    ///    span tallies, the eviction count);
+    /// 2. one `{"event":…}` line per ring entry, oldest first;
+    /// 3. one `{"span":…}` line per span — the open span (if any) first,
+    ///    then up to [`DUMP_RECENT_SPANS`] most recently closed spans,
+    ///    newest last — each with its full phase timeline
+    ///    ([`HoSpan::write_json`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dump(&self, ue: u32, seq: u32, reason: &str, t: f64, open: Option<&HoSpan>, recent: &[HoSpan]) -> Dump {
+        let recent = &recent[recent.len().saturating_sub(DUMP_RECENT_SPANS)..];
+        let n_spans = recent.len() + usize::from(open.is_some());
+        let mut out = String::new();
+
+        let mut j = JsonBuf::new();
+        j.open('{');
+        j.key("schema");
+        j.str_val(FLIGHTREC_SCHEMA);
+        j.key("ue");
+        j.uint(ue as u64);
+        j.key("seq");
+        j.uint(seq as u64);
+        j.key("reason");
+        j.str_val(reason);
+        j.key("t");
+        j.num(t);
+        j.key("events");
+        j.uint(self.ring.len() as u64);
+        j.key("spans");
+        j.uint(n_spans as u64);
+        j.key("dropped");
+        j.uint(self.dropped);
+        j.close('}');
+        out.push_str(&j.finish_line());
+
+        for ev in &self.ring {
+            let mut j = JsonBuf::new();
+            j.open('{');
+            j.key("event");
+            j.open('{');
+            j.key("t");
+            j.num(ev.t);
+            j.key("kind");
+            j.str_val(ev.kind);
+            j.key("detail");
+            j.str_val(&ev.detail);
+            j.close('}');
+            j.close('}');
+            out.push_str(&j.finish_line());
+        }
+
+        let spans = open.into_iter().chain(recent.iter());
+        for span in spans {
+            let mut j = JsonBuf::new();
+            j.open('{');
+            j.key("span");
+            span.write_json(&mut j);
+            j.close('}');
+            out.push_str(&j.finish_line());
+        }
+
+        Dump { ue, seq, t, reason: reason.to_string(), jsonl: out }
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanOutcome;
+    use fiveg_ran::{HoType, RadioTech};
+
+    fn mk_span(seq: u32) -> HoSpan {
+        HoSpan {
+            ue: 0,
+            seq,
+            cause: "scg_addition",
+            ho_type: Some(HoType::Scga),
+            leg: Some(RadioTech::Nr),
+            source: None,
+            target: None,
+            trigger: "NR-B1".into(),
+            interrupts: (false, true),
+            outcome: SpanOutcome::Completed,
+            t_trigger: 0.0,
+            t_decision: 0.1,
+            t_command: Some(0.2),
+            t_complete: Some(0.3),
+            t_settled: Some(0.4),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_and_counts_drops() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(i as f64, "tick", String::new());
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let d = r.dump(0, 0, "test", 5.0, None, &[]);
+        assert!(d.jsonl.contains("\"dropped\":2"), "{}", d.jsonl);
+        // oldest surviving event is t=2
+        assert!(d.jsonl.contains("\"t\":2,\"kind\":\"tick\""), "{}", d.jsonl);
+        assert!(!d.jsonl.contains("\"t\":1,\"kind\":\"tick\""), "{}", d.jsonl);
+    }
+
+    #[test]
+    fn dump_is_jsonl_with_header_events_spans() {
+        let mut r = FlightRecorder::new(8);
+        r.record(0.1, "decision", "scg_addition".into());
+        r.record(0.2, "command", String::new());
+        let closed = [mk_span(0), mk_span(1)];
+        let open = mk_span(2);
+        let d = r.dump(3, 0, "oracle_violation", 0.25, Some(&open), &closed);
+        let lines: Vec<&str> = d.jsonl.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 + 3);
+        assert!(lines[0].starts_with("{\"schema\":\"fiveg-flightrec/v1\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"reason\":\"oracle_violation\""));
+        assert!(lines[0].contains("\"spans\":3"));
+        assert!(lines[1].starts_with("{\"event\":{\"t\":0.1,\"kind\":\"decision\""));
+        // open span first, then recent closed spans
+        assert!(lines[3].starts_with("{\"span\":{\"ue\":0,\"seq\":2"), "{}", lines[3]);
+        assert!(lines[4].contains("\"seq\":0"));
+        assert!(lines[5].contains("\"seq\":1"));
+        // full phase timeline present on span lines
+        assert!(lines[3].contains("\"prep_ms\":") && lines[3].contains("\"exec_ms\":"));
+    }
+
+    #[test]
+    fn recent_spans_are_capped() {
+        let r = FlightRecorder::new(4);
+        let closed: Vec<HoSpan> = (0..10).map(mk_span).collect();
+        let d = r.dump(0, 1, "storm", 1.0, None, &closed);
+        let span_lines = d.jsonl.lines().filter(|l| l.starts_with("{\"span\":")).count();
+        assert_eq!(span_lines, DUMP_RECENT_SPANS);
+        // the *newest* spans survive
+        assert!(d.jsonl.contains("\"seq\":9"));
+        assert!(!d.jsonl.contains("\"seq\":5"));
+    }
+}

@@ -1,0 +1,389 @@
+//! The handover span: one causally-assembled HO procedure with its
+//! paper-aligned phase timeline.
+//!
+//! A span is keyed by `(ue, seq)` — the `seq`-th procedure the assembler
+//! opened for that UE — and carries the vivisection dimensions the paper
+//! slices by: the reconfiguring leg, the source→target cell pair on that
+//! leg, and the *cause* (the policy action that opened it, or the chained
+//! follow-up of a compound procedure). All timestamps are sim-time seconds;
+//! nothing in a span depends on wall-clock or thread count.
+
+use fiveg_ran::{CellId, HoType, RadioTech};
+use fiveg_telemetry::JsonBuf;
+
+/// Cause key of a span opened by a deferred chained follow-up (the LTEH the
+/// state machine queues behind a forced SCG release under NSA).
+pub const CAUSE_CHAINED: &str = "chained";
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Still in flight. Only the assembler's open span carries this value
+    /// (it appears in flight-recorder dumps); closed spans in a
+    /// [`SpanLog`] never do.
+    Open,
+    /// The HO committed (`on_ho_complete`).
+    Completed,
+    /// Fault injection failed the execution (`on_ho_failure`); the engine
+    /// rolled back to the source cells.
+    Failed,
+    /// The run ended while the span was still open — a legitimate mid-HO
+    /// run end, not an anomaly.
+    Orphaned,
+    /// The assembler abandoned the span after a causality anomaly (an event
+    /// arrived that cannot follow the span's current state). Abandoned
+    /// spans are never counted as handovers.
+    Abandoned,
+}
+
+impl SpanOutcome {
+    /// Stable snake_case name, for reports and dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::Open => "open",
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Orphaned => "orphaned",
+            SpanOutcome::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One handover procedure, vivisected.
+///
+/// Phase timeline (all sim-time):
+///
+/// ```text
+/// t_trigger ──► t_decision ──► t_command ──► t_complete ──► t_settled
+///    trigger        preparation     execution      completion
+/// ```
+///
+/// * **trigger** — from the measurement tick that produced the triggering
+///   report to the policy decision (for chained spans: from the parent
+///   completion to the deferred start, which the state machine back-dates
+///   to zero width);
+/// * **preparation** — decision → HO command (the paper's T1);
+/// * **execution** — command → completion/failure (the paper's T2; the
+///   data plane of the interrupted radios is halted here);
+/// * **completion** — commit → end of the tick that sealed the span (config
+///   re-delivery and measurement restart).
+///
+/// Data interruption is accounted from [`HoSpan::interrupts`]: the
+/// execution window, charged to each radio whose data plane it halts.
+#[derive(Debug, Clone)]
+pub struct HoSpan {
+    /// UE index (0 for single-UE runs).
+    pub ue: u32,
+    /// Per-UE span ordinal, in causal order.
+    pub seq: u32,
+    /// Cause key: the opening action's label (`ReconfigAction::label`) or
+    /// [`CAUSE_CHAINED`] for the deferred follow-up of a compound HO.
+    pub cause: &'static str,
+    /// The procedure type, known once the record arrives (completion or
+    /// failure). `None` on spans that never got that far.
+    pub ho_type: Option<HoType>,
+    /// The leg whose serving cell the procedure reconfigures.
+    pub leg: Option<RadioTech>,
+    /// Serving cell on `leg` when the span opened.
+    pub source: Option<CellId>,
+    /// Serving cell on `leg` after the commit (`None` for SCGR and for
+    /// spans that never committed).
+    pub target: Option<CellId>,
+    /// `+`-joined labels of the measurement events in the trigger phase.
+    pub trigger: String,
+    /// Which radios' data planes the execution stage interrupts
+    /// (lte, nr) — from the committed record; `(false, false)` until known.
+    pub interrupts: (bool, bool),
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+    /// Measurement tick behind the triggering report (chain-arm time for
+    /// chained spans).
+    pub t_trigger: f64,
+    /// Policy decision / deferred chain start.
+    pub t_decision: f64,
+    /// HO command (exact model time from the record once sealed).
+    pub t_command: Option<f64>,
+    /// Commit or failure time.
+    pub t_complete: Option<f64>,
+    /// End of the tick that sealed the span.
+    pub t_settled: Option<f64>,
+}
+
+impl HoSpan {
+    /// Trigger phase, ms.
+    pub fn trigger_ms(&self) -> f64 {
+        ((self.t_decision - self.t_trigger) * 1000.0).max(0.0)
+    }
+
+    /// Preparation phase (T1), ms.
+    pub fn prep_ms(&self) -> Option<f64> {
+        self.t_command.map(|c| (c - self.t_decision) * 1000.0)
+    }
+
+    /// Execution phase (T2), ms.
+    pub fn exec_ms(&self) -> Option<f64> {
+        match (self.t_command, self.t_complete) {
+            (Some(c), Some(e)) => Some((e - c) * 1000.0),
+            _ => None,
+        }
+    }
+
+    /// Decision → completion, ms (the paper's HO duration).
+    pub fn total_ms(&self) -> Option<f64> {
+        self.t_complete.map(|e| (e - self.t_decision) * 1000.0)
+    }
+
+    /// Completion phase: commit → end of the sealing tick, ms.
+    pub fn completion_ms(&self) -> Option<f64> {
+        match (self.t_complete, self.t_settled) {
+            (Some(e), Some(s)) => Some(((s - e) * 1000.0).max(0.0)),
+            _ => None,
+        }
+    }
+
+    /// Data-interruption charged to each radio, ms: the execution window on
+    /// every leg this HO type halts. `(0, 0)` until the span sealed.
+    pub fn interruption_ms(&self) -> (f64, f64) {
+        let exec = self.exec_ms().unwrap_or(0.0);
+        let (lte, nr) = self.interrupts;
+        (if lte { exec } else { 0.0 }, if nr { exec } else { 0.0 })
+    }
+
+    /// Writes the span as one JSON object (the flight-recorder dump format).
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        fn opt_num(j: &mut JsonBuf, v: Option<f64>) {
+            match v {
+                Some(v) => j.num(v),
+                None => j.null(),
+            }
+        }
+        j.open('{');
+        j.key("ue");
+        j.uint(self.ue as u64);
+        j.key("seq");
+        j.uint(self.seq as u64);
+        j.key("cause");
+        j.str_val(self.cause);
+        j.key("ho_type");
+        match self.ho_type {
+            Some(h) => j.str_val(h.acronym()),
+            None => j.null(),
+        }
+        j.key("leg");
+        match self.leg {
+            Some(RadioTech::Lte) => j.str_val("lte"),
+            Some(RadioTech::Nr) => j.str_val("nr"),
+            None => j.null(),
+        }
+        j.key("source");
+        match self.source {
+            Some(c) => j.uint(c.0 as u64),
+            None => j.null(),
+        }
+        j.key("target");
+        match self.target {
+            Some(c) => j.uint(c.0 as u64),
+            None => j.null(),
+        }
+        j.key("trigger");
+        j.str_val(&self.trigger);
+        j.key("outcome");
+        j.str_val(self.outcome.name());
+        j.key("t_trigger");
+        j.num(self.t_trigger);
+        j.key("t_decision");
+        j.num(self.t_decision);
+        j.key("t_command");
+        opt_num(j, self.t_command);
+        j.key("t_complete");
+        opt_num(j, self.t_complete);
+        j.key("t_settled");
+        opt_num(j, self.t_settled);
+        j.key("trigger_ms");
+        j.num(self.trigger_ms());
+        j.key("prep_ms");
+        opt_num(j, self.prep_ms());
+        j.key("exec_ms");
+        opt_num(j, self.exec_ms());
+        j.key("completion_ms");
+        opt_num(j, self.completion_ms());
+        let (int_lte, int_nr) = self.interruption_ms();
+        j.key("interruption_lte_ms");
+        j.num(int_lte);
+        j.key("interruption_nr_ms");
+        j.num(int_nr);
+        j.close('}');
+    }
+}
+
+/// A causality breach in the hook stream: an event arrived that cannot
+/// follow the assembler's current span state. A correct engine never
+/// produces these; the oracle mutation self-test proves a corrupted stream
+/// does.
+#[derive(Debug, Clone)]
+pub struct SpanAnomaly {
+    /// UE index.
+    pub ue: u32,
+    /// Per-UE anomaly ordinal (merge key alongside `ue`).
+    pub seq: u32,
+    /// Sim-time of the offending event.
+    pub t: f64,
+    /// Stable anomaly class, e.g. `complete_without_command`.
+    pub kind: &'static str,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// One flight-recorder dump, serialized at trigger time.
+#[derive(Debug, Clone)]
+pub struct Dump {
+    /// UE index.
+    pub ue: u32,
+    /// Per-UE dump ordinal (merge key alongside `ue`).
+    pub seq: u32,
+    /// Sim-time of the trigger.
+    pub t: f64,
+    /// Why the recorder dumped (`oracle_violation`, `rlf_fault_storm`, …).
+    pub reason: String,
+    /// The dump document: JSONL, one meta line + one line per recorded
+    /// event + one line per open/recent span.
+    pub jsonl: String,
+}
+
+/// The merged, order-independent result of one or many assemblers.
+///
+/// Spans, anomalies and dumps are each keyed by `(ue, seq)`; [`absorb`]
+/// re-sorts on that key, so merging per-UE logs in *any* order yields
+/// byte-identical aggregates — the same contract `Telemetry::absorb` gives
+/// the fleet's counters.
+///
+/// [`absorb`]: SpanLog::absorb
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    /// Closed spans, sorted by `(ue, seq)`.
+    pub spans: Vec<HoSpan>,
+    /// Causality anomalies, sorted by `(ue, seq)`.
+    pub anomalies: Vec<SpanAnomaly>,
+    /// Flight-recorder dumps, sorted by `(ue, seq)`.
+    pub dumps: Vec<Dump>,
+}
+
+impl SpanLog {
+    /// Folds `other` into `self`, keeping every collection sorted by
+    /// `(ue, seq)`. Keys are unique per assembler, so the merge is
+    /// commutative and associative.
+    pub fn absorb(&mut self, other: SpanLog) {
+        self.spans.extend(other.spans);
+        self.spans.sort_by_key(|s| (s.ue, s.seq));
+        self.anomalies.extend(other.anomalies);
+        self.anomalies.sort_by_key(|a| (a.ue, a.seq));
+        self.dumps.extend(other.dumps);
+        self.dumps.sort_by_key(|d| (d.ue, d.seq));
+    }
+
+    /// Spans with the given outcome.
+    pub fn count(&self, outcome: SpanOutcome) -> u64 {
+        self.spans.iter().filter(|s| s.outcome == outcome).count() as u64
+    }
+
+    /// Committed spans per HO type, in [`HoType::ALL`] order (types with no
+    /// spans are included with a zero count, so reconciliation against the
+    /// per-type telemetry counters is positional).
+    pub fn completed_by_type(&self) -> [(HoType, u64); HoType::ALL.len()] {
+        let mut out = HoType::ALL.map(|h| (h, 0u64));
+        for s in &self.spans {
+            if s.outcome == SpanOutcome::Completed {
+                if let Some(h) = s.ho_type {
+                    if let Some(slot) = out.iter_mut().find(|(t, _)| *t == h) {
+                        slot.1 += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(ue: u32, seq: u32) -> HoSpan {
+        HoSpan {
+            ue,
+            seq,
+            cause: "scg_addition",
+            ho_type: Some(HoType::Scga),
+            leg: Some(RadioTech::Nr),
+            source: None,
+            target: Some(CellId(3)),
+            trigger: "NR-B1".into(),
+            interrupts: (false, true),
+            outcome: SpanOutcome::Completed,
+            t_trigger: 9.9,
+            t_decision: 10.0,
+            t_command: Some(10.064),
+            t_complete: Some(10.152),
+            t_settled: Some(10.2),
+        }
+    }
+
+    #[test]
+    fn phase_arithmetic() {
+        let s = span(0, 0);
+        assert!((s.trigger_ms() - 100.0).abs() < 1e-6);
+        assert!((s.prep_ms().unwrap() - 64.0).abs() < 1e-6);
+        assert!((s.exec_ms().unwrap() - 88.0).abs() < 1e-6);
+        assert!((s.total_ms().unwrap() - 152.0).abs() < 1e-6);
+        assert!((s.completion_ms().unwrap() - 48.0).abs() < 1e-6);
+        let (lte, nr) = s.interruption_ms();
+        assert_eq!(lte, 0.0);
+        assert!((nr - 88.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let mut a = SpanLog::default();
+        a.spans.push(span(0, 0));
+        a.spans.push(span(0, 1));
+        let mut b = SpanLog::default();
+        b.spans.push(span(2, 0));
+        let mut c = SpanLog::default();
+        c.spans.push(span(1, 0));
+
+        let mut fwd = SpanLog::default();
+        fwd.absorb(a.clone());
+        fwd.absorb(b.clone());
+        fwd.absorb(c.clone());
+        let mut rev = SpanLog::default();
+        rev.absorb(c);
+        rev.absorb(b);
+        rev.absorb(a);
+        let keys = |l: &SpanLog| l.spans.iter().map(|s| (s.ue, s.seq)).collect::<Vec<_>>();
+        assert_eq!(keys(&fwd), keys(&rev));
+        assert_eq!(keys(&fwd), vec![(0, 0), (0, 1), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn write_json_is_stable() {
+        let mut j = JsonBuf::new();
+        span(7, 3).write_json(&mut j);
+        let s = j.as_str();
+        assert!(s.starts_with("{\"ue\":7,\"seq\":3,\"cause\":\"scg_addition\""), "{s}");
+        assert!(s.contains("\"prep_ms\":"), "{s}");
+        assert!(s.contains("\"interruption_nr_ms\":"), "{s}");
+    }
+
+    #[test]
+    fn completed_by_type_counts_positionally() {
+        let mut log = SpanLog::default();
+        log.spans.push(span(0, 0));
+        let mut failed = span(0, 1);
+        failed.outcome = SpanOutcome::Failed;
+        log.spans.push(failed);
+        let by = log.completed_by_type();
+        let scga = by.iter().find(|(h, _)| *h == HoType::Scga).unwrap();
+        assert_eq!(scga.1, 1);
+        assert_eq!(by.iter().map(|(_, n)| n).sum::<u64>(), 1);
+    }
+}

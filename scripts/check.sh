@@ -9,6 +9,7 @@
 #   scripts/check.sh deps       # declared-but-unused dependency audit
 #   scripts/check.sh smoke      # sweep determinism gate (1 vs 4 threads)
 #   scripts/check.sh fuzz       # oracle self-test + corpus replay + 200-case fuzz
+#   scripts/check.sh vivisect   # ho_vivisect smoke (span/counter reconciliation, 1 vs 4 threads)
 #   scripts/check.sh perf       # gating perf: tick_bench + fleet_bench vs BENCH_*.json (±15%)
 #   scripts/check.sh doc        # cargo doc --no-deps with warnings as errors
 #
@@ -110,6 +111,32 @@ run_fuzz() {
     echo "  reports are byte-identical"
 }
 
+# The vivisection gate: assemble causal HO spans across the pinned smoke
+# matrix, reconcile them exactly against the engine's telemetry counters,
+# byte-compare the report across thread counts, and exercise the
+# flight-recorder crash path with a forced oracle violation. CI uploads
+# BENCH_vivisect.json and the dumps as artifacts.
+run_vivisect() {
+    echo "== vivisect gate (span reconciliation, 1 vs 4 threads, forced violation)"
+    cargo build -q --release --bin ho_vivisect
+    local bin=target/release/ho_vivisect
+    local t4 dumps
+    t4="$(mktemp)" && dumps="$(mktemp -d)"
+    trap 'rm -f "$t4"; rm -rf "$dumps"' RETURN
+    "$bin" --smoke --threads 1 --out BENCH_vivisect.json --dump-dir vivisect_dumps --force-violation
+    "$bin" --smoke --threads 4 --out "$t4" --dump-dir "$dumps"
+    if ! cmp -s BENCH_vivisect.json "$t4"; then
+        echo "vivisect report differs across thread counts:" >&2
+        diff BENCH_vivisect.json "$t4" >&2 || true
+        return 1
+    fi
+    grep -q '"schema":"fiveg-flightrec/v1"' vivisect_dumps/forced_oracle_violation.jsonl || {
+        echo "forced violation did not produce a fiveg-flightrec/v1 dump" >&2
+        return 1
+    }
+    echo "  reports are byte-identical; flight-recorder dump carries the span timeline"
+}
+
 # Gating perf job: rerun both benchmarks and compare against the committed
 # BENCH_*.json baselines with a ±15% tolerance — the binaries exit nonzero
 # on a regression. Only machine-independent metrics are gated (work counts,
@@ -155,10 +182,11 @@ case "$step" in
     deps) run_deps ;;
     smoke) run_smoke ;;
     fuzz) run_fuzz ;;
+    vivisect) run_vivisect ;;
     perf) run_perf ;;
     doc) run_doc ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|perf|doc]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|vivisect|perf|doc]" >&2
         exit 2
         ;;
 esac

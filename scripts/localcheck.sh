@@ -14,6 +14,7 @@
 #   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference)
 #   scripts/localcheck.sh fleet     # fleet_bench smoke (1 vs 4 threads, deterministic fields)
 #   scripts/localcheck.sh fuzz      # oracle self-test + corpus replay + bounded fuzz
+#   scripts/localcheck.sh vivisect  # ho_vivisect smoke (span/counter reconciliation, 1 vs 4 threads)
 #   scripts/localcheck.sh doc       # rustdoc -D warnings on every crate (CI doc gate mirror)
 #   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
 #
@@ -74,6 +75,7 @@ run_build() {
     lib prognos crates/core/src/lib.rs
     lib fiveg_baselines crates/baselines/src/lib.rs
     lib fiveg_sim crates/sim/src/lib.rs
+    lib fiveg_trace crates/trace/src/lib.rs
     lib fiveg_oracle crates/oracle/src/lib.rs
     lib fiveg_analysis crates/analysis/src/lib.rs
     lib fiveg_apps crates/apps/src/lib.rs
@@ -99,6 +101,11 @@ run_build() {
     rustc --edition 2021 -O -D warnings --crate-name fleet_bench \
         crates/bench/src/bin/fleet_bench.rs -L "$OUT" "${EXTERNS[@]}" \
         -o "$OUT/fleet_bench"
+
+    echo "== ho_vivisect binary"
+    rustc --edition 2021 -O -D warnings --crate-name ho_vivisect \
+        crates/bench/src/bin/ho_vivisect.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/ho_vivisect"
 }
 
 # Unit tests runnable offline: telemetry has zero external deps; the bench
@@ -120,9 +127,15 @@ run_test() {
         done
     fi
 
-    echo "== telemetry unit tests (dependency-free)"
-    rustc --edition 2021 --test crates/telemetry/src/lib.rs -o "$OUT/telemetry_test"
+    echo "== telemetry unit tests (histogram/absorb proptests need the stub)"
+    rustc --edition 2021 --test crates/telemetry/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/telemetry_test"
     "$OUT/telemetry_test" --quiet
+
+    echo "== trace unit tests (span assembler, flight recorder, absorb)"
+    rustc --edition 2021 -O --test --crate-name fiveg_trace crates/trace/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/trace_test"
+    "$OUT/trace_test" --quiet
 
     echo "== oracle unit tests (shadow checker, trace checks, fuzz codec, mutations)"
     rustc --edition 2021 -O --test --crate-name fiveg_oracle crates/oracle/src/lib.rs \
@@ -143,6 +156,11 @@ run_test() {
     rustc --edition 2021 -O --test tests/fleet_determinism.rs \
         -L "$OUT" "${EXTERNS[@]}" -o "$OUT/fleet_determinism_test"
     "$OUT/fleet_determinism_test" --quiet --skip json
+
+    echo "== workspace vivisect determinism integration test"
+    rustc --edition 2021 -O --test tests/vivisect_determinism.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/vivisect_determinism_test"
+    "$OUT/vivisect_determinism_test" --quiet
 }
 
 run_smoke() {
@@ -210,6 +228,30 @@ run_fleet() {
     echo "   deterministic fields identical across thread counts"
 }
 
+run_vivisect() {
+    echo "== vivisect smoke (span/counter reconciliation, 1 thread vs 4 threads, forced violation)"
+    [ -x "$OUT/ho_vivisect" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
+    rm -rf "$OUT/vivisect_dumps"
+    "$OUT/ho_vivisect" --smoke --threads 1 --out "$OUT/vivisect_t1.json" \
+        --dump-dir "$OUT/vivisect_dumps" --force-violation
+    "$OUT/ho_vivisect" --smoke --threads 4 --out "$OUT/vivisect_t4.json" \
+        --dump-dir "$OUT/vivisect_dumps"
+    if ! cmp -s "$OUT/vivisect_t1.json" "$OUT/vivisect_t4.json"; then
+        echo "vivisect report differs across thread counts:" >&2
+        diff "$OUT/vivisect_t1.json" "$OUT/vivisect_t4.json" >&2 || true
+        exit 1
+    fi
+    grep -q '"schema":"fiveg-vivisect/v1"' "$OUT/vivisect_t1.json" || {
+        echo "vivisect report missing fiveg-vivisect/v1 schema" >&2
+        exit 1
+    }
+    grep -q '"schema":"fiveg-flightrec/v1"' "$OUT/vivisect_dumps/forced_oracle_violation.jsonl" || {
+        echo "forced violation did not produce a fiveg-flightrec/v1 dump" >&2
+        exit 1
+    }
+    echo "   reports are byte-identical ($(wc -c <"$OUT/vivisect_t1.json") bytes), flight dump OK"
+}
+
 run_doc() {
     echo "== rustdoc -D warnings (offline mirror of the CI cargo-doc gate)"
     if [ ${#EXTERNS[@]} -eq 0 ]; then
@@ -234,6 +276,7 @@ run_doc() {
         [prognos]=crates/core/src/lib.rs
         [fiveg_baselines]=crates/baselines/src/lib.rs
         [fiveg_sim]=crates/sim/src/lib.rs
+        [fiveg_trace]=crates/trace/src/lib.rs
         [fiveg_oracle]=crates/oracle/src/lib.rs
         [fiveg_analysis]=crates/analysis/src/lib.rs
         [fiveg_apps]=crates/apps/src/lib.rs
@@ -283,6 +326,7 @@ case "$step" in
         run_tick
         run_fleet
         run_fuzz
+        run_vivisect
         ;;
     build) run_build ;;
     test) run_test ;;
@@ -290,10 +334,11 @@ case "$step" in
     tick) run_tick ;;
     fleet) run_fleet ;;
     fuzz) run_fuzz ;;
+    vivisect) run_vivisect ;;
     doc) run_doc ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fleet|fuzz|doc|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fleet|fuzz|vivisect|doc|perf]" >&2
         exit 2
         ;;
 esac

@@ -20,6 +20,10 @@
 //!   event journal (off by default, enable via `ScenarioBuilder::telemetry`).
 //! * [`oracle`] — cross-layer invariant checker and deterministic scenario
 //!   fuzzer (the shadow state machine behind `scenario_fuzz`).
+//! * [`trace`] — causal handover tracing: per-HO spans vivisected into the
+//!   paper's phases, assembled from the hook stream, with a bounded
+//!   flight recorder that dumps the recent event ring on violations (the
+//!   span layer behind `ho_vivisect`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use fiveg_ran as ran;
 pub use fiveg_rrc as rrc;
 pub use fiveg_sim as sim;
 pub use fiveg_telemetry as telemetry;
+pub use fiveg_trace as trace;
 pub use fiveg_ue as ue;
 pub use prognos;
 

@@ -1,0 +1,53 @@
+//! Workspace-level contract of the vivisection harness: the
+//! `BENCH_vivisect.json` report is a pure function of the pinned matrix —
+//! byte-identical at any thread count — its span counts reconcile exactly
+//! with the engine's telemetry counters, and a forced oracle violation
+//! produces a flight-recorder dump carrying the offending span's full
+//! phase timeline. This is the in-process twin of the `vivisect-smoke` CI
+//! step (which additionally diffs the files two separate processes wrote).
+
+use fiveg_bench::vivisect::{matrix, reconcile, report, run_matrix};
+use fiveg_oracle::{mutation_self_test_traced, MutationKind};
+use fiveg_trace::{SpanOutcome, FLIGHTREC_SCHEMA};
+
+#[test]
+fn vivisect_report_is_byte_identical_across_thread_counts() {
+    let cells = matrix(true);
+    let one = report("smoke", &run_matrix(&cells, 1));
+    for threads in [2, 4] {
+        let pooled = report("smoke", &run_matrix(&cells, threads));
+        assert_eq!(one, pooled, "vivisect report changed at {threads} threads");
+    }
+    assert!(one.contains("\"schema\":\"fiveg-vivisect/v1\""));
+    assert!(!one.contains("\"threads\""), "report must not embed the thread count");
+}
+
+#[test]
+fn span_counts_reconcile_with_telemetry_in_every_cell() {
+    for o in run_matrix(&matrix(true), 2) {
+        assert!(o.reconciled.is_ok(), "{}: {:?}", o.cell.name, o.reconciled);
+        assert!(o.log.anomalies.is_empty(), "{}: {:?}", o.cell.name, o.log.anomalies);
+        assert_eq!(o.violations, 0, "{}: oracle violations in a clean cell", o.cell.name);
+        // and the check itself has teeth: perturbing the log must fail it
+        let mut broken = o.log.clone();
+        if let Some(i) = broken.spans.iter().position(|s| s.outcome == SpanOutcome::Completed) {
+            broken.spans.remove(i);
+            assert!(reconcile(&broken, &o.counters).is_err(), "{}: reconcile accepted a dropped span", o.cell.name);
+        }
+    }
+}
+
+#[test]
+fn forced_oracle_violation_dumps_the_span_timeline() {
+    let (rep, log) = mutation_self_test_traced(MutationKind::SwapServingLegs, 1);
+    assert!(rep.caught_within(0.5), "oracle missed the forced corruption: {rep:?}");
+    let dump = log
+        .dumps
+        .iter()
+        .find(|d| d.reason == "oracle_violation")
+        .expect("the first violation must snapshot the flight recorder");
+    assert!(dump.jsonl.contains(FLIGHTREC_SCHEMA));
+    for key in ["\"trigger_ms\"", "\"prep_ms\"", "\"exec_ms\"", "\"t_decision\"", "\"event\""] {
+        assert!(dump.jsonl.contains(key), "dump is missing {key}:\n{}", dump.jsonl);
+    }
+}
