@@ -1,36 +1,51 @@
 //! Fleet-throughput benchmark: UE·ticks/sec versus fleet size, reporting
-//! how close the per-UE cost of the load-coupled fleet engine stays to the
-//! single-UE hot path.
+//! how close the per-UE cost of the sharded, load-coupled fleet engine
+//! stays to the single-UE hot path.
 //!
 //! Every size runs the same pinned base scenario (freeway, OpY, NSA, seed
 //! 201) through [`fiveg_sim::fleet`] with the default heterogeneity
-//! narrowed to a 10 s stagger window, so per-size numbers are comparable
-//! across commits and between `--smoke` and full mode — smoke simply drops
-//! the 1000-UE point. Throughput counters flow through `fiveg-telemetry`
-//! (`sim.ticks` absorbed per UE, `bench.allocs` from a counting global
-//! allocator), and the report is written as `BENCH_fleet.json` (schema
-//! `fiveg-fleet/v1`).
+//! narrowed to a 10 s stagger window. Simulated duration is pinned **per
+//! size** (60 s up to 10k UEs, 30 s at 100k, 10 s at 1M and beyond) so the
+//! big sizes stay runnable while per-size numbers remain comparable across
+//! commits and between `--smoke` and full mode — full mode simply adds the
+//! 100k point. Summaries stream (no per-UE traces are retained), `ue_ticks`
+//! comes from the deterministic per-UE tick counts in the [`FleetTrace`],
+//! and `bench.allocs` from a counting global allocator. The report is
+//! written as `BENCH_fleet.json` (schema `fiveg-fleet/v2`).
 //!
 //! ```text
-//! fleet_bench [--smoke] [--threads N] [--out PATH] [--baseline PATH] [--tol F]
+//! fleet_bench [--smoke] [--threads N] [--shards N] [--sizes CSV]
+//!             [--verify-shards] [--tele-summary PATH]
+//!             [--out PATH] [--baseline PATH] [--tol F]
 //! ```
 //!
 //! With `--baseline`, the run gates each size's **machine-independent**
-//! metrics against the committed report — `ue_ticks` as a band (the work
-//! count is deterministic for the pinned scenario) and `allocs_per_ue_tick`
-//! lower-is-better — and exits nonzero past the tolerance (default 15%);
-//! this is the gating CI perf job, which pins `--threads 1` to match the
-//! committed baseline's thread count. UE·ticks/sec is printed as an
-//! advisory comparison only: the baseline's wall clock came from a
-//! different machine than the CI runner's (see `fiveg_bench::perfgate`).
-//! Sizes absent from the baseline are skipped so a new size never fails the
-//! job that introduces it, but if *no* measured size matches, the run fails
-//! — a reformatted baseline must not silently disable the gate.
+//! metrics against the committed report, pairing rows by their `n_ues`
+//! value (`perfgate::fleet_metric`, never by array position) — `ue_ticks`
+//! as a band (the work count is deterministic for the pinned scenario) and
+//! `allocs_per_ue_tick` lower-is-better — and exits nonzero past the
+//! tolerance (default 15%); this is the gating CI perf job, which pins
+//! `--threads 1` to match the committed baseline's thread count.
+//! UE·ticks/sec is printed as an advisory comparison only: the baseline's
+//! wall clock came from a different machine than the CI runner's (see
+//! `fiveg_bench::perfgate`). Sizes absent from the baseline are skipped so
+//! a new size never fails the job that introduces it, but if *no* measured
+//! size matches, the run fails — a reformatted baseline must not silently
+//! disable the gate.
+//!
+//! `--verify-shards` is the other machine-independent gate: it runs one
+//! migration-heavy fleet twice in-process (1 shard vs 4 shards) and exits
+//! nonzero unless the two [`FleetTrace`]s — traces included — are
+//! identical, catching any boundary-exchange or mailbox regression before
+//! the timing runs start.
 
 use fiveg_bench::perfgate::{self, Better, Gate};
 use fiveg_bench::report::JsonBuf;
 use fiveg_ran::{Arch, Carrier};
-use fiveg_sim::{run_fleet_instrumented, FleetSpec, FleetTrace, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
+use fiveg_sim::{
+    run_fleet_exec_instrumented, FleetExec, FleetSpec, FleetTrace, Scenario, ScenarioBuilder, Telemetry,
+    TelemetryConfig,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,13 +79,27 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 struct Args {
     smoke: bool,
     threads: usize,
+    shards: usize,
+    sizes: Option<Vec<u32>>,
+    verify_shards: bool,
+    tele_summary: Option<String>,
     out: String,
     baseline: Option<String>,
     tol: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { smoke: false, threads: 0, out: "BENCH_fleet.json".into(), baseline: None, tol: 0.15 };
+    let mut args = Args {
+        smoke: false,
+        threads: 0,
+        shards: 0,
+        sizes: None,
+        verify_shards: false,
+        tele_summary: None,
+        out: "BENCH_fleet.json".into(),
+        baseline: None,
+        tol: 0.15,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +108,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse::<usize>().map_err(|_| format!("bad --threads value: {v}"))?;
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse::<usize>().map_err(|_| format!("bad --shards value: {v}"))?;
+            }
+            "--sizes" => {
+                let v = it.next().ok_or("--sizes needs a comma-separated list")?;
+                let parsed: Result<Vec<u32>, _> = v.split(',').map(|s| s.trim().parse::<u32>()).collect();
+                let sizes = parsed.map_err(|_| format!("bad --sizes value: {v}"))?;
+                if sizes.is_empty() || sizes.contains(&0) {
+                    return Err("--sizes needs at least one nonzero fleet size".into());
+                }
+                args.sizes = Some(sizes);
+            }
+            "--verify-shards" => args.verify_shards = true,
+            "--tele-summary" => args.tele_summary = Some(it.next().ok_or("--tele-summary needs a value")?),
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
             "--tol" => {
@@ -89,7 +133,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: fleet_bench [--smoke] [--threads N] [--out PATH] [--baseline PATH] [--tol F]");
+                println!(
+                    "usage: fleet_bench [--smoke] [--threads N] [--shards N] [--sizes CSV] \
+                     [--verify-shards] [--tele-summary PATH] [--out PATH] [--baseline PATH] [--tol F]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -101,28 +148,43 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Fleet sizes per mode. Per-size parameters are identical in both modes so
-/// a smoke run can be gated against a committed full-mode baseline.
+/// Fleet sizes per mode. Per-size parameters (duration included) are pinned
+/// by size alone, so a smoke run can be gated against a committed full-mode
+/// baseline and an explicit `--sizes` run stays comparable to both.
 fn sizes(smoke: bool) -> &'static [u32] {
     if smoke {
-        &[1, 10, 100]
+        &[1, 10, 100, 1000, 10_000]
     } else {
-        &[1, 10, 100, 1000]
+        &[1, 10, 100, 1000, 10_000, 100_000]
+    }
+}
+
+/// Pinned simulated duration for a fleet size: long enough to dominate
+/// setup cost, short enough that the big sizes finish. Pinned per size (not
+/// per mode) so every run of a given size executes the same work.
+fn duration_s(n_ues: u32) -> f64 {
+    if n_ues <= 10_000 {
+        60.0
+    } else if n_ues <= 100_000 {
+        30.0
+    } else {
+        10.0
     }
 }
 
 /// The pinned base scenario every fleet size derives from (see
 /// EXPERIMENTS.md, "Fleet benchmark").
-fn base_scenario() -> Scenario {
-    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, 201).duration_s(60.0).sample_hz(10.0).build()
+fn base_scenario(duration: f64) -> Scenario {
+    ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, 201).duration_s(duration).sample_hz(10.0).build()
 }
 
 fn spec(n_ues: u32) -> FleetSpec {
-    FleetSpec::new(base_scenario(), n_ues).stagger_s(10.0).speed_jitter(0.1)
+    FleetSpec::new(base_scenario(duration_s(n_ues)), n_ues).stagger_s(10.0).speed_jitter(0.1)
 }
 
 struct SizeResult {
     n_ues: u32,
+    duration_s: f64,
     ticks: u64,
     ue_ticks: u64,
     elapsed_s: f64,
@@ -130,46 +192,72 @@ struct SizeResult {
     allocs_per_ue_tick: f64,
     peak_cell_ues: u32,
     contended_ue_ticks: u64,
+    migrations: u64,
 }
 
-fn bench_size(n_ues: u32, threads: usize) -> SizeResult {
-    let tele = Telemetry::new(TelemetryConfig::on());
-    let allocs = tele.counter("bench.allocs");
+fn bench_size(n_ues: u32, exec: FleetExec, sink: Option<&Telemetry>) -> SizeResult {
+    // journal-less deterministic telemetry: cheap enough to leave on in the
+    // timed region, and it carries the fleet.migrations diagnostic
+    let tele = Telemetry::new(TelemetryConfig { enabled: true, journal_capacity: 0, timing: false });
     let before = ALLOCS.load(Ordering::Relaxed);
     let start = Instant::now();
-    let ft: FleetTrace = run_fleet_instrumented(&spec(n_ues), threads, &tele);
+    let ft: FleetTrace = run_fleet_exec_instrumented(&spec(n_ues), exec, &tele);
     let elapsed_s = start.elapsed().as_secs_f64();
-    allocs.add(ALLOCS.load(Ordering::Relaxed) - before);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    if let Some(s) = sink {
+        s.absorb(&tele);
+    }
 
-    let ue_ticks = tele.counter_value("sim.ticks");
+    // deterministic work count, straight from the trace (equals the
+    // absorbed sim.ticks counter; independent of threads and shards)
+    let ue_ticks: u64 = ft.ues.iter().map(|u| u.ticks).sum();
     SizeResult {
         n_ues,
+        duration_s: duration_s(n_ues),
         ticks: ft.meta.ticks,
         ue_ticks,
         elapsed_s,
         ue_ticks_per_sec: ue_ticks as f64 / elapsed_s,
-        allocs_per_ue_tick: tele.counter_value("bench.allocs") as f64 / ue_ticks as f64,
+        allocs_per_ue_tick: allocs as f64 / ue_ticks as f64,
         peak_cell_ues: ft.load.peak_cell_ues,
         contended_ue_ticks: ft.load.contended_ue_ticks,
+        migrations: tele.counter_value("fleet.migrations"),
     }
 }
 
-fn report(mode: &str, threads: usize, results: &[SizeResult]) -> String {
-    let base = base_scenario();
+/// The shard-invariance check: one migration-heavy fleet, run with 1 shard
+/// and with 4, must produce identical output — traces included. Returns
+/// false (and prints why) on any divergence.
+fn verify_shards(threads: usize) -> bool {
+    let base = base_scenario(20.0);
+    let spec = FleetSpec::new(base, 64).stagger_s(10.0).speed_jitter(0.1).keep_traces(true);
+    let one = fiveg_sim::run_fleet_exec(&spec, FleetExec { threads, shards: 1 });
+    let four = fiveg_sim::run_fleet_exec(&spec, FleetExec { threads, shards: 4 });
+    if one == four {
+        println!("  shard invariance: 1 shard == 4 shards over {} UEs ({} ticks)  ok", 64, one.meta.ticks);
+        true
+    } else {
+        eprintln!("fleet_bench: FleetTrace differs between 1 and 4 shards — boundary exchange broke determinism");
+        false
+    }
+}
+
+fn report(mode: &str, threads: usize, shards: usize, results: &[SizeResult]) -> String {
+    let base = base_scenario(duration_s(1));
     let mut j = JsonBuf::new();
     j.open('{');
     j.key("schema");
-    j.str_val("fiveg-fleet/v1");
+    j.str_val("fiveg-fleet/v2");
     j.key("mode");
     j.str_val(mode);
     j.key("threads");
     j.uint(threads as u64);
+    j.key("shards");
+    j.uint(shards as u64);
     j.key("base");
     j.open('{');
     j.key("seed");
     j.uint(base.seed);
-    j.key("duration_s");
-    j.num(base.max_duration_s);
     j.key("sample_hz");
     j.num(base.sample_hz);
     j.key("stagger_s");
@@ -183,6 +271,8 @@ fn report(mode: &str, threads: usize, results: &[SizeResult]) -> String {
         j.open('{');
         j.key("n_ues");
         j.uint(u64::from(r.n_ues));
+        j.key("duration_s");
+        j.num(r.duration_s);
         j.key("ticks");
         j.uint(r.ticks);
         j.key("ue_ticks");
@@ -197,6 +287,8 @@ fn report(mode: &str, threads: usize, results: &[SizeResult]) -> String {
         j.uint(u64::from(r.peak_cell_ues));
         j.key("contended_ue_ticks");
         j.uint(r.contended_ue_ticks);
+        j.key("migrations");
+        j.uint(r.migrations);
         j.close('}');
     }
     j.close(']');
@@ -214,28 +306,45 @@ fn main() -> ExitCode {
     };
 
     let mode = if args.smoke { "smoke" } else { "full" };
-    let set = sizes(args.smoke);
-    println!("fleet bench '{}': sizes {:?}, {} thread(s)", mode, set, args.threads);
+    let set: Vec<u32> = args.sizes.clone().unwrap_or_else(|| sizes(args.smoke).to_vec());
+    let exec = FleetExec { threads: args.threads, shards: args.shards };
+    let shards_shown = if args.shards == 0 { args.threads } else { args.shards };
+    println!("fleet bench '{}': sizes {:?}, {} thread(s), {} shard(s)", mode, set, args.threads, shards_shown);
+
+    if args.verify_shards && !verify_shards(args.threads) {
+        return ExitCode::FAILURE;
+    }
+
+    // the cross-size telemetry sink behind --tele-summary
+    let sink = args.tele_summary.as_ref().map(|_| Telemetry::new(TelemetryConfig::deterministic()));
 
     // warmup (untimed): page in code and let the allocator settle
-    run_fleet_instrumented(&spec(1), args.threads, &Telemetry::disabled());
+    run_fleet_exec_instrumented(&spec(1), exec, &Telemetry::disabled());
 
     let mut results = Vec::new();
-    for &n in set {
-        let r = bench_size(n, args.threads);
+    for &n in &set {
+        let r = bench_size(n, exec, sink.as_ref());
         println!(
-            "  {:>5} UEs  {:>9} UE·ticks in {:>7.2} s  -> {:>9.0} UE·ticks/s, {:>6.1} allocs/UE·tick, peak cell {:>4}",
-            r.n_ues, r.ue_ticks, r.elapsed_s, r.ue_ticks_per_sec, r.allocs_per_ue_tick, r.peak_cell_ues
+            "  {:>7} UEs  {:>10} UE·ticks in {:>7.2} s  -> {:>9.0} UE·ticks/s, {:>6.2} allocs/UE·tick, peak cell {:>5}, {:>6} migrations",
+            r.n_ues, r.ue_ticks, r.elapsed_s, r.ue_ticks_per_sec, r.allocs_per_ue_tick, r.peak_cell_ues, r.migrations
         );
         results.push(r);
     }
 
-    let json = report(mode, args.threads, &results);
+    let json = report(mode, args.threads, shards_shown, &results);
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("fleet_bench: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
     }
     println!("  report -> {}", args.out);
+
+    if let (Some(path), Some(s)) = (&args.tele_summary, &sink) {
+        if let Err(e) = std::fs::write(path, s.summary()) {
+            eprintln!("fleet_bench: writing telemetry summary {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  telemetry summary -> {path}");
+    }
 
     if let Some(path) = &args.baseline {
         let committed = match std::fs::read_to_string(path) {
@@ -245,16 +354,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        // Gate the machine-independent metrics per size; absolute
-        // UE·ticks/sec is advisory (the baseline's wall clock came from a
-        // different machine than this runner's).
+        // Gate the machine-independent metrics per size, pairing rows by
+        // their n_ues value; absolute UE·ticks/sec is advisory (the
+        // baseline's wall clock came from a different machine than this
+        // runner's).
         println!("  perf gate vs {} (tol {:.0}%):", path, args.tol * 100.0);
         let mut gates = Vec::new();
         for r in &results {
-            let anchor = perfgate::fleet_anchor(r.n_ues);
-            let ticks = perfgate::metric_after(&committed, &anchor, "ue_ticks");
-            let allocs = perfgate::metric_after(&committed, &anchor, "allocs_per_ue_tick");
-            let tps = perfgate::metric_after(&committed, &anchor, "ue_ticks_per_sec");
+            let ticks = perfgate::fleet_metric(&committed, r.n_ues, "ue_ticks");
+            let allocs = perfgate::fleet_metric(&committed, r.n_ues, "allocs_per_ue_tick");
+            let tps = perfgate::fleet_metric(&committed, r.n_ues, "ue_ticks_per_sec");
             let (Some(b_ticks), Some(b_allocs)) = (ticks, allocs) else {
                 println!("  fleet[{}]: not in baseline, skipped", r.n_ues);
                 continue;

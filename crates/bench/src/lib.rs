@@ -35,7 +35,7 @@ pub use datasets::{d1_traces, d2_traces};
 pub use driver::{label_windows, run_prognos, PrognosRun, WindowOutcome};
 pub use features::{gbc_dataset, lstm_sequences};
 pub use fuzz::{campaign_report, replay_corpus, run_campaign, FuzzOutcome, FUZZ_SCHEMA};
-pub use perfgate::{evaluate, fleet_anchor, metric_after, Gate};
+pub use perfgate::{evaluate, fleet_metric, metric_after, Gate};
 pub use report::JsonBuf;
 pub use sweep::{RouteKind, SweepPredictor, SweepResult, SweepSpec};
 pub use vivisect::{

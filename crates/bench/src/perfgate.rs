@@ -4,7 +4,8 @@
 //! The reports are written by [`crate::report::JsonBuf`] — single-line JSON
 //! with a fixed key order and no whitespace — so the extractor here is a
 //! deliberately small string scanner instead of a JSON parser: it finds the
-//! entry object by an anchor pair (`"path":"snapshot"`, `"n_ues":100,`) and
+//! entry object by a literal anchor (`"path":"snapshot"`, [`metric_after`])
+//! or by the parsed value of its `"n_ues"` key ([`fleet_metric`]) and
 //! reads one numeric metric out of that same object. This keeps the gate
 //! dependency-free, which matters twice: the bench crate stays lean, and the
 //! offline `scripts/localcheck.sh` run (where `serde_json` is a
@@ -136,11 +137,32 @@ pub fn metric_anywhere(json: &str, metric: &str) -> Option<f64> {
     tail[..stop].trim().parse::<f64>().ok()
 }
 
-/// The anchor for a fleet-report entry of the given size. The trailing comma
-/// is part of the anchor on purpose: without it `"n_ues":100` would also
-/// match inside `"n_ues":1000`.
-pub fn fleet_anchor(n_ues: u32) -> String {
-    format!("\"n_ues\":{n_ues},")
+/// Extracts `metric` from the fleet-report entry whose `"n_ues"` **value**
+/// equals `n_ues`. Every `"n_ues":` occurrence is parsed and compared
+/// numerically, so the pairing is keyed by size — a reordered or extended
+/// baseline can never line a measurement up against the wrong row, and a
+/// prefix size (`100` vs `1000`) or a trailing `}` instead of `,` cannot
+/// confuse the match the way a literal-substring anchor could. Like
+/// [`metric_after`], the metric must follow the key inside the same object
+/// (true for every report this crate writes, where `n_ues` is emitted
+/// first). Returns `None` when the size or the metric is absent.
+pub fn fleet_metric(json: &str, n_ues: u32, metric: &str) -> Option<f64> {
+    const KEY: &str = "\"n_ues\":";
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(KEY) {
+        from += pos + KEY.len();
+        let tail = &json[from..];
+        let stop = tail.find([',', '}']).unwrap_or(tail.len());
+        if tail[..stop].trim().parse::<u64>() != Ok(u64::from(n_ues)) {
+            continue;
+        }
+        let scope = &tail[..tail.find('}').unwrap_or(tail.len())];
+        let key = format!("\"{metric}\":");
+        let m = &scope[scope.find(&key)? + key.len()..];
+        let mstop = m.find([',', '}']).unwrap_or(m.len());
+        return m[..mstop].trim().parse::<f64>().ok();
+    }
+    None
 }
 
 /// Evaluates a set of gates against a tolerance, printing one verdict line
@@ -182,7 +204,7 @@ mod tests {
     );
 
     const FLEET: &str = concat!(
-        r#"{"schema":"fiveg-fleet/v1","sizes":[{"n_ues":1,"ue_ticks_per_sec":90000.0},"#,
+        r#"{"schema":"fiveg-fleet/v2","sizes":[{"n_ues":1,"ue_ticks_per_sec":90000.0},"#,
         r#"{"n_ues":10,"ue_ticks_per_sec":85000.0},{"n_ues":100,"ue_ticks_per_sec":80000.0},"#,
         r#"{"n_ues":1000,"ue_ticks_per_sec":76000.0}]}"#
     );
@@ -199,16 +221,39 @@ mod tests {
     }
 
     #[test]
-    fn fleet_anchor_disambiguates_prefix_sizes() {
-        assert_eq!(metric_after(FLEET, &fleet_anchor(100), "ue_ticks_per_sec"), Some(80000.0));
-        assert_eq!(metric_after(FLEET, &fleet_anchor(1000), "ue_ticks_per_sec"), Some(76000.0));
-        assert_eq!(metric_after(FLEET, &fleet_anchor(1), "ue_ticks_per_sec"), Some(90000.0));
-        assert_eq!(metric_after(FLEET, &fleet_anchor(10), "ue_ticks_per_sec"), Some(85000.0));
+    fn fleet_metric_disambiguates_prefix_sizes() {
+        assert_eq!(fleet_metric(FLEET, 100, "ue_ticks_per_sec"), Some(80000.0));
+        assert_eq!(fleet_metric(FLEET, 1000, "ue_ticks_per_sec"), Some(76000.0));
+        assert_eq!(fleet_metric(FLEET, 1, "ue_ticks_per_sec"), Some(90000.0));
+        assert_eq!(fleet_metric(FLEET, 10, "ue_ticks_per_sec"), Some(85000.0));
+    }
+
+    #[test]
+    fn fleet_metric_is_keyed_by_value_not_position() {
+        // entries deliberately out of size order, with an extra unrelated
+        // size in the middle: the pairing must follow the n_ues value
+        let reordered = concat!(
+            r#"{"schema":"fiveg-fleet/v2","sizes":[{"n_ues":1000,"ue_ticks":9.0},"#,
+            r#"{"n_ues":7,"ue_ticks":3.0},{"n_ues":100,"ue_ticks":5.0},{"n_ues":1,"ue_ticks":1.0}]}"#
+        );
+        assert_eq!(fleet_metric(reordered, 1, "ue_ticks"), Some(1.0));
+        assert_eq!(fleet_metric(reordered, 100, "ue_ticks"), Some(5.0));
+        assert_eq!(fleet_metric(reordered, 1000, "ue_ticks"), Some(9.0));
+    }
+
+    #[test]
+    fn fleet_metric_matches_entries_closed_by_a_brace() {
+        // n_ues as the only key: the value is terminated by '}' not ','
+        let j = r#"[{"n_ues":10},{"n_ues":100,"ue_ticks":5.0}]"#;
+        assert_eq!(fleet_metric(j, 100, "ue_ticks"), Some(5.0));
+        assert_eq!(fleet_metric(j, 10, "ue_ticks"), None, "entry exists but lacks the metric");
     }
 
     #[test]
     fn missing_anchor_or_metric_is_none_not_a_panic() {
-        assert_eq!(metric_after(FLEET, &fleet_anchor(500), "ue_ticks_per_sec"), None);
+        assert_eq!(fleet_metric(FLEET, 500, "ue_ticks_per_sec"), None);
+        assert_eq!(fleet_metric(FLEET, 100, "nonexistent"), None);
+        assert_eq!(fleet_metric("", 100, "ue_ticks_per_sec"), None);
         assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "nonexistent"), None);
         assert_eq!(metric_after("", r#""path":"snapshot""#, "ticks_per_sec"), None);
     }

@@ -47,13 +47,14 @@ impl StallTracker {
 pub struct BulkFlow {
     tcp: TcpFlow,
     samples: Vec<TcpSample>,
+    retain: bool,
     stall: StallTracker,
 }
 
 impl BulkFlow {
     /// Starts a bulk download with the given congestion controller.
     pub fn new(cca: Cca) -> Self {
-        Self { tcp: TcpFlow::new(cca), samples: Vec::new(), stall: StallTracker::default() }
+        Self { tcp: TcpFlow::new(cca), samples: Vec::new(), retain: true, stall: StallTracker::default() }
     }
 
     /// Installs a telemetry recorder (disabled by default): stalled
@@ -62,11 +63,21 @@ impl BulkFlow {
         self.stall.telemetry = tele;
     }
 
+    /// Whether per-tick samples are kept for [`BulkFlow::samples`] (on by
+    /// default). Retention is pure logging — the TCP state machine never
+    /// reads past samples — so turning it off changes no returned sample;
+    /// summary-only fleet runs switch it off to keep memory flat.
+    pub fn retain_samples(&mut self, keep: bool) {
+        self.retain = keep;
+    }
+
     /// Advances one tick; records and returns the sample.
     pub fn step(&mut self, t: f64, dt: f64, path: &PathOutcome) -> TcpSample {
         self.stall.observe("bulk", t, path.capacity_mbps <= STALL_CAP_MBPS);
         let s = self.tcp.step(t, dt, path.capacity_mbps, path.base_rtt_ms);
-        self.samples.push(s);
+        if self.retain {
+            self.samples.push(s);
+        }
         s
     }
 
@@ -104,6 +115,7 @@ pub struct CbrFlow {
     /// Backlogged media bits waiting for capacity, Mb.
     backlog_mb: f64,
     samples: Vec<CbrSample>,
+    retain: bool,
     stall: StallTracker,
 }
 
@@ -111,13 +123,28 @@ impl CbrFlow {
     /// Creates a stream of `rate_mbps` with a per-frame deadline.
     pub fn new(rate_mbps: f64, deadline_ms: f64) -> Self {
         assert!(rate_mbps > 0.0);
-        Self { rate_mbps, deadline_ms, backlog_mb: 0.0, samples: Vec::new(), stall: StallTracker::default() }
+        Self {
+            rate_mbps,
+            deadline_ms,
+            backlog_mb: 0.0,
+            samples: Vec::new(),
+            retain: true,
+            stall: StallTracker::default(),
+        }
     }
 
     /// Installs a telemetry recorder (disabled by default): frame-dropping
     /// intervals are counted and journaled as stalls.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
         self.stall.telemetry = tele;
+    }
+
+    /// Whether per-tick samples are kept for [`CbrFlow::samples`] (on by
+    /// default). Retention is pure logging — the backlog model never reads
+    /// past samples — so turning it off changes no returned sample;
+    /// summary-only fleet runs switch it off to keep memory flat.
+    pub fn retain_samples(&mut self, keep: bool) {
+        self.retain = keep;
     }
 
     /// Advances one tick over the current path.
@@ -148,7 +175,9 @@ impl CbrFlow {
 
         self.stall.observe("cbr", t, loss > 0.0);
         let s = CbrSample { t, latency_ms: latency, loss };
-        self.samples.push(s);
+        if self.retain {
+            self.samples.push(s);
+        }
         s
     }
 

@@ -382,6 +382,16 @@ impl Deployment {
         &self.cells[id.0 as usize]
     }
 
+    /// The x-extent of the spatial grid index as `(x0, columns, bin_m)`:
+    /// column `c` (`0 <= c < columns`) covers world x in
+    /// `[(x0 + c) * bin_m, (x0 + c + 1) * bin_m)`. This is the partitioning
+    /// surface for spatial sharding — a shard owns a contiguous run of
+    /// columns, so shard boundaries always align with grid-index bins.
+    /// `columns` is at least 1 even for an empty deployment.
+    pub fn grid_x_columns(&self) -> (i64, i64, f64) {
+        (self.grid.x0, self.grid.w.max(1), GRID)
+    }
+
     /// Cells whose site lies within `radius_m` of `pos`.
     pub fn cells_near(&self, pos: &Point, radius_m: f64) -> Vec<CellId> {
         let mut out = Vec::new();

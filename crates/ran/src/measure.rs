@@ -179,12 +179,12 @@ fn best_neighbor<'a>(
         // typically the marginal one, not the strongest. This is the §6.2
         // mechanism: each HO leg optimizes its local criterion only, so an
         // SCG Change often lands on a barely-adequate gNB.
-        let satisfying: Vec<&Measurement> =
-            candidates.clone().filter(|n| n.quantity(cfg.quantity) - cfg.hysteresis_db > cfg.threshold_dbm).collect();
-        if !satisfying.is_empty() {
-            return satisfying
-                .into_iter()
-                .min_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap());
+        let satisfying = candidates
+            .clone()
+            .filter(|n| n.quantity(cfg.quantity) - cfg.hysteresis_db > cfg.threshold_dbm)
+            .min_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap());
+        if satisfying.is_some() {
+            return satisfying;
         }
     }
     candidates.max_by(|a, b| a.quantity(cfg.quantity).partial_cmp(&b.quantity(cfg.quantity)).unwrap())

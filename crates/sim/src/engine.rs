@@ -280,13 +280,37 @@ pub fn run_reference_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     run_with_path(s, tele, RadioPath::Reference, None)
 }
 
-fn run_with_path(s: &Scenario, tele: &Telemetry, radio: RadioPath, mut hook: Option<&mut (dyn SimHook + '_)>) -> Trace {
+fn run_with_path(
+    s: &Scenario,
+    tele: &Telemetry,
+    mut radio: RadioPath,
+    mut hook: Option<&mut (dyn SimHook + '_)>,
+) -> Trace {
     let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
-    let mut ue = UeSim::new(s.clone(), &d, tele, radio, hook.as_deref_mut());
+    let mut ue = UeSim::new(s.clone(), &d, tele, &mut radio, hook.as_deref_mut(), true);
     while ue.active() {
-        ue.step(hook.as_deref_mut(), &CellLoadView::SOLO);
+        ue.step(hook.as_deref_mut(), &CellLoadView::SOLO, &mut radio);
     }
     ue.into_trace(hook)
+}
+
+/// Flat end-of-run statistics, produced by [`UeSim::finish_summary`] when the
+/// caller never needs the full [`Trace`] (fleet runs with `keep_traces`
+/// off). Every field is bit-identical to what the same run's `Trace` would
+/// have yielded: counts are incremented at the exact sites that push the
+/// corresponding records, and `capacity_sum` accumulates left-to-right in
+/// tick order — the same fold `UeSummary::from_trace` performs over
+/// `samples`.
+pub(crate) struct UeRunStats {
+    pub ticks: u64,
+    pub traveled_m: f64,
+    pub handovers: u64,
+    pub ho_failures: u64,
+    pub rlf_count: u64,
+    pub reports: u64,
+    pub capacity_sum: f64,
+    pub loaded_ticks: u64,
+    pub share_sum: f64,
 }
 
 /// One UE's simulation state, steppable one tick at a time against a
@@ -302,7 +326,6 @@ fn run_with_path(s: &Scenario, tele: &Telemetry, radio: RadioPath, mut hook: Opt
 pub(crate) struct UeSim<'d> {
     s: Scenario,
     d: &'d Deployment,
-    radio: RadioPath,
     tele: Telemetry,
     mob: MobilityDriver,
     sm: RanStateMachine,
@@ -334,9 +357,23 @@ pub(crate) struct UeSim<'d> {
     nr_leg: LegView,
     scratch: LegScratch,
     merged: PciTable,
+    /// When false (fleet summary mode) the per-tick sample and the report
+    /// log are not retained: the vectors stay empty and the summary
+    /// aggregates below are streamed instead. Everything that feeds back
+    /// into the simulation is untouched, so the run itself is bit-identical
+    /// either way.
+    record_samples: bool,
     samples: Vec<TraceSample>,
     reports_log: Vec<MrRecord>,
     handovers: Vec<HandoverRecord>,
+    /// Count of retained-or-skipped report records; equals
+    /// `reports_log.len()` whenever `record_samples` is true.
+    reports_n: u64,
+    /// Count of completed handovers; equals `handovers.len()`.
+    handovers_n: u64,
+    /// Σ per-tick `capacity_mbps` in tick order — the same left-to-right
+    /// fold `UeSummary::from_trace` performs over `samples`.
+    cap_sum: f64,
     rlf_count: u64,
     ho_failures: u64,
     bulk: Option<BulkFlow>,
@@ -352,12 +389,19 @@ pub(crate) struct UeSim<'d> {
 impl<'d> UeSim<'d> {
     /// Builds the UE state and performs the initial attach (strongest cell
     /// of the control-plane technology at the route start).
+    ///
+    /// `radio` is borrowed, not owned: the fleet engine shares one
+    /// [`RadioSnapshot`] arena across every UE of a shard (the snapshot is a
+    /// pure memo of `(pos, t)`, so sharing cannot change any UE's bytes),
+    /// while the single-UE paths pass a path they own. `record_samples`
+    /// selects between full trace retention and streaming summary mode.
     pub(crate) fn new(
         s: Scenario,
         d: &'d Deployment,
         tele: &Telemetry,
-        mut radio: RadioPath,
+        radio: &mut RadioPath,
         mut hook: Option<&mut (dyn SimHook + '_)>,
+        record_samples: bool,
     ) -> UeSim<'d> {
         let mob = MobilityDriver::new(s.route.clone(), s.speed);
         let mut sm = RanStateMachine::new(s.arch, hash2(s.seed, 0x5A5A));
@@ -387,7 +431,7 @@ impl<'d> UeSim<'d> {
         let start = mob.position();
         {
             let nr = s.arch == Arch::Sa;
-            let best = match &mut radio {
+            let best = match &mut *radio {
                 RadioPath::Snapshot(snap) => {
                     snap.refresh(d, &start, t0, SEARCH_RADIUS_M, !nr, nr);
                     snap.strongest(nr).first().map(|&(id, _)| id)
@@ -440,16 +484,19 @@ impl<'d> UeSim<'d> {
         }
         if let Some(f) = &mut bulk {
             f.set_telemetry(tele.clone());
+            // summary-only runs never read the flow log; retention is pure
+            // logging, so dropping it cannot change any returned sample
+            f.retain_samples(record_samples);
         }
         if let Some(f) = &mut cbr {
             f.set_telemetry(tele.clone());
+            f.retain_samples(record_samples);
         }
 
         let dt = 1.0 / s.sample_hz;
         UeSim {
             s,
             d,
-            radio,
             tele: tele.clone(),
             mob,
             sm,
@@ -479,9 +526,13 @@ impl<'d> UeSim<'d> {
             nr_leg: LegView::new(),
             scratch: LegScratch::default(),
             merged: PciTable::new(),
+            record_samples,
             samples: Vec::new(),
             reports_log: Vec::new(),
             handovers: Vec::new(),
+            reports_n: 0,
+            handovers_n: 0,
+            cap_sum: 0.0,
             rlf_count: 0,
             ho_failures: 0,
             bulk,
@@ -509,6 +560,12 @@ impl<'d> UeSim<'d> {
         (self.loaded_ticks, self.share_sum)
     }
 
+    /// Current UE position — what the fleet engine feeds its shard map to
+    /// decide whether the UE has crossed a shard boundary this tick.
+    pub(crate) fn position(&self) -> Point {
+        self.mob.position()
+    }
+
     /// Advances the simulation by one tick: mobility → HO state machine →
     /// channel views → RLF → measurements/policy → link → trace sample.
     ///
@@ -517,7 +574,12 @@ impl<'d> UeSim<'d> {
     /// [`CellLoadView::SOLO`] both shares are exactly `1.0` and the
     /// multiplications are bit-for-bit no-ops (see
     /// [`fiveg_link::load_share`]).
-    pub(crate) fn step(&mut self, mut hook: Option<&mut (dyn SimHook + '_)>, load: &CellLoadView) {
+    pub(crate) fn step(
+        &mut self,
+        mut hook: Option<&mut (dyn SimHook + '_)>,
+        load: &CellLoadView,
+        radio: &mut RadioPath,
+    ) {
         let d = self.d;
         let arch = self.s.arch;
         let force_dual = self.s.force_dual;
@@ -582,7 +644,10 @@ impl<'d> UeSim<'d> {
                                 ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
                             );
                         }
-                        self.handovers.push(rec);
+                        self.handovers_n += 1;
+                        if self.record_samples {
+                            self.handovers.push(rec);
+                        }
                     }
                     pre_lte = self.sm.serving_lte();
                     pre_nr = self.sm.serving_nr();
@@ -607,13 +672,13 @@ impl<'d> UeSim<'d> {
 
         // --- channel views
         let channel_guard = tele.phase(Phase::Channel);
-        if let RadioPath::Snapshot(snap) = &mut self.radio {
+        if let RadioPath::Snapshot(snap) = &mut *radio {
             // one refresh feeds both leg views, RLF recovery and attach —
             // each in-radius cell's rx_dbm is evaluated exactly once per tick
             snap.refresh(d, &pos, t, SEARCH_RADIUS_M, arch != Arch::Sa, arch != Arch::Lte);
         }
         let lte_view: Option<&LegView> = if arch != Arch::Sa {
-            match &self.radio {
+            match &*radio {
                 RadioPath::Snapshot(snap) => {
                     let all = snap.strongest(false);
                     fill_leg_view(
@@ -648,7 +713,7 @@ impl<'d> UeSim<'d> {
             None
         };
         let nr_view: Option<&LegView> = if arch != Arch::Lte {
-            match &self.radio {
+            match &*radio {
                 RadioPath::Snapshot(snap) => {
                     let all = snap.strongest(true);
                     fill_leg_view(
@@ -688,7 +753,7 @@ impl<'d> UeSim<'d> {
         if let Some(lv) = &lte_view {
             let lost = lv.serving.map(|m| m.rrs.rsrp_dbm < RLF_DBM).unwrap_or(self.sm.serving_lte().is_none());
             if lost && !self.sm.busy() {
-                let best = match &self.radio {
+                let best = match &*radio {
                     RadioPath::Snapshot(snap) => snap.strongest(false).first().copied(),
                     RadioPath::Reference => d.strongest(&pos, t, false, SEARCH_RADIUS_M).first().copied(),
                 };
@@ -723,7 +788,7 @@ impl<'d> UeSim<'d> {
                 .map(|m| m.rrs.rsrp_dbm < RLF_DBM)
                 .unwrap_or(self.sm.serving_nr().is_none());
             if lost && !self.sm.busy() {
-                let best = match &self.radio {
+                let best = match &*radio {
                     RadioPath::Snapshot(snap) => snap.strongest(true).first().copied(),
                     RadioPath::Reference => d.strongest(&pos, t, true, SEARCH_RADIUS_M).first().copied(),
                 };
@@ -798,12 +863,15 @@ impl<'d> UeSim<'d> {
                                 serving_rrs: serving.rrs,
                                 neighbors: rep.neighbors.clone(),
                             });
-                            self.reports_log.push(MrRecord {
-                                t,
-                                event: rep.event,
-                                serving_pci: serving.pci.0,
-                                neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
-                            });
+                            self.reports_n += 1;
+                            if self.record_samples {
+                                self.reports_log.push(MrRecord {
+                                    t,
+                                    event: rep.event,
+                                    serving_pci: serving.pci.0,
+                                    neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
+                                });
+                            }
                             let _g = tele.phase(Phase::Policy);
                             if let Some(dec) = self.policy.on_report(&rep, &pctx) {
                                 decisions.push(dec);
@@ -846,12 +914,15 @@ impl<'d> UeSim<'d> {
                             serving_rrs: serving.rrs,
                             neighbors: rep.neighbors.clone(),
                         });
-                        self.reports_log.push(MrRecord {
-                            t,
-                            event: rep.event,
-                            serving_pci: serving.pci.0,
-                            neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
-                        });
+                        self.reports_n += 1;
+                        if self.record_samples {
+                            self.reports_log.push(MrRecord {
+                                t,
+                                event: rep.event,
+                                serving_pci: serving.pci.0,
+                                neighbor_pcis: rep.neighbors.iter().map(|n| n.pci.0).collect(),
+                            });
+                        }
                         // an A2 opens the SCG-change window: the network
                         // re-requests B1 reporting to find a replacement gNB
                         if rep.event.kind == fiveg_rrc::EventKind::A2 {
@@ -983,27 +1054,34 @@ impl<'d> UeSim<'d> {
 
         // --- record sample
         let append_guard = tele.phase(Phase::TraceAppend);
-        self.samples.push(TraceSample {
-            t,
-            pos: (pos.x, pos.y),
-            dist_m: self.mob.distance(),
-            lte_cell: cs.lte.map(|c| c.0),
-            nr_cell: cs.nr.map(|c| c.0),
-            lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
-            nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
-            lte_neighbors: lte_view
-                .as_ref()
-                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect())
-                .unwrap_or_default(),
-            nr_neighbors: nr_view
-                .as_ref()
-                .map(|v| v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect())
-                .unwrap_or_default(),
-            capacity_mbps: path.capacity_mbps,
-            base_rtt_ms: path.base_rtt_ms,
-            interrupted: cs.lte_interrupted || cs.nr_interrupted,
-            dual_mode: bearer == Bearer::Dual,
-        });
+        self.cap_sum += path.capacity_mbps;
+        if self.record_samples {
+            self.samples.push(TraceSample {
+                t,
+                pos: (pos.x, pos.y),
+                dist_m: self.mob.distance(),
+                lte_cell: cs.lte.map(|c| c.0),
+                nr_cell: cs.nr.map(|c| c.0),
+                lte_rrs: lte_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+                nr_rrs: nr_view.as_ref().and_then(|v| v.serving.map(|m| m.rrs)),
+                lte_neighbors: lte_view
+                    .as_ref()
+                    .map(|v| {
+                        v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect()
+                    })
+                    .unwrap_or_default(),
+                nr_neighbors: nr_view
+                    .as_ref()
+                    .map(|v| {
+                        v.neighbors.iter().filter_map(|m| v.candidates.get(m.pci).map(|id| (id.0, m.rrs))).collect()
+                    })
+                    .unwrap_or_default(),
+                capacity_mbps: path.capacity_mbps,
+                base_rtt_ms: path.base_rtt_ms,
+                interrupted: cs.lte_interrupted || cs.nr_interrupted,
+                dual_mode: bearer == Bearer::Dual,
+            });
+        }
         drop(append_guard);
 
         if let Some(h) = hook.as_mut() {
@@ -1075,6 +1153,37 @@ impl<'d> UeSim<'d> {
                 (_, Some(f)) => FlowLog::Cbr(f.samples().to_vec()),
                 _ => FlowLog::None,
             },
+        }
+    }
+
+    /// Finishes the run in summary mode: fires `on_run_end` and records the
+    /// final gauges exactly as [`UeSim::into_trace`] does, then consumes the
+    /// UE into flat [`UeRunStats`] instead of a [`Trace`]. The counts and
+    /// sums mirror what `UeSummary::from_trace` would compute from the same
+    /// run's trace, bit for bit.
+    pub(crate) fn finish_summary(self, mut hook: Option<&mut (dyn SimHook + '_)>) -> UeRunStats {
+        if let Some(h) = hook.as_mut() {
+            h.on_run_end(
+                self.t,
+                ServingCells { lte: self.sm.serving_lte(), nr: self.sm.serving_nr() },
+                self.sm.ho_phase(),
+                self.sm.queued(),
+            );
+        }
+
+        self.tele.set_gauge("sim.duration_s", self.t);
+        self.tele.set_gauge("sim.traveled_m", self.mob.distance());
+
+        UeRunStats {
+            ticks: self.tick,
+            traveled_m: self.mob.distance(),
+            handovers: self.handovers_n,
+            ho_failures: self.ho_failures,
+            rlf_count: self.rlf_count,
+            reports: self.reports_n,
+            capacity_sum: self.cap_sum,
+            loaded_ticks: self.loaded_ticks,
+            share_sum: self.share_sum,
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Multi-UE fleet engine: N load-coupled UEs against one shared deployment.
+//! Multi-UE fleet engine: N load-coupled UEs against one shared deployment,
+//! executed on **spatial shards**.
 //!
 //! Every single-UE entry point in [`crate::engine`] simulates exactly one
 //! device; the paper's findings (HO frequency, dual-steering, QoE impact)
@@ -8,18 +9,46 @@
 //! tick's link-layer capacity is scaled by the serving cell's equal share
 //! ([`fiveg_link::load_share`]).
 //!
+//! # Spatial sharding
+//!
+//! The world is partitioned by the deployment's grid index: a [`ShardMap`]
+//! assigns each shard a contiguous band of grid-index x-columns, and each
+//! shard owns the UEs currently inside its band (struct-of-arrays layout:
+//! parallel `idx`/`sims`/`hooks`/`teles` vectors). Shard-local state a
+//! worker touches every tick is plain, unsynchronized data:
+//!
+//! * per-cell attach counts are plain `u32`s, incremented without atomics;
+//! * a per-shard [`RadioSnapshot`] arena replaces the old per-UE radio
+//!   caches — the snapshot is a pure memo of `(pos, t)`, so sharing one
+//!   across the shard's UEs cannot change any UE's bytes, and the per-UE
+//!   cache memory disappears;
+//! * per-UE scratch (leg views, candidate tables) lives inside `UeSim` and
+//!   is reused across ticks, so steady-state stepping does not allocate.
+//!
+//! Once per tick the coordinator performs the **boundary exchange** while
+//! every worker is parked between the two barriers: it folds each shard's
+//! count table into the global read table (commutative integer adds — the
+//! merged table is independent of shard count), accumulates the load
+//! statistics from the merged table, and zeroes the shard tables for the
+//! next tick.
+//!
+//! A UE whose step moved it across a shard boundary **migrates** via an
+//! explicit mailbox message carrying its fleet index, `UeSim`, hook and
+//! telemetry handle (the `AddressMapping`/`Topology` pattern). Mailboxes
+//! are double-buffered by tick parity: a UE stepped at tick `k` is pushed
+//! into the target's tick-`k+1` inbox before the tick-`k` barrier, and the
+//! target drains exactly that inbox at the start of tick `k+1` — the UE
+//! misses no tick and can never be stepped twice in one tick.
+//!
 //! # Determinism
 //!
-//! The output is byte-identical at any `--threads`:
+//! The output is byte-identical at any `--threads` and any `--shards`:
 //!
-//! * UEs are sharded into contiguous index ranges; each UE's step sequence
-//!   depends only on its own scenario and the load table, never on shard
-//!   boundaries;
-//! * the load table is double-buffered and barrier-synced: tick `k` reads
-//!   the counts *all* UEs published during tick `k-1`, so no worker ever
-//!   observes a partially-written tick;
-//! * counts are merged with commutative integer `fetch_add`s — the merge
-//!   result is independent of worker interleaving;
+//! * each UE's step sequence depends only on its own scenario and the
+//!   merged load table, never on which shard hosts it;
+//! * the merged table is the commutative integer sum of the shard tables,
+//!   and tick `k` reads the counts *all* UEs published during tick `k-1`
+//!   (no worker ever observes a partially-merged tick);
 //! * results, telemetry ([`Telemetry::absorb`]) and hooks are collected in
 //!   UE-index order.
 //!
@@ -28,21 +57,12 @@
 //! by a proptest below). Other UEs get derived seeds, hashed start-tick
 //! offsets inside the stagger window, alternating route direction and a
 //! small deterministic speed jitter.
-//!
-//! # Cache sharing
-//!
-//! The per-(pos, t) radio caches ([`fiveg_ran::RadioSnapshot`] wrapping the
-//! `LatticeCache`/`ChannelCache` pair) are *per UE*, which is the "per
-//! shard" option from the design space: the lattice memos are
-//! last-position caches, so sharing one across UEs at different positions
-//! would thrash every lookup. Owned per UE they hit exactly as often as in
-//! the single-UE hot path, keeping per-UE cost near single-UE cost; the
-//! deployment (cells, towers, grid index) is the shared read-only part.
 
-use crate::engine::{RadioPath, UeSim};
+use crate::engine::{RadioPath, UeRunStats, UeSim};
 use crate::hook::SimHook;
 use crate::scenario::Scenario;
 use crate::trace::Trace;
+use fiveg_geo::Point;
 use fiveg_link::load_share;
 use fiveg_radio::hash2;
 use fiveg_ran::{Arch, Carrier, CellId, Deployment, Environment, RadioSnapshot};
@@ -81,6 +101,67 @@ impl<'a> CellLoadView<'a> {
             None => 1.0,
             Some(c) => load_share(c.get(cell.0 as usize).map_or(0, |a| a.load(Ordering::Relaxed))),
         }
+    }
+}
+
+/// Execution geometry of a fleet run: worker threads and spatial shards.
+///
+/// Workers own shards round-robin (`shard % threads`), so `threads` is
+/// effectively capped at the shard count. `shards == 0` means "match the
+/// thread count" — the default the plain [`run_fleet`] entry points use.
+/// Both knobs change only wall-clock behavior: the [`FleetTrace`] is
+/// byte-identical at any combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetExec {
+    /// Worker threads (clamped to `[1, n_ues]`, then to the shard count).
+    pub threads: usize,
+    /// Spatial shards (0 = match `threads`).
+    pub shards: usize,
+}
+
+impl FleetExec {
+    /// `threads` workers over the same number of shards.
+    pub fn threads(threads: usize) -> FleetExec {
+        FleetExec { threads, shards: 0 }
+    }
+
+    /// Overrides the shard count.
+    pub fn shards(mut self, shards: usize) -> FleetExec {
+        self.shards = shards;
+        self
+    }
+}
+
+/// Spatial partition of a deployment for the fleet engine: shard `s` owns a
+/// contiguous band of the grid index's x-columns (and thereby every UE
+/// positioned inside the band). Pure function of the deployment and the
+/// shard count — every worker computes identical shard assignments.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    x0: i64,
+    cols: i64,
+    bin_m: f64,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Partitions `d`'s grid x-extent into `shards` contiguous bands.
+    pub fn new(d: &Deployment, shards: usize) -> ShardMap {
+        let (x0, cols, bin_m) = d.grid_x_columns();
+        ShardMap { x0, cols, bin_m, shards: shards.max(1) }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `pos`. Positions outside the grid extent clamp to
+    /// the nearest edge column, so every position maps to exactly one
+    /// shard.
+    pub fn shard_of(&self, pos: &Point) -> usize {
+        let col = (((pos.x / self.bin_m).floor() as i64) - self.x0).clamp(0, self.cols - 1);
+        (col as usize * self.shards) / self.cols as usize
     }
 }
 
@@ -137,20 +218,31 @@ impl FleetSpec {
             // reproduces the single-UE engine byte for byte
             return UePlan { ue, scenario: self.base.clone(), start_tick: 0, reversed: false };
         }
-        let seed = hash2(self.base.seed, 0xF1EE_7000 ^ ue as u64);
+        let meta = self.plan_meta(ue);
         let mut s = self.base.clone();
-        s.seed = seed;
-        let reversed = ue % 2 == 1;
-        if reversed {
+        s.seed = meta.seed;
+        if meta.reversed {
             let mut pts = s.route.points().to_vec();
             pts.reverse();
             s.route = fiveg_geo::Polyline::new(pts);
         }
-        let scale = 1.0 + self.speed_jitter * (2.0 * unit(seed, 0x5BEED) - 1.0);
+        let scale = 1.0 + self.speed_jitter * (2.0 * unit(meta.seed, 0x5BEED) - 1.0);
         s.speed = scale_speed(s.speed, scale);
+        UePlan { ue, scenario: s, start_tick: meta.start_tick, reversed: meta.reversed }
+    }
+
+    /// The cheap part of [`FleetSpec::ue_plan`] — seed, start tick, route
+    /// direction — computable without cloning the base scenario, so a
+    /// million-UE fleet can schedule every UE up front and build the full
+    /// plan only at activation time.
+    pub(crate) fn plan_meta(&self, ue: u32) -> PlanMeta {
+        if ue == 0 {
+            return PlanMeta { seed: self.base.seed, start_tick: 0, reversed: false };
+        }
+        let seed = hash2(self.base.seed, 0xF1EE_7000 ^ ue as u64);
         let window = (self.stagger_s * self.base.sample_hz).max(0.0) as u64;
         let start_tick = if window == 0 { 0 } else { hash2(seed, 0x0FF5E7) % (window + 1) };
-        UePlan { ue, scenario: s, start_tick, reversed }
+        PlanMeta { seed, start_tick, reversed: ue % 2 == 1 }
     }
 }
 
@@ -181,7 +273,16 @@ pub struct UePlan {
     pub reversed: bool,
 }
 
-/// Fleet-run metadata (thread-count independent by construction).
+/// The schedule-only slice of a [`UePlan`]: everything the coordinator and
+/// the summaries need, without the cloned scenario.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanMeta {
+    pub(crate) seed: u64,
+    pub(crate) start_tick: u64,
+    pub(crate) reversed: bool,
+}
+
+/// Fleet-run metadata (thread- and shard-count independent by construction).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetMeta {
     /// Fleet size.
@@ -241,7 +342,7 @@ pub struct UeSummary {
 }
 
 impl UeSummary {
-    fn from_trace(plan: &UePlan, trace: &Trace, loaded_ticks: u64, share_sum: f64) -> UeSummary {
+    fn from_trace(ue: u32, meta: PlanMeta, trace: &Trace, loaded_ticks: u64, share_sum: f64) -> UeSummary {
         let ticks = trace.samples.len() as u64;
         let mean_cap = if trace.samples.is_empty() {
             0.0
@@ -249,10 +350,10 @@ impl UeSummary {
             trace.samples.iter().map(|s| s.capacity_mbps).sum::<f64>() / trace.samples.len() as f64
         };
         UeSummary {
-            ue: plan.ue,
-            seed: plan.scenario.seed,
-            start_tick: plan.start_tick,
-            reversed: plan.reversed,
+            ue,
+            seed: meta.seed,
+            start_tick: meta.start_tick,
+            reversed: meta.reversed,
             ticks,
             traveled_m: trace.meta.traveled_m,
             handovers: trace.handovers.len() as u64,
@@ -264,11 +365,34 @@ impl UeSummary {
             mean_load_share: if ticks == 0 { 1.0 } else { share_sum / ticks as f64 },
         }
     }
+
+    /// The summary-mode twin of [`UeSummary::from_trace`]: built from the
+    /// engine's streamed [`UeRunStats`]. Field for field the same
+    /// arithmetic — `capacity_sum` is the identical left-to-right fold the
+    /// trace path computes over `samples` — so the two paths produce
+    /// byte-identical summaries (held to that by a test below).
+    fn from_stats(ue: u32, meta: PlanMeta, st: &UeRunStats) -> UeSummary {
+        UeSummary {
+            ue,
+            seed: meta.seed,
+            start_tick: meta.start_tick,
+            reversed: meta.reversed,
+            ticks: st.ticks,
+            traveled_m: st.traveled_m,
+            handovers: st.handovers,
+            ho_failures: st.ho_failures,
+            rlf_count: st.rlf_count,
+            reports: st.reports,
+            mean_capacity_mbps: if st.ticks == 0 { 0.0 } else { st.capacity_sum / st.ticks as f64 },
+            loaded_ticks: st.loaded_ticks,
+            mean_load_share: if st.ticks == 0 { 1.0 } else { st.share_sum / st.ticks as f64 },
+        }
+    }
 }
 
 /// Fleet-level load statistics, accumulated by the coordinator from the
 /// fully-merged count table once per tick (single-threaded, so the scan
-/// order — and the result — is independent of worker count).
+/// order — and the result — is independent of worker and shard count).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LoadSummary {
     /// Peak number of UEs stepping in one tick.
@@ -302,18 +426,18 @@ impl SimHook for NoHook {}
 
 /// Runs a fleet with telemetry disabled. See [`run_fleet_instrumented`].
 pub fn run_fleet(spec: &FleetSpec, threads: usize) -> FleetTrace {
-    run_fleet_instrumented(spec, threads, &Telemetry::disabled())
+    run_fleet_exec(spec, FleetExec::threads(threads))
 }
 
 /// Runs a fleet recording into a caller-owned [`Telemetry`] handle.
 ///
-/// Per-UE telemetry runs on [`TelemetryConfig::deterministic`] handles and
-/// is absorbed into `tele` in UE order after the run (commutative counter
-/// and histogram merges — see [`Telemetry::absorb`]), plus fleet-level
+/// Per-UE telemetry runs on journal-less deterministic handles and is
+/// absorbed into `tele` in UE order after the run (commutative counter and
+/// histogram merges — see [`Telemetry::absorb`]), plus fleet-level
 /// `fleet.*` counters. The returned [`FleetTrace`] is byte-identical at
 /// any `threads`.
 pub fn run_fleet_instrumented(spec: &FleetSpec, threads: usize, tele: &Telemetry) -> FleetTrace {
-    run_fleet_core::<NoHook>(spec, threads, tele, None).0
+    run_fleet_exec_instrumented(spec, FleetExec::threads(threads), tele)
 }
 
 /// Runs a fleet with one [`SimHook`] per UE, built by `factory` (called
@@ -325,21 +449,82 @@ where
     H: SimHook + Send,
     F: Fn(u32) -> H + Sync,
 {
-    let (ft, hooks) = run_fleet_core(spec, threads, tele, Some(&factory));
+    run_fleet_exec_observed(spec, FleetExec::threads(threads), tele, factory)
+}
+
+/// [`run_fleet`] with explicit execution geometry.
+pub fn run_fleet_exec(spec: &FleetSpec, exec: FleetExec) -> FleetTrace {
+    run_fleet_exec_instrumented(spec, exec, &Telemetry::disabled())
+}
+
+/// [`run_fleet_instrumented`] with explicit execution geometry.
+pub fn run_fleet_exec_instrumented(spec: &FleetSpec, exec: FleetExec, tele: &Telemetry) -> FleetTrace {
+    run_fleet_core::<NoHook>(spec, exec, tele, None).0
+}
+
+/// [`run_fleet_observed`] with explicit execution geometry.
+pub fn run_fleet_exec_observed<H, F>(
+    spec: &FleetSpec,
+    exec: FleetExec,
+    tele: &Telemetry,
+    factory: F,
+) -> (FleetTrace, Vec<H>)
+where
+    H: SimHook + Send,
+    F: Fn(u32) -> H + Sync,
+{
+    let (ft, hooks) = run_fleet_core(spec, exec, tele, Some(&factory));
     (ft, hooks.expect("factory was provided"))
 }
 
-/// One worker-owned UE slot.
-enum Slot<'d, H: SimHook> {
-    /// Waiting for its start tick.
-    Pending,
-    /// Stepping.
-    Running(Box<RunningUe<'d, H>>),
-    /// Finalized into the results table.
-    Done,
+/// The shard-owned UE storage, struct-of-arrays: entry `j` of each vector
+/// belongs to the same UE. Split into parallel vectors (rather than one
+/// vector of structs) so a step can borrow `sims[j]` and `hooks[j]`
+/// mutably at the same time.
+struct ShardUes<'d, H: SimHook> {
+    /// Fleet index of each resident UE.
+    idx: Vec<u32>,
+    sims: Vec<UeSim<'d>>,
+    hooks: Vec<Option<H>>,
+    teles: Vec<Telemetry>,
 }
 
-struct RunningUe<'d, H: SimHook> {
+/// One spatial shard: the UEs inside its band, their plain-integer count
+/// table, and the shared radio-snapshot arena.
+struct Shard<'d, H: SimHook> {
+    /// UEs waiting on their start tick, `(start_tick, fleet idx)` sorted
+    /// descending so due entries pop off the back cheapest-first.
+    pending: Vec<(u64, u32)>,
+    run: ShardUes<'d, H>,
+    /// Shard-local per-cell attach counts for the current tick — plain
+    /// integers; the coordinator folds and zeroes them at the boundary
+    /// exchange.
+    counts: Vec<u32>,
+    /// UEs handed to another shard's mailbox since the last exchange.
+    migrated: u64,
+    /// The shard's shared per-(pos, t) radio memo: every resident UE
+    /// refreshes and reads the same snapshot. A refresh fully recomputes
+    /// from `(pos, t)` on miss, so sharing is invisible in the output —
+    /// it only trades per-UE cache memory for a lower hit rate.
+    arena: RadioPath,
+}
+
+impl<'d, H: SimHook> Shard<'d, H> {
+    fn new(n_cells: usize) -> Shard<'d, H> {
+        Shard {
+            pending: Vec::new(),
+            run: ShardUes { idx: Vec::new(), sims: Vec::new(), hooks: Vec::new(), teles: Vec::new() },
+            counts: vec![0; n_cells],
+            migrated: 0,
+            arena: RadioPath::Snapshot(RadioSnapshot::new()),
+        }
+    }
+}
+
+/// A UE in flight between shards: everything the target needs to resume
+/// stepping it next tick.
+struct Migrant<'d, H: SimHook> {
+    idx: u32,
     sim: UeSim<'d>,
     hook: Option<H>,
     tele: Telemetry,
@@ -347,7 +532,7 @@ struct RunningUe<'d, H: SimHook> {
 
 struct UeOut<H> {
     summary: UeSummary,
-    trace: Option<Trace>,
+    trace: Option<Box<Trace>>,
     tele: Telemetry,
     hook: Option<H>,
 }
@@ -355,91 +540,150 @@ struct UeOut<H> {
 #[allow(clippy::type_complexity)]
 fn run_fleet_core<H: SimHook + Send>(
     spec: &FleetSpec,
-    threads: usize,
+    exec: FleetExec,
     tele: &Telemetry,
     factory: Option<&(dyn Fn(u32) -> H + Sync)>,
 ) -> (FleetTrace, Option<Vec<H>>) {
     assert!(spec.n_ues >= 1, "a fleet needs at least one UE");
     let n = spec.n_ues as usize;
-    let threads = threads.clamp(1, n);
+    let shards_n = if exec.shards == 0 { exec.threads.clamp(1, n) } else { exec.shards.max(1) };
+    // a worker owns shards round-robin; more workers than shards would idle
+    let threads = exec.threads.clamp(1, n).min(shards_n);
     let base = &spec.base;
     let d = Deployment::generate(&base.route, base.carrier, base.env, base.arch, base.seed);
     let n_cells = d.cells.len();
+    let map = ShardMap::new(&d, shards_n);
 
-    let plans: Vec<UePlan> = (0..spec.n_ues).map(|i| spec.ue_plan(i)).collect();
+    // schedule-only metas for every UE (the full plan, scenario clone
+    // included, is built lazily at activation)
+    let metas: Vec<PlanMeta> = (0..spec.n_ues).map(|i| spec.plan_meta(i)).collect();
     // telemetry wall-clock timers are not deterministic; per-UE handles run
-    // counters+journal only (or fully off when the fleet handle is off)
-    let per_ue_cfg = if tele.is_enabled() { TelemetryConfig::deterministic() } else { TelemetryConfig::OFF };
+    // counters only (journal-less: `absorb` never merges journals, and a
+    // million per-UE ring buffers would be dead weight) — or fully off when
+    // the fleet handle is off
+    let per_ue_cfg = if tele.is_enabled() {
+        TelemetryConfig { enabled: true, journal_capacity: 0, timing: false }
+    } else {
+        TelemetryConfig::OFF
+    };
 
-    // Double-buffered per-cell attach counts: tick k reads bufs[k % 2]
-    // (fully merged during tick k-1) and fetch_adds into bufs[1 - k % 2].
-    let bufs: [Vec<AtomicU32>; 2] =
-        [(0..n_cells).map(|_| AtomicU32::new(0)).collect(), (0..n_cells).map(|_| AtomicU32::new(0)).collect()];
+    // seed every UE into the shard owning its route start
+    let pts = base.route.points();
+    let first = pts.first().copied().unwrap_or(Point::new(0.0, 0.0));
+    let last = pts.last().copied().unwrap_or(first);
+    let mut shards: Vec<Mutex<Shard<'_, H>>> = (0..shards_n).map(|_| Mutex::new(Shard::new(n_cells))).collect();
+    for (i, m) in metas.iter().enumerate() {
+        let start = if m.reversed { last } else { first };
+        shards[map.shard_of(&start)].get_mut().unwrap().pending.push((m.start_tick, i as u32));
+    }
+    for sh in &mut shards {
+        sh.get_mut().unwrap().pending.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    let shards = &shards[..];
+
+    // the merged read table: written only by the coordinator while every
+    // worker is parked, read by every worker during the tick
+    let global: Vec<AtomicU32> = (0..n_cells).map(|_| AtomicU32::new(0)).collect();
+    // migration mailboxes, double-buffered by tick parity: a UE stepped at
+    // tick k lands in the target's (k+1)%2 inbox and is drained exactly at
+    // the start of tick k+1 — never the same tick it was stepped in
+    let inboxes: Vec<[Mutex<Vec<Migrant<'_, H>>>; 2]> =
+        (0..shards_n).map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())]).collect();
     let active = AtomicU32::new(0);
     let stepped = AtomicU32::new(0);
     let done = AtomicBool::new(false);
     // workers + coordinator; two waits per tick (merge point, release point)
     let barrier = Barrier::new(threads + 1);
     let results: Vec<Mutex<Option<UeOut<H>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let chunk = n.div_ceil(threads);
 
     let mut ticks = 0u64;
     let mut load = LoadSummary::default();
+    let mut migrations = 0u64;
 
     std::thread::scope(|scope| {
         for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(n);
-            let (d, plans, bufs, active, stepped, done, barrier, results) =
-                (&d, &plans, &bufs, &active, &stepped, &done, &barrier, &results);
+            let (d, metas, global, inboxes, active, stepped, done, barrier, results, map) =
+                (&d, &metas, &global[..], &inboxes[..], &active, &stepped, &done, &barrier, &results, &map);
             let keep = spec.keep_traces;
             scope.spawn(move || {
-                let mut slots: Vec<Slot<'_, H>> = (lo..hi).map(|_| Slot::Pending).collect();
                 for k in 0u64.. {
-                    let read = CellLoadView::from_counts(&bufs[(k % 2) as usize]);
-                    let write = &bufs[(1 - k % 2) as usize];
+                    let read = CellLoadView::from_counts(global);
                     let mut still = 0u32;
                     let mut moved = 0u32;
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        let i = lo + j;
-                        if matches!(slot, Slot::Pending) && k >= plans[i].start_tick {
+                    for s in (w..shards_n).step_by(threads) {
+                        let mut guard = shards[s].lock().unwrap();
+                        let Shard { pending, run, counts, migrated, arena } = &mut *guard;
+                        // --- drain this tick's inbox: UEs that crossed into
+                        // this shard at the end of tick k-1
+                        let incoming = std::mem::take(&mut *inboxes[s][(k % 2) as usize].lock().unwrap());
+                        for mg in incoming {
+                            run.idx.push(mg.idx);
+                            run.sims.push(mg.sim);
+                            run.hooks.push(mg.hook);
+                            run.teles.push(mg.tele);
+                        }
+                        // --- activate UEs whose start tick arrived
+                        while pending.last().is_some_and(|&(st, _)| st <= k) {
+                            let (_, i) = pending.pop().unwrap();
+                            let plan = spec.ue_plan(i);
                             let ue_tele = Telemetry::new(per_ue_cfg);
-                            let mut hook = factory.map(|f| f(i as u32));
+                            let mut hook = factory.map(|f| f(i));
                             let sim = UeSim::new(
-                                plans[i].scenario.clone(),
+                                plan.scenario,
                                 d,
                                 &ue_tele,
-                                RadioPath::Snapshot(RadioSnapshot::new()),
+                                arena,
                                 hook.as_mut().map(|h| h as &mut dyn SimHook),
+                                keep,
                             );
-                            *slot = Slot::Running(Box::new(RunningUe { sim, hook, tele: ue_tele }));
+                            run.idx.push(i);
+                            run.sims.push(sim);
+                            run.hooks.push(hook);
+                            run.teles.push(ue_tele);
                         }
-                        match slot {
-                            Slot::Done => {}
-                            Slot::Pending => still += 1,
-                            Slot::Running(run) => {
-                                if run.sim.active() {
-                                    run.sim.step(run.hook.as_mut().map(|h| h as &mut dyn SimHook), &read);
-                                    moved += 1;
-                                    let (lte, nr) = run.sim.serving();
-                                    if let Some(id) = lte {
-                                        write[id.0 as usize].fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    if let Some(id) = nr {
-                                        write[id.0 as usize].fetch_add(1, Ordering::Relaxed);
-                                    }
+                        // --- step every resident UE against the merged
+                        // previous-tick load table
+                        let ShardUes { idx, sims, hooks, teles } = run;
+                        let mut j = 0;
+                        while j < sims.len() {
+                            if sims[j].active() {
+                                sims[j].step(hooks[j].as_mut().map(|h| h as &mut dyn SimHook), &read, arena);
+                                moved += 1;
+                                let (lte, nr) = sims[j].serving();
+                                if let Some(id) = lte {
+                                    counts[id.0 as usize] += 1;
                                 }
-                                if run.sim.active() {
-                                    still += 1;
-                                } else {
-                                    let out = match std::mem::replace(slot, Slot::Done) {
-                                        Slot::Running(run) => finalize(&plans[i], *run, keep),
-                                        _ => unreachable!(),
-                                    };
-                                    *results[i].lock().unwrap() = Some(out);
+                                if let Some(id) = nr {
+                                    counts[id.0 as usize] += 1;
                                 }
                             }
+                            if sims[j].active() {
+                                still += 1;
+                                let target = map.shard_of(&sims[j].position());
+                                if target != s {
+                                    // boundary crossed: hand the UE to the
+                                    // target's next-tick mailbox
+                                    let mg = Migrant {
+                                        idx: idx.swap_remove(j),
+                                        sim: sims.swap_remove(j),
+                                        hook: hooks.swap_remove(j),
+                                        tele: teles.swap_remove(j),
+                                    };
+                                    inboxes[target][((k + 1) % 2) as usize].lock().unwrap().push(mg);
+                                    *migrated += 1;
+                                    continue; // swap_remove put a new UE at j
+                                }
+                                j += 1;
+                            } else {
+                                let i = idx.swap_remove(j);
+                                let sim = sims.swap_remove(j);
+                                let hook = hooks.swap_remove(j);
+                                let ue_tele = teles.swap_remove(j);
+                                let out = finalize(metas[i as usize], i, sim, hook, ue_tele, keep);
+                                *results[i as usize].lock().unwrap() = Some(out);
+                            }
                         }
+                        still += pending.len() as u32;
                     }
                     if still > 0 {
                         active.fetch_add(still, Ordering::Relaxed);
@@ -447,8 +691,8 @@ fn run_fleet_core<H: SimHook + Send>(
                     if moved > 0 {
                         stepped.fetch_add(moved, Ordering::Relaxed);
                     }
-                    barrier.wait(); // tick k fully merged
-                    barrier.wait(); // coordinator published verdict + zeroed buffer
+                    barrier.wait(); // tick k fully stepped on every shard
+                    barrier.wait(); // coordinator merged counts + published verdict
                     if done.load(Ordering::Relaxed) {
                         break;
                     }
@@ -456,8 +700,9 @@ fn run_fleet_core<H: SimHook + Send>(
             });
         }
 
-        // coordinator: per-tick bookkeeping between the two barriers, while
-        // every worker is parked — the only writer of `done` and the stats
+        // coordinator: the boundary exchange between the two barriers, while
+        // every worker is parked — the only writer of `done`, the merged
+        // table and the stats
         for k in 0u64.. {
             barrier.wait();
             let a = active.swap(0, Ordering::Relaxed);
@@ -471,7 +716,26 @@ fn run_fleet_core<H: SimHook + Send>(
                 ticks = k + 1;
             }
             load.peak_active_ues = load.peak_active_ues.max(m);
-            for c in &bufs[(1 - k % 2) as usize] {
+            // --- boundary exchange: merged table = Σ shard tables. The
+            // sums are commutative integer adds, so the merged counts are
+            // independent of shard count; tick k+1 reads exactly what all
+            // UEs published during tick k.
+            for c in global.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            for sh in shards.iter() {
+                let mut g = sh.lock().unwrap();
+                migrations += g.migrated;
+                g.migrated = 0;
+                for (i, cnt) in g.counts.iter_mut().enumerate() {
+                    if *cnt > 0 {
+                        let cur = global[i].load(Ordering::Relaxed);
+                        global[i].store(cur + *cnt, Ordering::Relaxed);
+                        *cnt = 0;
+                    }
+                }
+            }
+            for c in global.iter() {
                 let v = c.load(Ordering::Relaxed);
                 if v > 0 {
                     load.attach_ue_ticks += v as u64;
@@ -480,10 +744,6 @@ fn run_fleet_core<H: SimHook + Send>(
                         load.contended_ue_ticks += v as u64;
                     }
                 }
-            }
-            // the buffer tick k read from becomes tick k+1's write target
-            for c in &bufs[(k % 2) as usize] {
-                c.store(0, Ordering::Relaxed);
             }
             if a == 0 {
                 done.store(true, Ordering::Relaxed);
@@ -504,7 +764,7 @@ fn run_fleet_core<H: SimHook + Send>(
         tele.absorb(&out.tele);
         ues.push(out.summary);
         if let Some(tr) = out.trace {
-            traces.push(tr);
+            traces.push(*tr);
         }
         if let (Some(hs), Some(h)) = (hooks.as_mut(), out.hook) {
             hs.push(h);
@@ -514,6 +774,9 @@ fn run_fleet_core<H: SimHook + Send>(
     tele.add("fleet.ticks", ticks);
     tele.add("fleet.attach_ue_ticks", load.attach_ue_ticks);
     tele.add("fleet.contended_ue_ticks", load.contended_ue_ticks);
+    // shard-count-dependent diagnostics (never part of the FleetTrace: the
+    // trace is byte-identical at any geometry, migrations are not)
+    tele.add("fleet.migrations", migrations);
 
     let meta = FleetMeta {
         n_ues: spec.n_ues,
@@ -531,12 +794,24 @@ fn run_fleet_core<H: SimHook + Send>(
     (FleetTrace { meta, ues, load, traces }, hooks)
 }
 
-fn finalize<H: SimHook>(plan: &UePlan, run: RunningUe<'_, H>, keep: bool) -> UeOut<H> {
-    let (loaded_ticks, share_sum) = run.sim.load_stats();
-    let mut hook = run.hook;
-    let trace = run.sim.into_trace(hook.as_mut().map(|h| h as &mut dyn SimHook));
-    let summary = UeSummary::from_trace(plan, &trace, loaded_ticks, share_sum);
-    UeOut { summary, trace: keep.then_some(trace), tele: run.tele, hook }
+fn finalize<H: SimHook>(
+    meta: PlanMeta,
+    ue: u32,
+    sim: UeSim<'_>,
+    mut hook: Option<H>,
+    tele: Telemetry,
+    keep: bool,
+) -> UeOut<H> {
+    let (loaded_ticks, share_sum) = sim.load_stats();
+    if keep {
+        let trace = sim.into_trace(hook.as_mut().map(|h| h as &mut dyn SimHook));
+        let summary = UeSummary::from_trace(ue, meta, &trace, loaded_ticks, share_sum);
+        UeOut { summary, trace: Some(Box::new(trace)), tele, hook }
+    } else {
+        let stats = sim.finish_summary(hook.as_mut().map(|h| h as &mut dyn SimHook));
+        let summary = UeSummary::from_stats(ue, meta, &stats);
+        UeOut { summary, trace: None, tele, hook }
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +841,73 @@ mod tests {
         let a = run_fleet(&spec, 1);
         let b = run_fleet(&spec, 3);
         assert_eq!(a, b, "fleet output must not depend on the worker count");
+    }
+
+    #[test]
+    fn byte_identical_across_shard_counts() {
+        let spec = FleetSpec::new(base(12), 7).keep_traces(true);
+        let one = run_fleet_exec(&spec, FleetExec::threads(2).shards(1));
+        for shards in [2usize, 5, 16] {
+            let many = run_fleet_exec(&spec, FleetExec::threads(2).shards(shards));
+            assert_eq!(one, many, "fleet output must not depend on the shard count ({shards} shards)");
+        }
+    }
+
+    #[test]
+    fn summary_mode_matches_trace_mode() {
+        // the streamed summary path (keep_traces off) must produce the
+        // same bytes `UeSummary::from_trace` computes from the full trace
+        let with = run_fleet(&FleetSpec::new(base(18), 6).keep_traces(true), 2);
+        let without = run_fleet(&FleetSpec::new(base(18), 6), 2);
+        assert_eq!(with.ues, without.ues);
+        assert_eq!(with.load, without.load);
+        assert_eq!(with.meta, without.meta);
+        assert!(without.traces.is_empty());
+    }
+
+    #[test]
+    fn migrations_happen_and_are_counted() {
+        let tele = Telemetry::new(TelemetryConfig::on());
+        let spec = FleetSpec::new(base(19), 6);
+        run_fleet_exec_instrumented(&spec, FleetExec::threads(2).shards(8), &tele);
+        assert!(
+            tele.counter_value("fleet.migrations") > 0,
+            "freeway UEs crossing 8 shard bands must migrate at least once"
+        );
+        // a single shard can never migrate anyone
+        let tele1 = Telemetry::new(TelemetryConfig::on());
+        run_fleet_exec_instrumented(&spec, FleetExec::threads(1).shards(1), &tele1);
+        assert_eq!(tele1.counter_value("fleet.migrations"), 0);
+    }
+
+    #[test]
+    fn shard_map_is_monotone_and_total() {
+        let s = base(20);
+        let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+        let map = ShardMap::new(&d, 8);
+        assert_eq!(map.shards(), 8);
+        let mut last = 0usize;
+        for i in 0..200 {
+            let x = -20_000.0 + i as f64 * 250.0;
+            let sh = map.shard_of(&Point::new(x, 137.0));
+            assert!(sh < 8, "shard_of must stay in range");
+            assert!(sh >= last, "shards must be monotone in x");
+            last = sh;
+        }
+        assert_eq!(map.shard_of(&Point::new(-1e9, 0.0)), 0, "far-left clamps to shard 0");
+        assert_eq!(map.shard_of(&Point::new(1e9, 0.0)), 7, "far-right clamps to the last shard");
+    }
+
+    #[test]
+    fn plan_meta_matches_full_plan() {
+        let spec = FleetSpec::new(base(21), 9);
+        for ue in 0..9 {
+            let plan = spec.ue_plan(ue);
+            let meta = spec.plan_meta(ue);
+            assert_eq!(meta.seed, plan.scenario.seed);
+            assert_eq!(meta.start_tick, plan.start_tick);
+            assert_eq!(meta.reversed, plan.reversed);
+        }
     }
 
     #[test]

@@ -40,8 +40,9 @@ pub use engine::{run_hooked, run_reference, run_reference_hooked, run_reference_
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
 pub use fleet::{
-    run_fleet, run_fleet_instrumented, run_fleet_observed, CellLoadView, FleetMeta, FleetSpec, FleetTrace, LoadSummary,
-    UePlan, UeSummary,
+    run_fleet, run_fleet_exec, run_fleet_exec_instrumented, run_fleet_exec_observed, run_fleet_instrumented,
+    run_fleet_observed, CellLoadView, FleetExec, FleetMeta, FleetSpec, FleetTrace, LoadSummary, ShardMap, UePlan,
+    UeSummary,
 };
 pub use hook::{AttachReason, ServingCells, SimHook, TickView};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};

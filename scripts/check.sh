@@ -147,15 +147,22 @@ run_vivisect() {
 # tick_bench runs the full scenario set because the committed baseline is
 # full-mode (smoke's smaller scenario has different work counts);
 # fleet_bench runs --smoke, whose per-size parameters match the full
-# baseline's, just without the 1000-UE point, and pins --threads 1 to match
-# the committed baseline's "threads":1 (a multi-worker barrier pool on a
-# 2-core runner has genuinely different per-UE·tick costs). CI uploads
+# baseline's up to the 10k-UE point (full adds only 100k), and pins
+# --threads 1 --shards 16 to match the committed baseline's geometry (a
+# multi-worker barrier pool on a 2-core runner has genuinely different
+# per-UE·tick costs, and the shard count shifts cache locality — 16
+# shards is where the 10k-UE point peaks on one thread). Baseline rows
+# are paired by their n_ues value, so a reordered
+# or extended baseline can never gate against the wrong row.
+# --verify-shards adds the third machine-independent gate: the same fleet
+# run with 1 and 4 shards must produce identical FleetTraces. CI uploads
 # BENCH_tick_ci.json / BENCH_fleet_ci.json as artifacts.
 run_perf() {
     echo "== perf gate (tick_bench + fleet_bench vs committed baselines, tol 15%)"
     cargo build -q --release --bin tick_bench --bin fleet_bench
     target/release/tick_bench --out BENCH_tick_ci.json --baseline BENCH_tick.json --tol 0.15
-    target/release/fleet_bench --smoke --threads 1 --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
+    target/release/fleet_bench --smoke --threads 1 --shards 16 --verify-shards \
+        --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
     python3 -m json.tool BENCH_tick_ci.json >/dev/null
     python3 -m json.tool BENCH_fleet_ci.json >/dev/null
     echo "  both reports parse; no gated metric regressed beyond tolerance"

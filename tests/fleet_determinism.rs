@@ -8,8 +8,11 @@
 //! stub cannot serialize) and runs the structural ones.
 
 use fiveg_oracle::Oracle;
-use fiveg_ran::{Arch, Carrier};
-use fiveg_sim::{run_fleet, run_fleet_observed, FleetSpec, Scenario, ScenarioBuilder, Telemetry};
+use fiveg_ran::{Arch, Carrier, Deployment};
+use fiveg_sim::{
+    run_fleet, run_fleet_exec, run_fleet_exec_instrumented, FleetExec, FleetSpec, Scenario, ScenarioBuilder, ShardMap,
+    Telemetry, TelemetryConfig,
+};
 
 fn base(seed: u64) -> Scenario {
     ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, seed).duration_s(60.0).sample_hz(5.0).build()
@@ -22,6 +25,90 @@ fn fleet_trace_is_identical_across_thread_counts() {
     for threads in [2, 4] {
         assert_eq!(one, run_fleet(&spec, threads), "fleet output changed at {threads} threads");
     }
+}
+
+#[test]
+fn fleet_trace_is_identical_across_shard_counts() {
+    let spec = FleetSpec::new(base(31), 9).keep_traces(true);
+    let one = run_fleet_exec(&spec, FleetExec { threads: 2, shards: 1 });
+    for shards in [2, 8] {
+        let many = run_fleet_exec(&spec, FleetExec { threads: 2, shards });
+        assert_eq!(one, many, "fleet output changed at {shards} shards");
+    }
+}
+
+#[test]
+fn ue_crosses_shard_boundary_mid_handover() {
+    // A handover must survive its UE migrating between shards while the
+    // procedure is in flight: the sharded run must (a) actually migrate
+    // UEs, (b) contain at least one HO whose decision and completion happen
+    // on different shards, and (c) still match the single-shard output
+    // byte for byte.
+    let spec = FleetSpec::new(base(36), 10).keep_traces(true);
+    let tele = Telemetry::new(TelemetryConfig::deterministic());
+    let sharded = run_fleet_exec_instrumented(&spec, FleetExec { threads: 2, shards: 8 }, &tele);
+    assert!(tele.counter_value("fleet.migrations") > 0, "freeway UEs must cross 8 shard bands");
+
+    let s = &spec.base;
+    let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+    let map = ShardMap::new(&d, 8);
+    let shard_at = |trace: &fiveg_sim::Trace, t: f64| {
+        let p = trace
+            .samples
+            .iter()
+            .min_by(|a, b| (a.t - t).abs().partial_cmp(&(b.t - t).abs()).unwrap())
+            .map(|smp| fiveg_geo::Point::new(smp.pos.0, smp.pos.1))
+            .expect("trace has samples");
+        map.shard_of(&p)
+    };
+    let crossing = sharded
+        .traces
+        .iter()
+        .flat_map(|tr| tr.handovers.iter().map(move |h| (tr, h)))
+        .any(|(tr, h)| shard_at(tr, h.t_decision) != shard_at(tr, h.t_complete));
+    assert!(crossing, "expected at least one handover spanning a shard boundary");
+
+    let single = run_fleet_exec(&spec, FleetExec { threads: 1, shards: 1 });
+    assert_eq!(single, sharded, "a mid-handover migration must not change the output");
+}
+
+#[test]
+fn cell_load_shares_sum_correctly_after_boundary_exchange() {
+    // The boundary exchange folds shard-local attach counts into the global
+    // table; its aggregate statistics must equal what the retained traces
+    // imply. With no stagger every UE's sample k happens at global tick k,
+    // so the per-tick per-cell attach counts can be rebuilt exactly.
+    let spec = FleetSpec::new(base(37), 8).stagger_s(0.0).keep_traces(true);
+    let ft = run_fleet_exec(&spec, FleetExec { threads: 2, shards: 8 });
+
+    let n_cells = ft.meta.cells as usize;
+    let max_ticks = ft.traces.iter().map(|tr| tr.samples.len()).max().unwrap();
+    let (mut attach, mut contended, mut peak) = (0u64, 0u64, 0u32);
+    let mut counts = vec![0u32; n_cells];
+    for k in 0..max_ticks {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for tr in &ft.traces {
+            if let Some(smp) = tr.samples.get(k) {
+                if let Some(c) = smp.lte_cell {
+                    counts[c as usize] += 1;
+                }
+                if let Some(c) = smp.nr_cell {
+                    counts[c as usize] += 1;
+                }
+            }
+        }
+        for &c in &counts {
+            attach += u64::from(c);
+            peak = peak.max(c);
+            if c >= 2 {
+                contended += u64::from(c);
+            }
+        }
+    }
+    assert_eq!(ft.load.attach_ue_ticks, attach, "merged attach counts must equal the trace-derived sum");
+    assert_eq!(ft.load.contended_ue_ticks, contended);
+    assert_eq!(ft.load.peak_cell_ues, peak);
+    assert!(contended > 0, "co-routed UEs must actually contend for this oracle to bite");
 }
 
 #[test]
@@ -45,6 +132,16 @@ fn fleet_trace_is_byte_identical_across_thread_counts_json() {
 }
 
 #[test]
+fn fleet_trace_is_byte_identical_across_shard_counts_json() {
+    let spec = FleetSpec::new(base(32), 9).keep_traces(true);
+    let one = serde_json::to_string(&run_fleet_exec(&spec, FleetExec { threads: 2, shards: 1 })).unwrap();
+    for shards in [2, 8] {
+        let sharded = serde_json::to_string(&run_fleet_exec(&spec, FleetExec { threads: 2, shards })).unwrap();
+        assert_eq!(one, sharded, "serialized fleet changed at {shards} shards");
+    }
+}
+
+#[test]
 fn size_one_fleet_is_byte_identical_to_single_run_json() {
     let s = base(33);
     let single = serde_json::to_string(&s.run()).unwrap();
@@ -59,7 +156,9 @@ fn per_ue_oracles_stay_clean_under_load() {
     // plane the oracle shadows
     let spec = FleetSpec::new(base(34), 6).stagger_s(5.0);
     let (ft, oracles) =
-        run_fleet_observed(&spec, 2, &Telemetry::disabled(), |ue| Oracle::new(spec.base.arch, u64::from(ue)));
+        fiveg_sim::run_fleet_exec_observed(&spec, FleetExec { threads: 2, shards: 8 }, &Telemetry::disabled(), |ue| {
+            Oracle::new(spec.base.arch, u64::from(ue))
+        });
     assert_eq!(oracles.len(), 6);
     for (ue, o) in oracles.iter().enumerate() {
         assert!(o.is_clean(), "UE {ue} violated invariants: {:?}", o.violations());
