@@ -9,7 +9,17 @@
 //! iteration, so a reported speedup is never bought with a behavior change.
 //! Throughput counters flow through `fiveg-telemetry` (`sim.ticks` from the
 //! instrumented runs, `bench.allocs` from a counting global allocator), and
-//! the report is written as `BENCH_tick.json` (schema `fiveg-tick/v1`).
+//! the report is written as `BENCH_tick.json` (schema `fiveg-tick/v2`).
+//!
+//! The v2 `des` section benchmarks the event-driven single-UE engine
+//! ([`fiveg_sim::run_des`]) on sleep-eligible SA scenarios: UE·ticks
+//! simulated per wall-second (skipped ticks count — they are simulated in
+//! closed form, not dropped) and the fraction of ticks fast-forwarded
+//! (`skip_ratio`). Before timing, every des scenario is checked against
+//! [`fiveg_sim::run_stepped_summary`]: identical control-plane summary and
+//! identical logical tick count, so the skip ratio is never bought with
+//! less work. `skip_ratio` is exact and machine-independent; the run fails
+//! outright if it drops below [`SKIP_FLOOR`] on any des scenario.
 //!
 //! ```text
 //! tick_bench [--smoke] [--iters N] [--out PATH] [--baseline PATH] [--tol F]
@@ -29,7 +39,7 @@
 use fiveg_bench::perfgate::{self, Better, Gate};
 use fiveg_bench::report::JsonBuf;
 use fiveg_ran::{Arch, Carrier};
-use fiveg_sim::{engine, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
+use fiveg_sim::{engine, run_des, run_stepped_summary, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,12 +140,75 @@ fn scenarios(smoke: bool) -> Vec<(&'static str, Scenario)> {
     ]
 }
 
+/// Machine-independent floor on the des skip ratio: at least half of all
+/// city-loop ticks must be fast-forwarded, or the event-driven engine has
+/// quietly stopped earning its keep.
+const SKIP_FLOOR: f64 = 0.5;
+
+/// The des scenario set: sleep-eligible SA routes (NSA carries a
+/// SINR-quantity B1 config, so it never sleeps and would only measure the
+/// stepped path twice).
+fn des_scenarios(smoke: bool) -> Vec<(&'static str, Scenario)> {
+    let secs = if smoke { 60.0 } else { 200.0 };
+    vec![
+        (
+            "city-sa",
+            ScenarioBuilder::city_loop(Carrier::OpY, 105).arch(Arch::Sa).duration_s(secs).sample_hz(10.0).build(),
+        ),
+        (
+            "walking-sa",
+            ScenarioBuilder::walking_loop(Carrier::OpY, 8.0, 4, 106)
+                .arch(Arch::Sa)
+                .duration_s(secs)
+                .sample_hz(10.0)
+                .build(),
+        ),
+    ]
+}
+
 struct PathResult {
     label: &'static str,
     ticks: u64,
     elapsed_s: f64,
     ticks_per_sec: f64,
     allocs_per_tick: f64,
+}
+
+struct DesResult {
+    label: &'static str,
+    /// Logical ticks simulated per iteration (skipped ticks included).
+    ticks: u64,
+    /// Ticks fast-forwarded in closed form per iteration.
+    skipped_ticks: u64,
+    /// Sleep windows granted per iteration.
+    sleeps: u64,
+    /// `skipped_ticks / ticks` — exact and machine-independent.
+    skip_ratio: f64,
+    elapsed_s: f64,
+    /// Logical UE·ticks simulated per wall-second over the timed passes.
+    ue_ticks_per_sec: f64,
+}
+
+/// Times [`run_des`] over one scenario (untimed warmup, then `iters`
+/// passes). The returned work counts are per-iteration, the throughput is
+/// aggregated over all timed passes.
+fn bench_des(label: &'static str, s: &Scenario, iters: usize) -> DesResult {
+    run_des(s);
+    let start = Instant::now();
+    let mut last = run_des(s);
+    for _ in 1..iters {
+        last = run_des(s);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    DesResult {
+        label,
+        ticks: last.ticks,
+        skipped_ticks: last.skipped_ticks,
+        sleeps: last.sleeps,
+        skip_ratio: last.skip_ratio(),
+        elapsed_s,
+        ue_ticks_per_sec: (last.ticks * iters as u64) as f64 / elapsed_s,
+    }
 }
 
 /// Runs every scenario through one engine path `iters` times (after one
@@ -177,11 +250,18 @@ fn bench_path(label: &'static str, set: &[(&'static str, Scenario)], iters: usiz
     }
 }
 
-fn report(mode: &str, iters: usize, set: &[(&'static str, Scenario)], paths: &[PathResult], speedup: f64) -> String {
+fn report(
+    mode: &str,
+    iters: usize,
+    set: &[(&'static str, Scenario)],
+    paths: &[PathResult],
+    speedup: f64,
+    des: &[DesResult],
+) -> String {
     let mut j = JsonBuf::new();
     j.open('{');
     j.key("schema");
-    j.str_val("fiveg-tick/v1");
+    j.str_val("fiveg-tick/v2");
     j.key("mode");
     j.str_val(mode);
     j.key("iters");
@@ -220,6 +300,29 @@ fn report(mode: &str, iters: usize, set: &[(&'static str, Scenario)], paths: &[P
     j.close(']');
     j.key("speedup");
     j.num(speedup);
+    j.key("des_skip_floor");
+    j.num(SKIP_FLOOR);
+    j.key("des");
+    j.open('[');
+    for d in des {
+        j.open('{');
+        j.key("des");
+        j.str_val(d.label);
+        j.key("ticks");
+        j.uint(d.ticks);
+        j.key("skipped_ticks");
+        j.uint(d.skipped_ticks);
+        j.key("sleeps");
+        j.uint(d.sleeps);
+        j.key("skip_ratio");
+        j.num(d.skip_ratio);
+        j.key("elapsed_s");
+        j.num(d.elapsed_s);
+        j.key("ue_ticks_per_sec");
+        j.num(d.ue_ticks_per_sec);
+        j.close('}');
+    }
+    j.close(']');
     j.close('}');
     j.finish_line()
 }
@@ -245,6 +348,17 @@ fn main() -> ExitCode {
         }
     }
 
+    // same bar for the des section: identical control plane and identical
+    // logical tick count, or the skip ratio measures a different workload
+    let des_set = des_scenarios(args.smoke);
+    for (label, s) in &des_set {
+        let (des, stepped) = (run_des(s), run_stepped_summary(s));
+        if des.control() != stepped.control() || des.ticks != stepped.ticks {
+            eprintln!("tick_bench: des and stepped summaries diverge on {label}: {des:?} vs {stepped:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let reference = bench_path("reference", &set, args.iters, true);
     let snapshot = bench_path("snapshot", &set, args.iters, false);
     let speedup = snapshot.ticks_per_sec / reference.ticks_per_sec;
@@ -257,9 +371,23 @@ fn main() -> ExitCode {
     }
     println!("  speedup {speedup:.2}x (snapshot over reference)");
 
+    let mut des_results = Vec::new();
+    for (label, s) in &des_set {
+        let d = bench_des(label, s, args.iters);
+        println!(
+            "  des {:<12} {:>6} ticks ({} slept in {} windows, skip {:.3})  -> {:>9.0} UE·ticks/s",
+            d.label, d.ticks, d.skipped_ticks, d.sleeps, d.skip_ratio, d.ue_ticks_per_sec
+        );
+        if d.skip_ratio < SKIP_FLOOR {
+            eprintln!("tick_bench: skip_ratio {:.3} on {} fell below the {SKIP_FLOOR} floor", d.skip_ratio, d.label);
+            return ExitCode::FAILURE;
+        }
+        des_results.push(d);
+    }
+
     let (snapshot_tps, snapshot_ticks, snapshot_apt) =
         (snapshot.ticks_per_sec, snapshot.ticks, snapshot.allocs_per_tick);
-    let json = report(mode, args.iters, &set, &[reference, snapshot], speedup);
+    let json = report(mode, args.iters, &set, &[reference, snapshot], speedup, &des_results);
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("tick_bench: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
@@ -289,7 +417,7 @@ fn main() -> ExitCode {
             eprintln!("tick_bench: baseline {path} is missing snapshot metrics — reformatted or wrong file?");
             return ExitCode::FAILURE;
         };
-        let gates = [
+        let mut gates = vec![
             Gate {
                 what: "snapshot ticks".into(),
                 baseline: b_ticks,
@@ -311,6 +439,32 @@ fn main() -> ExitCode {
         ];
         println!("  perf gate vs {} (tol {:.0}%):", path, args.tol * 100.0);
         perfgate::advise("snapshot ticks_per_sec", b_tps, snapshot_tps);
+        // des gates: logical work count and skip ratio are exact and
+        // machine-independent, so both are banded against the baseline;
+        // wall-clock throughput stays advisory like the stepped paths'.
+        for d in &des_results {
+            let needle = format!(r#""des":"{}""#, d.label);
+            let des_metric = |metric: &str| perfgate::metric_after(&committed, &needle, metric);
+            let (Some(b_dticks), Some(b_skip), Some(b_utps)) =
+                (des_metric("ticks"), des_metric("skip_ratio"), des_metric("ue_ticks_per_sec"))
+            else {
+                eprintln!("tick_bench: baseline {path} is missing des metrics for {} — pre-v2 file?", d.label);
+                return ExitCode::FAILURE;
+            };
+            perfgate::advise(&format!("des {} ue_ticks_per_sec", d.label), b_utps, d.ue_ticks_per_sec);
+            gates.push(Gate {
+                what: format!("des {} ticks", d.label),
+                baseline: b_dticks,
+                current: d.ticks as f64,
+                better: Better::Band,
+            });
+            gates.push(Gate {
+                what: format!("des {} skip_ratio", d.label),
+                baseline: b_skip,
+                current: d.skip_ratio,
+                better: Better::Band,
+            });
+        }
         if !perfgate::evaluate(&gates, args.tol) {
             eprintln!("tick_bench: gated metrics regressed beyond tolerance");
             return ExitCode::FAILURE;

@@ -26,7 +26,14 @@
 //!   by a deterministic global allocator, gated *lower-is-better*;
 //! * the snapshot-vs-reference `speedup` ratio: both sides are measured in
 //!   the same process on the same machine, so runner speed cancels to
-//!   first order, gated *higher-is-better*.
+//!   first order, gated *higher-is-better*; the fleet's fixed-vs-event
+//!   `event_speedup` is gated the same way, and its `skip_ratio` — a
+//!   deterministic work count in disguise — as a *band*.
+//!
+//! Before any of that, gating callers compare [`schema_of`] the baseline
+//! against the schema string they themselves write and fail loudly on a
+//! mismatch — cross-schema gating would silently compare rows whose
+//! metrics no longer mean the same thing.
 //!
 //! Absolute throughput (ticks/sec) is still compared — via [`advise`] — but
 //! only as a printed hint; it can never fail the job.
@@ -109,6 +116,19 @@ impl Gate {
             state
         )
     }
+}
+
+/// Extracts the report's `"schema"` string (e.g. `fiveg-fleet/v3`), `None`
+/// when the key is absent. Gating callers must compare this against the
+/// schema they write and **fail loudly on a mismatch**: the row extractors
+/// below pair entries by anchor value, so a baseline from an older schema
+/// generation would silently line up rows whose metrics mean different
+/// things (a different pinned scenario, a renamed field) instead of
+/// refusing to gate.
+pub fn schema_of(json: &str) -> Option<&str> {
+    const KEY: &str = "\"schema\":\"";
+    let rest = &json[json.find(KEY)? + KEY.len()..];
+    Some(&rest[..rest.find('"')?])
 }
 
 /// Extracts the numeric value of `metric` from the entry object of `json`
@@ -197,10 +217,12 @@ mod tests {
     use super::*;
 
     const TICK: &str = concat!(
-        r#"{"schema":"fiveg-tick/v1","mode":"smoke","iters":3,"#,
+        r#"{"schema":"fiveg-tick/v2","mode":"smoke","iters":3,"#,
         r#""paths":[{"path":"reference","ticks":1662,"elapsed_s":0.02,"ticks_per_sec":71642.0,"allocs_per_tick":17.0},"#,
         r#"{"path":"snapshot","ticks":1662,"elapsed_s":0.02,"ticks_per_sec":106960.0,"allocs_per_tick":3.0}],"#,
-        r#""speedup":1.49}"#
+        r#""speedup":1.49,"des_skip_floor":0.5,"#,
+        r#""des":[{"des":"city-sa","ticks":600,"skipped_ticks":539,"sleeps":10,"skip_ratio":0.898,"ue_ticks_per_sec":1912.0},"#,
+        r#"{"des":"walking-sa","ticks":600,"skipped_ticks":503,"sleeps":23,"skip_ratio":0.838,"ue_ticks_per_sec":35176.0}]}"#
     );
 
     const FLEET: &str = concat!(
@@ -214,10 +236,24 @@ mod tests {
     }
 
     #[test]
+    fn schema_of_reads_the_version_string() {
+        assert_eq!(schema_of(TICK), Some("fiveg-tick/v2"));
+        assert_eq!(schema_of(FLEET), Some("fiveg-fleet/v2"));
+        assert_eq!(schema_of(r#"{"schema":"fiveg-fleet/v3","sizes":[]}"#), Some("fiveg-fleet/v3"));
+        assert_eq!(schema_of(r#"{"sizes":[]}"#), None, "missing schema must be None, not a panic");
+        assert_eq!(schema_of(""), None);
+    }
+
+    #[test]
     fn extracts_the_anchored_entry_not_its_neighbors() {
         assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "ticks_per_sec"), Some(106960.0));
         assert_eq!(metric_after(TICK, r#""path":"reference""#, "ticks_per_sec"), Some(71642.0));
         assert_eq!(metric_after(TICK, r#""path":"snapshot""#, "allocs_per_tick"), Some(3.0));
+        // the v2 des entries anchor on their label key, so gates can pick a
+        // scenario without being fooled by the array key or a neighbor entry
+        assert_eq!(metric_after(TICK, r#""des":"city-sa""#, "skip_ratio"), Some(0.898));
+        assert_eq!(metric_after(TICK, r#""des":"walking-sa""#, "skip_ratio"), Some(0.838));
+        assert_eq!(metric_after(TICK, r#""des":"walking-sa""#, "ticks"), Some(600.0));
     }
 
     #[test]

@@ -99,6 +99,11 @@ impl SimHook for VivisectObserver {
         self.check(t);
     }
 
+    fn on_sleep(&mut self, from_tick: u64, skipped: u64) {
+        self.oracle.on_sleep(from_tick, skipped);
+        self.asm.on_sleep(from_tick, skipped);
+    }
+
     fn on_tick(&mut self, view: &TickView) {
         self.oracle.on_tick(view);
         self.asm.on_tick(view);

@@ -94,12 +94,43 @@ pub fn load_share(attached: u32) -> f64 {
     }
 }
 
+/// True when two attach counts map to [`load_share`] fractions at least an
+/// octave apart (one is ≤ half the other) — the event-driven fleet's
+/// load-wake predicate. A parked UE records no samples, so a share change
+/// can never alter its output; the wake exists so a parked UE re-engages
+/// when its radio neighborhood changes *materially*, and "materially" is
+/// calibrated to the share halving or doubling. That fires for the case
+/// that matters — a migrating neighbor arriving on (or leaving it alone on)
+/// a lightly-loaded cell, `1 ↔ 2` or `2 ↔ 4` — while the `50 ↔ 51` churn
+/// of a crowded cell, whose share moves by a couple of percent, leaves the
+/// sleep intact. An any-change predicate turns every sleep in a dense fleet
+/// into a one-tick nap and the scheduler into pure overhead; this one keeps
+/// windows alive exactly where skipping pays. Counts `0` and `1` both yield
+/// a full share, so that flip never wakes anyone.
+pub fn load_share_shifted(a: u32, b: u32) -> bool {
+    let (sa, sb) = (load_share(a), load_share(b));
+    sa.max(sb) >= 2.0 * sa.min(sb)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn state(lte: f64, nr: f64, bearer: Bearer) -> DownlinkState {
         DownlinkState { lte_mbps: lte, nr_mbps: nr, lte_interrupted: false, nr_interrupted: false, bearer }
+    }
+
+    #[test]
+    fn load_share_shifted_fires_on_octave_changes_only() {
+        assert!(!load_share_shifted(0, 1)); // both a full share
+        assert!(!load_share_shifted(3, 3));
+        assert!(load_share_shifted(1, 2)); // sole occupancy lost
+        assert!(load_share_shifted(2, 4)); // share halved
+        assert!(load_share_shifted(4, 0)); // cell emptied out
+        assert!(!load_share_shifted(2, 3)); // sub-octave drift
+        assert!(!load_share_shifted(50, 51)); // crowded-cell churn
+        assert!(!load_share_shifted(51, 50));
+        assert!(load_share_shifted(51, 25)); // mass exodus still wakes
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod capacity;
 pub mod flows;
 pub mod tcp;
 
-pub use capacity::{compose, load_share, Bearer, DownlinkState, PathOutcome};
+pub use capacity::{compose, load_share, load_share_shifted, Bearer, DownlinkState, PathOutcome};
 pub use flows::{BulkFlow, CbrFlow, CbrSample};
 pub use tcp::{BbrSender, Cca, CubicSender, TcpFlow, TcpSample};

@@ -1,6 +1,7 @@
 //! Deterministic scenario fuzzer: seeded random cases over the route ×
-//! carrier × arch × fault × predictor space, each run through *both*
-//! engines differentially and under the full oracle.
+//! carrier × arch × fault × predictor space, each run through the snapshot
+//! engine, the naive reference engine *and* the event-driven fleet
+//! scheduler differentially, under the full oracle.
 //!
 //! Everything is a pure function of `(fuzz_seed, index)` — same seed, same
 //! cases, same verdicts, on any machine and any thread count. A failing
@@ -15,7 +16,10 @@ use crate::shadow::Oracle;
 use crate::violation::Violation;
 use fiveg_radio::{hash2, DetRng};
 use fiveg_ran::{Arch, Carrier};
-use fiveg_sim::{engine, FaultConfig, Scenario, ScenarioBuilder, Telemetry, TelemetryConfig, Trace};
+use fiveg_sim::{
+    engine, run_fleet_exec, EngineMode, FaultConfig, FleetExec, FleetSpec, FleetTrace, Scenario, ScenarioBuilder,
+    Telemetry, TelemetryConfig, Trace,
+};
 
 /// Corpus file schema tag; bump on incompatible layout changes.
 pub const CASE_SCHEMA: &str = "fiveg-fuzz-case/v1";
@@ -45,6 +49,39 @@ impl FuzzRoute {
     }
 }
 
+/// Engine-mode axis of a fuzz case: which scheduled-engine differential the
+/// case runs on top of the snapshot/reference pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FuzzEngine {
+    /// The historical check: an event-driven fleet of one must reproduce
+    /// the fixed-step single-UE trace byte-for-byte.
+    Stepped,
+    /// A staggered fleet of `ues` run under the referee (steps every tick,
+    /// full control plane, unsampled while asleep) at 1 thread × 1 shard
+    /// and event-driven at `threads` × `shards` must produce byte-identical
+    /// [`fiveg_sim::FleetTrace`]s — the axis that exercises calendar-wheel
+    /// wakeups racing shard migration under real cell-load coupling.
+    /// Traces stay off: a UE that records samples never sleeps, so only the
+    /// summary pair actually walks the scheduler.
+    EventDriven {
+        /// Fleet size of the differential pair.
+        ues: u32,
+        /// Worker threads of the event-driven run.
+        threads: u32,
+        /// Spatial shards of the event-driven run.
+        shards: u32,
+    },
+}
+
+impl FuzzEngine {
+    fn name(self) -> &'static str {
+        match self {
+            FuzzEngine::Stepped => "stepped",
+            FuzzEngine::EventDriven { .. } => "event",
+        }
+    }
+}
+
 /// One point in the fuzzed scenario space. Fully determines a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzCase {
@@ -68,6 +105,8 @@ pub struct FuzzCase {
     /// Also probe the Prognos predictor over the finished trace (exercised
     /// by the `scenario_fuzz` binary; the core checks ignore it).
     pub prognos: bool,
+    /// Engine-mode axis: stepped-vs-event-driven differential shape.
+    pub engine: FuzzEngine,
 }
 
 /// The probability pool cases draw from. Includes out-of-range values so
@@ -95,6 +134,17 @@ impl FuzzCase {
             mr_loss_prob: PROB_POOL[rng.below(PROB_POOL.len())],
             ho_failure_prob: PROB_POOL[rng.below(PROB_POOL.len())],
             prognos: rng.chance(0.25),
+            // small fleets keep the per-case budget flat: the multi-UE pair
+            // replaces (not stacks on) the fleet-of-one transparency check
+            engine: if rng.chance(0.35) {
+                FuzzEngine::EventDriven {
+                    ues: 2 + rng.below(3) as u32,
+                    threads: [1, 2, 4][rng.below(3)],
+                    shards: [1, 2, 8][rng.below(3)],
+                }
+            } else {
+                FuzzEngine::Stepped
+            },
         }
     }
 
@@ -122,7 +172,11 @@ impl FuzzCase {
             FuzzRoute::Walking(m) => format!("walking{m}"),
             r => r.name().to_string(),
         };
-        format!("{route}-{:?}-{}#{:08x}", self.carrier, arch_name(self.arch), self.seed as u32)
+        let engine = match self.engine {
+            FuzzEngine::Stepped => String::new(),
+            FuzzEngine::EventDriven { ues, threads, shards } => format!("-des{ues}u{threads}t{shards}s"),
+        };
+        format!("{route}-{:?}-{}{engine}#{:08x}", self.carrier, arch_name(self.arch), self.seed as u32)
     }
 
     /// Encodes the case in the corpus TOML dialect (`key = value` lines
@@ -150,6 +204,12 @@ impl FuzzCase {
         kv("mr_loss_prob", fmt_f64(self.mr_loss_prob));
         kv("ho_failure_prob", fmt_f64(self.ho_failure_prob));
         kv("prognos", self.prognos.to_string());
+        kv("engine", format!("\"{}\"", self.engine.name()));
+        if let FuzzEngine::EventDriven { ues, threads, shards } = self.engine {
+            kv("fleet_ues", ues.to_string());
+            kv("fleet_threads", threads.to_string());
+            kv("fleet_shards", shards.to_string());
+        }
         out
     }
 
@@ -189,6 +249,18 @@ impl FuzzCase {
             "sa" => Arch::Sa,
             other => return Err(format!("unknown arch `{other}`")),
         };
+        // the engine axis post-dates the v1 corpus: absent key means the
+        // historical stepped differential, so old case files keep replaying
+        let u32_of = |k: &str| -> Result<u32, String> { get(k)?.parse::<u32>().map_err(|e| format!("key `{k}`: {e}")) };
+        let engine = match map.get("engine").map(String::as_str) {
+            None | Some("stepped") => FuzzEngine::Stepped,
+            Some("event") => FuzzEngine::EventDriven {
+                ues: u32_of("fleet_ues")?,
+                threads: u32_of("fleet_threads")?,
+                shards: u32_of("fleet_shards")?,
+            },
+            Some(other) => return Err(format!("unknown engine `{other}`")),
+        };
         Ok(FuzzCase {
             route,
             carrier,
@@ -199,6 +271,7 @@ impl FuzzCase {
             mr_loss_prob: f64_of("mr_loss_prob")?,
             ho_failure_prob: f64_of("ho_failure_prob")?,
             prognos: get("prognos")?.as_str() == "true",
+            engine,
         })
     }
 }
@@ -286,7 +359,39 @@ pub fn run_case(case: &FuzzCase, opts: &RunOpts) -> CaseResult {
     violations.extend(post);
 
     let reference = engine::run_reference(&s);
-    let divergence = diff_traces(&trace, &reference, opts.check_roundtrip);
+    let mut divergence = diff_traces(&trace, &reference, opts.check_roundtrip);
+
+    // third engine path, differentially. Stepped axis: the event-driven
+    // fleet scheduler must reproduce the fixed-step single-UE run exactly
+    // for a fleet of one — every granted sleep window over this fuzzed
+    // scenario space has to be provably inert. Event axis: a staggered
+    // multi-UE fleet run under the referee and event-driven at the fuzzed
+    // geometry must match byte-for-byte, so calendar-wheel wakeups racing
+    // shard migration and load-coupled early wakes cannot bend the output.
+    // Traces are deliberately off on the event axis — a trace-recording UE
+    // is never planner-eligible, so only the untraced pair really sleeps.
+    if divergence.is_none() {
+        divergence = match case.engine {
+            FuzzEngine::Stepped => {
+                let event = run_fleet_exec(
+                    &FleetSpec::new(s.clone(), 1).keep_traces(true),
+                    FleetExec::threads(1).shards(1).engine(EngineMode::EventDriven),
+                );
+                diff_traces(&event.traces[0], &trace, opts.check_roundtrip)
+                    .map(|d| format!("event-driven fleet vs fixed-step: {d}"))
+            }
+            FuzzEngine::EventDriven { ues, threads, shards } => {
+                let spec = FleetSpec::new(s.clone(), ues).stagger_s(2.0);
+                let referee = run_fleet_exec(&spec, FleetExec::threads(1).shards(1).engine(EngineMode::Referee));
+                let event = run_fleet_exec(
+                    &spec,
+                    FleetExec::threads(threads as usize).shards(shards as usize).engine(EngineMode::EventDriven),
+                );
+                diff_fleets(&referee, &event)
+                    .map(|d| format!("referee vs event-driven fleet ({ues} UEs, {threads}t x {shards}s): {d}"))
+            }
+        };
+    }
 
     CaseResult {
         violations,
@@ -343,6 +448,34 @@ fn diff_traces(snapshot: &Trace, reference: &Trace, bytes: bool) -> Option<Strin
     Some("traces differ outside samples/handovers/reports".into())
 }
 
+/// First difference between two scheduled fleet runs that must agree on
+/// everything: per-UE summaries, the load summary, the scheduler
+/// accounting, and every kept trace.
+fn diff_fleets(a: &FleetTrace, b: &FleetTrace) -> Option<String> {
+    if a.meta != b.meta {
+        return Some("fleet meta diverged".into());
+    }
+    if a.sched != b.sched {
+        return Some(format!("scheduler accounting diverged: {:?} vs {:?}", a.sched, b.sched));
+    }
+    if a.ues != b.ues {
+        let i = a.ues.iter().zip(&b.ues).position(|(x, y)| x != y);
+        return Some(format!("UE summaries diverged (first at index {i:?})"));
+    }
+    if a.load != b.load {
+        return Some("load summary diverged".into());
+    }
+    if a.traces.len() != b.traces.len() {
+        return Some(format!("kept {} vs {} traces", a.traces.len(), b.traces.len()));
+    }
+    for (i, (x, y)) in a.traces.iter().zip(&b.traces).enumerate() {
+        if let Some(d) = diff_traces(x, y, false) {
+            return Some(format!("UE {i} trace: {d}"));
+        }
+    }
+    None
+}
+
 /// Greedy fixpoint shrink with a caller-supplied failure predicate.
 /// `still_fails` must be true for `case` itself; the result is a case that
 /// still fails but where no single shrink step keeps it failing.
@@ -395,6 +528,18 @@ fn shrink_candidates(c: &FuzzCase) -> Vec<FuzzCase> {
     if c.prognos {
         out.push(FuzzCase { prognos: false, ..c.clone() });
     }
+    if let FuzzEngine::EventDriven { ues, threads, shards } = c.engine {
+        out.push(FuzzCase { engine: FuzzEngine::Stepped, ..c.clone() });
+        if ues > 2 {
+            out.push(FuzzCase { engine: FuzzEngine::EventDriven { ues: 2, threads, shards }, ..c.clone() });
+        }
+        if threads > 1 {
+            out.push(FuzzCase { engine: FuzzEngine::EventDriven { ues, threads: 1, shards }, ..c.clone() });
+        }
+        if shards > 1 {
+            out.push(FuzzCase { engine: FuzzEngine::EventDriven { ues, threads, shards: 1 }, ..c.clone() });
+        }
+    }
     out
 }
 
@@ -406,15 +551,18 @@ mod tests {
     fn generation_is_deterministic_and_diverse() {
         let mut archs = std::collections::BTreeSet::new();
         let mut routes = std::collections::BTreeSet::new();
+        let mut engines = std::collections::BTreeSet::new();
         for i in 0..64 {
             let a = FuzzCase::generate(1, i);
             let b = FuzzCase::generate(1, i);
             assert_eq!(a, b, "case {i} not a pure function of (seed, index)");
             archs.insert(arch_name(a.arch));
             routes.insert(a.route.name());
+            engines.insert(a.engine.name());
         }
         assert_eq!(archs.len(), 3, "64 cases must cover all archs");
         assert_eq!(routes.len(), 4, "64 cases must cover all route families");
+        assert_eq!(engines.len(), 2, "64 cases must cover both engine axes");
         assert_ne!(FuzzCase::generate(1, 0), FuzzCase::generate(2, 0));
     }
 
@@ -445,6 +593,20 @@ mod tests {
         assert_eq!(FuzzCase::parse_toml(&text).unwrap(), c);
     }
 
+    /// Corpus files written before the engine axis carry no `engine` key;
+    /// they must keep parsing as the historical stepped differential.
+    #[test]
+    fn missing_engine_key_defaults_to_stepped() {
+        let mut c = FuzzCase::generate(5, 0);
+        c.engine = FuzzEngine::Stepped;
+        let text: String = c.to_toml().lines().filter(|l| !l.starts_with("engine")).map(|l| format!("{l}\n")).collect();
+        let back = FuzzCase::parse_toml(&text).unwrap();
+        assert_eq!(back.engine, FuzzEngine::Stepped);
+        assert_eq!(back, c);
+        let bad = c.to_toml().replace("engine = \"stepped\"", "engine = \"warp\"");
+        assert!(FuzzCase::parse_toml(&bad).unwrap_err().contains("unknown engine"));
+    }
+
     #[test]
     fn known_good_case_passes_the_full_check() {
         let case = FuzzCase {
@@ -457,10 +619,32 @@ mod tests {
             mr_loss_prob: 0.0,
             ho_failure_prob: 0.0,
             prognos: false,
+            engine: FuzzEngine::Stepped,
         };
         let r = run_case(&case, &RunOpts { check_roundtrip: false });
         assert!(r.passed(), "violations={:?} divergence={:?}", r.violations, r.divergence);
         assert!(r.ticks >= 590 && r.ticks <= 601, "{} ticks for a 60 s / 10 Hz run", r.ticks);
+    }
+
+    /// The event axis at its raciest geometry: calendar-wheel wakeups and
+    /// load-coupled early wakes racing shard migration on a city loop must
+    /// still match the stepped fleet byte-for-byte.
+    #[test]
+    fn known_good_event_case_passes_the_full_check() {
+        let case = FuzzCase {
+            route: FuzzRoute::CityLoop,
+            carrier: Carrier::OpY,
+            arch: Arch::Sa,
+            seed: 19,
+            duration_s: 50.0,
+            sample_hz: 5.0,
+            mr_loss_prob: 0.0,
+            ho_failure_prob: 0.0,
+            prognos: false,
+            engine: FuzzEngine::EventDriven { ues: 4, threads: 2, shards: 8 },
+        };
+        let r = run_case(&case, &RunOpts { check_roundtrip: false });
+        assert!(r.passed(), "violations={:?} divergence={:?}", r.violations, r.divergence);
     }
 
     #[test]
@@ -475,6 +659,7 @@ mod tests {
             mr_loss_prob: 0.2,
             ho_failure_prob: 0.5,
             prognos: true,
+            engine: FuzzEngine::EventDriven { ues: 4, threads: 4, shards: 8 },
         };
         // synthetic bug: fails whenever it runs ≥60 s with HO failures on
         let mut predicate = |c: &FuzzCase| c.duration_s >= 60.0 && c.ho_failure_prob > 0.0;
@@ -486,6 +671,7 @@ mod tests {
         assert_eq!(min.mr_loss_prob, 0.0);
         assert_eq!(min.sample_hz, 5.0);
         assert!(!min.prognos);
+        assert_eq!(min.engine, FuzzEngine::Stepped, "engine axis not shrunk away: {min:?}");
         // CityLoopDense → CityLoop → Freeway(3.0) → Freeway(2.0)
         assert_eq!(min.route, FuzzRoute::Freeway(2.0), "route not simplified: {min:?}");
     }

@@ -35,7 +35,7 @@ pub mod shadow;
 pub mod violation;
 
 pub use check::{check_trace, CheckOpts};
-pub use fuzz::{run_case, shrink, shrink_with, CaseResult, FuzzCase, FuzzRoute, RunOpts, CASE_SCHEMA};
+pub use fuzz::{run_case, shrink, shrink_with, CaseResult, FuzzCase, FuzzEngine, FuzzRoute, RunOpts, CASE_SCHEMA};
 pub use mutate::{mutation_self_test, mutation_self_test_traced, MutatingHook, MutationKind, MutationReport};
 pub use shadow::Oracle;
 pub use violation::Violation;

@@ -45,17 +45,24 @@ pub enum MutationKind {
     /// and a span assembler on the same stream must record anomalies and
     /// abandon the span rather than fabricate a plausible one.
     OutOfOrderSpan,
+    /// An event-driven engine oversleeps: it declares a 2-tick sleep via
+    /// [`SimHook::on_sleep`], then actually goes dark for 3 ticks — the
+    /// exact signature of an unsound wakeup bound fast-forwarding a UE past
+    /// due work. The oracle must flag the unsanctioned extra tick at the
+    /// wake tick itself.
+    OversleptUe,
 }
 
 impl MutationKind {
     /// Every mutation, for exhaustive self-tests.
-    pub const ALL: [MutationKind; 6] = [
+    pub const ALL: [MutationKind; 7] = [
         MutationKind::DropHoComplete,
         MutationKind::DropHoCommand,
         MutationKind::SwapServingLegs,
         MutationKind::RewindClock,
         MutationKind::PhantomReattach,
         MutationKind::OutOfOrderSpan,
+        MutationKind::OversleptUe,
     ];
 
     /// Stable snake_case name, for reports.
@@ -67,6 +74,7 @@ impl MutationKind {
             MutationKind::RewindClock => "rewind_clock",
             MutationKind::PhantomReattach => "phantom_reattach",
             MutationKind::OutOfOrderSpan => "out_of_order_span",
+            MutationKind::OversleptUe => "overslept_ue",
         }
     }
 }
@@ -85,6 +93,8 @@ pub struct MutatingHook<'a> {
     /// OutOfOrderSpan: the stashed command time, delivered after the next
     /// completion.
     held_command: Option<f64>,
+    /// OversleptUe: ticks still to swallow after the fake sleep declaration.
+    swallow_ticks: u32,
 }
 
 impl<'a> MutatingHook<'a> {
@@ -99,6 +109,7 @@ impl<'a> MutatingHook<'a> {
             injected_at: None,
             detected_at: None,
             held_command: None,
+            swallow_ticks: 0,
         }
     }
 
@@ -204,8 +215,29 @@ impl SimHook for MutatingHook<'_> {
         self.observe(t);
     }
 
+    fn on_sleep(&mut self, from_tick: u64, skipped: u64) {
+        self.oracle.on_sleep(from_tick, skipped);
+        if let Some(a) = self.assembler.as_deref_mut() {
+            a.on_sleep(from_tick, skipped);
+        }
+    }
+
     fn on_tick(&mut self, view: &TickView) {
         let mut view = *view;
+        if self.kind == MutationKind::OversleptUe {
+            if self.armed(view.t) {
+                self.injected_at = Some(view.t);
+                // sanction 2 slept ticks chained from the last delivered
+                // tick, then go dark for 3: the wake tick arrives one tick
+                // beyond what the declaration covers
+                self.on_sleep(view.tick - 1, 2);
+                self.swallow_ticks = 3;
+            }
+            if self.swallow_ticks > 0 {
+                self.swallow_ticks -= 1;
+                return;
+            }
+        }
         match self.kind {
             MutationKind::SwapServingLegs if self.armed(view.t) && view.serving.lte != view.serving.nr => {
                 self.injected_at = Some(view.t);
@@ -314,6 +346,20 @@ mod tests {
                 r.violations
             );
         }
+    }
+
+    /// The overslept UE is caught *at the wake tick* — the first tick the
+    /// hook stream delivers after the under-declared gap, i.e. within one
+    /// wake, not merely within the five-tick bound above.
+    #[test]
+    fn overslept_ue_is_caught_at_the_wake_tick() {
+        let r = mutation_self_test(MutationKind::OversleptUe, 1);
+        let i = r.injected_at.expect("mutation never fired");
+        let d = r.detected_at.expect("oracle never caught it");
+        // three ticks go dark at 10 Hz, so the wake tick lands 0.3 s after
+        // the injection; detection any later than that missed the wake
+        assert!((d - i - 0.3).abs() < 1e-9, "injected at {i}, detected at {d}: not the wake tick");
+        assert!(r.violations > 0);
     }
 
     #[test]

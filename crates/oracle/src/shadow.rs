@@ -66,6 +66,11 @@ pub struct Oracle {
     last_t: f64,
     last_tick_t: f64,
     last_tick: u64,
+    /// Ticks a scheduled engine declared slept via [`SimHook::on_sleep`]
+    /// since the last observed tick. The next tick may — and must — jump
+    /// by exactly this much beyond the usual `+1`; any other gap is an
+    /// overslept (or time-travelling) UE.
+    sanctioned_gap: u64,
     violations: Vec<Violation>,
     total_violations: u64,
     /// Event tallies, for the post-run counter cross-checks.
@@ -102,6 +107,7 @@ impl Oracle {
             last_t: f64::NEG_INFINITY,
             last_tick_t: f64::NEG_INFINITY,
             last_tick: 0,
+            sanctioned_gap: 0,
             violations: Vec::new(),
             total_violations: 0,
             decisions: 0,
@@ -442,6 +448,19 @@ impl SimHook for Oracle {
         self.chain_armed = false;
     }
 
+    fn on_sleep(&mut self, from_tick: u64, skipped: u64) {
+        // a sleep declaration must chain from the last tick this hook saw;
+        // anything else means the engine lost track of where the UE was
+        if from_tick != self.last_tick {
+            self.report(
+                "sleep_ordering",
+                self.last_tick_t,
+                format!("sleep declared from tick {from_tick} but the last observed tick was {}", self.last_tick),
+            );
+        }
+        self.sanctioned_gap += skipped;
+    }
+
     fn on_tick(&mut self, view: &TickView) {
         self.observe_time(view.t);
         // any tick after the chain-completion one means the machine has
@@ -455,9 +474,22 @@ impl SimHook for Oracle {
             );
         }
         self.last_tick_t = view.t;
-        if view.tick != self.last_tick + 1 {
-            self.report("tick_ordering", view.t, format!("tick {} followed {}", view.tick, self.last_tick));
+        // a scheduled engine may skip ticks, but only as many as it declared
+        // asleep — an undeclared gap is an overslept UE, a short jump means
+        // the engine stepped ticks it claimed to have slept through
+        let expected = self.last_tick + 1 + self.sanctioned_gap;
+        if view.tick != expected {
+            let detail = if self.sanctioned_gap > 0 {
+                format!(
+                    "tick {} followed {} with {} ticks sanctioned asleep",
+                    view.tick, self.last_tick, self.sanctioned_gap
+                )
+            } else {
+                format!("tick {} followed {}", view.tick, self.last_tick)
+            };
+            self.report("tick_ordering", view.t, detail);
         }
+        self.sanctioned_gap = 0;
         self.last_tick = view.tick;
         if !self.saw_initial_attach {
             self.report("attach_ordering", view.t, "tick before the initial attach".into());

@@ -127,6 +127,105 @@ impl SpatialNoise {
         self.sigma * 1.2 * (a + (b - a) * ty)
     }
 
+    /// Tight `(min, max)` of the field over the axis-aligned box of
+    /// half-width `reach_m` centered at `p`.
+    ///
+    /// A sample is `sigma * 1.2 *` a bilinear blend of the four corner
+    /// gaussians of its lattice cell, in *smoothstepped* local coordinates.
+    /// Within one cell the blend is bilinear in `(s(tx), s(ty))`, and a
+    /// bilinear function over an axis-aligned rectangle attains its
+    /// extremes at the rectangle's corners; smoothstep is monotone, so
+    /// clamping the box to the cell in raw coordinates and evaluating the
+    /// blend at the four clamped corners yields the cell's exact extremes
+    /// over the box. The box range is the extreme of that over every cell
+    /// the box intersects — so a sub-meter box inside one 50 m lattice cell
+    /// costs the local field variation (fractions of a dB), not the whole
+    /// cell's corner spread. That tightness is what lets a sleep planner
+    /// find positive margins at vehicular travel distances at all. The
+    /// corner evaluations reuse the arithmetic of [`SpatialNoise::sample`]
+    /// term for term, so the bound and the samples can only disagree by
+    /// interior-point rounding (well under any sane margin epsilon).
+    pub fn range_over_box(&self, p: &Point, reach_m: f64) -> (f64, f64) {
+        let bx_lo = (p.x - reach_m) / self.corr_len;
+        let bx_hi = (p.x + reach_m) / self.corr_len;
+        let by_lo = (p.y - reach_m) / self.corr_len;
+        let by_hi = (p.y + reach_m) / self.corr_len;
+        let mut g_min = f64::INFINITY;
+        let mut g_max = f64::NEG_INFINITY;
+        for cx in bx_lo.floor() as i64..=bx_hi.floor() as i64 {
+            for cy in by_lo.floor() as i64..=by_hi.floor() as i64 {
+                let v00 = hash_gaussian(self.seed, cx, cy);
+                let v10 = hash_gaussian(self.seed, cx + 1, cy);
+                let v01 = hash_gaussian(self.seed, cx, cy + 1);
+                let v11 = hash_gaussian(self.seed, cx + 1, cy + 1);
+                // the box clamped to this cell, in smoothstepped local
+                // coordinates — same `g - floor` subtraction as sample()
+                let sx = [smooth((bx_lo - cx as f64).clamp(0.0, 1.0)), smooth((bx_hi - cx as f64).clamp(0.0, 1.0))];
+                let sy = [smooth((by_lo - cy as f64).clamp(0.0, 1.0)), smooth((by_hi - cy as f64).clamp(0.0, 1.0))];
+                for &tx in &sx {
+                    for &ty in &sy {
+                        let a = v00 + (v10 - v00) * tx;
+                        let b = v01 + (v11 - v01) * tx;
+                        let v = a + (b - a) * ty;
+                        g_min = g_min.min(v);
+                        g_max = g_max.max(v);
+                    }
+                }
+            }
+        }
+        (self.sigma * 1.2 * g_min, self.sigma * 1.2 * g_max)
+    }
+
+    /// Sound upper bound on the field anywhere in the axis-aligned rectangle
+    /// `[x0, x1] × [y0, y1]`: every sample is a convex combination of its
+    /// lattice cell's four corner gaussians, so the field's supremum is at
+    /// most the maximum corner gaussian of the rectangle's lattice cover.
+    /// One hash per covered corner — meant to be computed once per field
+    /// over a deployment-sized region and memoized, giving schedulers an
+    /// O(1) screen that dominates [`SpatialNoise::range_over_box`] without
+    /// touching the lattice per query.
+    pub fn sup_over_rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+        let cx0 = (x0 / self.corr_len).floor() as i64;
+        let cx1 = (x1 / self.corr_len).floor() as i64 + 1;
+        let cy0 = (y0 / self.corr_len).floor() as i64;
+        let cy1 = (y1 / self.corr_len).floor() as i64 + 1;
+        let mut g_max = f64::NEG_INFINITY;
+        for x in cx0..=cx1 {
+            for y in cy0..=cy1 {
+                g_max = g_max.max(hash_gaussian(self.seed, x, y));
+            }
+        }
+        self.sigma * 1.2 * g_max
+    }
+
+    /// `(min, max)` of the per-lattice-cell uniform draw over the
+    /// axis-aligned box of half-width `reach_m` centered at `p` — the
+    /// threshold-field analogue of [`SpatialNoise::range_over_box`].
+    ///
+    /// **Exact**, not merely conservative: [`SpatialNoise::sample_uniform_cell`]
+    /// is piecewise constant per lattice cell (no interpolation), so the
+    /// extremes over the box are exactly the extremes over the cells the
+    /// box intersects — no `+1` corner row is needed. This is what lets a
+    /// sleep planner decide blockage over a travel window precisely: a box
+    /// whose every cell draws above the blockage probability provably never
+    /// blocks, one whose every cell draws below it provably always does.
+    pub fn uniform_cell_range_over_box(&self, p: &Point, reach_m: f64) -> (f64, f64) {
+        let x_lo = ((p.x - reach_m) / self.corr_len).floor() as i64;
+        let x_hi = ((p.x + reach_m) / self.corr_len).floor() as i64;
+        let y_lo = ((p.y - reach_m) / self.corr_len).floor() as i64;
+        let y_hi = ((p.y + reach_m) / self.corr_len).floor() as i64;
+        let mut u_min = f64::INFINITY;
+        let mut u_max = f64::NEG_INFINITY;
+        for x in x_lo..=x_hi {
+            for y in y_lo..=y_hi {
+                let u = hash_uniform(self.seed, x, y, 0xb10c_4a6e);
+                u_min = u_min.min(u);
+                u_max = u_max.max(u);
+            }
+        }
+        (u_min, u_max)
+    }
+
     /// Uniform sample in `[0, 1)` at `p` with no interpolation — used for
     /// threshold events such as mmWave blockage.
     pub fn sample_uniform_cell(&self, p: &Point) -> f64 {
@@ -145,6 +244,49 @@ impl SpatialNoise {
             cache.ukey = Some((x0, y0));
         }
         cache.uval
+    }
+}
+
+/// Ring memo for one [`TemporalNoise`] process's node gaussians.
+///
+/// A node value is a pure function of `(seed, index)`, so it is shared by
+/// every sample whose interpolation window touches it — across receivers,
+/// across queries, across time. The memo is a direct-mapped ring keyed by
+/// the absolute node index: hits cost two loads, misses recompute the one
+/// Box–Muller draw and overwrite the slot, so memory stays bounded no
+/// matter how far the process is scanned. Values are memoized, never
+/// approximated: a cached sample is bit-identical to
+/// [`TemporalNoise::sample`].
+///
+/// Like [`LatticeCache`], a cache belongs to *one* process — reusing it
+/// across different `TemporalNoise` instances returns wrong values whenever
+/// node indices collide. Keep one cache per process.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCache {
+    key: Vec<i64>,
+    val: Vec<f64>,
+}
+
+/// Slots in a [`NodeCache`] ring (power of two). At the 50 ms fading
+/// correlation time this spans ~51 s of process history — comfortably more
+/// than any planning window plus fleet spawn stagger, so steady-state scans
+/// almost never evict a node they still need.
+const NODE_CACHE_SLOTS: usize = 1024;
+
+impl NodeCache {
+    /// The node gaussian at absolute index `i`, memoized.
+    #[inline]
+    fn node(&mut self, seed: u64, i: i64) -> f64 {
+        if self.key.is_empty() {
+            self.key = vec![i64::MIN; NODE_CACHE_SLOTS];
+            self.val = vec![0.0; NODE_CACHE_SLOTS];
+        }
+        let s = (i & (NODE_CACHE_SLOTS as i64 - 1)) as usize;
+        if self.key[s] != i {
+            self.key[s] = i;
+            self.val[s] = hash_gaussian(seed, i, 0);
+        }
+        self.val[s]
     }
 }
 
@@ -176,6 +318,64 @@ impl TemporalNoise {
         let v0 = hash_gaussian(self.seed, i0, 0);
         let v1 = hash_gaussian(self.seed, i0 + 1, 0);
         self.sigma * (v0 + (v1 - v0) * tt)
+    }
+
+    /// Conservative `(min, max)` of the process over `[t0, t1]`.
+    ///
+    /// Between nodes the process is a convex blend of two adjacent node
+    /// gaussians, so the window extreme is the extreme over every node the
+    /// window touches (`floor(t0/corr)` through `floor(t1/corr) + 1`).
+    pub fn range_over(&self, t0: f64, t1: f64) -> (f64, f64) {
+        let i_lo = (t0 / self.corr_s).floor() as i64;
+        let i_hi = (t1 / self.corr_s).floor() as i64 + 1;
+        let mut g_min = f64::INFINITY;
+        let mut g_max = f64::NEG_INFINITY;
+        for i in i_lo..=i_hi {
+            let g = hash_gaussian(self.seed, i, 0);
+            g_min = g_min.min(g);
+            g_max = g_max.max(g);
+        }
+        (self.sigma * g_min, self.sigma * g_max)
+    }
+
+    /// Hard global bound on `|sample(t)|`, from the Box–Muller clamp
+    /// `u1 >= 1e-12` (|gaussian| <= sqrt(-2 ln 1e-12) ≈ 7.434): a cheap
+    /// screen before paying for the exact node scan of
+    /// [`TemporalNoise::range_over`].
+    pub fn global_bound(&self) -> f64 {
+        self.sigma * (-2.0 * 1e-12f64.ln()).sqrt()
+    }
+
+    /// [`TemporalNoise::sample`] with the two node gaussians memoized in
+    /// `nodes`; bit-identical, same cache contract as [`NodeCache`].
+    pub fn sample_cached(&self, t: f64, nodes: &mut NodeCache) -> f64 {
+        let g = t / self.corr_s;
+        let i0 = g.floor() as i64;
+        let tt = smooth(g - g.floor());
+        let v0 = nodes.node(self.seed, i0);
+        let v1 = nodes.node(self.seed, i0 + 1);
+        self.sigma * (v0 + (v1 - v0) * tt)
+    }
+
+    /// Upper bound on `sample(t)` at exactly `t`: the sample is a convex
+    /// blend of its two adjacent node gaussians, so it never exceeds
+    /// `sigma * max(node0, node1)`. Two memoized loads — the screen a
+    /// scheduler runs per candidate tick before paying for an exact sample.
+    pub fn sup_at_cached(&self, t: f64, nodes: &mut NodeCache) -> f64 {
+        let i0 = (t / self.corr_s).floor() as i64;
+        self.sigma * nodes.node(self.seed, i0).max(nodes.node(self.seed, i0 + 1))
+    }
+
+    /// The max side of [`TemporalNoise::range_over`] with every node
+    /// gaussian memoized in `nodes` — identical value, amortized cost.
+    pub fn sup_over_cached(&self, t0: f64, t1: f64, nodes: &mut NodeCache) -> f64 {
+        let i_lo = (t0 / self.corr_s).floor() as i64;
+        let i_hi = (t1 / self.corr_s).floor() as i64 + 1;
+        let mut g_max = f64::NEG_INFINITY;
+        for i in i_lo..=i_hi {
+            g_max = g_max.max(nodes.node(self.seed, i));
+        }
+        self.sigma * g_max
     }
 }
 
@@ -272,6 +472,90 @@ mod tests {
                 n.sample_uniform_cell(&p),
                 "uniform diverged at step {i}"
             );
+        }
+    }
+
+    #[test]
+    fn temporal_node_cache_is_bit_identical_and_bounds() {
+        let n = TemporalNoise::new(99, 0.05, 4.0);
+        let mut nodes = NodeCache::default();
+        for k in 0..4000 {
+            let t = k as f64 * 0.0137 + 3.0;
+            let s = n.sample(t);
+            assert_eq!(n.sample_cached(t, &mut nodes), s, "cached sample diverged at {t}");
+            assert!(n.sup_at_cached(t, &mut nodes) >= s, "per-tick sup below sample at {t}");
+        }
+        // the cached window sup matches the uncached node scan exactly,
+        // including after the ring has wrapped and evicted old nodes
+        for w in 0..80 {
+            let t0 = w as f64 * 1.7;
+            let t1 = t0 + 12.6;
+            assert_eq!(n.sup_over_cached(t0, t1, &mut nodes), n.range_over(t0, t1).1, "window [{t0}, {t1}]");
+        }
+    }
+
+    #[test]
+    fn box_range_bounds_every_sample_inside() {
+        let n = SpatialNoise::new(77, 50.0, 8.0);
+        for k in 0..200 {
+            let p = Point::new(k as f64 * 61.3 - 3000.0, (k as f64 * 0.7).sin() * 900.0);
+            let reach = 5.0 + (k % 17) as f64 * 7.0;
+            let (lo, hi) = n.range_over_box(&p, reach);
+            assert!(lo <= hi);
+            for i in -4..=4 {
+                for j in -4..=4 {
+                    let q = Point::new(p.x + reach * i as f64 / 4.0, p.y + reach * j as f64 / 4.0);
+                    let v = n.sample(&q);
+                    assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "sample {v} outside [{lo}, {hi}] at box {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_range_bounds_every_sample_inside() {
+        let n = TemporalNoise::new(41, 0.05, 3.0);
+        for k in 0..200 {
+            let t0 = k as f64 * 0.137;
+            let t1 = t0 + 0.01 + (k % 13) as f64 * 0.11;
+            let (lo, hi) = n.range_over(t0, t1);
+            assert!(lo <= hi);
+            assert!(lo >= -n.global_bound() - 1e-9 && hi <= n.global_bound() + 1e-9);
+            for i in 0..=40 {
+                let t = t0 + (t1 - t0) * i as f64 / 40.0;
+                let v = n.sample(t);
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "sample {v} outside [{lo}, {hi}] in window {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_cell_box_range_is_exact_over_cells() {
+        let n = SpatialNoise::new(29, 15.0, 1.0);
+        for k in 0..200 {
+            let p = Point::new(k as f64 * 43.7 - 2000.0, (k as f64 * 1.3).cos() * 700.0);
+            // max reach 80.5 keeps the 13-point grid finer than the 15 m
+            // lattice, so the exactness assert below stays valid
+            let reach = 0.5 + (k % 11) as f64 * 8.0;
+            let (lo, hi) = n.uniform_cell_range_over_box(&p, reach);
+            assert!(lo <= hi);
+            let (mut seen_lo, mut seen_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for i in -6..=6 {
+                for j in -6..=6 {
+                    let q = Point::new(p.x + reach * i as f64 / 6.0, p.y + reach * j as f64 / 6.0);
+                    let u = n.sample_uniform_cell(&q);
+                    assert!(u >= lo && u <= hi, "draw {u} outside [{lo}, {hi}] at box {k}");
+                    seen_lo = seen_lo.min(u);
+                    seen_hi = seen_hi.max(u);
+                }
+            }
+            // exactness: a dense grid over the box must actually attain the
+            // reported extremes (every intersected cell contains a grid
+            // point once the grid is finer than the lattice)
+            if reach >= 15.0 {
+                assert_eq!(seen_lo, lo, "box {k} min never attained");
+                assert_eq!(seen_hi, hi, "box {k} max never attained");
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 //! of §4.1 come from blockage plus fast fading.
 
 use crate::band::{Band, BandClass};
-use crate::noise::{LatticeCache, SpatialNoise, TemporalNoise};
+use crate::noise::{LatticeCache, NodeCache, SpatialNoise, TemporalNoise};
 use fiveg_geo::Point;
 use serde::{Deserialize, Serialize};
 
@@ -141,9 +141,123 @@ impl Propagation {
         rx
     }
 
+    /// [`Propagation::received_dbm_cached`] with the fast-fading node
+    /// gaussians additionally memoized in `nodes` — bit-identical (the node
+    /// memo is exact, see [`NodeCache`]). `nodes` must be dedicated to this
+    /// cell's channel, like `cache`. Fading nodes are pure functions of
+    /// time, so unlike the position-keyed lattice memo they are shared by
+    /// every receiver that samples the cell in the same time span — the
+    /// sleep planner's dominant reuse.
+    pub fn received_dbm_memo(
+        &self,
+        site: &Point,
+        ue: &Point,
+        t: f64,
+        cache: &mut ChannelCache,
+        nodes: &mut NodeCache,
+    ) -> f64 {
+        let dist = site.distance(ue);
+        let mut rx = self.tx_power_dbm - self.path_loss_db(dist)
+            + self.shadowing.sample_cached(ue, &mut cache.shadowing)
+            + self.fading.sample_cached(t, nodes);
+        let blocked = self.blockage_prob > 0.0
+            && self.blockage.sample_uniform_cell_cached(ue, &mut cache.blockage) < self.blockage_prob;
+        if blocked {
+            rx -= self.blockage_loss_db;
+        }
+        rx
+    }
+
     /// Median (no shadowing/fading/blockage) received power at distance `d`.
     pub fn median_received_dbm(&self, dist_m: f64) -> f64 {
         self.tx_power_dbm - self.path_loss_db(dist_m)
+    }
+
+    /// `(min, max)` of the shadowing term anywhere within `reach_m` meters
+    /// (axis-aligned box) of `ue` — see [`SpatialNoise::range_over_box`].
+    pub fn shadowing_range(&self, ue: &Point, reach_m: f64) -> (f64, f64) {
+        self.shadowing.range_over_box(ue, reach_m)
+    }
+
+    /// `(min, max)` of the fast-fading term over `[t0, t1]` — the exact node
+    /// scan of [`TemporalNoise::range_over`].
+    pub fn fading_range(&self, t0: f64, t1: f64) -> (f64, f64) {
+        self.fading.range_over(t0, t1)
+    }
+
+    /// Hard bound on `|fading|` at any time — a cheap screen that avoids the
+    /// per-node scan when the link's margin is already decisive.
+    pub fn fading_bound(&self) -> f64 {
+        self.fading.global_bound()
+    }
+
+    /// Upper bound on the fading term at exactly time `t`, from the two
+    /// node gaussians the sample interpolates (memoized in `nodes`) — see
+    /// [`TemporalNoise::sup_at_cached`].
+    pub fn fading_sup_at(&self, t: f64, nodes: &mut NodeCache) -> f64 {
+        self.fading.sup_at_cached(t, nodes)
+    }
+
+    /// Exact supremum of the fading term over `[t0, t1]` —
+    /// `fading_range(t0, t1).1` with the node gaussians memoized in `nodes`.
+    pub fn fading_sup_over(&self, t0: f64, t1: f64, nodes: &mut NodeCache) -> f64 {
+        self.fading.sup_over_cached(t0, t1, nodes)
+    }
+
+    /// Supremum of the shadowing term anywhere inside the rectangle
+    /// `[x0, x1] × [y0, y1]` — the position-only part of
+    /// [`Propagation::noise_sup_over_rect`], for callers that bound the
+    /// time-varying fading term separately (and usually far more tightly
+    /// than the global Box–Muller bound).
+    pub fn shadow_sup_over_rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+        self.shadowing.sup_over_rect(x0, y0, x1, y1)
+    }
+
+    /// Sound upper bound on `shadowing + fading` (dB) at any position inside
+    /// the rectangle `[x0, x1] × [y0, y1]` and at any time: the shadowing
+    /// field's corner supremum over the rectangle
+    /// ([`SpatialNoise::sup_over_rect`]) plus the fading process's global
+    /// bound. Blockage only attenuates and pattern loss is nonnegative, so
+    /// `median_received_dbm(closest reachable distance) + noise_sup` screens
+    /// the exact upper envelope from above at O(1) per query once this is
+    /// memoized per cell over the deployment's region.
+    pub fn noise_sup_over_rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+        self.shadow_sup_over_rect(x0, y0, x1, y1) + self.fading.global_bound()
+    }
+
+    /// Worst-case extra attenuation the blockage field can apply (dB): the
+    /// full blockage loss when this channel draws blockage at all, else 0.
+    /// Used for one-sided envelopes — a lower bound subtracts this, an upper
+    /// bound ignores blockage entirely (it only ever attenuates).
+    pub fn blockage_penalty_db(&self) -> f64 {
+        if self.blockage_prob > 0.0 {
+            self.blockage_loss_db
+        } else {
+            0.0
+        }
+    }
+
+    /// `(min, max)` extra blockage loss (dB) anywhere within `reach_m`
+    /// meters of `ue` — the two-sided refinement of
+    /// [`Propagation::blockage_penalty_db`].
+    ///
+    /// Blockage is a pure threshold on a per-lattice-cell uniform draw
+    /// (see [`Propagation::received_dbm_cached`]), so its state over a
+    /// travel box is **exactly** decidable, not just boundable: `(0, 0)`
+    /// when no reachable 15 m cell draws below the blockage probability
+    /// (never blocked), `(loss, loss)` when all do (always blocked), and
+    /// `(0, loss)` only in genuinely mixed boxes. Envelope callers subtract
+    /// the max on their lower side and the min on their upper side; for
+    /// mmWave this decides 20 dB of envelope width that the one-sided
+    /// penalty had to concede everywhere.
+    pub fn blockage_range(&self, ue: &Point, reach_m: f64) -> (f64, f64) {
+        if self.blockage_prob <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let (u_min, u_max) = self.blockage.uniform_cell_range_over_box(ue, reach_m);
+        let all = u_max < self.blockage_prob;
+        let any = u_min < self.blockage_prob;
+        (if all { self.blockage_loss_db } else { 0.0 }, if any { self.blockage_loss_db } else { 0.0 })
     }
 
     /// Distance at which the median received power crosses `threshold_dbm`.
@@ -240,6 +354,37 @@ mod tests {
                     "band {} diverged at step {i}",
                     band.name
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_components_bound_received_power() {
+        // rx at any (pos in box, t in window) must sit inside the envelope
+        // assembled from the component bounds — both band classes, so the
+        // blockage penalty is exercised one-sidedly.
+        for (seed, band, tx) in [(91u64, N71, 46.0), (92, N260, 55.0)] {
+            let p = Propagation::new(seed, band, tx);
+            let site = Point::ORIGIN;
+            for k in 0..60 {
+                let ue = Point::new(300.0 + k as f64 * 43.0, (k as f64 * 1.3).sin() * 200.0);
+                let reach = 4.0 + (k % 9) as f64 * 10.0;
+                let (t0, t1) = (k as f64 * 0.37, k as f64 * 0.37 + 1.9);
+                let dist = site.distance(&ue);
+                let (sh_lo, sh_hi) = p.shadowing_range(&ue, reach);
+                let (fd_lo, fd_hi) = p.fading_range(t0, t1);
+                assert!(fd_lo >= -p.fading_bound() && fd_hi <= p.fading_bound());
+                let up = p.median_received_dbm((dist - reach).max(10.0)) + sh_hi + fd_hi;
+                let lo = p.median_received_dbm(dist + reach) + sh_lo + fd_lo - p.blockage_penalty_db();
+                for i in 0..25 {
+                    // sample the disc of radius `reach` (a route of length
+                    // `reach` can't displace the UE further than that)
+                    let (th, r) = (i as f64 * 1.1, (i % 5) as f64 / 4.0 * reach);
+                    let q = Point::new(ue.x + r * th.cos(), ue.y + r * th.sin());
+                    let t = t0 + (t1 - t0) * i as f64 / 24.0;
+                    let rx = p.received_dbm(&site, &q, t);
+                    assert!(rx <= up + 1e-9 && rx >= lo - 1e-9, "rx {rx} outside [{lo}, {up}] (k={k}, i={i})");
+                }
             }
         }
     }

@@ -5,7 +5,7 @@
 //! physical layer." (§2)
 
 use fiveg_geo::Point;
-use fiveg_radio::{Band, ChannelCache, Propagation, NOISE_FLOOR_DBM};
+use fiveg_radio::{Band, ChannelCache, NodeCache, Propagation, NOISE_FLOOR_DBM};
 use fiveg_rrc::Pci;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +69,37 @@ impl Cell {
         }
     }
 
+    /// `(min, max)` of [`Cell::pattern_loss_db`] over every position within
+    /// `reach_m` meters of `ue` (0 for omni cells).
+    ///
+    /// The bearing from the site to any point of the disc deviates from the
+    /// bearing to its center by at most `asin(reach / dist)` — the half-angle
+    /// of the tangent cone — so the off-boresight angle `delta` ranges over
+    /// `[delta0 - dtheta, delta0 + dtheta]` clipped to `[0, pi]`, and the
+    /// pattern loss (monotone in `delta`) over the cone endpoints. When the
+    /// disc contains the site the cone is the full circle and the bounds
+    /// degrade to `[0, SECTOR_MAX_ATT]`.
+    pub fn pattern_loss_bounds(&self, ue: &Point, reach_m: f64) -> (f64, f64) {
+        let boresight = match self.azimuth {
+            None => return (0.0, 0.0),
+            Some(b) => b,
+        };
+        let dist = self.site.distance(ue);
+        if reach_m >= dist {
+            return (0.0, SECTOR_MAX_ATT);
+        }
+        let dtheta = (reach_m / dist).asin();
+        let bearing = self.site.bearing(ue);
+        let mut delta0 = (bearing - boresight).abs() % std::f64::consts::TAU;
+        if delta0 > std::f64::consts::PI {
+            delta0 = std::f64::consts::TAU - delta0;
+        }
+        let d_lo = (delta0 - dtheta).max(0.0);
+        let d_hi = (delta0 + dtheta).min(std::f64::consts::PI);
+        let loss = |d: f64| (12.0 * (d / SECTOR_BEAMWIDTH).powi(2)).min(SECTOR_MAX_ATT);
+        (loss(d_lo), loss(d_hi))
+    }
+
     /// Received power at `ue` and time `t`, in dBm.
     pub fn rx_dbm(&self, ue: &Point, t: f64) -> f64 {
         self.propagation.received_dbm(&self.site, ue, t) - self.pattern_loss_db(ue)
@@ -78,6 +109,13 @@ impl Cell {
     /// `cache` — bit-identical; `cache` must be dedicated to this cell.
     pub fn rx_dbm_cached(&self, ue: &Point, t: f64, cache: &mut ChannelCache) -> f64 {
         self.propagation.received_dbm_cached(&self.site, ue, t, cache) - self.pattern_loss_db(ue)
+    }
+
+    /// [`Cell::rx_dbm_cached`] with the fast-fading node gaussians also
+    /// memoized in `nodes` — bit-identical; both memos must be dedicated to
+    /// this cell.
+    pub fn rx_dbm_memo(&self, ue: &Point, t: f64, cache: &mut ChannelCache, nodes: &mut NodeCache) -> f64 {
+        self.propagation.received_dbm_memo(&self.site, ue, t, cache, nodes) - self.pattern_loss_db(ue)
     }
 
     /// UE noise floor for a channel of `band`'s bandwidth, dBm: the ~20 MHz
@@ -151,6 +189,27 @@ mod tests {
         let mut omni = c.clone();
         omni.azimuth = None;
         assert!((omni.rx_dbm(&back, 0.0) - c.rx_dbm(&back, 0.0) - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_bounds_cover_every_disc_position() {
+        let mut c = cell(N71);
+        c.azimuth = Some(1.1);
+        for k in 0..80 {
+            let ue = Point::new((k as f64 * 0.41).cos() * 900.0, (k as f64 * 0.73).sin() * 900.0 + 50.0);
+            let reach = 5.0 + (k % 11) as f64 * 30.0;
+            let (lo, hi) = c.pattern_loss_bounds(&ue, reach);
+            assert!(lo <= hi);
+            for i in 0..24 {
+                let (th, r) = (i as f64 * 0.9, (i % 4) as f64 / 3.0 * reach);
+                let q = Point::new(ue.x + r * th.cos(), ue.y + r * th.sin());
+                let l = c.pattern_loss_db(&q);
+                assert!(l >= lo - 1e-9 && l <= hi + 1e-9, "loss {l} outside [{lo}, {hi}] (k={k}, i={i})");
+            }
+        }
+        // omni stays exactly zero
+        c.azimuth = None;
+        assert_eq!(c.pattern_loss_bounds(&Point::new(100.0, 0.0), 50.0), (0.0, 0.0));
     }
 
     #[test]

@@ -112,6 +112,32 @@ impl MeasEngine {
         }
     }
 
+    /// True when every configured event is disarmed: no TTT clock running,
+    /// nothing fired and waiting to leave. An all-idle engine whose entry
+    /// conditions stay unmet is inert — stepping it mutates nothing — which
+    /// is the precondition event-driven schedulers need before parking a UE.
+    pub fn all_idle(&self) -> bool {
+        self.states.iter().all(|s| *s == ArmState::Idle)
+    }
+
+    /// Per-leg margin to the nearest entry threshold, dB: the minimum
+    /// [`EventConfig::entry_margin_db`] over all configured events, each
+    /// evaluated against the same best-neighbor selection `step` uses.
+    /// Negative when some entry condition currently holds; `+∞` with no
+    /// configs (or only periodic ones). Lets wakeup bounds reuse the rx
+    /// deltas this engine already computes instead of re-deriving them.
+    pub fn min_entry_margin_db(&self, serving: &Measurement, neighbors: &[Measurement]) -> f64 {
+        self.configs
+            .iter()
+            .map(|cfg| {
+                let best = best_neighbor(cfg, serving, neighbors);
+                let s_val = serving.quantity(cfg.quantity);
+                let n_val = best.map(|n| n.quantity(cfg.quantity)).unwrap_or(-140.0);
+                cfg.entry_margin_db(s_val, n_val)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Advances the engine to time `t` with the current measurements.
     ///
     /// `serving` is the serving cell of this leg; `neighbors` the measurable
@@ -298,6 +324,43 @@ mod tests {
         let mut e = a3_engine(0);
         let r = e.step(0.0, &meas(1, -100.0), &[meas(2, -92.0), meas(3, -88.0), meas(4, -95.0)]);
         assert_eq!(r[0].neighbors[0].pci, Pci(3));
+    }
+
+    #[test]
+    fn all_idle_tracks_arm_states() {
+        let mut e = a3_engine(200);
+        let serving = meas(1, -100.0);
+        assert!(e.all_idle());
+        e.step(0.0, &serving, &[meas(2, -90.0)]); // enters -> Pending
+        assert!(!e.all_idle());
+        e.step(0.1, &serving, &[meas(2, -110.0)]); // breaks -> Idle
+        assert!(e.all_idle());
+        e.step(0.2, &serving, &[meas(2, -90.0)]);
+        e.step(0.4, &serving, &[meas(2, -90.0)]); // TTT elapsed -> Fired
+        assert!(!e.all_idle());
+        e.reset();
+        assert!(e.all_idle());
+    }
+
+    #[test]
+    fn margin_sign_predicts_whether_step_arms() {
+        // margin > 0 must mean a step from Idle stays Idle; margin < 0 that
+        // the event arms (fires at ttt 0) — across neighbor strengths
+        for rsrp_n in [-130.0, -105.0, -96.0, -90.0] {
+            let mut e = a3_engine(0);
+            let serving = meas(1, -100.0);
+            let neighbors = [meas(2, rsrp_n)];
+            let margin = e.min_entry_margin_db(&serving, &neighbors);
+            let fired = !e.step(0.0, &serving, &neighbors).is_empty();
+            assert_eq!(margin < 0.0, fired, "margin {margin} vs fired {fired} at n={rsrp_n}");
+        }
+    }
+
+    #[test]
+    fn margin_is_infinite_without_configs() {
+        let e = MeasEngine::new(vec![]);
+        assert!(e.all_idle());
+        assert_eq!(e.min_entry_margin_db(&meas(1, -100.0), &[]), f64::INFINITY);
     }
 
     #[test]

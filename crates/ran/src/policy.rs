@@ -199,6 +199,14 @@ impl HoPolicy {
         &self.phase
     }
 
+    /// True when no timed policy state is armed: no pending NR-A2 whose SCG
+    /// change window could expire into an [`ReconfigAction::ScgRelease`] on a
+    /// future clock tick. A quiescent policy's [`HoPolicy::tick`] is a no-op
+    /// at any time, so schedulers may skip ticks without losing a decision.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_nr_a2.is_none()
+    }
+
     /// Resets the phase after a HO command has been issued.
     pub fn end_phase(&mut self) {
         self.phase.clear();

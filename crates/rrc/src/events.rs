@@ -148,6 +148,28 @@ impl EventConfig {
         }
     }
 
+    /// Margin to the entry condition in dB: how far the compared quantities
+    /// must still move before [`EventConfig::entered`] becomes true.
+    ///
+    /// Shares the exact threshold/hysteresis arithmetic of `entered`, so
+    /// `entered(s, n)` iff `entry_margin_db(s, n) < 0.0` (the boundary counts
+    /// as not entered, matching the strict trigger inequalities) — schedulers
+    /// bound the margin instead of re-deriving the trigger conditions.
+    /// Periodic events never enter (+∞ margin).
+    pub fn entry_margin_db(&self, serving: f64, neighbor: f64) -> f64 {
+        let h = self.hysteresis_db;
+        match self.event.kind {
+            EventKind::A1 => self.threshold_dbm + h - serving,
+            EventKind::A2 => serving + h - self.threshold_dbm,
+            EventKind::A3 => serving + self.offset_db + h - neighbor,
+            EventKind::A4 | EventKind::B1 => self.threshold_dbm + h - neighbor,
+            EventKind::A5 => {
+                (serving + h - self.threshold_dbm).max(self.threshold2_dbm + h - neighbor)
+            }
+            EventKind::Periodic => f64::INFINITY,
+        }
+    }
+
     /// Leaving condition (the inverse with hysteresis on the other side),
     /// used to reset the TTT clock.
     pub fn left(&self, serving: f64, neighbor: f64) -> bool {
@@ -251,6 +273,17 @@ mod proptests {
     }
 
     proptest! {
+        #[test]
+        fn margin_sign_matches_entered(
+            kind in arb_kind(),
+            s in -140.0..-44.0f64,
+            n in -140.0..-44.0f64,
+        ) {
+            let c = EventConfig::typical(MeasEvent::lte(kind));
+            prop_assert_eq!(c.entered(s, n), c.entry_margin_db(s, n) < 0.0,
+                "{:?} margin/entered disagree at s={} n={}", kind, s, n);
+        }
+
         #[test]
         fn never_entered_and_left_simultaneously(
             kind in arb_kind(),

@@ -1,6 +1,12 @@
 //! The tick loop: mobility → channel → measurements → policy → HO state
 //! machine → link → trace.
 
+// Wakeup-bound planner for the event-driven fleet scheduler. A child module
+// of the engine so it can read `UeSim`'s private state directly instead of
+// widening the engine's API surface.
+#[path = "wakeup.rs"]
+pub(crate) mod wakeup;
+
 use crate::fault::FaultConfig;
 use crate::fleet::CellLoadView;
 use crate::hook::{AttachReason, ServingCells, SimHook, TickView};
@@ -278,6 +284,103 @@ pub fn run_reference(s: &Scenario) -> Trace {
 /// [`run_reference`] recording into a caller-owned [`Telemetry`] handle.
 pub fn run_reference_instrumented(s: &Scenario, tele: &Telemetry) -> Trace {
     run_with_path(s, tele, RadioPath::Reference, None)
+}
+
+/// Longest sleep window the single-UE event-driven loop requests — the
+/// same cap the fleet's calendar wheel imposes (`WHEEL_SLOTS - 2`), so a
+/// UE plans identical windows whether it runs solo or in a fleet.
+const DES_MAX_WINDOW: u64 = 126;
+
+/// Control-plane summary of a summary-mode run, plus the event-driven
+/// scheduler's work accounting. Every control field is invariant across
+/// [`run_des`] and [`run_stepped_summary`] — `tests/des_equivalence.rs`
+/// holds them to that — while `sleeps`/`skipped_ticks` describe how much
+/// of the run the DES loop fast-forwarded (always `0` for the stepped
+/// twin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesSummary {
+    /// Ticks simulated (skipped ticks included — work counts must not
+    /// depend on the engine).
+    pub ticks: u64,
+    /// Ticks replayed in closed form by `UeSim::catch_up`.
+    pub skipped_ticks: u64,
+    /// Granted sleep windows.
+    pub sleeps: u64,
+    /// Distance traveled, m.
+    pub traveled_m: f64,
+    /// Completed handovers.
+    pub handovers: u64,
+    /// Failed handovers (fault injection).
+    pub ho_failures: u64,
+    /// Radio link failures.
+    pub rlf_count: u64,
+    /// Measurement reports sent.
+    pub reports: u64,
+}
+
+impl DesSummary {
+    fn from_stats(st: &UeRunStats, sleeps: u64, skipped_ticks: u64) -> DesSummary {
+        DesSummary {
+            ticks: st.ticks,
+            skipped_ticks,
+            sleeps,
+            traveled_m: st.traveled_m,
+            handovers: st.handovers,
+            ho_failures: st.ho_failures,
+            rlf_count: st.rlf_count,
+            reports: st.reports,
+        }
+    }
+
+    /// The engine-invariant fields, for direct equality asserts between a
+    /// DES and a stepped run of the same scenario.
+    pub fn control(&self) -> (u64, f64, u64, u64, u64, u64) {
+        (self.ticks, self.traveled_m, self.handovers, self.ho_failures, self.rlf_count, self.reports)
+    }
+
+    /// Fraction of simulated ticks that were fast-forwarded.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.skipped_ticks as f64 / self.ticks as f64
+        }
+    }
+}
+
+/// Runs a scenario event-driven in summary mode: between sampled steps the
+/// UE asks `wakeup::plan_sleep` for a provably-inert window and
+/// `UeSim::step_to` replays it in closed form. No per-tick samples are
+/// recorded — a UE recording a trace is never planner-eligible (the data
+/// plane needs every tick), so the event-driven single-UE engine is only
+/// offered in summary mode, where its control plane is tick-for-tick the
+/// stepped engine's.
+pub fn run_des(s: &Scenario) -> DesSummary {
+    run_des_instrumented(s, &Telemetry::new(s.telemetry))
+}
+
+/// [`run_des`] recording into a caller-owned [`Telemetry`] handle.
+pub fn run_des_instrumented(s: &Scenario, tele: &Telemetry) -> DesSummary {
+    let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+    let mut radio = RadioPath::Snapshot(RadioSnapshot::new());
+    let mut ue = UeSim::new(s.clone(), &d, tele, &mut radio, None, false);
+    let mut scratch = wakeup::PlanScratch::default();
+    let (sleeps, skipped) = ue.step_to(u64::MAX, None, &CellLoadView::SOLO, &mut radio, &mut scratch);
+    DesSummary::from_stats(&ue.finish_summary(None), sleeps, skipped)
+}
+
+/// The stepped oracle twin of [`run_des`]: the same summary-mode run with
+/// every tick stepped and sampled. `sleeps`/`skipped_ticks` are zero by
+/// construction; all other fields must match [`run_des`]'s exactly.
+pub fn run_stepped_summary(s: &Scenario) -> DesSummary {
+    let tele = Telemetry::new(s.telemetry);
+    let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+    let mut radio = RadioPath::Snapshot(RadioSnapshot::new());
+    let mut ue = UeSim::new(s.clone(), &d, &tele, &mut radio, None, false);
+    while ue.active() {
+        ue.step(None, &CellLoadView::SOLO, &mut radio);
+    }
+    DesSummary::from_stats(&ue.finish_summary(None), 0, 0)
 }
 
 fn run_with_path(
@@ -566,6 +669,98 @@ impl<'d> UeSim<'d> {
         self.mob.position()
     }
 
+    /// Replays `ticks` slept ticks in one burst: exactly the per-tick
+    /// prologue of [`UeSim::step`] — clock, tick counter, mobility
+    /// integration — and nothing else, in the same order. Sound only when a
+    /// [`wakeup::plan_sleep`] bound proved every replayed tick's control
+    /// plane inert; the referee fleet mode holds the event-driven mode to
+    /// that byte-for-byte.
+    /// Ticks this UE has stepped or replayed so far — the 1-based ordinal
+    /// the last [`crate::hook::TickView`] carried. Staggered fleet UEs run
+    /// their own counter, so sleep declarations must quote this, not the
+    /// fleet clock.
+    pub(crate) fn ticks_stepped(&self) -> u64 {
+        self.tick
+    }
+
+    pub(crate) fn catch_up(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.t += self.dt;
+            self.tick += 1;
+            self.ticks_ctr.inc();
+            self.mob.step(self.dt);
+        }
+    }
+
+    /// Event-driven advance to tick `target` (or inactivity, whichever
+    /// comes first): before each sampled step the UE asks the planner for
+    /// an inert window — capped so the run lands exactly on `target` — and
+    /// fast-forwards it with [`UeSim::catch_up`]. Returns `(sleeps,
+    /// skipped_ticks)`. With `target = u64::MAX` this is "run to
+    /// completion", the single-UE analogue of the fleet's
+    /// [`crate::fleet::EngineMode::EventDriven`] loop.
+    pub(crate) fn step_to(
+        &mut self,
+        target: u64,
+        mut hook: Option<&mut (dyn SimHook + '_)>,
+        load: &CellLoadView,
+        radio: &mut RadioPath,
+        scratch: &mut wakeup::PlanScratch,
+    ) -> (u64, u64) {
+        let (mut sleeps, mut skipped) = (0u64, 0u64);
+        while self.tick < target && self.active() {
+            // a window of `w` skips w ticks and the wake step takes one
+            // more, so cap at remaining − 1 to never overshoot `target`
+            let cap = DES_MAX_WINDOW.min(target - self.tick - 1);
+            let w = if cap > 0 { self.plan_sleep_with(cap, scratch) } else { 0 };
+            if w > 0 {
+                if let Some(h) = hook.as_deref_mut() {
+                    h.on_sleep(self.tick, w);
+                }
+                self.catch_up(w);
+                sleeps += 1;
+                skipped += w;
+            }
+            self.step_sampled(hook.as_deref_mut(), load, radio, true);
+        }
+        (sleeps, skipped)
+    }
+
+    /// Conservative count of future ticks whose control plane is provably
+    /// inert — see [`wakeup::plan_sleep`]. `0` means the UE must step next
+    /// tick. Test convenience; the fleet uses [`UeSim::plan_sleep_with`].
+    #[cfg(test)]
+    pub(crate) fn plan_sleep(&self, max_ticks: u64) -> u64 {
+        wakeup::plan_sleep(self, max_ticks, &mut wakeup::PlanScratch::default())
+    }
+
+    /// [`UeSim::plan_sleep`] with caller-owned scratch buffers — the fleet
+    /// threads one [`wakeup::PlanScratch`] per shard through every plan so
+    /// steady-state planning never allocates. The plan is a pure function of
+    /// UE state; the scratch only recycles capacity.
+    pub(crate) fn plan_sleep_with(&self, max_ticks: u64, scratch: &mut wakeup::PlanScratch) -> u64 {
+        wakeup::plan_sleep(self, max_ticks, scratch)
+    }
+
+    /// Control-plane digest for equivalence assertions: every field must be
+    /// bit-identical whether slept ticks ran `sample = false` steps, were
+    /// replayed by [`UeSim::catch_up`], or (for the counters) ran fully
+    /// sampled. Used by the wakeup soundness proptest and the fleet
+    /// mode-equality tests.
+    #[cfg(test)]
+    pub(crate) fn control_digest(&self) -> (u64, u64, u64, u64, Option<CellId>, Option<CellId>, f64, u64) {
+        (
+            self.reports_n,
+            self.handovers_n,
+            self.rlf_count,
+            self.ho_failures,
+            self.sm.serving_lte(),
+            self.sm.serving_nr(),
+            self.mob.distance(),
+            self.tick,
+        )
+    }
+
     /// Advances the simulation by one tick: mobility → HO state machine →
     /// channel views → RLF → measurements/policy → link → trace sample.
     ///
@@ -574,11 +769,26 @@ impl<'d> UeSim<'d> {
     /// [`CellLoadView::SOLO`] both shares are exactly `1.0` and the
     /// multiplications are bit-for-bit no-ops (see
     /// [`fiveg_link::load_share`]).
-    pub(crate) fn step(
+    pub(crate) fn step(&mut self, hook: Option<&mut (dyn SimHook + '_)>, load: &CellLoadView, radio: &mut RadioPath) {
+        self.step_sampled(hook, load, radio, true)
+    }
+
+    /// [`UeSim::step`] with the data plane made optional. With `sample` true
+    /// this IS `step`. With `sample` false the control plane still runs in
+    /// full — mobility, HO state machine, channel views, RLF, measurements,
+    /// policy, decisions — but the data-plane tail (PHY-measurement tally,
+    /// link-layer shares/flows, trace sample, tick hook) is skipped. The
+    /// event-driven fleet modes use `sample = false` for virtually-slept
+    /// ticks: the referee mode proves dynamically that a parked UE's control
+    /// plane would have stayed inert, while the data plane — which never
+    /// feeds back into the radio state — is consistently absent from both
+    /// scheduled modes, keeping their outputs byte-identical.
+    pub(crate) fn step_sampled(
         &mut self,
         mut hook: Option<&mut (dyn SimHook + '_)>,
         load: &CellLoadView,
         radio: &mut RadioPath,
+        sample: bool,
     ) {
         let d = self.d;
         let arch = self.s.arch;
@@ -969,6 +1179,12 @@ impl<'d> UeSim<'d> {
                     self.sm.start(dec.action, target, dec.phase, d, t);
                 }
             }
+        }
+
+        // everything below is the data plane: observable output and link
+        // bookkeeping that never feeds back into the radio/control state
+        if !sample {
+            return;
         }
 
         // --- PHY-layer measurement accounting (SSB sweeps)
@@ -1495,5 +1711,128 @@ mod fault_tests {
         assert_eq!(bytes, serde_json::to_string(&zeros).unwrap());
         assert_eq!(bytes, serde_json::to_string(&clamps_to_zero).unwrap());
         assert_eq!(none.ho_failures, 0);
+    }
+}
+
+#[cfg(test)]
+mod wakeup_tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use fiveg_ran::Carrier;
+
+    fn sim_for<'d>(s: &Scenario, d: &'d Deployment, tele: &Telemetry, radio: &mut RadioPath) -> UeSim<'d> {
+        UeSim::new(s.clone(), d, tele, radio, None, false)
+    }
+
+    /// The single-UE core of the tentpole's equivalence gate: whenever the
+    /// planner grants a window `w`, stepping through it with the full
+    /// control plane (sampling off) must land on exactly the state
+    /// `catch_up(w)` reaches analytically — same counters, same serving
+    /// cells, same clock, same position. Any control-plane activity inside
+    /// a granted window (an unsound bound) shifts a counter and fails the
+    /// digest compare at the next sampled step.
+    fn assert_windows_sound(s: &Scenario) -> (u64, u64) {
+        let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+        let tele = Telemetry::disabled();
+        let mut radio_a = RadioPath::Snapshot(RadioSnapshot::new());
+        let mut radio_b = RadioPath::Snapshot(RadioSnapshot::new());
+        let mut stepper = sim_for(s, &d, &tele, &mut radio_a);
+        let mut skipper = sim_for(s, &d, &tele, &mut radio_b);
+        let (mut plans, mut planned_ticks) = (0u64, 0u64);
+        while stepper.active() {
+            let w = stepper.plan_sleep(126);
+            assert_eq!(w, skipper.plan_sleep(126), "the plan must be a pure function of UE state");
+            if w > 0 {
+                plans += 1;
+                planned_ticks += w;
+                // referee side: w unsampled steps, full control plane
+                for _ in 0..w {
+                    stepper.step_sampled(None, &CellLoadView::SOLO, &mut radio_a, false);
+                }
+                // event side: one analytic catch-up
+                skipper.catch_up(w);
+            }
+            // both take the next real tick sampled
+            stepper.step_sampled(None, &CellLoadView::SOLO, &mut radio_a, true);
+            skipper.step_sampled(None, &CellLoadView::SOLO, &mut radio_b, true);
+            assert_eq!(
+                stepper.control_digest(),
+                skipper.control_digest(),
+                "stepped-through and skipped-over state diverged after a granted window"
+            );
+        }
+        assert!(!skipper.active(), "both paths must finish together");
+        (plans, planned_ticks)
+    }
+
+    #[test]
+    fn granted_windows_are_inert_on_the_bench_scenario() {
+        let s = ScenarioBuilder::city_loop(Carrier::OpY, 201).arch(Arch::Sa).duration_s(60.0).sample_hz(10.0).build();
+        let (plans, planned) = assert_windows_sound(&s);
+        assert!(plans > 0, "the committed bench scenario must actually sleep");
+        assert!(planned >= plans * 4, "every rung is at least 4 ticks");
+    }
+
+    #[test]
+    fn single_ue_des_matches_stepped_summary() {
+        let s = ScenarioBuilder::city_loop(Carrier::OpY, 201).arch(Arch::Sa).duration_s(60.0).sample_hz(10.0).build();
+        let des = run_des(&s);
+        let stepped = run_stepped_summary(&s);
+        assert_eq!(des.control(), stepped.control(), "DES and stepped summary runs diverged");
+        assert_eq!(stepped.skipped_ticks, 0);
+        assert!(des.skip_ratio() >= 0.5, "the bench scenario must skip most ticks, got {}", des.skip_ratio());
+    }
+
+    #[test]
+    fn step_to_lands_exactly_on_target() {
+        let s = ScenarioBuilder::city_loop(Carrier::OpY, 201).arch(Arch::Sa).duration_s(60.0).sample_hz(10.0).build();
+        let d = Deployment::generate(&s.route, s.carrier, s.env, s.arch, s.seed);
+        let tele = Telemetry::disabled();
+        let mut radio = RadioPath::Snapshot(RadioSnapshot::new());
+        let mut ue = sim_for(&s, &d, &tele, &mut radio);
+        for target in [1u64, 2, 7, 100, 101, 350] {
+            ue.step_to(target, None, &CellLoadView::SOLO, &mut radio, &mut wakeup::PlanScratch::default());
+            assert_eq!(ue.control_digest().7, target, "step_to must stop exactly at its target tick");
+        }
+    }
+
+    #[test]
+    fn nsa_and_flows_never_plan() {
+        // NSA carries a SINR-quantity B1 config: never eligible
+        let nsa = ScenarioBuilder::city_loop(Carrier::OpY, 202).duration_s(30.0).sample_hz(10.0).build();
+        let (plans, _) = assert_windows_sound(&nsa);
+        assert_eq!(plans, 0, "NSA UEs must stay on the fixed step");
+        // data-plane flows sample every tick: never eligible either
+        let busy = ScenarioBuilder::city_loop(Carrier::OpY, 203)
+            .arch(Arch::Sa)
+            .duration_s(30.0)
+            .sample_hz(10.0)
+            .workload(Workload::Bulk(fiveg_link::Cca::Cubic))
+            .build();
+        let (plans, _) = assert_windows_sound(&busy);
+        assert_eq!(plans, 0, "UEs with active flows must stay on the fixed step");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            /// Soundness over random seeds and both sleepable
+            /// architectures: no granted window may hide control-plane
+            /// activity, whatever the deployment draw.
+            #[test]
+            fn wakeup_bound_is_sound(seed in 0u64..500, sa in proptest::bool::ANY) {
+                let arch = if sa { Arch::Sa } else { Arch::Lte };
+                let s = ScenarioBuilder::city_loop(Carrier::OpY, seed)
+                    .arch(arch)
+                    .duration_s(40.0)
+                    .sample_hz(5.0)
+                    .build();
+                assert_windows_sound(&s);
+            }
+        }
     }
 }

@@ -57,18 +57,57 @@
 //! by a proptest below). Other UEs get derived seeds, hashed start-tick
 //! offsets inside the stagger window, alternating route direction and a
 //! small deterministic speed jitter.
+//!
+//! # Execution modes
+//!
+//! [`EngineMode`] selects how the lockstep loop treats quiescent UEs:
+//!
+//! * [`EngineMode::Stepped`] (default) — the v2 engine: every active UE steps
+//!   every tick. The reference semantics.
+//! * [`EngineMode::EventDriven`] — after each real step the shard asks
+//!   `crate::engine::wakeup` for a conservative *inertness window*: the
+//!   number of future ticks in which the UE's control plane provably does
+//!   nothing (no event arms, no RLF, no HO, no RNG draw). A UE with a
+//!   window sleeps on the shard's **calendar wheel** (a 128-slot
+//!   [`crate::wheel::EventQueue`] — no steady-state allocation) and is
+//!   skipped entirely
+//!   until its wake tick; on wakeup `crate::engine::UeSim::catch_up`
+//!   replays the skipped prologues (clock, tick counter, mobility) in one
+//!   analytic burst. Sleeping UEs keep their serving cells published in a
+//!   *persistent* load table maintained by per-shard deltas, and a sleeper
+//!   is woken early when a neighbor's attach/detach changes the
+//!   [`fiveg_link::load_share`] at its serving cell.
+//! * [`EngineMode::Referee`] — the referee: runs the *same* scheduler
+//!   decisions as `EventDriven` (same sleeps, same wakes, same wheel), but
+//!   instead of skipping a sleeping UE it steps it every tick with
+//!   sampling disabled — the full control plane still executes. If a
+//!   wakeup bound were ever unsound, the control plane would act during a
+//!   "provably inert" tick and the two modes' [`FleetTrace`]s would
+//!   diverge; `tests/trace_equivalence.rs` and the fleet gates byte-compare
+//!   them to prove the bound.
+//!
+//! Scheduling is a pure function of per-UE state and the merged load
+//! table, so every mode stays byte-identical at any thread/shard count.
+//! The scheduled modes share one invariant with `Stepped`: ticks, distance,
+//! handovers, reports, RLFs and the whole [`LoadSummary`] are equal; only
+//! the data-plane sampling aggregates (`mean_capacity_mbps`,
+//! `loaded_ticks`, `mean_load_share`) legitimately differ, because sleeping
+//! UEs do not sample the link layer.
 
+use crate::engine::wakeup::PlanScratch;
 use crate::engine::{RadioPath, UeRunStats, UeSim};
 use crate::hook::SimHook;
 use crate::scenario::Scenario;
 use crate::trace::Trace;
+use crate::wheel::EventQueue;
 use fiveg_geo::Point;
-use fiveg_link::load_share;
+use fiveg_link::{load_share, load_share_shifted};
 use fiveg_radio::hash2;
 use fiveg_ran::{Arch, Carrier, CellId, Deployment, Environment, RadioSnapshot};
 use fiveg_telemetry::{Telemetry, TelemetryConfig};
 use fiveg_ue::SpeedProfile;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -104,30 +143,66 @@ impl<'a> CellLoadView<'a> {
     }
 }
 
-/// Execution geometry of a fleet run: worker threads and spatial shards.
+/// How the lockstep loop treats quiescent UEs (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Every active UE steps every tick — the v2 reference semantics.
+    #[default]
+    Stepped,
+    /// Runs the event-driven schedule (same sleeps, wakes and wheel as
+    /// [`EngineMode::EventDriven`]) but steps sleeping UEs every tick with
+    /// sampling disabled, so their full control plane still executes. The
+    /// referee mode: byte-equality with `EventDriven` proves every wakeup
+    /// bound sound.
+    Referee,
+    /// Skips provably-inert UEs entirely: sleeping UEs are parked on a
+    /// per-shard calendar wheel and replay the skipped ticks analytically
+    /// on wakeup.
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Whether this mode runs the sleep scheduler at all.
+    fn scheduled(self) -> bool {
+        self != EngineMode::Stepped
+    }
+}
+
+/// Execution geometry of a fleet run: worker threads, spatial shards and
+/// the stepping mode.
 ///
 /// Workers own shards round-robin (`shard % threads`), so `threads` is
 /// effectively capped at the shard count. `shards == 0` means "match the
 /// thread count" — the default the plain [`run_fleet`] entry points use.
-/// Both knobs change only wall-clock behavior: the [`FleetTrace`] is
-/// byte-identical at any combination.
+/// All three knobs change only wall-clock behavior and the data-plane
+/// sampling aggregates: the control-plane output is byte-identical at any
+/// combination, and within the two scheduled modes the whole
+/// [`FleetTrace`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetExec {
     /// Worker threads (clamped to `[1, n_ues]`, then to the shard count).
     pub threads: usize,
     /// Spatial shards (0 = match `threads`).
     pub shards: usize,
+    /// Stepping engine (defaults to [`EngineMode::Stepped`]).
+    pub engine: EngineMode,
 }
 
 impl FleetExec {
-    /// `threads` workers over the same number of shards.
+    /// `threads` workers over the same number of shards, fixed stepping.
     pub fn threads(threads: usize) -> FleetExec {
-        FleetExec { threads, shards: 0 }
+        FleetExec { threads, shards: 0, engine: EngineMode::Stepped }
     }
 
     /// Overrides the shard count.
     pub fn shards(mut self, shards: usize) -> FleetExec {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the stepping engine.
+    pub fn engine(mut self, engine: EngineMode) -> FleetExec {
+        self.engine = engine;
         self
     }
 }
@@ -161,6 +236,12 @@ impl ShardMap {
     /// shard.
     pub fn shard_of(&self, pos: &Point) -> usize {
         let col = (((pos.x / self.bin_m).floor() as i64) - self.x0).clamp(0, self.cols - 1);
+        if col == self.cols - 1 {
+            // the last column always owns the last shard; the band formula
+            // below cannot reach it when the grid is narrower than the
+            // shard count (cols < shards)
+            return self.shards - 1;
+        }
         (col as usize * self.shards) / self.cols as usize
     }
 }
@@ -407,6 +488,49 @@ pub struct LoadSummary {
     pub contended_ue_ticks: u64,
 }
 
+/// Scheduler statistics of a scheduled-mode run, identical between
+/// [`EngineMode::Referee`] and [`EngineMode::EventDriven`] by
+/// construction (both run the same schedule; the byte-compare gates hold
+/// them to it). All counters are commutative per-UE sums, so they are
+/// independent of thread and shard count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedSummary {
+    /// UE·ticks skipped (event mode) or stepped without sampling (referee).
+    pub skipped_ue_ticks: u64,
+    /// Sleep windows entered.
+    pub sleeps: u64,
+    /// Sleeps cut short because a neighbor changed the serving cell's load
+    /// share.
+    pub load_wakes: u64,
+    /// Realized sleep lengths, bucketed `<=4`, `<=16`, `<=64`, `>64` ticks.
+    pub wake_hist: [u64; 4],
+}
+
+impl SchedSummary {
+    fn record_wake(&mut self, missed: u64, load_wake: bool) {
+        self.skipped_ue_ticks += missed;
+        let b = match missed {
+            0..=4 => 0,
+            5..=16 => 1,
+            17..=64 => 2,
+            _ => 3,
+        };
+        self.wake_hist[b] += 1;
+        if load_wake {
+            self.load_wakes += 1;
+        }
+    }
+
+    fn absorb(&mut self, other: &SchedSummary) {
+        self.skipped_ue_ticks += other.skipped_ue_ticks;
+        self.sleeps += other.sleeps;
+        self.load_wakes += other.load_wakes;
+        for (a, b) in self.wake_hist.iter_mut().zip(other.wake_hist) {
+            *a += b;
+        }
+    }
+}
+
 /// The deterministic output of a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetTrace {
@@ -416,6 +540,10 @@ pub struct FleetTrace {
     pub ues: Vec<UeSummary>,
     /// Fleet-level load statistics.
     pub load: LoadSummary,
+    /// Scheduler statistics (`None` for [`EngineMode::Stepped`] runs, and in
+    /// pre-v3 reports).
+    #[serde(default)]
+    pub sched: Option<SchedSummary>,
     /// Per-UE traces, in UE order (empty unless [`FleetSpec::keep_traces`]).
     pub traces: Vec<Trace>,
 }
@@ -477,6 +605,42 @@ where
     (ft, hooks.expect("factory was provided"))
 }
 
+/// Near-wheel slot count for each shard's [`EventQueue`]. The planner is
+/// capped at `WHEEL_SLOTS - 2` ticks, so the longest wakeup offset is
+/// `WHEEL_SLOTS - 1` and every entry stays in the queue's allocation-free
+/// level 1 — the overflow level never fills in production.
+const WHEEL_SLOTS: usize = 128;
+
+/// Awake ticks to skip re-planning after a failed plan: a UE that just
+/// proved un-sleepable rarely becomes sleepable one tick later, and the
+/// planner's dry run is a few ticks' worth of channel math.
+const PLAN_BACKOFF: u8 = 3;
+
+/// Per-UE scheduler slot (scheduled modes only; dead weight of a few bytes
+/// in [`EngineMode::Stepped`]).
+#[derive(Clone, Copy, Default)]
+struct SchedState {
+    /// The UE is inside a sleep window.
+    asleep: bool,
+    /// The wheel marked this UE's wake tick as due.
+    due: bool,
+    /// Global tick at which the sleep window ends and the UE must step.
+    wake_tick: u64,
+    /// Global tick of the last real (sampled) step — the tick the UE fell
+    /// asleep on.
+    slept_tick: u64,
+    /// Remaining awake ticks before the next plan attempt.
+    backoff: u8,
+    /// Serving cells currently published in the persistent load table
+    /// (event mode), and the load-wake reference cells while asleep.
+    pub_lte: Option<CellId>,
+    pub_nr: Option<CellId>,
+    /// Attach counts observed at the serving cells when the sleep began;
+    /// a share-changing move wakes the UE early.
+    load_lte: u32,
+    load_nr: u32,
+}
+
 /// The shard-owned UE storage, struct-of-arrays: entry `j` of each vector
 /// belongs to the same UE. Split into parallel vectors (rather than one
 /// vector of structs) so a step can borrow `sims[j]` and `hooks[j]`
@@ -487,6 +651,18 @@ struct ShardUes<'d, H: SimHook> {
     sims: Vec<UeSim<'d>>,
     hooks: Vec<Option<H>>,
     teles: Vec<Telemetry>,
+    /// Scheduler slot of each resident UE (SoA like the rest).
+    scheds: Vec<SchedState>,
+}
+
+impl<'d, H: SimHook> ShardUes<'d, H> {
+    fn push(&mut self, idx: u32, sim: UeSim<'d>, hook: Option<H>, tele: Telemetry, sched: SchedState) {
+        self.idx.push(idx);
+        self.sims.push(sim);
+        self.hooks.push(hook);
+        self.teles.push(tele);
+        self.scheds.push(sched);
+    }
 }
 
 /// One spatial shard: the UEs inside its band, their plain-integer count
@@ -507,16 +683,46 @@ struct Shard<'d, H: SimHook> {
     /// from `(pos, t)` on miss, so sharing is invisible in the output —
     /// it only trades per-UE cache memory for a lower hit rate.
     arena: RadioPath,
+    /// Calendar wheel (scheduled modes): the shard-local
+    /// [`crate::wheel::EventQueue`], drained once per tick. The planner
+    /// cap keeps every wakeup inside one revolution, so the queue's
+    /// overflow level stays empty and steady-state scheduling allocates
+    /// nothing.
+    wheel: EventQueue,
+    /// Fleet index → current SoA slot, maintained across `swap_remove`s so
+    /// wheel entries survive residents shuffling (scheduled modes only).
+    local_of: HashMap<u32, usize>,
+    /// Event mode: `(cell, ±1)` attach changes this shard's awake steps
+    /// produced during the current tick; the coordinator folds them into
+    /// the persistent table at the boundary.
+    deltas: Vec<(u32, i32)>,
+    /// Event mode: departure deltas of UEs finalized this tick, applied
+    /// one boundary later (a UE's final serving publish is still read by
+    /// the next tick, exactly as in fixed mode).
+    departs: Vec<(u32, i32)>,
+    /// Scheduler statistics accumulated by this shard's residents.
+    totals: SchedSummary,
 }
 
 impl<'d, H: SimHook> Shard<'d, H> {
-    fn new(n_cells: usize) -> Shard<'d, H> {
+    fn new(n_cells: usize, scheduled: bool) -> Shard<'d, H> {
         Shard {
             pending: Vec::new(),
-            run: ShardUes { idx: Vec::new(), sims: Vec::new(), hooks: Vec::new(), teles: Vec::new() },
+            run: ShardUes {
+                idx: Vec::new(),
+                sims: Vec::new(),
+                hooks: Vec::new(),
+                teles: Vec::new(),
+                scheds: Vec::new(),
+            },
             counts: vec![0; n_cells],
             migrated: 0,
             arena: RadioPath::Snapshot(RadioSnapshot::new()),
+            wheel: if scheduled { EventQueue::with_slots(WHEEL_SLOTS) } else { EventQueue::default() },
+            local_of: HashMap::new(),
+            deltas: Vec::new(),
+            departs: Vec::new(),
+            totals: SchedSummary::default(),
         }
     }
 }
@@ -528,6 +734,11 @@ struct Migrant<'d, H: SimHook> {
     sim: UeSim<'d>,
     hook: Option<H>,
     tele: Telemetry,
+    /// Scheduler slot travels with the UE: in event mode it records which
+    /// cells the UE has published in the persistent load table. Only awake
+    /// UEs migrate (sleepers stay parked until their wake tick), so no
+    /// wheel entry ever needs to move between shards.
+    sched: SchedState,
 }
 
 struct UeOut<H> {
@@ -549,6 +760,9 @@ fn run_fleet_core<H: SimHook + Send>(
     let shards_n = if exec.shards == 0 { exec.threads.clamp(1, n) } else { exec.shards.max(1) };
     // a worker owns shards round-robin; more workers than shards would idle
     let threads = exec.threads.clamp(1, n).min(shards_n);
+    let mode = exec.engine;
+    let scheduled = mode.scheduled();
+    let event = mode == EngineMode::EventDriven;
     let base = &spec.base;
     let d = Deployment::generate(&base.route, base.carrier, base.env, base.arch, base.seed);
     let n_cells = d.cells.len();
@@ -571,7 +785,8 @@ fn run_fleet_core<H: SimHook + Send>(
     let pts = base.route.points();
     let first = pts.first().copied().unwrap_or(Point::new(0.0, 0.0));
     let last = pts.last().copied().unwrap_or(first);
-    let mut shards: Vec<Mutex<Shard<'_, H>>> = (0..shards_n).map(|_| Mutex::new(Shard::new(n_cells))).collect();
+    let mut shards: Vec<Mutex<Shard<'_, H>>> =
+        (0..shards_n).map(|_| Mutex::new(Shard::new(n_cells, scheduled))).collect();
     for (i, m) in metas.iter().enumerate() {
         let start = if m.reversed { last } else { first };
         shards[map.shard_of(&start)].get_mut().unwrap().pending.push((m.start_tick, i as u32));
@@ -606,21 +821,26 @@ fn run_fleet_core<H: SimHook + Send>(
                 (&d, &metas, &global[..], &inboxes[..], &active, &stepped, &done, &barrier, &results, &map);
             let keep = spec.keep_traces;
             scope.spawn(move || {
+                // per-worker plan buffers: plans are pure functions of UE
+                // state, so recycling capacity across shards changes nothing
+                let mut scratch = PlanScratch::default();
                 for k in 0u64.. {
                     let read = CellLoadView::from_counts(global);
+                    let count_at = |c: CellId| global[c.0 as usize].load(Ordering::Relaxed);
                     let mut still = 0u32;
                     let mut moved = 0u32;
                     for s in (w..shards_n).step_by(threads) {
                         let mut guard = shards[s].lock().unwrap();
-                        let Shard { pending, run, counts, migrated, arena } = &mut *guard;
+                        let Shard { pending, run, counts, migrated, arena, wheel, local_of, deltas, departs, totals } =
+                            &mut *guard;
                         // --- drain this tick's inbox: UEs that crossed into
                         // this shard at the end of tick k-1
                         let incoming = std::mem::take(&mut *inboxes[s][(k % 2) as usize].lock().unwrap());
                         for mg in incoming {
-                            run.idx.push(mg.idx);
-                            run.sims.push(mg.sim);
-                            run.hooks.push(mg.hook);
-                            run.teles.push(mg.tele);
+                            if scheduled {
+                                local_of.insert(mg.idx, run.idx.len());
+                            }
+                            run.push(mg.idx, mg.sim, mg.hook, mg.tele, mg.sched);
                         }
                         // --- activate UEs whose start tick arrived
                         while pending.last().is_some_and(|&(st, _)| st <= k) {
@@ -636,31 +856,177 @@ fn run_fleet_core<H: SimHook + Send>(
                                 hook.as_mut().map(|h| h as &mut dyn SimHook),
                                 keep,
                             );
-                            run.idx.push(i);
-                            run.sims.push(sim);
-                            run.hooks.push(hook);
-                            run.teles.push(ue_tele);
+                            if scheduled {
+                                local_of.insert(i, run.idx.len());
+                            }
+                            run.push(i, sim, hook, ue_tele, SchedState::default());
+                        }
+                        // --- calendar wheel: mark this tick's due wakeups.
+                        // The queue filters stale entries itself (an early
+                        // load-wake disarms below); the re-check against
+                        // the live slot is belt and braces.
+                        if scheduled {
+                            wheel.pop_due(k, |fi| {
+                                if let Some(&j) = local_of.get(&fi) {
+                                    let sc = &mut run.scheds[j];
+                                    if sc.asleep && sc.wake_tick == k {
+                                        sc.due = true;
+                                    }
+                                }
+                            });
                         }
                         // --- step every resident UE against the merged
                         // previous-tick load table
-                        let ShardUes { idx, sims, hooks, teles } = run;
+                        let ShardUes { idx, sims, hooks, teles, scheds } = run;
                         let mut j = 0;
                         while j < sims.len() {
+                            let mut sample = true;
                             if sims[j].active() {
-                                sims[j].step(hooks[j].as_mut().map(|h| h as &mut dyn SimHook), &read, arena);
+                                if scheduled && scheds[j].asleep {
+                                    let sc = &mut scheds[j];
+                                    let wake = if sc.due {
+                                        true
+                                    } else if sc.load_lte == u32::MAX {
+                                        // first slept tick: the table now
+                                        // includes this UE's own publish, so
+                                        // record the load-wake reference
+                                        sc.load_lte = sc.pub_lte.map_or(0, count_at);
+                                        sc.load_nr = sc.pub_nr.map_or(0, count_at);
+                                        false
+                                    } else {
+                                        sc.pub_lte.is_some_and(|c| load_share_shifted(sc.load_lte, count_at(c)))
+                                            || sc.pub_nr.is_some_and(|c| load_share_shifted(sc.load_nr, count_at(c)))
+                                    };
+                                    if wake {
+                                        let missed = k - sc.slept_tick - 1;
+                                        totals.record_wake(missed, !sc.due);
+                                        if !sc.due {
+                                            // early load-wake: disarm the
+                                            // queued wakeup; the ring entry
+                                            // is dropped as stale
+                                            wheel.cancel(idx[j]);
+                                        }
+                                        sc.asleep = false;
+                                        sc.due = false;
+                                        if missed > 0 {
+                                            // declare the hook-stream gap so
+                                            // checkers can tell a sanctioned
+                                            // sleep from an overslept UE;
+                                            // referee runs leave the same gap
+                                            // (slept ticks are unsampled).
+                                            // Quote the UE's own tick counter
+                                            // (staggered UEs run behind the
+                                            // fleet clock `k`); referee UEs
+                                            // kept stepping unsampled, so
+                                            // rewind theirs to the last tick
+                                            // the hook actually saw
+                                            let from = sims[j].ticks_stepped() - if event { 0 } else { missed };
+                                            if let Some(h) = hooks[j].as_mut() {
+                                                h.on_sleep(from, missed);
+                                            }
+                                        }
+                                        if event {
+                                            sims[j].catch_up(missed);
+                                        }
+                                    } else {
+                                        assert!(k < sc.wake_tick, "calendar wheel missed a wakeup");
+                                        if event {
+                                            // skipped outright; still counted
+                                            // as live so the tick bookkeeping
+                                            // matches the fixed modes
+                                            moved += 1;
+                                            still += 1;
+                                            j += 1;
+                                            continue;
+                                        }
+                                        // referee: full control plane, no
+                                        // sampling — byte-divergence here
+                                        // means the wakeup bound was unsound
+                                        sample = false;
+                                    }
+                                }
+                                sims[j].step_sampled(
+                                    hooks[j].as_mut().map(|h| h as &mut dyn SimHook),
+                                    &read,
+                                    arena,
+                                    sample,
+                                );
                                 moved += 1;
                                 let (lte, nr) = sims[j].serving();
-                                if let Some(id) = lte {
-                                    counts[id.0 as usize] += 1;
-                                }
-                                if let Some(id) = nr {
-                                    counts[id.0 as usize] += 1;
+                                if event {
+                                    // persistent table: publish only serving
+                                    // transitions as deltas
+                                    let sc = &mut scheds[j];
+                                    if lte != sc.pub_lte {
+                                        if let Some(c) = sc.pub_lte {
+                                            deltas.push((c.0, -1));
+                                        }
+                                        if let Some(c) = lte {
+                                            deltas.push((c.0, 1));
+                                        }
+                                        sc.pub_lte = lte;
+                                    }
+                                    if nr != sc.pub_nr {
+                                        if let Some(c) = sc.pub_nr {
+                                            deltas.push((c.0, -1));
+                                        }
+                                        if let Some(c) = nr {
+                                            deltas.push((c.0, 1));
+                                        }
+                                        sc.pub_nr = nr;
+                                    }
+                                } else {
+                                    if let Some(id) = lte {
+                                        counts[id.0 as usize] += 1;
+                                    }
+                                    if let Some(id) = nr {
+                                        counts[id.0 as usize] += 1;
+                                    }
                                 }
                             }
                             if sims[j].active() {
                                 still += 1;
+                                // after a real (sampled) step, try to plan
+                                // the next sleep window — BEFORE the
+                                // migration check, so the schedule is a
+                                // function of UE state alone: a UE that
+                                // skipped planning whenever it crossed a
+                                // shard band would sleep on different ticks
+                                // at different shard counts
+                                if scheduled && sample {
+                                    let sc = &mut scheds[j];
+                                    if sc.backoff > 0 {
+                                        sc.backoff -= 1;
+                                    } else {
+                                        let win = sims[j].plan_sleep_with((WHEEL_SLOTS - 2) as u64, &mut scratch);
+                                        if win > 0 {
+                                            sc.asleep = true;
+                                            sc.due = false;
+                                            sc.slept_tick = k;
+                                            sc.wake_tick = k + win + 1;
+                                            let (l, nr2) = sims[j].serving();
+                                            sc.pub_lte = l;
+                                            sc.pub_nr = nr2;
+                                            // load-wake reference recorded on
+                                            // the first slept tick (sentinel)
+                                            sc.load_lte = u32::MAX;
+                                            sc.load_nr = u32::MAX;
+                                            totals.sleeps += 1;
+                                            wheel.schedule(idx[j], sc.wake_tick);
+                                        } else {
+                                            sc.backoff = PLAN_BACKOFF;
+                                        }
+                                    }
+                                }
+                                // sleeping UEs never migrate (including a
+                                // UE that just planned above): in the
+                                // referee their position drifts ahead of
+                                // the (stale) event-mode position, and
+                                // residency is invisible in the output
+                                // anyway — both modes migrate at the wake
+                                // tick
                                 let target = map.shard_of(&sims[j].position());
-                                if target != s {
+                                if target != s && !scheds[j].asleep {
                                     // boundary crossed: hand the UE to the
                                     // target's next-tick mailbox
                                     let mg = Migrant {
@@ -668,17 +1034,43 @@ fn run_fleet_core<H: SimHook + Send>(
                                         sim: sims.swap_remove(j),
                                         hook: hooks.swap_remove(j),
                                         tele: teles.swap_remove(j),
+                                        sched: scheds.swap_remove(j),
                                     };
+                                    if scheduled {
+                                        local_of.remove(&mg.idx);
+                                        if j < idx.len() {
+                                            local_of.insert(idx[j], j);
+                                        }
+                                    }
                                     inboxes[target][((k + 1) % 2) as usize].lock().unwrap().push(mg);
                                     *migrated += 1;
                                     continue; // swap_remove put a new UE at j
                                 }
                                 j += 1;
                             } else {
+                                if event {
+                                    // retire the published cells one boundary
+                                    // late: the final step's publish is still
+                                    // read by the next tick, as in fixed mode
+                                    let sc = &scheds[j];
+                                    if let Some(c) = sc.pub_lte {
+                                        departs.push((c.0, -1));
+                                    }
+                                    if let Some(c) = sc.pub_nr {
+                                        departs.push((c.0, -1));
+                                    }
+                                }
                                 let i = idx.swap_remove(j);
                                 let sim = sims.swap_remove(j);
                                 let hook = hooks.swap_remove(j);
                                 let ue_tele = teles.swap_remove(j);
+                                scheds.swap_remove(j);
+                                if scheduled {
+                                    local_of.remove(&i);
+                                    if j < idx.len() {
+                                        local_of.insert(idx[j], j);
+                                    }
+                                }
                                 let out = finalize(metas[i as usize], i, sim, hook, ue_tele, keep);
                                 *results[i as usize].lock().unwrap() = Some(out);
                             }
@@ -703,6 +1095,8 @@ fn run_fleet_core<H: SimHook + Send>(
         // coordinator: the boundary exchange between the two barriers, while
         // every worker is parked — the only writer of `done`, the merged
         // table and the stats
+        let mut pending_departs: Vec<(u32, i32)> = Vec::new();
+        let mut stats_cache: Option<(u64, u64, u32)> = None;
         for k in 0u64.. {
             barrier.wait();
             let a = active.swap(0, Ordering::Relaxed);
@@ -716,32 +1110,81 @@ fn run_fleet_core<H: SimHook + Send>(
                 ticks = k + 1;
             }
             load.peak_active_ues = load.peak_active_ues.max(m);
-            // --- boundary exchange: merged table = Σ shard tables. The
-            // sums are commutative integer adds, so the merged counts are
-            // independent of shard count; tick k+1 reads exactly what all
-            // UEs published during tick k.
-            for c in global.iter() {
-                c.store(0, Ordering::Relaxed);
-            }
-            for sh in shards.iter() {
-                let mut g = sh.lock().unwrap();
-                migrations += g.migrated;
-                g.migrated = 0;
-                for (i, cnt) in g.counts.iter_mut().enumerate() {
-                    if *cnt > 0 {
-                        let cur = global[i].load(Ordering::Relaxed);
-                        global[i].store(cur + *cnt, Ordering::Relaxed);
-                        *cnt = 0;
+            if event {
+                // --- boundary exchange, persistent-table flavor: the
+                // table carries over tick to tick (sleepers stay
+                // published) and only transition deltas are folded in —
+                // last tick's deferred departures first, then the deltas
+                // every shard's awake steps produced during tick k. The
+                // adds are commutative, so the table is independent of
+                // shard count and equals the fixed-mode fold whenever the
+                // schedule is sound.
+                let mut changed = !pending_departs.is_empty();
+                for (c, dl) in pending_departs.drain(..) {
+                    let cur = global[c as usize].load(Ordering::Relaxed);
+                    global[c as usize].store(cur.wrapping_add(dl as u32), Ordering::Relaxed);
+                }
+                for sh in shards.iter() {
+                    let mut g = sh.lock().unwrap();
+                    migrations += g.migrated;
+                    g.migrated = 0;
+                    changed |= !g.deltas.is_empty();
+                    for (c, dl) in g.deltas.drain(..) {
+                        let cur = global[c as usize].load(Ordering::Relaxed);
+                        global[c as usize].store(cur.wrapping_add(dl as u32), Ordering::Relaxed);
+                    }
+                    pending_departs.append(&mut g.departs);
+                }
+                // a boundary with no deltas leaves the table — and its
+                // per-tick stats contribution — exactly as last tick's
+                if changed || stats_cache.is_none() {
+                    let mut attach = 0u64;
+                    let mut contended = 0u64;
+                    let mut peak = 0u32;
+                    for c in global.iter() {
+                        let v = c.load(Ordering::Relaxed);
+                        if v > 0 {
+                            attach += v as u64;
+                            peak = peak.max(v);
+                            if v >= 2 {
+                                contended += v as u64;
+                            }
+                        }
+                    }
+                    stats_cache = Some((attach, contended, peak));
+                }
+                let (attach, contended, peak) = stats_cache.unwrap();
+                load.attach_ue_ticks += attach;
+                load.contended_ue_ticks += contended;
+                load.peak_cell_ues = load.peak_cell_ues.max(peak);
+            } else {
+                // --- boundary exchange: merged table = Σ shard tables. The
+                // sums are commutative integer adds, so the merged counts are
+                // independent of shard count; tick k+1 reads exactly what all
+                // UEs published during tick k.
+                for c in global.iter() {
+                    c.store(0, Ordering::Relaxed);
+                }
+                for sh in shards.iter() {
+                    let mut g = sh.lock().unwrap();
+                    migrations += g.migrated;
+                    g.migrated = 0;
+                    for (i, cnt) in g.counts.iter_mut().enumerate() {
+                        if *cnt > 0 {
+                            let cur = global[i].load(Ordering::Relaxed);
+                            global[i].store(cur + *cnt, Ordering::Relaxed);
+                            *cnt = 0;
+                        }
                     }
                 }
-            }
-            for c in global.iter() {
-                let v = c.load(Ordering::Relaxed);
-                if v > 0 {
-                    load.attach_ue_ticks += v as u64;
-                    load.peak_cell_ues = load.peak_cell_ues.max(v);
-                    if v >= 2 {
-                        load.contended_ue_ticks += v as u64;
+                for c in global.iter() {
+                    let v = c.load(Ordering::Relaxed);
+                    if v > 0 {
+                        load.attach_ue_ticks += v as u64;
+                        load.peak_cell_ues = load.peak_cell_ues.max(v);
+                        if v >= 2 {
+                            load.contended_ue_ticks += v as u64;
+                        }
                     }
                 }
             }
@@ -754,6 +1197,15 @@ fn run_fleet_core<H: SimHook + Send>(
             }
         }
     });
+
+    // scheduler statistics: commutative per-UE sums, so folding them in
+    // shard order is independent of how UEs were distributed
+    let mut sched_total = SchedSummary::default();
+    if scheduled {
+        for sh in shards.iter() {
+            sched_total.absorb(&sh.lock().unwrap().totals);
+        }
+    }
 
     // collect in UE order: summaries, optional traces, telemetry, hooks
     let mut ues = Vec::with_capacity(n);
@@ -777,6 +1229,11 @@ fn run_fleet_core<H: SimHook + Send>(
     // shard-count-dependent diagnostics (never part of the FleetTrace: the
     // trace is byte-identical at any geometry, migrations are not)
     tele.add("fleet.migrations", migrations);
+    if scheduled {
+        tele.add("fleet.skipped_ue_ticks", sched_total.skipped_ue_ticks);
+        tele.add("fleet.sleeps", sched_total.sleeps);
+        tele.add("fleet.load_wakes", sched_total.load_wakes);
+    }
 
     let meta = FleetMeta {
         n_ues: spec.n_ues,
@@ -791,7 +1248,8 @@ fn run_fleet_core<H: SimHook + Send>(
         cells: n_cells as u32,
         ticks,
     };
-    (FleetTrace { meta, ues, load, traces }, hooks)
+    let sched = if scheduled { Some(sched_total) } else { None };
+    (FleetTrace { meta, ues, load, sched, traces }, hooks)
 }
 
 fn finalize<H: SimHook>(
@@ -997,6 +1455,102 @@ mod tests {
         for (h, u) in hooks.iter().zip(&ft.ues) {
             assert_eq!(h.0, u.ticks, "each hook must see exactly its UE's ticks");
         }
+    }
+
+    /// The committed-bench scenario family: SA downtown loop (SA is the
+    /// sleepable architecture — NSA's B1 trigger is SINR-quantity and
+    /// pins every UE to the fixed step).
+    fn sa_city(seed: u64) -> Scenario {
+        ScenarioBuilder::city_loop(Carrier::OpY, seed).arch(Arch::Sa).duration_s(45.0).sample_hz(5.0).build()
+    }
+
+    #[test]
+    fn event_mode_matches_referee_byte_for_byte() {
+        // the tentpole gate in miniature: the event-driven fleet (skips
+        // sleeping UEs, catch_up on wake) must equal the referee (steps
+        // them with sampling off, full control plane) exactly — at every
+        // thread/shard combination
+        let spec = FleetSpec::new(sa_city(201), 10);
+        let referee = run_fleet_exec(&spec, FleetExec::threads(1).shards(1).engine(EngineMode::Referee));
+        let sched = referee.sched.as_ref().expect("scheduled mode must report scheduler stats");
+        assert!(sched.skipped_ue_ticks > 0, "an SA city fleet must actually sleep: {sched:?}");
+        assert!(sched.sleeps > 0);
+        for (threads, shards) in [(1usize, 1usize), (2, 4), (4, 16)] {
+            let ev = run_fleet_exec(&spec, FleetExec::threads(threads).shards(shards).engine(EngineMode::EventDriven));
+            assert_eq!(referee, ev, "event-driven fleet diverged at {threads} threads / {shards} shards");
+        }
+    }
+
+    #[test]
+    fn scheduled_modes_preserve_fixed_control_plane() {
+        // scheduling may only change the data-plane sampling aggregates:
+        // against the fixed engine, every control-plane field and the whole
+        // load summary must be unchanged
+        let spec = FleetSpec::new(sa_city(202), 12);
+        let fixed = run_fleet_exec(&spec, FleetExec::threads(2).shards(4));
+        assert!(fixed.sched.is_none(), "fixed mode must not report scheduler stats");
+        for mode in [EngineMode::Referee, EngineMode::EventDriven] {
+            let ft = run_fleet_exec(&spec, FleetExec::threads(2).shards(4).engine(mode));
+            assert_eq!(ft.meta, fixed.meta, "{mode:?} changed the run metadata");
+            assert_eq!(ft.load, fixed.load, "{mode:?} changed the load summary");
+            for (a, b) in ft.ues.iter().zip(&fixed.ues) {
+                assert_eq!(a.ue, b.ue);
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.start_tick, b.start_tick);
+                assert_eq!(a.reversed, b.reversed);
+                assert_eq!(a.ticks, b.ticks, "UE {} tick count drifted under {mode:?}", a.ue);
+                assert_eq!(a.traveled_m, b.traveled_m, "UE {} position drifted under {mode:?}", a.ue);
+                assert_eq!(a.handovers, b.handovers, "UE {} handovers drifted under {mode:?}", a.ue);
+                assert_eq!(a.ho_failures, b.ho_failures);
+                assert_eq!(a.rlf_count, b.rlf_count);
+                assert_eq!(a.reports, b.reports, "UE {} reports drifted under {mode:?}", a.ue);
+            }
+        }
+    }
+
+    #[test]
+    fn nsa_fleet_never_sleeps_but_still_matches() {
+        // NSA UEs are ineligible (B1 is SINR-quantity): the scheduled modes
+        // degrade to the fixed engine with zero sleeps — and must still be
+        // byte-identical to each other
+        let spec = FleetSpec::new(base(23), 6);
+        let referee = run_fleet_exec(&spec, FleetExec::threads(2).shards(2).engine(EngineMode::Referee));
+        let ev = run_fleet_exec(&spec, FleetExec::threads(2).shards(2).engine(EngineMode::EventDriven));
+        assert_eq!(referee, ev);
+        let sched = referee.sched.as_ref().unwrap();
+        assert_eq!(sched.sleeps, 0, "NSA fleets must stay on the fixed step: {sched:?}");
+        assert_eq!(sched.skipped_ue_ticks, 0);
+    }
+
+    #[test]
+    fn keep_traces_disables_sleeping_entirely() {
+        // trace retention samples every tick, so a keep_traces fleet never
+        // sleeps — and the event-driven trace equals the fixed one exactly
+        let spec = FleetSpec::new(sa_city(204), 4).keep_traces(true);
+        let fixed = run_fleet_exec(&spec, FleetExec::threads(2).shards(2));
+        let ev = run_fleet_exec(&spec, FleetExec::threads(2).shards(2).engine(EngineMode::EventDriven));
+        assert_eq!(ev.sched.as_ref().unwrap().sleeps, 0);
+        assert_eq!(ev.traces, fixed.traces, "with sleeping off the full traces must match the fixed engine");
+        assert_eq!(ev.ues, fixed.ues);
+        assert_eq!(ev.load, fixed.load);
+    }
+
+    #[test]
+    fn load_wakes_fire_and_stay_deterministic() {
+        // satellite: a sleeping UE must be woken early when migrating
+        // neighbors change its serving cell's load share. Co-routed UEs
+        // with zero stagger churn cell populations constantly; across a
+        // seed sweep at least one sleep must end in a load-wake, and every
+        // run must stay mode- and geometry-deterministic.
+        let mut load_wakes = 0u64;
+        for seed in [205u64, 206, 207, 208] {
+            let spec = FleetSpec::new(sa_city(seed), 12).stagger_s(0.0);
+            let referee = run_fleet_exec(&spec, FleetExec::threads(1).shards(2).engine(EngineMode::Referee));
+            let ev = run_fleet_exec(&spec, FleetExec::threads(2).shards(8).engine(EngineMode::EventDriven));
+            assert_eq!(referee, ev, "load-coupled wakeups diverged at seed {seed}");
+            load_wakes += referee.sched.as_ref().unwrap().load_wakes;
+        }
+        assert!(load_wakes > 0, "no sleep was ever cut short by a neighbor's load change across the seed sweep");
     }
 
     mod prop {

@@ -25,7 +25,9 @@
 //!   tradition of making adverse conditions reproducible;
 //! * [`hook`] — observation hooks for external invariant checkers;
 //! * [`cache`] — once-per-scenario trace sharing for parallel sweeps;
-//! * [`fleet`] — N load-coupled UEs against one shared deployment.
+//! * [`fleet`] — N load-coupled UEs against one shared deployment;
+//! * [`wheel`] — the hierarchical calendar-wheel [`EventQueue`] behind the
+//!   event-driven engine mode.
 
 pub mod cache;
 pub mod engine;
@@ -34,16 +36,21 @@ pub mod fleet;
 pub mod hook;
 pub mod scenario;
 pub mod trace;
+pub mod wheel;
 
 pub use cache::TraceCache;
-pub use engine::{run_hooked, run_reference, run_reference_hooked, run_reference_instrumented};
+pub use engine::{
+    run_des, run_des_instrumented, run_hooked, run_reference, run_reference_hooked, run_reference_instrumented,
+    run_stepped_summary, DesSummary,
+};
 pub use fault::FaultConfig;
 pub use fiveg_telemetry::{Telemetry, TelemetryConfig};
 pub use fleet::{
     run_fleet, run_fleet_exec, run_fleet_exec_instrumented, run_fleet_exec_observed, run_fleet_instrumented,
-    run_fleet_observed, CellLoadView, FleetExec, FleetMeta, FleetSpec, FleetTrace, LoadSummary, ShardMap, UePlan,
-    UeSummary,
+    run_fleet_observed, CellLoadView, FleetExec, FleetMeta, EngineMode, FleetSpec, FleetTrace, LoadSummary, SchedSummary,
+    ShardMap, UePlan, UeSummary,
 };
 pub use hook::{AttachReason, ServingCells, SimHook, TickView};
 pub use scenario::{Scenario, ScenarioBuilder, Workload};
 pub use trace::{CellDictEntry, FlowLog, MrRecord, Trace, TraceMeta, TraceSample};
+pub use wheel::EventQueue;

@@ -1,7 +1,7 @@
 //! Minimal deterministic JSON assembly.
 //!
 //! Every machine-readable artifact in the workspace — the benchmark reports
-//! (`fiveg-sweep/v1`, `fiveg-tick/v1`, `fiveg-fleet/v2`, `fiveg-fuzz/v1`,
+//! (`fiveg-sweep/v1`, `fiveg-tick/v2`, `fiveg-fleet/v3`, `fiveg-fuzz/v1`,
 //! `fiveg-vivisect/v1`) and the flight-recorder dumps (`fiveg-flightrec/v1`)
 //! — is diffed byte-for-byte by the determinism CI, so serialization must
 //! not depend on any serializer's formatting choices. [`JsonBuf`] is the

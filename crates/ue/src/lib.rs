@@ -18,5 +18,5 @@ pub mod mobility;
 pub mod power;
 
 pub use conn::{RrcConnState, PING_INTERVAL_S, RRC_TAIL_S};
-pub use mobility::{MobilityDriver, SpeedProfile};
+pub use mobility::{MobilityDriver, MobilityPeek, SpeedProfile};
 pub use power::PowerModel;

@@ -129,6 +129,65 @@ impl MobilityDriver {
         self.dist = (self.dist + v * dt).min(self.route.length());
         self.t += dt;
     }
+
+    /// Replays `steps` future [`MobilityDriver::step`] calls of `dt` without
+    /// mutating the driver, returning `(travel_m, finished)` — the exact
+    /// distance the driver will cover and whether it reaches the route end.
+    /// Bit-identical to stepping a clone: same midpoint rule, same clamp,
+    /// same accumulation order, so schedulers can bound future movement
+    /// without risking drift from a closed-form approximation.
+    pub fn peek_steps(&self, dt: f64, steps: u64) -> (f64, bool) {
+        let mut peek = self.peek();
+        for _ in 0..steps {
+            peek.step(dt);
+        }
+        (peek.travel(), peek.finished())
+    }
+
+    /// A forward scanner over the driver's future: starts at the current
+    /// state and advances tick by tick without mutating (or cloning — the
+    /// route stays borrowed) the driver. Each [`MobilityPeek::step`] is
+    /// bit-identical to a [`MobilityDriver::step`] on a stepped clone, so a
+    /// scheduler can interrogate every intermediate position of a candidate
+    /// window, not just its end state.
+    pub fn peek(&self) -> MobilityPeek<'_> {
+        MobilityPeek { drv: self, t: self.t, dist: self.dist }
+    }
+}
+
+/// Zero-allocation cursor over a [`MobilityDriver`]'s future steps — see
+/// [`MobilityDriver::peek`].
+#[derive(Debug, Clone)]
+pub struct MobilityPeek<'a> {
+    drv: &'a MobilityDriver,
+    t: f64,
+    dist: f64,
+}
+
+impl MobilityPeek<'_> {
+    /// Advances the cursor by one future `step(dt)`: same midpoint rule,
+    /// same end-of-route clamp, same accumulation order as the driver.
+    pub fn step(&mut self, dt: f64) {
+        let v = self.drv.profile.speed_at(self.t + dt / 2.0);
+        self.dist = (self.dist + v * dt).min(self.drv.route.length());
+        self.t += dt;
+    }
+
+    /// Position at the cursor.
+    pub fn position(&self) -> Point {
+        self.drv.route.point_at(self.dist)
+    }
+
+    /// Path distance covered between the driver's current state and the
+    /// cursor, m.
+    pub fn travel(&self) -> f64 {
+        self.dist - self.drv.dist
+    }
+
+    /// True once the cursor has consumed the whole route.
+    pub fn finished(&self) -> bool {
+        self.dist >= self.drv.route.length()
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +254,40 @@ mod tests {
         let p = d.position();
         assert!((p.x - 13.0).abs() < 0.1);
         assert_eq!(p.y, 0.0);
+    }
+
+    #[test]
+    fn peek_matches_stepped_clone_exactly() {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 2_000.0);
+        let mut d = MobilityDriver::new(route, SpeedProfile::city(50.0));
+        for i in 0..400u64 {
+            let (travel, fin) = d.peek_steps(0.1, 1 + i % 37);
+            let mut clone = d.clone();
+            for _ in 0..(1 + i % 37) {
+                clone.step(0.1);
+            }
+            assert_eq!(travel, clone.distance() - d.distance(), "step {i}");
+            assert_eq!(fin, clone.finished(), "step {i}");
+            d.step(0.1);
+        }
+    }
+
+    #[test]
+    fn peek_cursor_matches_stepped_clone_exactly() {
+        let route = routes::freeway_leg(Point::ORIGIN, 0.0, 1_500.0);
+        let mut d = MobilityDriver::new(route, SpeedProfile::city(40.0));
+        for i in 0..300u64 {
+            let mut peek = d.peek();
+            let mut clone = d.clone();
+            for j in 0..40 {
+                peek.step(0.1);
+                clone.step(0.1);
+                assert_eq!(peek.position(), clone.position(), "step {i} sub {j}");
+                assert_eq!(peek.travel(), clone.distance() - d.distance(), "step {i} sub {j}");
+                assert_eq!(peek.finished(), clone.finished(), "step {i} sub {j}");
+            }
+            d.step(0.1);
+        }
     }
 
     #[test]

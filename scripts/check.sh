@@ -145,7 +145,11 @@ run_vivisect() {
 # and shared CI runners drift more than any sane tolerance, so raw
 # throughput is printed as an advisory comparison, never a failure.
 # tick_bench runs the full scenario set because the committed baseline is
-# full-mode (smoke's smaller scenario has different work counts);
+# full-mode (smoke's smaller scenario has different work counts); its v2
+# des section first proves each des scenario's event-driven summary equal
+# to the stepped twin, then enforces the machine-independent
+# skip_ratio >= 0.5 floor outright and bands logical tick counts and
+# skip_ratio against the baseline (UE·ticks/s stays advisory);
 # fleet_bench runs --smoke, whose per-size parameters match the full
 # baseline's up to the 10k-UE point (full adds only 100k), and pins
 # --threads 1 --shards 16 to match the committed baseline's geometry (a
@@ -154,14 +158,20 @@ run_vivisect() {
 # shards is where the 10k-UE point peaks on one thread). Baseline rows
 # are paired by their n_ues value, so a reordered
 # or extended baseline can never gate against the wrong row.
-# --verify-shards adds the third machine-independent gate: the same fleet
-# run with 1 and 4 shards must produce identical FleetTraces. CI uploads
+# --verify-shards adds the other machine-independent gates: the same fleet
+# run with 1 and 4 shards must produce identical FleetTraces, and the
+# event-driven scheduler must be byte-identical to its FixedScheduled
+# referee (plus control-plane-identical to the plain fixed path) before
+# any timing starts. --event-driven then times every size in both
+# fixed-step and event-driven modes: skip_ratio gates as a band (it is a
+# deterministic work count for the pinned scenario) and event_speedup as
+# higher-is-better (a same-run ratio, so runner speed cancels). CI uploads
 # BENCH_tick_ci.json / BENCH_fleet_ci.json as artifacts.
 run_perf() {
     echo "== perf gate (tick_bench + fleet_bench vs committed baselines, tol 15%)"
     cargo build -q --release --bin tick_bench --bin fleet_bench
     target/release/tick_bench --out BENCH_tick_ci.json --baseline BENCH_tick.json --tol 0.15
-    target/release/fleet_bench --smoke --threads 1 --shards 16 --verify-shards \
+    target/release/fleet_bench --smoke --threads 1 --shards 16 --verify-shards --event-driven \
         --out BENCH_fleet_ci.json --baseline BENCH_fleet.json --tol 0.15
     python3 -m json.tool BENCH_tick_ci.json >/dev/null
     python3 -m json.tool BENCH_fleet_ci.json >/dev/null

@@ -11,7 +11,8 @@
 #   scripts/localcheck.sh build     # just compile the workspace
 #   scripts/localcheck.sh test      # dependency-free unit tests (telemetry)
 #   scripts/localcheck.sh smoke     # sweep determinism gate (1 vs 4 threads)
-#   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference)
+#   scripts/localcheck.sh tick      # tick_bench smoke (snapshot vs reference, des skip floor)
+#   scripts/localcheck.sh des       # des equivalence harness (event-driven vs stepped engine)
 #   scripts/localcheck.sh fleet     # fleet_bench smoke (1 vs 4 threads, deterministic fields)
 #   scripts/localcheck.sh fuzz      # oracle self-test + corpus replay + bounded fuzz
 #   scripts/localcheck.sh vivisect  # ho_vivisect smoke (span/counter reconciliation, 1 vs 4 threads)
@@ -108,11 +109,11 @@ run_build() {
         -o "$OUT/ho_vivisect"
 }
 
-# Unit tests runnable offline: telemetry has zero external deps; the bench
-# crate's tests (sweep harness, driver metrics, the run_ordered property)
-# run against the functional stubs; so does the workspace determinism
-# integration test. Crates whose tests exercise real serde_json at runtime
-# (sim) run under cargo in CI only.
+# Unit tests runnable offline: telemetry has zero external deps; the
+# radio/ue/ran/sim/bench crates' tests (proptests included) run against the
+# functional stubs; so do the workspace determinism integration tests. The
+# handful of tests that exercise real serde_json at runtime are --skip'ed
+# here and run under cargo in CI only.
 run_test() {
     # reconstruct the extern list from a prior `build` when run standalone
     if [ ${#EXTERNS[@]} -eq 0 ]; then
@@ -131,6 +132,28 @@ run_test() {
     rustc --edition 2021 --test crates/telemetry/src/lib.rs \
         -L "$OUT" "${EXTERNS[@]}" -o "$OUT/telemetry_test"
     "$OUT/telemetry_test" --quiet
+
+    echo "== radio unit tests (noise memo bit-identity, smoothing/rrs proptests)"
+    rustc --edition 2021 -O --test --crate-name fiveg_radio crates/radio/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/radio_test"
+    "$OUT/radio_test" --quiet
+
+    echo "== ue unit tests (mobility peek cursor, route proptests)"
+    rustc --edition 2021 -O --test --crate-name fiveg_ue crates/ue/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/ue_test"
+    "$OUT/ue_test" --quiet
+
+    echo "== ran unit tests (deployment sup tables, pattern bounds, measure legs)"
+    rustc --edition 2021 -O --test --crate-name fiveg_ran crates/ran/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/ran_test"
+    "$OUT/ran_test" --quiet
+
+    echo "== sim unit tests (wakeup soundness, fleet scheduler; serde-bound tests skipped)"
+    rustc --edition 2021 -O --test --crate-name fiveg_sim crates/sim/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/sim_test"
+    "$OUT/sim_test" --quiet --skip json --skip save_load_round_trips \
+        --skip enabled_journal_is_deterministic --skip telemetry_does_not_perturb_trace \
+        --skip zero_probability_faults_are_byte_identical_to_none
 
     echo "== trace unit tests (span assembler, flight recorder, absorb)"
     rustc --edition 2021 -O --test --crate-name fiveg_trace crates/trace/src/lib.rs \
@@ -180,11 +203,35 @@ run_tick() {
     echo "== tick benchmark smoke (snapshot vs reference engine path)"
     [ -x "$OUT/tick_bench" ] || { echo "run 'scripts/localcheck.sh build' first" >&2; exit 1; }
     "$OUT/tick_bench" --smoke --out "$OUT/tick_smoke.json"
-    grep -q '"schema":"fiveg-tick/v1"' "$OUT/tick_smoke.json" || {
-        echo "tick_bench report missing fiveg-tick/v1 schema" >&2
+    grep -q '"schema":"fiveg-tick/v2"' "$OUT/tick_smoke.json" || {
+        echo "tick_bench report missing fiveg-tick/v2 schema" >&2
+        exit 1
+    }
+    # the binary itself enforces the skip_ratio >= 0.5 floor and exits
+    # nonzero below it; here we only require the v2 des section to exist
+    grep -q '"skip_ratio":' "$OUT/tick_smoke.json" || {
+        echo "tick_bench report missing des skip metrics" >&2
         exit 1
     }
     echo "   report OK ($(wc -c <"$OUT/tick_smoke.json") bytes)"
+}
+
+run_des() {
+    echo "== workspace des equivalence harness (stepped engine as proof oracle)"
+    if [ ${#EXTERNS[@]} -eq 0 ]; then
+        local f name
+        for f in "$OUT"/lib*.rlib "$OUT"/lib*.so; do
+            [ -e "$f" ] || continue
+            name="$(basename "$f")"
+            name="${name#lib}"
+            name="${name%.rlib}"
+            name="${name%.so}"
+            EXTERNS+=(--extern "$name=$f")
+        done
+    fi
+    rustc --edition 2021 -O --test tests/des_equivalence.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/des_equivalence_test"
+    "$OUT/des_equivalence_test" --quiet
 }
 
 run_fuzz() {
@@ -220,21 +267,37 @@ run_fleet() {
         --out "$OUT/fleet_smoke_t1.json"
     "$OUT/fleet_bench" --smoke --sizes 1,10,100,1000 --threads 4 --shards 4 \
         --out "$OUT/fleet_smoke_t4.json"
-    grep -q '"schema":"fiveg-fleet/v2"' "$OUT/fleet_smoke_t1.json" || {
-        echo "fleet_bench report missing fiveg-fleet/v2 schema" >&2
+    # the event-driven run at 1 thread / 1 shard: --event-driven makes
+    # bench_size itself fail if the event path's ue_ticks diverge from the
+    # fixed run's, and the report carries the skip metrics we grep below
+    "$OUT/fleet_bench" --smoke --sizes 1,10,100,1000 --threads 1 --shards 1 --event-driven \
+        --out "$OUT/fleet_smoke_ev.json"
+    grep -q '"schema":"fiveg-fleet/v3"' "$OUT/fleet_smoke_t1.json" || {
+        echo "fleet_bench report missing fiveg-fleet/v3 schema" >&2
+        exit 1
+    }
+    grep -q '"skipped_ue_ticks":' "$OUT/fleet_smoke_ev.json" || {
+        echo "event-driven fleet report missing skip metrics" >&2
         exit 1
     }
     # wall-clock fields differ run to run (and migrations is shard-relative
-    # bookkeeping); the workload-deterministic ones must not
-    local det1 det4
+    # bookkeeping); the workload-deterministic ones must not — across thread
+    # counts, shard counts AND the fixed-vs-event-driven stepping mode
+    local det1 det4 detev
     det1=$(grep -o '"ue_ticks":[0-9]*\|"ticks":[0-9]*\|"peak_cell_ues":[0-9]*\|"contended_ue_ticks":[0-9]*' "$OUT/fleet_smoke_t1.json")
     det4=$(grep -o '"ue_ticks":[0-9]*\|"ticks":[0-9]*\|"peak_cell_ues":[0-9]*\|"contended_ue_ticks":[0-9]*' "$OUT/fleet_smoke_t4.json")
+    detev=$(grep -o '"ue_ticks":[0-9]*\|"ticks":[0-9]*\|"peak_cell_ues":[0-9]*\|"contended_ue_ticks":[0-9]*' "$OUT/fleet_smoke_ev.json")
     if [ "$det1" != "$det4" ]; then
         echo "fleet deterministic fields differ across thread/shard counts:" >&2
         diff <(echo "$det1") <(echo "$det4") >&2 || true
         exit 1
     fi
-    echo "   deterministic fields identical across thread and shard counts"
+    if [ "$det1" != "$detev" ]; then
+        echo "fleet deterministic fields differ between fixed and event-driven stepping:" >&2
+        diff <(echo "$det1") <(echo "$detev") >&2 || true
+        exit 1
+    fi
+    echo "   deterministic fields identical across thread/shard counts and stepping modes"
 }
 
 run_vivisect() {
@@ -333,6 +396,7 @@ case "$step" in
         run_test
         run_smoke
         run_tick
+        run_des
         run_fleet
         run_fuzz
         run_vivisect
@@ -341,13 +405,14 @@ case "$step" in
     test) run_test ;;
     smoke) run_smoke ;;
     tick) run_tick ;;
+    des) run_des ;;
     fleet) run_fleet ;;
     fuzz) run_fuzz ;;
     vivisect) run_vivisect ;;
     doc) run_doc ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|fleet|fuzz|vivisect|doc|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|des|fleet|fuzz|vivisect|doc|perf]" >&2
         exit 2
         ;;
 esac

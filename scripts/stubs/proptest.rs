@@ -1,9 +1,14 @@
 //! Offline stub for `proptest` (see README.md): functional, minimal. Real
 //! proptest does strategy composition, shrinking and persistence; this
-//! stub supports exactly what `fiveg-bench`'s property tests use — the
-//! `proptest!` macro, integer-range strategies and `collection::vec` —
-//! sampling a fixed number of deterministic cases per test (no shrinking).
-//! Enough to execute the properties offline; CI runs the real crate.
+//! stub supports what the workspace's property tests use — the `proptest!`
+//! macro (with an optional `proptest_config` inner attribute), numeric
+//! range strategies, `any::<T>()`, tuples of strategies, `prop_map`,
+//! `prop_oneof!`, `Just`, `collection::vec`, `option::of`,
+//! `sample::select` and `bool::ANY` — sampling a fixed number of
+//! deterministic cases per test (no shrinking). Enough to execute the
+//! properties offline; CI runs the real crate.
+
+use std::marker::PhantomData;
 
 /// SplitMix64 case generator (deterministic across runs).
 pub struct Rng(u64);
@@ -20,27 +25,245 @@ impl Rng {
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^ (x >> 31)
     }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test run configuration (real proptest has many more knobs; the
+/// stub honors only the case count).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
 }
 
 /// A source of sampled values (real proptest's Strategy, minus shrinking).
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut Rng) -> Self::Value;
-}
 
-impl Strategy for std::ops::Range<u64> {
-    type Value = u64;
-    fn sample(&self, rng: &mut Rng) -> u64 {
-        assert!(self.start < self.end);
-        self.start + rng.next_u64() % (self.end - self.start)
+    /// Maps sampled values through `f` — real proptest's `prop_map`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { s: self, f }
     }
 }
 
-impl Strategy for std::ops::Range<usize> {
-    type Value = usize;
-    fn sample(&self, rng: &mut Rng) -> usize {
+/// [`Strategy::prop_map`]'s strategy.
+pub struct Map<S, F> {
+    s: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        (self.f)(self.s.sample(rng))
+    }
+}
+
+/// A constant strategy — real proptest's `Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end);
+                    self.start + (rng.next_u64() % (self.end - self.start) as u64) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng) -> f64 {
         assert!(self.start < self.end);
-        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi);
+        // hit the endpoints occasionally — boundary/clamping code is what
+        // inclusive-range properties usually exercise
+        match rng.next_u64() % 16 {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+}
+
+/// Types with a canonical unconstrained strategy — real proptest's
+/// `Arbitrary`, reduced to direct sampling.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut Rng) -> Option<T> {
+        if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($s:ident),+))+) => {
+        $(
+            impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+                fn arbitrary(rng: &mut Rng) -> Self {
+                    ($($s::arbitrary(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_arbitrary! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// [`any`]'s strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// The unconstrained strategy for `T` — real proptest's `any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Boxes a strategy for heterogeneous composition (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies — `prop_oneof!`'s
+/// backing strategy (real proptest also supports weighted arms; the stub
+/// does not).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+pub mod bool {
+    use super::{Rng, Strategy};
+
+    /// [`ANY`]'s strategy.
+    pub struct AnyBool;
+
+    /// `proptest::bool::ANY` — a uniform boolean.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
     }
 }
 
@@ -66,21 +289,91 @@ pub mod collection {
     }
 }
 
-/// Runs each property as a plain test over 48 deterministic cases.
+pub mod option {
+    use super::{Rng, Strategy};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)` — `None` a quarter of the time, else `Some(sample)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Rng, Strategy};
+
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// `select(items)` — a uniform draw from a non-empty Vec.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty Vec");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            let i = (rng.next_u64() % self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Runs each property as a plain test over a deterministic case sweep —
+/// 48 cases unless a `proptest_config` inner attribute says otherwise.
 #[macro_export]
 macro_rules! proptest {
-    ($($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$attr])+
             fn $name() {
+                let __cases: u32 = ($cfg).cases;
                 let mut __rng = $crate::Rng::new(0xC0FF_EE00_5EED_0001);
-                for __case in 0..48u64 {
+                for __case in 0..__cases {
                     let _ = __case;
                     $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
                     $body
                 }
             }
         )+
+    };
+    ($($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::with_cases(48))]
+            $($(#[$attr])+ fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        assert!($cond, $($arg)+)
     };
 }
 
@@ -91,5 +384,12 @@ macro_rules! prop_assert_eq {
     };
     ($left:expr, $right:expr, $($arg:tt)+) => {
         assert_eq!($left, $right, $($arg)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
     };
 }

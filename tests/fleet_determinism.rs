@@ -10,12 +10,18 @@
 use fiveg_oracle::Oracle;
 use fiveg_ran::{Arch, Carrier, Deployment};
 use fiveg_sim::{
-    run_fleet, run_fleet_exec, run_fleet_exec_instrumented, FleetExec, FleetSpec, Scenario, ScenarioBuilder, ShardMap,
-    Telemetry, TelemetryConfig,
+    run_fleet, run_fleet_exec, run_fleet_exec_instrumented, EngineMode, FleetExec, FleetSpec, Scenario,
+    ScenarioBuilder, ShardMap, Telemetry, TelemetryConfig,
 };
 
 fn base(seed: u64) -> Scenario {
     ScenarioBuilder::freeway(Carrier::OpY, Arch::Nsa, 4.0, seed).duration_s(60.0).sample_hz(5.0).build()
+}
+
+/// A sleep-eligible base: SA (no SINR-quantity B1 config) on the city loop
+/// with an idle workload, so the event-driven scheduler actually parks UEs.
+fn quiet_base(seed: u64) -> Scenario {
+    ScenarioBuilder::city_loop(Carrier::OpY, seed).arch(Arch::Sa).duration_s(50.0).sample_hz(5.0).build()
 }
 
 #[test]
@@ -30,9 +36,9 @@ fn fleet_trace_is_identical_across_thread_counts() {
 #[test]
 fn fleet_trace_is_identical_across_shard_counts() {
     let spec = FleetSpec::new(base(31), 9).keep_traces(true);
-    let one = run_fleet_exec(&spec, FleetExec { threads: 2, shards: 1 });
+    let one = run_fleet_exec(&spec, FleetExec::threads(2).shards(1));
     for shards in [2, 8] {
-        let many = run_fleet_exec(&spec, FleetExec { threads: 2, shards });
+        let many = run_fleet_exec(&spec, FleetExec::threads(2).shards(shards));
         assert_eq!(one, many, "fleet output changed at {shards} shards");
     }
 }
@@ -46,7 +52,7 @@ fn ue_crosses_shard_boundary_mid_handover() {
     // byte for byte.
     let spec = FleetSpec::new(base(36), 10).keep_traces(true);
     let tele = Telemetry::new(TelemetryConfig::deterministic());
-    let sharded = run_fleet_exec_instrumented(&spec, FleetExec { threads: 2, shards: 8 }, &tele);
+    let sharded = run_fleet_exec_instrumented(&spec, FleetExec::threads(2).shards(8), &tele);
     assert!(tele.counter_value("fleet.migrations") > 0, "freeway UEs must cross 8 shard bands");
 
     let s = &spec.base;
@@ -68,7 +74,7 @@ fn ue_crosses_shard_boundary_mid_handover() {
         .any(|(tr, h)| shard_at(tr, h.t_decision) != shard_at(tr, h.t_complete));
     assert!(crossing, "expected at least one handover spanning a shard boundary");
 
-    let single = run_fleet_exec(&spec, FleetExec { threads: 1, shards: 1 });
+    let single = run_fleet_exec(&spec, FleetExec::threads(1).shards(1));
     assert_eq!(single, sharded, "a mid-handover migration must not change the output");
 }
 
@@ -79,7 +85,7 @@ fn cell_load_shares_sum_correctly_after_boundary_exchange() {
     // imply. With no stagger every UE's sample k happens at global tick k,
     // so the per-tick per-cell attach counts can be rebuilt exactly.
     let spec = FleetSpec::new(base(37), 8).stagger_s(0.0).keep_traces(true);
-    let ft = run_fleet_exec(&spec, FleetExec { threads: 2, shards: 8 });
+    let ft = run_fleet_exec(&spec, FleetExec::threads(2).shards(8));
 
     let n_cells = ft.meta.cells as usize;
     let max_ticks = ft.traces.iter().map(|tr| tr.samples.len()).max().unwrap();
@@ -122,6 +128,67 @@ fn size_one_fleet_reproduces_single_run() {
 }
 
 #[test]
+fn event_driven_fleet_matches_referee_across_geometries() {
+    // the FixedScheduled referee steps sleeping UEs with the full control
+    // plane (just unsampled), so FleetTrace equality proves every granted
+    // sleep window was genuinely inert — at any thread/shard geometry
+    let spec = FleetSpec::new(quiet_base(41), 12);
+    let referee = run_fleet_exec(&spec, FleetExec::threads(1).shards(1).engine(EngineMode::Referee));
+    let sched = referee.sched.as_ref().expect("scheduled mode records a SchedSummary");
+    assert!(sched.sleeps > 0, "the quiet fleet must actually sleep or this test is vacuous");
+    assert!(sched.skipped_ue_ticks > 0);
+    for (threads, shards) in [(1, 1), (2, 4), (4, 8)] {
+        let event = run_fleet_exec(&spec, FleetExec::threads(threads).shards(shards).engine(EngineMode::EventDriven));
+        assert_eq!(referee, event, "event-driven output diverged at {threads} threads / {shards} shards");
+    }
+}
+
+#[test]
+fn event_driven_matrix_is_byte_identical_across_geometries() {
+    // the full worker × shard matrix: every geometry must produce the same
+    // FleetTrace bit pattern, scheduler accounting included — a sleep
+    // schedule that depends on which shard owns a UE, or on how wakeups
+    // interleave with migration, shows up here as a single-cell divergence
+    let spec = FleetSpec::new(quiet_base(44), 10);
+    let baseline = run_fleet_exec(&spec, FleetExec::threads(1).shards(1).engine(EngineMode::EventDriven));
+    assert!(
+        baseline.sched.as_ref().is_some_and(|s| s.sleeps > 0 && s.skipped_ue_ticks > 0),
+        "the quiet fleet must actually sleep or the matrix is vacuous"
+    );
+    for threads in [1, 2, 4] {
+        for shards in [1, 2, 8] {
+            let run = run_fleet_exec(&spec, FleetExec::threads(threads).shards(shards).engine(EngineMode::EventDriven));
+            assert_eq!(baseline, run, "event-driven output changed at {threads} threads / {shards} shards");
+        }
+    }
+}
+
+#[test]
+fn event_driven_fleet_preserves_fixed_control_plane() {
+    // fixed vs event-driven: identical meta, load summary and per-UE
+    // control-plane fields; only the data-plane sampling aggregates may
+    // differ (sleeping UEs do not sample)
+    let spec = FleetSpec::new(quiet_base(42), 10);
+    let fixed = run_fleet_exec(&spec, FleetExec::threads(2).shards(4));
+    let event = run_fleet_exec(&spec, FleetExec::threads(2).shards(4).engine(EngineMode::EventDriven));
+    assert!(fixed.sched.is_none(), "the fixed path must not grow scheduler state");
+    assert_eq!(fixed.meta, event.meta);
+    assert_eq!(fixed.load, event.load);
+    assert_eq!(fixed.ues.len(), event.ues.len());
+    for (f, e) in fixed.ues.iter().zip(event.ues.iter()) {
+        assert_eq!((f.ue, f.seed, f.start_tick, f.reversed), (e.ue, e.seed, e.start_tick, e.reversed));
+        assert_eq!(f.ticks, e.ticks, "UE {} executed a different number of ticks", f.ue);
+        assert_eq!(f.traveled_m, e.traveled_m);
+        assert_eq!(
+            (f.handovers, f.ho_failures, f.rlf_count, f.reports),
+            (e.handovers, e.ho_failures, e.rlf_count, e.reports),
+            "UE {} control plane diverged under event-driven stepping",
+            f.ue
+        );
+    }
+}
+
+#[test]
 fn fleet_trace_is_byte_identical_across_thread_counts_json() {
     let spec = FleetSpec::new(base(32), 9).keep_traces(true);
     let one = serde_json::to_string(&run_fleet(&spec, 1)).unwrap();
@@ -134,11 +201,20 @@ fn fleet_trace_is_byte_identical_across_thread_counts_json() {
 #[test]
 fn fleet_trace_is_byte_identical_across_shard_counts_json() {
     let spec = FleetSpec::new(base(32), 9).keep_traces(true);
-    let one = serde_json::to_string(&run_fleet_exec(&spec, FleetExec { threads: 2, shards: 1 })).unwrap();
+    let one = serde_json::to_string(&run_fleet_exec(&spec, FleetExec::threads(2).shards(1))).unwrap();
     for shards in [2, 8] {
-        let sharded = serde_json::to_string(&run_fleet_exec(&spec, FleetExec { threads: 2, shards })).unwrap();
+        let sharded = serde_json::to_string(&run_fleet_exec(&spec, FleetExec::threads(2).shards(shards))).unwrap();
         assert_eq!(one, sharded, "serialized fleet changed at {shards} shards");
     }
+}
+
+#[test]
+fn event_driven_fleet_is_byte_identical_to_referee_json() {
+    let spec = FleetSpec::new(quiet_base(43), 8);
+    let referee = run_fleet_exec(&spec, FleetExec::threads(2).shards(1).engine(EngineMode::Referee));
+    let event = run_fleet_exec(&spec, FleetExec::threads(2).shards(8).engine(EngineMode::EventDriven));
+    assert!(referee.sched.as_ref().is_some_and(|s| s.sleeps > 0), "fleet must sleep for the bytes to mean anything");
+    assert_eq!(serde_json::to_string(&referee).unwrap(), serde_json::to_string(&event).unwrap());
 }
 
 #[test]
@@ -156,7 +232,7 @@ fn per_ue_oracles_stay_clean_under_load() {
     // plane the oracle shadows
     let spec = FleetSpec::new(base(34), 6).stagger_s(5.0);
     let (ft, oracles) =
-        fiveg_sim::run_fleet_exec_observed(&spec, FleetExec { threads: 2, shards: 8 }, &Telemetry::disabled(), |ue| {
+        fiveg_sim::run_fleet_exec_observed(&spec, FleetExec::threads(2).shards(8), &Telemetry::disabled(), |ue| {
             Oracle::new(spec.base.arch, u64::from(ue))
         });
     assert_eq!(oracles.len(), 6);

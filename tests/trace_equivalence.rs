@@ -9,7 +9,7 @@
 //! even a serialization-ordering drift would be caught.
 
 use fiveg_ran::{Arch, Carrier};
-use fiveg_sim::{engine, Scenario, ScenarioBuilder, Trace};
+use fiveg_sim::{engine, run_fleet_exec, FleetExec, EngineMode, FleetSpec, Scenario, ScenarioBuilder, Trace};
 
 fn scenario(arch: Arch, seed: u64) -> Scenario {
     let carrier = if arch == Arch::Sa { Carrier::OpX } else { Carrier::OpY };
@@ -41,6 +41,33 @@ fn snapshot_and_reference_paths_produce_byte_identical_traces() {
         assert_eq!(reloaded, snapshot, "{arch:?}: save/load round trip drifted");
         let _ = std::fs::remove_file(&snap_path);
         let _ = std::fs::remove_file(&ref_path);
+    }
+}
+
+#[test]
+fn event_driven_fleet_matches_reference_path_byte_for_byte() {
+    // closes the triangle: run_reference (naive fixed-step) == snapshot
+    // engine == event-driven fleet scheduler, for every architecture, down
+    // to serialized bytes. run_reference stays fixed-step on purpose — it
+    // is the referee the event-driven path is judged against.
+    let dir = std::env::temp_dir();
+    for (arch, seed) in [(Arch::Nsa, 34_u64), (Arch::Sa, 35), (Arch::Lte, 36)] {
+        let carrier = if arch == Arch::Sa { Carrier::OpX } else { Carrier::OpY };
+        let s = ScenarioBuilder::city_loop(carrier, seed).arch(arch).duration_s(60.0).sample_hz(5.0).build();
+        let reference = engine::run_reference(&s);
+        let event = run_fleet_exec(
+            &FleetSpec::new(s, 1).keep_traces(true),
+            FleetExec::threads(1).shards(1).engine(EngineMode::EventDriven),
+        );
+        assert_eq!(event.traces[0], reference, "{arch:?}: event-driven trace diverges from the reference path");
+
+        let ref_path = dir.join(format!("trace_eq_ref_ed_{arch:?}_{seed}.json"));
+        let ev_path = dir.join(format!("trace_eq_ev_{arch:?}_{seed}.json"));
+        let ref_bytes = saved_bytes(&reference, &ref_path);
+        let ev_bytes = saved_bytes(&event.traces[0], &ev_path);
+        assert_eq!(ref_bytes, ev_bytes, "{arch:?}: serialized traces are not byte-identical");
+        let _ = std::fs::remove_file(&ref_path);
+        let _ = std::fs::remove_file(&ev_path);
     }
 }
 
