@@ -407,6 +407,20 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // A baseline from a different schema generation must never gate
+        // this report (see fleet_bench): anchors would pair rows whose
+        // metrics no longer mean the same thing. Fail loudly instead.
+        match perfgate::schema_of(&committed) {
+            Some(s) if s == "fiveg-tick/v2" => {}
+            got => {
+                eprintln!(
+                    "tick_bench: baseline {path} has schema {} but this binary writes fiveg-tick/v2 — \
+                     regenerate the baseline instead of gating across schema versions",
+                    got.map_or_else(|| "(none)".into(), |s| format!("'{s}'"))
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         let snap = |metric: &str| perfgate::metric_after(&committed, r#""path":"snapshot""#, metric);
         let (Some(b_ticks), Some(b_apt), Some(b_speedup), Some(b_tps)) = (
             snap("ticks"),

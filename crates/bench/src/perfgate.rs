@@ -157,6 +157,20 @@ pub fn metric_anywhere(json: &str, metric: &str) -> Option<f64> {
     tail[..stop].trim().parse::<f64>().ok()
 }
 
+/// Extracts the **string** value of `metric` from the entry object of
+/// `json` identified by `anchor`, with the same scoping rules as
+/// [`metric_after`]. This is how non-numeric gated fields — the serve
+/// report's prediction-equivalence `equiv_digest` — are compared: string
+/// gates are exact-match (a digest has no tolerance band). Returns `None`
+/// when the anchor, the metric, or the closing quote is absent.
+pub fn str_after<'a>(json: &'a str, anchor: &str, metric: &str) -> Option<&'a str> {
+    let rest = &json[json.find(anchor)? + anchor.len()..];
+    let scope = &rest[..rest.find('}').unwrap_or(rest.len())];
+    let key = format!("\"{metric}\":\"");
+    let tail = &scope[scope.find(&key)? + key.len()..];
+    Some(&tail[..tail.find('"')?])
+}
+
 /// Extracts `metric` from the fleet-report entry whose `"n_ues"` **value**
 /// equals `n_ues`. Every `"n_ues":` occurrence is parsed and compared
 /// numerically, so the pairing is keyed by size — a reordered or extended
@@ -300,6 +314,21 @@ mod tests {
         // at the closing brace of the anchored one
         let j = r#"[{"n_ues":1,"a":2.0},{"n_ues":10,"elapsed_s":9.0}]"#;
         assert_eq!(metric_after(j, r#""n_ues":1,"#, "elapsed_s"), None);
+    }
+
+    #[test]
+    fn str_after_reads_string_fields_inside_the_anchored_object() {
+        let j = concat!(
+            r#"{"schema":"fiveg-serve/v1","gated":{"sessions_completed":8,"#,
+            r#""equiv_digest":"00f3a9b2c4d5e6f7","mismatches":0},"#,
+            r#""advisory":{"note":"other"}}"#
+        );
+        assert_eq!(str_after(j, r#""gated":"#, "equiv_digest"), Some("00f3a9b2c4d5e6f7"));
+        assert_eq!(str_after(j, r#""gated":"#, "note"), None, "scope ends at the first brace");
+        assert_eq!(str_after(j, r#""advisory":"#, "note"), Some("other"));
+        assert_eq!(str_after(j, r#""missing":"#, "equiv_digest"), None);
+        assert_eq!(str_after(j, r#""gated":"#, "sessions_completed"), None, "numeric field is not a string");
+        assert_eq!(str_after("", r#""gated":"#, "equiv_digest"), None);
     }
 
     #[test]

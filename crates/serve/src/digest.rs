@@ -1,0 +1,123 @@
+//! The prediction-equivalence digest.
+//!
+//! A 64-bit FNV-1a over every PROGNOSIS reply's exact bit patterns
+//! (request time, HO tag, score, confidence, lead). Two reply streams hash
+//! equal iff they are bit-identical, so a digest match between the wire
+//! path and the offline replay *is* byte-level prediction equivalence —
+//! cheap enough to gate in CI against a committed baseline, since the
+//! Prognos pipeline is deterministic for a pinned workload.
+
+use crate::proto::{ho_wire_tag, Frame};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a-64.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// The offset-basis state.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digests a reply stream; non-PROGNOSIS frames are ignored.
+pub fn digest_replies(replies: &[Frame]) -> u64 {
+    let mut h = Fnv64::new();
+    for r in replies {
+        if let Frame::Prognosis { t, ho, ho_score, confidence, lead_s } = r {
+            h.update(&t.to_bits().to_be_bytes());
+            h.update(&[ho.map(ho_wire_tag).unwrap_or(0)]);
+            h.update(&ho_score.to_bits().to_be_bytes());
+            h.update(&confidence.to_bits().to_be_bytes());
+            h.update(&lead_s.to_bits().to_be_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Combines per-session digests (in session order) into one fleet digest.
+pub fn combine_sessions(per_session: &[(u32, u64)]) -> u64 {
+    let mut h = Fnv64::new();
+    for (ue, d) in per_session {
+        h.update(&ue.to_be_bytes());
+        h.update(&d.to_be_bytes());
+    }
+    h.finish()
+}
+
+/// Fixed-width lowercase hex, the form reports and baselines carry.
+pub fn hex16(d: u64) -> String {
+    format!("{d:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_ran::HoType;
+
+    fn reply(t: f64, ho: Option<HoType>) -> Frame {
+        Frame::Prognosis { t, ho, ho_score: 0.9, confidence: 0.5, lead_s: 0.4 }
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // standard FNV-1a-64 test vectors
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = vec![reply(1.0, None), reply(2.0, Some(HoType::Lteh))];
+        let b = vec![reply(2.0, Some(HoType::Lteh)), reply(1.0, None)];
+        let c = vec![reply(1.0, None), reply(2.0, Some(HoType::Mcgh))];
+        assert_ne!(digest_replies(&a), digest_replies(&b));
+        assert_ne!(digest_replies(&a), digest_replies(&c));
+        assert_eq!(digest_replies(&a), digest_replies(&a.clone()));
+    }
+
+    #[test]
+    fn non_prognosis_frames_do_not_contribute() {
+        let a = vec![reply(1.0, None)];
+        let b = vec![Frame::Bye, reply(1.0, None), Frame::Error { code: 1 }];
+        assert_eq!(digest_replies(&a), digest_replies(&b));
+    }
+
+    #[test]
+    fn combined_digest_depends_on_session_identity_and_order() {
+        let x = combine_sessions(&[(0, 1), (1, 2)]);
+        let y = combine_sessions(&[(1, 2), (0, 1)]);
+        let z = combine_sessions(&[(0, 1), (2, 2)]);
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(0xdead_beef), "00000000deadbeef");
+    }
+}

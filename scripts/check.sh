@@ -11,6 +11,7 @@
 #   scripts/check.sh fuzz       # oracle self-test + corpus replay + 200-case fuzz
 #   scripts/check.sh vivisect   # ho_vivisect smoke (span/counter reconciliation, 1 vs 4 threads)
 #   scripts/check.sh perf       # gating perf: tick_bench + fleet_bench vs BENCH_*.json (±15%)
+#   scripts/check.sh serve      # serve smoke: UDS server + serve_load replay vs BENCH_serve.json
 #   scripts/check.sh doc        # cargo doc --no-deps with warnings as errors
 #
 # Offline-safe: everything defaults to CARGO_NET_OFFLINE=true so a machine
@@ -178,6 +179,39 @@ run_perf() {
     echo "  both reports parse; no gated metric regressed beyond tolerance"
 }
 
+# The serving gate, end to end on the real binaries: a `serve` server on a
+# Unix socket, `serve_load` replaying the pinned fleet workload against it
+# at 8-session fan-out. Every wire PROGNOSIS is compared field-by-field
+# against an offline Prognos replay of the same frames (serve_load exits 2
+# on any divergence), and the machine-independent report fields — session
+# and frame counts, prediction counts, the FNV-1a-64 equivalence digest —
+# gate against the committed BENCH_serve.json. Latency percentiles and
+# predictions/s are advisory only: the baseline's wall clock came from a
+# different machine. CI uploads BENCH_serve_ci.json as an artifact.
+run_serve() {
+    echo "== serve gate (UDS server + serve_load replay vs committed baseline, tol 15%)"
+    cargo build -q --release --bin serve --bin serve_load
+    local dir srv
+    dir="$(mktemp -d)"
+    target/release/serve --uds "$dir/serve.sock" --workers 2 --duration-s 300 \
+        >"$dir/serve.log" 2>&1 &
+    srv=$!
+    # shellcheck disable=SC2064 — expand $srv/$dir now, at trap-set time
+    trap "kill $srv 2>/dev/null || true; rm -rf '$dir'" RETURN
+    local i=0
+    while [ ! -S "$dir/serve.sock" ]; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "serve did not create its socket" >&2; cat "$dir/serve.log" >&2; return 1; }
+        sleep 0.1
+    done
+    target/release/serve_load --pinned --uds "$dir/serve.sock" --sessions 8 \
+        --out BENCH_serve_ci.json --baseline BENCH_serve.json --tol 0.15
+    kill "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+    python3 -m json.tool BENCH_serve_ci.json >/dev/null
+    echo "  wire predictions match offline Prognos; no gated metric regressed"
+}
+
 # The doc gate: rustdoc warnings (broken intra-doc links above all) are
 # errors, matching what docs.rs would surface.
 run_doc() {
@@ -201,9 +235,10 @@ case "$step" in
     fuzz) run_fuzz ;;
     vivisect) run_vivisect ;;
     perf) run_perf ;;
+    serve) run_serve ;;
     doc) run_doc ;;
     *)
-        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|vivisect|perf|doc]" >&2
+        echo "usage: scripts/check.sh [all|fmt|clippy|test|deps|smoke|fuzz|vivisect|perf|serve|doc]" >&2
         exit 2
         ;;
 esac

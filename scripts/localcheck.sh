@@ -16,6 +16,7 @@
 #   scripts/localcheck.sh fleet     # fleet_bench smoke (1 vs 4 threads, deterministic fields)
 #   scripts/localcheck.sh fuzz      # oracle self-test + corpus replay + bounded fuzz
 #   scripts/localcheck.sh vivisect  # ho_vivisect smoke (span/counter reconciliation, 1 vs 4 threads)
+#   scripts/localcheck.sh serve     # serve smoke (UDS server + serve_load replay, digest gate)
 #   scripts/localcheck.sh doc       # rustdoc -D warnings on every crate (CI doc gate mirror)
 #   scripts/localcheck.sh perf      # demo sweep speedup (1 vs 4 threads)
 #
@@ -81,6 +82,7 @@ run_build() {
     lib fiveg_analysis crates/analysis/src/lib.rs
     lib fiveg_apps crates/apps/src/lib.rs
     lib fiveg_bench crates/bench/src/lib.rs
+    lib fiveg_serve crates/serve/src/lib.rs
     lib fiveg_mobility src/lib.rs
 
     echo "== sweep_demo binary"
@@ -107,6 +109,16 @@ run_build() {
     rustc --edition 2021 -O -D warnings --crate-name ho_vivisect \
         crates/bench/src/bin/ho_vivisect.rs -L "$OUT" "${EXTERNS[@]}" \
         -o "$OUT/ho_vivisect"
+
+    echo "== serve binary"
+    rustc --edition 2021 -O -D warnings --crate-name serve \
+        crates/serve/src/bin/serve.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/serve"
+
+    echo "== serve_load binary"
+    rustc --edition 2021 -O -D warnings --crate-name serve_load \
+        crates/serve/src/bin/serve_load.rs -L "$OUT" "${EXTERNS[@]}" \
+        -o "$OUT/serve_load"
 }
 
 # Unit tests runnable offline: telemetry has zero external deps; the
@@ -184,6 +196,16 @@ run_test() {
     rustc --edition 2021 -O --test tests/vivisect_determinism.rs \
         -L "$OUT" "${EXTERNS[@]}" -o "$OUT/vivisect_determinism_test"
     "$OUT/vivisect_determinism_test" --quiet
+
+    echo "== serve unit tests (wire codec, session core, replay, digest, server)"
+    rustc --edition 2021 -O --test --crate-name fiveg_serve crates/serve/src/lib.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/serve_test"
+    "$OUT/serve_test" --quiet
+
+    echo "== workspace serve equivalence integration test (wire vs offline Prognos)"
+    rustc --edition 2021 -O --test tests/serve_equivalence.rs \
+        -L "$OUT" "${EXTERNS[@]}" -o "$OUT/serve_equivalence_test"
+    "$OUT/serve_equivalence_test" --quiet
 }
 
 run_smoke() {
@@ -324,6 +346,35 @@ run_vivisect() {
     echo "   reports are byte-identical ($(wc -c <"$OUT/vivisect_t1.json") bytes), flight dump OK"
 }
 
+run_serve() {
+    echo "== serve smoke (UDS server + serve_load trace replay, equivalence digest gate)"
+    [ -x "$OUT/serve" ] && [ -x "$OUT/serve_load" ] || {
+        echo "run 'scripts/localcheck.sh build' first" >&2; exit 1
+    }
+    local sock="$OUT/serve_smoke.sock"
+    rm -f "$sock"
+    "$OUT/serve" --uds "$sock" --workers 2 --duration-s 60 >"$OUT/serve_smoke.log" 2>&1 &
+    local srv=$!
+    # shellcheck disable=SC2064 — expand $srv/$sock now, at trap-set time
+    trap "kill $srv 2>/dev/null || true; rm -f '$sock'" RETURN
+    local i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "serve did not create $sock" >&2; exit 1; }
+        sleep 0.1
+    done
+    "$OUT/serve_load" --pinned --uds "$sock" --sessions 8 \
+        --out "$OUT/serve_smoke.json" \
+        --baseline BENCH_serve.json --tol 0.15
+    kill "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+    grep -q '"schema":"fiveg-serve/v1"' "$OUT/serve_smoke.json" || {
+        echo "serve_load report missing fiveg-serve/v1 schema" >&2
+        exit 1
+    }
+    echo "   wire replies match offline Prognos, gates hold ($(wc -c <"$OUT/serve_smoke.json") bytes)"
+}
+
 run_doc() {
     echo "== rustdoc -D warnings (offline mirror of the CI cargo-doc gate)"
     if [ ${#EXTERNS[@]} -eq 0 ]; then
@@ -353,6 +404,7 @@ run_doc() {
         [fiveg_analysis]=crates/analysis/src/lib.rs
         [fiveg_apps]=crates/apps/src/lib.rs
         [fiveg_bench]=crates/bench/src/lib.rs
+        [fiveg_serve]=crates/serve/src/lib.rs
         [fiveg_mobility]=src/lib.rs
     )
     local crate
@@ -400,6 +452,7 @@ case "$step" in
         run_fleet
         run_fuzz
         run_vivisect
+        run_serve
         ;;
     build) run_build ;;
     test) run_test ;;
@@ -409,10 +462,11 @@ case "$step" in
     fleet) run_fleet ;;
     fuzz) run_fuzz ;;
     vivisect) run_vivisect ;;
+    serve) run_serve ;;
     doc) run_doc ;;
     perf) run_perf ;;
     *)
-        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|des|fleet|fuzz|vivisect|doc|perf]" >&2
+        echo "usage: scripts/localcheck.sh [all|build|test|smoke|tick|des|fleet|fuzz|vivisect|serve|doc|perf]" >&2
         exit 2
         ;;
 esac

@@ -24,6 +24,10 @@
 //!   paper's phases, assembled from the hook stream, with a bounded
 //!   flight recorder that dumps the recent event ring on violations (the
 //!   span layer behind `ho_vivisect`).
+//! * [`serve`] — the online prediction service: a TCP/UDS server running
+//!   one Prognos per connection behind an RRC-framed wire protocol, plus
+//!   the trace-replay load generator (`serve` / `serve_load` binaries,
+//!   `BENCH_serve.json`).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@ pub use fiveg_oracle as oracle;
 pub use fiveg_radio as radio;
 pub use fiveg_ran as ran;
 pub use fiveg_rrc as rrc;
+pub use fiveg_serve as serve;
 pub use fiveg_sim as sim;
 pub use fiveg_telemetry as telemetry;
 pub use fiveg_trace as trace;
